@@ -1,0 +1,578 @@
+// Benchmarks regenerating the paper's tables and figures (one bench per
+// artifact, reporting the domain metric the paper plots), plus native
+// structure timings and the ablations DESIGN.md calls out.
+//
+// Run everything:    go test -bench=. -benchmem
+// One artifact:      go test -bench=BenchmarkFig4 -benchrun
+package spco_test
+
+import (
+	"fmt"
+	"testing"
+
+	"spco"
+	"spco/internal/cache"
+	"spco/internal/engine"
+	"spco/internal/match"
+	"spco/internal/matchlist"
+	"spco/internal/motif"
+	"spco/internal/mtrace"
+	"spco/internal/netmodel"
+	"spco/internal/proxyapps"
+	"spco/internal/simmem"
+	"spco/internal/workload"
+)
+
+// ---- Table 1 ----------------------------------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	for _, cfg := range workload.Table1Decomps() {
+		name := fmt.Sprintf("%s/%s", cfg.Decomp.String(), cfg.Stencil.String())
+		b.Run(name, func(b *testing.B) {
+			cfg := cfg
+			cfg.Trials = 1
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				r := workload.RunMT(cfg)
+				mean = r.Depth.Mean()
+			}
+			b.ReportMetric(mean, "mean-depth")
+		})
+	}
+}
+
+// ---- Figure 1 ----------------------------------------------------------
+
+func BenchmarkFig1(b *testing.B) {
+	cfg := motif.Config{SampleRanks: 256, Phases: 10, Seed: 2018}
+	motifs := []struct {
+		name string
+		run  func(motif.Config) *motif.Result
+	}{
+		{"amr", motif.AMR}, {"sweep3d", motif.Sweep3D}, {"halo3d", motif.Halo3D},
+	}
+	for _, m := range motifs {
+		b.Run(m.name, func(b *testing.B) {
+			var maxLen int
+			for i := 0; i < b.N; i++ {
+				maxLen = m.run(cfg).Posted.Max()
+			}
+			b.ReportMetric(float64(maxLen), "max-list-len")
+		})
+	}
+}
+
+// ---- Figures 4-7: the osu_bw panels ------------------------------------
+
+// bwBench measures one curve point and reports the figure's y axis.
+func bwBench(b *testing.B, prof cache.Profile, fab netmodel.Fabric,
+	kind matchlist.Kind, k, depth int, bytes uint64, hot, pool bool) {
+	b.Helper()
+	cfg := workload.BWConfig{
+		Engine: engine.Config{
+			Profile: prof, Kind: kind, EntriesPerNode: k,
+			HotCache: hot, Pool: pool,
+		},
+		Fabric: fab, QueueDepth: depth, MsgBytes: bytes, Iters: 2,
+	}
+	var r workload.BWResult
+	for i := 0; i < b.N; i++ {
+		r = workload.RunBW(cfg)
+	}
+	b.ReportMetric(r.BandwidthMiBps, "MiB/s")
+	b.ReportMetric(r.CPUCyclesPerMsg, "cycles/msg")
+}
+
+func spatialCases() []struct {
+	name string
+	kind matchlist.Kind
+	k    int
+} {
+	return []struct {
+		name string
+		kind matchlist.Kind
+		k    int
+	}{
+		{"baseline", matchlist.KindBaseline, 0},
+		{"LLA-2", matchlist.KindLLA, 2},
+		{"LLA-8", matchlist.KindLLA, 8},
+		{"LLA-32", matchlist.KindLLA, 32},
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	// Sandy Bridge spatial locality: depth 1024, 1 B and 4 KiB panels.
+	for _, c := range spatialCases() {
+		for _, sz := range []uint64{1, 4096} {
+			b.Run(fmt.Sprintf("%s/%dB", c.name, sz), func(b *testing.B) {
+				bwBench(b, cache.SandyBridge, netmodel.IBQDR, c.kind, c.k, 1024, sz, false, false)
+			})
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for _, c := range spatialCases() {
+		b.Run(c.name, func(b *testing.B) {
+			bwBench(b, cache.Broadwell, netmodel.OmniPath, c.kind, c.k, 1024, 1, false, false)
+		})
+	}
+}
+
+func temporalCases() []struct {
+	name      string
+	kind      matchlist.Kind
+	k         int
+	hot, pool bool
+} {
+	return []struct {
+		name      string
+		kind      matchlist.Kind
+		k         int
+		hot, pool bool
+	}{
+		{"baseline", matchlist.KindBaseline, 0, false, false},
+		{"HC", matchlist.KindBaseline, 0, true, false},
+		{"LLA", matchlist.KindLLA, 2, false, false},
+		{"HC+LLA", matchlist.KindLLA, 2, true, true},
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for _, c := range temporalCases() {
+		b.Run(c.name, func(b *testing.B) {
+			bwBench(b, cache.SandyBridge, netmodel.IBQDR, c.kind, c.k, 1024, 1, c.hot, c.pool)
+		})
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for _, c := range temporalCases() {
+		b.Run(c.name, func(b *testing.B) {
+			bwBench(b, cache.Broadwell, netmodel.OmniPath, c.kind, c.k, 1024, 1, c.hot, c.pool)
+		})
+	}
+}
+
+// ---- Section 4.3 heater microbenchmark ---------------------------------
+
+func BenchmarkHeaterMicro(b *testing.B) {
+	for _, prof := range []cache.Profile{cache.SandyBridge, cache.Broadwell} {
+		b.Run(prof.Name, func(b *testing.B) {
+			var r workload.HCMicroResult
+			for i := 0; i < b.N; i++ {
+				r = workload.RunHCMicro(workload.HCMicroConfig{Profile: prof, Lines: 2048})
+			}
+			b.ReportMetric(r.ColdNS, "cold-ns")
+			b.ReportMetric(r.HeatedNS, "heated-ns")
+		})
+	}
+}
+
+// ---- Figures 8-10: applications ----------------------------------------
+
+func appWorld(prof cache.Profile, fab netmodel.Fabric, kind matchlist.Kind, k int, hot, pool bool, size int) spco.WorldConfig {
+	prof.Cores = 2
+	return spco.WorldConfig{
+		Size: size,
+		Engine: engine.Config{
+			Profile: prof, Kind: kind, EntriesPerNode: k,
+			HotCache: hot, Pool: pool,
+		},
+		Fabric: fab,
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		kind matchlist.Kind
+		k    int
+	}{{"baseline", matchlist.KindBaseline, 0}, {"LLA", matchlist.KindLLA, 2}} {
+		b.Run(c.name, func(b *testing.B) {
+			var r proxyapps.Result
+			for i := 0; i < b.N; i++ {
+				r = proxyapps.RunAMG(proxyapps.AMGConfig{
+					World:  appWorld(cache.Broadwell, netmodel.OmniPath, c.kind, c.k, false, false, 16),
+					N:      16,
+					Levels: 5,
+					Cycles: 1,
+				})
+			}
+			b.ReportMetric(r.RuntimeNS/1e6, "modeled-ms")
+		})
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		kind matchlist.Kind
+		k    int
+	}{{"baseline", matchlist.KindBaseline, 0}, {"LLA", matchlist.KindLLA, 2}} {
+		b.Run(c.name, func(b *testing.B) {
+			var r proxyapps.Result
+			for i := 0; i < b.N; i++ {
+				r = proxyapps.RunMiniFE(proxyapps.MiniFEConfig{
+					World:    appWorld(cache.Broadwell, netmodel.OmniPath, c.kind, c.k, false, false, 16),
+					N:        6,
+					Iters:    4,
+					PadDepth: 2048,
+				})
+			}
+			b.ReportMetric(r.RuntimeNS/1e6, "modeled-ms")
+		})
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	cases := []struct {
+		name      string
+		kind      matchlist.Kind
+		k         int
+		hot, pool bool
+	}{
+		{"baseline", matchlist.KindBaseline, 0, false, false},
+		{"HC", matchlist.KindBaseline, 0, true, false},
+		{"LLA", matchlist.KindLLA, 2, false, false},
+		{"HC+LLA", matchlist.KindLLA, 2, true, true},
+		{"LLA-Large", matchlist.KindLLA, 64, false, false},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var r proxyapps.Result
+			for i := 0; i < b.N; i++ {
+				r = proxyapps.RunFDS(proxyapps.FDSConfig{
+					World:       appWorld(cache.Nehalem, netmodel.MellanoxQDR, c.kind, c.k, c.hot, c.pool, 4),
+					TargetRanks: 2048,
+					Phases:      1,
+				})
+			}
+			b.ReportMetric(r.RuntimeNS/1e6, "modeled-ms")
+		})
+	}
+}
+
+// ---- Native structure timings ------------------------------------------
+//
+// Real Go wall time of Search over each structure (FreeAccessor: no
+// simulator in the loop) — the algorithmic constant factors on the host
+// CPU, where slice packing shows up even under Go's runtime.
+
+func BenchmarkNativeSearch(b *testing.B) {
+	const depth = 1024
+	for _, c := range []struct {
+		name string
+		kind matchlist.Kind
+		k    int
+	}{
+		{"baseline", matchlist.KindBaseline, 0},
+		{"lla-8", matchlist.KindLLA, 8},
+		{"hashbins", matchlist.KindHashBins, 0},
+		{"rankarray", matchlist.KindRankArray, 0},
+		{"fourd", matchlist.KindFourD, 0},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			l := matchlist.NewPosted(c.kind, matchlist.Config{
+				Space: simmem.NewSpace(), Acc: matchlist.FreeAccessor{},
+				EntriesPerNode: c.k, Bins: 256, CommSize: 64,
+			})
+			for i := 0; i < depth; i++ {
+				l.Post(match.NewPosted(0, 100000+i, 1, uint64(i)))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.Post(match.NewPosted(1, 7, 1, 1))
+				if _, _, ok := l.Search(match.Envelope{Rank: 1, Tag: 7, Ctx: 1}); !ok {
+					b.Fatal("lost entry")
+				}
+			}
+		})
+	}
+}
+
+// ---- Ablations (DESIGN.md section 5) ------------------------------------
+
+// BenchmarkAblationPrefetch disables prefetch units one by one: without
+// the adjacent-pair unit the LLA-8 advantage must shrink toward LLA-4's,
+// and with no prefetch at all toward pure packing.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	mods := []struct {
+		name string
+		mod  func(*cache.Profile)
+	}{
+		{"full", func(p *cache.Profile) {}},
+		{"no-pair", func(p *cache.Profile) { p.AdjacentPairPrefetch = false }},
+		{"no-prefetch", func(p *cache.Profile) {
+			p.AdjacentPairPrefetch = false
+			p.AdjacentLinePrefetch = false
+			p.DCUPrefetch = false
+			p.StreamerDegree = 0
+		}},
+	}
+	for _, m := range mods {
+		b.Run(m.name, func(b *testing.B) {
+			prof := cache.SandyBridge
+			m.mod(&prof)
+			bwBench(b, prof, netmodel.IBQDR, matchlist.KindLLA, 8, 1024, 1, false, false)
+		})
+	}
+}
+
+// BenchmarkAblationHeaterPeriod sweeps the heater period: once the
+// period exceeds the compute phase, coverage (and the benefit) decays.
+func BenchmarkAblationHeaterPeriod(b *testing.B) {
+	for _, period := range []float64{1e3, 1e5, 1e6, 1e7} {
+		b.Run(fmt.Sprintf("period-%.0gns", period), func(b *testing.B) {
+			cfg := workload.BWConfig{
+				Engine: engine.Config{
+					Profile: cache.SandyBridge, Kind: matchlist.KindLLA,
+					EntriesPerNode: 2, HotCache: true, Pool: true,
+					HeaterPeriodNS: period,
+				},
+				Fabric: netmodel.IBQDR, QueueDepth: 1024, MsgBytes: 1,
+				Iters: 2, ComputePhaseNS: 1e6,
+			}
+			var r workload.BWResult
+			for i := 0; i < b.N; i++ {
+				r = workload.RunBW(cfg)
+			}
+			b.ReportMetric(r.BandwidthMiBps, "MiB/s")
+		})
+	}
+}
+
+// BenchmarkAblationHoles measures LLA search cost as tombstone density
+// grows (mid-node deletions that later searches must skip).
+func BenchmarkAblationHoles(b *testing.B) {
+	for _, holePct := range []int{0, 25, 50} {
+		b.Run(fmt.Sprintf("holes-%d%%", holePct), func(b *testing.B) {
+			const live = 512
+			total := live * 100 / (100 - holePct)
+			en := engine.New(engine.Config{
+				Profile: cache.SandyBridge, Kind: matchlist.KindLLA, EntriesPerNode: 8,
+			})
+			for i := 0; i < total; i++ {
+				en.PostRecv(0, 100000+i, 1, uint64(i))
+			}
+			// Cancel every k-th entry (not at the head) to punch holes.
+			if holePct > 0 {
+				step := total / (total - live)
+				for i := 1; i < total && total-live > 0; i += step {
+					en.Cancel(uint64(i))
+				}
+			}
+			en.PostRecv(1, 7, 1, 999)
+			b.ResetTimer()
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				en.BeginComputePhase(1e6)
+				// Search to the tail and re-post for the next round.
+				_, ok, cy := en.Arrive(match.Envelope{Rank: 1, Tag: 7, Ctx: 1}, 0)
+				if !ok {
+					b.Fatal("lost tail entry")
+				}
+				cycles = cy
+				en.PostRecv(1, 7, 1, 999)
+			}
+			b.ReportMetric(float64(cycles), "cycles/search")
+		})
+	}
+}
+
+// BenchmarkStructures is the related-work shoot-out at equal depth:
+// baseline vs LLA vs hash bins vs rank array vs 4D (Section 5's
+// comparators), modeled cycles per deep match.
+func BenchmarkStructures(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		kind matchlist.Kind
+		k    int
+	}{
+		{"baseline", matchlist.KindBaseline, 0},
+		{"lla-2", matchlist.KindLLA, 2},
+		{"lla-8", matchlist.KindLLA, 8},
+		{"hashbins-256", matchlist.KindHashBins, 0},
+		{"rankarray", matchlist.KindRankArray, 0},
+		{"fourd", matchlist.KindFourD, 0},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			en := engine.New(engine.Config{
+				Profile: cache.SandyBridge, Kind: c.kind, EntriesPerNode: c.k,
+				Bins: 256, CommSize: 64,
+			})
+			for i := 0; i < 1024; i++ {
+				en.PostRecv(0, 100000+i, 1, uint64(i))
+			}
+			en.PostRecv(1, 7, 1, 999)
+			b.ResetTimer()
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				en.BeginComputePhase(1e6)
+				_, ok, cy := en.Arrive(match.Envelope{Rank: 1, Tag: 7, Ctx: 1}, 0)
+				if !ok {
+					b.Fatal("lost entry")
+				}
+				cycles = cy
+				en.PostRecv(1, 7, 1, 999)
+			}
+			b.ReportMetric(float64(cycles), "cycles/match")
+		})
+	}
+}
+
+// BenchmarkAblationNetCacheSize sweeps the proposed network cache's
+// capacity from the paper's "1-2 KiB per core" suggestion up past the
+// match-queue footprint: the benefit saturates once the queues fit.
+func BenchmarkAblationNetCacheSize(b *testing.B) {
+	for _, size := range []int{2 << 10, 16 << 10, 64 << 10, 256 << 10} {
+		b.Run(fmt.Sprintf("%dKiB", size>>10), func(b *testing.B) {
+			cfg := workload.BWConfig{
+				Engine: engine.Config{
+					Profile:           cache.SandyBridge,
+					Kind:              matchlist.KindLLA,
+					EntriesPerNode:    2,
+					NetworkCache:      true,
+					NetworkCacheBytes: size,
+				},
+				Fabric: netmodel.IBQDR, QueueDepth: 1024, MsgBytes: 1, Iters: 2,
+			}
+			var r workload.BWResult
+			for i := 0; i < b.N; i++ {
+				r = workload.RunBW(cfg)
+			}
+			b.ReportMetric(r.BandwidthMiBps, "MiB/s")
+			b.ReportMetric(r.CPUCyclesPerMsg, "cycles/msg")
+		})
+	}
+}
+
+// BenchmarkThreadContention measures native matches/sec on one shared
+// engine as MPI_THREAD_MULTIPLE-style thread counts grow — the match
+// engine serialisation that motivates the paper's Section 2.3.
+func BenchmarkThreadContention(b *testing.B) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads-%d", threads), func(b *testing.B) {
+			var r workload.MTRateResult
+			for i := 0; i < b.N; i++ {
+				r = workload.RunMTRate(workload.MTRateConfig{
+					Threads:        threads,
+					OpsPerThread:   2000,
+					Kind:           matchlist.KindLLA,
+					EntriesPerNode: 8,
+				})
+			}
+			b.ReportMetric(r.MatchesPerSec, "matches/s")
+		})
+	}
+}
+
+// BenchmarkCollectives times the binomial-tree collectives over real
+// point-to-point messages (every hop traverses a matching engine).
+func BenchmarkCollectives(b *testing.B) {
+	prof := cache.SandyBridge
+	prof.Cores = 2
+	for _, size := range []int{4, 16} {
+		b.Run(fmt.Sprintf("allreduce-%dranks", size), func(b *testing.B) {
+			w := spco.NewWorld(spco.WorldConfig{
+				Size:   size,
+				Engine: engine.Config{Profile: prof, Kind: matchlist.KindLLA, EntriesPerNode: 2},
+				Fabric: netmodel.IBQDR,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Run(func(p *spco.Proc) {
+					p.World().Allreduce([]float64{float64(p.Rank())})
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkTraceReplay measures replay throughput (events per second of
+// host time) — the practicality of trace-based simulation.
+func BenchmarkTraceReplay(b *testing.B) {
+	rec := mtrace.NewRecorder("bench")
+	workload.RunBW(workload.BWConfig{
+		Engine:     engine.Config{Profile: cache.SandyBridge, Kind: matchlist.KindLLA, EntriesPerNode: 2},
+		Fabric:     netmodel.IBQDR,
+		QueueDepth: 256,
+		MsgBytes:   1,
+		Iters:      2,
+		Observer:   rec,
+	})
+	tr := rec.Trace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := mtrace.Replay(tr, engine.Config{Profile: cache.Broadwell, Kind: matchlist.KindLLA, EntriesPerNode: 8})
+		if r.Mismatches != 0 {
+			b.Fatal("replay mismatch")
+		}
+	}
+	b.ReportMetric(float64(len(tr.Events)), "events")
+}
+
+// BenchmarkUMQDepth prices late receives against a deep unexpected
+// queue (the umqdepth experiment's core loop).
+func BenchmarkUMQDepth(b *testing.B) {
+	for _, kind := range []matchlist.Kind{matchlist.KindBaseline, matchlist.KindLLA} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var r workload.UMQResult
+			for i := 0; i < b.N; i++ {
+				r = workload.RunUMQ(workload.UMQConfig{
+					Engine: engine.Config{Profile: cache.SandyBridge, Kind: kind, EntriesPerNode: 2},
+					Fabric: netmodel.IBQDR,
+					UDepth: 1024,
+					Iters:  2,
+				})
+			}
+			b.ReportMetric(r.NSPerRecv, "ns/recv")
+		})
+	}
+}
+
+// BenchmarkLatency is the modified osu_latency point at depth 1024.
+func BenchmarkLatency(b *testing.B) {
+	for _, kind := range []matchlist.Kind{matchlist.KindBaseline, matchlist.KindLLA} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var r workload.LatResult
+			for i := 0; i < b.N; i++ {
+				r = workload.RunLat(workload.LatConfig{
+					Engine:     engine.Config{Profile: cache.SandyBridge, Kind: kind, EntriesPerNode: 8},
+					Fabric:     netmodel.IBQDR,
+					QueueDepth: 1024,
+					MsgBytes:   1,
+					Iters:      20,
+				})
+			}
+			b.ReportMetric(r.OneWayUS, "one-way-us")
+		})
+	}
+}
+
+// BenchmarkAblationTLB turns on the data-TLB model: translation misses
+// compound the scattered baseline's penalty while barely touching the
+// packed structure — locality pays twice.
+func BenchmarkAblationTLB(b *testing.B) {
+	for _, tlb := range []bool{false, true} {
+		for _, kind := range []matchlist.Kind{matchlist.KindBaseline, matchlist.KindLLA} {
+			name := fmt.Sprintf("%s/tlb-%v", kind, tlb)
+			b.Run(name, func(b *testing.B) {
+				prof := cache.SandyBridge
+				if tlb {
+					prof.TLBEntries = 64
+					prof.TLBMissCycles = 20
+				}
+				cfg := workload.BWConfig{
+					Engine: engine.Config{Profile: prof, Kind: kind, EntriesPerNode: 8},
+					Fabric: netmodel.IBQDR, QueueDepth: 4096, MsgBytes: 1, Iters: 2,
+				}
+				var r workload.BWResult
+				for i := 0; i < b.N; i++ {
+					r = workload.RunBW(cfg)
+				}
+				b.ReportMetric(r.CPUCyclesPerMsg, "cycles/msg")
+			})
+		}
+	}
+}

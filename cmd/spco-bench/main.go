@@ -1,0 +1,84 @@
+// Command spco-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	spco-bench -list                 # show every experiment id
+//	spco-bench -exp table1           # regenerate one artifact
+//	spco-bench -exp fig4b -quick     # reduced sweep for a fast look
+//	spco-bench -exp all              # the full evaluation section
+//
+// Output is the same rows/series the paper plots; EXPERIMENTS.md
+// records the expected shapes against the paper's reported values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"spco"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		quick  = flag.Bool("quick", false, "reduced sweeps and trials")
+		trials = flag.Int("trials", 0, "override trial count (0 = experiment default)")
+		csv    = flag.Bool("csv", false, "emit CSV where the artifact supports it")
+		plot   = flag.Bool("plot", false, "render figures as ASCII charts")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("Available experiments:")
+		for _, s := range spco.Experiments() {
+			fmt.Printf("  %-8s %s\n", s.ID, s.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nselect one with -exp <id> or run -exp all")
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := spco.ExperimentOptions{Quick: *quick, Trials: *trials}
+	var ids []string
+	if *exp == "all" {
+		for _, s := range spco.Experiments() {
+			ids = append(ids, s.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	for _, id := range ids {
+		s, ok := spco.ExperimentByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "spco-bench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		art := s.Run(opts)
+		fmt.Printf("### %s — %s\n", s.ID, s.Title)
+		switch {
+		case *csv:
+			if c, ok := art.(interface{ CSV() string }); ok {
+				fmt.Println(c.CSV())
+			} else {
+				fmt.Println(art.Render())
+			}
+		case *plot:
+			if p, ok := art.(interface{ Plot(w, h int) string }); ok {
+				fmt.Println(p.Plot(0, 0))
+			} else {
+				fmt.Println(art.Render())
+			}
+		default:
+			fmt.Println(art.Render())
+		}
+		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

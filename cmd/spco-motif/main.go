@@ -1,0 +1,77 @@
+// Command spco-motif replays the SST-style communication motifs of
+// Section 2.3 and prints their match-list length histograms (Figure 1).
+//
+// Example:
+//
+//	spco-motif -motif amr -ranks 65536 -sample 1024 -phases 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spco"
+)
+
+func main() {
+	var (
+		name   = flag.String("motif", "amr", "motif (amr, sweep3d, halo3d)")
+		ranks  = flag.Int("ranks", 0, "full-scale rank count (0 = motif default)")
+		sample = flag.Int("sample", 1024, "ranks actually simulated")
+		phases = flag.Int("phases", 50, "communication phases per rank")
+		seed   = flag.Int64("seed", 2018, "random seed")
+		bucket = flag.Int("bucket", 0, "histogram bucket width (0 = motif default)")
+		bars   = flag.Bool("bars", false, "render log-scaled ASCII bars instead of counts")
+	)
+	flag.Parse()
+
+	cfg := spco.MotifConfig{
+		Ranks:       *ranks,
+		SampleRanks: *sample,
+		Phases:      *phases,
+		Seed:        *seed,
+		BucketWidth: *bucket,
+	}
+	var res *spco.MotifResult
+	switch *name {
+	case "amr":
+		res = spco.AMRMotif(cfg)
+	case "sweep3d":
+		res = spco.Sweep3DMotif(cfg)
+	case "halo3d":
+		res = spco.Halo3DMotif(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "spco-motif: unknown motif %q\n", *name)
+		os.Exit(2)
+	}
+
+	fmt.Printf("# %s at %d ranks (%d sampled, %d phases, bucket %d)\n",
+		res.Name, res.Ranks, *sample, *phases, res.Posted.BucketWidth)
+	if *bars {
+		fmt.Print(res.Posted.Bars("posted match-list lengths", 48))
+		fmt.Println()
+		fmt.Print(res.Unexpected.Bars("unexpected match-list lengths", 48))
+		return
+	}
+	fmt.Printf("%-16s %14s %14s\n", "length bucket", "posted", "unexpected")
+	pb, ub := res.Posted.Buckets(), res.Unexpected.Buckets()
+	n := len(pb)
+	if len(ub) > n {
+		n = len(ub)
+	}
+	for i := 0; i < n; i++ {
+		var lo, hi int
+		var p, u uint64
+		if i < len(pb) {
+			lo, hi, p = pb[i].Lo, pb[i].Hi, pb[i].Count
+		}
+		if i < len(ub) {
+			if i >= len(pb) {
+				lo, hi = ub[i].Lo, ub[i].Hi
+			}
+			u = ub[i].Count
+		}
+		fmt.Printf("%6d-%-9d %14d %14d\n", lo, hi, p, u)
+	}
+}

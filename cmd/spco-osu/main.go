@@ -1,0 +1,109 @@
+// Command spco-osu runs the modified OSU bandwidth microbenchmark
+// (Section 4.1's four modifications) at a single configuration and
+// prints one measurement line, or sweeps message sizes with -sweep.
+//
+// Example:
+//
+//	spco-osu -arch sandybridge -list lla -k 8 -depth 1024 -size 1
+//	spco-osu -arch broadwell -list baseline -hotcache -depth 512 -sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spco"
+	"spco/internal/netmodel"
+	"spco/internal/workload"
+)
+
+func main() {
+	var (
+		arch   = flag.String("arch", "sandybridge", "architecture profile (sandybridge, broadwell, nehalem, knl)")
+		list   = flag.String("list", "lla", "match structure (baseline, lla, hashbins, rankarray, fourd, hwoffload, percomm)")
+		k      = flag.Int("k", 2, "LLA entries per node")
+		depth  = flag.Int("depth", 0, "unmatched entries padding the queue")
+		size   = flag.Uint64("size", 1, "message size in bytes")
+		sweep  = flag.Bool("sweep", false, "sweep message sizes 1B..1MiB")
+		hot    = flag.Bool("hotcache", false, "enable the cache heater")
+		pool   = flag.Bool("pool", false, "enable the element pool")
+		iters  = flag.Int("iters", 10, "timed iterations")
+		lat    = flag.Bool("lat", false, "measure one-way latency (osu_latency) instead of bandwidth")
+		fabric = flag.String("fabric", "", "fabric override (ib-qdr, omnipath, mlx-qdr)")
+	)
+	flag.Parse()
+
+	prof, ok := spco.ProfileByName(*arch)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "spco-osu: unknown architecture %q\n", *arch)
+		os.Exit(2)
+	}
+	kind, err := spco.ParseKind(*list)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spco-osu:", err)
+		os.Exit(2)
+	}
+	fab := defaultFabric(*arch)
+	if *fabric != "" {
+		f, ok := netmodel.Fabrics[*fabric]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "spco-osu: unknown fabric %q\n", *fabric)
+			os.Exit(2)
+		}
+		fab = f
+	}
+
+	cfg := spco.BWConfig{
+		Engine: spco.EngineConfig{
+			Profile:        prof,
+			Kind:           kind,
+			EntriesPerNode: *k,
+			HotCache:       *hot,
+			Pool:           *pool,
+			CommSize:       64,
+			Bins:           256,
+		},
+		Fabric:     fab,
+		QueueDepth: *depth,
+		Iters:      *iters,
+	}
+
+	fmt.Printf("# arch=%s list=%s k=%d depth=%d hotcache=%v pool=%v fabric=%s\n",
+		prof.Name, kind, *k, *depth, *hot, *pool, fab.Name)
+	sizes := []uint64{*size}
+	if *sweep {
+		sizes = workload.MsgSizeSweep()
+	}
+	if *lat {
+		fmt.Printf("%-10s %14s %12s\n", "size(B)", "latency(us)", "cycles/msg")
+		for _, sz := range sizes {
+			r := workload.RunLat(workload.LatConfig{
+				Engine:     cfg.Engine,
+				Fabric:     fab,
+				QueueDepth: *depth,
+				MsgBytes:   sz,
+				Iters:      *iters * 10,
+			})
+			fmt.Printf("%-10d %14.3f %12.0f\n", sz, r.OneWayUS, r.CPUCyclesPerMsg)
+		}
+		return
+	}
+	fmt.Printf("%-10s %14s %14s %12s\n", "size(B)", "MiB/s", "msgs/s", "cycles/msg")
+	for _, sz := range sizes {
+		cfg.MsgBytes = sz
+		r := spco.RunBandwidth(cfg)
+		fmt.Printf("%-10d %14.4f %14.0f %12.0f\n", sz, r.BandwidthMiBps, r.MsgRate, r.CPUCyclesPerMsg)
+	}
+}
+
+func defaultFabric(arch string) spco.Fabric {
+	switch arch {
+	case "broadwell":
+		return spco.OmniPath
+	case "nehalem":
+		return spco.MellanoxQDR
+	default:
+		return spco.IBQDR
+	}
+}

@@ -1,0 +1,215 @@
+// Command spco-trace records and replays MPI matching traces
+// (trace-based simulation, after Ferreira et al.):
+//
+//	spco-trace record -out fds.trc -workload fds -target 2048
+//	spco-trace info -in fds.trc
+//	spco-trace replay -in fds.trc -arch broadwell -list lla -k 8
+//	spco-trace replay -in fds.trc -all
+//
+// Record captures rank 0's matching operations from a built-in
+// workload; replay drives any structure/architecture through the same
+// sequence, cross-checking every matching outcome.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spco"
+	"spco/internal/cache"
+	"spco/internal/engine"
+	"spco/internal/matchlist"
+	"spco/internal/mtrace"
+	"spco/internal/netmodel"
+	"spco/internal/proxyapps"
+	"spco/internal/trace"
+	"spco/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: spco-trace {record|info|replay} [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spco-trace:", err)
+	os.Exit(1)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var (
+		out    = fs.String("out", "spco.trc", "output trace file")
+		wl     = fs.String("workload", "osu", "workload to record (osu, fds, minife)")
+		depth  = fs.Int("depth", 1024, "osu: queue padding depth")
+		target = fs.Int("target", 1024, "fds: modeled job size")
+		ranks  = fs.Int("ranks", 8, "fds/minife: world size")
+	)
+	fs.Parse(args)
+
+	rec := mtrace.NewRecorder(*wl)
+	prof := cache.SandyBridge
+	prof.Cores = 2
+	ecfg := engine.Config{Profile: prof, Kind: matchlist.KindLLA, EntriesPerNode: 2}
+
+	switch *wl {
+	case "osu":
+		workload.RunBW(workload.BWConfig{
+			Engine:     ecfg,
+			Fabric:     netmodel.IBQDR,
+			QueueDepth: *depth,
+			MsgBytes:   1,
+			Iters:      2,
+			Observer:   rec,
+		})
+	case "fds":
+		proxyapps.RunFDS(proxyapps.FDSConfig{
+			World:       worldWithRecorder(*ranks, ecfg, rec),
+			TargetRanks: *target,
+			Phases:      1,
+		})
+	case "minife":
+		proxyapps.RunMiniFE(proxyapps.MiniFEConfig{
+			World: worldWithRecorder(*ranks, ecfg, rec),
+			N:     6, Iters: 4, PadDepth: *depth,
+		})
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *wl))
+	}
+
+	tr := rec.Trace()
+	if err := tr.Save(*out); err != nil {
+		fatal(err)
+	}
+	c := tr.Counts()
+	fmt.Printf("recorded %d events (%d arrivals, %d posts, %d cancels, %d phases) to %s\n",
+		len(tr.Events), c.Arrives, c.Posts, c.Cancels, c.Phases, *out)
+}
+
+// worldWithRecorder attaches the recorder to rank 0's engine.
+func worldWithRecorder(size int, ecfg engine.Config, rec *mtrace.Recorder) spco.WorldConfig {
+	return spco.WorldConfig{
+		Size:   size,
+		Engine: ecfg,
+		Fabric: netmodel.IBQDR,
+		Observer: func(rank int) engine.Observer {
+			if rank == 0 {
+				return rec
+			}
+			return nil
+		},
+	}
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "spco.trc", "trace file")
+	fs.Parse(args)
+	tr, err := mtrace.Load(*in)
+	if err != nil {
+		fatal(err)
+	}
+	c := tr.Counts()
+	fmt.Printf("trace %q: %d events\n", tr.Name, len(tr.Events))
+	fmt.Printf("  arrivals: %d (%d matched in PRQ, %d unexpected)\n",
+		c.Arrives, c.Matched, c.Arrives-c.Matched)
+	fmt.Printf("  posts:    %d (%d satisfied from UMQ)\n", c.Posts, c.UMQHits)
+	fmt.Printf("  cancels:  %d\n", c.Cancels)
+	fmt.Printf("  phases:   %d\n", c.Phases)
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	var (
+		in   = fs.String("in", "spco.trc", "trace file")
+		arch = fs.String("arch", "sandybridge", "architecture profile")
+		list = fs.String("list", "lla", "match structure")
+		k    = fs.Int("k", 2, "LLA entries per node")
+		hot  = fs.Bool("hotcache", false, "enable the heater")
+		nc   = fs.Bool("netcache", false, "enable the dedicated network cache")
+		all  = fs.Bool("all", false, "replay against every structure and print a table")
+	)
+	fs.Parse(args)
+
+	tr, err := mtrace.Load(*in)
+	if err != nil {
+		fatal(err)
+	}
+	prof, ok := spco.ProfileByName(*arch)
+	if !ok {
+		fatal(fmt.Errorf("unknown architecture %q", *arch))
+	}
+	prof.Cores = 2
+
+	if *all {
+		t := trace.NewTable(fmt.Sprintf("replay of %q on %s", tr.Name, prof.Name),
+			"structure", "cycles", "modeled ms", "mean depth", "mismatches")
+		for _, v := range []struct {
+			name string
+			kind matchlist.Kind
+			k    int
+		}{
+			{"baseline", matchlist.KindBaseline, 0},
+			{"lla-2", matchlist.KindLLA, 2},
+			{"lla-8", matchlist.KindLLA, 8},
+			{"hashbins-256", matchlist.KindHashBins, 0},
+			{"rankarray", matchlist.KindRankArray, 0},
+			{"fourd", matchlist.KindFourD, 0},
+			{"hwoffload-512", matchlist.KindHWOffload, 0},
+		} {
+			cfg := engine.Config{
+				Profile: prof, Kind: v.kind, EntriesPerNode: v.k,
+				Bins: binsFor(v.kind), CommSize: 1 << 16,
+			}
+			r := mtrace.Replay(tr, cfg)
+			t.AddRow(v.name, r.Stats.Cycles, fmt.Sprintf("%.3f", r.CPUNanos/1e6),
+				fmt.Sprintf("%.1f", r.Stats.MeanPRQDepth()), r.Mismatches)
+		}
+		fmt.Print(t.Render())
+		return
+	}
+
+	kind, err := spco.ParseKind(*list)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := engine.Config{
+		Profile: prof, Kind: kind, EntriesPerNode: *k,
+		Bins: binsFor(kind), CommSize: 1 << 16,
+		HotCache: *hot, Pool: *hot, NetworkCache: *nc,
+	}
+	r := mtrace.Replay(tr, cfg)
+	fmt.Printf("replayed %d events on %s/%s: %d cycles (%.3f ms modeled), mean depth %.1f, %d mismatches\n",
+		len(tr.Events), prof.Name, kind, r.Stats.Cycles, r.CPUNanos/1e6,
+		r.Stats.MeanPRQDepth(), r.Mismatches)
+	if r.Mismatches > 0 {
+		os.Exit(1)
+	}
+}
+
+func binsFor(kind matchlist.Kind) int {
+	switch kind {
+	case matchlist.KindHashBins:
+		return 256
+	case matchlist.KindHWOffload:
+		return 512
+	}
+	return 0
+}

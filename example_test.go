@@ -1,0 +1,127 @@
+package spco_test
+
+import (
+	"fmt"
+
+	"spco"
+)
+
+// The core loop: post receives, deliver messages, observe matching.
+func ExampleNewEngine() {
+	en := spco.NewEngine(spco.EngineConfig{
+		Profile:        spco.SandyBridge,
+		Kind:           spco.LLA,
+		EntriesPerNode: 8,
+	})
+
+	en.PostRecv(3, 42, 1, 100) // source rank 3, tag 42, communicator 1
+	req, ok, _ := en.Arrive(spco.Envelope{Rank: 3, Tag: 42, Ctx: 1}, 0)
+	fmt.Println("matched:", ok, "request:", req)
+
+	// A message no receive expects lands on the unexpected queue...
+	_, ok, _ = en.Arrive(spco.Envelope{Rank: 5, Tag: 7, Ctx: 1}, 900)
+	fmt.Println("unexpected buffered:", !ok, "UMQ length:", en.UMQLen())
+
+	// ...and the late receive finds it there.
+	msg, ok, _ := en.PostRecv(5, 7, 1, 200)
+	fmt.Println("late receive matched:", ok, "message:", msg)
+	// Output:
+	// matched: true request: 100
+	// unexpected buffered: true UMQ length: 1
+	// late receive matched: true message: 900
+}
+
+// Wildcard receives accept any source and tag within their communicator.
+func ExampleNewEngine_wildcards() {
+	en := spco.NewEngine(spco.EngineConfig{
+		Profile: spco.SandyBridge,
+		Kind:    spco.Baseline,
+	})
+	en.PostRecv(spco.AnySource, spco.AnyTag, 1, 11)
+	req, ok, _ := en.Arrive(spco.Envelope{Rank: 99, Tag: 12345, Ctx: 1}, 0)
+	fmt.Println(ok, req)
+	// A different communicator never matches.
+	_, ok, _ = en.Arrive(spco.Envelope{Rank: 99, Tag: 12345, Ctx: 2}, 0)
+	fmt.Println(ok)
+	// Output:
+	// true 11
+	// false
+}
+
+// Spatial locality: the same deep search costs far less on the packed
+// structure, and hot caching stacks on top.
+func ExampleNewEngine_locality() {
+	deepSearch := func(cfg spco.EngineConfig) uint64 {
+		en := spco.NewEngine(cfg)
+		for i := 0; i < 1024; i++ {
+			en.PostRecv(0, 10000+i, 1, uint64(i))
+		}
+		en.PostRecv(3, 42, 1, 999)
+		en.BeginComputePhase(1e6) // the caches turn over
+		_, _, cycles := en.Arrive(spco.Envelope{Rank: 3, Tag: 42, Ctx: 1}, 0)
+		return cycles
+	}
+
+	base := deepSearch(spco.EngineConfig{Profile: spco.SandyBridge, Kind: spco.Baseline})
+	lla := deepSearch(spco.EngineConfig{Profile: spco.SandyBridge, Kind: spco.LLA, EntriesPerNode: 8})
+	hot := deepSearch(spco.EngineConfig{
+		Profile: spco.SandyBridge, Kind: spco.LLA, EntriesPerNode: 8,
+		HotCache: true, Pool: true,
+	})
+	fmt.Println("LLA-8 at least 5x cheaper than baseline:", lla*5 <= base)
+	fmt.Println("hot caching cheaper still:", hot < lla)
+	// Output:
+	// LLA-8 at least 5x cheaper than baseline: true
+	// hot caching cheaper still: true
+}
+
+// A two-rank program over the mini-MPI runtime.
+func ExampleNewWorld() {
+	prof := spco.SandyBridge
+	prof.Cores = 2
+	w := spco.NewWorld(spco.WorldConfig{
+		Size:   2,
+		Engine: spco.EngineConfig{Profile: prof, Kind: spco.LLA, EntriesPerNode: 2},
+		Fabric: spco.IBQDR,
+	})
+	w.Run(func(p *spco.Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 7, []byte("halo data"))
+		} else {
+			fmt.Printf("rank 1 received %q\n", p.Recv(0, 7))
+		}
+	})
+	// Output:
+	// rank 1 received "halo data"
+}
+
+// Communicators isolate matching traffic and carry their own
+// collectives.
+func ExampleProc_CommSplit() {
+	prof := spco.SandyBridge
+	prof.Cores = 2
+	w := spco.NewWorld(spco.WorldConfig{
+		Size:   4,
+		Engine: spco.EngineConfig{Profile: prof, Kind: spco.LLA, EntriesPerNode: 2},
+		Fabric: spco.IBQDR,
+	})
+	sums := make([]float64, 4)
+	w.Run(func(p *spco.Proc) {
+		c := p.CommSplit(p.Rank() % 2) // evens and odds
+		sum := c.Allreduce([]float64{float64(p.Rank())})
+		sums[p.Rank()] = sum[0]
+	})
+	fmt.Println(sums) // evens: 0+2, odds: 1+3
+	// Output:
+	// [2 4 2 4]
+}
+
+// The experiment registry regenerates any paper artifact by id.
+func ExampleExperimentByID() {
+	exp, ok := spco.ExperimentByID("table1")
+	fmt.Println(ok, exp.ID)
+	fmt.Println(len(spco.Experiments()) >= 22, "at least the paper + extensions registered")
+	// Output:
+	// true table1
+	// true at least the paper + extensions registered
+}

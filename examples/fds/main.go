@@ -1,0 +1,58 @@
+// Fds runs the Fire Dynamics Simulator proxy (the paper's full
+// application study, Figure 10): coupled-mesh exchanges whose match
+// lists grow with job scale and whose messages match deep in the list.
+// It prints factor speedups over the baseline for the paper's variants
+// across modeled job sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"spco"
+)
+
+func main() {
+	var (
+		world  = flag.Int("world", 8, "simulated ranks (per-rank load is set by -target)")
+		phases = flag.Int("phases", 2, "exchange/compute super-steps")
+	)
+	flag.Parse()
+
+	prof := spco.Nehalem
+	prof.Cores = 2
+
+	run := func(kind spco.Kind, k int, hot, pool bool, target int) float64 {
+		return spco.RunFDS(spco.FDSConfig{
+			World: spco.WorldConfig{
+				Size: *world,
+				Engine: spco.EngineConfig{
+					Profile:        prof,
+					Kind:           kind,
+					EntriesPerNode: k,
+					HotCache:       hot,
+					Pool:           pool,
+				},
+				Fabric: spco.MellanoxQDR,
+			},
+			TargetRanks: target,
+			Phases:      *phases,
+		}).RuntimeNS
+	}
+
+	fmt.Println("FDS proxy: factor speedup over baseline (Nehalem cluster model)")
+	fmt.Printf("%-8s %12s %12s %12s %12s\n", "procs", "HC", "LLA", "HC+LLA", "LLA-Large")
+	for _, target := range []int{128, 512, 1024, 2048, 4096} {
+		base := run(spco.Baseline, 0, false, false, target)
+		hc := run(spco.Baseline, 0, true, false, target)
+		lla := run(spco.LLA, 2, false, false, target)
+		hclla := run(spco.LLA, 2, true, true, target)
+		large := run(spco.LLA, 64, false, false, target)
+		fmt.Printf("%-8d %11.3fx %11.3fx %11.3fx %11.3fx\n",
+			target, base/hc, base/lla, base/hclla, base/large)
+	}
+	fmt.Println("\nSpatial locality pays more the deeper the lists grow; hot")
+	fmt.Println("caching alone drowns in region-list locking at scale, but")
+	fmt.Println("combined with the packed structure it leads at small scale —")
+	fmt.Println("the paper's Figure 10 in miniature.")
+}

@@ -1,0 +1,66 @@
+// Multithreaded reproduces the Section 2.3 study: a receiving MPI
+// process decomposed into concurrently-posting threads, showing how
+// thread decompositions and stencils inflate match-list lengths and
+// search depths (Table 1), and what that costs under each structure.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"spco"
+)
+
+func main() {
+	var trials = flag.Int("trials", 10, "trials per decomposition")
+	flag.Parse()
+
+	fmt.Println("Multithreaded MPI matching: Table 1 decompositions")
+	fmt.Printf("%-10s %-8s %5s %5s %7s %14s\n", "decomp", "stencil", "tr", "ts", "length", "search depth")
+
+	rows := []struct {
+		d spco.Decomp
+		s spco.Stencil
+	}{
+		{spco.Decomp{X: 32, Y: 32}, spco.Star2D5},
+		{spco.Decomp{X: 64, Y: 32}, spco.Star2D5},
+		{spco.Decomp{X: 32, Y: 32}, spco.Full2D9},
+		{spco.Decomp{X: 64, Y: 32}, spco.Full2D9},
+		{spco.Decomp{X: 8, Y: 8, Z: 4}, spco.Star3D7},
+		{spco.Decomp{X: 1, Y: 1, Z: 128}, spco.Star3D7},
+		{spco.Decomp{X: 8, Y: 8, Z: 4}, spco.Full3D27},
+	}
+	for _, r := range rows {
+		res := spco.RunMultithreaded(spco.MTConfig{Decomp: r.d, Stencil: r.s, Trials: *trials})
+		fmt.Printf("%-10s %-8s %5d %5d %7d %9.2f ± %-6.2f\n",
+			res.Decomp.String(), res.Stencil.String(), res.TR, res.TS, res.Length,
+			res.Depth.Mean(), res.Depth.StdDev())
+	}
+
+	// What do those depths cost? Price the worst row's mean depth on a
+	// cold Sandy Bridge cache under each structure.
+	fmt.Println("\nCost of one match at depth ~518 (the 8x8x4/27pt mean), cold caches:")
+	for _, c := range []struct {
+		label string
+		kind  spco.Kind
+		k     int
+	}{
+		{"baseline", spco.Baseline, 0},
+		{"LLA-8", spco.LLA, 8},
+		{"hash bins (256)", spco.HashBins, 0},
+	} {
+		en := spco.NewEngine(spco.EngineConfig{
+			Profile: spco.SandyBridge, Kind: c.kind, EntriesPerNode: c.k,
+			Bins: 256, CommSize: 64,
+		})
+		for i := 0; i < 518; i++ {
+			en.PostRecv(0, 5000+i, 1, uint64(i))
+		}
+		en.PostRecv(3, 42, 1, 999)
+		en.BeginComputePhase(1e6)
+		_, _, cycles := en.Arrive(spco.Envelope{Rank: 3, Tag: 42, Ctx: 1}, 0)
+		fmt.Printf("  %-18s %8d cycles (%.2f µs)\n", c.label, cycles, en.CyclesToNanos(cycles)/1000)
+	}
+	fmt.Println("\nBucketed structures dodge the search; locality makes the")
+	fmt.Println("unavoidable linear searches affordable.")
+}

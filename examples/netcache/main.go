@@ -1,0 +1,70 @@
+// Netcache evaluates the hardware mechanisms the paper's conclusions propose: a
+// dedicated network-data cache giving semi-permanent occupancy without
+// a heater thread. It compares baseline, hot caching, and the proposed
+// cache on both studied architectures — showing the proposal delivers
+// hot caching's upside without Broadwell's downside, and without the
+// heater's locks.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"spco"
+)
+
+func main() {
+	var depth = flag.Int("depth", 1024, "posted receive queue search length")
+	flag.Parse()
+
+	fmt.Printf("Dedicated network cache vs hot caching (depth %d, 1 B messages)\n\n", *depth)
+
+	systems := []struct {
+		prof spco.Profile
+		fab  spco.Fabric
+	}{
+		{spco.SandyBridge, spco.IBQDR},
+		{spco.Broadwell, spco.OmniPath},
+	}
+	for _, sys := range systems {
+		fmt.Printf("%s:\n", sys.prof.Name)
+		var base float64
+		for _, v := range []struct {
+			name     string
+			hot, nc  bool
+			partWays int
+		}{
+			{name: "baseline"},
+			{name: "hot caching", hot: true},
+			{name: "L3 partition", partWays: 4},
+			{name: "network cache", nc: true},
+		} {
+			r := spco.RunBandwidth(spco.BWConfig{
+				Engine: spco.EngineConfig{
+					Profile:         sys.prof,
+					Kind:            spco.LLA,
+					EntriesPerNode:  2,
+					HotCache:        v.hot,
+					Pool:            v.hot,
+					NetworkCache:    v.nc,
+					L3PartitionWays: v.partWays,
+				},
+				Fabric:     sys.fab,
+				QueueDepth: *depth,
+				MsgBytes:   1,
+				Iters:      5,
+			})
+			if v.name == "baseline" {
+				base = r.BandwidthMiBps
+			}
+			fmt.Printf("  %-16s %10.5f MiB/s  (%.2fx baseline, %.0f cycles/msg)\n",
+				v.name, r.BandwidthMiBps, r.BandwidthMiBps/base, r.CPUCyclesPerMsg)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Hot caching flips sign between the two machines; both hardware")
+	fmt.Println("proposals win on both. The CAT-style partition needs no new")
+	fmt.Println("silicon and already beats the heater; the dedicated cache adds")
+	fmt.Println("core-adjacent latency on top. These are the paper's closing")
+	fmt.Println("proposals (Sections 4.6, 6), evaluated.")
+}

@@ -1,0 +1,65 @@
+// Quickstart: build a matching engine, post receives, deliver messages,
+// and see how data locality changes the cost of the receive-side
+// critical path — the heart of the paper in thirty lines of API.
+package main
+
+import (
+	"fmt"
+
+	"spco"
+)
+
+func main() {
+	fmt.Println("Semi-Permanent Cache Occupancy — quickstart")
+	fmt.Println()
+	fmt.Println("Cost of matching a message behind 1024 unrelated receives,")
+	fmt.Println("on a cold Sandy Bridge cache, per structure:")
+	fmt.Println()
+
+	configs := []struct {
+		label string
+		cfg   spco.EngineConfig
+	}{
+		{"baseline linked list", spco.EngineConfig{Profile: spco.SandyBridge, Kind: spco.Baseline}},
+		{"linked list of arrays, K=2", spco.EngineConfig{Profile: spco.SandyBridge, Kind: spco.LLA, EntriesPerNode: 2}},
+		{"linked list of arrays, K=8", spco.EngineConfig{Profile: spco.SandyBridge, Kind: spco.LLA, EntriesPerNode: 8}},
+		{"K=8 + hot caching", spco.EngineConfig{Profile: spco.SandyBridge, Kind: spco.LLA, EntriesPerNode: 8, HotCache: true, Pool: true}},
+	}
+
+	for _, c := range configs {
+		en := spco.NewEngine(c.cfg)
+
+		// Pad the posted receive queue: 1024 receives that will never
+		// match (a different source rank).
+		for i := 0; i < 1024; i++ {
+			en.PostRecv(0, 10000+i, 1, uint64(i))
+		}
+		// The receive we care about.
+		en.PostRecv(3, 42, 1, 9999)
+
+		// A compute phase passes: the caches turn over (and the heater,
+		// when configured, re-warms the match queues).
+		en.BeginComputePhase(1e6)
+
+		// The message arrives and must search past all 1024 entries.
+		req, ok, cycles := en.Arrive(spco.Envelope{Rank: 3, Tag: 42, Ctx: 1}, 0)
+		if !ok || req != 9999 {
+			panic("match failed")
+		}
+		fmt.Printf("  %-28s %8d cycles  (%6.2f µs, search depth %d)\n",
+			c.label, cycles, en.CyclesToNanos(cycles)/1000, 1025)
+	}
+
+	fmt.Println()
+	fmt.Println("Same comparison, message matched at the head (depth 1):")
+	for _, c := range configs {
+		en := spco.NewEngine(c.cfg)
+		en.PostRecv(3, 42, 1, 1)
+		en.BeginComputePhase(1e6)
+		_, _, cycles := en.Arrive(spco.Envelope{Rank: 3, Tag: 42, Ctx: 1}, 0)
+		fmt.Printf("  %-28s %8d cycles\n", c.label, cycles)
+	}
+	fmt.Println()
+	fmt.Println("Locality helps deep searches by an order of magnitude and")
+	fmt.Println("costs nothing when lists are short — the paper's thesis.")
+}

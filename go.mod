@@ -1,0 +1,3 @@
+module spco
+
+go 1.22

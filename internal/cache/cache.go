@@ -1,0 +1,821 @@
+// Package cache implements a cycle-accounting simulator of an x86 cache
+// hierarchy: private L1/L2 per core, an optional shared L3, true-LRU
+// set-associative levels, and the three hardware prefetchers whose
+// interplay the paper's spatial-locality results hinge on:
+//
+//   - the L1 DCU next-line prefetcher,
+//   - the L2 adjacent-cache-line ("buddy" / spatial pair) prefetcher, and
+//   - the L2 streamer.
+//
+// A demand access costs the load-to-use latency of the level where it
+// hits; prefetched lines are filled in the background so a later demand
+// access to them hits close to the core. With 24-byte match entries
+// (2 per 64-byte line) this yields the paper's observation that one
+// demand load effectively fetches 4 lines — 8 entries — which is why the
+// linked-list-of-arrays sweep plateaus at 8 entries per node.
+//
+// The simulator is deterministic: identical access sequences produce
+// identical cycle counts. It is not safe for concurrent use; the matching
+// engine serialises access to it.
+package cache
+
+import (
+	"fmt"
+
+	"spco/internal/simmem"
+)
+
+// LineSize mirrors simmem.LineSize; all modeled machines use 64 B lines.
+const LineSize = simmem.LineSize
+
+// pageSize bounds prefetcher streams: hardware prefetchers do not cross
+// 4 KiB page boundaries.
+const pageSize = 4096
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Name          string
+	SizeBytes     int  // total capacity; 0 means the level is absent
+	Ways          int  // associativity
+	LatencyCycles int  // load-to-use latency on a hit at this level
+	Shared        bool // shared across cores (true for L3)
+
+	// HashIndex selects a hashed set index instead of the usual
+	// modulo of the line address. Commodity caches index by low bits,
+	// which strided match-queue nodes systematically under-use; the
+	// proposed dedicated network cache hashes so its whole capacity
+	// serves the queues (the AblationNetCacheSize benchmark shows the
+	// difference).
+	HashIndex bool
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c LevelConfig) Sets() int {
+	if c.SizeBytes == 0 {
+		return 0
+	}
+	return c.SizeBytes / (c.Ways * LineSize)
+}
+
+// Validate checks internal consistency.
+func (c LevelConfig) Validate() error {
+	if c.SizeBytes == 0 {
+		return nil
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache level %s: ways must be positive", c.Name)
+	}
+	if c.SizeBytes%(c.Ways*LineSize) != 0 {
+		return fmt.Errorf("cache level %s: size %d not divisible by ways*linesize", c.Name, c.SizeBytes)
+	}
+	if c.LatencyCycles <= 0 {
+		return fmt.Errorf("cache level %s: latency must be positive", c.Name)
+	}
+	return nil
+}
+
+// Profile describes a full machine: clock, core count, cache levels,
+// memory latency, prefetcher complement, and the heater-interference
+// parameters used by the hot-caching experiments.
+type Profile struct {
+	Name     string
+	ClockGHz float64
+	Cores    int
+
+	L1, L2, L3  LevelConfig
+	DRAMLatency int // cycles for a load serviced by memory
+
+	// Prefetchers.
+	//
+	// DCUPrefetch is the L1 next-line unit (promotes lines already in
+	// an outer level). AdjacentLinePrefetch completes the aligned 128 B
+	// line pair on an L2 miss. AdjacentPairPrefetch is the specialized
+	// unit the paper's Section 4.2 analysis identifies: on an L2 miss
+	// it fetches the *next* aligned 128 B pair, so one demand load
+	// gathers 4 lines — 8 packed entries — the arithmetic behind the
+	// 8-entries-per-node performance peak. StreamerDegree is the number
+	// of lines the L2 streamer prefetches past an L2 miss that extends
+	// an ascending unit-stride run (real streamers train on all
+	// accesses; issuing only on misses is the modeled simplification
+	// that keeps them from outrunning the pair units).
+	DCUPrefetch          bool
+	AdjacentLinePrefetch bool
+	AdjacentPairPrefetch bool
+	StreamerDegree       int
+
+	// L3ContentionCycles is added to every demand L3 access while a
+	// heater thread is sweeping: the heater consumes L3 bandwidth and,
+	// on architectures with a decoupled cache clock (Haswell/Broadwell),
+	// the penalty is larger. This is the physical parameter behind the
+	// paper's Sandy Bridge vs Broadwell hot-caching sign flip.
+	L3ContentionCycles int
+
+	// NetworkCache, when configured, adds the hardware the paper's
+	// conclusions propose (Sections 4.6 and 6): a dedicated cache for
+	// network-processing data. Lines inside designated regions are
+	// cached here; the structure survives compute phases (ordinary
+	// traffic cannot evict it), giving semi-permanent occupancy without
+	// a heater thread, its locks, or its interference. Absent by
+	// default — no shipping x86 part has one.
+	NetworkCache LevelConfig
+
+	// TLBEntries enables a per-core data-TLB model: a fully associative
+	// LRU table of that many 4 KiB page translations. A miss adds
+	// TLBMissCycles (a partially-cached page walk) to the access. Zero
+	// disables the model; the paper's calibrations were made without it,
+	// so it is an ablation knob (scattered baseline nodes span far more
+	// pages than packed LLA nodes, compounding their locality penalty).
+	TLBEntries    int
+	TLBMissCycles int
+
+	// L3PartitionWays reserves that many ways of every L3 set for
+	// designated network regions — the paper's other Section 4.6
+	// proposal ("a cache partition"), realisable today with Intel
+	// CAT-style way masking: ordinary traffic allocates only in the
+	// remaining ways, so compute phases cannot evict the match queues,
+	// while designated lines still pay the L3's ordinary hit latency.
+	// Zero disables partitioning.
+	L3PartitionWays int
+}
+
+// Validate checks the profile.
+func (p Profile) Validate() error {
+	if p.Cores <= 0 {
+		return fmt.Errorf("profile %s: cores must be positive", p.Name)
+	}
+	if p.L3PartitionWays < 0 || (p.L3PartitionWays > 0 && p.L3PartitionWays >= p.L3.Ways) {
+		return fmt.Errorf("profile %s: L3 partition of %d ways must leave ordinary ways (L3 has %d)",
+			p.Name, p.L3PartitionWays, p.L3.Ways)
+	}
+	if p.ClockGHz <= 0 {
+		return fmt.Errorf("profile %s: clock must be positive", p.Name)
+	}
+	if p.DRAMLatency <= 0 {
+		return fmt.Errorf("profile %s: DRAM latency must be positive", p.Name)
+	}
+	for _, lc := range []LevelConfig{p.L1, p.L2, p.L3} {
+		if err := lc.Validate(); err != nil {
+			return fmt.Errorf("profile %s: %w", p.Name, err)
+		}
+	}
+	if p.L1.SizeBytes == 0 || p.L2.SizeBytes == 0 {
+		return fmt.Errorf("profile %s: L1 and L2 are required", p.Name)
+	}
+	return nil
+}
+
+// CyclesToNanos converts a cycle count to nanoseconds at this profile's
+// core clock.
+func (p Profile) CyclesToNanos(cycles uint64) float64 {
+	return float64(cycles) / p.ClockGHz
+}
+
+// NanosToCycles converts nanoseconds to cycles, rounding to nearest.
+func (p Profile) NanosToCycles(ns float64) uint64 {
+	return uint64(ns*p.ClockGHz + 0.5)
+}
+
+// Stats aggregates hierarchy activity.
+type Stats struct {
+	Accesses      uint64 // demand accesses (line-granular)
+	L1Hits        uint64
+	L2Hits        uint64
+	L3Hits        uint64
+	DRAMLoads     uint64
+	Cycles        uint64 // total demand cycles
+	Prefetches    uint64 // prefetch fills issued
+	PrefHits      uint64 // demand hits on lines a prefetcher brought in
+	NCHits        uint64 // demand hits in the dedicated network cache
+	TLBMisses     uint64 // data-TLB misses (when the TLB model is on)
+	HeaterTouches uint64
+}
+
+// HitRate returns the fraction of demand accesses served by any cache level.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Accesses-s.DRAMLoads) / float64(s.Accesses)
+}
+
+// Sub returns s - o field-by-field, for measuring deltas around a phase.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Accesses:      s.Accesses - o.Accesses,
+		L1Hits:        s.L1Hits - o.L1Hits,
+		L2Hits:        s.L2Hits - o.L2Hits,
+		L3Hits:        s.L3Hits - o.L3Hits,
+		DRAMLoads:     s.DRAMLoads - o.DRAMLoads,
+		Cycles:        s.Cycles - o.Cycles,
+		Prefetches:    s.Prefetches - o.Prefetches,
+		PrefHits:      s.PrefHits - o.PrefHits,
+		NCHits:        s.NCHits - o.NCHits,
+		TLBMisses:     s.TLBMisses - o.TLBMisses,
+		HeaterTouches: s.HeaterTouches - o.HeaterTouches,
+	}
+}
+
+// wayEntry is one cache way.
+type wayEntry struct {
+	line       uint64
+	valid      bool
+	lastUse    uint64
+	prefetched bool // filled by a prefetcher, no demand hit yet
+}
+
+// level is a true-LRU set-associative cache.
+type level struct {
+	cfg  LevelConfig
+	sets [][]wayEntry
+	mask uint64
+	tick uint64
+}
+
+func newLevel(cfg LevelConfig) *level {
+	n := cfg.Sets()
+	if n == 0 {
+		return nil
+	}
+	// Sets are allocated lazily on first touch: a large L3 (16 K sets)
+	// costs only slice headers until used, which keeps per-rank
+	// hierarchies affordable when application studies instantiate
+	// hundreds of engines.
+	return &level{cfg: cfg, sets: make([][]wayEntry, n), mask: uint64(n - 1)}
+}
+
+// set returns the ways of the set holding line, allocating on demand.
+func (l *level) set(line uint64) []wayEntry {
+	i := l.setIndex(line)
+	if l.sets[i] == nil {
+		l.sets[i] = make([]wayEntry, l.cfg.Ways)
+	}
+	return l.sets[i]
+}
+
+func (l *level) setIndex(line uint64) uint64 {
+	if l.cfg.HashIndex {
+		h := line * 0x9E3779B97F4A7C15
+		h ^= h >> 29
+		return h % uint64(len(l.sets))
+	}
+	if l.mask == uint64(len(l.sets)-1) && (uint64(len(l.sets))&uint64(len(l.sets)-1)) == 0 {
+		return line & l.mask
+	}
+	return line % uint64(len(l.sets))
+}
+
+// lookup reports whether line is present. When touch is true a hit
+// refreshes LRU state and clears the prefetched bit, returning whether
+// the line had been brought in by a prefetcher.
+func (l *level) lookup(line uint64, touch bool) (hit, wasPrefetch bool) {
+	set := l.sets[l.setIndex(line)]
+	if set == nil {
+		return false, false
+	}
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			if touch {
+				l.tick++
+				set[i].lastUse = l.tick
+				wasPrefetch = set[i].prefetched
+				set[i].prefetched = false
+			}
+			return true, wasPrefetch
+		}
+	}
+	return false, false
+}
+
+// insert fills line, evicting the LRU way if the set is full.
+func (l *level) insert(line uint64, prefetched bool) {
+	l.insertRange(line, prefetched, 0, l.cfg.Ways)
+}
+
+// insertRange fills line using only ways [lo, hi) for allocation (the
+// partitioning primitive); a line already present anywhere in the set
+// is refreshed in place.
+func (l *level) insertRange(line uint64, prefetched bool, lo, hi int) {
+	set := l.set(line)
+	l.tick++
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			// Already present: refresh.
+			set[i].lastUse = l.tick
+			if !prefetched {
+				set[i].prefetched = false
+			}
+			return
+		}
+	}
+	victim := lo
+	for i := lo; i < hi; i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	set[victim] = wayEntry{line: line, valid: true, lastUse: l.tick, prefetched: prefetched}
+}
+
+// flushWaysFrom invalidates ways [lo, Ways) of every set, leaving the
+// reserved partition [0, lo) intact.
+func (l *level) flushWaysFrom(lo int) {
+	for _, set := range l.sets {
+		for i := lo; i < len(set); i++ {
+			set[i].valid = false
+		}
+	}
+}
+
+// evict drops line if present.
+func (l *level) evict(line uint64) {
+	set := l.sets[l.setIndex(line)]
+	if set == nil {
+		return
+	}
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			set[i].valid = false
+			return
+		}
+	}
+}
+
+func (l *level) flush() {
+	for _, set := range l.sets {
+		for i := range set {
+			set[i].valid = false
+		}
+	}
+}
+
+// contains is a non-mutating presence probe (for tests and the heater).
+func (l *level) contains(line uint64) bool {
+	hit, _ := l.lookup(line, false)
+	return hit
+}
+
+// streamState tracks the L2 streamer's view of one 4 KiB page.
+type streamState struct {
+	page     uint64
+	lastLine uint64
+	run      int
+	lastUse  uint64
+}
+
+// streamTrackers is the small fully-associative table of page trackers a
+// real streamer keeps (we model 16 entries, LRU-replaced).
+const streamTrackers = 16
+
+// Hierarchy is the full simulated memory system.
+type Hierarchy struct {
+	prof Profile
+	l1   []*level // per core
+	l2   []*level // per core
+	l3   *level   // shared; nil if absent
+
+	// The dedicated network cache (nil unless the profile configures
+	// one) and the regions whose lines it serves.
+	nc        *level
+	netRegion simmem.RegionSet
+
+	streams [][]streamState // per core
+	tlbs    [][]tlbEntry    // per core (empty when the model is off)
+	tick    uint64
+
+	heaterActive bool
+	stats        Stats
+}
+
+// tlbEntry is one cached page translation.
+type tlbEntry struct {
+	page    uint64
+	valid   bool
+	lastUse uint64
+}
+
+// New builds a hierarchy from a validated profile. It panics on an
+// invalid profile; profiles are package-level constants validated by
+// tests, so a bad one is a programming error.
+func New(prof Profile) *Hierarchy {
+	if err := prof.Validate(); err != nil {
+		panic("cache: " + err.Error())
+	}
+	h := &Hierarchy{prof: prof}
+	h.l1 = make([]*level, prof.Cores)
+	h.l2 = make([]*level, prof.Cores)
+	for c := 0; c < prof.Cores; c++ {
+		h.l1[c] = newLevel(prof.L1)
+		h.l2[c] = newLevel(prof.L2)
+	}
+	h.l3 = newLevel(prof.L3)
+	h.nc = newLevel(prof.NetworkCache)
+	h.streams = make([][]streamState, prof.Cores)
+	for c := range h.streams {
+		h.streams[c] = make([]streamState, 0, streamTrackers)
+	}
+	if prof.TLBEntries > 0 {
+		h.tlbs = make([][]tlbEntry, prof.Cores)
+		for c := range h.tlbs {
+			h.tlbs[c] = make([]tlbEntry, prof.TLBEntries)
+		}
+	}
+	return h
+}
+
+// tlbAccess charges a translation for the page holding line and returns
+// the added cycles (zero on a TLB hit or with the model disabled).
+func (h *Hierarchy) tlbAccess(core int, line uint64) uint64 {
+	if h.tlbs == nil {
+		return 0
+	}
+	page := line * LineSize / pageSize
+	tlb := h.tlbs[core]
+	h.tick++
+	victim := 0
+	for i := range tlb {
+		if tlb[i].valid && tlb[i].page == page {
+			tlb[i].lastUse = h.tick
+			return 0
+		}
+		if !tlb[i].valid {
+			victim = i
+			continue
+		}
+		if tlb[victim].valid && tlb[i].lastUse < tlb[victim].lastUse {
+			victim = i
+		}
+	}
+	tlb[victim] = tlbEntry{page: page, valid: true, lastUse: h.tick}
+	h.stats.TLBMisses++
+	return uint64(h.prof.TLBMissCycles)
+}
+
+// Profile returns the hierarchy's machine description.
+func (h *Hierarchy) Profile() Profile { return h.prof }
+
+// Stats returns a copy of the accumulated counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// ResetStats zeroes the counters without disturbing cache contents.
+func (h *Hierarchy) ResetStats() { h.stats = Stats{} }
+
+// SetHeaterActive marks whether a heater thread is concurrently sweeping;
+// while active, demand L3 accesses pay the profile's contention penalty.
+func (h *Hierarchy) SetHeaterActive(active bool) { h.heaterActive = active }
+
+// HeaterActive reports the current heater state.
+func (h *Hierarchy) HeaterActive() bool { return h.heaterActive }
+
+// Flush invalidates every level, modeling the cache-destroying compute
+// phase the paper's modified microbenchmarks emulate between iterations.
+// The dedicated network cache is NOT flushed: ordinary traffic cannot
+// evict it — that retention is precisely the hardware proposal.
+func (h *Hierarchy) Flush() {
+	for c := 0; c < h.prof.Cores; c++ {
+		h.l1[c].flush()
+		h.l2[c].flush()
+		h.streams[c] = h.streams[c][:0]
+		if h.tlbs != nil {
+			for i := range h.tlbs[c] {
+				h.tlbs[c][i].valid = false
+			}
+		}
+	}
+	if h.l3 != nil {
+		if p := h.prof.L3PartitionWays; p > 0 {
+			// Compute traffic is confined to the unreserved ways: the
+			// partition survives the phase.
+			h.l3.flushWaysFrom(p)
+		} else {
+			h.l3.flush()
+		}
+	}
+}
+
+// DesignatesNetwork reports whether designated regions get special
+// treatment (a dedicated network cache or an L3 partition).
+func (h *Hierarchy) DesignatesNetwork() bool {
+	return h.nc != nil || h.prof.L3PartitionWays > 0
+}
+
+// DesignateNetwork marks a region as network data to be served by the
+// dedicated network cache or L3 partition. A no-op without either.
+func (h *Hierarchy) DesignateNetwork(r simmem.Region) {
+	if h.DesignatesNetwork() {
+		h.netRegion.Add(r)
+	}
+}
+
+// UndesignateNetwork removes a region from network-cache/partition
+// service and evicts its lines from the protected storage.
+func (h *Hierarchy) UndesignateNetwork(r simmem.Region) {
+	if !h.DesignatesNetwork() {
+		return
+	}
+	h.netRegion.Remove(r)
+	if r.Size > 0 {
+		first := r.Base.Line()
+		last := (r.End() - 1).Line()
+		for line := first; line <= last; line++ {
+			if h.nc != nil {
+				h.nc.evict(line)
+			}
+			if h.prof.L3PartitionWays > 0 && h.l3 != nil {
+				h.l3.evict(line)
+			}
+		}
+	}
+}
+
+// HasNetworkCache reports whether the profile configured one.
+func (h *Hierarchy) HasNetworkCache() bool { return h.nc != nil }
+
+// InNetworkCache probes the dedicated cache without disturbing it.
+func (h *Hierarchy) InNetworkCache(addr simmem.Addr) bool {
+	return h.nc != nil && h.nc.contains(addr.Line())
+}
+
+// FlushPrivate invalidates only core's private L1/L2, modeling a context
+// where the core's working set churned but the shared cache survived.
+func (h *Hierarchy) FlushPrivate(core int) {
+	h.l1[core].flush()
+	h.l2[core].flush()
+	h.streams[core] = h.streams[core][:0]
+}
+
+// Access performs a demand access from core covering [addr, addr+size)
+// and returns the cycle cost. Multi-line accesses cost the sum over the
+// lines they touch; size 0 is treated as 1 byte.
+func (h *Hierarchy) Access(core int, addr simmem.Addr, size uint64) uint64 {
+	if size == 0 {
+		size = 1
+	}
+	first := addr.Line()
+	last := (addr + simmem.Addr(size) - 1).Line()
+	var cycles uint64
+	for line := first; line <= last; line++ {
+		cycles += h.accessLine(core, line)
+	}
+	h.stats.Cycles += cycles
+	return cycles
+}
+
+// accessLine is the demand path for one line.
+func (h *Hierarchy) accessLine(core int, line uint64) uint64 {
+	h.stats.Accesses++
+	l1, l2 := h.l1[core], h.l2[core]
+	tlbCost := h.tlbAccess(core, line)
+
+	if hit, pf := l1.lookup(line, true); hit {
+		h.stats.L1Hits++
+		if pf {
+			h.stats.PrefHits++
+		}
+		h.streamObserve(core, line, false)
+		return tlbCost + uint64(h.prof.L1.LatencyCycles)
+	}
+
+	// Designated network data is served by the dedicated cache right
+	// after L1; its contents survive compute phases.
+	if h.nc != nil && h.netRegion.Contains(simmem.Addr(line*LineSize)) {
+		if hit, _ := h.nc.lookup(line, true); hit {
+			h.stats.NCHits++
+			l1.insert(line, false)
+			h.streamObserve(core, line, false)
+			return tlbCost + uint64(h.prof.NetworkCache.LatencyCycles)
+		}
+		cost := h.fillFromBeyondL2(core, line, false)
+		h.adjacentPrefetch(core, line)
+		h.pairPrefetch(core, line)
+		h.streamObserve(core, line, true)
+		return tlbCost + cost
+	}
+	if hit, pf := l2.lookup(line, true); hit {
+		h.stats.L2Hits++
+		if pf {
+			h.stats.PrefHits++
+		}
+		l1.insert(line, false)
+		h.dcuPrefetch(core, line)
+		h.streamObserve(core, line, false)
+		return tlbCost + uint64(h.prof.L2.LatencyCycles)
+	}
+
+	// L2 miss: the adjacent-line, adjacent-pair and streamer prefetchers
+	// live at L2 and react here.
+	cost := h.fillFromBeyondL2(core, line, false)
+	h.adjacentPrefetch(core, line)
+	h.pairPrefetch(core, line)
+	h.streamObserve(core, line, true)
+	h.dcuPrefetch(core, line)
+	return tlbCost + cost
+}
+
+// fillFromBeyondL2 resolves a line that missed a core's L1 and L2,
+// returning the demand cost, and fills the private levels. When
+// prefetched is true the fill is attributed to a prefetcher (and costs
+// the caller nothing).
+func (h *Hierarchy) fillFromBeyondL2(core int, line uint64, prefetched bool) uint64 {
+	l1, l2 := h.l1[core], h.l2[core]
+	var cost uint64
+	if h.l3 != nil {
+		if hit, pf := h.l3.lookup(line, !prefetched); hit {
+			if !prefetched {
+				h.stats.L3Hits++
+				if pf {
+					h.stats.PrefHits++
+				}
+			}
+			cost = uint64(h.prof.L3.LatencyCycles)
+			if !prefetched && h.heaterActive {
+				cost += uint64(h.prof.L3ContentionCycles)
+			}
+		} else {
+			if !prefetched {
+				h.stats.DRAMLoads++
+			}
+			cost = uint64(h.prof.DRAMLatency)
+			h.l3insert(line, prefetched)
+		}
+	} else {
+		if !prefetched {
+			h.stats.DRAMLoads++
+		}
+		cost = uint64(h.prof.DRAMLatency)
+	}
+	l2.insert(line, prefetched)
+	l1.insert(line, prefetched)
+	// The network cache captures designated lines on any fill, demand
+	// or prefetched — the "custom prefetching units" of the paper's
+	// proposal feed it alongside the regular hierarchy.
+	if h.nc != nil && h.netRegion.Contains(simmem.Addr(line*LineSize)) {
+		h.nc.insert(line, prefetched)
+	}
+	return cost
+}
+
+// l3insert routes an L3 fill through the way partition when one is
+// configured: designated network lines allocate in the reserved ways,
+// everything else in the remainder.
+func (h *Hierarchy) l3insert(line uint64, prefetched bool) {
+	p := h.prof.L3PartitionWays
+	if p > 0 {
+		if h.netRegion.Contains(simmem.Addr(line * LineSize)) {
+			h.l3.insertRange(line, prefetched, 0, p)
+		} else {
+			h.l3.insertRange(line, prefetched, p, h.prof.L3.Ways)
+		}
+		return
+	}
+	h.l3.insert(line, prefetched)
+}
+
+// dcuPrefetch models the L1 DCU next-line prefetcher: on an L1 fill it
+// pulls the following line into L1 if it is already in L2 or L3 (the DCU
+// unit does not launch memory requests).
+func (h *Hierarchy) dcuPrefetch(core int, line uint64) {
+	if !h.prof.DCUPrefetch {
+		return
+	}
+	next := line + 1
+	if samePage := (line*LineSize)/pageSize == (next*LineSize)/pageSize; !samePage {
+		return
+	}
+	if h.l2[core].contains(next) || (h.l3 != nil && h.l3.contains(next)) {
+		h.l1[core].insert(next, true)
+		h.stats.Prefetches++
+	}
+}
+
+// adjacentPrefetch models the L2 spatial ("adjacent cache line") unit:
+// on an L2 miss it completes the aligned 128-byte line pair.
+func (h *Hierarchy) adjacentPrefetch(core int, line uint64) {
+	if !h.prof.AdjacentLinePrefetch {
+		return
+	}
+	buddy := line ^ 1
+	if h.l2[core].contains(buddy) {
+		return
+	}
+	h.fillFromBeyondL2(core, buddy, true)
+	h.stats.Prefetches++
+}
+
+// pairPrefetch models the specialized adjacent-pair unit: on an L2 miss
+// it fetches the next aligned 128-byte pair (two lines), stopping at the
+// page boundary.
+func (h *Hierarchy) pairPrefetch(core int, line uint64) {
+	if !h.prof.AdjacentPairPrefetch {
+		return
+	}
+	lastInPage := ((line*LineSize)/pageSize+1)*pageSize/LineSize - 1
+	first := (line | 1) + 1 // first line of the following pair
+	for l := first; l <= first+1 && l <= lastInPage; l++ {
+		if h.l2[core].contains(l) {
+			continue
+		}
+		h.fillFromBeyondL2(core, l, true)
+		h.stats.Prefetches++
+	}
+}
+
+// streamObserve feeds the L2 streamer. It trains on every access but
+// issues prefetches only when an L2 miss extends an ascending
+// unit-stride run of at least two lines within one page, fetching
+// StreamerDegree lines ahead into L2.
+func (h *Hierarchy) streamObserve(core int, line uint64, missed bool) {
+	if h.prof.StreamerDegree <= 0 {
+		return
+	}
+	page := line * LineSize / pageSize
+	h.tick++
+	trackers := h.streams[core]
+	idx := -1
+	for i := range trackers {
+		if trackers[i].page == page {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		st := streamState{page: page, lastLine: line, run: 1, lastUse: h.tick}
+		if len(trackers) < streamTrackers {
+			h.streams[core] = append(trackers, st)
+		} else {
+			victim := 0
+			for i := range trackers {
+				if trackers[i].lastUse < trackers[victim].lastUse {
+					victim = i
+				}
+			}
+			trackers[victim] = st
+		}
+		return
+	}
+	st := &trackers[idx]
+	st.lastUse = h.tick
+	switch {
+	case line == st.lastLine:
+		// Same line re-accessed: no stream progress.
+		return
+	case line == st.lastLine+1:
+		st.run++
+	default:
+		st.run = 1
+	}
+	st.lastLine = line
+	if st.run < 2 || !missed {
+		return
+	}
+	lastInPage := (page+1)*pageSize/LineSize - 1
+	for d := 1; d <= h.prof.StreamerDegree; d++ {
+		next := line + uint64(d)
+		if next > lastInPage {
+			break
+		}
+		if h.l2[core].contains(next) {
+			continue
+		}
+		h.fillFromBeyondL2(core, next, true)
+		h.stats.Prefetches++
+	}
+}
+
+// HeaterTouch performs a heater access from core: it warms the shared L3
+// and the heater core's private levels without charging demand cycles or
+// perturbing demand statistics (beyond the HeaterTouches counter).
+func (h *Hierarchy) HeaterTouch(core int, addr simmem.Addr, size uint64) {
+	if size == 0 {
+		size = 1
+	}
+	first := addr.Line()
+	last := (addr + simmem.Addr(size) - 1).Line()
+	for line := first; line <= last; line++ {
+		h.stats.HeaterTouches++
+		if h.l3 != nil {
+			h.l3.insert(line, false)
+		}
+		h.l2[core].insert(line, false)
+		h.l1[core].insert(line, false)
+	}
+}
+
+// Present reports the closest level holding the line for the given core:
+// 1, 2, 3, or 0 when only memory has it. Probing does not disturb LRU.
+func (h *Hierarchy) Present(core int, addr simmem.Addr) int {
+	line := addr.Line()
+	if h.l1[core].contains(line) {
+		return 1
+	}
+	if h.l2[core].contains(line) {
+		return 2
+	}
+	if h.l3 != nil && h.l3.contains(line) {
+		return 3
+	}
+	return 0
+}

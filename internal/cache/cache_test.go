@@ -1,0 +1,643 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spco/internal/simmem"
+)
+
+// testProfile is a tiny deterministic machine for unit tests.
+func testProfile() Profile {
+	return Profile{
+		Name:                 "test",
+		ClockGHz:             1.0,
+		Cores:                2,
+		L1:                   LevelConfig{Name: "L1", SizeBytes: 1 << 10, Ways: 2, LatencyCycles: 4},
+		L2:                   LevelConfig{Name: "L2", SizeBytes: 4 << 10, Ways: 4, LatencyCycles: 12},
+		L3:                   LevelConfig{Name: "L3", SizeBytes: 64 << 10, Ways: 8, LatencyCycles: 30, Shared: true},
+		DRAMLatency:          200,
+		DCUPrefetch:          true,
+		AdjacentLinePrefetch: true,
+		AdjacentPairPrefetch: true,
+		StreamerDegree:       2,
+		L3ContentionCycles:   10,
+	}
+}
+
+func noPrefetchProfile() Profile {
+	p := testProfile()
+	p.DCUPrefetch = false
+	p.AdjacentLinePrefetch = false
+	p.AdjacentPairPrefetch = false
+	p.StreamerDegree = 0
+	return p
+}
+
+func TestBuiltinProfilesValid(t *testing.T) {
+	for name, p := range Profiles {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", name, err)
+		}
+	}
+	if len(ProfileNames()) != len(Profiles) {
+		t.Error("ProfileNames out of sync with Profiles map")
+	}
+	for _, n := range ProfileNames() {
+		if _, ok := Profiles[n]; !ok {
+			t.Errorf("ProfileNames lists unknown profile %q", n)
+		}
+	}
+}
+
+func TestLevelConfigSets(t *testing.T) {
+	c := LevelConfig{SizeBytes: 32 << 10, Ways: 8}
+	if got := c.Sets(); got != 64 {
+		t.Errorf("32KiB/8way Sets = %d, want 64", got)
+	}
+	if (LevelConfig{}).Sets() != 0 {
+		t.Error("absent level should have 0 sets")
+	}
+}
+
+func TestProfileValidateRejects(t *testing.T) {
+	p := testProfile()
+	p.Cores = 0
+	if p.Validate() == nil {
+		t.Error("zero cores should be invalid")
+	}
+	p = testProfile()
+	p.L1 = LevelConfig{}
+	if p.Validate() == nil {
+		t.Error("missing L1 should be invalid")
+	}
+	p = testProfile()
+	p.L2.Ways = 0
+	p.L2.SizeBytes = 100
+	if p.Validate() == nil {
+		t.Error("zero ways should be invalid")
+	}
+}
+
+func TestCycleNanoConversion(t *testing.T) {
+	p := Profile{ClockGHz: 2.0}
+	if got := p.CyclesToNanos(100); got != 50 {
+		t.Errorf("100 cycles at 2GHz = %v ns, want 50", got)
+	}
+	if got := p.NanosToCycles(50); got != 100 {
+		t.Errorf("50 ns at 2GHz = %v cycles, want 100", got)
+	}
+}
+
+func TestColdMissCostsDRAM(t *testing.T) {
+	h := New(noPrefetchProfile())
+	cost := h.Access(0, 0x10000, 1)
+	if cost != 200 {
+		t.Errorf("cold access cost %d, want DRAM latency 200", cost)
+	}
+	if s := h.Stats(); s.DRAMLoads != 1 || s.Accesses != 1 {
+		t.Errorf("stats after cold miss: %+v", s)
+	}
+}
+
+func TestHitLadder(t *testing.T) {
+	h := New(noPrefetchProfile())
+	addr := simmem.Addr(0x10000)
+	h.Access(0, addr, 1) // cold fill: now in L1/L2/L3 of core 0
+	if cost := h.Access(0, addr, 1); cost != 4 {
+		t.Errorf("L1 hit cost %d, want 4", cost)
+	}
+	h.FlushPrivate(0)
+	if lvl := h.Present(0, addr); lvl != 3 {
+		t.Errorf("after private flush line should be L3-only, got level %d", lvl)
+	}
+	if cost := h.Access(0, addr, 1); cost != 30 {
+		t.Errorf("L3 hit cost %d, want 30", cost)
+	}
+	// The L3 hit refilled L2+L1; evict from L1 only by filling its set.
+	h2 := New(noPrefetchProfile())
+	h2.Access(0, addr, 1)
+	// L1: 1KiB/2way/64B = 8 sets. Fill the same set with 2 other lines.
+	sets := uint64(8)
+	conflict1 := addr + simmem.Addr(sets*LineSize)
+	conflict2 := addr + simmem.Addr(2*sets*LineSize)
+	h2.Access(0, conflict1, 1)
+	h2.Access(0, conflict2, 1)
+	if lvl := h2.Present(0, addr); lvl != 2 {
+		t.Fatalf("after L1 conflict eviction line should be in L2, got %d", lvl)
+	}
+	if cost := h2.Access(0, addr, 1); cost != 12 {
+		t.Errorf("L2 hit cost %d, want 12", cost)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	h := New(noPrefetchProfile())
+	// L1 has 8 sets, 2 ways. Three lines mapping to set 0:
+	a := simmem.Addr(0)
+	b := simmem.Addr(8 * LineSize)
+	c := simmem.Addr(16 * LineSize)
+	h.Access(0, a, 1)
+	h.Access(0, b, 1)
+	h.Access(0, a, 1) // a is now MRU
+	h.Access(0, c, 1) // evicts b (LRU), not a
+	if h.Present(0, a) != 1 {
+		t.Error("a should survive: it was MRU")
+	}
+	if h.Present(0, b) == 1 {
+		t.Error("b should have been evicted from L1 as LRU")
+	}
+}
+
+func TestSharedL3AcrossCores(t *testing.T) {
+	h := New(noPrefetchProfile())
+	addr := simmem.Addr(0x40000)
+	h.Access(0, addr, 1)
+	// Core 1's private caches are cold but the shared L3 holds the line.
+	if cost := h.Access(1, addr, 1); cost != 30 {
+		t.Errorf("cross-core access cost %d, want L3 hit 30", cost)
+	}
+	if h.Stats().DRAMLoads != 1 {
+		t.Errorf("DRAM loads = %d, want 1", h.Stats().DRAMLoads)
+	}
+}
+
+func TestPrivateCachesArePrivate(t *testing.T) {
+	p := noPrefetchProfile()
+	p.L3 = LevelConfig{} // no L3: nothing shared
+	h := New(p)
+	addr := simmem.Addr(0x40000)
+	h.Access(0, addr, 1)
+	if cost := h.Access(1, addr, 1); cost != 200 {
+		t.Errorf("core 1 access cost %d, want DRAM 200 (no shared level)", cost)
+	}
+}
+
+func TestMultiLineAccessCost(t *testing.T) {
+	h := New(noPrefetchProfile())
+	// 128 bytes line-aligned = 2 lines, both cold.
+	if cost := h.Access(0, 0, 128); cost != 400 {
+		t.Errorf("2-line cold access cost %d, want 400", cost)
+	}
+	// Unaligned 2-byte access straddling a boundary = 2 lines, now warm.
+	if cost := h.Access(0, 63, 2); cost != 8 {
+		t.Errorf("straddling warm access cost %d, want 8", cost)
+	}
+}
+
+func TestFlushColdsEverything(t *testing.T) {
+	h := New(testProfile())
+	addr := simmem.Addr(0x1000)
+	h.Access(0, addr, 1)
+	h.Flush()
+	if lvl := h.Present(0, addr); lvl != 0 {
+		t.Errorf("after Flush line still at level %d", lvl)
+	}
+	if cost := h.Access(0, addr, 1); cost != 200 {
+		t.Errorf("post-flush access cost %d, want 200", cost)
+	}
+}
+
+// TestAdjacentLinePrefetch: an L2 miss pulls in the 128B-aligned buddy,
+// so the second line of an aligned pair is close to the core.
+func TestAdjacentLinePrefetch(t *testing.T) {
+	p := noPrefetchProfile()
+	p.AdjacentLinePrefetch = true
+	h := New(p)
+	base := simmem.Addr(0x10000) // 128B aligned: lines 0x400, 0x401
+	h.Access(0, base, 1)
+	if lvl := h.Present(0, base+LineSize); lvl == 0 {
+		t.Fatal("buddy line not prefetched")
+	}
+	cost := h.Access(0, base+LineSize, 1)
+	if cost >= 200 {
+		t.Errorf("buddy access cost %d, want a cache hit", cost)
+	}
+	s := h.Stats()
+	if s.Prefetches == 0 || s.PrefHits == 0 {
+		t.Errorf("prefetch counters not updated: %+v", s)
+	}
+}
+
+// TestStreamerPrefetch: after two sequential lines, the streamer runs
+// ahead so line 3 and beyond are covered.
+func TestStreamerPrefetch(t *testing.T) {
+	p := noPrefetchProfile()
+	p.StreamerDegree = 2
+	h := New(p)
+	base := simmem.Addr(0x10000)
+	h.Access(0, base, 1)          // line L: cold
+	h.Access(0, base+LineSize, 1) // line L+1: cold, run=2 -> prefetch L+2, L+3
+	if h.Present(0, base+2*LineSize) == 0 {
+		t.Error("streamer did not prefetch L+2")
+	}
+	if h.Present(0, base+3*LineSize) == 0 {
+		t.Error("streamer did not prefetch L+3")
+	}
+	cost := h.Access(0, base+2*LineSize, 1)
+	if cost >= 200 {
+		t.Errorf("streamed line cost %d, want cache hit", cost)
+	}
+}
+
+// TestStreamerRequiresSequentiality: strided or random access must not
+// trigger the streamer.
+func TestStreamerRequiresSequentiality(t *testing.T) {
+	p := noPrefetchProfile()
+	p.StreamerDegree = 2
+	h := New(p)
+	base := simmem.Addr(0x10000)
+	h.Access(0, base, 1)
+	h.Access(0, base+3*LineSize, 1) // stride 3: breaks the run
+	if h.Present(0, base+4*LineSize) != 0 {
+		t.Error("streamer prefetched despite non-unit stride")
+	}
+}
+
+// TestStreamerStopsAtPageBoundary: hardware prefetchers do not cross 4KiB.
+func TestStreamerStopsAtPageBoundary(t *testing.T) {
+	p := noPrefetchProfile()
+	p.StreamerDegree = 4
+	h := New(p)
+	// Last two lines of a page.
+	pageEnd := simmem.Addr(pageSize - 2*LineSize)
+	h.Access(0, pageEnd, 1)
+	h.Access(0, pageEnd+LineSize, 1) // run=2 at the last line of the page
+	if h.Present(0, simmem.Addr(pageSize)) != 0 {
+		t.Error("streamer crossed a page boundary")
+	}
+}
+
+// TestDCUPrefetchNeedsOuterCopy: the L1 next-line unit only promotes
+// lines that an outer level already holds.
+func TestDCUPrefetchNeedsOuterCopy(t *testing.T) {
+	p := noPrefetchProfile()
+	p.DCUPrefetch = true
+	h := New(p)
+	base := simmem.Addr(0x10000)
+	h.Access(0, base, 1)
+	// base+64 was never fetched anywhere: DCU must not have conjured it.
+	if h.Present(0, base+LineSize) != 0 {
+		t.Error("DCU prefetched a line absent from L2/L3")
+	}
+}
+
+// TestFourLineGroupEffect is the paper's central prefetch arithmetic:
+// sequentially walking 4 cache lines (8 packed entries) costs one DRAM
+// access plus cheap hits, because demand load + adjacent-line + streamer
+// cover the group (Section 4.2's explanation of the 8-entry peak).
+func TestFourLineGroupEffect(t *testing.T) {
+	h := New(testProfile())
+	base := simmem.Addr(0x10000) // 128B-aligned
+	var dram int
+	for i := 0; i < 4; i++ {
+		before := h.Stats().DRAMLoads
+		h.Access(0, base+simmem.Addr(i*LineSize), 1)
+		if h.Stats().DRAMLoads > before {
+			dram++
+		}
+	}
+	if dram != 1 {
+		t.Errorf("4-line sequential walk took %d demand DRAM loads, want 1", dram)
+	}
+}
+
+func TestHeaterTouchWarmsL3(t *testing.T) {
+	h := New(noPrefetchProfile())
+	addr := simmem.Addr(0x20000)
+	h.HeaterTouch(1, addr, 128) // heater on core 1
+	// Compute core 0: private cold, L3 warm.
+	if cost := h.Access(0, addr, 1); cost != 30 {
+		t.Errorf("post-heat access cost %d, want L3 hit 30", cost)
+	}
+	s := h.Stats()
+	if s.HeaterTouches != 2 {
+		t.Errorf("HeaterTouches = %d, want 2 (two lines)", s.HeaterTouches)
+	}
+	if s.DRAMLoads != 0 {
+		t.Errorf("heater touches must not count as demand DRAM loads: %+v", s)
+	}
+}
+
+func TestHeaterContentionPenalty(t *testing.T) {
+	h := New(noPrefetchProfile())
+	addr := simmem.Addr(0x20000)
+	h.HeaterTouch(1, addr, 1)
+	h.SetHeaterActive(true)
+	if cost := h.Access(0, addr, 1); cost != 40 {
+		t.Errorf("L3 hit under heater contention cost %d, want 30+10", cost)
+	}
+	h.SetHeaterActive(false)
+	h.FlushPrivate(0)
+	if cost := h.Access(0, addr, 1); cost != 30 {
+		t.Errorf("L3 hit without contention cost %d, want 30", cost)
+	}
+}
+
+func TestPrefetchFillsAreFree(t *testing.T) {
+	p := noPrefetchProfile()
+	p.AdjacentLinePrefetch = true
+	h := New(p)
+	cost := h.Access(0, 0x10000, 1)
+	if cost != 200 {
+		t.Errorf("demand cost %d should not include the buddy prefetch", cost)
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	h := New(noPrefetchProfile())
+	addr := simmem.Addr(0x10000)
+	h.Access(0, addr, 1)
+	h.ResetStats()
+	if h.Stats().Accesses != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+	if cost := h.Access(0, addr, 1); cost != 4 {
+		t.Errorf("ResetStats flushed contents: cost %d, want 4", cost)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{Accesses: 10, Cycles: 100, DRAMLoads: 3}
+	b := Stats{Accesses: 4, Cycles: 40, DRAMLoads: 1}
+	d := a.Sub(b)
+	if d.Accesses != 6 || d.Cycles != 60 || d.DRAMLoads != 2 {
+		t.Errorf("Sub wrong: %+v", d)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	s := Stats{Accesses: 10, DRAMLoads: 2}
+	if got := s.HitRate(); got != 0.8 {
+		t.Errorf("HitRate = %v, want 0.8", got)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("empty stats HitRate should be 0")
+	}
+}
+
+// Property: access cost is always one of the four possible service
+// latencies (plus optional contention), and stats counters stay coherent.
+func TestAccessCostPartition(t *testing.T) {
+	p := testProfile()
+	h := New(p)
+	f := func(raw []uint32) bool {
+		for _, r := range raw {
+			addr := simmem.Addr(r % (1 << 22))
+			cost := h.Access(int(r%2), addr, 1)
+			switch cost {
+			case uint64(p.L1.LatencyCycles), uint64(p.L2.LatencyCycles),
+				uint64(p.L3.LatencyCycles), uint64(p.DRAMLatency):
+			default:
+				return false
+			}
+		}
+		s := h.Stats()
+		return s.L1Hits+s.L2Hits+s.L3Hits+s.DRAMLoads == s.Accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the simulator is deterministic — identical access sequences
+// yield identical cycle totals.
+func TestDeterminism(t *testing.T) {
+	f := func(raw []uint32) bool {
+		run := func() uint64 {
+			h := New(testProfile())
+			for _, r := range raw {
+				h.Access(int(r%4)%2, simmem.Addr(r%(1<<20)), uint64(r%256)+1)
+			}
+			return h.Stats().Cycles
+		}
+		return run() == run()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The calibration check: random-access latency with and without heating
+// must land near the paper's Section 4.3 numbers (within 20%).
+func TestHeaterMicrobenchCalibration(t *testing.T) {
+	cases := []struct {
+		prof           Profile
+		coldNS, warmNS float64
+	}{
+		{SandyBridge, 47.5, 22.9},
+		{Broadwell, 38.5, 22.8},
+	}
+	// Visit every fourth line (256 B stride) in random order: neither the
+	// buddy nor the next-pair lines are ever themselves visited, so no
+	// prefetcher can help — matching the paper's "random accesses, which
+	// cannot be easily helped by prefetching".
+	const n = 4096
+	for _, c := range cases {
+		h := New(c.prof)
+		space := simmem.NewSpace()
+		base := space.AllocLines(4 * n)
+		perm := permute(n, 12345)
+
+		h.Flush()
+		var cold uint64
+		for _, i := range perm {
+			cold += h.Access(0, base+simmem.Addr(4*i*LineSize), 4)
+		}
+		coldNS := c.prof.CyclesToNanos(cold) / n
+
+		h.Flush()
+		for i := uint64(0); i < n; i++ {
+			h.HeaterTouch(1, base+simmem.Addr(4*i*LineSize), 4)
+		}
+		var warm uint64
+		for _, i := range perm {
+			warm += h.Access(0, base+simmem.Addr(4*i*LineSize), 4)
+		}
+		warmNS := c.prof.CyclesToNanos(warm) / n
+
+		if ratio := coldNS / c.coldNS; ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("%s cold %.1f ns, want ~%.1f", c.prof.Name, coldNS, c.coldNS)
+		}
+		if ratio := warmNS / c.warmNS; ratio < 0.7 || ratio > 1.3 {
+			t.Errorf("%s heated %.1f ns, want ~%.1f", c.prof.Name, warmNS, c.warmNS)
+		}
+	}
+}
+
+// permute returns a deterministic pseudo-random permutation of [0,n).
+func permute(n uint64, seed uint64) []uint64 {
+	p := make([]uint64, n)
+	for i := range p {
+		p[i] = uint64(i)
+	}
+	s := seed
+	for i := n - 1; i > 0; i-- {
+		s = s*6364136223846793005 + 1442695040888963407
+		j := (s >> 33) % (i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// The streamer's page-tracker table is bounded: touching more pages
+// than trackers must evict the oldest without losing correctness.
+func TestStreamerTrackerEviction(t *testing.T) {
+	p := noPrefetchProfile()
+	p.StreamerDegree = 2
+	h := New(p)
+	// Touch one line in each of 2*streamTrackers distinct pages.
+	for i := 0; i < 2*streamTrackers; i++ {
+		h.Access(0, simmem.Addr(i*pageSize), 1)
+	}
+	// The original page's tracker is gone; a fresh sequential run there
+	// must retrain (run resets to 1, no prefetch on the first miss).
+	h.Access(0, simmem.Addr(2*LineSize), 1)
+	if h.Present(0, simmem.Addr(4*LineSize)) != 0 {
+		t.Error("evicted tracker retained stream state")
+	}
+}
+
+// L2 capacity: a working set larger than L2 must spill to L3.
+func TestL2CapacitySpill(t *testing.T) {
+	h := New(noPrefetchProfile()) // L2 = 4 KiB = 64 lines
+	for i := 0; i < 128; i++ {
+		h.Access(0, simmem.Addr(i*LineSize), 1)
+	}
+	// The first line was evicted from L1 and L2 but lives in L3.
+	if lvl := h.Present(0, 0); lvl != 3 {
+		t.Errorf("first line at level %d, want 3 after L2 spill", lvl)
+	}
+}
+
+// Heater touches must respect the shared level's capacity too.
+func TestHeaterTouchLRUInL3(t *testing.T) {
+	h := New(noPrefetchProfile()) // L3 = 64 KiB = 1024 lines, 8 ways
+	// Touch 2x the L3 capacity: only the most recent half survives.
+	for i := 0; i < 2048; i++ {
+		h.HeaterTouch(1, simmem.Addr(i*LineSize), 4)
+	}
+	if h.Present(0, 0) != 0 {
+		t.Error("oldest heater line survived beyond L3 capacity")
+	}
+	if h.Present(0, simmem.Addr(2047*LineSize)) == 0 {
+		t.Error("newest heater line missing")
+	}
+}
+
+func TestHashIndexSpreadsStrides(t *testing.T) {
+	// A strided pattern thrashes a low-bits-indexed cache but spreads
+	// under a hashed index (the network cache's design point).
+	run := func(hash bool) int {
+		cfg := LevelConfig{Name: "t", SizeBytes: 4 << 10, Ways: 4, LatencyCycles: 1, HashIndex: hash}
+		l := newLevel(cfg) // 16 sets
+		// 64 lines at a stride of 16 lines: all map to set 0 unhashed.
+		for i := 0; i < 64; i++ {
+			l.insert(uint64(i*16), false)
+		}
+		hits := 0
+		for i := 0; i < 64; i++ {
+			if l.contains(uint64(i * 16)) {
+				hits++
+			}
+		}
+		return hits
+	}
+	unhashed := run(false)
+	hashed := run(true)
+	if unhashed > 8 {
+		t.Errorf("unhashed strided retention = %d lines, want <= ways (4-8)", unhashed)
+	}
+	if hashed < 32 {
+		t.Errorf("hashed strided retention = %d lines, want most of capacity", hashed)
+	}
+}
+
+func tlbProfile() Profile {
+	p := noPrefetchProfile()
+	p.TLBEntries = 4
+	p.TLBMissCycles = 20
+	return p
+}
+
+func TestTLBHitAndMiss(t *testing.T) {
+	h := New(tlbProfile())
+	// First access: cold cache miss + TLB miss.
+	if cost := h.Access(0, 0, 1); cost != 220 {
+		t.Errorf("first access cost %d, want 200+20", cost)
+	}
+	// Same page, different line: cache miss, TLB hit.
+	if cost := h.Access(0, 64, 1); cost != 200 {
+		t.Errorf("same-page access cost %d, want 200", cost)
+	}
+	if h.Stats().TLBMisses != 1 {
+		t.Errorf("TLB misses = %d, want 1", h.Stats().TLBMisses)
+	}
+}
+
+func TestTLBCapacityLRU(t *testing.T) {
+	h := New(tlbProfile()) // 4 entries
+	for p := 0; p < 5; p++ {
+		h.Access(0, simmem.Addr(p*pageSize), 1)
+	}
+	before := h.Stats().TLBMisses // 5
+	// Page 0 was LRU-evicted: revisiting it misses again.
+	h.Access(0, 0, 1)
+	if h.Stats().TLBMisses != before+1 {
+		t.Errorf("expected a TLB miss on the evicted page")
+	}
+	// Page 4 is still resident.
+	h.Access(0, simmem.Addr(4*pageSize+64), 1)
+	if h.Stats().TLBMisses != before+1 {
+		t.Errorf("resident page missed")
+	}
+}
+
+func TestTLBFlushClears(t *testing.T) {
+	h := New(tlbProfile())
+	h.Access(0, 0, 1)
+	h.Flush()
+	before := h.Stats().TLBMisses
+	h.Access(0, 64, 1)
+	if h.Stats().TLBMisses != before+1 {
+		t.Error("Flush should clear the TLB")
+	}
+}
+
+func TestTLBDisabledByDefault(t *testing.T) {
+	h := New(noPrefetchProfile())
+	h.Access(0, 0, 1)
+	if h.Stats().TLBMisses != 0 {
+		t.Error("TLB model should be off by default")
+	}
+}
+
+// The TLB compounds the scattered baseline's penalty far more than the
+// packed LLA's: per entry, the baseline touches a fresh page every few
+// nodes while LLA packs dozens of entries per page.
+func TestTLBFavoursPacking(t *testing.T) {
+	missesFor := func(kind string) uint64 {
+		p := SandyBridge
+		p.TLBEntries = 64
+		p.TLBMissCycles = 20
+		h := New(p)
+		space := simmem.NewSpace()
+		// Walk 4096 "entries": baseline nodes 512 B apart (node+noise),
+		// LLA entries 24 B apart.
+		stride := uint64(24)
+		if kind == "baseline" {
+			stride = 512
+		}
+		base := space.Alloc(4096*stride, 64)
+		h.Flush()
+		h.ResetStats()
+		for i := uint64(0); i < 4096; i++ {
+			h.Access(0, base+simmem.Addr(i*stride), 8)
+		}
+		return h.Stats().TLBMisses
+	}
+	b, l := missesFor("baseline"), missesFor("lla")
+	if b < 10*l {
+		t.Errorf("scattered walk should take far more TLB misses: baseline %d vs packed %d", b, l)
+	}
+}

@@ -1,0 +1,113 @@
+package cache
+
+import (
+	"testing"
+
+	"spco/internal/simmem"
+)
+
+func netProfile() Profile {
+	p := noPrefetchProfile()
+	p.NetworkCache = LevelConfig{Name: "NC", SizeBytes: 4 << 10, Ways: 4, LatencyCycles: 8}
+	return p
+}
+
+func TestNetworkCacheServesDesignated(t *testing.T) {
+	h := New(netProfile())
+	r := simmem.Region{Base: 0x10000, Size: 256}
+	h.DesignateNetwork(r)
+
+	// First access: cold, fills the network cache.
+	if cost := h.Access(0, r.Base, 4); cost != 200 {
+		t.Errorf("cold designated access cost %d, want 200", cost)
+	}
+	// The compute phase flushes everything else...
+	h.Flush()
+	// ...but the network cache retains the line.
+	if !h.InNetworkCache(r.Base) {
+		t.Fatal("network cache lost the line across Flush")
+	}
+	if cost := h.Access(0, r.Base, 4); cost != 8 {
+		t.Errorf("post-flush designated access cost %d, want NC latency 8", cost)
+	}
+	if h.Stats().NCHits != 1 {
+		t.Errorf("NCHits = %d, want 1", h.Stats().NCHits)
+	}
+}
+
+func TestNetworkCacheIgnoresOrdinaryTraffic(t *testing.T) {
+	h := New(netProfile())
+	h.DesignateNetwork(simmem.Region{Base: 0x10000, Size: 64})
+	// An undesignated address never lands in the network cache.
+	h.Access(0, 0x40000, 4)
+	if h.InNetworkCache(0x40000) {
+		t.Error("ordinary traffic entered the network cache")
+	}
+	h.Flush()
+	if cost := h.Access(0, 0x40000, 4); cost != 200 {
+		t.Errorf("ordinary post-flush access cost %d, want 200", cost)
+	}
+}
+
+func TestUndesignateEvicts(t *testing.T) {
+	h := New(netProfile())
+	r := simmem.Region{Base: 0x10000, Size: 128}
+	h.DesignateNetwork(r)
+	h.Access(0, r.Base, 128)
+	h.UndesignateNetwork(r)
+	if h.InNetworkCache(r.Base) || h.InNetworkCache(r.Base+64) {
+		t.Error("undesignated lines remain in the network cache")
+	}
+	h.Flush()
+	if cost := h.Access(0, r.Base, 4); cost != 200 {
+		t.Errorf("access after undesignation cost %d, want 200", cost)
+	}
+}
+
+func TestNetworkCacheCapacityEviction(t *testing.T) {
+	h := New(netProfile()) // 4 KiB NC = 64 lines
+	r := simmem.Region{Base: 0x10000, Size: 8 << 10}
+	h.DesignateNetwork(r)
+	// Touch 128 lines: only the most recent ~64 survive.
+	for i := 0; i < 128; i++ {
+		h.Access(0, r.Base+simmem.Addr(i*64), 4)
+	}
+	h.Flush()
+	if h.InNetworkCache(r.Base) {
+		t.Error("oldest line should have been evicted from the small NC")
+	}
+	if !h.InNetworkCache(r.Base + simmem.Addr(127*64)) {
+		t.Error("newest line should be NC-resident")
+	}
+}
+
+func TestWithNetworkCacheHelper(t *testing.T) {
+	p := WithNetworkCache(SandyBridge, DefaultNetworkCacheBytes)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("WithNetworkCache produced invalid profile: %v", err)
+	}
+	if p.NetworkCache.SizeBytes != DefaultNetworkCacheBytes {
+		t.Errorf("size = %d", p.NetworkCache.SizeBytes)
+	}
+	// Tiny sizes (the paper's 1-2 KiB suggestion) must still validate.
+	tiny := WithNetworkCache(Broadwell, 2<<10)
+	if err := tiny.Validate(); err != nil {
+		t.Errorf("2 KiB network cache invalid: %v", err)
+	}
+	if New(tiny) == nil {
+		t.Error("hierarchy with tiny NC failed to build")
+	}
+}
+
+func TestNetworkCachePrefetchFeeds(t *testing.T) {
+	p := netProfile()
+	p.AdjacentLinePrefetch = true
+	h := New(p)
+	r := simmem.Region{Base: 0x10000, Size: 128}
+	h.DesignateNetwork(r)
+	h.Access(0, r.Base, 4) // buddy line prefetched, also into NC
+	h.Flush()
+	if !h.InNetworkCache(r.Base + 64) {
+		t.Error("prefetched designated line should feed the network cache")
+	}
+}

@@ -1,0 +1,100 @@
+package cache
+
+import (
+	"testing"
+
+	"spco/internal/simmem"
+)
+
+func partitionProfile(ways int) Profile {
+	p := noPrefetchProfile()
+	p.L3PartitionWays = ways
+	return p
+}
+
+func TestPartitionSurvivesFlush(t *testing.T) {
+	h := New(partitionProfile(2))
+	r := simmem.Region{Base: 0x10000, Size: 128}
+	h.DesignateNetwork(r)
+	h.Access(0, r.Base, 128) // fills reserved L3 ways
+	h.Flush()
+	if lvl := h.Present(0, r.Base); lvl != 3 {
+		t.Fatalf("designated line at level %d after flush, want 3 (partition)", lvl)
+	}
+	// Post-flush access: L3 hit, not DRAM.
+	if cost := h.Access(0, r.Base, 4); cost != 30 {
+		t.Errorf("post-flush designated access cost %d, want L3 hit 30", cost)
+	}
+}
+
+func TestPartitionOrdinaryTrafficEvicted(t *testing.T) {
+	h := New(partitionProfile(2))
+	addr := simmem.Addr(0x40000) // not designated
+	h.Access(0, addr, 4)
+	h.Flush()
+	if lvl := h.Present(0, addr); lvl != 0 {
+		t.Errorf("ordinary line survived the flush at level %d", lvl)
+	}
+}
+
+func TestPartitionOrdinaryCannotEvictDesignated(t *testing.T) {
+	// L3: 64KiB/8 ways = 128 sets; reserve 2 ways. Fill the designated
+	// line's set with many ordinary lines: the designated line stays.
+	h := New(partitionProfile(2))
+	r := simmem.Region{Base: 0, Size: 64}
+	h.DesignateNetwork(r)
+	h.Access(0, r.Base, 4)
+	setStride := uint64(128 * LineSize)
+	for i := 1; i <= 20; i++ {
+		h.Access(0, simmem.Addr(uint64(i)*setStride), 4)
+	}
+	if lvl := h.Present(0, r.Base); lvl == 0 {
+		t.Error("ordinary conflict traffic evicted a designated line")
+	}
+}
+
+func TestPartitionCapacityBounded(t *testing.T) {
+	// Designated lines beyond the reserved capacity of a set LRU-evict
+	// among themselves only.
+	h := New(partitionProfile(2))
+	setStride := uint64(128 * LineSize)
+	// Four designated lines mapping to the same set; 2 reserved ways.
+	for i := 0; i < 4; i++ {
+		base := simmem.Addr(uint64(i) * setStride)
+		h.DesignateNetwork(simmem.Region{Base: base, Size: 64})
+		h.Access(0, base, 4)
+	}
+	h.Flush()
+	survivors := 0
+	for i := 0; i < 4; i++ {
+		if h.Present(0, simmem.Addr(uint64(i)*setStride)) == 3 {
+			survivors++
+		}
+	}
+	if survivors != 2 {
+		t.Errorf("%d designated lines survived in a 2-way partition, want 2", survivors)
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	p := partitionProfile(8) // equals L3 ways: nothing left for compute
+	if p.Validate() == nil {
+		t.Error("partition consuming all ways should be invalid")
+	}
+	p = partitionProfile(-1)
+	if p.Validate() == nil {
+		t.Error("negative partition should be invalid")
+	}
+}
+
+func TestUndesignateEvictsFromPartition(t *testing.T) {
+	h := New(partitionProfile(2))
+	r := simmem.Region{Base: 0x10000, Size: 64}
+	h.DesignateNetwork(r)
+	h.Access(0, r.Base, 4)
+	h.UndesignateNetwork(r)
+	h.Flush()
+	if h.Present(0, r.Base) != 0 {
+		t.Error("undesignated line still protected")
+	}
+}

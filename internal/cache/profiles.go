@@ -1,0 +1,154 @@
+package cache
+
+// Architecture profiles for the machines in the paper's evaluation
+// (Section 4.1). Capacities and associativities follow the published
+// microarchitecture specifications; DRAM and L3 latencies are calibrated
+// so the random-access heater microbenchmark in Section 4.3 reproduces
+// the paper's reported numbers:
+//
+//	Sandy Bridge: 47.5 ns cold -> 22.9 ns heated
+//	Broadwell:    38.5 ns cold -> 22.8 ns heated
+//
+// At 2.6 GHz, 47.5 ns ~= 124 cycles; 22.9 ns ~= 59 cycles. At 2.1 GHz,
+// 38.5 ns ~= 81 cycles; 22.8 ns ~= 48 cycles. The L3 figures are the
+// *effective* random-access load-to-use latencies (they include ring /
+// mesh traversal to a far slice), which is what a heated match-list
+// access observes; best-case nearest-slice latency is lower but never
+// occurs under the studied access patterns.
+//
+// The decisive architectural contrast (paper Section 4.3): Sandy
+// Bridge's L3 shares the core clock domain, so avoiding DRAM saves
+// 124-59 = 65 cycles per access and the heater barely perturbs the
+// ring (small contention). Broadwell's L3 clock is decoupled
+// (a Haswell-era change), its DRAM path is faster (81 cycles), so the
+// saving is only 81-48 = 33 cycles — and heater sweeps contend for the
+// slower cache fabric (large contention), flipping hot caching's sign.
+
+// SandyBridge models the paper's primary system: dual-socket 2.6 GHz
+// 8-core Xeon (E5-2670 class), QLogic InfiniBand QDR.
+var SandyBridge = Profile{
+	Name:        "SandyBridge",
+	ClockGHz:    2.6,
+	Cores:       8,
+	L1:          LevelConfig{Name: "L1d", SizeBytes: 32 << 10, Ways: 8, LatencyCycles: 4},
+	L2:          LevelConfig{Name: "L2", SizeBytes: 256 << 10, Ways: 8, LatencyCycles: 12},
+	L3:          LevelConfig{Name: "L3", SizeBytes: 20 << 20, Ways: 20, LatencyCycles: 59, Shared: true},
+	DRAMLatency: 124,
+
+	DCUPrefetch:          true,
+	AdjacentLinePrefetch: true,
+	AdjacentPairPrefetch: true,
+	StreamerDegree:       2,
+
+	L3ContentionCycles: 2,
+}
+
+// Broadwell models the second system: dual-socket 2.1 GHz 18-core Xeon
+// (E5-2695 v4 class), OmniPath fabric. Decoupled cache clock: higher L3
+// latency relative to DRAM, larger heater contention.
+var Broadwell = Profile{
+	Name:        "Broadwell",
+	ClockGHz:    2.1,
+	Cores:       18,
+	L1:          LevelConfig{Name: "L1d", SizeBytes: 32 << 10, Ways: 8, LatencyCycles: 4},
+	L2:          LevelConfig{Name: "L2", SizeBytes: 256 << 10, Ways: 8, LatencyCycles: 12},
+	L3:          LevelConfig{Name: "L3", SizeBytes: 45 << 20, Ways: 20, LatencyCycles: 48, Shared: true},
+	DRAMLatency: 81,
+
+	DCUPrefetch:          true,
+	AdjacentLinePrefetch: true,
+	AdjacentPairPrefetch: true,
+	StreamerDegree:       2,
+
+	// With the heater actively sweeping, demand loads queue behind sweep
+	// traffic on the decoupled (slower-clocked) cache fabric; 35 extra
+	// cycles puts a heated, contended L3 access (48+35=83) at par with
+	// Broadwell's 81-cycle DRAM path — the paper's "slight performance
+	// drop" from hot caching on Broadwell (Figure 7). The Section 4.3
+	// microbenchmark, which measures *between* sweeps, still sees the
+	// uncontended 48-cycle latency and its near-2x throughput gain.
+	L3ContentionCycles: 35,
+}
+
+// Nehalem models the scaling cluster used for FDS: dual-socket 2.53 GHz
+// 4-core Xeon (X5550 class), Mellanox QDR. Pre-Sandy-Bridge prefetch:
+// streamer and adjacent-line exist but the DCU next-line unit is weaker;
+// we keep it enabled with the same semantics (the paper draws no
+// Nehalem-specific prefetch conclusions).
+var Nehalem = Profile{
+	Name:        "Nehalem",
+	ClockGHz:    2.53,
+	Cores:       4,
+	L1:          LevelConfig{Name: "L1d", SizeBytes: 32 << 10, Ways: 8, LatencyCycles: 4},
+	L2:          LevelConfig{Name: "L2", SizeBytes: 256 << 10, Ways: 8, LatencyCycles: 10},
+	L3:          LevelConfig{Name: "L3", SizeBytes: 8 << 20, Ways: 16, LatencyCycles: 38, Shared: true},
+	DRAMLatency: 160,
+
+	DCUPrefetch:          true,
+	AdjacentLinePrefetch: true,
+	AdjacentPairPrefetch: true,
+	StreamerDegree:       2,
+
+	L3ContentionCycles: 4,
+}
+
+// KNL models the Cray XC40 Knights Landing nodes used for the Table 1
+// multithreaded-matching benchmark: 68 cores, 4 hardware threads each,
+// 32 KiB L1 and a 1 MiB L2 shared per two-core tile (modeled private
+// per core at half capacity), no L3 (misses go to MCDRAM/DDR).
+var KNL = Profile{
+	Name:        "KNL",
+	ClockGHz:    1.4,
+	Cores:       68,
+	L1:          LevelConfig{Name: "L1d", SizeBytes: 32 << 10, Ways: 8, LatencyCycles: 5},
+	L2:          LevelConfig{Name: "L2", SizeBytes: 512 << 10, Ways: 16, LatencyCycles: 17},
+	L3:          LevelConfig{}, // none
+	DRAMLatency: 180,
+
+	DCUPrefetch:          false,
+	AdjacentLinePrefetch: false,
+	StreamerDegree:       1,
+
+	L3ContentionCycles: 0,
+}
+
+// WithNetworkCache returns a copy of the profile extended with the
+// dedicated network cache the paper's conclusions propose (Sections 4.6
+// and 6): a cache reserved for network-processing data that ordinary
+// traffic cannot evict. The paper floats "a small 1-2KiB network
+// specific cache" per core as a heater replacement; sizing it to the
+// match-queue footprint (hundreds of KiB) realises the full
+// semi-permanent-occupancy benefit, and the ablation benchmarks sweep
+// the size between those extremes. Latency sits between L1 and L2: the
+// cache is small, core-adjacent, and single-purpose.
+func WithNetworkCache(p Profile, sizeBytes int) Profile {
+	ways := 8
+	for sizeBytes%(ways*LineSize) != 0 && ways > 1 {
+		ways /= 2
+	}
+	p.NetworkCache = LevelConfig{
+		Name:          "NetCache",
+		SizeBytes:     sizeBytes,
+		Ways:          ways,
+		LatencyCycles: 8,
+		HashIndex:     true,
+	}
+	return p
+}
+
+// DefaultNetworkCacheBytes sizes the proposed cache to hold deep match
+// queues outright.
+const DefaultNetworkCacheBytes = 256 << 10
+
+// Profiles lists every built-in architecture by name.
+var Profiles = map[string]Profile{
+	"sandybridge": SandyBridge,
+	"broadwell":   Broadwell,
+	"nehalem":     Nehalem,
+	"knl":         KNL,
+}
+
+// ProfileNames returns the built-in profile names in a stable order.
+func ProfileNames() []string {
+	return []string{"sandybridge", "broadwell", "nehalem", "knl"}
+}

@@ -1,0 +1,429 @@
+// Package engine assembles the paper's instrument: an MPI matching
+// engine whose posted-receive and unexpected-message queues are pluggable
+// structures (internal/matchlist), whose every memory access flows
+// through the cache-hierarchy simulator (internal/cache), and which can
+// keep its queues semi-permanently cache-resident with a heater
+// (internal/hotcache).
+//
+// The engine models the receive-side critical path:
+//
+//	Arrive   — an envelope comes off the wire: search the PRQ; deliver
+//	           on a match, else append to the UMQ.
+//	PostRecv — the application posts a receive: search the UMQ; consume
+//	           a buffered message on a match, else append to the PRQ.
+//
+// Every operation returns and accumulates a cycle cost: memory cycles
+// from the simulator, per-entry comparison work, fixed software-path
+// overhead, and (when hot caching is on) heater-synchronisation cycles.
+package engine
+
+import (
+	"spco/internal/cache"
+	"spco/internal/hotcache"
+	"spco/internal/match"
+	"spco/internal/matchlist"
+	"spco/internal/simmem"
+	"spco/internal/trace"
+)
+
+// Software-path cost model (cycles). CompareCycles is the masked
+// three-field comparison per inspected entry; the overheads cover the
+// non-matching parts of the MPI progress path (header decode, request
+// bookkeeping, completion).
+const (
+	CompareCycles        = 2
+	ArriveOverheadCycles = 600
+	PostOverheadCycles   = 400
+)
+
+// Config describes an engine instance.
+type Config struct {
+	Profile cache.Profile
+
+	// Kind selects the PRQ structure; the UMQ follows it (LLA gets the
+	// packed UMQ, everything else the baseline UMQ).
+	Kind matchlist.Kind
+
+	// EntriesPerNode is the LLA's K; Bins and CommSize parameterise the
+	// bucketed comparators.
+	EntriesPerNode int
+	Bins           int
+	CommSize       int
+
+	// Pool enables node recycling (the modified-LLA allocator).
+	Pool bool
+
+	// HotCache attaches a heater; HeaterPeriodNS is its sweep period and
+	// HeaterCore its pinned core (it must differ from Core so heating
+	// lands in the shared level, not the compute core's private caches).
+	HotCache       bool
+	HeaterPeriodNS float64
+	HeaterCore     int
+
+	// NetworkCache adds the dedicated network-data cache the paper's
+	// conclusions propose (Sections 4.6, 6): queue regions are
+	// designated to it as they are allocated, hardware retains them
+	// across compute phases, and — unlike hot caching — registration is
+	// lock-free and sweeps nothing. NetworkCacheBytes sizes it
+	// (0 selects cache.DefaultNetworkCacheBytes). Ignored when the
+	// profile already configures a NetworkCache level.
+	NetworkCache      bool
+	NetworkCacheBytes int
+
+	// L3PartitionWays reserves L3 ways for the match queues (the
+	// paper's "cache partition" proposal, CAT-style): queue regions are
+	// designated as they are allocated and compute phases cannot evict
+	// them. Zero disables. Ignored when the profile already sets it.
+	L3PartitionWays int
+
+	// Core is the communication core performing matching.
+	Core int
+
+	// NoiseBytes overrides the modeled per-post unrelated allocation.
+	NoiseBytes uint64
+
+	// TrackHistograms enables per-operation sampling of queue lengths
+	// and search depths into histograms (the Figure 1 methodology,
+	// applicable to any workload driving this engine). Off by default:
+	// sampling costs a map update per operation.
+	TrackHistograms bool
+
+	// HistogramBucket sets the sampling bucket width (default 10).
+	HistogramBucket int
+}
+
+// Stats aggregates engine activity.
+type Stats struct {
+	Arrivals   uint64 // envelopes processed
+	Posts      uint64 // receives posted (after UMQ miss)
+	Recvs      uint64 // PostRecv calls
+	PRQMatches uint64 // arrivals matched in the PRQ
+	UMQMatches uint64 // receives matched in the UMQ
+	UMQAppends uint64 // arrivals deferred to the UMQ
+
+	PRQDepthTotal uint64 // summed PRQ search depths
+	UMQDepthTotal uint64 // summed UMQ search depths
+
+	Cycles     uint64 // total modeled engine cycles
+	SyncCycles uint64 // heater-synchronisation share of Cycles
+
+	MaxPRQLen int
+	MaxUMQLen int
+}
+
+// MeanPRQDepth returns the average PRQ search depth per arrival.
+func (s Stats) MeanPRQDepth() float64 {
+	if s.Arrivals == 0 {
+		return 0
+	}
+	return float64(s.PRQDepthTotal) / float64(s.Arrivals)
+}
+
+// MeanUMQDepth returns the average UMQ search depth per receive.
+func (s Stats) MeanUMQDepth() float64 {
+	if s.Recvs == 0 {
+		return 0
+	}
+	return float64(s.UMQDepthTotal) / float64(s.Recvs)
+}
+
+// Engine is one process's matching engine.
+type Engine struct {
+	cfg    Config
+	space  *simmem.Space
+	hier   *cache.Hierarchy
+	acc    *matchlist.CacheAccessor
+	prq    matchlist.PostedList
+	umq    matchlist.UnexpectedList
+	heater *hotcache.Heater
+	stats  Stats
+
+	// Histograms (nil unless Config.TrackHistograms).
+	prqLenHist   *trace.Histogram
+	umqLenHist   *trace.Histogram
+	prqDepthHist *trace.Histogram
+
+	// Observer (nil unless attached): sees every operation, e.g. the
+	// mtrace recorder.
+	observer Observer
+}
+
+// Observer sees every matching operation as it happens; the mtrace
+// recorder implements it to capture replayable traces.
+type Observer interface {
+	// OnArrive fires after an arrival is processed.
+	OnArrive(e match.Envelope, matched bool, depth int, cycles uint64)
+	// OnPost fires after a receive is posted (or satisfied from UMQ).
+	OnPost(rank, tag int, ctx uint16, req uint64, umqHit bool, depth int, cycles uint64)
+	// OnCancel fires after a cancel.
+	OnCancel(req uint64, found bool)
+	// OnComputePhase fires on phase boundaries.
+	OnComputePhase(durationNS float64)
+}
+
+// SetObserver attaches (or detaches, with nil) an operation observer.
+func (en *Engine) SetObserver(o Observer) { en.observer = o }
+
+// New builds an engine. The zero Kind is the baseline list; a zero
+// profile is invalid (use a cache.Profile from internal/cache).
+func New(cfg Config) *Engine {
+	if cfg.HotCache && cfg.HeaterCore == cfg.Core {
+		cfg.HeaterCore = (cfg.Core + 1) % cfg.Profile.Cores
+	}
+	if cfg.NetworkCache && cfg.Profile.NetworkCache.SizeBytes == 0 {
+		size := cfg.NetworkCacheBytes
+		if size == 0 {
+			size = cache.DefaultNetworkCacheBytes
+		}
+		cfg.Profile = cache.WithNetworkCache(cfg.Profile, size)
+	}
+	if cfg.L3PartitionWays > 0 && cfg.Profile.L3PartitionWays == 0 {
+		cfg.Profile.L3PartitionWays = cfg.L3PartitionWays
+	}
+	en := &Engine{cfg: cfg, space: simmem.NewSpace()}
+	en.hier = cache.New(cfg.Profile)
+	en.acc = matchlist.NewCacheAccessor(en.hier, cfg.Core)
+
+	var listeners multiListener
+	if cfg.HotCache {
+		en.heater = hotcache.New(en.hier, cfg.HeaterCore, hotcache.Options{
+			PeriodNS: cfg.HeaterPeriodNS,
+			Pool:     cfg.Pool,
+		})
+		listeners = append(listeners, en.heater)
+		en.hier.SetHeaterActive(true)
+	}
+	if en.hier.DesignatesNetwork() {
+		listeners = append(listeners, netDesignator{en.hier})
+	}
+	var listener matchlist.RegionListener
+	if len(listeners) > 0 {
+		listener = listeners
+	}
+
+	mcfg := matchlist.Config{
+		Space:          en.space,
+		Acc:            en.acc,
+		Listener:       listener,
+		EntriesPerNode: cfg.EntriesPerNode,
+		Bins:           cfg.Bins,
+		CommSize:       cfg.CommSize,
+		Pool:           cfg.Pool,
+		NoiseBytes:     cfg.NoiseBytes,
+	}
+	en.prq = matchlist.NewPosted(cfg.Kind, mcfg)
+	en.umq = matchlist.NewUnexpected(cfg.Kind, mcfg)
+
+	if cfg.TrackHistograms {
+		bucket := cfg.HistogramBucket
+		if bucket <= 0 {
+			bucket = 10
+		}
+		en.prqLenHist = trace.NewHistogram(bucket)
+		en.umqLenHist = trace.NewHistogram(bucket)
+		en.prqDepthHist = trace.NewHistogram(bucket)
+	}
+	return en
+}
+
+// PRQLengthHistogram returns the sampled posted-queue lengths (nil
+// unless Config.TrackHistograms).
+func (en *Engine) PRQLengthHistogram() *trace.Histogram { return en.prqLenHist }
+
+// UMQLengthHistogram returns the sampled unexpected-queue lengths.
+func (en *Engine) UMQLengthHistogram() *trace.Histogram { return en.umqLenHist }
+
+// PRQDepthHistogram returns the sampled search depths.
+func (en *Engine) PRQDepthHistogram() *trace.Histogram { return en.prqDepthHist }
+
+// sampleQueues records both queue lengths after a mutation, as the
+// Figure 1 methodology samples "during each communication phase, such
+// that all list additions and deletions are captured".
+func (en *Engine) sampleQueues() {
+	if en.prqLenHist == nil {
+		return
+	}
+	en.prqLenHist.Observe(en.prq.Len())
+	en.umqLenHist.Observe(en.umq.Len())
+}
+
+// Config returns the engine's configuration.
+func (en *Engine) Config() Config { return en.cfg }
+
+// Hierarchy exposes the cache simulator (read-only use intended).
+func (en *Engine) Hierarchy() *cache.Hierarchy { return en.hier }
+
+// Heater returns the attached heater, or nil.
+func (en *Engine) Heater() *hotcache.Heater { return en.heater }
+
+// PRQLen and UMQLen report current queue lengths.
+func (en *Engine) PRQLen() int { return en.prq.Len() }
+
+// UMQLen reports the unexpected queue length.
+func (en *Engine) UMQLen() int { return en.umq.Len() }
+
+// Stats returns a copy of the accumulated counters.
+func (en *Engine) Stats() Stats { return en.stats }
+
+// ResetStats zeroes counters without touching queue or cache state.
+func (en *Engine) ResetStats() {
+	en.stats = Stats{}
+	en.acc.Reset()
+}
+
+// MemoryBytes returns the combined queue metadata footprint.
+func (en *Engine) MemoryBytes() uint64 {
+	return en.prq.MemoryBytes() + en.umq.MemoryBytes()
+}
+
+// charge finalises an operation's cycle cost.
+func (en *Engine) charge(memStart uint64, depth int, overhead uint64) uint64 {
+	cycles := (en.acc.Cycles - memStart) + uint64(depth)*CompareCycles + overhead
+	if en.heater != nil {
+		sync := en.heater.TakeSyncCycles()
+		cycles += sync
+		en.stats.SyncCycles += sync
+	}
+	en.stats.Cycles += cycles
+	return cycles
+}
+
+// Arrive processes an incoming message. It returns the matched posted
+// request (if any), whether it matched, and the operation's cycle cost.
+func (en *Engine) Arrive(e match.Envelope, msg uint64) (req uint64, matched bool, cycles uint64) {
+	memStart := en.acc.Cycles
+	en.stats.Arrivals++
+	p, depth, ok := en.prq.Search(e)
+	en.stats.PRQDepthTotal += uint64(depth)
+	if en.prqDepthHist != nil {
+		en.prqDepthHist.Observe(depth)
+	}
+	if ok {
+		en.stats.PRQMatches++
+		cycles = en.charge(memStart, depth, ArriveOverheadCycles)
+		en.sampleQueues()
+		if en.observer != nil {
+			en.observer.OnArrive(e, true, depth, cycles)
+		}
+		return p.Req, true, cycles
+	}
+	en.umq.Append(match.NewUnexpected(e, msg))
+	en.stats.UMQAppends++
+	if n := en.umq.Len(); n > en.stats.MaxUMQLen {
+		en.stats.MaxUMQLen = n
+	}
+	cycles = en.charge(memStart, depth, ArriveOverheadCycles)
+	en.sampleQueues()
+	if en.observer != nil {
+		en.observer.OnArrive(e, false, depth, cycles)
+	}
+	return 0, false, cycles
+}
+
+// PostRecv posts a receive. It returns the buffered message handle if
+// the receive matched the UMQ, whether it matched, and the cycle cost.
+func (en *Engine) PostRecv(rank, tag int, ctx uint16, req uint64) (msg uint64, matched bool, cycles uint64) {
+	memStart := en.acc.Cycles
+	en.stats.Recvs++
+	p := match.NewPosted(rank, tag, ctx, req)
+	u, depth, ok := en.umq.SearchBy(p)
+	en.stats.UMQDepthTotal += uint64(depth)
+	if ok {
+		en.stats.UMQMatches++
+		cycles = en.charge(memStart, depth, PostOverheadCycles)
+		en.sampleQueues()
+		if en.observer != nil {
+			en.observer.OnPost(rank, tag, ctx, req, true, depth, cycles)
+		}
+		return u.Msg, true, cycles
+	}
+	en.prq.Post(p)
+	en.stats.Posts++
+	if n := en.prq.Len(); n > en.stats.MaxPRQLen {
+		en.stats.MaxPRQLen = n
+	}
+	cycles = en.charge(memStart, depth, PostOverheadCycles)
+	en.sampleQueues()
+	if en.observer != nil {
+		en.observer.OnPost(rank, tag, ctx, req, false, depth, cycles)
+	}
+	return 0, false, cycles
+}
+
+// Cancel removes a posted receive by request handle.
+func (en *Engine) Cancel(req uint64) (bool, uint64) {
+	memStart := en.acc.Cycles
+	ok := en.prq.Cancel(req)
+	cycles := en.charge(memStart, 0, PostOverheadCycles)
+	en.sampleQueues()
+	if en.observer != nil {
+		en.observer.OnCancel(req, ok)
+	}
+	return ok, cycles
+}
+
+// BeginComputePhase models an application compute phase of the given
+// length: the core's working set displaces the caches entirely; if hot
+// caching is enabled, the heater re-touches its registry (covering the
+// fraction its period permits), so the match queues re-enter the shared
+// cache before the next communication phase (Figure 3).
+func (en *Engine) BeginComputePhase(durationNS float64) {
+	en.hier.Flush()
+	if en.heater != nil {
+		en.heater.Sweep(durationNS)
+	}
+	if en.observer != nil {
+		en.observer.OnComputePhase(durationNS)
+	}
+}
+
+// multiListener fans region events out to several listeners, summing
+// their charged cycles.
+type multiListener []matchlist.RegionListener
+
+// RegionAdded implements matchlist.RegionListener.
+func (m multiListener) RegionAdded(r simmem.Region) uint64 {
+	var cy uint64
+	for _, l := range m {
+		cy += l.RegionAdded(r)
+	}
+	return cy
+}
+
+// RegionRemoved implements matchlist.RegionListener.
+func (m multiListener) RegionRemoved(r simmem.Region) uint64 {
+	var cy uint64
+	for _, l := range m {
+		cy += l.RegionRemoved(r)
+	}
+	return cy
+}
+
+// netDesignator routes queue-region lifecycle to the dedicated network
+// cache. Designation is a hardware operation (range registers): free.
+type netDesignator struct {
+	h *cache.Hierarchy
+}
+
+// RegionAdded implements matchlist.RegionListener.
+func (n netDesignator) RegionAdded(r simmem.Region) uint64 {
+	n.h.DesignateNetwork(r)
+	return 0
+}
+
+// RegionRemoved implements matchlist.RegionListener.
+func (n netDesignator) RegionRemoved(r simmem.Region) uint64 {
+	n.h.UndesignateNetwork(r)
+	return 0
+}
+
+// QueueRegions returns the memory regions of both queues (diagnostics).
+func (en *Engine) QueueRegions() []simmem.Region {
+	out := append([]simmem.Region{}, en.prq.Regions()...)
+	return append(out, en.umq.Regions()...)
+}
+
+// CyclesToNanos converts using the engine's clock.
+func (en *Engine) CyclesToNanos(cy uint64) float64 {
+	return en.cfg.Profile.CyclesToNanos(cy)
+}

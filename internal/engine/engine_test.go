@@ -1,0 +1,264 @@
+package engine
+
+import (
+	"testing"
+
+	"spco/internal/cache"
+	"spco/internal/match"
+	"spco/internal/matchlist"
+)
+
+func baseCfg() Config {
+	return Config{
+		Profile:        cache.SandyBridge,
+		Kind:           matchlist.KindLLA,
+		EntriesPerNode: 2,
+		CommSize:       64,
+	}
+}
+
+func TestArriveMatchesPostedReceive(t *testing.T) {
+	en := New(baseCfg())
+	en.PostRecv(3, 7, 1, 100)
+	req, ok, cy := en.Arrive(match.Envelope{Rank: 3, Tag: 7, Ctx: 1}, 1)
+	if !ok || req != 100 {
+		t.Fatalf("Arrive: req=%d ok=%v, want 100/true", req, ok)
+	}
+	if cy == 0 {
+		t.Error("operation should cost cycles")
+	}
+	if en.PRQLen() != 0 {
+		t.Errorf("PRQ should be empty after match, len=%d", en.PRQLen())
+	}
+	s := en.Stats()
+	if s.PRQMatches != 1 || s.Arrivals != 1 || s.Posts != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+func TestUnexpectedPath(t *testing.T) {
+	en := New(baseCfg())
+	// Message arrives before its receive: goes to the UMQ.
+	if _, ok, _ := en.Arrive(match.Envelope{Rank: 2, Tag: 9, Ctx: 1}, 555); ok {
+		t.Fatal("arrival with no posted receive must not match")
+	}
+	if en.UMQLen() != 1 {
+		t.Fatalf("UMQ len = %d, want 1", en.UMQLen())
+	}
+	// The receive finds it.
+	msg, ok, _ := en.PostRecv(2, 9, 1, 200)
+	if !ok || msg != 555 {
+		t.Fatalf("PostRecv: msg=%d ok=%v, want 555/true", msg, ok)
+	}
+	if en.UMQLen() != 0 || en.PRQLen() != 0 {
+		t.Error("queues should be empty after the rendezvous")
+	}
+	s := en.Stats()
+	if s.UMQMatches != 1 || s.UMQAppends != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+func TestWildcardReceiveDrainsUMQInOrder(t *testing.T) {
+	en := New(baseCfg())
+	en.Arrive(match.Envelope{Rank: 1, Tag: 1, Ctx: 1}, 10)
+	en.Arrive(match.Envelope{Rank: 2, Tag: 2, Ctx: 1}, 20)
+	msg, ok, _ := en.PostRecv(match.AnySource, match.AnyTag, 1, 0)
+	if !ok || msg != 10 {
+		t.Fatalf("wildcard receive got %d, want earliest arrival 10", msg)
+	}
+}
+
+func TestCancelRemovesPosted(t *testing.T) {
+	en := New(baseCfg())
+	en.PostRecv(1, 1, 1, 42)
+	ok, _ := en.Cancel(42)
+	if !ok {
+		t.Fatal("Cancel failed")
+	}
+	if _, matched, _ := en.Arrive(match.Envelope{Rank: 1, Tag: 1, Ctx: 1}, 0); matched {
+		t.Error("cancelled receive still matched")
+	}
+}
+
+func TestDepthAccounting(t *testing.T) {
+	en := New(baseCfg())
+	for i := 0; i < 10; i++ {
+		en.PostRecv(0, i, 1, uint64(i))
+	}
+	en.ResetStats()
+	en.Arrive(match.Envelope{Rank: 0, Tag: 9, Ctx: 1}, 0)
+	if d := en.Stats().MeanPRQDepth(); d != 10 {
+		t.Errorf("MeanPRQDepth = %v, want 10", d)
+	}
+}
+
+func TestComputePhaseColdsCaches(t *testing.T) {
+	en := New(baseCfg())
+	for i := 0; i < 256; i++ {
+		en.PostRecv(0, i, 1, uint64(i))
+	}
+	// Warm pass.
+	en.Arrive(match.Envelope{Rank: 0, Tag: 255, Ctx: 1}, 0)
+	en.PostRecv(0, 255, 1, 255)
+	en.ResetStats()
+	_, _, warm := en.Arrive(match.Envelope{Rank: 0, Tag: 254, Ctx: 1}, 0)
+	en.PostRecv(0, 254, 1, 254)
+
+	en.BeginComputePhase(1e6)
+	en.ResetStats()
+	_, _, cold := en.Arrive(match.Envelope{Rank: 0, Tag: 253, Ctx: 1}, 0)
+	if cold <= warm {
+		t.Errorf("post-compute-phase search (%d cy) should cost more than warm (%d cy)", cold, warm)
+	}
+}
+
+// Hot caching on Sandy Bridge: after a compute phase, a heated engine
+// searches a long queue much faster than an unheated one — and the
+// advantage must come from L3 hits, not DRAM loads.
+func TestHotCachingHelpsOnSandyBridge(t *testing.T) {
+	run := func(hot bool) uint64 {
+		cfg := baseCfg()
+		cfg.Kind = matchlist.KindBaseline
+		cfg.HotCache = hot
+		en := New(cfg)
+		for i := 0; i < 512; i++ {
+			en.PostRecv(0, i, 1, uint64(i))
+		}
+		en.BeginComputePhase(1e6)
+		en.ResetStats()
+		_, _, cy := en.Arrive(match.Envelope{Rank: 0, Tag: 511, Ctx: 1}, 0)
+		return cy
+	}
+	coldCy := run(false)
+	hotCy := run(true)
+	if hotCy*3/2 > coldCy {
+		t.Errorf("hot caching should cut deep-search cost well below cold: hot=%d cold=%d", hotCy, coldCy)
+	}
+}
+
+// The heater must not be pinned to the compute core (it would defeat
+// the shared-cache placement); New corrects a bad configuration.
+func TestHeaterCoreSeparation(t *testing.T) {
+	cfg := baseCfg()
+	cfg.HotCache = true
+	cfg.Core = 0
+	cfg.HeaterCore = 0
+	en := New(cfg)
+	if en.Heater().Core() == cfg.Core {
+		t.Error("heater core must differ from compute core")
+	}
+}
+
+func TestSyncCyclesChargedWithHotCache(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Kind = matchlist.KindBaseline
+	cfg.HotCache = true
+	en := New(cfg)
+	for i := 0; i < 32; i++ {
+		en.PostRecv(0, i, 1, uint64(i))
+	}
+	// Draining removes nodes: without a pool each removal pays heater
+	// synchronisation.
+	for i := 0; i < 32; i++ {
+		en.Arrive(match.Envelope{Rank: 0, Tag: int32(i), Ctx: 1}, 0)
+	}
+	if en.Stats().SyncCycles == 0 {
+		t.Error("removals under hot caching should cost sync cycles")
+	}
+
+	// With the element pool, drains cost no synchronisation.
+	cfg.Kind = matchlist.KindLLA
+	cfg.Pool = true
+	en2 := New(cfg)
+	for i := 0; i < 32; i++ {
+		en2.PostRecv(0, i, 1, uint64(i))
+	}
+	drainStart := en2.Stats().SyncCycles
+	for i := 0; i < 32; i++ {
+		en2.Arrive(match.Envelope{Rank: 0, Tag: int32(i), Ctx: 1}, 0)
+	}
+	// Node recycling may re-register regions at zero cost; removals are free.
+	if got := en2.Stats().SyncCycles - drainStart; got != 0 {
+		t.Errorf("pooled drain cost %d sync cycles, want 0", got)
+	}
+}
+
+func TestMemoryBytesTracksQueues(t *testing.T) {
+	en := New(baseCfg())
+	before := en.MemoryBytes()
+	for i := 0; i < 100; i++ {
+		en.PostRecv(0, i, 1, uint64(i))
+	}
+	if en.MemoryBytes() <= before {
+		t.Error("posting receives should grow queue memory")
+	}
+}
+
+func TestMaxLenTracking(t *testing.T) {
+	en := New(baseCfg())
+	for i := 0; i < 5; i++ {
+		en.PostRecv(0, i, 1, uint64(i))
+	}
+	for i := 0; i < 3; i++ {
+		en.Arrive(match.Envelope{Rank: 1, Tag: 99, Ctx: 1}, uint64(i))
+	}
+	s := en.Stats()
+	if s.MaxPRQLen != 5 || s.MaxUMQLen != 3 {
+		t.Errorf("max lens = %d/%d, want 5/3", s.MaxPRQLen, s.MaxUMQLen)
+	}
+}
+
+func TestStatsMeanDepthEmpty(t *testing.T) {
+	var s Stats
+	if s.MeanPRQDepth() != 0 || s.MeanUMQDepth() != 0 {
+		t.Error("empty stats should report zero depths")
+	}
+}
+
+// Every structure kind works behind the engine, including the
+// extension kinds, with communicator isolation intact.
+func TestEngineKindMatrix(t *testing.T) {
+	for _, kind := range []matchlist.Kind{
+		matchlist.KindBaseline, matchlist.KindLLA, matchlist.KindHashBins,
+		matchlist.KindRankArray, matchlist.KindFourD, matchlist.KindHWOffload,
+		matchlist.KindPerComm,
+	} {
+		cfg := baseCfg()
+		cfg.Kind = kind
+		cfg.Bins = 64
+		en := New(cfg)
+		// Two communicators, interleaved traffic.
+		en.PostRecv(1, 5, 1, 11)
+		en.PostRecv(1, 5, 2, 22)
+		if req, ok, _ := en.Arrive(match.Envelope{Rank: 1, Tag: 5, Ctx: 2}, 0); !ok || req != 22 {
+			t.Errorf("%v: comm-2 arrival got req %d ok=%v", kind, req, ok)
+		}
+		if req, ok, _ := en.Arrive(match.Envelope{Rank: 1, Tag: 5, Ctx: 1}, 0); !ok || req != 11 {
+			t.Errorf("%v: comm-1 arrival got req %d ok=%v", kind, req, ok)
+		}
+		// Unexpected path round trip.
+		en.Arrive(match.Envelope{Rank: 3, Tag: 9, Ctx: 1}, 77)
+		if msg, ok, _ := en.PostRecv(3, 9, 1, 33); !ok || msg != 77 {
+			t.Errorf("%v: UMQ round trip got msg %d ok=%v", kind, msg, ok)
+		}
+	}
+}
+
+// The engine's cycle accounting is monotone and consistent with its
+// stats under a mixed workload.
+func TestEngineCycleAccounting(t *testing.T) {
+	en := New(baseCfg())
+	var sum uint64
+	for i := 0; i < 64; i++ {
+		_, _, cy := en.PostRecv(0, i, 1, uint64(i))
+		sum += cy
+	}
+	for i := 0; i < 64; i++ {
+		_, _, cy := en.Arrive(match.Envelope{Rank: 0, Tag: int32(i), Ctx: 1}, 0)
+		sum += cy
+	}
+	if got := en.Stats().Cycles; got != sum {
+		t.Errorf("Stats.Cycles = %d, sum of returns = %d", got, sum)
+	}
+}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"testing"
+
+	"spco/internal/cache"
+	"spco/internal/match"
+	"spco/internal/matchlist"
+)
+
+// The paper's hardware proposal, end-to-end: with a dedicated network
+// cache, deep searches after a compute phase cost a fraction of the
+// cold baseline — on BOTH architectures — while short lists pay nothing
+// ("improved for long lists without a cost to short list performance").
+func TestNetworkCacheProposal(t *testing.T) {
+	for _, prof := range []cache.Profile{cache.SandyBridge, cache.Broadwell} {
+		run := func(netcache bool, depth int) uint64 {
+			en := New(Config{
+				Profile:        prof,
+				Kind:           matchlist.KindLLA,
+				EntriesPerNode: 2,
+				NetworkCache:   netcache,
+			})
+			for i := 0; i < depth; i++ {
+				en.PostRecv(0, 100000+i, 1, uint64(i))
+			}
+			en.PostRecv(1, 7, 1, 999)
+			en.BeginComputePhase(1e6)
+			// Warm the network cache with one traversal, then measure a
+			// post-compute-phase search (steady state for a BSP code).
+			en.Arrive(match.Envelope{Rank: 2, Tag: 0, Ctx: 1}, 0)
+			en.BeginComputePhase(1e6)
+			_, ok, cy := en.Arrive(match.Envelope{Rank: 1, Tag: 7, Ctx: 1}, 0)
+			if !ok {
+				t.Fatal("lost entry")
+			}
+			return cy
+		}
+
+		deepBase := run(false, 1024)
+		deepNC := run(true, 1024)
+		if deepNC*2 > deepBase {
+			t.Errorf("%s: network cache should halve deep-search cost: %d vs %d",
+				prof.Name, deepNC, deepBase)
+		}
+
+		shortBase := run(false, 0)
+		shortNC := run(true, 0)
+		if shortNC > shortBase {
+			t.Errorf("%s: network cache must not cost short lists anything: %d vs %d",
+				prof.Name, shortNC, shortBase)
+		}
+	}
+}
+
+// Unlike hot caching, the network cache charges no synchronisation.
+func TestNetworkCacheNoSyncCycles(t *testing.T) {
+	en := New(Config{
+		Profile:      cache.Broadwell,
+		Kind:         matchlist.KindBaseline,
+		NetworkCache: true,
+	})
+	for i := 0; i < 64; i++ {
+		en.PostRecv(0, i, 1, uint64(i))
+	}
+	for i := 0; i < 64; i++ {
+		en.Arrive(match.Envelope{Rank: 0, Tag: int32(i), Ctx: 1}, 0)
+	}
+	if en.Stats().SyncCycles != 0 {
+		t.Errorf("network cache charged %d sync cycles, want 0", en.Stats().SyncCycles)
+	}
+}
+
+// Hot caching and the network cache can coexist (both listeners fire).
+func TestHeaterAndNetworkCacheCompose(t *testing.T) {
+	en := New(Config{
+		Profile:        cache.SandyBridge,
+		Kind:           matchlist.KindLLA,
+		EntriesPerNode: 2,
+		HotCache:       true,
+		NetworkCache:   true,
+	})
+	en.PostRecv(1, 7, 1, 1)
+	if en.Heater() == nil {
+		t.Fatal("heater missing")
+	}
+	if en.Heater().RegisteredBytes() == 0 {
+		t.Error("heater did not register queue regions")
+	}
+	if !en.Hierarchy().HasNetworkCache() {
+		t.Error("network cache missing")
+	}
+}
+
+func TestNetworkCacheBytesOption(t *testing.T) {
+	en := New(Config{
+		Profile:           cache.SandyBridge,
+		Kind:              matchlist.KindLLA,
+		NetworkCache:      true,
+		NetworkCacheBytes: 8 << 10,
+	})
+	if got := en.Config().Profile.NetworkCache.SizeBytes; got != 8<<10 {
+		t.Errorf("network cache size = %d, want 8KiB", got)
+	}
+}

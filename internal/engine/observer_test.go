@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"testing"
+
+	"spco/internal/cache"
+	"spco/internal/match"
+	"spco/internal/matchlist"
+)
+
+type countingObserver struct {
+	arrives, posts, cancels, phases int
+	umqHits, prqMatches             int
+	lastDepth                       int
+}
+
+func (c *countingObserver) OnArrive(e match.Envelope, matched bool, depth int, cycles uint64) {
+	c.arrives++
+	if matched {
+		c.prqMatches++
+	}
+	c.lastDepth = depth
+}
+
+func (c *countingObserver) OnPost(rank, tag int, ctx uint16, req uint64, umqHit bool, depth int, cycles uint64) {
+	c.posts++
+	if umqHit {
+		c.umqHits++
+	}
+}
+
+func (c *countingObserver) OnCancel(req uint64, found bool) { c.cancels++ }
+
+func (c *countingObserver) OnComputePhase(durationNS float64) { c.phases++ }
+
+func TestObserverSeesEverything(t *testing.T) {
+	en := New(baseCfg())
+	obs := &countingObserver{}
+	en.SetObserver(obs)
+
+	en.PostRecv(1, 1, 1, 10)
+	en.Arrive(match.Envelope{Rank: 1, Tag: 1, Ctx: 1}, 0) // PRQ match
+	en.Arrive(match.Envelope{Rank: 2, Tag: 2, Ctx: 1}, 5) // unexpected
+	en.PostRecv(2, 2, 1, 20)                              // UMQ hit
+	en.PostRecv(3, 3, 1, 30)
+	en.Cancel(30)
+	en.BeginComputePhase(1e5)
+
+	if obs.arrives != 2 || obs.posts != 3 || obs.cancels != 1 || obs.phases != 1 {
+		t.Errorf("observer counts: %+v", obs)
+	}
+	if obs.prqMatches != 1 || obs.umqHits != 1 {
+		t.Errorf("observer outcomes: %+v", obs)
+	}
+
+	// Detach: no further callbacks.
+	en.SetObserver(nil)
+	en.PostRecv(9, 9, 1, 90)
+	if obs.posts != 3 {
+		t.Error("detached observer still called")
+	}
+}
+
+func TestHistogramsTrackQueues(t *testing.T) {
+	cfg := baseCfg()
+	cfg.TrackHistograms = true
+	cfg.HistogramBucket = 1
+	en := New(cfg)
+
+	for i := 0; i < 5; i++ {
+		en.PostRecv(0, i, 1, uint64(i))
+	}
+	for i := 0; i < 5; i++ {
+		en.Arrive(match.Envelope{Rank: 0, Tag: int32(i), Ctx: 1}, 0)
+	}
+
+	lh := en.PRQLengthHistogram()
+	if lh == nil {
+		t.Fatal("length histogram missing")
+	}
+	// 10 mutations sampled: lengths 1..5 going up, 4..0 coming down.
+	if lh.Total() != 10 {
+		t.Errorf("samples = %d, want 10", lh.Total())
+	}
+	if lh.Max() != 5 {
+		t.Errorf("max length = %d, want 5", lh.Max())
+	}
+	dh := en.PRQDepthHistogram()
+	if dh.Total() != 5 {
+		t.Errorf("depth samples = %d, want 5 (one per arrival)", dh.Total())
+	}
+	// In-order consumption: every search matches at depth 1.
+	if dh.Max() != 1 {
+		t.Errorf("max depth = %d, want 1", dh.Max())
+	}
+	if en.UMQLengthHistogram().Max() != 0 {
+		t.Error("UMQ stayed empty; histogram disagrees")
+	}
+}
+
+func TestHistogramsDisabledByDefault(t *testing.T) {
+	en := New(baseCfg())
+	if en.PRQLengthHistogram() != nil || en.PRQDepthHistogram() != nil {
+		t.Error("histograms should be nil unless enabled")
+	}
+	// Operations must not panic with sampling disabled.
+	en.PostRecv(0, 0, 1, 1)
+	en.Arrive(match.Envelope{Rank: 0, Tag: 0, Ctx: 1}, 0)
+}
+
+func TestObserverWithNetworkCacheAndHeater(t *testing.T) {
+	cfg := Config{
+		Profile:        cache.SandyBridge,
+		Kind:           matchlist.KindLLA,
+		EntriesPerNode: 2,
+		HotCache:       true,
+		Pool:           true,
+		NetworkCache:   true,
+	}
+	en := New(cfg)
+	obs := &countingObserver{}
+	en.SetObserver(obs)
+	en.PostRecv(0, 0, 1, 1)
+	en.BeginComputePhase(1e5)
+	en.Arrive(match.Envelope{Rank: 0, Tag: 0, Ctx: 1}, 0)
+	if obs.posts != 1 || obs.arrives != 1 || obs.phases != 1 {
+		t.Errorf("observer under full config: %+v", obs)
+	}
+}

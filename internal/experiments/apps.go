@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"spco/internal/cache"
+	"spco/internal/engine"
+	"spco/internal/matchlist"
+	"spco/internal/mpi"
+	"spco/internal/netmodel"
+	"spco/internal/proxyapps"
+	"spco/internal/trace"
+)
+
+// appWorld builds an mpi.Config for application studies. Per-rank
+// hierarchies use two cores (compute + heater); worlds are capped —
+// ranks are symmetric, so a capped world with full-scale per-rank load
+// reproduces per-rank timing (the capping is recorded in DESIGN.md).
+func appWorld(size int, prof cache.Profile, fab netmodel.Fabric, v variant) mpi.Config {
+	prof.Cores = 2
+	return mpi.Config{
+		Size: size,
+		Engine: engine.Config{
+			Profile:        prof,
+			Kind:           v.kind,
+			EntriesPerNode: v.k,
+			HotCache:       v.hot,
+			Pool:           v.pool,
+		},
+		Fabric: fab,
+	}
+}
+
+func worldCap(o Options) int {
+	if o.Quick {
+		return 8
+	}
+	return 64
+}
+
+func appTrials(o Options) int {
+	if o.Trials > 0 {
+		return o.Trials
+	}
+	if o.Quick {
+		return 1
+	}
+	return 3
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// meanRuntime averages RunFDS-style modeled runtimes over trials.
+func meanRuntime(trials int, run func() float64) float64 {
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += run()
+	}
+	return sum / float64(trials)
+}
+
+func init() {
+	register(Spec{
+		ID:          "fig8",
+		Title:       "Fig 8: AMG2013 weak-scaling, Broadwell, baseline vs LLA",
+		Description: "Modeled runtime of the AMG proxy at growing rank counts (paper: ~2.9% LLA gain at 1024).",
+		Run: func(o Options) Artifact {
+			procs := []int{128, 256, 512, 1024}
+			cycles := 3
+			trials := 8 // the effect is ~2%; scheduling noise needs averaging
+			if o.Quick {
+				procs = []int{128, 1024}
+				cycles = 2
+				trials = 1
+			}
+			if o.Trials > 0 {
+				trials = o.Trials
+			}
+			t := trace.NewTable("AMG2013 scaling (Broadwell)",
+				"procs", "baseline (s)", "LLA (s)", "improvement")
+			for _, p := range procs {
+				world := minInt(p, worldCap(o))
+				// Weak scaling: the level count follows the full-scale
+				// global problem even in a capped world.
+				levels := int(math.Log(float64(p)*16*16*16)/math.Log(8)) - 1
+				run := func(v variant) float64 {
+					return meanRuntime(trials, func() float64 {
+						return proxyapps.RunAMG(proxyapps.AMGConfig{
+							World:  appWorld(world, cache.Broadwell, netmodel.OmniPath, v),
+							N:      16,
+							Levels: levels,
+							Cycles: cycles,
+						}).RuntimeNS
+					})
+				}
+				base := run(variant{kind: matchlist.KindBaseline})
+				lla := run(variant{kind: matchlist.KindLLA, k: 2})
+				t.AddRow(p, fmt.Sprintf("%.4f", base/1e9), fmt.Sprintf("%.4f", lla/1e9),
+					fmt.Sprintf("%.1f%%", (base-lla)/base*100))
+			}
+			return t
+		},
+	})
+
+	register(Spec{
+		ID:          "fig9",
+		Title:       "Fig 9: MiniFE at 512 processes, varying match-list length, Broadwell",
+		Description: "CG-solve proxy with padded receive queues (paper: ~2.3% LLA gain at 2048).",
+		Run: func(o Options) Artifact {
+			world := minInt(512, worldCap(o))
+			iters := 10
+			if o.Quick {
+				iters = 3
+			}
+			trials := appTrials(o)
+			t := trace.NewTable("MiniFE at 512 processes (Broadwell)",
+				"match list length", "baseline (s)", "LLA (s)", "improvement")
+			// The paper's 1320^3 problem puts ~4.5M points on each of 512
+			// ranks (~22 ms of local work per CG iteration at ~5 ns per
+			// point). The proxy's real kernel runs N=8 locally; the
+			// modeled per-point cost is scaled so each iteration's
+			// compute represents the full-size subdomain.
+			const representedPoints = 1320.0 * 1320 * 1320 / 512
+			const nsPerPoint = 5.0
+			n := 8
+			computePerPoint := representedPoints * nsPerPoint / float64(n*n*n)
+			for _, pad := range []int{128, 512, 2048} {
+				run := func(v variant) float64 {
+					return meanRuntime(trials, func() float64 {
+						return proxyapps.RunMiniFE(proxyapps.MiniFEConfig{
+							World:             appWorld(world, cache.Broadwell, netmodel.OmniPath, v),
+							N:                 n,
+							Iters:             iters,
+							PadDepth:          pad,
+							ComputeNSPerPoint: computePerPoint,
+						}).RuntimeNS
+					})
+				}
+				base := run(variant{kind: matchlist.KindBaseline})
+				lla := run(variant{kind: matchlist.KindLLA, k: 2})
+				t.AddRow(pad, fmt.Sprintf("%.4f", base/1e9), fmt.Sprintf("%.4f", lla/1e9),
+					fmt.Sprintf("%.1f%%", (base-lla)/base*100))
+			}
+			return t
+		},
+	})
+
+	register(Spec{
+		ID:          "fig10",
+		Title:       "Fig 10: Fire Dynamics Simulator scaling, factor speedup over baseline",
+		Description: "FDS proxy; five series: LLA on Broadwell, HC / LLA / HC+LLA on Nehalem, LLA-Large (K=64) on Nehalem.",
+		Run: func(o Options) Artifact {
+			procs := []int{128, 256, 512, 1024, 2048, 4096, 8192}
+			phases := 2
+			if o.Quick {
+				procs = []int{128, 1024, 4096}
+				phases = 1
+			}
+			world := minInt(8, worldCap(o))
+			trials := 1
+			if o.Trials > 0 {
+				trials = o.Trials
+			}
+
+			runFDS := func(prof cache.Profile, fab netmodel.Fabric, v variant, target int) float64 {
+				return meanRuntime(trials, func() float64 {
+					return proxyapps.RunFDS(proxyapps.FDSConfig{
+						World:       appWorld(world, prof, fab, v),
+						TargetRanks: target,
+						Phases:      phases,
+					}).RuntimeNS
+				})
+			}
+
+			fig := trace.NewFigure("FDS scaling", "process count", "factor speedup over baseline")
+			llaBDW := fig.AddSeries("LLA Broadwell")
+			hcNEH := fig.AddSeries("HC Nehalem")
+			llaNEH := fig.AddSeries("LLA Nehalem")
+			hcllaNEH := fig.AddSeries("HC+LLA Nehalem")
+			llaLarge := fig.AddSeries("LLA-Large")
+
+			for _, p := range procs {
+				// Broadwell: measured to 1024 in the paper.
+				if p <= 1024 {
+					base := runFDS(cache.Broadwell, netmodel.OmniPath, variant{kind: matchlist.KindBaseline}, p)
+					lla := runFDS(cache.Broadwell, netmodel.OmniPath, variant{kind: matchlist.KindLLA, k: 2}, p)
+					llaBDW.Add(float64(p), base/lla)
+				}
+				// Nehalem: HC / LLA / HC+LLA to 4096, LLA-Large to 8192.
+				baseN := runFDS(cache.Nehalem, netmodel.MellanoxQDR, variant{kind: matchlist.KindBaseline}, p)
+				if p <= 4096 {
+					hc := runFDS(cache.Nehalem, netmodel.MellanoxQDR, variant{kind: matchlist.KindBaseline, hot: true}, p)
+					lla := runFDS(cache.Nehalem, netmodel.MellanoxQDR, variant{kind: matchlist.KindLLA, k: 2}, p)
+					hclla := runFDS(cache.Nehalem, netmodel.MellanoxQDR, variant{kind: matchlist.KindLLA, k: 2, hot: true, pool: true}, p)
+					hcNEH.Add(float64(p), baseN/hc)
+					llaNEH.Add(float64(p), baseN/lla)
+					hcllaNEH.Add(float64(p), baseN/hclla)
+				}
+				if p >= 1024 {
+					large := runFDS(cache.Nehalem, netmodel.MellanoxQDR, variant{kind: matchlist.KindLLA, k: 64}, p)
+					llaLarge.Add(float64(p), baseN/large)
+				}
+			}
+			return fig
+		},
+	})
+}

@@ -1,0 +1,90 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is registered under the paper's artifact
+// id (table1, fig1a, fig4b, ..., fig10, hcmicro) and returns a
+// renderable artifact printing the same rows or series the paper
+// reports. cmd/spco-bench and the repository benchmarks drive this
+// registry; EXPERIMENTS.md records paper-versus-measured for each id.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options tunes experiment cost.
+type Options struct {
+	// Quick shrinks sweeps and trial counts for CI-speed runs; the
+	// qualitative shapes survive.
+	Quick bool
+
+	// Trials overrides the per-experiment trial count (0 = default).
+	Trials int
+}
+
+// Artifact is anything an experiment can print.
+type Artifact interface {
+	Render() string
+}
+
+// Spec describes one registered experiment.
+type Spec struct {
+	ID          string
+	Title       string
+	Description string
+	Run         func(Options) Artifact
+}
+
+var registry []Spec
+
+func register(s Spec) {
+	registry = append(registry, s)
+}
+
+// All returns the registered experiments in id order.
+func All() []Spec {
+	out := append([]Spec{}, registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Spec, bool) {
+	for _, s := range registry {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	var ids []string
+	for _, s := range All() {
+		ids = append(ids, s.ID)
+	}
+	return ids
+}
+
+// multiArtifact concatenates artifacts (e.g. a figure's posted and
+// unexpected histograms).
+type multiArtifact struct {
+	title string
+	parts []Artifact
+}
+
+func (m multiArtifact) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n", m.title)
+	for _, p := range m.parts {
+		b.WriteString(p.Render())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// textArtifact is a pre-rendered artifact.
+type textArtifact string
+
+func (t textArtifact) Render() string { return string(t) }

@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"spco/internal/trace"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every artifact of the paper's evaluation must be registered.
+	want := []string{
+		"table1", "netcache", "hwoffload", "umqdepth", "appdepths", "validate", "tracestudy", "fig2",
+		"fig1a", "fig1b", "fig1c",
+		"fig4a", "fig4b", "fig4c",
+		"fig5a", "fig5b", "fig5c",
+		"fig6a", "fig6b", "fig6c",
+		"fig7a", "fig7b", "fig7c",
+		"fig8", "fig9", "fig10",
+		"hcmicro",
+	}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(ids) != len(want) {
+		t.Errorf("registry has %d experiments, want %d: %v", len(ids), len(want), ids)
+	}
+}
+
+func TestByID(t *testing.T) {
+	s, ok := ByID("table1")
+	if !ok || s.ID != "table1" || s.Run == nil {
+		t.Fatalf("ByID(table1) = %+v, %v", s, ok)
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Error("unknown id should not resolve")
+	}
+}
+
+func TestSpecsDescribed(t *testing.T) {
+	for _, s := range All() {
+		if s.Title == "" || s.Description == "" {
+			t.Errorf("%s: missing title or description", s.ID)
+		}
+	}
+}
+
+func figOf(t *testing.T, id string) *trace.Figure {
+	t.Helper()
+	s, ok := ByID(id)
+	if !ok {
+		t.Fatalf("missing %s", id)
+	}
+	fig, ok := s.Run(Options{Quick: true}).(*trace.Figure)
+	if !ok {
+		t.Fatalf("%s did not produce a figure", id)
+	}
+	return fig
+}
+
+// Figure 4b's quick form must preserve the headline ordering: baseline
+// slowest, LLA monotone to 8, plateau to 32, at the 1024-depth point.
+func TestFig4bShape(t *testing.T) {
+	fig := figOf(t, "fig4b")
+	at := func(name string) float64 {
+		s := fig.Get(name)
+		if s == nil {
+			t.Fatalf("series %s missing", name)
+		}
+		return s.YAt(1024)
+	}
+	base, l2, l8, l32 := at("baseline"), at("LLA-2"), at("LLA-8"), at("LLA-32")
+	if !(base < l2 && l2 < l8) {
+		t.Errorf("ordering violated: baseline=%g LLA-2=%g LLA-8=%g", base, l2, l8)
+	}
+	if l32 < l8*0.9 || l32 > l8*1.15 {
+		t.Errorf("no plateau: LLA-8=%g LLA-32=%g", l8, l32)
+	}
+}
+
+// Figures 6b and 7b: the hot-caching sign flip.
+func TestHotCacheSignFlipFigures(t *testing.T) {
+	sb := figOf(t, "fig6b")
+	if hc, base := sb.Get("HC").YAt(1024), sb.Get("baseline").YAt(1024); hc <= base {
+		t.Errorf("Sandy Bridge HC (%g) should beat baseline (%g)", hc, base)
+	}
+	bw := figOf(t, "fig7b")
+	if hc, base := bw.Get("HC").YAt(1024), bw.Get("baseline").YAt(1024); hc > base {
+		t.Errorf("Broadwell HC (%g) should not beat baseline (%g)", hc, base)
+	}
+}
+
+// Figure 4a: convergence at 1 MiB.
+func TestFig4aConvergence(t *testing.T) {
+	fig := figOf(t, "fig4a")
+	base := fig.Get("baseline").YAt(1 << 20)
+	l8 := fig.Get("LLA-8").YAt(1 << 20)
+	if ratio := l8 / base; ratio > 1.2 || ratio < 0.8 {
+		t.Errorf("1 MiB convergence violated: LLA-8/baseline = %.3f", ratio)
+	}
+}
+
+func TestTable1Artifact(t *testing.T) {
+	s, _ := ByID("table1")
+	tab, ok := s.Run(Options{Quick: true, Trials: 1}).(*trace.Table)
+	if !ok {
+		t.Fatal("table1 did not produce a table")
+	}
+	if tab.NumRows() != 10 {
+		t.Errorf("table1 rows = %d, want 10", tab.NumRows())
+	}
+	out := tab.Render()
+	for _, needle := range []string{"32x32", "1x1x256", "27pt", "6146"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("table1 output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestFig1Artifacts(t *testing.T) {
+	for _, id := range []string{"fig1a", "fig1b", "fig1c"} {
+		s, _ := ByID(id)
+		out := s.Run(Options{Quick: true}).Render()
+		if !strings.Contains(out, "posted") || !strings.Contains(out, "unexpected") {
+			t.Errorf("%s output missing histograms:\n%s", id, out)
+		}
+	}
+}
+
+func TestHCMicroArtifact(t *testing.T) {
+	s, _ := ByID("hcmicro")
+	out := s.Run(Options{Quick: true}).Render()
+	for _, needle := range []string{"SandyBridge", "Broadwell", "Nehalem"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("hcmicro missing %s:\n%s", needle, out)
+		}
+	}
+}
+
+// Figure 10 quick mode: the four qualitative claims.
+func TestFig10Claims(t *testing.T) {
+	fig := figOf(t, "fig10")
+	llaBDW := fig.Get("LLA Broadwell").YAt(1024)
+	if llaBDW < 1.05 || llaBDW > 1.5 {
+		t.Errorf("LLA Broadwell at 1024 = %.3f, want ~1.21", llaBDW)
+	}
+	llaNEH := fig.Get("LLA Nehalem").YAt(4096)
+	if llaNEH < 1.5 {
+		t.Errorf("LLA Nehalem at 4096 = %.3f, want ~2x", llaNEH)
+	}
+	hcNEH := fig.Get("HC Nehalem").YAt(4096)
+	if hcNEH >= llaNEH {
+		t.Errorf("HC alone (%.3f) must trail LLA (%.3f) at scale", hcNEH, llaNEH)
+	}
+	hclla := fig.Get("HC+LLA Nehalem").YAt(1024)
+	lla1024 := fig.Get("LLA Nehalem").YAt(1024)
+	if hclla <= lla1024 {
+		t.Errorf("HC+LLA (%.3f) should lead LLA (%.3f) at 1024", hclla, lla1024)
+	}
+}
+
+// The netcache extension: matches or beats hot caching on Sandy Bridge
+// and — unlike hot caching — wins on Broadwell too.
+func TestNetCacheClaims(t *testing.T) {
+	s, ok := ByID("netcache")
+	if !ok {
+		t.Fatal("netcache experiment missing")
+	}
+	art := s.Run(Options{Quick: true})
+	m, ok := art.(multiArtifact)
+	if !ok || len(m.parts) != 2 {
+		t.Fatalf("netcache artifact shape: %T", art)
+	}
+	for i, sys := range []string{"SandyBridge", "Broadwell"} {
+		fig, ok := m.parts[i].(*trace.Figure)
+		if !ok {
+			t.Fatalf("part %d not a figure", i)
+		}
+		base := fig.Get("baseline").YAt(1024)
+		nc := fig.Get("net-cache").YAt(1024)
+		if nc <= base {
+			t.Errorf("%s: net-cache (%g) should beat baseline (%g) at depth 1024", sys, nc, base)
+		}
+		baseShort := fig.Get("baseline").YAt(1)
+		ncShort := fig.Get("net-cache").YAt(1)
+		if ncShort < baseShort*0.98 {
+			t.Errorf("%s: net-cache must not cost short lists: %g vs %g", sys, ncShort, baseShort)
+		}
+		// The CAT-style partition also beats the baseline on both
+		// machines (unlike hot caching) but cannot beat the dedicated
+		// cache, whose hits are core-adjacent.
+		part := fig.Get("l3-partition").YAt(1024)
+		if part <= base {
+			t.Errorf("%s: l3-partition (%g) should beat baseline (%g)", sys, part, base)
+		}
+		if part >= nc {
+			t.Errorf("%s: l3-partition (%g) should trail the dedicated cache (%g)", sys, part, nc)
+		}
+	}
+}
+
+// The hwoffload extension: flat below hardware capacity, software-bound
+// above it — Section 2.2's observation, quantified.
+func TestHWOffloadClaims(t *testing.T) {
+	fig := figOf(t, "hwoffload")
+	hw := fig.Get("hw-offload-512")
+	base := fig.Get("baseline")
+	under := hw.YAt(64)
+	at512 := hw.YAt(512)
+	over := hw.YAt(4096)
+	if at512 < under*0.9 {
+		t.Errorf("hw-offload should stay flat to capacity: %g at 64, %g at 512", under, at512)
+	}
+	if over > under/4 {
+		t.Errorf("hw-offload should cliff past capacity: %g at 64, %g at 4096", under, over)
+	}
+	if hw.YAt(64) <= base.YAt(64) {
+		t.Error("hw-offload should beat the software baseline below capacity")
+	}
+	if over <= base.YAt(4096) {
+		t.Error("even spilled, hardware+LLA overflow should beat the pure baseline")
+	}
+}
+
+func TestMultiAndTextArtifacts(t *testing.T) {
+	m := multiArtifact{title: "T", parts: []Artifact{textArtifact("a"), textArtifact("b")}}
+	out := m.Render()
+	if !strings.Contains(out, "### T") || !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Errorf("multiArtifact render: %q", out)
+	}
+}
+
+func TestUMQDepthArtifact(t *testing.T) {
+	fig := figOf(t, "umqdepth")
+	base := fig.Get("baseline")
+	lla := fig.Get("LLA (3/line)")
+	if base == nil || lla == nil {
+		t.Fatal("series missing")
+	}
+	if lla.YAt(1024) >= base.YAt(1024) {
+		t.Errorf("packed UMQ (%g ns) should beat baseline (%g ns) at depth 1024",
+			lla.YAt(1024), base.YAt(1024))
+	}
+	// Depth 0: both near the fabric floor, within 20%.
+	if r := lla.YAt(0) / base.YAt(0); r < 0.8 || r > 1.2 {
+		t.Errorf("empty-queue latency ratio = %.2f, want ~1", r)
+	}
+}
+
+func TestAppDepthsArtifact(t *testing.T) {
+	s, _ := ByID("appdepths")
+	out := s.Run(Options{Quick: true}).Render()
+	for _, needle := range []string{"PRQ samples", "UMQ samples", "search depths"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("appdepths missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestFig2Artifact(t *testing.T) {
+	s, _ := ByID("fig2")
+	out := s.Run(Options{}).Render()
+	for _, needle := range []string{"64 bytes: exactly one cache line", "req ptr#2", "msg ptr#3"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("fig2 missing %q", needle)
+		}
+	}
+}
+
+func TestValidateArtifact(t *testing.T) {
+	s, _ := ByID("validate")
+	out := s.Run(Options{Quick: true}).Render()
+	if !strings.Contains(out, "Kendall tau") || !strings.Contains(out, "baseline") {
+		t.Errorf("validate artifact:\n%s", out)
+	}
+}
+
+func TestTracestudyArtifact(t *testing.T) {
+	s, _ := ByID("tracestudy")
+	out := s.Run(Options{Quick: true}).Render()
+	if !strings.Contains(out, "mismatches") || !strings.Contains(out, "hwoffload-512") {
+		t.Errorf("tracestudy artifact:\n%s", out)
+	}
+	// Every row must report zero mismatches; scan the last column.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "lla-") || strings.Contains(line, "baseline") {
+			fields := strings.Fields(line)
+			if len(fields) > 0 && fields[len(fields)-1] != "0" {
+				t.Errorf("replay mismatches in row: %s", line)
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spco/internal/cache"
+	"spco/internal/engine"
+	"spco/internal/matchlist"
+	"spco/internal/mpi"
+	"spco/internal/netmodel"
+	"spco/internal/proxyapps"
+	"spco/internal/trace"
+	"spco/internal/workload"
+)
+
+// umqdepth: the unexpected-queue side of the locality story, following
+// Underwood & Brightwell's long-queue microbenchmarks and Keller &
+// Graham's UMQ characterisation (both cited in Section 5). The paper's
+// structures change the UMQ too (16-byte entries, three per line); this
+// experiment measures late-posted-receive latency against a deep
+// unexpected backlog.
+func init() {
+	register(Spec{
+		ID:    "umqdepth",
+		Title: "Extension: unexpected-message-queue depth vs receive latency (Section 5 lineage)",
+		Description: "Late-posted receives searching a deep UMQ, baseline vs packed " +
+			"structures on Sandy Bridge — the locality thesis on the other queue.",
+		Run: func(o Options) Artifact {
+			deps := []int{0, 64, 256, 1024, 4096}
+			if o.Quick {
+				deps = []int{0, 1024}
+			}
+			iters := 5
+			if o.Quick {
+				iters = 2
+			}
+			fig := trace.NewFigure("UMQ depth vs receive latency, Sandy Bridge",
+				"unexpected queue depth", "ns per receive")
+			for _, v := range []struct {
+				name string
+				kind matchlist.Kind
+			}{
+				{"baseline", matchlist.KindBaseline},
+				{"LLA (3/line)", matchlist.KindLLA},
+			} {
+				s := fig.AddSeries(v.name)
+				for _, d := range deps {
+					r := workload.RunUMQ(workload.UMQConfig{
+						Engine: engine.Config{
+							Profile:        cache.SandyBridge,
+							Kind:           v.kind,
+							EntriesPerNode: 2,
+						},
+						Fabric: netmodel.IBQDR,
+						UDepth: d,
+						Iters:  iters,
+					})
+					s.Add(float64(d), r.NSPerRecv)
+				}
+			}
+			return fig
+		},
+	})
+
+	register(Spec{
+		ID:    "appdepths",
+		Title: "Extension: Figure-1-style queue histograms from the FDS proxy",
+		Description: "The Section 2.3 sampling methodology applied to an application: " +
+			"per-operation queue-length and search-depth histograms recorded by the " +
+			"engine itself during an FDS run.",
+		Run: func(o Options) Artifact {
+			prof := cache.Nehalem
+			prof.Cores = 2
+			target := 2048
+			ranks := 8
+			if o.Quick {
+				target = 512
+				ranks = 4
+			}
+			var hists struct {
+				prqLen, umqLen, depth *trace.Histogram
+			}
+			res := proxyapps.RunFDS(proxyapps.FDSConfig{
+				World: mpi.Config{
+					Size: ranks,
+					Engine: engine.Config{
+						Profile:         prof,
+						Kind:            matchlist.KindLLA,
+						EntriesPerNode:  2,
+						TrackHistograms: true,
+						HistogramBucket: 20,
+					},
+					Fabric: netmodel.MellanoxQDR,
+				},
+				TargetRanks: target,
+				Phases:      1,
+				HistSink: func(prqLen, umqLen, depth *trace.Histogram) {
+					hists.prqLen, hists.umqLen, hists.depth = prqLen, umqLen, depth
+				},
+			})
+			_ = res
+			if hists.prqLen == nil {
+				return textArtifact("no histograms collected")
+			}
+			t := trace.NewTable(
+				fmt.Sprintf("FDS proxy (target %d ranks): rank-0 queue behaviour", target),
+				"length bucket", "PRQ samples", "UMQ samples", "search depths")
+			pb, ub, db := hists.prqLen.Buckets(), hists.umqLen.Buckets(), hists.depth.Buckets()
+			n := len(pb)
+			for _, b := range [][]trace.Bucket{ub, db} {
+				if len(b) > n {
+					n = len(b)
+				}
+			}
+			cell := func(b []trace.Bucket, i int) any {
+				if i < len(b) {
+					return b[i].Count
+				}
+				return ""
+			}
+			for i := 0; i < n; i++ {
+				lo, hi := i*20, (i+1)*20-1
+				t.AddRow(fmt.Sprintf("%d-%d", lo, hi), cell(pb, i), cell(ub, i), cell(db, i))
+			}
+			return t
+		},
+	})
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"spco/internal/match"
+)
+
+// fig2 renders the paper's Figure 2 — "Packing data structures into 64
+// byte cache lines" — from the live layout constants, so the artifact
+// is correct by construction: if the entry layouts drift, this output
+// (and the packing tests in internal/match) drift visibly with them.
+func init() {
+	register(Spec{
+		ID:    "fig2",
+		Title: "Fig 2: packing match entries into 64-byte cache lines",
+		Description: "The PRQ/UMQ node layouts rendered from the implementation's own " +
+			"constants: 2 posted entries (24 B each) or 3 unexpected entries (16 B " +
+			"each) share one line with the node header and next pointer.",
+		Run: func(Options) Artifact {
+			var b strings.Builder
+
+			fmt.Fprintf(&b, "Posted-receive node (one %d-byte line, %d entries):\n\n",
+				match.NodeBytes(match.PostedPerLine, match.PostedEntryBytes), match.PostedPerLine)
+			renderLayout(&b, []segment{
+				{"head idx", 4}, {"tail idx", 4},
+				{"tag#1", 4}, {"rank#1", 2}, {"ctx#1", 2}, {"tagmask#1", 4}, {"rankmask#1", 4}, {"req ptr#1", 8},
+				{"tag#2", 4}, {"rank#2", 2}, {"ctx#2", 2}, {"tagmask#2", 4}, {"rankmask#2", 4}, {"req ptr#2", 8},
+				{"next ptr", 8},
+			})
+
+			fmt.Fprintf(&b, "\nUnexpected-message node (one %d-byte line, %d entries):\n\n",
+				match.NodeBytes(match.UnexpectedPerLine, match.UnexpectedEntryBytes), match.UnexpectedPerLine)
+			renderLayout(&b, []segment{
+				{"head idx", 4}, {"tail idx", 4},
+				{"tag#1", 4}, {"rank#1", 2}, {"ctx#1", 2}, {"msg ptr#1", 8},
+				{"tag#2", 4}, {"rank#2", 2}, {"ctx#2", 2}, {"msg ptr#2", 8},
+				{"tag#3", 4}, {"rank#3", 2}, {"ctx#3", 2}, {"msg ptr#3", 8},
+				{"next ptr", 8},
+			})
+
+			fmt.Fprintf(&b, "\nEntry sizes: posted %d B (tag 4, rank 2, ctx 2, masks 8, request 8), "+
+				"unexpected %d B (no masks).\n",
+				match.PostedEntryBytes, match.UnexpectedEntryBytes)
+			fmt.Fprintf(&b, "The exponential K sweep packs %d..%d posted entries per node "+
+				"(node sizes 64..784 B).\n", 2, 32)
+			return textArtifact(b.String())
+		},
+	})
+}
+
+// segment is one labeled byte range of a node layout.
+type segment struct {
+	label string
+	bytes int
+}
+
+// renderLayout prints an offset-annotated map of the segments and
+// panics (failing the artifact loudly) if they do not total a line.
+func renderLayout(b *strings.Builder, segs []segment) {
+	total := 0
+	fmt.Fprintf(b, "  offset  bytes  field\n")
+	fmt.Fprintf(b, "  ------  -----  -----\n")
+	for _, s := range segs {
+		fmt.Fprintf(b, "  %6d  %5d  %s\n", total, s.bytes, s.label)
+		total += s.bytes
+	}
+	if total != 64 {
+		panic(fmt.Sprintf("experiments: fig2 layout totals %d bytes, want 64", total))
+	}
+	fmt.Fprintf(b, "  ------  -----\n  %6d bytes: exactly one cache line\n", total)
+}

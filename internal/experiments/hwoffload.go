@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"spco/internal/cache"
+	"spco/internal/engine"
+	"spco/internal/matchlist"
+	"spco/internal/netmodel"
+	"spco/internal/trace"
+	"spco/internal/workload"
+)
+
+// The hwoffload experiment quantifies the Section 2.2 observation about
+// hardware matching (OmniPath PSM2, Atos-Bull BXI, Portals): "Such
+// solutions will only benefit from software MPI matching improvements
+// when list lengths are longer than that which can be supported in
+// hardware." A fixed-capacity hardware unit matches at flat cost; past
+// its capacity the software overflow list dominates — and that is
+// exactly where the paper's locality work applies.
+func init() {
+	register(Spec{
+		ID:    "hwoffload",
+		Title: "Extension: hardware matching offload and its capacity cliff (Section 2.2)",
+		Description: "Modified osu_bw with a Portals/BXI-style hardware match unit " +
+			"(512 entries) against the software structures: flat and fastest " +
+			"below capacity, software-bound above it.",
+		Run: func(o Options) Artifact {
+			deps := []int{1, 64, 256, 512, 1024, 4096, 8192}
+			if o.Quick {
+				deps = []int{64, 512, 4096}
+			}
+			iters := 10
+			if o.Quick {
+				iters = 2
+			}
+			variants := []struct {
+				name string
+				kind matchlist.Kind
+				k    int
+			}{
+				{"baseline", matchlist.KindBaseline, 0},
+				{"LLA-8", matchlist.KindLLA, 8},
+				{"hw-offload-512", matchlist.KindHWOffload, 0},
+			}
+			fig := trace.NewFigure("Hardware matching offload, Sandy Bridge, 1 B messages",
+				"PRQ search length", "bandwidth (MiBps)")
+			for _, v := range variants {
+				s := fig.AddSeries(v.name)
+				for _, d := range deps {
+					r := workload.RunBW(workload.BWConfig{
+						Engine: engine.Config{
+							Profile:        cache.SandyBridge,
+							Kind:           v.kind,
+							EntriesPerNode: v.k,
+							Bins:           512, // hardware capacity
+						},
+						Fabric:     netmodel.IBQDR,
+						QueueDepth: d,
+						MsgBytes:   1,
+						Iters:      iters,
+					})
+					s.Add(float64(d), r.BandwidthMiBps)
+				}
+			}
+			return fig
+		},
+	})
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spco/internal/cache"
+	"spco/internal/engine"
+	"spco/internal/matchlist"
+	"spco/internal/netmodel"
+	"spco/internal/trace"
+	"spco/internal/workload"
+)
+
+// variant names one plotted curve of Figures 4-7.
+type variant struct {
+	name string
+	kind matchlist.Kind
+	k    int
+	hot  bool
+	pool bool
+}
+
+// spatialVariants are Figures 4 and 5's curves: the unmodified baseline
+// and the exponential LLA sweep.
+func spatialVariants() []variant {
+	return []variant{
+		{name: "baseline", kind: matchlist.KindBaseline},
+		{name: "LLA-2", kind: matchlist.KindLLA, k: 2},
+		{name: "LLA-4", kind: matchlist.KindLLA, k: 4},
+		{name: "LLA-8", kind: matchlist.KindLLA, k: 8},
+		{name: "LLA-16", kind: matchlist.KindLLA, k: 16},
+		{name: "LLA-32", kind: matchlist.KindLLA, k: 32},
+	}
+}
+
+// temporalVariants are Figures 6 and 7's curves. The HC+LLA
+// configuration uses the dedicated element pool, the modification that
+// removed the heater's locking overhead (Section 4.3).
+func temporalVariants() []variant {
+	return []variant{
+		{name: "baseline", kind: matchlist.KindBaseline},
+		{name: "HC", kind: matchlist.KindBaseline, hot: true},
+		{name: "LLA", kind: matchlist.KindLLA, k: 2},
+		{name: "HC+LLA", kind: matchlist.KindLLA, k: 2, hot: true, pool: true},
+	}
+}
+
+func bwConfig(prof cache.Profile, fab netmodel.Fabric, v variant, depth int, bytes uint64, o Options) workload.BWConfig {
+	iters := 10
+	if o.Quick {
+		iters = 2
+	}
+	if o.Trials > 0 {
+		iters = o.Trials
+	}
+	return workload.BWConfig{
+		Engine: engine.Config{
+			Profile:        prof,
+			Kind:           v.kind,
+			EntriesPerNode: v.k,
+			HotCache:       v.hot,
+			Pool:           v.pool,
+		},
+		Fabric:     fab,
+		QueueDepth: depth,
+		MsgBytes:   bytes,
+		Iters:      iters,
+	}
+}
+
+// msgSizes returns the x axis for the size-sweep panels.
+func msgSizes(o Options) []uint64 {
+	if !o.Quick {
+		return workload.MsgSizeSweep()
+	}
+	return []uint64{1, 64, 4096, 1 << 16, 1 << 20}
+}
+
+// depths returns the x axis for the depth-sweep panels.
+func depths(o Options) []int {
+	if !o.Quick {
+		return workload.DepthSweep()
+	}
+	return []int{1, 64, 1024, 8192}
+}
+
+// sizeSweepFig builds a bandwidth-vs-message-size panel at fixed depth.
+func sizeSweepFig(title string, prof cache.Profile, fab netmodel.Fabric, vs []variant, depth int, o Options) *trace.Figure {
+	fig := trace.NewFigure(title, "msg size (B)", "bandwidth (MiBps)")
+	for _, v := range vs {
+		s := fig.AddSeries(v.name)
+		for _, sz := range msgSizes(o) {
+			r := workload.RunBW(bwConfig(prof, fab, v, depth, sz, o))
+			s.Add(float64(sz), r.BandwidthMiBps)
+		}
+	}
+	return fig
+}
+
+// depthSweepFig builds a bandwidth-vs-queue-depth panel at fixed size.
+func depthSweepFig(title string, prof cache.Profile, fab netmodel.Fabric, vs []variant, bytes uint64, o Options) *trace.Figure {
+	fig := trace.NewFigure(title, "PRQ search length", "bandwidth (MiBps)")
+	for _, v := range vs {
+		s := fig.AddSeries(v.name)
+		for _, d := range depths(o) {
+			r := workload.RunBW(bwConfig(prof, fab, v, d, bytes, o))
+			s.Add(float64(d), r.BandwidthMiBps)
+		}
+	}
+	return fig
+}
+
+func init() {
+	type panel struct {
+		id, title string
+		prof      cache.Profile
+		fab       netmodel.Fabric
+		vars      func() []variant
+		depth     int    // size panels
+		bytes     uint64 // depth panels (0 = size panel)
+	}
+	panels := []panel{
+		{"fig4a", "Fig 4a: spatial locality, Sandy Bridge, depth 1024", cache.SandyBridge, netmodel.IBQDR, spatialVariants, 1024, 0},
+		{"fig4b", "Fig 4b: spatial locality, Sandy Bridge, 1 B messages", cache.SandyBridge, netmodel.IBQDR, spatialVariants, 0, 1},
+		{"fig4c", "Fig 4c: spatial locality, Sandy Bridge, 4 KiB messages", cache.SandyBridge, netmodel.IBQDR, spatialVariants, 0, 4096},
+		{"fig5a", "Fig 5a: spatial locality, Broadwell, depth 1024", cache.Broadwell, netmodel.OmniPath, spatialVariants, 1024, 0},
+		{"fig5b", "Fig 5b: spatial locality, Broadwell, 1 B messages", cache.Broadwell, netmodel.OmniPath, spatialVariants, 0, 1},
+		{"fig5c", "Fig 5c: spatial locality, Broadwell, 4 KiB messages", cache.Broadwell, netmodel.OmniPath, spatialVariants, 0, 4096},
+		{"fig6a", "Fig 6a: temporal locality, Sandy Bridge, depth 1024", cache.SandyBridge, netmodel.IBQDR, temporalVariants, 1024, 0},
+		{"fig6b", "Fig 6b: temporal locality, Sandy Bridge, 1 B messages", cache.SandyBridge, netmodel.IBQDR, temporalVariants, 0, 1},
+		{"fig6c", "Fig 6c: temporal locality, Sandy Bridge, 4 KiB messages", cache.SandyBridge, netmodel.IBQDR, temporalVariants, 0, 4096},
+		{"fig7a", "Fig 7a: temporal locality, Broadwell, depth 1024", cache.Broadwell, netmodel.OmniPath, temporalVariants, 1024, 0},
+		{"fig7b", "Fig 7b: temporal locality, Broadwell, 1 B messages", cache.Broadwell, netmodel.OmniPath, temporalVariants, 0, 1},
+		{"fig7c", "Fig 7c: temporal locality, Broadwell, 4 KiB messages", cache.Broadwell, netmodel.OmniPath, temporalVariants, 0, 4096},
+	}
+	for _, p := range panels {
+		p := p
+		desc := "Modified osu_bw over the cache simulator; series per structure variant."
+		register(Spec{
+			ID: p.id, Title: p.title, Description: desc,
+			Run: func(o Options) Artifact {
+				if p.bytes == 0 {
+					return sizeSweepFig(p.title, p.prof, p.fab, p.vars(), p.depth, o)
+				}
+				return depthSweepFig(p.title, p.prof, p.fab, p.vars(), p.bytes, o)
+			},
+		})
+	}
+
+	register(Spec{
+		ID:    "hcmicro",
+		Title: "Section 4.3: cache-heater random-access microbenchmark",
+		Description: "Per-access latency of a prefetch-defeating random walk, " +
+			"cold vs heated (paper: SB 47.5->22.9 ns, BDW 38.5->22.8 ns).",
+		Run: func(o Options) Artifact {
+			lines := 4096
+			if o.Quick {
+				lines = 1024
+			}
+			t := trace.NewTable("Heater microbenchmark", "arch", "cold (ns)", "heated (ns)", "speedup")
+			for _, prof := range []cache.Profile{cache.SandyBridge, cache.Broadwell, cache.Nehalem} {
+				r := workload.RunHCMicro(workload.HCMicroConfig{Profile: prof, Lines: lines})
+				t.AddRow(prof.Name, fmt.Sprintf("%.1f", r.ColdNS), fmt.Sprintf("%.1f", r.HeatedNS),
+					fmt.Sprintf("%.2fx", r.Speedup))
+			}
+			return t
+		},
+	})
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spco/internal/motif"
+	"spco/internal/trace"
+	"spco/internal/workload"
+)
+
+// histArtifact renders a motif result's two histograms side by side,
+// as each Figure 1 panel plots posted and unexpected together.
+type histArtifact struct {
+	res *motif.Result
+}
+
+func (h histArtifact) Render() string {
+	t := trace.NewTable(
+		fmt.Sprintf("%s match-list sizes - %dK ranks (bucket %d)",
+			h.res.Name, h.res.Ranks/1024, h.res.Posted.BucketWidth),
+		"length bucket", "posted", "unexpected")
+	pb := h.res.Posted.Buckets()
+	ub := h.res.Unexpected.Buckets()
+	n := len(pb)
+	if len(ub) > n {
+		n = len(ub)
+	}
+	for i := 0; i < n; i++ {
+		var lo, hi int
+		var p, u uint64
+		if i < len(pb) {
+			lo, hi, p = pb[i].Lo, pb[i].Hi, pb[i].Count
+		}
+		if i < len(ub) {
+			lo, hi, u = ub[i].Lo, ub[i].Hi, ub[i].Count
+		}
+		t.AddRow(fmt.Sprintf("%d-%d", lo, hi), p, u)
+	}
+	return t.Render()
+}
+
+func motifConfig(o Options) motif.Config {
+	c := motif.Config{Seed: 2018}
+	if o.Quick {
+		c.SampleRanks = 128
+		c.Phases = 5
+	}
+	return c
+}
+
+func init() {
+	register(Spec{
+		ID:          "fig1a",
+		Title:       "Fig 1a: AMR match list sizes - 64K ranks",
+		Description: "Queue-length histogram of the AMR motif, posted and unexpected queues.",
+		Run: func(o Options) Artifact {
+			return histArtifact{motif.AMR(motifConfig(o))}
+		},
+	})
+	register(Spec{
+		ID:          "fig1b",
+		Title:       "Fig 1b: Sweep3D match list sizes - 128K ranks",
+		Description: "Queue-length histogram of the wavefront-sweep motif.",
+		Run: func(o Options) Artifact {
+			c := motifConfig(o)
+			if o.Quick {
+				c.Phases = 2
+			}
+			return histArtifact{motif.Sweep3D(c)}
+		},
+	})
+	register(Spec{
+		ID:          "fig1c",
+		Title:       "Fig 1c: Halo3D match list sizes - 256K ranks",
+		Description: "Queue-length histogram of the 7-point halo-exchange motif.",
+		Run: func(o Options) Artifact {
+			return histArtifact{motif.Halo3D(motifConfig(o))}
+		},
+	})
+
+	register(Spec{
+		ID:          "table1",
+		Title:       "Table 1: queue lengths and mean search depths, 2D/3D thread decompositions",
+		Description: "The multithreaded matching benchmark on all ten decomposition/stencil rows.",
+		Run: func(o Options) Artifact {
+			trials := 10
+			if o.Quick {
+				trials = 2
+			}
+			if o.Trials > 0 {
+				trials = o.Trials
+			}
+			t := trace.NewTable("Table 1",
+				"Decomp.", "Stencil", "tr", "ts", "Length", "Search depth", "± stddev")
+			for _, cfg := range workload.Table1Decomps() {
+				cfg.Trials = trials
+				r := workload.RunMT(cfg)
+				t.AddRow(r.Decomp.String(), r.Stencil.String(), r.TR, r.TS, r.Length,
+					fmt.Sprintf("%.2f", r.Depth.Mean()), fmt.Sprintf("%.2f", r.Depth.StdDev()))
+			}
+			return t
+		},
+	})
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"spco/internal/cache"
+	"spco/internal/engine"
+	"spco/internal/matchlist"
+	"spco/internal/netmodel"
+	"spco/internal/trace"
+	"spco/internal/workload"
+)
+
+// The netcache experiment evaluates the paper's own hardware proposal
+// (Sections 4.6 and 6): "with explicit hardware-supported data-locality
+// control ... a cache partition, or a dedicated network cache, MPI
+// message matching performance can be improved for long lists without a
+// cost to short list performance." It is an extension beyond the
+// paper's measured artifacts: the proposal evaluated with the same
+// harness that reproduced Figures 4-7.
+func init() {
+	register(Spec{
+		ID:    "netcache",
+		Title: "Extension: the proposed cache partition and dedicated network cache (Sections 4.6, 6)",
+		Description: "Modified osu_bw comparing baseline, hot caching, and the paper's two " +
+			"hardware proposals (a CAT-style L3 way partition and a dedicated network " +
+			"cache) across queue depths on both Sandy Bridge and Broadwell. Both " +
+			"proposals should deliver hot caching's gains without its sign flip.",
+		Run: func(o Options) Artifact {
+			type variant struct {
+				name     string
+				hot, nc  bool
+				partWays int
+			}
+			variants := []variant{
+				{name: "baseline"},
+				{name: "hot-caching", hot: true},
+				{name: "l3-partition", partWays: 4},
+				{name: "net-cache", nc: true},
+			}
+			deps := []int{1, 64, 1024, 8192}
+			if o.Quick {
+				deps = []int{1, 1024}
+			}
+			iters := 10
+			if o.Quick {
+				iters = 2
+			}
+			systems := []struct {
+				prof cache.Profile
+				fab  netmodel.Fabric
+			}{
+				{cache.SandyBridge, netmodel.IBQDR},
+				{cache.Broadwell, netmodel.OmniPath},
+			}
+			parts := make([]Artifact, 0, 2)
+			for _, sys := range systems {
+				fig := trace.NewFigure("Hardware proposals, "+sys.prof.Name+", 1 B messages",
+					"PRQ search length", "bandwidth (MiBps)")
+				for _, v := range variants {
+					s := fig.AddSeries(v.name)
+					for _, d := range deps {
+						r := workload.RunBW(workload.BWConfig{
+							Engine: engine.Config{
+								Profile:         sys.prof,
+								Kind:            matchlist.KindLLA,
+								EntriesPerNode:  2,
+								HotCache:        v.hot,
+								Pool:            v.hot,
+								NetworkCache:    v.nc,
+								L3PartitionWays: v.partWays,
+							},
+							Fabric:     sys.fab,
+							QueueDepth: d,
+							MsgBytes:   1,
+							Iters:      iters,
+						})
+						s.Add(float64(d), r.BandwidthMiBps)
+					}
+				}
+				parts = append(parts, fig)
+			}
+			return multiArtifact{title: "The paper's hardware proposals, evaluated", parts: parts}
+		},
+	})
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spco/internal/cache"
+	"spco/internal/engine"
+	"spco/internal/matchlist"
+	"spco/internal/mpi"
+	"spco/internal/mtrace"
+	"spco/internal/netmodel"
+	"spco/internal/proxyapps"
+	"spco/internal/trace"
+	"spco/internal/validate"
+)
+
+func init() {
+	register(Spec{
+		ID:    "validate",
+		Title: "Extension: simulator-vs-native ordering validation",
+		Description: "Deep cold searches per structure, measured on the simulator and " +
+			"natively on the host: the layout effects (pointer chasing vs packing) " +
+			"must order the variants identically. Kendall tau reports concordance.",
+		Run: func(o Options) Artifact {
+			depth := 4096
+			rounds := 7
+			if o.Quick {
+				depth = 1024
+				rounds = 3
+			}
+			res := validate.Compare(validate.DefaultVariants(), depth, rounds)
+			t := trace.NewTable(
+				fmt.Sprintf("Simulator vs native, depth %d (Kendall tau %.2f)", depth, res.Tau()),
+				"structure", "sim cycles (SandyBridge)", "native ns (host)")
+			for _, m := range res.Measurements {
+				t.AddRow(m.Variant.Name, m.SimCycles, fmt.Sprintf("%.0f", m.NativeNS))
+			}
+			return t
+		},
+	})
+
+	register(Spec{
+		ID:    "tracestudy",
+		Title: "Extension: one recorded FDS trace replayed everywhere",
+		Description: "Records rank 0 of an FDS run once, then replays the identical " +
+			"operation sequence against every structure on both studied " +
+			"architectures — trace-based simulation with outcome cross-checking.",
+		Run: func(o Options) Artifact {
+			target := 2048
+			ranks := 8
+			if o.Quick {
+				target = 512
+				ranks = 4
+			}
+			rec := mtrace.NewRecorder("fds")
+			prof := cache.Nehalem
+			prof.Cores = 2
+			proxyapps.RunFDS(proxyapps.FDSConfig{
+				World: mpi.Config{
+					Size:   ranks,
+					Engine: engine.Config{Profile: prof, Kind: matchlist.KindLLA, EntriesPerNode: 2},
+					Fabric: netmodel.MellanoxQDR,
+					Observer: func(rank int) engine.Observer {
+						if rank == 0 {
+							return rec
+						}
+						return nil
+					},
+				},
+				TargetRanks: target,
+				Phases:      1,
+			})
+			tr := rec.Trace()
+
+			t := trace.NewTable(
+				fmt.Sprintf("FDS trace (%d events) replayed per structure and architecture", len(tr.Events)),
+				"structure", "SandyBridge ms", "Broadwell ms", "Nehalem ms", "mismatches")
+			for _, v := range []struct {
+				name string
+				kind matchlist.Kind
+				k    int
+			}{
+				{"baseline", matchlist.KindBaseline, 0},
+				{"lla-2", matchlist.KindLLA, 2},
+				{"lla-8", matchlist.KindLLA, 8},
+				{"hashbins-256", matchlist.KindHashBins, 0},
+				{"hwoffload-512", matchlist.KindHWOffload, 0},
+			} {
+				var cells []any
+				cells = append(cells, v.name)
+				mismatches := 0
+				for _, prof := range []cache.Profile{cache.SandyBridge, cache.Broadwell, cache.Nehalem} {
+					cfg := engine.Config{
+						Profile: prof, Kind: v.kind, EntriesPerNode: v.k,
+						CommSize: 1 << 16,
+					}
+					switch v.kind {
+					case matchlist.KindHashBins:
+						cfg.Bins = 256
+					case matchlist.KindHWOffload:
+						cfg.Bins = 512
+					}
+					r := mtrace.Replay(tr, cfg)
+					cells = append(cells, fmt.Sprintf("%.3f", r.CPUNanos/1e6))
+					mismatches += r.Mismatches
+				}
+				cells = append(cells, mismatches)
+				t.AddRow(cells...)
+			}
+			return t
+		},
+	})
+}

@@ -1,0 +1,225 @@
+// Package hotcache implements the paper's second instrument (Section
+// 3.2): a "heater" that periodically touches registered memory regions
+// so cache replacement never evicts them, producing semi-permanent cache
+// occupancy.
+//
+// The real implementation is a pthread pinned to a core sharing the L3
+// with the communication process; it iterates a region list, reads the
+// first four bytes of every cache line, sleeps, and repeats. Three
+// modeled consequences matter to the experiments:
+//
+//  1. Warmth: after a sweep, every registered line resides in the shared
+//     L3 (and the heater core's private levels), so the compute core's
+//     next access is an L3 hit instead of a DRAM load (Figure 3).
+//  2. Synchronisation: the region list is a critical section. Removing a
+//     region (to deallocate it) must take a spin lock and search the
+//     list, which is expensive when the list is long — the paper's lock
+//     contention problem. The element-pool variant sidesteps removals
+//     entirely by recycling node addresses.
+//  3. Interference: sweeps consume L3 bandwidth, charged by the cache
+//     simulator's per-profile contention penalty while the heater is
+//     marked active.
+//
+// Determinism: the heater is driven at phase boundaries by its owner
+// (the matching engine) rather than by a goroutine; a sweep covers the
+// fraction of the region list the configured period permits within the
+// compute phase being modeled.
+package hotcache
+
+import (
+	"spco/internal/cache"
+	"spco/internal/simmem"
+)
+
+// Synchronisation cost model. An uncontended spin-lock acquisition plus
+// the list insert; removals additionally scan the region list under the
+// lock. On top of that, the heater holds the same lock while sweeping:
+// when the registry is long, sweeps take longer than the heater's sleep
+// period, the lock is held most of the time, and every insert or
+// removal spins for a large fraction of a sweep — the contention the
+// paper identifies as hot caching's cost at scale (Sections 3.2, 4.5).
+const (
+	lockAcquireCycles   = 40
+	removeScanPerRegion = 2
+	touchBytes          = 4 // "adds the first four bytes of each cache line"
+
+	// touchNSPerLine is the heater's per-line sweep cost (a dependent
+	// load train on the heater core).
+	touchNSPerLine = 2.0
+)
+
+// Options configures a heater.
+type Options struct {
+	// PeriodNS is the heater's sleep between sweeps. A sweep initiated
+	// during a compute phase of length P covers min(1, P/PeriodNS) of
+	// the registered lines; longer periods leave the tail cold.
+	PeriodNS float64
+
+	// Pool selects the auxiliary-data-structure mode: region entries are
+	// re-used rather than removed, so structure deallocation costs no
+	// heater synchronisation (the modified-LLA configuration in the
+	// temporal-locality experiments).
+	Pool bool
+}
+
+// Heater keeps a region registry warm in the shared cache.
+type Heater struct {
+	h    *cache.Hierarchy
+	core int
+	opts Options
+
+	regions simmem.RegionSet
+
+	sweeps     uint64
+	touches    uint64
+	cursor     uint64 // resume position (line index into the registry)
+	syncCycles uint64 // accumulated, drained by TakeSyncCycles
+}
+
+// New binds a heater to a hierarchy and the core it is pinned to. The
+// core must share a cache level with the communication core for heating
+// to help; on the modeled machines that is the socket-wide L3.
+func New(h *cache.Hierarchy, core int, opts Options) *Heater {
+	if opts.PeriodNS <= 0 {
+		opts.PeriodNS = 1000 // 1 us default: well under any compute phase
+	}
+	return &Heater{h: h, core: core, opts: opts}
+}
+
+// Core returns the heater's pinned core.
+func (ht *Heater) Core() int { return ht.core }
+
+// Pool reports whether the element-pool mode is active.
+func (ht *Heater) Pool() bool { return ht.opts.Pool }
+
+// sweepNS returns the duration of one full sweep of the registry.
+func (ht *Heater) sweepNS() float64 {
+	return float64(ht.regions.TotalLines()) * touchNSPerLine
+}
+
+// refreshCycleNS is how often each registered line actually gets
+// re-touched: the larger of the configured period and the time a full
+// sweep takes (the heater cannot sweep faster than it can load lines).
+func (ht *Heater) refreshCycleNS() float64 {
+	if s := ht.sweepNS(); s > ht.opts.PeriodNS {
+		return s
+	}
+	return ht.opts.PeriodNS
+}
+
+// lockWaitCycles models spinning on the region-list lock while the
+// heater holds it: the heater sweeps for sweepNS out of every refresh
+// cycle, and an op arriving during a sweep waits half a sweep on
+// average.
+func (ht *Heater) lockWaitCycles() uint64 {
+	sweep := ht.sweepNS()
+	if sweep <= 0 {
+		return 0
+	}
+	duty := sweep / ht.refreshCycleNS()
+	return ht.h.Profile().NanosToCycles(duty * sweep / 2)
+}
+
+// RegionAdded registers a region, charging the insert synchronisation.
+// In pool mode a re-added region that is still registered costs nothing
+// (the recycled element was never removed).
+func (ht *Heater) RegionAdded(r simmem.Region) uint64 {
+	if ht.opts.Pool && ht.regions.Contains(r.Base) {
+		return 0
+	}
+	cost := lockAcquireCycles + ht.lockWaitCycles()
+	ht.regions.Add(r)
+	ht.syncCycles += cost
+	return cost
+}
+
+// RegionRemoved deregisters a region. Without the pool this takes the
+// spin lock (waiting out any in-progress sweep) and scans the region
+// list — the contention the paper blames for hot caching's overhead at
+// scale. With the pool the entry stays and the call is free.
+func (ht *Heater) RegionRemoved(r simmem.Region) uint64 {
+	if ht.opts.Pool {
+		return 0
+	}
+	cost := uint64(lockAcquireCycles+removeScanPerRegion*len(ht.regions.Regions())) +
+		ht.lockWaitCycles()
+	ht.regions.Remove(r)
+	ht.syncCycles += cost
+	return cost
+}
+
+// Sweep runs the heater for a compute phase of phaseNS nanoseconds: it
+// touches the first 4 bytes of each registered cache line, covering the
+// fraction of lines one refresh cycle fits into the phase. The heater
+// iterates its registry continuously, resuming where the previous phase
+// left off, so partial coverage is a rotating window — not a
+// permanently-warm prefix.
+func (ht *Heater) Sweep(phaseNS float64) {
+	frac := 1.0
+	if cycle := ht.refreshCycleNS(); phaseNS > 0 && cycle > phaseNS {
+		frac = phaseNS / cycle
+	}
+	total := ht.regions.TotalLines()
+	budget := total
+	if frac < 1 {
+		budget = uint64(frac * float64(total))
+	}
+	ht.sweeps++
+	if total == 0 || budget == 0 {
+		return
+	}
+	start := ht.cursor % total
+	var pos, done uint64
+	touch := func(line uint64) {
+		ht.h.HeaterTouch(ht.core, simmem.Addr(line*simmem.LineSize), touchBytes)
+		ht.touches++
+		done++
+	}
+	// Two passes over the region list implement the wrap-around window
+	// [start, start+budget) in line order.
+	for pass := 0; pass < 2 && done < budget; pass++ {
+		pos = 0
+		for _, r := range ht.regions.Regions() {
+			firstLine := r.Base.Line()
+			lastLine := (r.End() - 1).Line()
+			for line := firstLine; line <= lastLine; line++ {
+				inWindow := false
+				switch pass {
+				case 0:
+					inWindow = pos >= start
+				case 1:
+					inWindow = pos < start
+				}
+				if inWindow && done < budget {
+					touch(line)
+				}
+				pos++
+			}
+			if done >= budget {
+				break
+			}
+		}
+	}
+	ht.cursor = (start + budget) % total
+}
+
+// TakeSyncCycles drains and returns the synchronisation cycles accrued
+// since the last call; the owner charges them to the operation that
+// caused them.
+func (ht *Heater) TakeSyncCycles() uint64 {
+	c := ht.syncCycles
+	ht.syncCycles = 0
+	return c
+}
+
+// Sweeps returns the number of sweeps performed.
+func (ht *Heater) Sweeps() uint64 { return ht.sweeps }
+
+// Touches returns the number of line touches performed.
+func (ht *Heater) Touches() uint64 { return ht.touches }
+
+// RegisteredBytes returns the total bytes currently registered.
+func (ht *Heater) RegisteredBytes() uint64 { return ht.regions.TotalBytes() }
+
+// RegisteredLines returns the total cache lines currently registered.
+func (ht *Heater) RegisteredLines() uint64 { return ht.regions.TotalLines() }

@@ -1,0 +1,204 @@
+package hotcache
+
+import (
+	"testing"
+
+	"spco/internal/cache"
+	"spco/internal/simmem"
+)
+
+func testHierarchy() *cache.Hierarchy {
+	p := cache.Profile{
+		Name:               "test",
+		ClockGHz:           1.0,
+		Cores:              2,
+		L1:                 cache.LevelConfig{Name: "L1", SizeBytes: 1 << 10, Ways: 2, LatencyCycles: 4},
+		L2:                 cache.LevelConfig{Name: "L2", SizeBytes: 4 << 10, Ways: 4, LatencyCycles: 12},
+		L3:                 cache.LevelConfig{Name: "L3", SizeBytes: 64 << 10, Ways: 8, LatencyCycles: 30, Shared: true},
+		DRAMLatency:        200,
+		L3ContentionCycles: 10,
+	}
+	return cache.New(p)
+}
+
+func TestSweepWarmsRegions(t *testing.T) {
+	h := testHierarchy()
+	ht := New(h, 1, Options{})
+	r := simmem.Region{Base: 0x10000, Size: 256} // 4 lines
+	ht.RegionAdded(r)
+	ht.Sweep(1e6)
+	for i := uint64(0); i < 4; i++ {
+		addr := r.Base + simmem.Addr(i*64)
+		if lvl := h.Present(0, addr); lvl != 3 {
+			t.Errorf("line %d at level %d after sweep, want shared L3", i, lvl)
+		}
+		if lvl := h.Present(1, addr); lvl != 1 {
+			t.Errorf("heater core should hold line %d privately, got level %d", i, lvl)
+		}
+	}
+	if ht.Touches() != 4 || ht.Sweeps() != 1 {
+		t.Errorf("touches=%d sweeps=%d, want 4/1", ht.Touches(), ht.Sweeps())
+	}
+}
+
+func TestSweepCoversFractionForLongPeriods(t *testing.T) {
+	h := testHierarchy()
+	// Period 4x the phase: only a quarter of the lines get re-touched.
+	ht := New(h, 1, Options{PeriodNS: 4000})
+	r := simmem.Region{Base: 0x10000, Size: 8 * 64}
+	ht.RegionAdded(r)
+	ht.Sweep(1000)
+	if ht.Touches() != 2 {
+		t.Errorf("touches = %d, want 2 (8 lines * 1000/4000)", ht.Touches())
+	}
+	// The prefix is warm, the suffix cold.
+	if h.Present(0, r.Base) != 3 {
+		t.Error("first line should be warm")
+	}
+	if h.Present(0, r.Base+7*64) != 0 {
+		t.Error("last line should be cold with a lagging heater")
+	}
+}
+
+func TestSweepFullWhenPeriodShort(t *testing.T) {
+	h := testHierarchy()
+	ht := New(h, 1, Options{PeriodNS: 100})
+	ht.RegionAdded(simmem.Region{Base: 0, Size: 640})
+	ht.Sweep(1e6)
+	if ht.Touches() != 10 {
+		t.Errorf("touches = %d, want all 10 lines", ht.Touches())
+	}
+}
+
+func TestSyncCostsWithoutPool(t *testing.T) {
+	h := testHierarchy()
+	ht := New(h, 1, Options{})
+	if c := ht.RegionAdded(simmem.Region{Base: 0, Size: 64}); c == 0 {
+		t.Error("insert should cost lock cycles")
+	}
+	for i := 1; i < 10; i++ {
+		ht.RegionAdded(simmem.Region{Base: simmem.Addr(i * 4096), Size: 64})
+	}
+	ht.TakeSyncCycles()
+	small := ht.RegionRemoved(simmem.Region{Base: 0, Size: 64})
+	for i := 10; i < 200; i++ {
+		ht.RegionAdded(simmem.Region{Base: simmem.Addr(i * 4096), Size: 64})
+	}
+	ht.TakeSyncCycles()
+	big := ht.RegionRemoved(simmem.Region{Base: 4096, Size: 64})
+	if big <= small {
+		t.Errorf("removal cost should grow with registry length: %d then %d", small, big)
+	}
+}
+
+func TestPoolModeSkipsSync(t *testing.T) {
+	h := testHierarchy()
+	ht := New(h, 1, Options{Pool: true})
+	r := simmem.Region{Base: 0x1000, Size: 64}
+	if c := ht.RegionAdded(r); c == 0 {
+		t.Error("first insert still costs a lock acquisition")
+	}
+	if c := ht.RegionRemoved(r); c != 0 {
+		t.Errorf("pool-mode removal cost %d, want 0", c)
+	}
+	// The region stays registered (elements are reused, not removed).
+	if ht.RegisteredLines() != 1 {
+		t.Errorf("pool-mode removal dropped the region: %d lines", ht.RegisteredLines())
+	}
+	// Re-adding the same (recycled) region is free.
+	if c := ht.RegionAdded(r); c != 0 {
+		t.Errorf("re-adding a recycled region cost %d, want 0", c)
+	}
+}
+
+func TestTakeSyncCyclesDrains(t *testing.T) {
+	h := testHierarchy()
+	ht := New(h, 1, Options{})
+	ht.RegionAdded(simmem.Region{Base: 0, Size: 64})
+	if got := ht.TakeSyncCycles(); got != lockAcquireCycles {
+		t.Errorf("TakeSyncCycles = %d, want %d", got, lockAcquireCycles)
+	}
+	if got := ht.TakeSyncCycles(); got != 0 {
+		t.Errorf("second TakeSyncCycles = %d, want 0", got)
+	}
+}
+
+func TestRegisteredAccounting(t *testing.T) {
+	h := testHierarchy()
+	ht := New(h, 0, Options{})
+	ht.RegionAdded(simmem.Region{Base: 0, Size: 128})
+	ht.RegionAdded(simmem.Region{Base: 4096, Size: 64})
+	if ht.RegisteredBytes() != 192 {
+		t.Errorf("RegisteredBytes = %d, want 192", ht.RegisteredBytes())
+	}
+	if ht.RegisteredLines() != 3 {
+		t.Errorf("RegisteredLines = %d, want 3", ht.RegisteredLines())
+	}
+	ht.RegionRemoved(simmem.Region{Base: 4096, Size: 64})
+	if ht.RegisteredLines() != 2 {
+		t.Errorf("after removal RegisteredLines = %d, want 2", ht.RegisteredLines())
+	}
+}
+
+// End-to-end heating effect: cold accesses pay DRAM; after flush+sweep
+// the compute core pays only the shared-cache latency — the mechanism
+// behind Figure 3 and the Section 4.3 microbenchmark.
+func TestHeatingReducesLatency(t *testing.T) {
+	h := testHierarchy()
+	ht := New(h, 1, Options{})
+	r := simmem.Region{Base: 0x40000, Size: 4096}
+	ht.RegionAdded(r)
+
+	h.Flush()
+	cold := h.Access(0, r.Base+2048, 4)
+	h.Flush()
+	ht.Sweep(1e6)
+	warm := h.Access(0, r.Base+2048, 4)
+	if cold != 200 || warm != 30 {
+		t.Errorf("cold=%d warm=%d, want 200/30", cold, warm)
+	}
+}
+
+// Partial sweeps rotate through the registry rather than re-warming the
+// same prefix: two quarter-coverage sweeps touch different windows.
+func TestSweepRotation(t *testing.T) {
+	h := testHierarchy()
+	ht := New(h, 1, Options{PeriodNS: 4000})
+	r := simmem.Region{Base: 0x10000, Size: 8 * 64}
+	ht.RegionAdded(r)
+
+	ht.Sweep(1000) // quarter coverage: lines 0,1
+	if h.Present(0, r.Base) != 3 || h.Present(0, r.Base+2*64) != 0 {
+		t.Fatal("first sweep should warm the first window only")
+	}
+	ht.Sweep(1000) // next window: lines 2,3
+	if h.Present(0, r.Base+2*64) != 3 || h.Present(0, r.Base+3*64) != 3 {
+		t.Error("second sweep did not advance the window")
+	}
+	if h.Present(0, r.Base+4*64) != 0 {
+		t.Error("second sweep overran its budget")
+	}
+	// Two more sweeps wrap back to the start.
+	ht.Sweep(1000)
+	ht.Sweep(1000)
+	ht.Sweep(1000)
+	if ht.Touches() != 10 {
+		t.Errorf("touches = %d, want 10 after five quarter sweeps", ht.Touches())
+	}
+}
+
+// A sweep longer than the period is paced by its own duration: coverage
+// uses max(period, sweep time) as the refresh cycle.
+func TestRefreshCycleBoundedBySweepTime(t *testing.T) {
+	h := testHierarchy()
+	ht := New(h, 1, Options{PeriodNS: 1}) // absurdly eager heater
+	// 1000 lines at 2 ns each: a full sweep takes 2000 ns.
+	ht.RegionAdded(simmem.Region{Base: 0, Size: 1000 * 64})
+	ht.Sweep(1000) // phase shorter than the sweep: partial coverage
+	if ht.Touches() >= 1000 {
+		t.Errorf("touches = %d: sweep cannot outrun its own load rate", ht.Touches())
+	}
+	if ht.Touches() == 0 {
+		t.Error("some coverage expected")
+	}
+}

@@ -1,0 +1,167 @@
+// Package match defines MPI message-matching semantics and the exact
+// byte layouts the paper's instruments use (Section 3.1, Figure 2):
+//
+//   - a posted-receive-queue (PRQ) entry is 24 bytes: 4 B tag, 2 B rank,
+//     2 B context id, 8 B of wildcard bit masks, 8 B request pointer;
+//   - an unexpected-message-queue (UMQ) entry needs no masks: 16 bytes.
+//
+// Matching follows MPI semantics: a posted receive names a source rank
+// (or MPI_ANY_SOURCE), a tag (or MPI_ANY_TAG), and a communicator
+// context id; an incoming envelope carries concrete rank, tag, and
+// context. Wildcards are implemented with the bit masks so the hot
+// comparison is three masked equality tests, exactly as in MVAPICH-style
+// engines.
+package match
+
+import "fmt"
+
+// Wildcards. Values mirror common MPI implementations: negative
+// sentinels outside the valid rank/tag space.
+const (
+	AnySource = -1 // MPI_ANY_SOURCE
+	AnyTag    = -2 // MPI_ANY_TAG
+)
+
+// Entry sizes in bytes (Figure 2) and the per-node bookkeeping the LLA
+// carries (Section 3.1: "a pointer to the next array and indexes to the
+// array indicating the start and end of the used section").
+const (
+	PostedEntryBytes     = 24
+	UnexpectedEntryBytes = 16
+	NodeHeaderBytes      = 8 // head + tail indexes, 4 B each
+	NodeNextPtrBytes     = 8
+)
+
+// Envelope is the matching information an incoming message carries.
+type Envelope struct {
+	Rank int32 // sending rank within the communicator
+	Tag  int32
+	Ctx  uint16 // communicator context id
+	Seq  uint64 // arrival sequence, used for FIFO-order assertions
+}
+
+// String implements fmt.Stringer.
+func (e Envelope) String() string {
+	return fmt.Sprintf("env{rank=%d tag=%d ctx=%d}", e.Rank, e.Tag, e.Ctx)
+}
+
+// Posted is one PRQ entry in its logical (unpacked) form. The packed
+// 24-byte form lives in the match lists; Posted carries the same fields
+// plus the request handle the 8-byte pointer would reference.
+type Posted struct {
+	Tag      int32
+	Rank     int16
+	Ctx      uint16
+	TagMask  uint32 // 0xFFFFFFFF = exact, 0 = any
+	RankMask uint32
+	Req      uint64 // opaque request handle (the "request pointer")
+}
+
+// NewPosted builds a PRQ entry from user-level receive arguments,
+// folding wildcards into masks. rank and tag accept AnySource / AnyTag.
+func NewPosted(rank, tag int, ctx uint16, req uint64) Posted {
+	p := Posted{Ctx: ctx, Req: req, TagMask: ^uint32(0), RankMask: ^uint32(0)}
+	if rank == AnySource {
+		p.RankMask = 0
+	} else {
+		p.Rank = int16(rank)
+	}
+	if tag == AnyTag {
+		p.TagMask = 0
+	} else {
+		p.Tag = int32(tag)
+	}
+	return p
+}
+
+// Matches reports whether the posted receive accepts the envelope.
+// This is the hot comparison: three masked equality tests.
+func (p Posted) Matches(e Envelope) bool {
+	if p.Ctx != e.Ctx {
+		return false
+	}
+	if (uint32(p.Tag)^uint32(e.Tag))&p.TagMask != 0 {
+		return false
+	}
+	if (uint32(int32(p.Rank))^uint32(e.Rank))&p.RankMask != 0 {
+		return false
+	}
+	return true
+}
+
+// IsWild reports whether the entry uses any wildcard. Wildcard entries
+// defeat bucketed structures (hash bins, rank arrays), which must fall
+// back to ordered scanning to preserve MPI matching order.
+func (p Posted) IsWild() bool {
+	return p.TagMask == 0 || p.RankMask == 0
+}
+
+// Hole encoding (Section 3.1): deletions in the middle of an LLA node
+// are represented by entries whose tag and source are invalid and whose
+// mask fields are all set, so a hole can never match a real envelope.
+// Holes additionally carry the reserved context id InvalidCtx, which the
+// runtime never assigns to a communicator; this keeps UMQ holes immune
+// even to full-wildcard receives.
+const (
+	holeTag  = int32(-0x7FFFFFFF)
+	holeRank = int16(-0x7FFF)
+
+	// InvalidCtx is a context id no communicator ever receives.
+	InvalidCtx = uint16(0xFFFF)
+)
+
+// Hole returns the tombstone entry.
+func Hole() Posted {
+	return Posted{Tag: holeTag, Rank: holeRank, Ctx: InvalidCtx,
+		TagMask: ^uint32(0), RankMask: ^uint32(0)}
+}
+
+// IsHole reports whether the entry is a tombstone.
+func (p Posted) IsHole() bool {
+	return p.Tag == holeTag && p.Rank == holeRank
+}
+
+// Unexpected is one UMQ entry: the envelope of a message that arrived
+// before a matching receive was posted, plus the handle of its buffered
+// payload.
+type Unexpected struct {
+	Tag  int32
+	Rank int16
+	Ctx  uint16
+	Msg  uint64 // opaque handle to the buffered message
+}
+
+// NewUnexpected records an arrived envelope.
+func NewUnexpected(e Envelope, msg uint64) Unexpected {
+	return Unexpected{Tag: e.Tag, Rank: int16(e.Rank), Ctx: e.Ctx, Msg: msg}
+}
+
+// MatchedBy reports whether a receive described by p accepts this
+// buffered message.
+func (u Unexpected) MatchedBy(p Posted) bool {
+	return p.Matches(Envelope{Rank: int32(u.Rank), Tag: u.Tag, Ctx: u.Ctx})
+}
+
+// UnexpectedHole returns the UMQ tombstone.
+func UnexpectedHole() Unexpected {
+	return Unexpected{Tag: holeTag, Rank: holeRank, Ctx: InvalidCtx}
+}
+
+// IsHole reports whether the UMQ entry is a tombstone.
+func (u Unexpected) IsHole() bool {
+	return u.Tag == holeTag && u.Rank == holeRank
+}
+
+// PostedPerLine and UnexpectedPerLine are the packing facts behind
+// Figure 2: a 64-byte line holds the node header, the next pointer, and
+// two 24-byte PRQ entries; without masks three 16-byte UMQ entries fit.
+const (
+	PostedPerLine     = (64 - NodeHeaderBytes - NodeNextPtrBytes) / PostedEntryBytes
+	UnexpectedPerLine = (64 - NodeHeaderBytes - NodeNextPtrBytes) / UnexpectedEntryBytes
+)
+
+// NodeBytes returns the byte size of an LLA node holding k entries of
+// entryBytes each: header + payload + next pointer.
+func NodeBytes(k, entryBytes int) uint64 {
+	return uint64(NodeHeaderBytes + k*entryBytes + NodeNextPtrBytes)
+}

@@ -1,0 +1,228 @@
+package matchlist
+
+import (
+	"spco/internal/match"
+	"spco/internal/simmem"
+)
+
+// baselineNodeBytes is the footprint of one posted receive in the
+// unmodified engine: the match fields are embedded in a full
+// MPID_Request-sized object (MVAPICH requests run several hundred
+// bytes), spanning multiple cache lines — Section 4.2: "the unmodified
+// baseline requires more than a cache line for a single entry".
+const baselineNodeBytes = 320
+
+// A search reads the envelope fields at the front of the request and
+// the next pointer deep inside it (request state separates them), so
+// every traversal step touches two cache lines four lines apart — past
+// the reach of the buddy and adjacent-pair prefetchers, which is what
+// makes the pointer-chasing baseline pay two memory latencies per
+// entry when cold.
+const (
+	baselineMatchBytes = 40
+	baselineNextOff    = 256
+	baselinePtrBytes   = 8
+)
+
+// baselineAlign keeps nodes line-aligned without promising pair
+// alignment — a long-lived malloc heap guarantees no more.
+const baselineAlign = 64
+
+// blNode is one baseline list node.
+type blNode struct {
+	addr  simmem.Addr
+	entry match.Posted
+	next  *blNode
+}
+
+// baselinePosted is the MPICH-style PRQ: a single linked list, one
+// entry per node, nodes scattered through a long-lived heap.
+type baselinePosted struct {
+	cfg     Config
+	ctrl    simmem.Addr
+	head    *blNode
+	tail    *blNode
+	n       int
+	bytes   uint64
+	regions simmem.RegionSet
+}
+
+func newBaselinePosted(cfg Config) *baselinePosted {
+	l := &baselinePosted{cfg: cfg}
+	l.ctrl = cfg.Space.AllocLines(1)
+	l.bytes += simmem.LineSize
+	regAdd(&l.cfg, &l.regions, simmem.Region{Base: l.ctrl, Size: simmem.LineSize})
+	return l
+}
+
+func (l *baselinePosted) Name() string { return "baseline" }
+
+func (l *baselinePosted) allocNode() *blNode {
+	// The request object and other per-post allocations land between
+	// nodes, so consecutive nodes are never prefetcher-adjacent.
+	addr := l.cfg.Space.AllocReuse(baselineNodeBytes, baselineAlign)
+	l.cfg.Space.Alloc(l.cfg.noise(), 8)
+	l.bytes += baselineNodeBytes
+	regAdd(&l.cfg, &l.regions, simmem.Region{Base: addr, Size: baselineNodeBytes})
+	return &blNode{addr: addr}
+}
+
+func (l *baselinePosted) freeNode(n *blNode) {
+	l.cfg.Space.Free(n.addr, baselineNodeBytes)
+	regRemove(&l.cfg, &l.regions, simmem.Region{Base: n.addr, Size: baselineNodeBytes})
+	l.bytes -= baselineNodeBytes
+}
+
+// Post appends at the tail.
+func (l *baselinePosted) Post(p match.Posted) {
+	n := l.allocNode()
+	n.entry = p
+	l.cfg.Acc.Access(l.ctrl, 16)
+	l.cfg.Acc.Access(n.addr, baselineMatchBytes)
+	l.cfg.Acc.Access(n.addr+baselineNextOff, baselinePtrBytes)
+	if l.tail == nil {
+		l.head, l.tail = n, n
+	} else {
+		l.cfg.Acc.Access(l.tail.addr+baselineNextOff, baselinePtrBytes) // link the next pointer
+		l.tail.next = n
+		l.tail = n
+	}
+	l.n++
+}
+
+// Search walks from the head, removing and returning the first match.
+func (l *baselinePosted) Search(e match.Envelope) (match.Posted, int, bool) {
+	l.cfg.Acc.Access(l.ctrl, 16)
+	depth := 0
+	var prev *blNode
+	for n := l.head; n != nil; n = n.next {
+		l.cfg.Acc.Access(n.addr, baselineMatchBytes)
+		l.cfg.Acc.Access(n.addr+baselineNextOff, baselinePtrBytes)
+		depth++
+		if n.entry.Matches(e) {
+			l.unlink(prev, n)
+			return n.entry, depth, true
+		}
+		prev = n
+	}
+	return match.Posted{}, depth, false
+}
+
+// Cancel removes the entry holding the request handle.
+func (l *baselinePosted) Cancel(req uint64) bool {
+	l.cfg.Acc.Access(l.ctrl, 16)
+	var prev *blNode
+	for n := l.head; n != nil; n = n.next {
+		l.cfg.Acc.Access(n.addr, baselineMatchBytes)
+		l.cfg.Acc.Access(n.addr+baselineNextOff, baselinePtrBytes)
+		if !n.entry.IsHole() && n.entry.Req == req {
+			l.unlink(prev, n)
+			return true
+		}
+		prev = n
+	}
+	return false
+}
+
+func (l *baselinePosted) unlink(prev, n *blNode) {
+	if prev == nil {
+		l.head = n.next
+	} else {
+		l.cfg.Acc.Access(prev.addr+baselineNextOff, baselinePtrBytes)
+		prev.next = n.next
+	}
+	if l.tail == n {
+		l.tail = prev
+	}
+	l.cfg.Acc.Access(l.ctrl, 16)
+	l.freeNode(n)
+	l.n--
+}
+
+func (l *baselinePosted) Len() int { return l.n }
+
+func (l *baselinePosted) Regions() []simmem.Region { return l.regions.Regions() }
+
+func (l *baselinePosted) MemoryBytes() uint64 { return l.bytes }
+
+// baselineUnexpected is the same structure for the UMQ.
+type baselineUnexpected struct {
+	cfg     Config
+	ctrl    simmem.Addr
+	head    *buNode
+	tail    *buNode
+	n       int
+	bytes   uint64
+	regions simmem.RegionSet
+}
+
+type buNode struct {
+	addr  simmem.Addr
+	entry match.Unexpected
+	next  *buNode
+}
+
+func newBaselineUnexpected(cfg Config) *baselineUnexpected {
+	l := &baselineUnexpected{cfg: cfg}
+	l.ctrl = cfg.Space.AllocLines(1)
+	l.bytes += simmem.LineSize
+	regAdd(&l.cfg, &l.regions, simmem.Region{Base: l.ctrl, Size: simmem.LineSize})
+	return l
+}
+
+func (l *baselineUnexpected) Name() string { return "baseline" }
+
+func (l *baselineUnexpected) Append(u match.Unexpected) {
+	addr := l.cfg.Space.AllocReuse(baselineNodeBytes, baselineAlign)
+	l.cfg.Space.Alloc(l.cfg.noise(), 8)
+	l.bytes += baselineNodeBytes
+	regAdd(&l.cfg, &l.regions, simmem.Region{Base: addr, Size: baselineNodeBytes})
+	n := &buNode{addr: addr, entry: u}
+	l.cfg.Acc.Access(l.ctrl, 16)
+	l.cfg.Acc.Access(n.addr, baselineMatchBytes)
+	l.cfg.Acc.Access(n.addr+baselineNextOff, baselinePtrBytes)
+	if l.tail == nil {
+		l.head, l.tail = n, n
+	} else {
+		l.cfg.Acc.Access(l.tail.addr+baselineNextOff, baselinePtrBytes)
+		l.tail.next = n
+		l.tail = n
+	}
+	l.n++
+}
+
+func (l *baselineUnexpected) SearchBy(p match.Posted) (match.Unexpected, int, bool) {
+	l.cfg.Acc.Access(l.ctrl, 16)
+	depth := 0
+	var prev *buNode
+	for n := l.head; n != nil; n = n.next {
+		l.cfg.Acc.Access(n.addr, baselineMatchBytes)
+		l.cfg.Acc.Access(n.addr+baselineNextOff, baselinePtrBytes)
+		depth++
+		if n.entry.MatchedBy(p) {
+			if prev == nil {
+				l.head = n.next
+			} else {
+				l.cfg.Acc.Access(prev.addr+baselineNextOff, baselinePtrBytes)
+				prev.next = n.next
+			}
+			if l.tail == n {
+				l.tail = prev
+			}
+			l.cfg.Acc.Access(l.ctrl, 16)
+			l.cfg.Space.Free(n.addr, baselineNodeBytes)
+			regRemove(&l.cfg, &l.regions, simmem.Region{Base: n.addr, Size: baselineNodeBytes})
+			l.bytes -= baselineNodeBytes
+			l.n--
+			return n.entry, depth, true
+		}
+		prev = n
+	}
+	return match.Unexpected{}, depth, false
+}
+
+func (l *baselineUnexpected) Len() int { return l.n }
+
+func (l *baselineUnexpected) Regions() []simmem.Region { return l.regions.Regions() }
+
+func (l *baselineUnexpected) MemoryBytes() uint64 { return l.bytes }

@@ -1,0 +1,31 @@
+package matchlist
+
+import (
+	"spco/internal/cache"
+	"spco/internal/simmem"
+)
+
+// CacheAccessor routes structure memory accesses through the cache
+// hierarchy simulator on behalf of one core, accumulating demand cycles.
+type CacheAccessor struct {
+	H    *cache.Hierarchy
+	Core int
+
+	// Cycles accumulates the cost of every access since the last Reset.
+	Cycles uint64
+}
+
+// NewCacheAccessor binds a hierarchy and a core.
+func NewCacheAccessor(h *cache.Hierarchy, core int) *CacheAccessor {
+	return &CacheAccessor{H: h, Core: core}
+}
+
+// Access implements Accessor.
+func (c *CacheAccessor) Access(addr simmem.Addr, size uint64) uint64 {
+	cy := c.H.Access(c.Core, addr, size)
+	c.Cycles += cy
+	return cy
+}
+
+// Reset zeroes the accumulated cycle count.
+func (c *CacheAccessor) Reset() { c.Cycles = 0 }

@@ -1,0 +1,96 @@
+package matchlist
+
+import (
+	"spco/internal/match"
+	"spco/internal/simmem"
+)
+
+// chainNodeBytes is one bucketed-structure node: a 24-byte entry, an
+// 8-byte sequence number, and an 8-byte next pointer, padded to 64.
+const chainNodeBytes = 64
+
+// seqEntry is a posted entry stamped with its global posting order, so
+// bucketed structures can honour MPI's earliest-posted-wins rule across
+// buckets and the wildcard chain.
+type seqEntry struct {
+	entry match.Posted
+	seq   uint64
+}
+
+type chainNode struct {
+	addr simmem.Addr
+	e    seqEntry
+	next *chainNode
+}
+
+// chain is an ordered singly linked list used as the per-bucket and
+// wildcard-fallback list by hashbins, rankarray and fourd.
+type chain struct {
+	cfg  *Config
+	head *chainNode
+	tail *chainNode
+	n    int
+}
+
+func (c *chain) append(rs *simmem.RegionSet, bytes *uint64, e seqEntry) {
+	addr := c.cfg.Space.AllocReuse(chainNodeBytes, 64)
+	c.cfg.Space.Alloc(c.cfg.noise(), 8)
+	*bytes += chainNodeBytes
+	regAdd(c.cfg, rs, simmem.Region{Base: addr, Size: chainNodeBytes})
+	n := &chainNode{addr: addr, e: e}
+	c.cfg.Acc.Access(addr, 40)
+	if c.tail == nil {
+		c.head, c.tail = n, n
+	} else {
+		c.cfg.Acc.Access(c.tail.addr, 8)
+		c.tail.next = n
+		c.tail = n
+	}
+	c.n++
+}
+
+// firstMatch scans for the first entry matching e, charging accessor
+// costs and counting inspected entries into depth. It returns the node
+// and its predecessor without removing.
+func (c *chain) firstMatch(e match.Envelope, depth *int) (prev, node *chainNode) {
+	var p *chainNode
+	for n := c.head; n != nil; n = n.next {
+		c.cfg.Acc.Access(n.addr, 40)
+		*depth++
+		if n.e.entry.Matches(e) {
+			return p, n
+		}
+		p = n
+	}
+	return nil, nil
+}
+
+// findReq scans for the entry with the given request handle.
+func (c *chain) findReq(req uint64) (prev, node *chainNode) {
+	var p *chainNode
+	for n := c.head; n != nil; n = n.next {
+		c.cfg.Acc.Access(n.addr, 40)
+		if n.e.entry.Req == req {
+			return p, n
+		}
+		p = n
+	}
+	return nil, nil
+}
+
+// remove unlinks node (whose predecessor is prev) and recycles it.
+func (c *chain) remove(rs *simmem.RegionSet, bytes *uint64, prev, node *chainNode) {
+	if prev == nil {
+		c.head = node.next
+	} else {
+		c.cfg.Acc.Access(prev.addr, 8)
+		prev.next = node.next
+	}
+	if c.tail == node {
+		c.tail = prev
+	}
+	regRemove(c.cfg, rs, simmem.Region{Base: node.addr, Size: chainNodeBytes})
+	*bytes -= chainNodeBytes
+	c.cfg.Space.Free(node.addr, chainNodeBytes)
+	c.n--
+}

@@ -1,0 +1,190 @@
+package matchlist
+
+import (
+	"fmt"
+	"math"
+
+	"spco/internal/match"
+	"spco/internal/simmem"
+)
+
+// fourD is the Zounmevo-Afsahi message-queue mechanism (related work,
+// Section 5): the source rank is decomposed into four digits of radix
+// ceil(N^(1/4)) and looked up through a four-level trie whose interior
+// arrays are allocated lazily. Memory grows with the population of
+// distinct sources instead of the full communicator size, while lookup
+// stays O(1) in list operations (four array hops). Wildcard-source
+// receives use the fallback chain, as in rankArray.
+type fourD struct {
+	cfg     Config
+	radix   int
+	root    *fourDLevel
+	wild    chain
+	ctrl    simmem.Addr
+	seq     uint64
+	n       int
+	bytes   uint64
+	regions simmem.RegionSet
+}
+
+// fourDLevel is one trie level: an array of child pointers (interior)
+// or of chains (leaves).
+type fourDLevel struct {
+	addr     simmem.Addr
+	children []*fourDLevel
+	leaves   []chain
+}
+
+func newFourD(cfg Config) *fourD {
+	if cfg.CommSize <= 0 {
+		panic("matchlist: FourD requires Config.CommSize")
+	}
+	radix := int(math.Ceil(math.Pow(float64(cfg.CommSize), 0.25)))
+	if radix < 2 {
+		radix = 2
+	}
+	l := &fourD{cfg: cfg, radix: radix}
+	l.ctrl = cfg.Space.AllocLines(1)
+	l.bytes += simmem.LineSize
+	regAdd(&l.cfg, &l.regions, simmem.Region{Base: l.ctrl, Size: simmem.LineSize})
+	l.root = l.newLevel(false)
+	l.wild.cfg = &l.cfg
+	return l
+}
+
+func (l *fourD) Name() string { return "fourd" }
+
+// Radix reports the computed per-dimension radix (for tests/reports).
+func (l *fourD) Radix() int { return l.radix }
+
+func (l *fourD) newLevel(leaf bool) *fourDLevel {
+	size := uint64(l.radix) * 8
+	lv := &fourDLevel{addr: l.cfg.Space.Alloc(size, simmem.LineSize)}
+	l.bytes += size
+	regAdd(&l.cfg, &l.regions, simmem.Region{Base: lv.addr, Size: size})
+	if leaf {
+		lv.leaves = make([]chain, l.radix)
+		for i := range lv.leaves {
+			lv.leaves[i].cfg = &l.cfg
+		}
+	} else {
+		lv.children = make([]*fourDLevel, l.radix)
+	}
+	return lv
+}
+
+// digits decomposes a rank into its four trie digits, most significant
+// first.
+func (l *fourD) digits(rank int) [4]int {
+	if rank < 0 {
+		panic(fmt.Sprintf("matchlist: negative rank %d (the 2-byte packed rank field caps communicators at 32768)", rank))
+	}
+	var d [4]int
+	r := rank
+	for i := 3; i >= 0; i-- {
+		d[i] = r % l.radix
+		r /= l.radix
+	}
+	if r != 0 {
+		panic(fmt.Sprintf("matchlist: rank %d exceeds 4D capacity radix^4=%d", rank, l.radix*l.radix*l.radix*l.radix))
+	}
+	return d
+}
+
+// leafFor walks to (creating, when create is set) the chain for rank.
+// Each level hop costs one pointer access.
+func (l *fourD) leafFor(rank int, create bool) *chain {
+	d := l.digits(rank)
+	lv := l.root
+	for i := 0; i < 3; i++ {
+		l.cfg.Acc.Access(lv.addr+simmem.Addr(d[i]*8), 8)
+		next := lv.children[d[i]]
+		if next == nil {
+			if !create {
+				return nil
+			}
+			next = l.newLevel(i == 2)
+			lv.children[d[i]] = next
+		}
+		lv = next
+	}
+	l.cfg.Acc.Access(lv.addr+simmem.Addr(d[3]*8), 8)
+	return &lv.leaves[d[3]]
+}
+
+func (l *fourD) Post(p match.Posted) {
+	l.cfg.Acc.Access(l.ctrl, 16)
+	e := seqEntry{entry: p, seq: l.seq}
+	l.seq++
+	if p.IsWild() && p.RankMask == 0 {
+		l.wild.append(&l.regions, &l.bytes, e)
+	} else {
+		l.leafFor(int(p.Rank), true).append(&l.regions, &l.bytes, e)
+	}
+	l.n++
+}
+
+func (l *fourD) Search(e match.Envelope) (match.Posted, int, bool) {
+	l.cfg.Acc.Access(l.ctrl, 16)
+	depth := 0
+	var binPrev, binNode *chainNode
+	var leaf *chain
+	if e.Rank >= 0 {
+		leaf = l.leafFor(int(e.Rank), false)
+		if leaf != nil {
+			binPrev, binNode = leaf.firstMatch(e, &depth)
+		}
+	}
+	wildPrev, wildNode := l.wild.firstMatch(e, &depth)
+
+	switch {
+	case binNode == nil && wildNode == nil:
+		return match.Posted{}, depth, false
+	case wildNode == nil || (binNode != nil && binNode.e.seq < wildNode.e.seq):
+		leaf.remove(&l.regions, &l.bytes, binPrev, binNode)
+		l.n--
+		return binNode.e.entry, depth, true
+	default:
+		l.wild.remove(&l.regions, &l.bytes, wildPrev, wildNode)
+		l.n--
+		return wildNode.e.entry, depth, true
+	}
+}
+
+func (l *fourD) Cancel(req uint64) bool {
+	l.cfg.Acc.Access(l.ctrl, 16)
+	if prev, node := l.wild.findReq(req); node != nil {
+		l.wild.remove(&l.regions, &l.bytes, prev, node)
+		l.n--
+		return true
+	}
+	found := false
+	var walk func(lv *fourDLevel, depth int)
+	walk = func(lv *fourDLevel, depth int) {
+		if found || lv == nil {
+			return
+		}
+		if lv.leaves != nil {
+			for i := range lv.leaves {
+				if prev, node := lv.leaves[i].findReq(req); node != nil {
+					lv.leaves[i].remove(&l.regions, &l.bytes, prev, node)
+					l.n--
+					found = true
+					return
+				}
+			}
+			return
+		}
+		for _, c := range lv.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(l.root, 0)
+	return found
+}
+
+func (l *fourD) Len() int { return l.n }
+
+func (l *fourD) Regions() []simmem.Region { return l.regions.Regions() }
+
+func (l *fourD) MemoryBytes() uint64 { return l.bytes }

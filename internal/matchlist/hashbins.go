@@ -1,0 +1,121 @@
+package matchlist
+
+import (
+	"spco/internal/match"
+	"spco/internal/simmem"
+)
+
+// DefaultBins matches the related work's evaluated configuration
+// (Flajslik et al. report results with 256 bins).
+const DefaultBins = 256
+
+// hashBins is the hash-map matching structure from the related work:
+// the match list is replaced by a fixed hash map keyed on the full set
+// of matching criteria, mapping to separate linked lists. Wildcard
+// receives cannot be hashed and live on a fallback chain; correctness
+// requires comparing sequence numbers so the earliest posted receive
+// wins regardless of which chain holds it.
+type hashBins struct {
+	cfg      Config
+	bins     []chain
+	wild     chain
+	binsAddr simmem.Addr // the bucket-head array
+	ctrl     simmem.Addr
+	seq      uint64
+	n        int
+	bytes    uint64
+	regions  simmem.RegionSet
+}
+
+func newHashBins(cfg Config) *hashBins {
+	bins := cfg.Bins
+	if bins <= 0 {
+		bins = DefaultBins
+	}
+	l := &hashBins{cfg: cfg, bins: make([]chain, bins)}
+	l.ctrl = cfg.Space.AllocLines(1)
+	l.bytes += simmem.LineSize
+	regAdd(&l.cfg, &l.regions, simmem.Region{Base: l.ctrl, Size: simmem.LineSize})
+	// The bucket-head array: 8 bytes per bin.
+	l.binsAddr = cfg.Space.Alloc(uint64(bins)*8, simmem.LineSize)
+	l.bytes += uint64(bins) * 8
+	regAdd(&l.cfg, &l.regions, simmem.Region{Base: l.binsAddr, Size: uint64(bins) * 8})
+	for i := range l.bins {
+		l.bins[i].cfg = &l.cfg
+	}
+	l.wild.cfg = &l.cfg
+	return l
+}
+
+func (l *hashBins) Name() string { return "hashbins" }
+
+// hashKey mixes the full matching criteria, as the related work's design
+// prescribes.
+func (l *hashBins) hashKey(ctx uint16, rank int32, tag int32) int {
+	h := uint64(ctx)*0x9E3779B97F4A7C15 ^ uint64(uint32(rank))*0xC2B2AE3D27D4EB4F ^ uint64(uint32(tag))*0x165667B19E3779F9
+	h ^= h >> 29
+	return int(h % uint64(len(l.bins)))
+}
+
+func (l *hashBins) binFor(p match.Posted) *chain {
+	return &l.bins[l.hashKey(p.Ctx, int32(p.Rank), p.Tag)]
+}
+
+func (l *hashBins) Post(p match.Posted) {
+	l.cfg.Acc.Access(l.ctrl, 16)
+	e := seqEntry{entry: p, seq: l.seq}
+	l.seq++
+	if p.IsWild() {
+		l.wild.append(&l.regions, &l.bytes, e)
+	} else {
+		b := l.hashKey(p.Ctx, int32(p.Rank), p.Tag)
+		l.cfg.Acc.Access(l.binsAddr+simmem.Addr(b*8), 8)
+		l.bins[b].append(&l.regions, &l.bytes, e)
+	}
+	l.n++
+}
+
+func (l *hashBins) Search(e match.Envelope) (match.Posted, int, bool) {
+	l.cfg.Acc.Access(l.ctrl, 16)
+	depth := 0
+	b := l.hashKey(e.Ctx, e.Rank, e.Tag)
+	l.cfg.Acc.Access(l.binsAddr+simmem.Addr(b*8), 8)
+	binPrev, binNode := l.bins[b].firstMatch(e, &depth)
+	wildPrev, wildNode := l.wild.firstMatch(e, &depth)
+
+	switch {
+	case binNode == nil && wildNode == nil:
+		return match.Posted{}, depth, false
+	case wildNode == nil || (binNode != nil && binNode.e.seq < wildNode.e.seq):
+		l.bins[b].remove(&l.regions, &l.bytes, binPrev, binNode)
+		l.n--
+		return binNode.e.entry, depth, true
+	default:
+		l.wild.remove(&l.regions, &l.bytes, wildPrev, wildNode)
+		l.n--
+		return wildNode.e.entry, depth, true
+	}
+}
+
+func (l *hashBins) Cancel(req uint64) bool {
+	l.cfg.Acc.Access(l.ctrl, 16)
+	if prev, node := l.wild.findReq(req); node != nil {
+		l.wild.remove(&l.regions, &l.bytes, prev, node)
+		l.n--
+		return true
+	}
+	for i := range l.bins {
+		if prev, node := l.bins[i].findReq(req); node != nil {
+			l.bins[i].remove(&l.regions, &l.bytes, prev, node)
+			l.n--
+			return true
+		}
+	}
+	return false
+}
+
+func (l *hashBins) Len() int { return l.n }
+
+func (l *hashBins) Regions() []simmem.Region { return l.regions.Regions() }
+
+func (l *hashBins) MemoryBytes() uint64 { return l.bytes }

@@ -1,0 +1,177 @@
+package matchlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"spco/internal/cache"
+	"spco/internal/match"
+	"spco/internal/simmem"
+)
+
+func newHW(t *testing.T, capacity int) PostedList {
+	t.Helper()
+	return NewHWOffload(Config{
+		Space: simmem.NewSpace(),
+		Acc:   FreeAccessor{},
+	}, capacity)
+}
+
+func TestHWOffloadBasicMatch(t *testing.T) {
+	l := newHW(t, 4)
+	l.Post(match.NewPosted(1, 1, 1, 10))
+	l.Post(match.NewPosted(2, 2, 1, 20))
+	p, depth, ok := l.Search(match.Envelope{Rank: 2, Tag: 2, Ctx: 1})
+	if !ok || p.Req != 20 {
+		t.Fatalf("hw match failed: %+v ok=%v", p, ok)
+	}
+	if depth != 1 {
+		t.Errorf("hardware match depth = %d, want fixed 1", depth)
+	}
+	if l.Len() != 1 {
+		t.Errorf("Len = %d", l.Len())
+	}
+}
+
+func TestHWOffloadSpill(t *testing.T) {
+	l := newHW(t, 4).(*hwOffload)
+	for i := 0; i < 10; i++ {
+		l.Post(match.NewPosted(0, i, 1, uint64(i)))
+	}
+	if l.HWResident() != 4 {
+		t.Fatalf("hw resident = %d, want 4", l.HWResident())
+	}
+	if l.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", l.Len())
+	}
+	// An entry past the hardware window lives in software.
+	_, depth, ok := l.Search(match.Envelope{Rank: 0, Tag: 9, Ctx: 1})
+	if !ok {
+		t.Fatal("spilled entry not found")
+	}
+	if depth <= 1 {
+		t.Errorf("spilled match depth = %d, want > 1 (software walk)", depth)
+	}
+}
+
+func TestHWOffloadPromotion(t *testing.T) {
+	l := newHW(t, 2).(*hwOffload)
+	for i := 0; i < 5; i++ {
+		l.Post(match.NewPosted(0, i, 1, uint64(i)))
+	}
+	// Consume the two hardware entries; spilled ones must promote in
+	// order so FIFO semantics hold.
+	for want := 0; want < 5; want++ {
+		p, _, ok := l.Search(match.Envelope{Rank: 0, Tag: int32(want), Ctx: 1})
+		if !ok || p.Req != uint64(want) {
+			t.Fatalf("FIFO broken at %d: %+v ok=%v (hw=%d)", want, p, ok, l.HWResident())
+		}
+	}
+}
+
+func TestHWOffloadOrderingAcrossBoundary(t *testing.T) {
+	// A wildcard receive in hardware must beat a younger exact match in
+	// the spill list.
+	l := newHW(t, 1)
+	l.Post(match.NewPosted(match.AnySource, match.AnyTag, 1, 1)) // hw
+	l.Post(match.NewPosted(3, 7, 1, 2))                          // spill
+	p, _, ok := l.Search(match.Envelope{Rank: 3, Tag: 7, Ctx: 1})
+	if !ok || p.Req != 1 {
+		t.Errorf("older hardware wildcard should win, got req %d", p.Req)
+	}
+}
+
+func TestHWOffloadCancel(t *testing.T) {
+	l := newHW(t, 2).(*hwOffload)
+	for i := 0; i < 4; i++ {
+		l.Post(match.NewPosted(0, i, 1, uint64(i)))
+	}
+	if !l.Cancel(0) { // hardware entry
+		t.Fatal("cancel in hardware failed")
+	}
+	if !l.Cancel(3) { // software entry
+		t.Fatal("cancel in software failed")
+	}
+	if l.Cancel(99) {
+		t.Fatal("cancel of unknown request succeeded")
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d, want 2", l.Len())
+	}
+	// Promotion after hardware cancel keeps FIFO order.
+	p, _, ok := l.Search(match.Envelope{Rank: 0, Tag: 1, Ctx: 1})
+	if !ok || p.Req != 1 {
+		t.Errorf("post-cancel order broken: %+v", p)
+	}
+}
+
+// Reference equivalence under random load, hardware boundary included.
+func TestHWOffloadReferenceEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := newHW(t, 8)
+	var ref []match.Posted
+	next := uint64(1)
+	for op := 0; op < 2000; op++ {
+		if rng.Intn(2) == 0 {
+			rank := rng.Intn(8)
+			if rng.Intn(12) == 0 {
+				rank = match.AnySource
+			}
+			p := match.NewPosted(rank, rng.Intn(6), 1, next)
+			next++
+			l.Post(p)
+			ref = append(ref, p)
+		} else {
+			e := match.Envelope{Rank: int32(rng.Intn(8)), Tag: int32(rng.Intn(6)), Ctx: 1}
+			got, _, gotOK := l.Search(e)
+			wantIdx := -1
+			for i, p := range ref {
+				if p.Matches(e) {
+					wantIdx = i
+					break
+				}
+			}
+			if gotOK != (wantIdx >= 0) {
+				t.Fatalf("op %d: ok=%v want %v", op, gotOK, wantIdx >= 0)
+			}
+			if gotOK {
+				if got.Req != ref[wantIdx].Req {
+					t.Fatalf("op %d: got req %d, want %d", op, got.Req, ref[wantIdx].Req)
+				}
+				ref = append(ref[:wantIdx], ref[wantIdx+1:]...)
+			}
+		}
+		if l.Len() != len(ref) {
+			t.Fatalf("op %d: Len %d != ref %d", op, l.Len(), len(ref))
+		}
+	}
+}
+
+// The Section 2.2 crossover: below hardware capacity, matching cost is
+// flat and cheap; past it, software costs grow with depth — exactly
+// where software locality work starts to matter.
+func TestHWOffloadCrossover(t *testing.T) {
+	costAt := func(depth int) uint64 {
+		h := cache.New(cache.SandyBridge)
+		acc := NewCacheAccessor(h, 0)
+		l := NewHWOffload(Config{Space: simmem.NewSpace(), Acc: acc}, 128)
+		for i := 0; i < depth; i++ {
+			l.Post(match.NewPosted(0, 100000+i, 1, uint64(i)))
+		}
+		l.Post(match.NewPosted(1, 7, 1, 999))
+		h.Flush()
+		acc.Reset()
+		if _, _, ok := l.Search(match.Envelope{Rank: 1, Tag: 7, Ctx: 1}); !ok {
+			t.Fatal("lost entry")
+		}
+		return acc.Cycles
+	}
+	under := costAt(64)  // fits in hardware
+	over := costAt(2048) // deep software spill
+	if under > 400 {
+		t.Errorf("under-capacity match cost %d cycles, want near-fixed", under)
+	}
+	if over < under*10 {
+		t.Errorf("over-capacity match (%d) should dwarf in-hardware (%d)", over, under)
+	}
+}

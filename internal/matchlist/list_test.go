@@ -1,0 +1,559 @@
+package matchlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"spco/internal/cache"
+	"spco/internal/match"
+	"spco/internal/simmem"
+)
+
+// allKinds enumerates every PRQ implementation with a working Config.
+func allKinds() []Kind {
+	return []Kind{KindBaseline, KindLLA, KindHashBins, KindRankArray, KindFourD, KindHWOffload, KindPerComm}
+}
+
+func newList(t *testing.T, kind Kind) PostedList {
+	t.Helper()
+	return NewPosted(kind, Config{
+		Space:          simmem.NewSpace(),
+		Acc:            FreeAccessor{},
+		EntriesPerNode: 4,
+		Bins:           16,
+		CommSize:       64,
+	})
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range allKinds() {
+		name := k.String()
+		parsed, err := ParseKind(name)
+		if err != nil || parsed != k {
+			t.Errorf("ParseKind(%q) = %v, %v", name, parsed, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("ParseKind should reject unknown names")
+	}
+}
+
+func TestPostSearchExact(t *testing.T) {
+	for _, kind := range allKinds() {
+		l := newList(t, kind)
+		l.Post(match.NewPosted(3, 7, 1, 100))
+		l.Post(match.NewPosted(4, 8, 1, 101))
+		if l.Len() != 2 {
+			t.Errorf("%v: Len = %d, want 2", kind, l.Len())
+		}
+		p, _, ok := l.Search(match.Envelope{Rank: 4, Tag: 8, Ctx: 1})
+		if !ok || p.Req != 101 {
+			t.Errorf("%v: Search found %+v ok=%v, want req 101", kind, p, ok)
+		}
+		if l.Len() != 1 {
+			t.Errorf("%v: Len after removal = %d, want 1", kind, l.Len())
+		}
+		if _, _, ok := l.Search(match.Envelope{Rank: 4, Tag: 8, Ctx: 1}); ok {
+			t.Errorf("%v: removed entry matched again", kind)
+		}
+	}
+}
+
+func TestSearchMiss(t *testing.T) {
+	for _, kind := range allKinds() {
+		l := newList(t, kind)
+		l.Post(match.NewPosted(1, 1, 1, 1))
+		if _, _, ok := l.Search(match.Envelope{Rank: 2, Tag: 2, Ctx: 1}); ok {
+			t.Errorf("%v: matched a non-existent entry", kind)
+		}
+		if l.Len() != 1 {
+			t.Errorf("%v: miss changed Len", kind)
+		}
+	}
+}
+
+// MPI ordering: among several matching entries, the earliest posted wins.
+func TestFIFOOrdering(t *testing.T) {
+	for _, kind := range allKinds() {
+		l := newList(t, kind)
+		l.Post(match.NewPosted(5, 9, 1, 1))
+		l.Post(match.NewPosted(5, 9, 1, 2))
+		l.Post(match.NewPosted(5, 9, 1, 3))
+		for want := uint64(1); want <= 3; want++ {
+			p, _, ok := l.Search(match.Envelope{Rank: 5, Tag: 9, Ctx: 1})
+			if !ok || p.Req != want {
+				t.Errorf("%v: got req %d ok=%v, want %d", kind, p.Req, ok, want)
+			}
+		}
+	}
+}
+
+// Ordering must hold across the bucketed/wildcard split: a wildcard
+// posted before an exact entry must match first.
+func TestWildcardOrdering(t *testing.T) {
+	for _, kind := range allKinds() {
+		l := newList(t, kind)
+		l.Post(match.NewPosted(match.AnySource, 9, 1, 1)) // earlier
+		l.Post(match.NewPosted(5, 9, 1, 2))               // later, exact
+		p, _, ok := l.Search(match.Envelope{Rank: 5, Tag: 9, Ctx: 1})
+		if !ok || p.Req != 1 {
+			t.Errorf("%v: earliest-posted wildcard should win, got req %d", kind, p.Req)
+		}
+		// Now the exact one is earliest.
+		p, _, ok = l.Search(match.Envelope{Rank: 5, Tag: 9, Ctx: 1})
+		if !ok || p.Req != 2 {
+			t.Errorf("%v: remaining exact entry should match, got req %d ok=%v", kind, p.Req, ok)
+		}
+	}
+}
+
+func TestWildcardReverseOrdering(t *testing.T) {
+	for _, kind := range allKinds() {
+		l := newList(t, kind)
+		l.Post(match.NewPosted(5, 9, 1, 1))               // earlier, exact
+		l.Post(match.NewPosted(match.AnySource, 9, 1, 2)) // later, wild
+		p, _, ok := l.Search(match.Envelope{Rank: 5, Tag: 9, Ctx: 1})
+		if !ok || p.Req != 1 {
+			t.Errorf("%v: earliest-posted exact should win, got req %d", kind, p.Req)
+		}
+	}
+}
+
+func TestAnyTagMatching(t *testing.T) {
+	for _, kind := range allKinds() {
+		l := newList(t, kind)
+		l.Post(match.NewPosted(3, match.AnyTag, 1, 7))
+		p, _, ok := l.Search(match.Envelope{Rank: 3, Tag: 424242, Ctx: 1})
+		if !ok || p.Req != 7 {
+			t.Errorf("%v: AnyTag entry did not match, ok=%v", kind, ok)
+		}
+	}
+}
+
+func TestCommunicatorIsolation(t *testing.T) {
+	for _, kind := range allKinds() {
+		l := newList(t, kind)
+		l.Post(match.NewPosted(3, 7, 1, 1))
+		l.Post(match.NewPosted(3, 7, 2, 2))
+		p, _, ok := l.Search(match.Envelope{Rank: 3, Tag: 7, Ctx: 2})
+		if !ok || p.Req != 2 {
+			t.Errorf("%v: wrong communicator matched, req=%d", kind, p.Req)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	for _, kind := range allKinds() {
+		l := newList(t, kind)
+		l.Post(match.NewPosted(1, 1, 1, 10))
+		l.Post(match.NewPosted(2, 2, 1, 20))
+		l.Post(match.NewPosted(3, 3, 1, 30))
+		if !l.Cancel(20) {
+			t.Errorf("%v: Cancel(20) failed", kind)
+		}
+		if l.Cancel(20) {
+			t.Errorf("%v: Cancel(20) succeeded twice", kind)
+		}
+		if l.Len() != 2 {
+			t.Errorf("%v: Len after cancel = %d, want 2", kind, l.Len())
+		}
+		if _, _, ok := l.Search(match.Envelope{Rank: 2, Tag: 2, Ctx: 1}); ok {
+			t.Errorf("%v: cancelled entry still matches", kind)
+		}
+		if _, _, ok := l.Search(match.Envelope{Rank: 1, Tag: 1, Ctx: 1}); !ok {
+			t.Errorf("%v: neighbour of cancelled entry lost", kind)
+		}
+	}
+}
+
+func TestCancelWildcardEntry(t *testing.T) {
+	for _, kind := range allKinds() {
+		l := newList(t, kind)
+		l.Post(match.NewPosted(match.AnySource, match.AnyTag, 1, 77))
+		if !l.Cancel(77) {
+			t.Errorf("%v: Cancel of wildcard entry failed", kind)
+		}
+		if l.Len() != 0 {
+			t.Errorf("%v: Len = %d after cancelling only entry", kind, l.Len())
+		}
+	}
+}
+
+func TestSearchDepthCounts(t *testing.T) {
+	// Linear structures report exact inspected counts.
+	for _, kind := range []Kind{KindBaseline, KindLLA} {
+		l := newList(t, kind)
+		for i := 0; i < 10; i++ {
+			l.Post(match.NewPosted(i, i, 1, uint64(i)))
+		}
+		_, depth, ok := l.Search(match.Envelope{Rank: 7, Tag: 7, Ctx: 1})
+		if !ok || depth != 8 {
+			t.Errorf("%v: depth = %d ok=%v, want 8 (entries 0..7 inspected)", kind, depth, ok)
+		}
+	}
+	// Bucketed structures inspect far fewer entries for exact receives.
+	l := newList(t, KindRankArray)
+	for i := 0; i < 10; i++ {
+		l.Post(match.NewPosted(i, i, 1, uint64(i)))
+	}
+	_, depth, ok := l.Search(match.Envelope{Rank: 7, Tag: 7, Ctx: 1})
+	if !ok || depth != 1 {
+		t.Errorf("rankarray: depth = %d, want 1", depth)
+	}
+}
+
+// Holes: deleting from the middle of an LLA node leaves a tombstone that
+// is skipped (but still inspected) by later searches.
+func TestLLAHoles(t *testing.T) {
+	l := newList(t, KindLLA) // K=4
+	for i := 0; i < 4; i++ {
+		l.Post(match.NewPosted(i, i, 1, uint64(i)))
+	}
+	// Remove the middle entry (rank 1) -> hole at slot 1.
+	if _, _, ok := l.Search(match.Envelope{Rank: 1, Tag: 1, Ctx: 1}); !ok {
+		t.Fatal("mid-node search failed")
+	}
+	// Searching for rank 2 must skip the hole: depth counts slots 0,1,2.
+	_, depth, ok := l.Search(match.Envelope{Rank: 2, Tag: 2, Ctx: 1})
+	if !ok {
+		t.Fatal("entry after hole not found")
+	}
+	if depth != 3 {
+		t.Errorf("depth over hole = %d, want 3 (hole is inspected)", depth)
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d, want 2", l.Len())
+	}
+}
+
+// Head-consumption in order must advance the head index and eventually
+// unlink drained nodes, freeing memory.
+func TestLLADrainReclaimsNodes(t *testing.T) {
+	space := simmem.NewSpace()
+	l := NewPosted(KindLLA, Config{Space: space, Acc: FreeAccessor{}, EntriesPerNode: 2})
+	for i := 0; i < 8; i++ {
+		l.Post(match.NewPosted(i, i, 1, uint64(i)))
+	}
+	high := l.MemoryBytes()
+	for i := 0; i < 8; i++ {
+		if _, _, ok := l.Search(match.Envelope{Rank: int32(i), Tag: int32(i), Ctx: 1}); !ok {
+			t.Fatalf("drain: entry %d missing", i)
+		}
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d after drain", l.Len())
+	}
+	if l.MemoryBytes() >= high {
+		t.Errorf("drained list kept %d bytes (was %d): nodes not reclaimed", l.MemoryBytes(), high)
+	}
+}
+
+// The pool variant recycles node addresses: after drain and repost, no
+// new node allocations should be needed.
+func TestLLAPoolRecyclesAddresses(t *testing.T) {
+	space := simmem.NewSpace()
+	l := NewPosted(KindLLA, Config{Space: space, Acc: FreeAccessor{}, EntriesPerNode: 2, Pool: true})
+	for i := 0; i < 8; i++ {
+		l.Post(match.NewPosted(i, i, 1, uint64(i)))
+	}
+	var first []simmem.Region
+	first = append(first, l.Regions()...)
+	for i := 0; i < 8; i++ {
+		l.Search(match.Envelope{Rank: int32(i), Tag: int32(i), Ctx: 1})
+	}
+	for i := 0; i < 8; i++ {
+		l.Post(match.NewPosted(i, i, 1, uint64(i)))
+	}
+	// Every region of the repopulated list must come from the original set.
+	var rs simmem.RegionSet
+	for _, r := range first {
+		rs.Add(r)
+	}
+	for _, r := range l.Regions() {
+		if !rs.Contains(r.Base) {
+			t.Errorf("pooled LLA allocated fresh node at %v", r)
+		}
+	}
+}
+
+func TestRegionsCoverEntries(t *testing.T) {
+	for _, kind := range allKinds() {
+		l := newList(t, kind)
+		for i := 0; i < 20; i++ {
+			l.Post(match.NewPosted(i%8, i, 1, uint64(i)))
+		}
+		var total uint64
+		for _, r := range l.Regions() {
+			total += r.Size
+		}
+		if total == 0 {
+			t.Errorf("%v: no regions reported", kind)
+		}
+		if total != l.MemoryBytes() {
+			t.Errorf("%v: regions cover %d bytes, MemoryBytes = %d", kind, total, l.MemoryBytes())
+		}
+	}
+}
+
+func TestFourDRadix(t *testing.T) {
+	space := simmem.NewSpace()
+	l := NewPosted(KindFourD, Config{Space: space, Acc: FreeAccessor{}, CommSize: 4096}).(*fourD)
+	if l.Radix() != 8 {
+		t.Errorf("radix for 4096 = %d, want 8", l.Radix())
+	}
+	// Ranks at the extremes must round-trip.
+	l.Post(match.NewPosted(0, 1, 1, 1))
+	l.Post(match.NewPosted(4095, 1, 1, 2))
+	if p, _, ok := l.Search(match.Envelope{Rank: 4095, Tag: 1, Ctx: 1}); !ok || p.Req != 2 {
+		t.Error("max rank lookup failed")
+	}
+	if p, _, ok := l.Search(match.Envelope{Rank: 0, Tag: 1, Ctx: 1}); !ok || p.Req != 1 {
+		t.Error("rank 0 lookup failed")
+	}
+}
+
+func TestFourDMemoryScalesWithPopulation(t *testing.T) {
+	// A 4D structure touching few sources must use far less memory than
+	// a rank array sized for the full communicator.
+	const comm = 1 << 16
+	spaceA := simmem.NewSpace()
+	ra := NewPosted(KindRankArray, Config{Space: spaceA, Acc: FreeAccessor{}, CommSize: comm})
+	spaceB := simmem.NewSpace()
+	fd := NewPosted(KindFourD, Config{Space: spaceB, Acc: FreeAccessor{}, CommSize: comm})
+	for i := 0; i < 8; i++ {
+		ra.Post(match.NewPosted(i, 0, 1, uint64(i)))
+		fd.Post(match.NewPosted(i, 0, 1, uint64(i)))
+	}
+	if fd.MemoryBytes()*4 > ra.MemoryBytes() {
+		t.Errorf("4D (%d B) should be much smaller than rank array (%d B) at %d ranks",
+			fd.MemoryBytes(), ra.MemoryBytes(), comm)
+	}
+}
+
+// Reference-model equivalence: every implementation must behave exactly
+// like a naive ordered slice under a random workload of posts, searches,
+// and cancels, wildcards included.
+func TestReferenceEquivalence(t *testing.T) {
+	type refEntry struct {
+		p match.Posted
+	}
+	for _, kind := range allKinds() {
+		rng := rand.New(rand.NewSource(42))
+		l := newList(t, kind)
+		var ref []refEntry
+		nextReq := uint64(1)
+		for op := 0; op < 3000; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5: // post
+				rank := rng.Intn(64)
+				tag := rng.Intn(8)
+				if rng.Intn(10) == 0 {
+					rank = match.AnySource
+				}
+				if rng.Intn(10) == 0 {
+					tag = match.AnyTag
+				}
+				p := match.NewPosted(rank, tag, uint16(rng.Intn(3)), nextReq)
+				nextReq++
+				l.Post(p)
+				ref = append(ref, refEntry{p})
+			case r < 9: // search
+				e := match.Envelope{Rank: int32(rng.Intn(64)), Tag: int32(rng.Intn(8)), Ctx: uint16(rng.Intn(3))}
+				got, _, gotOK := l.Search(e)
+				wantIdx := -1
+				for i, re := range ref {
+					if re.p.Matches(e) {
+						wantIdx = i
+						break
+					}
+				}
+				if gotOK != (wantIdx >= 0) {
+					t.Fatalf("%v op %d: Search(%v) ok=%v, reference %v", kind, op, e, gotOK, wantIdx >= 0)
+				}
+				if gotOK {
+					if got.Req != ref[wantIdx].p.Req {
+						t.Fatalf("%v op %d: Search(%v) got req %d, reference req %d",
+							kind, op, e, got.Req, ref[wantIdx].p.Req)
+					}
+					ref = append(ref[:wantIdx], ref[wantIdx+1:]...)
+				}
+			default: // cancel a random live req
+				if len(ref) == 0 {
+					continue
+				}
+				idx := rng.Intn(len(ref))
+				req := ref[idx].p.Req
+				if !l.Cancel(req) {
+					t.Fatalf("%v op %d: Cancel(%d) failed for live entry", kind, op, req)
+				}
+				ref = append(ref[:idx], ref[idx+1:]...)
+			}
+			if l.Len() != len(ref) {
+				t.Fatalf("%v op %d: Len = %d, reference %d", kind, op, l.Len(), len(ref))
+			}
+		}
+	}
+}
+
+// Spatial locality in action: with the cache accessor, searching a deep
+// LLA list must cost far fewer cycles than the baseline, and larger K
+// must not cost more than smaller K — the Figure 4b/5b mechanism.
+func TestLLACheaperThanBaselineUnderCacheModel(t *testing.T) {
+	costOf := func(kind Kind, k int) uint64 {
+		space := simmem.NewSpace()
+		h := cache.New(cache.SandyBridge)
+		acc := NewCacheAccessor(h, 0)
+		l := NewPosted(kind, Config{Space: space, Acc: acc, EntriesPerNode: k})
+		for i := 0; i < 1024; i++ {
+			l.Post(match.NewPosted(1, int(i), 1, uint64(i)))
+		}
+		h.Flush() // the compute phase evicted everything
+		acc.Reset()
+		// Search for the last entry: full traversal, cold cache.
+		l.Search(match.Envelope{Rank: 1, Tag: 1023, Ctx: 1})
+		return acc.Cycles
+	}
+	base := costOf(KindBaseline, 0)
+	lla2 := costOf(KindLLA, 2)
+	lla8 := costOf(KindLLA, 8)
+	lla32 := costOf(KindLLA, 32)
+	if lla2*3/2 > base {
+		t.Errorf("LLA-2 (%d cy) should be well under baseline (%d cy)", lla2, base)
+	}
+	if lla8 > lla2 {
+		t.Errorf("LLA-8 (%d cy) should not exceed LLA-2 (%d cy)", lla8, lla2)
+	}
+	if lla32 > lla8*11/10 {
+		t.Errorf("LLA-32 (%d cy) should plateau near LLA-8 (%d cy)", lla32, lla8)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("nil space", func() {
+		NewPosted(KindBaseline, Config{Acc: FreeAccessor{}})
+	})
+	mustPanic("nil accessor", func() {
+		NewPosted(KindBaseline, Config{Space: simmem.NewSpace()})
+	})
+	mustPanic("rankarray no comm", func() {
+		NewPosted(KindRankArray, Config{Space: simmem.NewSpace(), Acc: FreeAccessor{}})
+	})
+}
+
+func TestCountingAccessor(t *testing.T) {
+	var c CountingAccessor
+	c.Access(0, 24)
+	c.Access(64, 8)
+	if c.Accesses != 2 || c.Bytes != 32 {
+		t.Errorf("CountingAccessor state = %+v", c)
+	}
+}
+
+// perComm's whole point: communicator partitioning turns cross-comm
+// backlog into O(1) skips, without helping single-comm workloads.
+func TestPerCommPartitioning(t *testing.T) {
+	l := newList(t, KindPerComm)
+	// 100 entries on communicator 1.
+	for i := 0; i < 100; i++ {
+		l.Post(match.NewPosted(0, i, 1, uint64(i)))
+	}
+	// One entry on communicator 2.
+	l.Post(match.NewPosted(5, 5, 2, 999))
+	_, depth, ok := l.Search(match.Envelope{Rank: 5, Tag: 5, Ctx: 2})
+	if !ok || depth != 1 {
+		t.Errorf("cross-comm search depth = %d ok=%v, want 1", depth, ok)
+	}
+	// Within one communicator it degenerates to the baseline walk.
+	_, depth, ok = l.Search(match.Envelope{Rank: 0, Tag: 99, Ctx: 1})
+	if !ok || depth != 100 {
+		t.Errorf("in-comm search depth = %d ok=%v, want 100", depth, ok)
+	}
+}
+
+func TestPerCommSearchUnknownCtx(t *testing.T) {
+	l := newList(t, KindPerComm)
+	l.Post(match.NewPosted(0, 0, 1, 1))
+	if _, _, ok := l.Search(match.Envelope{Rank: 0, Tag: 0, Ctx: 9}); ok {
+		t.Error("matched in a communicator that has no queue")
+	}
+}
+
+// Hash bins: colliding keys share a bin but matching stays exact.
+func TestHashBinsCollisions(t *testing.T) {
+	// One bin forces every entry into the same chain.
+	l := NewPosted(KindHashBins, Config{
+		Space: simmem.NewSpace(), Acc: FreeAccessor{}, Bins: 1,
+	})
+	for i := 0; i < 50; i++ {
+		l.Post(match.NewPosted(i, i, 1, uint64(i)))
+	}
+	p, depth, ok := l.Search(match.Envelope{Rank: 49, Tag: 49, Ctx: 1})
+	if !ok || p.Req != 49 {
+		t.Fatalf("collision chain lost an entry: %+v ok=%v", p, ok)
+	}
+	if depth != 50 {
+		t.Errorf("single-bin depth = %d, want 50 (degenerates to a list)", depth)
+	}
+}
+
+// FourD handles sparse high ranks without allocating dense tables.
+func TestFourDSparseHighRanks(t *testing.T) {
+	space := simmem.NewSpace()
+	// Note the 24-byte entry layout carries a 2-byte rank (Figure 2),
+	// so communicator sizes beyond 32K exceed the packed field.
+	l := NewPosted(KindFourD, Config{Space: space, Acc: FreeAccessor{}, CommSize: 1 << 15})
+	ranks := []int{0, 1, 32767, 16384, 255}
+	for i, r := range ranks {
+		l.Post(match.NewPosted(r, 0, 1, uint64(i+1)))
+	}
+	for i, r := range ranks {
+		p, _, ok := l.Search(match.Envelope{Rank: int32(r), Tag: 0, Ctx: 1})
+		if !ok || p.Req != uint64(i+1) {
+			t.Errorf("rank %d lookup failed: %+v ok=%v", r, p, ok)
+		}
+	}
+	// Five sparse ranks should cost far less than a dense 32K table.
+	if l.MemoryBytes() > 64<<10 {
+		t.Errorf("sparse 4D used %d bytes", l.MemoryBytes())
+	}
+}
+
+// Noise configuration is honoured: larger noise spreads the address
+// footprint (visible through the space's extent).
+func TestNoiseBytesSpreadsFootprint(t *testing.T) {
+	extent := func(noise uint64) uint64 {
+		space := simmem.NewSpace()
+		l := NewPosted(KindBaseline, Config{Space: space, Acc: FreeAccessor{}, NoiseBytes: noise})
+		for i := 0; i < 100; i++ {
+			l.Post(match.NewPosted(0, i, 1, uint64(i)))
+		}
+		return space.Footprint()
+	}
+	if extent(1024) <= extent(64) {
+		t.Error("larger noise should spread the heap footprint")
+	}
+}
+
+// The cache accessor's cycle accumulation matches the hierarchy's.
+func TestCacheAccessorAccounting(t *testing.T) {
+	h := cache.New(cache.SandyBridge)
+	acc := NewCacheAccessor(h, 0)
+	before := h.Stats().Cycles
+	acc.Access(0x10000, 24)
+	acc.Access(0x10000, 24)
+	if acc.Cycles != h.Stats().Cycles-before {
+		t.Errorf("accessor cycles %d != hierarchy delta %d", acc.Cycles, h.Stats().Cycles-before)
+	}
+	acc.Reset()
+	if acc.Cycles != 0 {
+		t.Error("Reset failed")
+	}
+}

@@ -1,0 +1,128 @@
+package matchlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"spco/internal/match"
+	"spco/internal/simmem"
+)
+
+// checkLLAInvariants walks the node chain verifying the structural
+// invariants the implementation relies on:
+//
+//  1. every node's used window satisfies 0 <= head <= tail <= K;
+//  2. live counts equal the non-hole entries in the window;
+//  3. the slot at head is never a hole (head deletions skip them);
+//  4. only the tail node may have free slots at its end;
+//  5. no node other than a tail-with-space is fully dead;
+//  6. the list's Len equals the sum of node live counts.
+func checkLLAInvariants(t *testing.T, l *llaPosted) {
+	t.Helper()
+	sumLive := 0
+	for n := l.head; n != nil; n = n.next {
+		if n.head < 0 || n.head > n.tail || n.tail > l.k {
+			t.Fatalf("window corrupt: head=%d tail=%d k=%d", n.head, n.tail, l.k)
+		}
+		live := 0
+		for i := n.head; i < n.tail; i++ {
+			if !n.entries[i].IsHole() {
+				live++
+			}
+		}
+		if live != n.live {
+			t.Fatalf("live count drift: counted %d, recorded %d", live, n.live)
+		}
+		if n.head < n.tail && n.entries[n.head].IsHole() {
+			t.Fatal("hole at window head")
+		}
+		if n != l.tail && n.tail != l.k {
+			t.Fatalf("interior node with free slots: tail=%d k=%d", n.tail, l.k)
+		}
+		if n.live == 0 && (n != l.tail || n.tail == l.k) {
+			t.Fatal("dead node not unlinked")
+		}
+		sumLive += live
+	}
+	if sumLive != l.n {
+		t.Fatalf("Len drift: nodes hold %d, list says %d", sumLive, l.n)
+	}
+	if l.head == nil && l.tail != nil || l.head != nil && l.tail == nil {
+		t.Fatal("head/tail nil mismatch")
+	}
+}
+
+func TestLLAInvariantsUnderRandomOps(t *testing.T) {
+	for _, k := range []int{2, 4, 8, 32} {
+		for seed := int64(0); seed < 4; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			l := NewPosted(KindLLA, Config{
+				Space: simmem.NewSpace(), Acc: FreeAccessor{},
+				EntriesPerNode: k, Pool: seed%2 == 0,
+			}).(*llaPosted)
+			var reqs []uint64
+			next := uint64(1)
+			for op := 0; op < 2000; op++ {
+				switch r := rng.Intn(10); {
+				case r < 5:
+					l.Post(match.NewPosted(rng.Intn(4), rng.Intn(64), 1, next))
+					reqs = append(reqs, next)
+					next++
+				case r < 8:
+					if len(reqs) == 0 {
+						continue
+					}
+					// Search for a live entry's (rank, tag) — removal at
+					// arbitrary position.
+					e := match.Envelope{Rank: int32(rng.Intn(4)), Tag: int32(rng.Intn(64)), Ctx: 1}
+					if p, _, ok := l.Search(e); ok {
+						reqs = removeReq(reqs, p.Req)
+					}
+				default:
+					if len(reqs) == 0 {
+						continue
+					}
+					idx := rng.Intn(len(reqs))
+					if l.Cancel(reqs[idx]) {
+						reqs = append(reqs[:idx], reqs[idx+1:]...)
+					}
+				}
+				checkLLAInvariants(t, l)
+			}
+		}
+	}
+}
+
+func removeReq(reqs []uint64, req uint64) []uint64 {
+	for i, r := range reqs {
+		if r == req {
+			return append(reqs[:i], reqs[i+1:]...)
+		}
+	}
+	return reqs
+}
+
+// Memory accounting never goes negative and regions always cover the
+// recorded bytes.
+func TestLLAMemoryAccountingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	l := NewPosted(KindLLA, Config{
+		Space: simmem.NewSpace(), Acc: FreeAccessor{}, EntriesPerNode: 4,
+	})
+	next := uint64(1)
+	for op := 0; op < 3000; op++ {
+		if rng.Intn(2) == 0 {
+			l.Post(match.NewPosted(0, rng.Intn(16), 1, next))
+			next++
+		} else {
+			l.Search(match.Envelope{Rank: 0, Tag: int32(rng.Intn(16)), Ctx: 1})
+		}
+		var total uint64
+		for _, r := range l.Regions() {
+			total += r.Size
+		}
+		if total != l.MemoryBytes() {
+			t.Fatalf("op %d: regions %d bytes != MemoryBytes %d", op, total, l.MemoryBytes())
+		}
+	}
+}

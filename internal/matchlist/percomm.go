@@ -1,0 +1,94 @@
+package matchlist
+
+import (
+	"sort"
+
+	"spco/internal/match"
+	"spco/internal/simmem"
+)
+
+// perComm is the MPICH CH4-style refinement the paper's Section 2.2
+// describes: "Newer approaches like CH4 in MPICH, however, use more
+// than one list" — one queue per communicator, selected by context id
+// in O(1). Within a communicator the queue is the plain linked list, so
+// this comparator isolates exactly how much communicator partitioning
+// alone buys (nothing for single-communicator workloads, a lot for
+// multi-communicator ones) without any locality engineering.
+type perComm struct {
+	cfg     Config
+	ctrl    simmem.Addr
+	lists   map[uint16]*baselinePosted
+	ctxs    []uint16 // allocation order, for deterministic Cancel scans
+	n       int
+	bytes   uint64
+	regions simmem.RegionSet
+}
+
+func newPerComm(cfg Config) *perComm {
+	l := &perComm{cfg: cfg, lists: make(map[uint16]*baselinePosted)}
+	l.ctrl = cfg.Space.AllocLines(1)
+	l.bytes += simmem.LineSize
+	regAdd(&l.cfg, &l.regions, simmem.Region{Base: l.ctrl, Size: simmem.LineSize})
+	return l
+}
+
+func (l *perComm) Name() string { return "percomm" }
+
+// listFor returns (creating on demand) the communicator's queue. The
+// per-communicator table lookup costs one control-line access.
+func (l *perComm) listFor(ctx uint16, create bool) *baselinePosted {
+	l.cfg.Acc.Access(l.ctrl, 8)
+	sub, ok := l.lists[ctx]
+	if !ok && create {
+		sub = newBaselinePosted(l.cfg)
+		l.lists[ctx] = sub
+		l.ctxs = append(l.ctxs, ctx)
+		sort.Slice(l.ctxs, func(i, j int) bool { return l.ctxs[i] < l.ctxs[j] })
+	}
+	return sub
+}
+
+func (l *perComm) Post(p match.Posted) {
+	l.listFor(p.Ctx, true).Post(p)
+	l.n++
+}
+
+func (l *perComm) Search(e match.Envelope) (match.Posted, int, bool) {
+	sub := l.listFor(e.Ctx, false)
+	if sub == nil {
+		return match.Posted{}, 0, false
+	}
+	p, depth, ok := sub.Search(e)
+	if ok {
+		l.n--
+	}
+	return p, depth, ok
+}
+
+func (l *perComm) Cancel(req uint64) bool {
+	for _, ctx := range l.ctxs {
+		if l.lists[ctx].Cancel(req) {
+			l.n--
+			return true
+		}
+	}
+	return false
+}
+
+func (l *perComm) Len() int { return l.n }
+
+func (l *perComm) Regions() []simmem.Region {
+	out := append([]simmem.Region{}, l.regions.Regions()...)
+	for _, ctx := range l.ctxs {
+		out = append(out, l.lists[ctx].Regions()...)
+	}
+	return out
+}
+
+func (l *perComm) MemoryBytes() uint64 {
+	total := l.bytes
+	for _, ctx := range l.ctxs {
+		total += l.lists[ctx].MemoryBytes()
+	}
+	return total
+}

@@ -1,0 +1,111 @@
+package matchlist
+
+import (
+	"fmt"
+
+	"spco/internal/match"
+	"spco/internal/simmem"
+)
+
+// rankArray is the Open MPI hierarchical structure (Section 2.2): per
+// communicator, an array indexed by source rank whose cells hold short
+// per-source lists, reaching the right list in O(1). Receives posted
+// with MPI_ANY_SOURCE cannot be bucketed and live on a fallback chain.
+// The cost is memory: an N-process communicator needs an N-cell array
+// in every process — O(N^2) across the job.
+type rankArray struct {
+	cfg       Config
+	perRank   []chain
+	wild      chain
+	headsAddr simmem.Addr
+	ctrl      simmem.Addr
+	seq       uint64
+	n         int
+	bytes     uint64
+	regions   simmem.RegionSet
+}
+
+func newRankArray(cfg Config) *rankArray {
+	if cfg.CommSize <= 0 {
+		panic("matchlist: RankArray requires Config.CommSize")
+	}
+	l := &rankArray{cfg: cfg, perRank: make([]chain, cfg.CommSize)}
+	l.ctrl = cfg.Space.AllocLines(1)
+	l.bytes += simmem.LineSize
+	regAdd(&l.cfg, &l.regions, simmem.Region{Base: l.ctrl, Size: simmem.LineSize})
+	l.headsAddr = cfg.Space.Alloc(uint64(cfg.CommSize)*8, simmem.LineSize)
+	l.bytes += uint64(cfg.CommSize) * 8
+	regAdd(&l.cfg, &l.regions, simmem.Region{Base: l.headsAddr, Size: uint64(cfg.CommSize) * 8})
+	for i := range l.perRank {
+		l.perRank[i].cfg = &l.cfg
+	}
+	l.wild.cfg = &l.cfg
+	return l
+}
+
+func (l *rankArray) Name() string { return "rankarray" }
+
+func (l *rankArray) Post(p match.Posted) {
+	l.cfg.Acc.Access(l.ctrl, 16)
+	e := seqEntry{entry: p, seq: l.seq}
+	l.seq++
+	if p.IsWild() && p.RankMask == 0 {
+		l.wild.append(&l.regions, &l.bytes, e)
+	} else {
+		r := int(p.Rank)
+		if r < 0 || r >= len(l.perRank) {
+			panic(fmt.Sprintf("matchlist: rank %d outside communicator of size %d", r, len(l.perRank)))
+		}
+		l.cfg.Acc.Access(l.headsAddr+simmem.Addr(r*8), 8)
+		l.perRank[r].append(&l.regions, &l.bytes, e)
+	}
+	l.n++
+}
+
+func (l *rankArray) Search(e match.Envelope) (match.Posted, int, bool) {
+	l.cfg.Acc.Access(l.ctrl, 16)
+	depth := 0
+	r := int(e.Rank)
+	var binPrev, binNode *chainNode
+	if r >= 0 && r < len(l.perRank) {
+		l.cfg.Acc.Access(l.headsAddr+simmem.Addr(r*8), 8)
+		binPrev, binNode = l.perRank[r].firstMatch(e, &depth)
+	}
+	wildPrev, wildNode := l.wild.firstMatch(e, &depth)
+
+	switch {
+	case binNode == nil && wildNode == nil:
+		return match.Posted{}, depth, false
+	case wildNode == nil || (binNode != nil && binNode.e.seq < wildNode.e.seq):
+		l.perRank[r].remove(&l.regions, &l.bytes, binPrev, binNode)
+		l.n--
+		return binNode.e.entry, depth, true
+	default:
+		l.wild.remove(&l.regions, &l.bytes, wildPrev, wildNode)
+		l.n--
+		return wildNode.e.entry, depth, true
+	}
+}
+
+func (l *rankArray) Cancel(req uint64) bool {
+	l.cfg.Acc.Access(l.ctrl, 16)
+	if prev, node := l.wild.findReq(req); node != nil {
+		l.wild.remove(&l.regions, &l.bytes, prev, node)
+		l.n--
+		return true
+	}
+	for i := range l.perRank {
+		if prev, node := l.perRank[i].findReq(req); node != nil {
+			l.perRank[i].remove(&l.regions, &l.bytes, prev, node)
+			l.n--
+			return true
+		}
+	}
+	return false
+}
+
+func (l *rankArray) Len() int { return l.n }
+
+func (l *rankArray) Regions() []simmem.Region { return l.regions.Regions() }
+
+func (l *rankArray) MemoryBytes() uint64 { return l.bytes }

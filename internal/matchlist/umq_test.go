@@ -1,0 +1,183 @@
+package matchlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"spco/internal/match"
+	"spco/internal/simmem"
+)
+
+func newUMQ(t *testing.T, kind Kind) UnexpectedList {
+	t.Helper()
+	return NewUnexpected(kind, Config{
+		Space:          simmem.NewSpace(),
+		Acc:            FreeAccessor{},
+		EntriesPerNode: 2,
+	})
+}
+
+func umqKinds() []Kind { return []Kind{KindBaseline, KindLLA} }
+
+func TestUMQAppendSearch(t *testing.T) {
+	for _, kind := range umqKinds() {
+		l := newUMQ(t, kind)
+		l.Append(match.NewUnexpected(match.Envelope{Rank: 3, Tag: 7, Ctx: 1}, 100))
+		l.Append(match.NewUnexpected(match.Envelope{Rank: 4, Tag: 8, Ctx: 1}, 101))
+		u, _, ok := l.SearchBy(match.NewPosted(4, 8, 1, 0))
+		if !ok || u.Msg != 101 {
+			t.Errorf("%v: SearchBy got msg %d ok=%v, want 101", kind, u.Msg, ok)
+		}
+		if l.Len() != 1 {
+			t.Errorf("%v: Len = %d, want 1", kind, l.Len())
+		}
+	}
+}
+
+func TestUMQArrivalOrder(t *testing.T) {
+	for _, kind := range umqKinds() {
+		l := newUMQ(t, kind)
+		for i := uint64(1); i <= 3; i++ {
+			l.Append(match.NewUnexpected(match.Envelope{Rank: 5, Tag: 9, Ctx: 1}, i))
+		}
+		for want := uint64(1); want <= 3; want++ {
+			u, _, ok := l.SearchBy(match.NewPosted(5, 9, 1, 0))
+			if !ok || u.Msg != want {
+				t.Errorf("%v: got msg %d, want %d (arrival order)", kind, u.Msg, want)
+			}
+		}
+	}
+}
+
+func TestUMQWildcardReceive(t *testing.T) {
+	for _, kind := range umqKinds() {
+		l := newUMQ(t, kind)
+		l.Append(match.NewUnexpected(match.Envelope{Rank: 1, Tag: 5, Ctx: 1}, 1))
+		l.Append(match.NewUnexpected(match.Envelope{Rank: 2, Tag: 6, Ctx: 1}, 2))
+		u, _, ok := l.SearchBy(match.NewPosted(match.AnySource, match.AnyTag, 1, 0))
+		if !ok || u.Msg != 1 {
+			t.Errorf("%v: wildcard receive should take earliest arrival, got %d", kind, u.Msg)
+		}
+	}
+}
+
+func TestUMQMiss(t *testing.T) {
+	for _, kind := range umqKinds() {
+		l := newUMQ(t, kind)
+		l.Append(match.NewUnexpected(match.Envelope{Rank: 1, Tag: 5, Ctx: 1}, 1))
+		if _, _, ok := l.SearchBy(match.NewPosted(1, 6, 1, 0)); ok {
+			t.Errorf("%v: matched wrong tag", kind)
+		}
+		if _, _, ok := l.SearchBy(match.NewPosted(1, 5, 2, 0)); ok {
+			t.Errorf("%v: matched wrong communicator", kind)
+		}
+	}
+}
+
+func TestUMQEntriesFor(t *testing.T) {
+	cases := map[int]int{0: 3, 2: 3, 4: 6, 8: 12, 16: 24, 32: 48}
+	for prq, want := range cases {
+		if got := UMQEntriesFor(prq); got != want {
+			t.Errorf("UMQEntriesFor(%d) = %d, want %d", prq, got, want)
+		}
+	}
+}
+
+func TestUMQNodePacking(t *testing.T) {
+	// First locality level: 3 UMQ entries fill one 64-byte line.
+	if got := match.NodeBytes(UMQEntriesFor(2), match.UnexpectedEntryBytes); got != 64 {
+		t.Errorf("UMQ node at first level = %d bytes, want 64", got)
+	}
+}
+
+func TestUMQHolesSkipped(t *testing.T) {
+	l := newUMQ(t, KindLLA) // 3 entries per node
+	for i := uint64(0); i < 3; i++ {
+		l.Append(match.NewUnexpected(match.Envelope{Rank: int32(i), Tag: int32(i), Ctx: 1}, i+1))
+	}
+	// Remove the middle entry, leaving a hole.
+	if _, _, ok := l.SearchBy(match.NewPosted(1, 1, 1, 0)); !ok {
+		t.Fatal("mid-node UMQ search failed")
+	}
+	// Wildcard receive must not match the hole.
+	u, _, ok := l.SearchBy(match.NewPosted(match.AnySource, match.AnyTag, 1, 0))
+	if !ok || u.Msg != 1 {
+		t.Errorf("after hole, wildcard got msg %d ok=%v, want 1", u.Msg, ok)
+	}
+	u, _, ok = l.SearchBy(match.NewPosted(match.AnySource, match.AnyTag, 1, 0))
+	if !ok || u.Msg != 3 {
+		t.Errorf("second wildcard got msg %d ok=%v, want 3", u.Msg, ok)
+	}
+	if l.Len() != 0 {
+		t.Errorf("Len = %d, want 0", l.Len())
+	}
+}
+
+func TestUMQDrainReclaims(t *testing.T) {
+	for _, kind := range umqKinds() {
+		space := simmem.NewSpace()
+		l := NewUnexpected(kind, Config{Space: space, Acc: FreeAccessor{}, EntriesPerNode: 2})
+		for i := uint64(0); i < 12; i++ {
+			l.Append(match.NewUnexpected(match.Envelope{Rank: int32(i), Tag: 0, Ctx: 1}, i+1))
+		}
+		high := l.MemoryBytes()
+		for i := uint64(0); i < 12; i++ {
+			if _, _, ok := l.SearchBy(match.NewPosted(int(i), 0, 1, 0)); !ok {
+				t.Fatalf("%v: entry %d missing", kind, i)
+			}
+		}
+		if l.MemoryBytes() >= high {
+			t.Errorf("%v: drained UMQ kept %d bytes (was %d)", kind, l.MemoryBytes(), high)
+		}
+	}
+}
+
+// Reference-model equivalence for UMQs under random append/search load.
+func TestUMQReferenceEquivalence(t *testing.T) {
+	for _, kind := range umqKinds() {
+		rng := rand.New(rand.NewSource(7))
+		l := newUMQ(t, kind)
+		var ref []match.Unexpected
+		msg := uint64(1)
+		for op := 0; op < 2000; op++ {
+			if rng.Intn(2) == 0 {
+				u := match.NewUnexpected(match.Envelope{
+					Rank: int32(rng.Intn(16)), Tag: int32(rng.Intn(4)), Ctx: uint16(rng.Intn(2)),
+				}, msg)
+				msg++
+				l.Append(u)
+				ref = append(ref, u)
+			} else {
+				rank := rng.Intn(16)
+				tag := rng.Intn(4)
+				if rng.Intn(8) == 0 {
+					rank = match.AnySource
+				}
+				if rng.Intn(8) == 0 {
+					tag = match.AnyTag
+				}
+				p := match.NewPosted(rank, tag, uint16(rng.Intn(2)), 0)
+				got, _, gotOK := l.SearchBy(p)
+				wantIdx := -1
+				for i, u := range ref {
+					if u.MatchedBy(p) {
+						wantIdx = i
+						break
+					}
+				}
+				if gotOK != (wantIdx >= 0) {
+					t.Fatalf("%v op %d: ok=%v, reference %v", kind, op, gotOK, wantIdx >= 0)
+				}
+				if gotOK {
+					if got.Msg != ref[wantIdx].Msg {
+						t.Fatalf("%v op %d: got msg %d, reference %d", kind, op, got.Msg, ref[wantIdx].Msg)
+					}
+					ref = append(ref[:wantIdx], ref[wantIdx+1:]...)
+				}
+			}
+			if l.Len() != len(ref) {
+				t.Fatalf("%v op %d: Len = %d, reference %d", kind, op, l.Len(), len(ref))
+			}
+		}
+	}
+}

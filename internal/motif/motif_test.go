@@ -1,0 +1,136 @@
+package motif
+
+import (
+	"math/rand"
+	"testing"
+
+	"spco/internal/trace"
+)
+
+func small(seed int64) Config {
+	return Config{SampleRanks: 64, Phases: 5, Seed: seed}
+}
+
+func TestPhaseSimConservation(t *testing.T) {
+	// Every post is eventually consumed: after a phase both queues are
+	// empty, and sample counts equal 2*posts (one per mutation).
+	res := &Result{Posted: trace.NewHistogram(1), Unexpected: trace.NewHistogram(1)}
+	rng := rand.New(rand.NewSource(1))
+	const posts = 100
+	phaseSim(rng, posts, 0.5, 1, res)
+	if res.Posted.Total() != 2*posts || res.Unexpected.Total() != 2*posts {
+		t.Errorf("samples = %d/%d, want %d each", res.Posted.Total(), res.Unexpected.Total(), 2*posts)
+	}
+	// Queue lengths can never exceed the post count.
+	if res.Posted.Max() > posts || res.Unexpected.Max() > posts {
+		t.Errorf("max lengths %d/%d exceed posts %d", res.Posted.Max(), res.Unexpected.Max(), posts)
+	}
+}
+
+func TestPhaseSimPrepostBiasExtremes(t *testing.T) {
+	// Bias 1: everything pre-posted, no unexpected messages at all.
+	res := &Result{Posted: trace.NewHistogram(1), Unexpected: trace.NewHistogram(1)}
+	rng := rand.New(rand.NewSource(2))
+	phaseSim(rng, 50, 1.0, 1, res)
+	if res.Unexpected.Max() != 0 {
+		t.Errorf("bias=1 produced unexpected messages (max %d)", res.Unexpected.Max())
+	}
+	if res.Posted.Max() != 50 {
+		t.Errorf("bias=1 posted max = %d, want 50 (all posted before any arrival)", res.Posted.Max())
+	}
+
+	// Bias 0: arrivals drain first, everything is unexpected.
+	res2 := &Result{Posted: trace.NewHistogram(1), Unexpected: trace.NewHistogram(1)}
+	phaseSim(rng, 50, 0.0, 1, res2)
+	if res2.Posted.Max() != 0 {
+		t.Errorf("bias=0 posted max = %d, want 0", res2.Posted.Max())
+	}
+	if res2.Unexpected.Max() != 50 {
+		t.Errorf("bias=0 unexpected max = %d, want 50", res2.Unexpected.Max())
+	}
+}
+
+func TestMotifsDeterministic(t *testing.T) {
+	a := AMR(small(7))
+	b := AMR(small(7))
+	ba, bb := a.Posted.Buckets(), b.Posted.Buckets()
+	if len(ba) != len(bb) {
+		t.Fatal("same seed produced different bucket counts")
+	}
+	for i := range ba {
+		if ba[i] != bb[i] {
+			t.Fatalf("same seed produced different histograms at bucket %d", i)
+		}
+	}
+	c := AMR(small(8))
+	if c.Posted.Total() == 0 {
+		t.Fatal("empty result")
+	}
+}
+
+// Figure 1's qualitative shapes: AMR reaches the mid-400s with abundant
+// mid-100s; Sweep3D stays under ~200 (tail into the low hundreds);
+// Halo3D stays under 100 with most mass at very short lengths.
+func TestFigure1Shapes(t *testing.T) {
+	amr := AMR(Config{SampleRanks: 256, Phases: 10, Seed: 42})
+	if amr.Posted.Max() < 250 || amr.Posted.Max() > 600 {
+		t.Errorf("AMR max length = %d, want mid-hundreds", amr.Posted.Max())
+	}
+	// Mid-100s must be abundant: buckets covering 100-199 should hold a
+	// nontrivial share.
+	var mid, total uint64
+	for _, b := range amr.Posted.Buckets() {
+		total += b.Count
+		if b.Lo >= 100 && b.Hi < 200 {
+			mid += b.Count
+		}
+	}
+	if total == 0 || float64(mid)/float64(total) < 0.05 {
+		t.Errorf("AMR mid-100 lengths not abundant: %d/%d", mid, total)
+	}
+
+	sweep := Sweep3D(Config{SampleRanks: 256, Phases: 3, Seed: 42})
+	if sweep.Posted.Max() > 200 {
+		t.Errorf("Sweep3D max = %d, want <= ~200", sweep.Posted.Max())
+	}
+	if sweep.Posted.Max() < 120 {
+		t.Errorf("Sweep3D max = %d, want into the low hundreds", sweep.Posted.Max())
+	}
+
+	halo := Halo3D(Config{SampleRanks: 256, Phases: 10, Seed: 42})
+	if halo.Posted.Max() >= 100 {
+		t.Errorf("Halo3D max = %d, want < 100", halo.Posted.Max())
+	}
+	// Most samples at short lengths: bucket 0-4 dominates.
+	b := halo.Posted.Buckets()
+	if len(b) == 0 || b[0].Count*2 < halo.Posted.Total()/4 {
+		t.Error("Halo3D should concentrate at very short lengths")
+	}
+}
+
+func TestScalingWeights(t *testing.T) {
+	// Occurrences scale with the represented rank count.
+	small := Halo3D(Config{Ranks: 1024, SampleRanks: 64, Phases: 2, Seed: 3})
+	big := Halo3D(Config{Ranks: 64 * 1024, SampleRanks: 64, Phases: 2, Seed: 3})
+	if big.Posted.Total() != small.Posted.Total()*64 {
+		t.Errorf("scaling: %d vs %d (want 64x)", big.Posted.Total(), small.Posted.Total())
+	}
+}
+
+func TestDefaultRankCounts(t *testing.T) {
+	amr := AMR(Config{SampleRanks: 16, Phases: 1})
+	if amr.Ranks != 64*1024 {
+		t.Errorf("AMR default ranks = %d, want 64K", amr.Ranks)
+	}
+	sw := Sweep3D(Config{SampleRanks: 16, Phases: 1})
+	if sw.Ranks != 128*1024 {
+		t.Errorf("Sweep3D default ranks = %d, want 128K", sw.Ranks)
+	}
+	h := Halo3D(Config{SampleRanks: 16, Phases: 1})
+	if h.Ranks != 256*1024 {
+		t.Errorf("Halo3D default ranks = %d, want 256K", h.Ranks)
+	}
+	if h.Posted.BucketWidth != 5 || sw.Posted.BucketWidth != 10 || amr.Posted.BucketWidth != 20 {
+		t.Error("default bucket widths should be 20/10/5 as in Figure 1")
+	}
+}

@@ -1,0 +1,244 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"spco/internal/match"
+)
+
+// Comm scopes point-to-point operations and collectives to a
+// communicator: a context id isolating its matching traffic (the engine
+// matches on (source, tag, context), Section 2.1) and a member group
+// with its own rank numbering.
+type Comm struct {
+	p       *Proc
+	ctx     uint16
+	members []int // world ranks, ascending; local rank = index
+	rank    int   // this process's rank within members
+	collSeq uint64
+}
+
+// World returns the all-ranks communicator (context 1).
+func (p *Proc) World() *Comm {
+	members := make([]int, p.w.cfg.Size)
+	for i := range members {
+		members[i] = i
+	}
+	return &Comm{p: p, ctx: worldCtx, members: members, rank: p.rank}
+}
+
+// CommSplit partitions the world by color, as MPI_Comm_split does:
+// every rank calls it (collectively) with its color; ranks sharing a
+// color form a new communicator whose context id is derived from the
+// color, ordered by world rank. Colors must be in [0, 60000).
+func (p *Proc) CommSplit(color int) *Comm {
+	if color < 0 || color >= 60000 {
+		panic(fmt.Sprintf("mpi: color %d out of range", color))
+	}
+	// Exchange colors through the rendezvous: each rank contributes its
+	// color at its own index; the sum is the full color vector.
+	vec := make([]float64, p.w.cfg.Size)
+	vec[p.rank] = float64(color + 1)
+	all := p.Allreduce(vec)
+
+	var members []int
+	for r, c := range all {
+		if int(c)-1 == color {
+			members = append(members, r)
+		}
+	}
+	sort.Ints(members)
+	rank := -1
+	for i, r := range members {
+		if r == p.rank {
+			rank = i
+		}
+	}
+	if rank < 0 {
+		panic("mpi: splitting rank not in its own color group")
+	}
+	// Context ids: 1 is the world; split communicators start at 2.
+	ctx := uint16(2 + color)
+	if ctx == match.InvalidCtx {
+		panic("mpi: context id collides with the invalid sentinel")
+	}
+	return &Comm{p: p, ctx: ctx, members: members, rank: rank}
+}
+
+// Rank returns this process's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator's member count.
+func (c *Comm) Size() int { return len(c.members) }
+
+// Ctx exposes the communicator's matching context id.
+func (c *Comm) Ctx() uint16 { return c.ctx }
+
+// world translates a communicator rank to a world rank.
+func (c *Comm) world(rank int) int {
+	if rank < 0 || rank >= len(c.members) {
+		panic(fmt.Sprintf("mpi: rank %d outside communicator of size %d", rank, len(c.members)))
+	}
+	return c.members[rank]
+}
+
+// Send delivers data to the communicator rank dst under this context.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	c.p.sendCtx(c.world(dst), tag, c.ctx, data)
+}
+
+// Irecv posts a receive scoped to this communicator. src may be
+// AnySource (any member), tag AnyTag.
+func (c *Comm) Irecv(src, tag int) *Request {
+	worldSrc := src
+	if src != AnySource {
+		worldSrc = c.world(src)
+	}
+	return c.p.irecvCtx(worldSrc, tag, c.ctx)
+}
+
+// Recv is Irecv+Wait.
+func (c *Comm) Recv(src, tag int) []byte {
+	return c.p.Wait(c.Irecv(src, tag))
+}
+
+// Wait delegates to the owning process.
+func (c *Comm) Wait(r *Request) []byte { return c.p.Wait(r) }
+
+// collTag returns a fresh tag in the reserved collective space; the
+// sequence advances identically on every member because collectives are
+// called collectively and in order.
+const collTagBase = 1 << 21
+
+func (c *Comm) collTag() int {
+	t := collTagBase + int(c.collSeq)
+	c.collSeq++
+	return t
+}
+
+// Bcast distributes root's data to every member through a binomial
+// tree of real point-to-point messages — each hop traverses the
+// receiving rank's matching engine, unlike the analytic Proc.Barrier /
+// Proc.Allreduce used by the proxy applications.
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	n := len(c.members)
+	tag := c.collTag()
+	if n == 1 {
+		out := make([]byte, len(data))
+		copy(out, data)
+		return out
+	}
+	vr := (c.rank - root + n) % n
+
+	mask := 1
+	for ; mask < n; mask <<= 1 {
+		if vr&mask != 0 {
+			src := (c.rank - mask + n) % n
+			data = c.Recv(src, tag)
+			break
+		}
+	}
+	mask >>= 1
+	for ; mask > 0; mask >>= 1 {
+		if vr+mask < n {
+			dst := (c.rank + mask) % n
+			c.Send(dst, tag, data)
+		}
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out
+}
+
+// Reduce sums vals elementwise onto root through a binomial tree;
+// only root's return value is meaningful.
+func (c *Comm) Reduce(root int, vals []float64) []float64 {
+	n := len(c.members)
+	tag := c.collTag()
+	acc := append([]float64(nil), vals...)
+	if n == 1 {
+		return acc
+	}
+	vr := (c.rank - root + n) % n
+
+	for mask := 1; mask < n; mask <<= 1 {
+		if vr&mask == 0 {
+			srcVr := vr | mask
+			if srcVr < n {
+				src := (srcVr + root) % n
+				part := decodeF64(c.Recv(src, tag))
+				for i := range acc {
+					acc[i] += part[i]
+				}
+			}
+		} else {
+			dstVr := vr &^ mask
+			dst := (dstVr + root) % n
+			c.Send(dst, tag, encodeF64(acc))
+			break
+		}
+	}
+	return acc
+}
+
+// Allreduce is Reduce to member 0 followed by Bcast.
+func (c *Comm) Allreduce(vals []float64) []float64 {
+	acc := c.Reduce(0, vals)
+	var buf []byte
+	if c.rank == 0 {
+		buf = encodeF64(acc)
+	}
+	return decodeF64(c.Bcast(0, buf))
+}
+
+// Barrier synchronises the members with an empty Allreduce: every rank
+// provably communicates (transitively) with every other.
+func (c *Comm) Barrier() {
+	c.Allreduce([]float64{0})
+}
+
+// Gather collects each member's payload at root, indexed by rank; only
+// root's return value is meaningful.
+func (c *Comm) Gather(root int, data []byte) [][]byte {
+	tag := c.collTag()
+	if c.rank != root {
+		c.Send(root, tag, data)
+		return nil
+	}
+	out := make([][]byte, len(c.members))
+	reqs := make([]*Request, len(c.members))
+	for r := range c.members {
+		if r == root {
+			buf := make([]byte, len(data))
+			copy(buf, data)
+			out[r] = buf
+			continue
+		}
+		reqs[r] = c.Irecv(r, tag)
+	}
+	for r, q := range reqs {
+		if q != nil {
+			out[r] = c.p.Wait(q)
+		}
+	}
+	return out
+}
+
+func encodeF64(vals []float64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+func decodeF64(buf []byte) []float64 {
+	out := make([]float64, len(buf)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWorldComm(t *testing.T) {
+	w := testWorld(3)
+	w.Run(func(p *Proc) {
+		c := p.World()
+		if c.Size() != 3 || c.Rank() != p.Rank() || c.Ctx() != worldCtx {
+			t.Errorf("world comm wrong: size=%d rank=%d ctx=%d", c.Size(), c.Rank(), c.Ctx())
+		}
+	})
+}
+
+func TestCommSplitGroups(t *testing.T) {
+	// 6 ranks split into even/odd: each half becomes a 3-member comm
+	// with local ranks 0..2.
+	w := testWorld(6)
+	w.Run(func(p *Proc) {
+		c := p.CommSplit(p.Rank() % 2)
+		if c.Size() != 3 {
+			t.Errorf("rank %d: split size = %d, want 3", p.Rank(), c.Size())
+		}
+		if want := p.Rank() / 2; c.Rank() != want {
+			t.Errorf("rank %d: local rank = %d, want %d", p.Rank(), c.Rank(), want)
+		}
+		if c.Ctx() == worldCtx {
+			t.Error("split comm must not reuse the world context")
+		}
+	})
+}
+
+func TestCommIsolation(t *testing.T) {
+	// The same (src, tag) in two communicators must not cross-match.
+	w := testWorld(2)
+	w.Run(func(p *Proc) {
+		world := p.World()
+		sub := p.CommSplit(0) // both ranks, new context
+		if p.Rank() == 0 {
+			world.Send(1, 5, []byte("world"))
+			sub.Send(1, 5, []byte("sub"))
+		} else {
+			// Receive from the sub communicator first: it must get the
+			// sub message even though the world message may have
+			// arrived earlier with identical source and tag.
+			if got := sub.Recv(0, 5); !bytes.Equal(got, []byte("sub")) {
+				t.Errorf("sub comm received %q", got)
+			}
+			if got := world.Recv(0, 5); !bytes.Equal(got, []byte("world")) {
+				t.Errorf("world comm received %q", got)
+			}
+		}
+	})
+}
+
+func TestCommSendRecvLocalRanks(t *testing.T) {
+	// Communicator ranks are local: rank 1 of the odd-comm is world
+	// rank 3.
+	w := testWorld(4)
+	w.Run(func(p *Proc) {
+		c := p.CommSplit(p.Rank() % 2)
+		if c.Rank() == 0 {
+			c.Send(1, 9, []byte{byte(p.Rank())})
+		} else {
+			got := c.Recv(0, 9)
+			want := byte(p.Rank() - 2) // world rank of local 0 in my group
+			if got[0] != want {
+				t.Errorf("world rank %d: got sender %d, want %d", p.Rank(), got[0], want)
+			}
+		}
+	})
+}
+
+func TestBcastBinomial(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 5, 8} {
+		w := testWorld(size)
+		w.Run(func(p *Proc) {
+			c := p.World()
+			for _, root := range []int{0, size - 1} {
+				var data []byte
+				if c.Rank() == root {
+					data = []byte{42, byte(root)}
+				}
+				got := c.Bcast(root, data)
+				if len(got) != 2 || got[0] != 42 || got[1] != byte(root) {
+					t.Errorf("size %d root %d rank %d: Bcast got %v", size, root, c.Rank(), got)
+				}
+			}
+		})
+	}
+}
+
+func TestReduceBinomial(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 7} {
+		w := testWorld(size)
+		w.Run(func(p *Proc) {
+			c := p.World()
+			got := c.Reduce(0, []float64{float64(c.Rank()), 1})
+			if c.Rank() == 0 {
+				wantSum := float64(size*(size-1)) / 2
+				if got[0] != wantSum || got[1] != float64(size) {
+					t.Errorf("size %d: Reduce = %v, want [%v %v]", size, got, wantSum, size)
+				}
+			}
+		})
+	}
+}
+
+func TestAllreduceP2PMatchesCentral(t *testing.T) {
+	w := testWorld(5)
+	w.Run(func(p *Proc) {
+		c := p.World()
+		p2p := c.Allreduce([]float64{float64(p.Rank() + 1)})
+		central := p.Allreduce([]float64{float64(p.Rank() + 1)})
+		if p2p[0] != central[0] || p2p[0] != 15 {
+			t.Errorf("rank %d: p2p %v vs central %v", p.Rank(), p2p, central)
+		}
+	})
+}
+
+func TestCommCollectivesWithinSplit(t *testing.T) {
+	// Collectives on a split communicator only see the group.
+	w := testWorld(6)
+	w.Run(func(p *Proc) {
+		c := p.CommSplit(p.Rank() % 3) // three comms of two ranks each
+		sum := c.Allreduce([]float64{1})
+		if sum[0] != 2 {
+			t.Errorf("split allreduce = %v, want 2", sum[0])
+		}
+		got := c.Bcast(0, []byte{byte(c.Ctx())})
+		if got[0] != byte(c.Ctx()) {
+			t.Errorf("split bcast leaked across comms: %v", got)
+		}
+	})
+}
+
+func TestGather(t *testing.T) {
+	w := testWorld(4)
+	w.Run(func(p *Proc) {
+		c := p.World()
+		out := c.Gather(2, []byte{byte(10 + c.Rank())})
+		if c.Rank() != 2 {
+			if out != nil {
+				t.Error("non-root Gather should return nil")
+			}
+			return
+		}
+		for r, buf := range out {
+			if len(buf) != 1 || buf[0] != byte(10+r) {
+				t.Errorf("gathered[%d] = %v", r, buf)
+			}
+		}
+	})
+}
+
+func TestCollectivesDriveMatchingEngine(t *testing.T) {
+	// Unlike the analytic Barrier, p2p collectives generate real
+	// arrivals through the engines.
+	w := testWorld(4)
+	before := w.EngineStats().Arrivals
+	w.Run(func(p *Proc) {
+		p.World().Barrier()
+	})
+	if after := w.EngineStats().Arrivals; after == before {
+		t.Error("p2p barrier produced no engine arrivals")
+	}
+}
+
+func TestCollectiveSequenceNoCrosstalk(t *testing.T) {
+	// Back-to-back collectives must not steal each other's messages.
+	w := testWorld(3)
+	w.Run(func(p *Proc) {
+		c := p.World()
+		for i := 0; i < 10; i++ {
+			v := c.Allreduce([]float64{float64(i)})
+			if v[0] != float64(3*i) {
+				t.Fatalf("iteration %d: %v", i, v[0])
+			}
+		}
+	})
+}
+
+func TestCommSplitBadColorPanics(t *testing.T) {
+	w := testWorld(1)
+	w.Run(func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for out-of-range color")
+			}
+		}()
+		p.CommSplit(-1)
+	})
+}

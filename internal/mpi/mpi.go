@@ -1,0 +1,502 @@
+// Package mpi is a miniature message-passing runtime: MPI essentials
+// (ranks, tags, wildcards, blocking and nonblocking send/receive,
+// Sendrecv/Waitall, communicators via CommSplit, binomial-tree
+// collectives, barrier, allreduce) over in-process goroutine ranks.
+//
+// Its purpose is to let the proxy applications (internal/proxyapps) and
+// the examples exercise the matching engine end-to-end: every rank owns
+// an engine.Engine, every incoming message walks the rank's posted
+// receive queue through the cache simulator, and every operation
+// advances the rank's virtual clock by its modeled cost (engine cycles
+// plus LogGP fabric terms). Application "runtime" is the maximum rank
+// clock, synchronised at barriers like the bulk-synchronous codes the
+// paper studies.
+//
+// Concurrency is real: ranks run as goroutines and message arrival
+// order is scheduler-dependent, which supplies the nondeterministic
+// match-list interleavings multithreaded MPI produces (Section 2.3).
+// Runs are therefore averaged over trials, as the paper's application
+// results are.
+//
+// The transport is eager by default: sends buffer at the receiver
+// immediately and complete at once. Setting Config.EagerThresholdBytes
+// switches larger messages to a rendezvous protocol whose RTS envelope
+// still traverses the matching engine and whose payload wire time is
+// paid on the completion path.
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"spco/internal/engine"
+	"spco/internal/match"
+	"spco/internal/netmodel"
+)
+
+// AnySource and AnyTag re-export the matching wildcards.
+const (
+	AnySource = match.AnySource
+	AnyTag    = match.AnyTag
+)
+
+// worldCtx is the context id every world communicator uses (a full
+// communicator layer is unnecessary for the proxies; the matching
+// engine itself is communicator-aware and unit-tested with many).
+const worldCtx uint16 = 1
+
+// Config describes a world.
+type Config struct {
+	// Size is the number of ranks.
+	Size int
+
+	// Engine is the per-rank engine template (structure kind, K, hot
+	// caching, architecture profile).
+	Engine engine.Config
+
+	// Fabric provides the network cost terms.
+	Fabric netmodel.Fabric
+
+	// Observer, when set, is called once per rank at world construction
+	// and may return an engine.Observer to attach to that rank's engine
+	// (nil attaches nothing). The mtrace recorder uses this to capture
+	// replayable traces from application runs.
+	Observer func(rank int) engine.Observer
+
+	// EagerThresholdBytes switches messages larger than this to the
+	// rendezvous protocol: the sender's RTS (a header-only envelope)
+	// goes through the receiver's matching engine, and the payload's
+	// wire time starts only after the match — one extra round trip plus
+	// serialization on the completion path, as in real MPI rendezvous.
+	// Zero keeps every message eager (the default; the paper's
+	// microbenchmark calibrations assume eager delivery).
+	EagerThresholdBytes int
+}
+
+// World is a set of in-process ranks.
+type World struct {
+	cfg   Config
+	procs []*Proc
+	bar   *barrier
+}
+
+// NewWorld builds a world of cfg.Size ranks, each with its own engine.
+func NewWorld(cfg Config) *World {
+	if cfg.Size <= 0 {
+		panic("mpi: world size must be positive")
+	}
+	if cfg.Fabric.BandwidthBps == 0 {
+		cfg.Fabric = netmodel.IBQDR
+	}
+	w := &World{cfg: cfg, bar: newBarrier(cfg.Size)}
+	w.procs = make([]*Proc, cfg.Size)
+	for r := 0; r < cfg.Size; r++ {
+		ecfg := cfg.Engine
+		ecfg.CommSize = cfg.Size
+		w.procs[r] = &Proc{
+			w:        w,
+			rank:     r,
+			en:       engine.New(ecfg),
+			requests: make(map[uint64]*Request),
+			umqData:  make(map[uint64]packet),
+			nextReq:  1,
+			nextMsg:  1,
+		}
+		if cfg.Observer != nil {
+			if o := cfg.Observer(r); o != nil {
+				w.procs[r].en.SetObserver(o)
+			}
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.cfg.Size }
+
+// Run executes f once per rank, concurrently, and returns when all
+// ranks finish. It may be called repeatedly; virtual clocks persist.
+func (w *World) Run(f func(p *Proc)) {
+	var wg sync.WaitGroup
+	for _, p := range w.procs {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			f(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// MaxTimeNS returns the largest rank clock — the modeled runtime.
+func (w *World) MaxTimeNS() float64 {
+	max := 0.0
+	for _, p := range w.procs {
+		if p.now > max {
+			max = p.now
+		}
+	}
+	return max
+}
+
+// Proc returns the rank's process handle (for inspection in tests).
+func (w *World) Proc(rank int) *Proc { return w.procs[rank] }
+
+// EngineStats sums engine statistics over all ranks.
+func (w *World) EngineStats() engine.Stats {
+	var tot engine.Stats
+	for _, p := range w.procs {
+		s := p.en.Stats()
+		tot.Arrivals += s.Arrivals
+		tot.Posts += s.Posts
+		tot.Recvs += s.Recvs
+		tot.PRQMatches += s.PRQMatches
+		tot.UMQMatches += s.UMQMatches
+		tot.UMQAppends += s.UMQAppends
+		tot.PRQDepthTotal += s.PRQDepthTotal
+		tot.UMQDepthTotal += s.UMQDepthTotal
+		tot.Cycles += s.Cycles
+		tot.SyncCycles += s.SyncCycles
+		if s.MaxPRQLen > tot.MaxPRQLen {
+			tot.MaxPRQLen = s.MaxPRQLen
+		}
+		if s.MaxUMQLen > tot.MaxUMQLen {
+			tot.MaxUMQLen = s.MaxUMQLen
+		}
+	}
+	return tot
+}
+
+// packet is one in-flight message. Eager packets carry their wire time
+// in arriveNS; rendezvous packets arrive as header-only RTS envelopes
+// whose payload transfer is priced at match time.
+type packet struct {
+	env      match.Envelope
+	data     []byte
+	arriveNS float64
+	rndz     bool
+}
+
+// Request is a nonblocking operation handle.
+type Request struct {
+	id      uint64
+	done    bool
+	data    []byte
+	readyNS float64 // rendezvous completion time (0 for eager)
+}
+
+// Proc is one rank.
+type Proc struct {
+	w    *World
+	rank int
+	en   *engine.Engine
+	now  float64 // virtual clock, ns
+
+	mbox     mailbox
+	requests map[uint64]*Request
+	umqData  map[uint64]packet
+	nextReq  uint64
+	nextMsg  uint64
+}
+
+// Rank returns this process's rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.w.cfg.Size }
+
+// NowNS returns the rank's virtual clock.
+func (p *Proc) NowNS() float64 { return p.now }
+
+// Engine exposes the rank's matching engine (tests, diagnostics).
+func (p *Proc) Engine() *engine.Engine { return p.en }
+
+func (p *Proc) chargeCycles(cy uint64) {
+	p.now += p.w.cfg.Engine.Profile.CyclesToNanos(cy)
+}
+
+// Send delivers data to dst with the given tag (eager; completes
+// immediately). The payload is copied.
+func (p *Proc) Send(dst, tag int, data []byte) {
+	p.sendCtx(dst, tag, worldCtx, data)
+}
+
+// sendCtx is Send under an explicit communicator context.
+func (p *Proc) sendCtx(dst, tag int, ctx uint16, data []byte) {
+	if dst < 0 || dst >= p.w.cfg.Size {
+		panic(fmt.Sprintf("mpi: send to rank %d of %d", dst, p.w.cfg.Size))
+	}
+	fab := p.w.cfg.Fabric
+	p.now += fab.OverheadNS / 2
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	pkt := packet{
+		env:  match.Envelope{Rank: int32(p.rank), Tag: int32(tag), Ctx: ctx},
+		data: buf,
+	}
+	thresh := p.w.cfg.EagerThresholdBytes
+	if thresh > 0 && len(data) > thresh {
+		// Rendezvous: only the RTS header travels now.
+		pkt.rndz = true
+		pkt.arriveNS = p.now + fab.LatencyNS
+	} else {
+		pkt.arriveNS = p.now + fab.LatencyNS + fab.SerializationNS(uint64(len(data)))
+	}
+	p.w.procs[dst].mbox.put(pkt)
+}
+
+// rndzReadyNS prices a rendezvous payload transfer completed after the
+// match at matchNS: CTS back to the sender, then the payload's wire
+// time.
+func (p *Proc) rndzReadyNS(matchNS float64, bytes int) float64 {
+	fab := p.w.cfg.Fabric
+	return matchNS + 2*fab.LatencyNS + fab.SerializationNS(uint64(bytes))
+}
+
+// Irecv posts a nonblocking receive. src may be AnySource, tag AnyTag.
+func (p *Proc) Irecv(src, tag int) *Request {
+	return p.irecvCtx(src, tag, worldCtx)
+}
+
+// irecvCtx is Irecv under an explicit communicator context.
+func (p *Proc) irecvCtx(src, tag int, ctx uint16) *Request {
+	r := &Request{id: p.nextReq}
+	p.nextReq++
+	msg, matched, cy := p.en.PostRecv(src, tag, ctx, r.id)
+	p.chargeCycles(cy)
+	if matched {
+		pkt := p.umqData[msg]
+		delete(p.umqData, msg)
+		r.done = true
+		r.data = pkt.data
+		if pkt.rndz {
+			base := p.now
+			if pkt.arriveNS > base {
+				base = pkt.arriveNS
+			}
+			r.readyNS = p.rndzReadyNS(base, len(pkt.data))
+		}
+		return r
+	}
+	p.requests[r.id] = r
+	return r
+}
+
+// Wait blocks until the request completes, processing arrivals
+// meanwhile, and returns the received payload. Rendezvous payloads
+// finish at their transfer-completion time.
+func (p *Proc) Wait(r *Request) []byte {
+	for !r.done {
+		p.processOne(true)
+	}
+	if r.readyNS > p.now {
+		p.now = r.readyNS
+	}
+	p.now += p.w.cfg.Fabric.OverheadNS / 2
+	return r.data
+}
+
+// Recv is Irecv+Wait.
+func (p *Proc) Recv(src, tag int) []byte {
+	return p.Wait(p.Irecv(src, tag))
+}
+
+// Waitall completes every request and returns the payloads in order.
+func (p *Proc) Waitall(reqs []*Request) [][]byte {
+	out := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		out[i] = p.Wait(r)
+	}
+	return out
+}
+
+// Sendrecv posts the receive, performs the send, and completes the
+// receive — the deadlock-free exchange idiom of halo codes.
+func (p *Proc) Sendrecv(dst, sendTag int, data []byte, src, recvTag int) []byte {
+	r := p.Irecv(src, recvTag)
+	p.Send(dst, sendTag, data)
+	return p.Wait(r)
+}
+
+// Probe processes any already-delivered arrivals without blocking
+// (an MPI_Iprobe-ish progress hook for overlap patterns).
+func (p *Proc) Probe() {
+	for p.processOne(false) {
+	}
+}
+
+// ProgressN processes up to n inbound packets, blocking until at least
+// one is available, and returns the number processed. Callers use it to
+// pace arrival processing explicitly (e.g. interleaving compute with
+// communication bursts); they must know at least one more message is
+// outstanding or ProgressN will block forever.
+func (p *Proc) ProgressN(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	count := 0
+	if p.processOne(true) {
+		count++
+	}
+	for count < n && p.processOne(false) {
+		count++
+	}
+	return count
+}
+
+// processOne handles one inbound packet; with block set it waits for
+// one. It reports whether a packet was processed.
+func (p *Proc) processOne(block bool) bool {
+	pkt, ok := p.mbox.take(block)
+	if !ok {
+		return false
+	}
+	if pkt.arriveNS > p.now {
+		p.now = pkt.arriveNS
+	}
+	msgID := p.nextMsg
+	p.nextMsg++
+	req, matched, cy := p.en.Arrive(pkt.env, msgID)
+	p.chargeCycles(cy)
+	if matched {
+		r := p.requests[req]
+		if r == nil {
+			panic("mpi: matched an unknown request")
+		}
+		delete(p.requests, req)
+		r.done = true
+		r.data = pkt.data
+		if pkt.rndz {
+			r.readyNS = p.rndzReadyNS(p.now, len(pkt.data))
+		}
+	} else {
+		p.umqData[msgID] = pkt
+	}
+	return true
+}
+
+// Compute models a compute phase: the clock advances and the caches
+// turn over (with the heater re-warming the match queues, when
+// configured).
+func (p *Proc) Compute(ns float64) {
+	p.now += ns
+	p.en.BeginComputePhase(ns)
+}
+
+// Barrier synchronises all ranks; clocks advance to the slowest rank
+// plus a dissemination-barrier cost of log2(P) rounds.
+func (p *Proc) Barrier() {
+	fab := p.w.cfg.Fabric
+	rounds := math.Ceil(math.Log2(float64(p.w.cfg.Size)))
+	t := p.w.bar.sync(p.now)
+	p.now = t + rounds*(fab.LatencyNS+fab.OverheadNS)
+}
+
+// Allreduce sums each position of vals across ranks; every rank gets
+// the result. Clocks synchronise as in Barrier with doubled rounds
+// (reduce + broadcast).
+func (p *Proc) Allreduce(vals []float64) []float64 {
+	fab := p.w.cfg.Fabric
+	rounds := math.Ceil(math.Log2(float64(p.w.cfg.Size)))
+	out := p.w.bar.reduce(p.now, vals)
+	p.now = out.t + 2*rounds*(fab.LatencyNS+fab.OverheadNS)
+	return out.vals
+}
+
+// mailbox is an unbounded blocking FIFO.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []packet
+}
+
+func (m *mailbox) put(pkt packet) {
+	m.mu.Lock()
+	if m.cond == nil {
+		m.cond = sync.NewCond(&m.mu)
+	}
+	m.q = append(m.q, pkt)
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+func (m *mailbox) take(block bool) (packet, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cond == nil {
+		m.cond = sync.NewCond(&m.mu)
+	}
+	for len(m.q) == 0 {
+		if !block {
+			return packet{}, false
+		}
+		m.cond.Wait()
+	}
+	pkt := m.q[0]
+	m.q = m.q[1:]
+	return pkt, true
+}
+
+// barrier implements a reusable all-rank rendezvous carrying virtual
+// times and reduction values.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+	tMax  float64
+	vals  []float64
+	out   reduceOut
+}
+
+type reduceOut struct {
+	t    float64
+	vals []float64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// sync blocks until all n ranks arrive and returns the maximum time.
+func (b *barrier) sync(t float64) float64 {
+	out := b.reduce(t, nil)
+	return out.t
+}
+
+// reduce folds vals (elementwise sum; nil allowed) across all ranks.
+func (b *barrier) reduce(t float64, vals []float64) reduceOut {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	if t > b.tMax {
+		b.tMax = t
+	}
+	if vals != nil {
+		if b.vals == nil {
+			b.vals = make([]float64, len(vals))
+		}
+		for i, v := range vals {
+			b.vals[i] += v
+		}
+	}
+	b.count++
+	if b.count == b.n {
+		// Last arrival: publish and open the next generation.
+		b.out = reduceOut{t: b.tMax, vals: b.vals}
+		b.count = 0
+		b.tMax = 0
+		b.vals = nil
+		b.gen++
+		b.cond.Broadcast()
+		return b.out
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	return b.out
+}

@@ -1,0 +1,359 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"spco/internal/cache"
+	"spco/internal/engine"
+	"spco/internal/matchlist"
+	"spco/internal/netmodel"
+)
+
+func testWorld(size int) *World {
+	prof := cache.SandyBridge
+	prof.Cores = 2 // per-rank hierarchies stay small
+	return NewWorld(Config{
+		Size: size,
+		Engine: engine.Config{
+			Profile:        prof,
+			Kind:           matchlist.KindLLA,
+			EntriesPerNode: 2,
+		},
+		Fabric: netmodel.IBQDR,
+	})
+}
+
+func TestPingPong(t *testing.T) {
+	w := testWorld(2)
+	w.Run(func(p *Proc) {
+		msg := []byte("hello")
+		if p.Rank() == 0 {
+			p.Send(1, 7, msg)
+			got := p.Recv(1, 8)
+			if !bytes.Equal(got, []byte("world")) {
+				t.Errorf("rank 0 got %q", got)
+			}
+		} else {
+			got := p.Recv(0, 7)
+			if !bytes.Equal(got, msg) {
+				t.Errorf("rank 1 got %q", got)
+			}
+			p.Send(0, 8, []byte("world"))
+		}
+	})
+	if w.MaxTimeNS() <= 0 {
+		t.Error("virtual time did not advance")
+	}
+}
+
+func TestUnexpectedThenRecv(t *testing.T) {
+	w := testWorld(2)
+	w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 3, []byte("early"))
+			p.Send(1, 4, []byte("later"))
+		} else {
+			// Give the messages time to land unexpectedly.
+			p.Probe()
+			// Receive in reverse tag order: both paths (UMQ hit and
+			// PRQ match) are exercised regardless of arrival timing.
+			if got := p.Recv(0, 4); !bytes.Equal(got, []byte("later")) {
+				t.Errorf("tag 4 got %q", got)
+			}
+			if got := p.Recv(0, 3); !bytes.Equal(got, []byte("early")) {
+				t.Errorf("tag 3 got %q", got)
+			}
+		}
+	})
+}
+
+func TestWildcardRecv(t *testing.T) {
+	w := testWorld(3)
+	w.Run(func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			a := p.Recv(AnySource, AnyTag)
+			b := p.Recv(AnySource, AnyTag)
+			if len(a) != 1 || len(b) != 1 || a[0] == b[0] {
+				t.Errorf("wildcard receives got %v %v", a, b)
+			}
+		default:
+			p.Send(0, p.Rank(), []byte{byte(p.Rank())})
+		}
+	})
+}
+
+func TestManyToOneOrdering(t *testing.T) {
+	// Messages from one sender with equal tags must be received in send
+	// order (MPI non-overtaking within a (src, tag) pair).
+	w := testWorld(2)
+	const n = 50
+	w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				p.Send(1, 5, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				got := p.Recv(0, 5)
+				if got[0] != byte(i) {
+					t.Errorf("message %d out of order: %d", i, got[0])
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestIrecvOverlap(t *testing.T) {
+	w := testWorld(2)
+	w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			reqs := make([]*Request, 10)
+			for i := range reqs {
+				reqs[i] = p.Irecv(1, i)
+			}
+			// Wait in reverse: completion out of post order.
+			for i := len(reqs) - 1; i >= 0; i-- {
+				if got := p.Wait(reqs[i]); got[0] != byte(i) {
+					t.Errorf("req %d got %d", i, got[0])
+				}
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				p.Send(0, i, []byte{byte(i)})
+			}
+		}
+	})
+}
+
+func TestBarrierSynchronisesClocks(t *testing.T) {
+	w := testWorld(4)
+	w.Run(func(p *Proc) {
+		// Rank 2 is the straggler.
+		if p.Rank() == 2 {
+			p.Compute(1e6)
+		}
+		p.Barrier()
+		if p.NowNS() < 1e6 {
+			t.Errorf("rank %d clock %.0f did not advance to straggler", p.Rank(), p.NowNS())
+		}
+	})
+}
+
+func TestAllreduceSums(t *testing.T) {
+	w := testWorld(4)
+	w.Run(func(p *Proc) {
+		got := p.Allreduce([]float64{float64(p.Rank()), 1})
+		if got[0] != 6 || got[1] != 4 { // 0+1+2+3, 1*4
+			t.Errorf("rank %d allreduce = %v", p.Rank(), got)
+		}
+	})
+}
+
+func TestAllreduceRepeated(t *testing.T) {
+	w := testWorld(3)
+	w.Run(func(p *Proc) {
+		for iter := 1; iter <= 5; iter++ {
+			got := p.Allreduce([]float64{float64(iter)})
+			if got[0] != float64(3*iter) {
+				t.Errorf("iter %d: %v", iter, got)
+			}
+		}
+	})
+}
+
+func TestHaloExchangeAllRanks(t *testing.T) {
+	// A 1D ring halo exchange: every rank sends to both neighbours and
+	// receives from both, several iterations.
+	const size = 8
+	w := testWorld(size)
+	w.Run(func(p *Proc) {
+		left := (p.Rank() + size - 1) % size
+		right := (p.Rank() + 1) % size
+		for iter := 0; iter < 5; iter++ {
+			rl := p.Irecv(left, iter)
+			rr := p.Irecv(right, iter)
+			p.Send(left, iter, []byte(fmt.Sprintf("%d", p.Rank())))
+			p.Send(right, iter, []byte(fmt.Sprintf("%d", p.Rank())))
+			gl := p.Wait(rl)
+			gr := p.Wait(rr)
+			if string(gl) != fmt.Sprintf("%d", left) || string(gr) != fmt.Sprintf("%d", right) {
+				t.Errorf("rank %d iter %d got %q %q", p.Rank(), iter, gl, gr)
+			}
+			p.Barrier()
+		}
+	})
+	s := w.EngineStats()
+	if s.Arrivals != uint64(size*2*5) {
+		t.Errorf("total arrivals = %d, want %d", s.Arrivals, size*2*5)
+	}
+}
+
+func TestComputeFlushesCaches(t *testing.T) {
+	w := testWorld(2)
+	w.Run(func(p *Proc) {
+		if p.Rank() == 1 {
+			p.Compute(5e5)
+			if p.NowNS() < 5e5 {
+				t.Error("Compute did not advance the clock")
+			}
+		}
+	})
+}
+
+func TestSendToInvalidRankPanics(t *testing.T) {
+	w := testWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	w.Proc(0).Send(5, 0, nil)
+}
+
+func TestVirtualTimeRespectsWire(t *testing.T) {
+	w := testWorld(2)
+	w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 0, make([]byte, 1<<20)) // 1 MiB
+		} else {
+			p.Recv(0, 0)
+			// The receive completes no earlier than serialization time.
+			if p.NowNS() < netmodel.IBQDR.SerializationNS(1<<20) {
+				t.Errorf("1 MiB receive completed at %.0f ns, faster than the wire", p.NowNS())
+			}
+		}
+	})
+}
+
+func rndzWorld(size, threshold int) *World {
+	prof := cache.SandyBridge
+	prof.Cores = 2
+	return NewWorld(Config{
+		Size: size,
+		Engine: engine.Config{
+			Profile:        prof,
+			Kind:           matchlist.KindLLA,
+			EntriesPerNode: 2,
+		},
+		Fabric:              netmodel.IBQDR,
+		EagerThresholdBytes: threshold,
+	})
+}
+
+func TestRendezvousDataIntact(t *testing.T) {
+	w := rndzWorld(2, 1024)
+	big := make([]byte, 64<<10)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 3, big)
+		} else {
+			got := p.Recv(0, 3)
+			if !bytes.Equal(got, big) {
+				t.Error("rendezvous payload corrupted")
+			}
+		}
+	})
+}
+
+func TestRendezvousCompletionIncludesRoundTrip(t *testing.T) {
+	const size = 256 << 10
+	fab := netmodel.IBQDR
+	// Rendezvous: completion >= 3 one-way latencies + payload wire time.
+	w := rndzWorld(2, 4096)
+	w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 0, make([]byte, size))
+		} else {
+			p.Recv(0, 0)
+			min := 3*fab.LatencyNS + fab.SerializationNS(size)
+			if p.NowNS() < min {
+				t.Errorf("rendezvous receive at %.0f ns, want >= %.0f", p.NowNS(), min)
+			}
+		}
+	})
+	// Eager (huge threshold): completes after one latency + wire.
+	w2 := rndzWorld(2, 1<<30)
+	w2.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 0, make([]byte, size))
+		} else {
+			p.Recv(0, 0)
+		}
+	})
+	eagerNS := w2.Proc(1).NowNS()
+	rndzNS := w.Proc(1).NowNS()
+	if rndzNS <= eagerNS {
+		t.Errorf("rendezvous (%.0f ns) should cost more than eager (%.0f ns)", rndzNS, eagerNS)
+	}
+}
+
+func TestRendezvousUnexpectedRTS(t *testing.T) {
+	// RTS arriving before the receive: payload timing starts at the
+	// late match, not the arrival.
+	w := rndzWorld(2, 100)
+	w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 9, make([]byte, 4096))
+		} else {
+			p.Probe() // likely buffers the RTS unexpectedly
+			p.Compute(5e5)
+			got := p.Recv(0, 9)
+			if len(got) != 4096 {
+				t.Errorf("late rendezvous receive got %d bytes", len(got))
+			}
+			min := 5e5 + netmodel.IBQDR.SerializationNS(4096)
+			if p.NowNS() < min {
+				t.Errorf("completion %.0f ns ignores post-match transfer (min %.0f)", p.NowNS(), min)
+			}
+		}
+	})
+}
+
+func TestSmallMessagesStayEager(t *testing.T) {
+	w := rndzWorld(2, 1024)
+	w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 1, []byte("small"))
+		} else {
+			p.Recv(0, 1)
+			// One latency + negligible serialization + overheads: far
+			// below a rendezvous round trip of 3 latencies.
+			if p.NowNS() > 3*netmodel.IBQDR.LatencyNS+2*netmodel.IBQDR.OverheadNS {
+				t.Errorf("small message cost %.0f ns: did it rendezvous?", p.NowNS())
+			}
+		}
+	})
+}
+
+func TestSendrecvAndWaitall(t *testing.T) {
+	const size = 4
+	w := testWorld(size)
+	w.Run(func(p *Proc) {
+		right := (p.Rank() + 1) % size
+		left := (p.Rank() + size - 1) % size
+		got := p.Sendrecv(right, 1, []byte{byte(p.Rank())}, left, 1)
+		if got[0] != byte(left) {
+			t.Errorf("rank %d Sendrecv got %d, want %d", p.Rank(), got[0], left)
+		}
+		// Waitall over a burst of Irecvs.
+		reqs := make([]*Request, 3)
+		for i := range reqs {
+			reqs[i] = p.Irecv(left, 10+i)
+		}
+		for i := 0; i < 3; i++ {
+			p.Send(right, 10+i, []byte{byte(i)})
+		}
+		for i, buf := range p.Waitall(reqs) {
+			if buf[0] != byte(i) {
+				t.Errorf("Waitall[%d] = %d", i, buf[0])
+			}
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+)
+
+// All-to-all with every rank both sending and receiving concurrently,
+// wildcard receives mixed in — the closest the runtime gets to
+// MPI_THREAD_MULTIPLE chaos. Run under -race in CI.
+func TestAllToAllStress(t *testing.T) {
+	const size = 6
+	const rounds = 8
+	w := testWorld(size)
+	w.Run(func(p *Proc) {
+		for r := 0; r < rounds; r++ {
+			reqs := make([]*Request, 0, size-1)
+			for peer := 0; peer < size; peer++ {
+				if peer == p.Rank() {
+					continue
+				}
+				reqs = append(reqs, p.Irecv(peer, r))
+			}
+			for peer := 0; peer < size; peer++ {
+				if peer == p.Rank() {
+					continue
+				}
+				p.Send(peer, r, []byte{byte(p.Rank()), byte(r)})
+			}
+			seen := map[byte]bool{}
+			for _, q := range reqs {
+				got := p.Wait(q)
+				if len(got) != 2 || got[1] != byte(r) {
+					t.Errorf("rank %d round %d: bad payload %v", p.Rank(), r, got)
+				}
+				seen[got[0]] = true
+			}
+			if len(seen) != size-1 {
+				t.Errorf("rank %d round %d: %d distinct senders, want %d",
+					p.Rank(), r, len(seen), size-1)
+			}
+			p.Barrier()
+		}
+	})
+	s := w.EngineStats()
+	if s.Arrivals != uint64(size*(size-1)*rounds) {
+		t.Errorf("total arrivals = %d, want %d", s.Arrivals, size*(size-1)*rounds)
+	}
+}
+
+// Wildcard receives racing exact receives must drain every message
+// exactly once.
+func TestWildcardRace(t *testing.T) {
+	const size = 4
+	const perSender = 6
+	const msgs = perSender * (size - 1)
+	w := testWorld(size)
+	var mu sync.Mutex
+	received := map[int]int{}
+	w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				got := p.Recv(AnySource, AnyTag)
+				mu.Lock()
+				received[int(got[0])]++
+				mu.Unlock()
+			}
+		} else {
+			for i := 0; i < perSender; i++ {
+				p.Send(0, i, []byte{byte(p.Rank()*10 + i)})
+			}
+		}
+	})
+	total := 0
+	for _, n := range received {
+		if n != 1 {
+			t.Errorf("message received %d times", n)
+		}
+		total += n
+	}
+	if total != msgs {
+		t.Errorf("received %d distinct messages, want %d", total, msgs)
+	}
+}
+
+// Clocks are monotone per rank: no operation may move time backwards.
+func TestClockMonotonicity(t *testing.T) {
+	w := testWorld(3)
+	w.Run(func(p *Proc) {
+		last := p.NowNS()
+		step := func(label string) {
+			if p.NowNS() < last {
+				t.Errorf("rank %d: %s moved the clock backwards", p.Rank(), label)
+			}
+			last = p.NowNS()
+		}
+		next := (p.Rank() + 1) % 3
+		prev := (p.Rank() + 2) % 3
+		for i := 0; i < 5; i++ {
+			r := p.Irecv(prev, i)
+			step("irecv")
+			p.Send(next, i, []byte{1})
+			step("send")
+			p.Wait(r)
+			step("wait")
+			p.Compute(100)
+			step("compute")
+			p.Barrier()
+			step("barrier")
+		}
+	})
+}
+
+func TestProgressNBounds(t *testing.T) {
+	w := testWorld(2)
+	w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			for i := 0; i < 5; i++ {
+				p.Send(1, i, []byte{byte(i)})
+			}
+		} else {
+			reqs := make([]*Request, 5)
+			for i := range reqs {
+				reqs[i] = p.Irecv(0, i)
+			}
+			// ProgressN must stop at its bound even with more pending.
+			n := p.ProgressN(2)
+			if n < 1 || n > 2 {
+				t.Errorf("ProgressN(2) = %d", n)
+			}
+			for _, r := range reqs {
+				p.Wait(r)
+			}
+			if p.ProgressN(0) != 0 {
+				t.Error("ProgressN(0) should be a no-op")
+			}
+		}
+	})
+}

@@ -1,0 +1,322 @@
+// Package mtrace records and replays MPI matching traces — the
+// trace-based-simulation methodology of the paper's related work
+// (Ferreira et al., "Characterizing MPI matching via trace-based
+// simulation", cited in Section 4.4): capture the exact sequence of
+// matching operations an application performs once, then replay it
+// offline against any queue structure, architecture profile, or
+// locality configuration.
+//
+// A trace is the sequence of engine operations (arrivals, posted
+// receives, cancels, compute-phase boundaries) with their envelopes.
+// Matching outcomes are recorded too: MPI matching semantics are
+// structure-independent, so a replay must reproduce every
+// matched/unexpected outcome bit-for-bit regardless of the structure
+// under test — a strong cross-validation the replayer enforces.
+package mtrace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"spco/internal/engine"
+	"spco/internal/match"
+)
+
+// OpKind identifies one traced operation.
+type OpKind uint8
+
+// The operation kinds.
+const (
+	OpArrive OpKind = iota + 1
+	OpPost
+	OpCancel
+	OpPhase
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpArrive:
+		return "arrive"
+	case OpPost:
+		return "post"
+	case OpCancel:
+		return "cancel"
+	case OpPhase:
+		return "phase"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Event is one traced operation. Fields are used per kind:
+//
+//	OpArrive: Rank/Tag/Ctx envelope, Matched (outcome)
+//	OpPost:   Rank/Tag (may be wildcards), Ctx, Req, Matched (UMQ hit)
+//	OpCancel: Req, Matched (found)
+//	OpPhase:  DurNS
+type Event struct {
+	Kind    OpKind
+	Rank    int32
+	Tag     int32
+	Ctx     uint16
+	Req     uint64
+	Matched bool
+	DurNS   float64
+}
+
+// Trace is a recorded operation sequence.
+type Trace struct {
+	Name   string
+	Events []Event
+}
+
+// Counts summarises a trace.
+type Counts struct {
+	Arrives, Posts, Cancels, Phases int
+	Matched                         int // arrivals matched in the PRQ
+	UMQHits                         int // posts satisfied from the UMQ
+}
+
+// Counts tallies the trace.
+func (t *Trace) Counts() Counts {
+	var c Counts
+	for _, e := range t.Events {
+		switch e.Kind {
+		case OpArrive:
+			c.Arrives++
+			if e.Matched {
+				c.Matched++
+			}
+		case OpPost:
+			c.Posts++
+			if e.Matched {
+				c.UMQHits++
+			}
+		case OpCancel:
+			c.Cancels++
+		case OpPhase:
+			c.Phases++
+		}
+	}
+	return c
+}
+
+// Recorder implements engine.Observer, appending every operation to a
+// trace. One recorder serves one engine (it is not safe for concurrent
+// use, matching the engine's own contract).
+type Recorder struct {
+	tr Trace
+}
+
+// NewRecorder starts an empty named trace.
+func NewRecorder(name string) *Recorder {
+	return &Recorder{tr: Trace{Name: name}}
+}
+
+// Trace returns the recorded trace (shared, not copied).
+func (r *Recorder) Trace() *Trace { return &r.tr }
+
+// OnArrive implements engine.Observer.
+func (r *Recorder) OnArrive(e match.Envelope, matched bool, depth int, cycles uint64) {
+	r.tr.Events = append(r.tr.Events, Event{
+		Kind: OpArrive, Rank: e.Rank, Tag: e.Tag, Ctx: e.Ctx, Matched: matched,
+	})
+}
+
+// OnPost implements engine.Observer.
+func (r *Recorder) OnPost(rank, tag int, ctx uint16, req uint64, umqHit bool, depth int, cycles uint64) {
+	r.tr.Events = append(r.tr.Events, Event{
+		Kind: OpPost, Rank: int32(rank), Tag: int32(tag), Ctx: ctx, Req: req, Matched: umqHit,
+	})
+}
+
+// OnCancel implements engine.Observer.
+func (r *Recorder) OnCancel(req uint64, found bool) {
+	r.tr.Events = append(r.tr.Events, Event{Kind: OpCancel, Req: req, Matched: found})
+}
+
+// OnComputePhase implements engine.Observer.
+func (r *Recorder) OnComputePhase(durationNS float64) {
+	r.tr.Events = append(r.tr.Events, Event{Kind: OpPhase, DurNS: durationNS})
+}
+
+// ---- Serialization -------------------------------------------------------
+
+// magic identifies the binary trace format, versioned in the last byte.
+var magic = [8]byte{'S', 'P', 'C', 'O', 'T', 'R', 'C', '1'}
+
+// eventBytes is the fixed on-disk record size:
+// kind(1) pad(1) ctx(2) rank(4) tag(4) req(8) dur(8) matched(1) = 29,
+// padded to 32.
+const eventBytes = 32
+
+// WriteTo serialises the trace. Format: magic, name length (u16), name
+// bytes, event count (u64), fixed-size little-endian records.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	if err := binary.Write(bw, binary.LittleEndian, magic); err != nil {
+		return n, err
+	}
+	n += 8
+	name := []byte(t.Name)
+	if len(name) > 1<<15 {
+		return n, fmt.Errorf("mtrace: trace name too long (%d bytes)", len(name))
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(name))); err != nil {
+		return n, err
+	}
+	n += 2
+	if _, err := bw.Write(name); err != nil {
+		return n, err
+	}
+	n += int64(len(name))
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t.Events))); err != nil {
+		return n, err
+	}
+	n += 8
+	var rec [eventBytes]byte
+	for _, e := range t.Events {
+		rec = [eventBytes]byte{}
+		rec[0] = byte(e.Kind)
+		binary.LittleEndian.PutUint16(rec[2:], e.Ctx)
+		binary.LittleEndian.PutUint32(rec[4:], uint32(e.Rank))
+		binary.LittleEndian.PutUint32(rec[8:], uint32(e.Tag))
+		binary.LittleEndian.PutUint64(rec[12:], e.Req)
+		binary.LittleEndian.PutUint64(rec[20:], math.Float64bits(e.DurNS))
+		if e.Matched {
+			rec[28] = 1
+		}
+		if _, err := bw.Write(rec[:]); err != nil {
+			return n, err
+		}
+		n += eventBytes
+	}
+	return n, bw.Flush()
+}
+
+// ReadTrace deserialises a trace written by WriteTo.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("mtrace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("mtrace: bad magic %q (not a spco trace?)", m)
+	}
+	var nameLen uint16
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	const sanity = 1 << 28
+	if count > sanity {
+		return nil, fmt.Errorf("mtrace: implausible event count %d", count)
+	}
+	tr := &Trace{Name: string(name), Events: make([]Event, 0, count)}
+	var rec [eventBytes]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("mtrace: truncated at event %d: %w", i, err)
+		}
+		e := Event{
+			Kind:    OpKind(rec[0]),
+			Ctx:     binary.LittleEndian.Uint16(rec[2:]),
+			Rank:    int32(binary.LittleEndian.Uint32(rec[4:])),
+			Tag:     int32(binary.LittleEndian.Uint32(rec[8:])),
+			Req:     binary.LittleEndian.Uint64(rec[12:]),
+			DurNS:   math.Float64frombits(binary.LittleEndian.Uint64(rec[20:])),
+			Matched: rec[28] == 1,
+		}
+		if e.Kind < OpArrive || e.Kind > OpPhase {
+			return nil, fmt.Errorf("mtrace: unknown op kind %d at event %d", rec[0], i)
+		}
+		tr.Events = append(tr.Events, e)
+	}
+	return tr, nil
+}
+
+// Save writes the trace to a file.
+func (t *Trace) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a trace file.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
+
+// ---- Replay ---------------------------------------------------------------
+
+// ReplayResult summarises one replay.
+type ReplayResult struct {
+	Stats engine.Stats
+
+	// Mismatches counts operations whose matched/unexpected outcome
+	// diverged from the recording. Matching semantics are structure-
+	// independent, so any nonzero value indicates a broken structure
+	// (or a trace replayed against the wrong workload).
+	Mismatches int
+
+	// CPUNanos is the modeled matching-engine time for the whole trace.
+	CPUNanos float64
+}
+
+// Replay drives a fresh engine built from cfg through the trace and
+// returns its cost and statistics. Wildcard posts are reconstructed
+// from the recorded sentinel values.
+func Replay(t *Trace, cfg engine.Config) ReplayResult {
+	en := engine.New(cfg)
+	var res ReplayResult
+	msg := uint64(1)
+	for _, e := range t.Events {
+		switch e.Kind {
+		case OpArrive:
+			_, matched, _ := en.Arrive(match.Envelope{Rank: e.Rank, Tag: e.Tag, Ctx: e.Ctx}, msg)
+			msg++
+			if matched != e.Matched {
+				res.Mismatches++
+			}
+		case OpPost:
+			_, matched, _ := en.PostRecv(int(e.Rank), int(e.Tag), e.Ctx, e.Req)
+			if matched != e.Matched {
+				res.Mismatches++
+			}
+		case OpCancel:
+			found, _ := en.Cancel(e.Req)
+			if found != e.Matched {
+				res.Mismatches++
+			}
+		case OpPhase:
+			en.BeginComputePhase(e.DurNS)
+		}
+	}
+	res.Stats = en.Stats()
+	res.CPUNanos = cfg.Profile.CyclesToNanos(res.Stats.Cycles)
+	return res
+}

@@ -1,0 +1,226 @@
+package mtrace
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"spco/internal/cache"
+	"spco/internal/engine"
+	"spco/internal/match"
+	"spco/internal/matchlist"
+	"spco/internal/netmodel"
+	"spco/internal/workload"
+)
+
+func engCfg(kind matchlist.Kind, k int) engine.Config {
+	return engine.Config{Profile: cache.SandyBridge, Kind: kind, EntriesPerNode: k}
+}
+
+// Record a small synthetic workload and return its trace.
+func recordSynthetic(t *testing.T) *Trace {
+	t.Helper()
+	rec := NewRecorder("synthetic")
+	en := engine.New(engCfg(matchlist.KindLLA, 2))
+	en.SetObserver(rec)
+
+	for i := 0; i < 20; i++ {
+		en.PostRecv(0, i, 1, uint64(i+1))
+	}
+	en.BeginComputePhase(5e5)
+	for i := 0; i < 10; i++ {
+		en.Arrive(match.Envelope{Rank: 0, Tag: int32(i), Ctx: 1}, uint64(100+i))
+	}
+	// Unexpected then late post.
+	en.Arrive(match.Envelope{Rank: 3, Tag: 99, Ctx: 1}, 777)
+	en.PostRecv(3, 99, 1, 555)
+	en.Cancel(15)
+	en.Cancel(12345) // miss
+	return rec.Trace()
+}
+
+func TestRecorderCaptures(t *testing.T) {
+	tr := recordSynthetic(t)
+	c := tr.Counts()
+	if c.Posts != 21 || c.Arrives != 11 || c.Cancels != 2 || c.Phases != 1 {
+		t.Fatalf("counts: %+v", c)
+	}
+	if c.Matched != 10 {
+		t.Errorf("matched arrivals = %d, want 10", c.Matched)
+	}
+	if c.UMQHits != 1 {
+		t.Errorf("UMQ hits = %d, want 1", c.UMQHits)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	tr := recordSynthetic(t)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || len(got.Events) != len(tr.Events) {
+		t.Fatalf("round trip lost shape: %q/%d vs %q/%d",
+			got.Name, len(got.Events), tr.Name, len(tr.Events))
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestSerializationRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := &Trace{Name: "random"}
+	for i := 0; i < 500; i++ {
+		tr.Events = append(tr.Events, Event{
+			Kind:    OpKind(rng.Intn(4) + 1),
+			Rank:    int32(rng.Intn(100) - 2), // includes wildcards
+			Tag:     int32(rng.Intn(100) - 2),
+			Ctx:     uint16(rng.Intn(4)),
+			Req:     rng.Uint64(),
+			Matched: rng.Intn(2) == 0,
+			DurNS:   rng.Float64() * 1e6,
+		})
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("not a trace at all"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Truncated after the header.
+	tr := recordSynthetic(t)
+	var buf bytes.Buffer
+	tr.WriteTo(&buf)
+	if _, err := ReadTrace(bytes.NewReader(buf.Bytes()[:40])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	tr := recordSynthetic(t)
+	path := filepath.Join(t.TempDir(), "t.spcotrace")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(tr.Events) {
+		t.Fatalf("file round trip lost events")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// Replaying against the same structure reproduces every outcome; the
+// engine statistics agree with the trace's own counts.
+func TestReplaySameStructure(t *testing.T) {
+	tr := recordSynthetic(t)
+	res := Replay(tr, engCfg(matchlist.KindLLA, 2))
+	if res.Mismatches != 0 {
+		t.Fatalf("replay mismatches = %d", res.Mismatches)
+	}
+	c := tr.Counts()
+	if res.Stats.Arrivals != uint64(c.Arrives) || res.Stats.Recvs != uint64(c.Posts) {
+		t.Errorf("replay stats %+v vs counts %+v", res.Stats, c)
+	}
+	if res.CPUNanos <= 0 {
+		t.Error("no modeled time")
+	}
+}
+
+// Matching semantics are structure-independent: every structure must
+// reproduce the recorded outcomes exactly.
+func TestReplayCrossStructure(t *testing.T) {
+	tr := recordSynthetic(t)
+	for _, kind := range []matchlist.Kind{
+		matchlist.KindBaseline, matchlist.KindLLA, matchlist.KindHashBins,
+		matchlist.KindRankArray, matchlist.KindFourD, matchlist.KindHWOffload,
+	} {
+		cfg := engCfg(kind, 8)
+		cfg.CommSize = 64
+		if kind != matchlist.KindHWOffload {
+			cfg.Bins = 16
+		}
+		res := Replay(tr, cfg)
+		if res.Mismatches != 0 {
+			t.Errorf("%v: %d outcome mismatches", kind, res.Mismatches)
+		}
+	}
+}
+
+// Record a real workload (the modified osu_bw) and replay it against
+// both baseline and LLA: the replayed cost ordering must match the
+// live measurement's.
+func TestRecordReplayBandwidth(t *testing.T) {
+	rec := NewRecorder("osu-bw")
+	workload.RunBW(workload.BWConfig{
+		Engine:     engCfg(matchlist.KindLLA, 2),
+		Fabric:     netmodel.IBQDR,
+		QueueDepth: 128,
+		MsgBytes:   1,
+		Iters:      2,
+		Observer:   rec,
+	})
+	tr := rec.Trace()
+	if len(tr.Events) == 0 {
+		t.Fatal("nothing recorded")
+	}
+
+	base := Replay(tr, engCfg(matchlist.KindBaseline, 0))
+	lla := Replay(tr, engCfg(matchlist.KindLLA, 8))
+	if base.Mismatches != 0 || lla.Mismatches != 0 {
+		t.Fatalf("mismatches: %d / %d", base.Mismatches, lla.Mismatches)
+	}
+	if lla.CPUNanos >= base.CPUNanos {
+		t.Errorf("replayed LLA (%.0f ns) should beat baseline (%.0f ns)",
+			lla.CPUNanos, base.CPUNanos)
+	}
+}
+
+// Replay across architectures: the same trace costs different cycles on
+// different machines.
+func TestReplayCrossArchitecture(t *testing.T) {
+	tr := recordSynthetic(t)
+	sb := Replay(tr, engine.Config{Profile: cache.SandyBridge, Kind: matchlist.KindBaseline})
+	knl := Replay(tr, engine.Config{Profile: cache.KNL, Kind: matchlist.KindBaseline})
+	if sb.Mismatches != 0 || knl.Mismatches != 0 {
+		t.Fatal("outcome mismatch across architectures")
+	}
+	if sb.Stats.Cycles == knl.Stats.Cycles {
+		t.Error("different machines should cost different cycles")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for k, want := range map[OpKind]string{
+		OpArrive: "arrive", OpPost: "post", OpCancel: "cancel", OpPhase: "phase",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}

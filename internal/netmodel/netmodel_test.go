@@ -1,0 +1,73 @@
+package netmodel
+
+import "testing"
+
+func TestBuiltinsValid(t *testing.T) {
+	for name, f := range Fabrics {
+		if err := f.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if f.Name != name {
+			t.Errorf("map key %q != fabric name %q", name, f.Name)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	if (Fabric{Name: "x"}).Validate() == nil {
+		t.Error("zero bandwidth should be invalid")
+	}
+	f := IBQDR
+	f.LatencyNS = -1
+	if f.Validate() == nil {
+		t.Error("negative latency should be invalid")
+	}
+}
+
+func TestSerialization(t *testing.T) {
+	f := Fabric{Name: "t", BandwidthBps: 1e9}
+	if got := f.SerializationNS(1000); got != 1000 {
+		t.Errorf("1000B at 1GB/s = %v ns, want 1000", got)
+	}
+	if got := f.SerializationNS(0); got != 0 {
+		t.Errorf("0B serialization = %v, want 0", got)
+	}
+}
+
+func TestMessageGapRegimes(t *testing.T) {
+	f := Fabric{Name: "t", GapNS: 500, BandwidthBps: 1e9}
+	// Small message: NIC gap dominates.
+	if got := f.MessageGapNS(1); got != 500 {
+		t.Errorf("small-message gap = %v, want 500", got)
+	}
+	// Large message: serialization dominates.
+	if got := f.MessageGapNS(1 << 20); got <= 500 {
+		t.Errorf("large-message gap = %v, want serialization-bound", got)
+	}
+}
+
+func TestEndToEndMonotonicInSize(t *testing.T) {
+	for _, f := range Fabrics {
+		prev := -1.0
+		for _, sz := range []uint64{1, 64, 4096, 1 << 20} {
+			e := f.EndToEndNS(sz)
+			if e <= prev {
+				t.Errorf("%s: EndToEnd not increasing at %d bytes", f.Name, sz)
+			}
+			prev = e
+		}
+	}
+}
+
+// The large-message crossover: for every fabric there is a size where
+// wire time exceeds any plausible matching cost, which is why locality
+// curves converge in Figures 4a/5a.
+func TestWireDominatesAtMegabyte(t *testing.T) {
+	const matchBudgetNS = 100_000 // a very deep cold search
+	for _, f := range Fabrics {
+		if f.SerializationNS(1<<20) < matchBudgetNS {
+			t.Errorf("%s: 1 MiB serialization %.0f ns should exceed %d ns",
+				f.Name, f.SerializationNS(1<<20), matchBudgetNS)
+		}
+	}
+}

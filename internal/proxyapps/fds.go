@@ -1,0 +1,149 @@
+package proxyapps
+
+import (
+	"math/rand"
+
+	"spco/internal/mpi"
+	"spco/internal/trace"
+)
+
+// FDSConfig parameterises the Fire Dynamics Simulator proxy. FDS
+// couples every mesh to many others (pressure and radiation exchanges),
+// so per-rank match lists grow with job scale and messages rarely match
+// at the head of the list — "It builds up large match lists and does
+// not typically match the first element" (Section 4.5).
+//
+// Simulating 8192 full engines is unnecessary: FDS ranks are
+// symmetric, so the proxy runs a small world whose per-rank matching
+// load (receives per phase, hence list length and search depth) is that
+// of a TargetRanks-sized job, while compute per rank strong-scales as
+// 1/TargetRanks. This substitution is recorded in DESIGN.md; the
+// figure-10 speedup factors are ratios of modeled runtimes at equal
+// TargetRanks, which depend only on the per-rank load.
+type FDSConfig struct {
+	World mpi.Config
+
+	// TargetRanks is the modeled job size (Figure 10's x axis).
+	TargetRanks int
+
+	// Phases is the number of exchange/compute super-steps.
+	Phases int
+
+	// BaseComputeNS is the per-phase compute at 128 target ranks;
+	// strong scaling divides it by TargetRanks/128.
+	BaseComputeNS float64
+
+	// Seed scrambles send order (deep, non-head matches).
+	Seed int64
+
+	// HistSink, when set, receives rank 0's queue-length and
+	// search-depth histograms after the run (enable
+	// World.Engine.TrackHistograms to populate them).
+	HistSink func(prqLen, umqLen, depth *trace.Histogram)
+}
+
+func (c *FDSConfig) defaults() {
+	if c.TargetRanks == 0 {
+		c.TargetRanks = 128
+	}
+	if c.Phases == 0 {
+		c.Phases = 2
+	}
+	if c.BaseComputeNS == 0 {
+		c.BaseComputeNS = 4e6 // 4 ms per phase at 128 ranks
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// meshExchanges returns the per-rank receives per phase for a job of
+// targetRanks meshes: FDS's coupled exchanges grow with scale; the
+// division by 8 keeps simulated work tractable while preserving
+// hundreds-to-thousands-long lists at the figure's upper scales.
+func meshExchanges(targetRanks int) int {
+	r := targetRanks / 8
+	if r < 16 {
+		r = 16
+	}
+	if r > 1024 {
+		r = 1024
+	}
+	return r
+}
+
+// RunFDS executes the proxy.
+func RunFDS(cfg FDSConfig) Result {
+	cfg.defaults()
+	w := mpi.NewWorld(cfg.World)
+	size := cfg.World.Size
+	exchanges := meshExchanges(cfg.TargetRanks)
+	computeNS := cfg.BaseComputeNS * 128 / float64(cfg.TargetRanks)
+	sums := make([]float64, size)
+
+	w.Run(func(p *mpi.Proc) {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(p.Rank())))
+		var checksum float64
+		payload := make([]byte, 256) // boundary-strip exchanges are small
+		for i := range payload {
+			payload[i] = byte(p.Rank() + i)
+		}
+
+		// Solver work is interleaved with the mesh exchanges (FDS
+		// alternates hydrodynamics with pressure/radiation coupling),
+		// so the match queues never stay cache-resident on their own:
+		// every burst of arrivals finds cold queues unless a heater
+		// kept them warm. The per-phase compute budget is spread over
+		// the exchange bursts; with hot caching the heater re-warms the
+		// queues in each burst's compute window — a window that strong
+		// scaling shrinks below the heater period at large TargetRanks.
+		const burst = 1
+		bursts := (exchanges + burst - 1) / burst
+		microNS := computeNS / float64(bursts)
+
+		for ph := 0; ph < cfg.Phases; ph++ {
+			// Post all receives for this phase's mesh exchanges. The
+			// j-th receive takes the j-th message from partner
+			// (rank+1+j) mod size.
+			reqs := make([]*mpi.Request, exchanges)
+			for j := 0; j < exchanges; j++ {
+				src := (p.Rank() + 1 + j) % size
+				reqs[j] = p.Irecv(src, ph*exchanges+j)
+			}
+
+			// Send this rank's messages in scrambled order: the
+			// receiver's searches then match deep in the list, FDS's
+			// signature behaviour.
+			order := rng.Perm(exchanges)
+			for _, j := range order {
+				dst := ((p.Rank()-1-j)%size + size) % size
+				p.Send(dst, ph*exchanges+j, payload)
+			}
+
+			// Drain in paced bursts: a slice of solver work, then up to
+			// `burst` arrivals — so every burst's searches find the
+			// queues as cold as the last compute slice left them.
+			processed := 0
+			for processed < exchanges {
+				p.Compute(microNS)
+				processed += p.ProgressN(burst)
+			}
+			for j := 0; j < exchanges; j++ {
+				got := p.Wait(reqs[j]) // all complete: collects payloads
+				checksum += float64(got[0])
+			}
+			p.Barrier()
+		}
+		sums[p.Rank()] = checksum
+	})
+
+	var res Result
+	res.RuntimeNS = w.MaxTimeNS()
+	res.Checksum = sums[0]
+	res.Stats = w.EngineStats()
+	if cfg.HistSink != nil {
+		en := w.Proc(0).Engine()
+		cfg.HistSink(en.PRQLengthHistogram(), en.UMQLengthHistogram(), en.PRQDepthHistogram())
+	}
+	return res
+}

@@ -1,0 +1,222 @@
+package proxyapps
+
+import (
+	"encoding/binary"
+	"math"
+
+	"spco/internal/mpi"
+	"spco/internal/stencil"
+)
+
+// MiniFEConfig parameterises the MiniFE proxy: a distributed conjugate
+// gradient solve of the shifted 7-point Laplacian (7I - Σ shifts) on a
+// 3D torus of rank subdomains, the bulk-synchronous halo-exchange
+// pattern MiniFE exhibits.
+type MiniFEConfig struct {
+	World mpi.Config
+
+	// N is the local subdomain edge (N^3 points per rank).
+	N int
+
+	// Iters is the number of CG iterations.
+	Iters int
+
+	// PadDepth pre-loads every rank's posted receive queue with that
+	// many unmatched entries — Figure 9's x axis.
+	PadDepth int
+
+	// ComputeNSPerPoint is the modeled cost of one local sweep per grid
+	// point (SpMV + vector ops), in nanoseconds.
+	ComputeNSPerPoint float64
+}
+
+func (c *MiniFEConfig) defaults() {
+	if c.N == 0 {
+		c.N = 8
+	}
+	if c.Iters == 0 {
+		c.Iters = 10
+	}
+	if c.ComputeNSPerPoint == 0 {
+		c.ComputeNSPerPoint = 12
+	}
+}
+
+// subdomain holds one rank's CG state.
+type subdomain struct {
+	n             int
+	x, b, r, p, q []float64
+	halos         [6][]float64 // received faces, indexed by direction
+}
+
+func idx(n, i, j, k int) int { return (i*n+j)*n + k }
+
+// RunMiniFE executes the proxy and returns the modeled runtime and the
+// real CG residual.
+func RunMiniFE(cfg MiniFEConfig) Result {
+	cfg.defaults()
+	w := mpi.NewWorld(cfg.World)
+	gx, gy, gz := cubeDecomp(cfg.World.Size)
+	grid := stencil.Decomp{X: gx, Y: gy, Z: gz}
+
+	var res Result
+	finalRes := make([]float64, cfg.World.Size)
+
+	w.Run(func(p *mpi.Proc) {
+		padQueue(p, cfg.PadDepth)
+		n := cfg.N
+		sd := &subdomain{
+			n: n,
+			x: make([]float64, n*n*n),
+			b: make([]float64, n*n*n),
+			r: make([]float64, n*n*n),
+			p: make([]float64, n*n*n),
+			q: make([]float64, n*n*n),
+		}
+		for d := range sd.halos {
+			sd.halos[d] = make([]float64, n*n)
+		}
+		// b: a deterministic per-rank forcing term.
+		for i := range sd.b {
+			sd.b[i] = math.Sin(float64(i+1) * float64(p.Rank()+1) * 0.01)
+		}
+
+		neighbours := stencil.Neighbors3D(grid, p.Rank(), stencil.Star3D7)
+
+		// r = b - A*0 = b; p = r.
+		copy(sd.r, sd.b)
+		copy(sd.p, sd.r)
+		rr := dotLocal(sd.r, sd.r)
+		rrGlobal := p.Allreduce([]float64{rr})[0]
+
+		for it := 0; it < cfg.Iters; it++ {
+			// Compute phase (previous iteration's vector updates):
+			// caches turn over before the halo exchange.
+			p.Compute(float64(n*n*n) * cfg.ComputeNSPerPoint)
+
+			spmv(p, sd, neighbours, it)
+
+			pq := dotLocal(sd.p, sd.q)
+			pqG := p.Allreduce([]float64{pq})[0]
+			alpha := rrGlobal / pqG
+			for i := range sd.x {
+				sd.x[i] += alpha * sd.p[i]
+				sd.r[i] -= alpha * sd.q[i]
+			}
+			rrNew := p.Allreduce([]float64{dotLocal(sd.r, sd.r)})[0]
+			beta := rrNew / rrGlobal
+			for i := range sd.p {
+				sd.p[i] = sd.r[i] + beta*sd.p[i]
+			}
+			rrGlobal = rrNew
+			p.Barrier()
+		}
+		finalRes[p.Rank()] = math.Sqrt(rrGlobal)
+	})
+
+	res.RuntimeNS = w.MaxTimeNS()
+	res.Residual = finalRes[0]
+	res.Stats = w.EngineStats()
+	return res
+}
+
+// spmv computes q = A p with A = 7I - Σ neighbour shifts on the global
+// torus, exchanging the six faces of p with the stencil neighbours.
+func spmv(p *mpi.Proc, sd *subdomain, neighbours []int, iter int) {
+	n := sd.n
+	// Tag per direction; receive the opposite direction's face.
+	reqs := make([]*mpi.Request, 6)
+	for d := 0; d < 6; d++ {
+		reqs[d] = p.Irecv(neighbours[d], tagFor(iter, opposite(d)))
+	}
+	for d := 0; d < 6; d++ {
+		p.Send(neighbours[d], tagFor(iter, d), encodeFace(extractFace(sd.p, n, d)))
+	}
+	for d := 0; d < 6; d++ {
+		decodeFace(p.Wait(reqs[d]), sd.halos[d])
+	}
+
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				v := 7 * sd.p[idx(n, i, j, k)]
+				v -= at(sd, i+1, j, k, 0)
+				v -= at(sd, i-1, j, k, 1)
+				v -= at(sd, i, j+1, k, 2)
+				v -= at(sd, i, j-1, k, 3)
+				v -= at(sd, i, j, k+1, 4)
+				v -= at(sd, i, j, k-1, 5)
+				sd.q[idx(n, i, j, k)] = v
+			}
+		}
+	}
+}
+
+// Direction encoding: 0 +x, 1 -x, 2 +y, 3 -y, 4 +z, 5 -z — matching
+// stencil.Star3D7's offset order.
+func opposite(d int) int { return d ^ 1 }
+
+func tagFor(iter, dir int) int { return iter*8 + dir }
+
+// at reads p at (i,j,k), falling back to the halo received from
+// direction dir when the index leaves the local cube.
+func at(sd *subdomain, i, j, k, dir int) float64 {
+	n := sd.n
+	if i >= 0 && i < n && j >= 0 && j < n && k >= 0 && k < n {
+		return sd.p[idx(n, i, j, k)]
+	}
+	switch dir {
+	case 0, 1:
+		return sd.halos[dir][j*n+k]
+	case 2, 3:
+		return sd.halos[dir][i*n+k]
+	default:
+		return sd.halos[dir][i*n+j]
+	}
+}
+
+// extractFace copies the face of v that travels in direction d.
+func extractFace(v []float64, n, d int) []float64 {
+	out := make([]float64, n*n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			switch d {
+			case 0: // +x: face i = n-1
+				out[a*n+b] = v[idx(n, n-1, a, b)]
+			case 1: // -x: face i = 0
+				out[a*n+b] = v[idx(n, 0, a, b)]
+			case 2: // +y
+				out[a*n+b] = v[idx(n, a, n-1, b)]
+			case 3: // -y
+				out[a*n+b] = v[idx(n, a, 0, b)]
+			case 4: // +z
+				out[a*n+b] = v[idx(n, a, b, n-1)]
+			default: // -z
+				out[a*n+b] = v[idx(n, a, b, 0)]
+			}
+		}
+	}
+	return out
+}
+
+func dotLocal(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func encodeFace(vals []float64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+func decodeFace(buf []byte, out []float64) {
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+}

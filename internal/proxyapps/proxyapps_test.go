@@ -1,0 +1,286 @@
+package proxyapps
+
+import (
+	"math"
+	"testing"
+
+	"spco/internal/cache"
+	"spco/internal/engine"
+	"spco/internal/matchlist"
+	"spco/internal/mpi"
+	"spco/internal/netmodel"
+	"spco/internal/trace"
+)
+
+func smallWorld(size int, kind matchlist.Kind, k int, hot, pool bool) mpi.Config {
+	prof := cache.SandyBridge
+	prof.Cores = 2
+	return mpi.Config{
+		Size: size,
+		Engine: engine.Config{
+			Profile:        prof,
+			Kind:           kind,
+			EntriesPerNode: k,
+			HotCache:       hot,
+			Pool:           pool,
+		},
+		Fabric: netmodel.IBQDR,
+	}
+}
+
+func TestCubeDecomp(t *testing.T) {
+	cases := map[int][3]int{
+		1:  {1, 1, 1},
+		8:  {2, 2, 2},
+		64: {4, 4, 4},
+		12: {2, 2, 3},
+	}
+	for n, want := range cases {
+		x, y, z := cubeDecomp(n)
+		if x*y*z != n {
+			t.Errorf("cubeDecomp(%d) = %dx%dx%d, product != n", n, x, y, z)
+		}
+		got := [3]int{x, y, z}
+		// Order-insensitive comparison.
+		if !samePartition(got, want) {
+			t.Errorf("cubeDecomp(%d) = %v, want %v (any order)", n, got, want)
+		}
+	}
+	// Primes stay valid even if skewed.
+	x, y, z := cubeDecomp(7)
+	if x*y*z != 7 {
+		t.Errorf("cubeDecomp(7) product = %d", x*y*z)
+	}
+}
+
+func samePartition(a, b [3]int) bool {
+	sort3 := func(v [3]int) [3]int {
+		if v[0] > v[1] {
+			v[0], v[1] = v[1], v[0]
+		}
+		if v[1] > v[2] {
+			v[1], v[2] = v[2], v[1]
+		}
+		if v[0] > v[1] {
+			v[0], v[1] = v[1], v[0]
+		}
+		return v
+	}
+	return sort3(a) == sort3(b)
+}
+
+// The MiniFE proxy is a real CG solve: its residual must shrink
+// substantially over iterations.
+func TestMiniFEConverges(t *testing.T) {
+	short := RunMiniFE(MiniFEConfig{
+		World: smallWorld(8, matchlist.KindLLA, 2, false, false),
+		N:     6, Iters: 2,
+	})
+	long := RunMiniFE(MiniFEConfig{
+		World: smallWorld(8, matchlist.KindLLA, 2, false, false),
+		N:     6, Iters: 12,
+	})
+	if math.IsNaN(long.Residual) || long.Residual <= 0 {
+		t.Fatalf("residual = %v", long.Residual)
+	}
+	if long.Residual >= short.Residual/10 {
+		t.Errorf("CG not converging: %g after 2 iters, %g after 12", short.Residual, long.Residual)
+	}
+}
+
+func TestMiniFEPaddingSlowsBaselineMoreThanLLA(t *testing.T) {
+	run := func(kind matchlist.Kind, pad int) float64 {
+		r := RunMiniFE(MiniFEConfig{
+			World: smallWorld(8, kind, 2, false, false),
+			N:     4, Iters: 4, PadDepth: pad,
+			ComputeNSPerPoint: 1, // make matching visible
+		})
+		return r.RuntimeNS
+	}
+	basePad := run(matchlist.KindBaseline, 1024)
+	llaPad := run(matchlist.KindLLA, 1024)
+	if llaPad >= basePad {
+		t.Errorf("padded LLA (%.0f ns) should be faster than padded baseline (%.0f ns)", llaPad, basePad)
+	}
+}
+
+func TestMiniFEStatsSane(t *testing.T) {
+	r := RunMiniFE(MiniFEConfig{
+		World: smallWorld(8, matchlist.KindLLA, 2, false, false),
+		N:     4, Iters: 3,
+	})
+	// 8 ranks * 6 faces * 3 iterations arrivals.
+	if r.Stats.Arrivals != 8*6*3 {
+		t.Errorf("arrivals = %d, want %d", r.Stats.Arrivals, 8*6*3)
+	}
+	if r.RuntimeNS <= 0 {
+		t.Error("runtime not positive")
+	}
+}
+
+func TestAMGRuns(t *testing.T) {
+	r := RunAMG(AMGConfig{
+		World:  smallWorld(8, matchlist.KindLLA, 2, false, false),
+		N:      8,
+		Levels: 3,
+		Cycles: 1,
+	})
+	if r.RuntimeNS <= 0 || r.Checksum == 0 {
+		t.Errorf("AMG result: %+v", r)
+	}
+	// Per level leg: 3 face exchanges x 6 faces, plus 4*lvl coarse
+	// densification messages; 2 legs, 3 levels, 8 ranks.
+	want := uint64(2 * 8 * (18 + 18 + 4 + 18 + 8))
+	if r.Stats.Arrivals != want {
+		t.Errorf("arrivals = %d, want %d", r.Stats.Arrivals, want)
+	}
+}
+
+func TestAMGWeakScalingRuntimeGrows(t *testing.T) {
+	// Weak scaling adds levels and synchronisation: runtime should not
+	// shrink as ranks grow.
+	small := RunAMG(AMGConfig{World: smallWorld(2, matchlist.KindLLA, 2, false, false), N: 8, Cycles: 1})
+	big := RunAMG(AMGConfig{World: smallWorld(16, matchlist.KindLLA, 2, false, false), N: 8, Cycles: 1})
+	if big.RuntimeNS < small.RuntimeNS {
+		t.Errorf("weak scaling shrank runtime: %.0f -> %.0f", small.RuntimeNS, big.RuntimeNS)
+	}
+}
+
+func TestFDSDeepSearches(t *testing.T) {
+	r := RunFDS(FDSConfig{
+		World:       smallWorld(4, matchlist.KindBaseline, 0, false, false),
+		TargetRanks: 1024,
+		Phases:      1,
+	})
+	exch := meshExchanges(1024)
+	if r.Stats.Arrivals != uint64(4*exch) {
+		t.Errorf("arrivals = %d, want %d", r.Stats.Arrivals, 4*exch)
+	}
+	// FDS's signature: matches land deep, not at the head.
+	meanDepth := r.Stats.MeanPRQDepth()
+	if meanDepth < float64(exch)/8 {
+		t.Errorf("mean search depth %.1f too shallow for list of %d", meanDepth, exch)
+	}
+}
+
+func TestFDSLLASpeedupGrowsWithScale(t *testing.T) {
+	prof := cache.Nehalem
+	prof.Cores = 2
+	run := func(kind matchlist.Kind, target int) float64 {
+		cfg := smallWorld(4, kind, 2, false, false)
+		cfg.Engine.Profile = prof
+		cfg.Fabric = netmodel.MellanoxQDR
+		return RunFDS(FDSConfig{World: cfg, TargetRanks: target, Phases: 1}).RuntimeNS
+	}
+	spdSmall := run(matchlist.KindBaseline, 256) / run(matchlist.KindLLA, 256)
+	spdBig := run(matchlist.KindBaseline, 4096) / run(matchlist.KindLLA, 4096)
+	if spdBig <= spdSmall {
+		t.Errorf("LLA speedup should grow with scale: %.3f at 256, %.3f at 4096", spdSmall, spdBig)
+	}
+	if spdBig < 1.3 {
+		t.Errorf("LLA speedup at 4096 = %.3f, want substantial (paper: ~2x)", spdBig)
+	}
+}
+
+func TestMeshExchangesBounds(t *testing.T) {
+	if meshExchanges(128) != 16 {
+		t.Errorf("meshExchanges(128) = %d, want 16", meshExchanges(128))
+	}
+	if meshExchanges(8192) != 1024 {
+		t.Errorf("meshExchanges(8192) = %d, want 1024", meshExchanges(8192))
+	}
+}
+
+func TestMiniMDRuns(t *testing.T) {
+	r := RunMiniMD(MiniMDConfig{
+		World: smallWorld(8, matchlist.KindLLA, 2, false, false),
+		Steps: 3, AtomsPerRank: 60,
+	})
+	if r.Residual <= 0 {
+		t.Errorf("energy = %v, want positive", r.Residual)
+	}
+	if r.Stats.Arrivals != 8*6*3 {
+		t.Errorf("arrivals = %d, want %d", r.Stats.Arrivals, 8*6*3)
+	}
+}
+
+func TestSpeedupOf(t *testing.T) {
+	s := speedupOf(Result{RuntimeNS: 200}, Result{RuntimeNS: 100})
+	if s != 2 {
+		t.Errorf("speedupOf = %v, want 2", s)
+	}
+	if !math.IsNaN(speedupOf(Result{RuntimeNS: 1}, Result{})) {
+		t.Error("zero variant should give NaN")
+	}
+}
+
+// Data movement is independent of the matching structure: the AMG
+// checksum and MiniFE residual must be bit-identical across kinds.
+func TestNumericsInvariantAcrossStructures(t *testing.T) {
+	kinds := []matchlist.Kind{matchlist.KindBaseline, matchlist.KindLLA, matchlist.KindRankArray}
+	var amgSum, feRes []float64
+	for _, kind := range kinds {
+		a := RunAMG(AMGConfig{
+			World: smallWorld(8, kind, 2, false, false),
+			N:     8, Levels: 3, Cycles: 1,
+		})
+		f := RunMiniFE(MiniFEConfig{
+			World: smallWorld(8, kind, 2, false, false),
+			N:     4, Iters: 5,
+		})
+		amgSum = append(amgSum, a.Checksum)
+		feRes = append(feRes, f.Residual)
+	}
+	// The central reductions sum contributions in scheduler-dependent
+	// arrival order, so equality holds only up to floating-point
+	// associativity.
+	relClose := func(a, b float64) bool {
+		d := math.Abs(a - b)
+		return d <= 1e-9*(math.Abs(a)+math.Abs(b))
+	}
+	for i := 1; i < len(kinds); i++ {
+		if !relClose(amgSum[i], amgSum[0]) {
+			t.Errorf("AMG checksum differs for %v: %v vs %v", kinds[i], amgSum[i], amgSum[0])
+		}
+		if !relClose(feRes[i], feRes[0]) {
+			t.Errorf("MiniFE residual differs for %v: %v vs %v", kinds[i], feRes[i], feRes[0])
+		}
+	}
+}
+
+// Padding slows MiniMD too, and the engine reports the padded depth.
+func TestMiniMDPadding(t *testing.T) {
+	plain := RunMiniMD(MiniMDConfig{
+		World: smallWorld(8, matchlist.KindBaseline, 0, false, false),
+		Steps: 2, AtomsPerRank: 30,
+	})
+	padded := RunMiniMD(MiniMDConfig{
+		World: smallWorld(8, matchlist.KindBaseline, 0, false, false),
+		Steps: 2, AtomsPerRank: 30, PadDepth: 512,
+	})
+	if padded.RuntimeNS <= plain.RuntimeNS {
+		t.Errorf("padding should slow MiniMD: %.0f vs %.0f ns", padded.RuntimeNS, plain.RuntimeNS)
+	}
+	if padded.Stats.MeanPRQDepth() < 500 {
+		t.Errorf("mean depth %.1f, want >= 500 with 512 padding", padded.Stats.MeanPRQDepth())
+	}
+}
+
+// The FDS histogram sink delivers populated histograms when tracking is
+// enabled and nils when it is not.
+func TestFDSHistSink(t *testing.T) {
+	var got bool
+	cfg := smallWorld(4, matchlist.KindLLA, 2, false, false)
+	cfg.Engine.TrackHistograms = true
+	RunFDS(FDSConfig{
+		World:       cfg,
+		TargetRanks: 128,
+		Phases:      1,
+		HistSink: func(prqLen, umqLen, depth *trace.Histogram) {
+			got = prqLen != nil && prqLen.Total() > 0 && depth != nil && depth.Total() > 0
+		},
+	})
+	if !got {
+		t.Error("histogram sink not populated")
+	}
+}

@@ -1,0 +1,265 @@
+// Package simmem provides a simulated flat address space and allocators.
+//
+// The reproduction's central substitution (see DESIGN.md) is a software
+// memory hierarchy: every byte a match-list structure touches must have a
+// stable address that the cache simulator (internal/cache) can map to a
+// cache line. simmem supplies those addresses.
+//
+// Addresses are plain uint64 values in a synthetic address space. Nothing
+// is ever stored at the addresses; the data structures keep their payload
+// in ordinary Go values and use the simulated address only for locality
+// accounting. This separation keeps the structures testable in isolation
+// and keeps the simulator deterministic regardless of the Go allocator.
+package simmem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LineSize is the cache-line granularity of the simulated machines.
+// All x86 processors studied in the paper use 64-byte lines.
+const LineSize = 64
+
+// Addr is a simulated virtual address.
+type Addr uint64
+
+// Line returns the cache-line index containing the address.
+func (a Addr) Line() uint64 { return uint64(a) / LineSize }
+
+// LineOffset returns the byte offset of the address within its line.
+func (a Addr) LineOffset() uint64 { return uint64(a) % LineSize }
+
+// AlignUp rounds the address up to the next multiple of align.
+// align must be a power of two.
+func (a Addr) AlignUp(align uint64) Addr {
+	return Addr((uint64(a) + align - 1) &^ (align - 1))
+}
+
+// Region is a contiguous range of simulated memory.
+type Region struct {
+	Base Addr
+	Size uint64
+}
+
+// End returns the first address past the region.
+func (r Region) End() Addr { return r.Base + Addr(r.Size) }
+
+// Contains reports whether addr lies within the region.
+func (r Region) Contains(addr Addr) bool {
+	return addr >= r.Base && addr < r.End()
+}
+
+// Overlaps reports whether the two regions share any byte.
+func (r Region) Overlaps(o Region) bool {
+	return r.Base < o.End() && o.Base < r.End()
+}
+
+// Lines returns the number of distinct cache lines the region spans.
+func (r Region) Lines() uint64 {
+	if r.Size == 0 {
+		return 0
+	}
+	first := r.Base.Line()
+	last := (r.End() - 1).Line()
+	return last - first + 1
+}
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	return fmt.Sprintf("[%#x,%#x)", uint64(r.Base), uint64(r.End()))
+}
+
+// Space is a simulated address space served by a bump allocator.
+// It is not safe for concurrent use; callers that share a Space across
+// goroutines must serialise access (the matching engine owns its Space).
+type Space struct {
+	next     Addr
+	base     Addr
+	allocs   uint64
+	bytes    uint64
+	freeList map[uint64][]Addr // size class -> reusable blocks
+}
+
+// NewSpace returns an empty address space. The base address is chosen
+// away from zero so that a zero Addr can serve as a nil-pointer sentinel.
+func NewSpace() *Space {
+	const base = 0x10000
+	return &Space{next: base, base: base, freeList: make(map[uint64][]Addr)}
+}
+
+// Alloc reserves size bytes aligned to align (power of two, >= 1) and
+// returns the base address. Size 0 allocations return a unique address.
+func (s *Space) Alloc(size, align uint64) Addr {
+	if align == 0 {
+		align = 1
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("simmem: alignment %d is not a power of two", align))
+	}
+	addr := s.next.AlignUp(align)
+	if size == 0 {
+		size = 1
+	}
+	s.next = addr + Addr(size)
+	s.allocs++
+	s.bytes += size
+	return addr
+}
+
+// AllocLines reserves n full cache lines, line-aligned.
+func (s *Space) AllocLines(n uint64) Addr {
+	return s.Alloc(n*LineSize, LineSize)
+}
+
+// Free returns a block to the per-size free list for reuse by AllocReuse.
+// The simulator has no notion of use-after-free; Free exists so pool-based
+// structures (the LLA element pool) can model address reuse, which matters
+// for temporal locality: a recycled node is likely still cached.
+func (s *Space) Free(addr Addr, size uint64) {
+	s.freeList[size] = append(s.freeList[size], addr)
+}
+
+// AllocReuse behaves like Alloc but preferentially reuses a freed block of
+// exactly the same size, modeling a slab/pool allocator. Reuse is LIFO so
+// the hottest (most recently freed, hence most likely cached) block is
+// handed out first, as real free lists do.
+func (s *Space) AllocReuse(size, align uint64) Addr {
+	if blocks := s.freeList[size]; len(blocks) > 0 {
+		addr := blocks[len(blocks)-1]
+		s.freeList[size] = blocks[:len(blocks)-1]
+		if uint64(addr)%align == 0 {
+			s.allocs++
+			return addr
+		}
+		// Alignment mismatch: put it back and fall through.
+		s.freeList[size] = append(s.freeList[size], addr)
+	}
+	return s.Alloc(size, align)
+}
+
+// Allocs returns the number of allocations served.
+func (s *Space) Allocs() uint64 { return s.allocs }
+
+// Bytes returns the total bytes ever allocated (freed blocks included).
+func (s *Space) Bytes() uint64 { return s.bytes }
+
+// Footprint returns the extent of the space actually handed out.
+func (s *Space) Footprint() uint64 { return uint64(s.next - s.base) }
+
+// Arena is a region-scoped bump allocator carved out of a Space.
+// Arenas give a structure contiguous placement: consecutive Alloc calls
+// return consecutive addresses, which is how the linked list of arrays
+// achieves its spatial locality.
+type Arena struct {
+	region Region
+	next   Addr
+}
+
+// NewArena carves a fresh line-aligned arena of size bytes from the space.
+func NewArena(s *Space, size uint64) *Arena {
+	base := s.Alloc(size, LineSize)
+	return &Arena{region: Region{Base: base, Size: size}, next: base}
+}
+
+// Alloc reserves size bytes aligned to align within the arena.
+// It panics if the arena is exhausted; arenas are sized by their owners.
+func (a *Arena) Alloc(size, align uint64) Addr {
+	addr := a.next.AlignUp(align)
+	if addr+Addr(size) > a.region.End() {
+		panic(fmt.Sprintf("simmem: arena %v exhausted (want %d bytes)", a.region, size))
+	}
+	a.next = addr + Addr(size)
+	return addr
+}
+
+// Remaining returns the bytes left in the arena.
+func (a *Arena) Remaining() uint64 { return uint64(a.region.End() - a.next) }
+
+// Region returns the arena's full extent.
+func (a *Arena) Region() Region { return a.region }
+
+// RegionSet tracks a mutable set of regions, merging and iterating in
+// address order. The hot-caching heater uses one to know which lines to
+// touch on each sweep.
+type RegionSet struct {
+	regions []Region
+}
+
+// Add inserts a region. Overlapping or adjacent regions are coalesced.
+func (rs *RegionSet) Add(r Region) {
+	if r.Size == 0 {
+		return
+	}
+	rs.regions = append(rs.regions, r)
+	sort.Slice(rs.regions, func(i, j int) bool {
+		return rs.regions[i].Base < rs.regions[j].Base
+	})
+	merged := rs.regions[:1]
+	for _, next := range rs.regions[1:] {
+		last := &merged[len(merged)-1]
+		if next.Base <= last.End() {
+			if next.End() > last.End() {
+				last.Size = uint64(next.End() - last.Base)
+			}
+		} else {
+			merged = append(merged, next)
+		}
+	}
+	rs.regions = merged
+}
+
+// Remove deletes the given range from the set, splitting regions that
+// straddle it.
+func (rs *RegionSet) Remove(r Region) {
+	if r.Size == 0 {
+		return
+	}
+	var out []Region
+	for _, cur := range rs.regions {
+		if !cur.Overlaps(r) {
+			out = append(out, cur)
+			continue
+		}
+		if cur.Base < r.Base {
+			out = append(out, Region{Base: cur.Base, Size: uint64(r.Base - cur.Base)})
+		}
+		if cur.End() > r.End() {
+			out = append(out, Region{Base: r.End(), Size: uint64(cur.End() - r.End())})
+		}
+	}
+	rs.regions = out
+}
+
+// Regions returns the current regions in address order. The returned slice
+// must not be mutated.
+func (rs *RegionSet) Regions() []Region { return rs.regions }
+
+// TotalBytes returns the summed size of all regions.
+func (rs *RegionSet) TotalBytes() uint64 {
+	var n uint64
+	for _, r := range rs.regions {
+		n += r.Size
+	}
+	return n
+}
+
+// TotalLines returns the summed distinct cache lines across regions.
+// Regions in the set never overlap, so lines are counted at most once
+// unless two regions share a boundary line, which coalescing prevents
+// for adjacent regions.
+func (rs *RegionSet) TotalLines() uint64 {
+	var n uint64
+	for _, r := range rs.regions {
+		n += r.Lines()
+	}
+	return n
+}
+
+// Contains reports whether addr is inside any region of the set.
+func (rs *RegionSet) Contains(addr Addr) bool {
+	i := sort.Search(len(rs.regions), func(i int) bool {
+		return rs.regions[i].End() > addr
+	})
+	return i < len(rs.regions) && rs.regions[i].Contains(addr)
+}

@@ -1,0 +1,319 @@
+package simmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrLine(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		line uint64
+		off  uint64
+	}{
+		{0, 0, 0},
+		{63, 0, 63},
+		{64, 1, 0},
+		{65, 1, 1},
+		{128, 2, 0},
+		{0x10000, 0x400, 0},
+	}
+	for _, c := range cases {
+		if got := c.addr.Line(); got != c.line {
+			t.Errorf("Addr(%#x).Line() = %d, want %d", uint64(c.addr), got, c.line)
+		}
+		if got := c.addr.LineOffset(); got != c.off {
+			t.Errorf("Addr(%#x).LineOffset() = %d, want %d", uint64(c.addr), got, c.off)
+		}
+	}
+}
+
+func TestAlignUp(t *testing.T) {
+	if got := Addr(1).AlignUp(64); got != 64 {
+		t.Errorf("AlignUp(1,64) = %d, want 64", got)
+	}
+	if got := Addr(64).AlignUp(64); got != 64 {
+		t.Errorf("AlignUp(64,64) = %d, want 64 (already aligned)", got)
+	}
+	if got := Addr(0).AlignUp(8); got != 0 {
+		t.Errorf("AlignUp(0,8) = %d, want 0", got)
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Base: 100, Size: 50}
+	if !r.Contains(100) || !r.Contains(149) {
+		t.Error("region should contain its endpoints-1")
+	}
+	if r.Contains(99) || r.Contains(150) {
+		t.Error("region should not contain addresses outside [base, end)")
+	}
+}
+
+func TestRegionOverlaps(t *testing.T) {
+	a := Region{Base: 0, Size: 100}
+	b := Region{Base: 99, Size: 10}
+	c := Region{Base: 100, Size: 10}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b share byte 99; should overlap")
+	}
+	if a.Overlaps(c) || c.Overlaps(a) {
+		t.Error("a and c are adjacent, not overlapping")
+	}
+}
+
+func TestRegionLines(t *testing.T) {
+	cases := []struct {
+		r    Region
+		want uint64
+	}{
+		{Region{Base: 0, Size: 0}, 0},
+		{Region{Base: 0, Size: 1}, 1},
+		{Region{Base: 0, Size: 64}, 1},
+		{Region{Base: 0, Size: 65}, 2},
+		{Region{Base: 63, Size: 2}, 2}, // straddles a boundary
+		{Region{Base: 64, Size: 128}, 2},
+	}
+	for _, c := range cases {
+		if got := c.r.Lines(); got != c.want {
+			t.Errorf("%v.Lines() = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestSpaceAllocDisjoint(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(24, 8)
+	b := s.Alloc(24, 8)
+	if a == b {
+		t.Fatal("two allocations returned the same address")
+	}
+	ra := Region{Base: a, Size: 24}
+	rb := Region{Base: b, Size: 24}
+	if ra.Overlaps(rb) {
+		t.Fatalf("allocations overlap: %v %v", ra, rb)
+	}
+}
+
+func TestSpaceAllocAlignment(t *testing.T) {
+	s := NewSpace()
+	s.Alloc(3, 1) // perturb
+	for _, align := range []uint64{1, 2, 4, 8, 16, 64, 4096} {
+		addr := s.Alloc(10, align)
+		if uint64(addr)%align != 0 {
+			t.Errorf("Alloc(10,%d) returned unaligned address %#x", align, uint64(addr))
+		}
+	}
+}
+
+func TestSpaceAllocBadAlignmentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on non-power-of-two alignment")
+		}
+	}()
+	NewSpace().Alloc(8, 3)
+}
+
+func TestSpaceNonZeroBase(t *testing.T) {
+	s := NewSpace()
+	if a := s.Alloc(1, 1); a == 0 {
+		t.Error("first allocation must not be address 0 (reserved as nil)")
+	}
+}
+
+func TestAllocLinesAligned(t *testing.T) {
+	s := NewSpace()
+	s.Alloc(7, 1)
+	a := s.AllocLines(2)
+	if a.LineOffset() != 0 {
+		t.Errorf("AllocLines returned non-line-aligned address %#x", uint64(a))
+	}
+	if (Region{Base: a, Size: 2 * LineSize}).Lines() != 2 {
+		t.Error("AllocLines(2) should span exactly 2 lines")
+	}
+}
+
+func TestFreeReuseLIFO(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(64, 64)
+	b := s.Alloc(64, 64)
+	s.Free(a, 64)
+	s.Free(b, 64)
+	// LIFO: the most recently freed block (b) comes back first.
+	if got := s.AllocReuse(64, 64); got != b {
+		t.Errorf("AllocReuse = %#x, want most-recently-freed %#x", uint64(got), uint64(b))
+	}
+	if got := s.AllocReuse(64, 64); got != a {
+		t.Errorf("second AllocReuse = %#x, want %#x", uint64(got), uint64(a))
+	}
+	// Free list drained: next reuse allocates fresh.
+	c := s.AllocReuse(64, 64)
+	if c == a || c == b {
+		t.Error("AllocReuse with empty free list must allocate fresh memory")
+	}
+}
+
+func TestAllocReuseSizeClassMiss(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(32, 8)
+	s.Free(a, 32)
+	if got := s.AllocReuse(64, 8); got == a {
+		t.Error("AllocReuse must not reuse a block of a different size class")
+	}
+}
+
+func TestSpaceCounters(t *testing.T) {
+	s := NewSpace()
+	s.Alloc(10, 1)
+	s.Alloc(20, 1)
+	if s.Allocs() != 2 {
+		t.Errorf("Allocs = %d, want 2", s.Allocs())
+	}
+	if s.Bytes() != 30 {
+		t.Errorf("Bytes = %d, want 30", s.Bytes())
+	}
+	if s.Footprint() < 30 {
+		t.Errorf("Footprint = %d, want >= 30", s.Footprint())
+	}
+}
+
+func TestArenaContiguous(t *testing.T) {
+	s := NewSpace()
+	a := NewArena(s, 1024)
+	p1 := a.Alloc(24, 1)
+	p2 := a.Alloc(24, 1)
+	if p2 != p1+24 {
+		t.Errorf("arena allocations not contiguous: %#x then %#x", uint64(p1), uint64(p2))
+	}
+	if !a.Region().Contains(p1) || !a.Region().Contains(p2+23) {
+		t.Error("arena allocations must stay inside the arena region")
+	}
+}
+
+func TestArenaExhaustionPanics(t *testing.T) {
+	s := NewSpace()
+	a := NewArena(s, 64)
+	a.Alloc(60, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on arena exhaustion")
+		}
+	}()
+	a.Alloc(8, 1)
+}
+
+func TestArenaRemaining(t *testing.T) {
+	s := NewSpace()
+	a := NewArena(s, 128)
+	if a.Remaining() != 128 {
+		t.Errorf("fresh arena Remaining = %d, want 128", a.Remaining())
+	}
+	a.Alloc(28, 1)
+	if a.Remaining() != 100 {
+		t.Errorf("Remaining after 28B = %d, want 100", a.Remaining())
+	}
+}
+
+func TestRegionSetCoalesce(t *testing.T) {
+	var rs RegionSet
+	rs.Add(Region{Base: 0, Size: 64})
+	rs.Add(Region{Base: 64, Size: 64}) // adjacent: coalesce
+	if n := len(rs.Regions()); n != 1 {
+		t.Fatalf("adjacent regions not coalesced: %d regions", n)
+	}
+	if rs.TotalBytes() != 128 {
+		t.Errorf("TotalBytes = %d, want 128", rs.TotalBytes())
+	}
+	rs.Add(Region{Base: 32, Size: 64}) // fully inside
+	if rs.TotalBytes() != 128 {
+		t.Errorf("overlapping add changed TotalBytes to %d", rs.TotalBytes())
+	}
+	rs.Add(Region{Base: 256, Size: 64}) // disjoint
+	if n := len(rs.Regions()); n != 2 {
+		t.Errorf("disjoint region merged: %d regions, want 2", n)
+	}
+}
+
+func TestRegionSetRemoveSplit(t *testing.T) {
+	var rs RegionSet
+	rs.Add(Region{Base: 0, Size: 300})
+	rs.Remove(Region{Base: 100, Size: 100})
+	regs := rs.Regions()
+	if len(regs) != 2 {
+		t.Fatalf("remove should split into 2 regions, got %d", len(regs))
+	}
+	if regs[0] != (Region{Base: 0, Size: 100}) || regs[1] != (Region{Base: 200, Size: 100}) {
+		t.Errorf("split wrong: %v", regs)
+	}
+	rs.Remove(Region{Base: 0, Size: 100})
+	if len(rs.Regions()) != 1 || rs.Regions()[0].Base != 200 {
+		t.Errorf("exact remove failed: %v", rs.Regions())
+	}
+}
+
+func TestRegionSetContains(t *testing.T) {
+	var rs RegionSet
+	rs.Add(Region{Base: 100, Size: 10})
+	rs.Add(Region{Base: 300, Size: 10})
+	for _, a := range []Addr{100, 109, 300, 309} {
+		if !rs.Contains(a) {
+			t.Errorf("Contains(%d) = false, want true", a)
+		}
+	}
+	for _, a := range []Addr{99, 110, 200, 299, 310} {
+		if rs.Contains(a) {
+			t.Errorf("Contains(%d) = true, want false", a)
+		}
+	}
+}
+
+// Property: RegionSet.TotalBytes equals the measure of the union of all
+// added ranges, regardless of insertion order or overlap.
+func TestRegionSetUnionProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var rs RegionSet
+		covered := make(map[uint64]bool)
+		for i := 0; i+1 < len(raw); i += 2 {
+			base := uint64(raw[i]) % 4096
+			size := uint64(raw[i+1])%128 + 1
+			rs.Add(Region{Base: Addr(base), Size: size})
+			for b := base; b < base+size; b++ {
+				covered[b] = true
+			}
+		}
+		return rs.TotalBytes() == uint64(len(covered))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after any Add/Remove sequence, regions are sorted, non-empty,
+// and non-overlapping.
+func TestRegionSetInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var rs RegionSet
+		for i := 0; i+2 < len(ops); i += 3 {
+			r := Region{Base: Addr(ops[i] % 2048), Size: uint64(ops[i+1])%256 + 1}
+			if ops[i+2]%3 == 0 {
+				rs.Remove(r)
+			} else {
+				rs.Add(r)
+			}
+		}
+		regs := rs.Regions()
+		for i, r := range regs {
+			if r.Size == 0 {
+				return false
+			}
+			if i > 0 && regs[i-1].End() > r.Base {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

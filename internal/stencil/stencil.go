@@ -1,0 +1,260 @@
+// Package stencil models the thread decompositions and communication
+// stencils behind Table 1 and the halo-exchange proxy applications.
+//
+// In the paper's multithreaded matching benchmark (Section 2.3), a
+// receiving MPI process is decomposed into a grid of threads; each
+// thread posts receives for the neighbours its stencil references in
+// similarly-decomposed neighbouring processes. The number of match-list
+// entries is a function of the decomposition and the stencil; Table 1
+// tabulates tr (receiving threads), ts (sending threads), resulting list
+// length, and mean search depth.
+package stencil
+
+import "fmt"
+
+// Stencil identifies a communication stencil.
+type Stencil int
+
+// The stencils in Table 1 and the proxy apps.
+const (
+	// Star2D5 is the 2D 5-point star: N, S, E, W.
+	Star2D5 Stencil = iota
+	// Full2D9 is the 2D 9-point stencil: all 8 neighbours.
+	Full2D9
+	// Star3D7 is the 3D 7-point star: 6 face neighbours.
+	Star3D7
+	// Full3D27 is the 3D 27-point stencil: all 26 neighbours.
+	Full3D27
+)
+
+// String implements fmt.Stringer using the paper's labels.
+func (s Stencil) String() string {
+	switch s {
+	case Star2D5:
+		return "5pt"
+	case Full2D9:
+		return "9pt"
+	case Star3D7:
+		return "7pt"
+	case Full3D27:
+		return "27pt"
+	}
+	return fmt.Sprintf("Stencil(%d)", int(s))
+}
+
+// Dims returns the dimensionality the stencil applies to.
+func (s Stencil) Dims() int {
+	if s == Star2D5 || s == Full2D9 {
+		return 2
+	}
+	return 3
+}
+
+// Offsets returns the neighbour offsets, excluding the centre.
+func (s Stencil) Offsets() [][3]int {
+	var out [][3]int
+	switch s {
+	case Star2D5:
+		out = [][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}}
+	case Full2D9:
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				out = append(out, [3]int{dx, dy, 0})
+			}
+		}
+	case Star3D7:
+		out = [][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}}
+	case Full3D27:
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dz := -1; dz <= 1; dz++ {
+					if dx == 0 && dy == 0 && dz == 0 {
+						continue
+					}
+					out = append(out, [3]int{dx, dy, dz})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Decomp is a thread (or process) grid decomposition. 2D decompositions
+// set Z to 1.
+type Decomp struct {
+	X, Y, Z int
+}
+
+// String prints "XxY" or "XxYxZ" as in Table 1.
+func (d Decomp) String() string {
+	if d.Z <= 1 {
+		return fmt.Sprintf("%dx%d", d.X, d.Y)
+	}
+	return fmt.Sprintf("%dx%dx%d", d.X, d.Y, d.Z)
+}
+
+// Count returns the number of cells (threads) in the decomposition.
+func (d Decomp) Count() int {
+	z := d.Z
+	if z < 1 {
+		z = 1
+	}
+	return d.X * d.Y * z
+}
+
+// coord converts a linear id to grid coordinates.
+func (d Decomp) coord(id int) [3]int {
+	z := d.Z
+	if z < 1 {
+		z = 1
+	}
+	_ = z
+	x := id % d.X
+	y := (id / d.X) % d.Y
+	zz := id / (d.X * d.Y)
+	return [3]int{x, y, zz}
+}
+
+// id converts grid coordinates to a linear id, or -1 if out of range.
+func (d Decomp) id(c [3]int) int {
+	z := d.Z
+	if z < 1 {
+		z = 1
+	}
+	if c[0] < 0 || c[0] >= d.X || c[1] < 0 || c[1] >= d.Y || c[2] < 0 || c[2] >= z {
+		return -1
+	}
+	return c[0] + d.X*(c[1]+d.Y*c[2])
+}
+
+// BoundaryThreads returns the thread ids on the decomposition's outer
+// boundary in the directions the stencil references — the threads that
+// post receives for remote neighbours. Interior threads communicate
+// through shared memory and never touch the MPI matching engine
+// (Section 2.3's assumption).
+func BoundaryThreads(d Decomp, s Stencil) []int {
+	var out []int
+	n := d.Count()
+	for t := 0; t < n; t++ {
+		if len(remoteNeighbors(d, s, t)) > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// remoteNeighbors lists the stencil offsets of thread t that fall
+// outside the decomposition — each one is a message from a neighbouring
+// process.
+func remoteNeighbors(d Decomp, s Stencil, t int) [][3]int {
+	c := d.coord(t)
+	var out [][3]int
+	for _, off := range s.Offsets() {
+		nc := [3]int{c[0] + off[0], c[1] + off[1], c[2] + off[2]}
+		if d.id(nc) == -1 {
+			out = append(out, off)
+		}
+	}
+	return out
+}
+
+// IsRemote reports whether thread t's stencil offset (by index into
+// Offsets) crosses the decomposition boundary — i.e. whether that
+// neighbour datum arrives as an MPI message rather than through shared
+// memory.
+func IsRemote(d Decomp, s Stencil, t, offsetIndex int) bool {
+	offs := s.Offsets()
+	if offsetIndex < 0 || offsetIndex >= len(offs) {
+		return false
+	}
+	c := d.coord(t)
+	off := offs[offsetIndex]
+	return d.id([3]int{c[0] + off[0], c[1] + off[1], c[2] + off[2]}) == -1
+}
+
+// Messages returns, per receiving thread, the number of remote receives
+// it posts in one communication phase (one per remote stencil
+// neighbour). The sum is the process's match-list length in Table 1.
+func Messages(d Decomp, s Stencil) map[int]int {
+	out := make(map[int]int)
+	n := d.Count()
+	for t := 0; t < n; t++ {
+		if m := len(remoteNeighbors(d, s, t)); m > 0 {
+			out[t] = m
+		}
+	}
+	return out
+}
+
+// TotalMessages sums Messages over all threads: the expected match-list
+// length for the decomposition and stencil.
+func TotalMessages(d Decomp, s Stencil) int {
+	total := 0
+	for _, m := range Messages(d, s) {
+		total += m
+	}
+	return total
+}
+
+// ReceivingThreads counts threads that post at least one remote receive
+// (Table 1's tr column).
+func ReceivingThreads(d Decomp, s Stencil) int {
+	return len(Messages(d, s))
+}
+
+// SendingThreads counts the threads in neighbouring processes that send
+// to this process (Table 1's ts column): for each stencil direction, the
+// facing region of the neighbouring process contributes its thread
+// count — a full face for face directions, an edge line for edge
+// directions, a single corner thread for corner directions.
+func SendingThreads(d Decomp, s Stencil) int {
+	z := d.Z
+	if z < 1 {
+		z = 1
+	}
+	dims := [3]int{d.X, d.Y, z}
+	total := 0
+	for _, off := range s.Offsets() {
+		region := 1
+		for axis := 0; axis < 3; axis++ {
+			if off[axis] == 0 {
+				region *= dims[axis]
+			}
+		}
+		total += region
+	}
+	return total
+}
+
+// Neighbors3D returns, for a process at the given coordinates of a
+// process grid, the linear ranks of its stencil neighbours (periodic
+// boundaries), used by the halo-exchange proxies.
+func Neighbors3D(grid Decomp, rank int, s Stencil) []int {
+	c := grid.coord(rank)
+	offs := s.Offsets()
+	out := make([]int, 0, len(offs))
+	z := grid.Z
+	if z < 1 {
+		z = 1
+	}
+	for _, off := range offs {
+		nc := [3]int{
+			mod(c[0]+off[0], grid.X),
+			mod(c[1]+off[1], grid.Y),
+			mod(c[2]+off[2], z),
+		}
+		out = append(out, grid.id(nc))
+	}
+	return out
+}
+
+func mod(a, m int) int {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

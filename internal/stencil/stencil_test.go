@@ -1,0 +1,161 @@
+package stencil
+
+import "testing"
+
+func TestStencilOffsets(t *testing.T) {
+	cases := []struct {
+		s    Stencil
+		n    int
+		dims int
+	}{
+		{Star2D5, 4, 2},
+		{Full2D9, 8, 2},
+		{Star3D7, 6, 3},
+		{Full3D27, 26, 3},
+	}
+	for _, c := range cases {
+		if got := len(c.s.Offsets()); got != c.n {
+			t.Errorf("%v: %d offsets, want %d", c.s, got, c.n)
+		}
+		if got := c.s.Dims(); got != c.dims {
+			t.Errorf("%v: Dims = %d, want %d", c.s, got, c.dims)
+		}
+	}
+}
+
+func TestStencilString(t *testing.T) {
+	want := map[Stencil]string{Star2D5: "5pt", Full2D9: "9pt", Star3D7: "7pt", Full3D27: "27pt"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), w)
+		}
+	}
+}
+
+func TestDecompString(t *testing.T) {
+	if got := (Decomp{X: 32, Y: 32}).String(); got != "32x32" {
+		t.Errorf("2D string = %q", got)
+	}
+	if got := (Decomp{X: 8, Y: 8, Z: 4}).String(); got != "8x8x4" {
+		t.Errorf("3D string = %q", got)
+	}
+}
+
+func TestDecompCoordRoundTrip(t *testing.T) {
+	d := Decomp{X: 3, Y: 4, Z: 5}
+	for id := 0; id < d.Count(); id++ {
+		if got := d.id(d.coord(id)); got != id {
+			t.Errorf("coord/id round trip failed for %d: got %d", id, got)
+		}
+	}
+	if d.id([3]int{3, 0, 0}) != -1 || d.id([3]int{-1, 0, 0}) != -1 {
+		t.Error("out-of-range coords must map to -1")
+	}
+}
+
+// Table 1's exact tr / ts / Length values are pure functions of the
+// decomposition and stencil; our formulas must reproduce all ten rows.
+func TestTable1Rows(t *testing.T) {
+	rows := []struct {
+		d      Decomp
+		s      Stencil
+		tr     int
+		ts     int
+		length int
+	}{
+		{Decomp{X: 32, Y: 32}, Star2D5, 124, 128, 128},
+		{Decomp{X: 64, Y: 32}, Star2D5, 188, 192, 192},
+		{Decomp{X: 32, Y: 32}, Full2D9, 124, 132, 380},
+		{Decomp{X: 64, Y: 32}, Full2D9, 188, 196, 572},
+		{Decomp{X: 8, Y: 8, Z: 4}, Star3D7, 184, 256, 256},
+		{Decomp{X: 1, Y: 1, Z: 128}, Star3D7, 128, 514, 514},
+		{Decomp{X: 1, Y: 1, Z: 256}, Star3D7, 256, 1026, 1026},
+		{Decomp{X: 8, Y: 8, Z: 4}, Full3D27, 184, 344, 2072},
+		{Decomp{X: 1, Y: 1, Z: 128}, Full3D27, 128, 1042, 3074},
+		{Decomp{X: 1, Y: 1, Z: 256}, Full3D27, 256, 2066, 6146},
+	}
+	for _, r := range rows {
+		if got := ReceivingThreads(r.d, r.s); got != r.tr {
+			t.Errorf("%v %v: tr = %d, want %d", r.d, r.s, got, r.tr)
+		}
+		if got := SendingThreads(r.d, r.s); got != r.ts {
+			t.Errorf("%v %v: ts = %d, want %d", r.d, r.s, got, r.ts)
+		}
+		if got := TotalMessages(r.d, r.s); got != r.length {
+			t.Errorf("%v %v: length = %d, want %d", r.d, r.s, got, r.length)
+		}
+	}
+}
+
+func TestBoundaryThreadsInteriorExcluded(t *testing.T) {
+	d := Decomp{X: 4, Y: 4}
+	b := BoundaryThreads(d, Star2D5)
+	if len(b) != 12 { // 16 threads, 4 interior
+		t.Fatalf("4x4 5pt boundary threads = %d, want 12", len(b))
+	}
+	inner := d.id([3]int{1, 1, 0})
+	for _, id := range b {
+		if id == inner {
+			t.Error("interior thread listed as boundary")
+		}
+	}
+}
+
+func TestMessagesPerThread(t *testing.T) {
+	d := Decomp{X: 3, Y: 3}
+	m := Messages(d, Star2D5)
+	corner := d.id([3]int{0, 0, 0})
+	edge := d.id([3]int{1, 0, 0})
+	centre := d.id([3]int{1, 1, 0})
+	if m[corner] != 2 {
+		t.Errorf("corner posts %d receives, want 2", m[corner])
+	}
+	if m[edge] != 1 {
+		t.Errorf("edge posts %d receives, want 1", m[edge])
+	}
+	if _, ok := m[centre]; ok {
+		t.Error("centre thread should post no remote receives")
+	}
+}
+
+func TestNeighbors3DPeriodic(t *testing.T) {
+	grid := Decomp{X: 4, Y: 4, Z: 4}
+	n := Neighbors3D(grid, 0, Star3D7)
+	if len(n) != 6 {
+		t.Fatalf("7pt neighbours = %d, want 6", len(n))
+	}
+	seen := map[int]bool{}
+	for _, r := range n {
+		if r < 0 || r >= grid.Count() {
+			t.Errorf("neighbour rank %d out of range", r)
+		}
+		seen[r] = true
+	}
+	// Rank 0 at (0,0,0): ±x wraps to 3 and 1, etc. All distinct here.
+	if len(seen) != 6 {
+		t.Errorf("expected 6 distinct neighbours, got %d", len(seen))
+	}
+}
+
+func TestNeighbors3DSelfWrap(t *testing.T) {
+	// Degenerate 1x1xN grid: x/y neighbours wrap to self.
+	grid := Decomp{X: 1, Y: 1, Z: 4}
+	n := Neighbors3D(grid, 2, Star3D7)
+	self := 0
+	for _, r := range n {
+		if r == 2 {
+			self++
+		}
+	}
+	if self != 4 {
+		t.Errorf("1x1xN ±x/±y wrap to self: got %d self-neighbours, want 4", self)
+	}
+}
+
+func TestTotalMessagesAllInterior(t *testing.T) {
+	// A 1x1 "grid" with a 5pt stencil: the single thread is boundary in
+	// all four directions.
+	if got := TotalMessages(Decomp{X: 1, Y: 1}, Star2D5); got != 4 {
+		t.Errorf("1x1 5pt total = %d, want 4", got)
+	}
+}

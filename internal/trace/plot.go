@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// plotSymbols assigns one mark per series.
+var plotSymbols = []byte{'o', 'x', '+', '*', '#', '@', '%', '&'}
+
+// Plot renders the figure as an ASCII chart. Axes switch to log scale
+// automatically when the data spans more than two decades (the paper's
+// figures are log-log in the depth sweeps). width and height are the
+// plot-area dimensions in characters; zero selects 64×20.
+func (f *Figure) Plot(width, height int) string {
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+
+	var xs, ys []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs = append(xs, p.X)
+			ys = append(ys, p.Y)
+		}
+	}
+	if len(xs) == 0 {
+		return "(empty figure)\n"
+	}
+	xScale := newAxisScale(xs)
+	yScale := newAxisScale(ys)
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		sym := plotSymbols[si%len(plotSymbols)]
+		for _, p := range s.Points {
+			cx := int(math.Round(xScale.norm(p.X) * float64(width-1)))
+			cy := int(math.Round(yScale.norm(p.Y) * float64(height-1)))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = sym
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n", f.Title, f.YLabel)
+	topLabel := axisLabel(yScale.max)
+	botLabel := axisLabel(yScale.min)
+	labelW := len(topLabel)
+	if len(botLabel) > labelW {
+		labelW = len(botLabel)
+	}
+	for i, row := range grid {
+		switch i {
+		case 0:
+			fmt.Fprintf(&b, "%*s |%s\n", labelW, topLabel, row)
+		case height - 1:
+			fmt.Fprintf(&b, "%*s |%s\n", labelW, botLabel, row)
+		default:
+			fmt.Fprintf(&b, "%*s |%s\n", labelW, "", row)
+		}
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", labelW, "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%*s  %-*s%s", labelW, "", width-len(axisLabel(xScale.max)),
+		axisLabel(xScale.min), axisLabel(xScale.max))
+	scales := fmt.Sprintf("  [x:%s y:%s]", xScale.kind(), yScale.kind())
+	b.WriteString(scales)
+	fmt.Fprintf(&b, "\n%*s  %s\n", labelW, "", f.XLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c %s\n", plotSymbols[si%len(plotSymbols)], s.Name)
+	}
+	return b.String()
+}
+
+// axisScale maps data to [0,1], linearly or logarithmically.
+type axisScale struct {
+	min, max float64
+	log      bool
+}
+
+func newAxisScale(vals []float64) axisScale {
+	min, max := math.Inf(1), math.Inf(-1)
+	allPos := true
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		if v <= 0 {
+			allPos = false
+		}
+	}
+	if math.IsInf(min, 1) {
+		return axisScale{min: 0, max: 1}
+	}
+	s := axisScale{min: min, max: max}
+	if allPos && min > 0 && max/min > 100 {
+		s.log = true
+	}
+	return s
+}
+
+func (a axisScale) norm(v float64) float64 {
+	if a.max == a.min {
+		return 0.5
+	}
+	if a.log {
+		return (math.Log(v) - math.Log(a.min)) / (math.Log(a.max) - math.Log(a.min))
+	}
+	return (v - a.min) / (a.max - a.min)
+}
+
+func (a axisScale) kind() string {
+	if a.log {
+		return "log"
+	}
+	return "lin"
+}
+
+func axisLabel(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e4 || math.Abs(v) < 1e-2:
+		return fmt.Sprintf("%.2g", v)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

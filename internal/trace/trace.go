@@ -1,0 +1,424 @@
+// Package trace provides the measurement plumbing shared by the
+// experiment harnesses: bucketed histograms (the Figure 1 queue-length
+// plots), running statistics (mean/stddev across trials, as the paper
+// reports for micro-benchmarks), and fixed-width table / CSV rendering
+// for regenerated paper artifacts.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram counts occurrences in fixed-width buckets, like the
+// match-list length histograms of Figure 1.
+type Histogram struct {
+	BucketWidth int
+	counts      map[int]uint64 // bucket index -> count
+	total       uint64
+	max         int
+}
+
+// NewHistogram creates a histogram with the given bucket width.
+func NewHistogram(bucketWidth int) *Histogram {
+	if bucketWidth <= 0 {
+		bucketWidth = 1
+	}
+	return &Histogram{BucketWidth: bucketWidth, counts: make(map[int]uint64)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[v/h.BucketWidth]++
+	h.total++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// ObserveN records a sample n times.
+func (h *Histogram) ObserveN(v int, n uint64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[v/h.BucketWidth] += n
+	h.total += n
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Total returns the number of samples.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() int { return h.max }
+
+// Bucket is one histogram row.
+type Bucket struct {
+	Lo, Hi int // inclusive range, as the paper labels them ("0-19")
+	Count  uint64
+}
+
+// Buckets returns the non-empty buckets in ascending order, with empty
+// buckets in between included so plots show gaps (as Figure 1 does).
+func (h *Histogram) Buckets() []Bucket {
+	if h.total == 0 {
+		return nil
+	}
+	idxs := make([]int, 0, len(h.counts))
+	for i := range h.counts {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	last := idxs[len(idxs)-1]
+	out := make([]Bucket, 0, last+1)
+	for i := 0; i <= last; i++ {
+		out = append(out, Bucket{
+			Lo:    i * h.BucketWidth,
+			Hi:    (i+1)*h.BucketWidth - 1,
+			Count: h.counts[i],
+		})
+	}
+	return out
+}
+
+// Render prints the histogram as the paper's log-scale-friendly rows.
+func (h *Histogram) Render(label string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %12s\n", label, "occurrences")
+	for _, bk := range h.Buckets() {
+		fmt.Fprintf(&b, "%6d-%-9d %12d\n", bk.Lo, bk.Hi, bk.Count)
+	}
+	return b.String()
+}
+
+// Bars renders the histogram as a log-scaled ASCII bar chart, the
+// terminal analogue of Figure 1's log-axis panels. width is the
+// maximum bar length (0 selects 48).
+func (h *Histogram) Bars(label string, width int) string {
+	if width <= 0 {
+		width = 48
+	}
+	buckets := h.Buckets()
+	if len(buckets) == 0 {
+		return label + ": (empty)\n"
+	}
+	maxCount := uint64(1)
+	for _, bk := range buckets {
+		if bk.Count > maxCount {
+			maxCount = bk.Count
+		}
+	}
+	logMax := math.Log1p(float64(maxCount))
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (log scale, max %d)\n", label, maxCount)
+	for _, bk := range buckets {
+		n := 0
+		if bk.Count > 0 {
+			n = int(math.Log1p(float64(bk.Count)) / logMax * float64(width))
+			if n == 0 {
+				n = 1
+			}
+		}
+		fmt.Fprintf(&b, "%6d-%-9d |%-*s| %d\n", bk.Lo, bk.Hi, width, strings.Repeat("#", n), bk.Count)
+	}
+	return b.String()
+}
+
+// Stats accumulates running mean / variance (Welford) with min and max.
+type Stats struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records a sample.
+func (s *Stats) Add(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+}
+
+// N returns the sample count.
+func (s *Stats) N() uint64 { return s.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (s *Stats) Mean() float64 { return s.mean }
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func (s *Stats) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Min returns the smallest sample (0 with no samples).
+func (s *Stats) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest sample (0 with no samples).
+func (s *Stats) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// String formats as "mean ± stddev".
+func (s *Stats) String() string {
+	return fmt.Sprintf("%.2f ± %.2f", s.Mean(), s.StdDev())
+}
+
+// Table renders aligned fixed-width text tables and CSV, used by the
+// experiment drivers to print the paper's rows.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with %.4g.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render returns the aligned text form.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV returns the comma-separated form (quoting cells with commas).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series is a named sequence of (x, y) points — one plotted curve of a
+// paper figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one (x, y) sample.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// YAt returns the y value at the given x, or NaN when absent.
+func (s *Series) YAt(x float64) float64 {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y
+		}
+	}
+	return math.NaN()
+}
+
+// Figure is a set of series sharing an x axis — one paper figure panel.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries appends and returns a new named series.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Get returns the named series, or nil.
+func (f *Figure) Get(name string) *Series {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Render prints the figure as a table: x in the first column, one
+// column per series — the exact rows/series the paper plots.
+func (f *Figure) Render() string {
+	headers := append([]string{f.XLabel}, make([]string, len(f.Series))...)
+	for i, s := range f.Series {
+		headers[i+1] = s.Name
+	}
+	t := NewTable(fmt.Sprintf("%s (%s)", f.Title, f.YLabel), headers...)
+
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		row := make([]any, len(f.Series)+1)
+		row[0] = formatX(x)
+		for i, s := range f.Series {
+			y := s.YAt(x)
+			if math.IsNaN(y) {
+				row[i+1] = "-"
+			} else {
+				row[i+1] = y
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}
+
+// CSV returns the figure as comma-separated rows (x, then one column
+// per series).
+func (f *Figure) CSV() string {
+	headers := append([]string{f.XLabel}, make([]string, len(f.Series))...)
+	for i, s := range f.Series {
+		headers[i+1] = s.Name
+	}
+	t := NewTable("", headers...)
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		row := make([]any, len(f.Series)+1)
+		row[0] = formatX(x)
+		for i, s := range f.Series {
+			y := s.YAt(x)
+			if math.IsNaN(y) {
+				row[i+1] = ""
+			} else {
+				row[i+1] = y
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.CSV()
+}
+
+// formatX prints sizes compactly (1024 -> "1024", 1048576 -> "1048576")
+// without trailing decimals for integral values.
+func formatX(x float64) string {
+	if x == math.Trunc(x) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%.3g", x)
+}

@@ -1,0 +1,264 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []int{0, 5, 9, 10, 19, 25, 25} {
+		h.Observe(v)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+	if h.Max() != 25 {
+		t.Errorf("Max = %d, want 25", h.Max())
+	}
+	b := h.Buckets()
+	if len(b) != 3 {
+		t.Fatalf("buckets = %d, want 3", len(b))
+	}
+	if b[0].Count != 3 || b[1].Count != 2 || b[2].Count != 2 {
+		t.Errorf("bucket counts = %d/%d/%d, want 3/2/2", b[0].Count, b[1].Count, b[2].Count)
+	}
+	if b[0].Lo != 0 || b[0].Hi != 9 {
+		t.Errorf("bucket 0 range = %d-%d, want 0-9", b[0].Lo, b[0].Hi)
+	}
+}
+
+func TestHistogramGapsIncluded(t *testing.T) {
+	h := NewHistogram(10)
+	h.Observe(5)
+	h.Observe(35)
+	b := h.Buckets()
+	if len(b) != 4 {
+		t.Fatalf("buckets = %d, want 4 (gaps included)", len(b))
+	}
+	if b[1].Count != 0 || b[2].Count != 0 {
+		t.Error("gap buckets should be zero")
+	}
+}
+
+func TestHistogramObserveN(t *testing.T) {
+	h := NewHistogram(5)
+	h.ObserveN(3, 100)
+	if h.Total() != 100 || h.Buckets()[0].Count != 100 {
+		t.Errorf("ObserveN failed: total=%d", h.Total())
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	h := NewHistogram(10)
+	h.Observe(-5)
+	if h.Buckets()[0].Count != 1 {
+		t.Error("negative observation should clamp to bucket 0")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(10)
+	if h.Buckets() != nil {
+		t.Error("empty histogram should have no buckets")
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(10)
+	h.Observe(15)
+	out := h.Render("posted")
+	if !strings.Contains(out, "posted") || !strings.Contains(out, "10-19") {
+		t.Errorf("Render output missing fields:\n%s", out)
+	}
+}
+
+func TestStatsKnownValues(t *testing.T) {
+	var s Stats
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Sample stddev with n-1: sqrt(32/7) ≈ 2.138.
+	if got := s.StdDev(); math.Abs(got-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 || s.N() != 8 {
+		t.Errorf("min/max/n = %v/%v/%d", s.Min(), s.Max(), s.N())
+	}
+}
+
+func TestStatsEmptyAndSingle(t *testing.T) {
+	var s Stats
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty stats should be zero")
+	}
+	s.Add(42)
+	if s.Mean() != 42 || s.StdDev() != 0 {
+		t.Errorf("single-sample stats wrong: %v", s.String())
+	}
+}
+
+// Welford must agree with the two-pass formula on random data.
+func TestStatsWelfordProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var s Stats
+		var sum float64
+		for _, v := range raw {
+			s.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		var m2 float64
+		for _, v := range raw {
+			d := float64(v) - mean
+			m2 += d * d
+		}
+		want := math.Sqrt(m2 / float64(len(raw)-1))
+		return math.Abs(s.StdDev()-want) < 1e-6*(1+want) &&
+			math.Abs(s.Mean()-mean) < 1e-9*(1+math.Abs(mean))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("T", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 2.5)
+	out := tb.Render()
+	if !strings.Contains(out, "== T ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.5") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`x,y`, `q"z`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"q""z"`) {
+		t.Errorf("CSV quoting wrong:\n%s", csv)
+	}
+}
+
+func TestSeriesAndFigure(t *testing.T) {
+	f := NewFigure("fig", "x", "y")
+	a := f.AddSeries("a")
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b := f.AddSeries("b")
+	b.Add(2, 99)
+	if f.Get("a") != a || f.Get("missing") != nil {
+		t.Error("Get lookup broken")
+	}
+	if y := a.YAt(2); y != 20 {
+		t.Errorf("YAt(2) = %v", y)
+	}
+	if !math.IsNaN(b.YAt(1)) {
+		t.Error("YAt for absent x should be NaN")
+	}
+	out := f.Render()
+	if !strings.Contains(out, "fig") || !strings.Contains(out, "a") {
+		t.Errorf("figure render:\n%s", out)
+	}
+	// Missing points render as "-".
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing point not rendered as '-':\n%s", out)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := NewFigure("fig", "x", "y")
+	a := f.AddSeries("a")
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b := f.AddSeries("b")
+	b.Add(1, 5)
+	csv := f.CSV()
+	if !strings.Contains(csv, "x,a,b") {
+		t.Errorf("CSV header wrong:\n%s", csv)
+	}
+	if !strings.Contains(csv, "1,10,5") {
+		t.Errorf("CSV row wrong:\n%s", csv)
+	}
+	// Missing points render as empty cells.
+	if !strings.Contains(csv, "2,20,") {
+		t.Errorf("CSV missing-point handling wrong:\n%s", csv)
+	}
+}
+
+func TestPlotBasics(t *testing.T) {
+	f := NewFigure("curve", "depth", "MiB/s")
+	a := f.AddSeries("baseline")
+	b := f.AddSeries("lla")
+	for _, x := range []float64{1, 10, 100, 1000} {
+		a.Add(x, 1/x)
+		b.Add(x, 3/x)
+	}
+	out := f.Plot(40, 10)
+	if !strings.Contains(out, "curve") || !strings.Contains(out, "baseline") {
+		t.Errorf("plot missing title/legend:\n%s", out)
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Errorf("plot missing series marks:\n%s", out)
+	}
+	// Spanning 3 decades: both axes should be log.
+	if !strings.Contains(out, "[x:log y:log]") {
+		t.Errorf("expected log-log scales:\n%s", out)
+	}
+}
+
+func TestPlotLinearAndEmpty(t *testing.T) {
+	f := NewFigure("lin", "x", "y")
+	s := f.AddSeries("s")
+	s.Add(1, 5)
+	s.Add(2, 6)
+	out := f.Plot(0, 0)
+	if !strings.Contains(out, "[x:lin y:lin]") {
+		t.Errorf("small spans should stay linear:\n%s", out)
+	}
+	if got := NewFigure("e", "x", "y").Plot(10, 5); !strings.Contains(got, "empty") {
+		t.Errorf("empty figure plot: %q", got)
+	}
+}
+
+func TestAxisLabel(t *testing.T) {
+	cases := map[float64]string{0: "0", 1024: "1024", 1048576: "1e+06", 0.5: "0.5"}
+	for v, want := range cases {
+		if got := axisLabel(v); got != want {
+			t.Errorf("axisLabel(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestHistogramBars(t *testing.T) {
+	h := NewHistogram(10)
+	h.ObserveN(5, 1000)
+	h.ObserveN(15, 10)
+	h.Observe(35)
+	out := h.Bars("posted", 20)
+	if !strings.Contains(out, "posted") || !strings.Contains(out, "####") {
+		t.Errorf("Bars output:\n%s", out)
+	}
+	// The 0-count gap bucket renders an empty bar.
+	if !strings.Contains(out, "20-29") {
+		t.Errorf("gap bucket missing:\n%s", out)
+	}
+	if got := NewHistogram(5).Bars("e", 10); !strings.Contains(got, "empty") {
+		t.Errorf("empty bars: %q", got)
+	}
+}

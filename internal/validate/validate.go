@@ -1,0 +1,165 @@
+// Package validate cross-checks the cache simulator's predictions
+// against native execution on the host CPU.
+//
+// Absolute simulated cycle counts cannot be validated against the host
+// (the simulator models the paper's Xeons, not whatever runs the tests,
+// and Go's runtime sits between), but *orderings* can: if the simulator
+// says structure A beats structure B on a deep cold search, the same
+// algorithmic layout effects — pointer chasing versus packed slices —
+// must order A before B in native wall time too. The repro band for
+// this paper warns that Go's GC and scheduler obscure cache-locality
+// effects; this package measures how much ordering survives anyway, and
+// the validation test asserts the survivable part (baseline versus
+// packed structures), not fragile micro-differences.
+package validate
+
+import (
+	"sort"
+	"time"
+
+	"spco/internal/cache"
+	"spco/internal/match"
+	"spco/internal/matchlist"
+	"spco/internal/simmem"
+)
+
+// Variant names one structure configuration under comparison.
+type Variant struct {
+	Name           string
+	Kind           matchlist.Kind
+	EntriesPerNode int
+}
+
+// DefaultVariants compares the paper's central contrast.
+func DefaultVariants() []Variant {
+	return []Variant{
+		{Name: "baseline", Kind: matchlist.KindBaseline},
+		{Name: "lla-2", Kind: matchlist.KindLLA, EntriesPerNode: 2},
+		{Name: "lla-8", Kind: matchlist.KindLLA, EntriesPerNode: 8},
+	}
+}
+
+// Measurement pairs a variant's simulated and native costs for the
+// deep-search workload.
+type Measurement struct {
+	Variant   Variant
+	SimCycles uint64  // simulated cold-search cycles (SandyBridge)
+	NativeNS  float64 // native ns per search on the host
+}
+
+// Result is a full comparison.
+type Result struct {
+	Measurements []Measurement
+
+	// Concordant counts variant pairs ordered identically by simulator
+	// and native timing; Discordant counts inversions. Their normalised
+	// difference is Kendall's tau.
+	Concordant, Discordant int
+}
+
+// Tau returns Kendall's rank correlation between simulated and native
+// orderings (1 = identical order).
+func (r Result) Tau() float64 {
+	n := r.Concordant + r.Discordant
+	if n == 0 {
+		return 0
+	}
+	return float64(r.Concordant-r.Discordant) / float64(n)
+}
+
+// simSearchCycles measures a cold deep search on the simulator.
+func simSearchCycles(v Variant, depth int) uint64 {
+	h := cache.New(cache.SandyBridge)
+	acc := matchlist.NewCacheAccessor(h, 0)
+	l := matchlist.NewPosted(v.Kind, matchlist.Config{
+		Space: simmem.NewSpace(), Acc: acc,
+		EntriesPerNode: v.EntriesPerNode, Bins: 256, CommSize: 64,
+	})
+	for i := 0; i < depth; i++ {
+		l.Post(match.NewPosted(0, 100000+i, 1, uint64(i)))
+	}
+	l.Post(match.NewPosted(1, 7, 1, 999))
+	h.Flush()
+	acc.Reset()
+	if _, _, ok := l.Search(match.Envelope{Rank: 1, Tag: 7, Ctx: 1}); !ok {
+		panic("validate: lost entry")
+	}
+	return acc.Cycles
+}
+
+// nativeSearchNS times the same search pattern natively (FreeAccessor;
+// the structures' real Go data layouts carry the locality effects).
+// It reports the best of several rounds, suppressing scheduler noise.
+func nativeSearchNS(v Variant, depth, rounds int) float64 {
+	l := matchlist.NewPosted(v.Kind, matchlist.Config{
+		Space: simmem.NewSpace(), Acc: matchlist.FreeAccessor{},
+		EntriesPerNode: v.EntriesPerNode, Bins: 256, CommSize: 64,
+	})
+	for i := 0; i < depth; i++ {
+		l.Post(match.NewPosted(0, 100000+i, 1, uint64(i)))
+	}
+	best := time.Duration(1 << 62)
+	const perRound = 64
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		for i := 0; i < perRound; i++ {
+			l.Post(match.NewPosted(1, 7, 1, 999))
+			if _, _, ok := l.Search(match.Envelope{Rank: 1, Tag: 7, Ctx: 1}); !ok {
+				panic("validate: lost entry")
+			}
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / perRound
+}
+
+// Compare measures all variants at the given depth and computes the
+// ordering concordance.
+func Compare(variants []Variant, depth, rounds int) Result {
+	if rounds <= 0 {
+		rounds = 5
+	}
+	var res Result
+	for _, v := range variants {
+		res.Measurements = append(res.Measurements, Measurement{
+			Variant:   v,
+			SimCycles: simSearchCycles(v, depth),
+			NativeNS:  nativeSearchNS(v, depth, rounds),
+		})
+	}
+	for i := 0; i < len(res.Measurements); i++ {
+		for j := i + 1; j < len(res.Measurements); j++ {
+			a, b := res.Measurements[i], res.Measurements[j]
+			simOrder := sign(int64(a.SimCycles) - int64(b.SimCycles))
+			natOrder := sign(int64(a.NativeNS - b.NativeNS))
+			if simOrder == 0 || natOrder == 0 {
+				continue
+			}
+			if simOrder == natOrder {
+				res.Concordant++
+			} else {
+				res.Discordant++
+			}
+		}
+	}
+	return res
+}
+
+// SortedBySim returns the measurements ordered by simulated cost.
+func (r Result) SortedBySim() []Measurement {
+	out := append([]Measurement{}, r.Measurements...)
+	sort.Slice(out, func(i, j int) bool { return out[i].SimCycles < out[j].SimCycles })
+	return out
+}
+
+func sign(v int64) int {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,65 @@
+package validate
+
+import (
+	"testing"
+
+	"spco/internal/matchlist"
+)
+
+// The headline contrast — pointer-chasing baseline versus packed LLA —
+// must survive into native Go wall time, GC and scheduler
+// notwithstanding. This is the repro-band caveat made falsifiable.
+func TestBaselineVsLLAOrderingSurvivesNatively(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	res := Compare([]Variant{
+		{Name: "baseline", Kind: matchlist.KindBaseline},
+		{Name: "lla-8", Kind: matchlist.KindLLA, EntriesPerNode: 8},
+	}, 4096, 7)
+
+	var base, lla Measurement
+	for _, m := range res.Measurements {
+		switch m.Variant.Name {
+		case "baseline":
+			base = m
+		case "lla-8":
+			lla = m
+		}
+	}
+	if base.SimCycles <= lla.SimCycles {
+		t.Fatalf("simulator ordering wrong: baseline %d <= lla %d cycles",
+			base.SimCycles, lla.SimCycles)
+	}
+	if base.NativeNS <= lla.NativeNS {
+		t.Errorf("native ordering inverted: baseline %.0f ns <= lla %.0f ns "+
+			"(layout effects should survive the Go runtime at depth 4096)",
+			base.NativeNS, lla.NativeNS)
+	}
+}
+
+func TestCompareConcordance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	res := Compare(DefaultVariants(), 4096, 5)
+	if len(res.Measurements) != 3 {
+		t.Fatalf("measurements = %d", len(res.Measurements))
+	}
+	// Among the three paper variants, the sim ordering is
+	// baseline > lla-2 > lla-8; natively at least the coarse pair must
+	// agree, i.e. tau must be positive.
+	if res.Tau() <= 0 {
+		t.Errorf("Kendall tau = %.2f, want positive concordance", res.Tau())
+	}
+	sorted := res.SortedBySim()
+	if sorted[0].Variant.Kind != matchlist.KindLLA {
+		t.Errorf("cheapest simulated variant should be an LLA, got %s", sorted[0].Variant.Name)
+	}
+}
+
+func TestSign(t *testing.T) {
+	if sign(-3) != -1 || sign(3) != 1 || sign(0) != 0 {
+		t.Error("sign broken")
+	}
+}

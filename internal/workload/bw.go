@@ -1,0 +1,164 @@
+// Package workload implements the paper's benchmarks: the modified
+// OSU bandwidth microbenchmark driving the matching engine + cache
+// simulator (Figures 4-7), the multithreaded posting benchmark behind
+// Table 1, and the cache-heater random-access microbenchmark of
+// Section 4.3.
+package workload
+
+import (
+	"spco/internal/engine"
+	"spco/internal/match"
+	"spco/internal/netmodel"
+)
+
+// BWConfig parameterises one modified-osu_bw measurement point.
+//
+// The four modifications of Section 4.1 map as follows: receives are
+// pre-posted before arrivals (modification 1); the cache is cleared
+// between iterations, modeling the bulk-synchronous compute phase
+// (modification 2); the engine runs on a fixed core (modification 3);
+// QueueDepth unmatched entries pad the posted receive queue
+// (modification 4).
+type BWConfig struct {
+	Engine engine.Config
+	Fabric netmodel.Fabric
+
+	// QueueDepth is the number of permanently unmatched receives ahead
+	// of every real match (the x-axis of Figures 4b/4c etc.).
+	QueueDepth int
+
+	// MsgBytes is the message payload size.
+	MsgBytes uint64
+
+	// Window is the number of in-flight messages per iteration
+	// (osu_bw's default window of 64).
+	Window int
+
+	// Iters is the number of timed iterations.
+	Iters int
+
+	// FlushEvery controls how many messages elapse between cache
+	// clears: 1 (default) clears before every message, the tightest
+	// emulation of a compute phase separating communications.
+	FlushEvery int
+
+	// ComputePhaseNS is the modeled compute-phase duration handed to
+	// the heater on each clear.
+	ComputePhaseNS float64
+
+	// Observer, when set, is attached to the benchmark's engine (the
+	// mtrace recorder captures replayable traces this way).
+	Observer engine.Observer
+}
+
+func (c *BWConfig) defaults() {
+	if c.Window == 0 {
+		c.Window = 64
+	}
+	if c.Iters == 0 {
+		c.Iters = 10
+	}
+	if c.FlushEvery == 0 {
+		c.FlushEvery = 1
+	}
+	if c.ComputePhaseNS == 0 {
+		c.ComputePhaseNS = 1e6
+	}
+}
+
+// BWResult is one measurement point.
+type BWResult struct {
+	BandwidthMiBps  float64 // the figures' y axis
+	MsgRate         float64 // messages per second
+	NSPerMsg        float64
+	CPUCyclesPerMsg float64
+	MeanDepth       float64
+}
+
+// unmatchedTag spaces filler tags away from real message tags.
+const unmatchedTag = 1 << 20
+
+// RunBW runs the modified osu_bw pattern against a fresh engine and
+// returns the measured bandwidth. Deterministic: same config, same
+// result.
+func RunBW(cfg BWConfig) BWResult {
+	cfg.defaults()
+	en := engine.New(cfg.Engine)
+	if cfg.Observer != nil {
+		en.SetObserver(cfg.Observer)
+	}
+
+	// Modification 4: pad the PRQ with unmatched receives. They use a
+	// source rank no sender uses, so every real match walks past them.
+	for i := 0; i < cfg.QueueDepth; i++ {
+		en.PostRecv(0, unmatchedTag+i, 1, uint64(1e9)+uint64(i))
+	}
+
+	gapNS := cfg.Fabric.MessageGapNS(cfg.MsgBytes)
+	var totalNS float64
+	var totalCycles uint64
+	msgs := 0
+
+	req := uint64(1)
+	for it := 0; it < cfg.Iters; it++ {
+		// Modification 1: pre-post the window's receives (the barrier
+		// guarantees they beat the data).
+		var postCy uint64
+		for w := 0; w < cfg.Window; w++ {
+			_, _, cy := en.PostRecv(1, w, 1, req)
+			req++
+			postCy += cy
+		}
+		iterNS := cfg.Fabric.LatencyNS // pipeline fill
+		for w := 0; w < cfg.Window; w++ {
+			if w%cfg.FlushEvery == 0 {
+				// Modification 2: the compute phase destroys cache
+				// state (and the heater re-warms its registry).
+				en.BeginComputePhase(cfg.ComputePhaseNS)
+			}
+			_, matched, cy := en.Arrive(match.Envelope{Rank: 1, Tag: int32(w), Ctx: 1}, uint64(w))
+			if !matched {
+				panic("workload: pre-posted receive did not match")
+			}
+			cy += postCy / uint64(cfg.Window) // amortise posting
+			totalCycles += cy
+			cpuNS := cfg.Engine.Profile.CyclesToNanos(cy) + cfg.Fabric.OverheadNS
+			if cpuNS > gapNS {
+				iterNS += cpuNS
+			} else {
+				iterNS += gapNS
+			}
+			msgs++
+		}
+		totalNS += iterNS
+	}
+
+	res := BWResult{
+		NSPerMsg:        totalNS / float64(msgs),
+		CPUCyclesPerMsg: float64(totalCycles) / float64(msgs),
+		MeanDepth:       en.Stats().MeanPRQDepth(),
+	}
+	res.MsgRate = 1e9 / res.NSPerMsg
+	res.BandwidthMiBps = res.MsgRate * float64(cfg.MsgBytes) / (1 << 20)
+	return res
+}
+
+// MsgSizeSweep returns the paper's message-size x axis: 1 B to 1 MiB in
+// powers of two (Figures 4a/5a/6a/7a).
+func MsgSizeSweep() []uint64 {
+	var out []uint64
+	for b := uint64(1); b <= 1<<20; b <<= 1 {
+		out = append(out, b)
+	}
+	return out
+}
+
+// DepthSweep returns the paper's queue-depth x axis: 1 to 8192 in
+// powers of two (Figures 4b/4c etc.).
+func DepthSweep() []int {
+	var out []int
+	for d := 1; d <= 8192; d <<= 1 {
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"spco/internal/cache"
+	"spco/internal/hotcache"
+	"spco/internal/simmem"
+)
+
+// HCMicroConfig parameterises the Section 4.3 cache-heater
+// microbenchmark: a random-access walk over a region, cold versus
+// heated. Random accesses with a 128-byte stride defeat every
+// prefetcher, isolating pure residency effects.
+type HCMicroConfig struct {
+	Profile cache.Profile
+	Lines   int // distinct lines visited (each once per pass)
+	Seed    uint64
+}
+
+// HCMicroResult reports per-access latency, the numbers the paper
+// quotes (Sandy Bridge 47.5 -> 22.9 ns, Broadwell 38.5 -> 22.8 ns).
+type HCMicroResult struct {
+	ColdNS   float64
+	HeatedNS float64
+	Speedup  float64
+}
+
+// RunHCMicro measures the walk cold and heated. The heated measurement
+// runs between heater sweeps (the heater has just refreshed the region
+// and is sleeping), matching how the paper's standalone heater
+// benchmark samples.
+func RunHCMicro(cfg HCMicroConfig) HCMicroResult {
+	if cfg.Lines == 0 {
+		cfg.Lines = 4096
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 12345
+	}
+	h := cache.New(cfg.Profile)
+	space := simmem.NewSpace()
+	n := uint64(cfg.Lines)
+	// Stride-4: neither buddy nor next-pair lines are ever visited, so
+	// no prefetcher can mask residency.
+	base := space.AllocLines(4 * n)
+	perm := permutation(n, cfg.Seed)
+	addr := func(i uint64) simmem.Addr {
+		return base + simmem.Addr(4*i*simmem.LineSize)
+	}
+
+	h.Flush()
+	var cold uint64
+	for _, i := range perm {
+		cold += h.Access(0, addr(i), 4)
+	}
+
+	heater := hotcache.New(h, 1, hotcache.Options{})
+	heater.RegionAdded(simmem.Region{Base: base, Size: 4 * n * simmem.LineSize})
+	h.Flush()
+	heater.Sweep(1e9)
+	var heated uint64
+	for _, i := range perm {
+		heated += h.Access(0, addr(i), 4)
+	}
+
+	res := HCMicroResult{
+		ColdNS:   cfg.Profile.CyclesToNanos(cold) / float64(n),
+		HeatedNS: cfg.Profile.CyclesToNanos(heated) / float64(n),
+	}
+	res.Speedup = res.ColdNS / res.HeatedNS
+	return res
+}
+
+// permutation returns a deterministic pseudo-random permutation of
+// [0, n) (splitmix-style LCG shuffle).
+func permutation(n, seed uint64) []uint64 {
+	p := make([]uint64, n)
+	for i := range p {
+		p[i] = uint64(i)
+	}
+	s := seed
+	for i := n - 1; i > 0; i-- {
+		s = s*6364136223846793005 + 1442695040888963407
+		j := (s >> 33) % (i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"spco/internal/engine"
+	"spco/internal/match"
+	"spco/internal/netmodel"
+)
+
+// LatConfig parameterises the modified osu_latency benchmark (the
+// second OSU microbenchmark Section 4.1 lists). A ping-pong with
+// pre-posted receives, cache-clearing compute phases, and a padded
+// posted-receive queue; the figure of merit is one-way latency.
+type LatConfig struct {
+	Engine engine.Config
+	Fabric netmodel.Fabric
+
+	QueueDepth int
+	MsgBytes   uint64
+	Iters      int
+
+	ComputePhaseNS float64
+}
+
+func (c *LatConfig) defaults() {
+	if c.Iters == 0 {
+		c.Iters = 100
+	}
+	if c.ComputePhaseNS == 0 {
+		c.ComputePhaseNS = 1e6
+	}
+}
+
+// LatResult is one osu_latency measurement.
+type LatResult struct {
+	OneWayUS        float64
+	CPUCyclesPerMsg float64
+	MeanDepth       float64
+}
+
+// RunLat measures the modified ping-pong. Both directions traverse a
+// matching engine; the two ranks' engines are symmetric so one modeled
+// engine serves both sides alternately, as the paper's single-match-
+// engine focus warrants. Deterministic.
+func RunLat(cfg LatConfig) LatResult {
+	cfg.defaults()
+	en := engine.New(cfg.Engine)
+	for i := 0; i < cfg.QueueDepth; i++ {
+		en.PostRecv(0, unmatchedTag+i, 1, uint64(1e9)+uint64(i))
+	}
+
+	var totalCycles uint64
+	var totalNS float64
+	for it := 0; it < cfg.Iters; it++ {
+		en.BeginComputePhase(cfg.ComputePhaseNS)
+		// Pre-posted receive, then the ping arrives and matches.
+		_, _, postCy := en.PostRecv(1, it, 1, uint64(it))
+		_, matched, cy := en.Arrive(match.Envelope{Rank: 1, Tag: int32(it), Ctx: 1}, uint64(it))
+		if !matched {
+			panic("workload: ping did not match")
+		}
+		cy += postCy
+		totalCycles += cy
+		totalNS += cfg.Engine.Profile.CyclesToNanos(cy) +
+			cfg.Fabric.OverheadNS + cfg.Fabric.LatencyNS +
+			cfg.Fabric.SerializationNS(cfg.MsgBytes)
+	}
+
+	n := float64(cfg.Iters)
+	return LatResult{
+		OneWayUS:        totalNS / n / 1e3,
+		CPUCyclesPerMsg: float64(totalCycles) / n,
+		MeanDepth:       en.Stats().MeanPRQDepth(),
+	}
+}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"sync"
+
+	"spco/internal/match"
+	"spco/internal/matchlist"
+	"spco/internal/simmem"
+	"spco/internal/stencil"
+	"spco/internal/trace"
+)
+
+// MTConfig parameterises the Section 2.3 multithreaded matching
+// benchmark: a receiving MPI process decomposed into threads posting
+// stencil receives during a BSP communication phase, and a sending
+// proxy process whose threads issue the matching sends. Entries land in
+// the shared match list in whatever order goroutine scheduling and lock
+// contention produce — exactly the nondeterminacy the paper measures.
+type MTConfig struct {
+	Decomp  stencil.Decomp
+	Stencil stencil.Stencil
+	Trials  int
+}
+
+// MTResult is one Table 1 row.
+type MTResult struct {
+	Decomp  stencil.Decomp
+	Stencil stencil.Stencil
+	TR      int         // threads posting receives
+	TS      int         // sending threads
+	Length  int         // match-list length after the posting phase
+	Depth   trace.Stats // search depths across all messages and trials
+}
+
+// msgKey identifies one message: the receiving thread and the stencil
+// direction it came from.
+type msgKey struct {
+	thread int
+	dir    int
+}
+
+// RunMT executes the benchmark. Each trial posts all receives from tr
+// concurrent goroutines, verifies the list length, then delivers all
+// messages from ts concurrent sender goroutines, recording the search
+// depth of every match.
+func RunMT(cfg MTConfig) MTResult {
+	if cfg.Trials == 0 {
+		cfg.Trials = 10
+	}
+	res := MTResult{
+		Decomp:  cfg.Decomp,
+		Stencil: cfg.Stencil,
+		TR:      stencil.ReceivingThreads(cfg.Decomp, cfg.Stencil),
+		TS:      stencil.SendingThreads(cfg.Decomp, cfg.Stencil),
+		Length:  stencil.TotalMessages(cfg.Decomp, cfg.Stencil),
+	}
+
+	offsets := cfg.Stencil.Offsets()
+	// Tag encodes (thread, direction): each message matches exactly one
+	// receive, as the benchmark's similarly-decomposed neighbours imply.
+	tagOf := func(k msgKey) int { return k.thread*32 + k.dir }
+
+	// Per receiving thread, the directions it receives from.
+	perThread := make(map[int][]int)
+	for t, n := range stencil.Messages(cfg.Decomp, cfg.Stencil) {
+		_ = n
+		for d := range offsets {
+			if remote(cfg.Decomp, cfg.Stencil, t, d) {
+				perThread[t] = append(perThread[t], d)
+			}
+		}
+	}
+
+	// Sender side: group messages by sending thread. The thread in the
+	// neighbouring process that owns the facing cell sends the message;
+	// we identify it by (direction, receiving thread), which partitions
+	// messages into exactly ts groups.
+	senderGroups := make(map[msgKey][]msgKey) // sender id -> messages
+	for t, dirs := range perThread {
+		for _, d := range dirs {
+			sender := msgKey{thread: t, dir: d} // 1:1 here: ts senders
+			senderGroups[sender] = append(senderGroups[sender], msgKey{thread: t, dir: d})
+		}
+	}
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		list := matchlist.NewPosted(matchlist.KindBaseline, matchlist.Config{
+			Space: simmem.NewSpace(),
+			Acc:   matchlist.FreeAccessor{},
+		})
+		var mu sync.Mutex
+
+		// Phase 1: all receiving threads post concurrently
+		// (MPI_THREAD_MULTIPLE: the engine lock serialises, the
+		// scheduler decides the order).
+		var wg sync.WaitGroup
+		for t, dirs := range perThread {
+			wg.Add(1)
+			go func(t int, dirs []int) {
+				defer wg.Done()
+				for _, d := range dirs {
+					mu.Lock()
+					list.Post(match.NewPosted(d, tagOf(msgKey{t, d}), 1, uint64(tagOf(msgKey{t, d}))))
+					mu.Unlock()
+				}
+			}(t, dirs)
+		}
+		wg.Wait()
+
+		if got := list.Len(); got != res.Length {
+			panic("workload: posted list length mismatch")
+		}
+
+		// Phase 2: the sending proxy's threads deliver concurrently;
+		// each arrival searches the shared list.
+		depths := make(chan int, res.Length)
+		for _, msgs := range senderGroups {
+			wg.Add(1)
+			go func(msgs []msgKey) {
+				defer wg.Done()
+				for _, m := range msgs {
+					mu.Lock()
+					_, depth, ok := list.Search(match.Envelope{
+						Rank: int32(m.dir), Tag: int32(tagOf(m)), Ctx: 1,
+					})
+					mu.Unlock()
+					if !ok {
+						panic("workload: message found no posted receive")
+					}
+					depths <- depth
+				}
+			}(msgs)
+		}
+		wg.Wait()
+		close(depths)
+		for d := range depths {
+			res.Depth.Add(float64(d))
+		}
+	}
+	return res
+}
+
+// remote reports whether thread t's stencil direction d leaves the
+// decomposition (hence is a real MPI message).
+func remote(dec stencil.Decomp, s stencil.Stencil, t, d int) bool {
+	for _, dd := range remoteDirs(dec, s, t) {
+		if dd == d {
+			return true
+		}
+	}
+	return false
+}
+
+func remoteDirs(dec stencil.Decomp, s stencil.Stencil, t int) []int {
+	offs := s.Offsets()
+	var out []int
+	for i := range offs {
+		if stencil.IsRemote(dec, s, t, i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Table1Decomps returns the ten configurations of Table 1.
+func Table1Decomps() []MTConfig {
+	return []MTConfig{
+		{Decomp: stencil.Decomp{X: 32, Y: 32}, Stencil: stencil.Star2D5},
+		{Decomp: stencil.Decomp{X: 64, Y: 32}, Stencil: stencil.Star2D5},
+		{Decomp: stencil.Decomp{X: 32, Y: 32}, Stencil: stencil.Full2D9},
+		{Decomp: stencil.Decomp{X: 64, Y: 32}, Stencil: stencil.Full2D9},
+		{Decomp: stencil.Decomp{X: 8, Y: 8, Z: 4}, Stencil: stencil.Star3D7},
+		{Decomp: stencil.Decomp{X: 1, Y: 1, Z: 128}, Stencil: stencil.Star3D7},
+		{Decomp: stencil.Decomp{X: 1, Y: 1, Z: 256}, Stencil: stencil.Star3D7},
+		{Decomp: stencil.Decomp{X: 8, Y: 8, Z: 4}, Stencil: stencil.Full3D27},
+		{Decomp: stencil.Decomp{X: 1, Y: 1, Z: 128}, Stencil: stencil.Full3D27},
+		{Decomp: stencil.Decomp{X: 1, Y: 1, Z: 256}, Stencil: stencil.Full3D27},
+	}
+}

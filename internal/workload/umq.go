@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"spco/internal/engine"
+	"spco/internal/match"
+	"spco/internal/netmodel"
+)
+
+// UMQConfig parameterises the unexpected-message-queue benchmark, after
+// Underwood and Brightwell's microbenchmarks ("the impact of MPI queue
+// usage on message latency", cited in Section 5) and Keller & Graham's
+// UMQ characterisation: UDepth unexpected messages arrive before the
+// receive is posted, so every receive searches a deep UMQ.
+type UMQConfig struct {
+	Engine engine.Config
+	Fabric netmodel.Fabric
+
+	// UDepth is the number of permanently unexpected messages preceding
+	// each measured receive's match.
+	UDepth int
+
+	// Recvs is the number of measured receives per iteration.
+	Recvs int
+
+	// Iters is the number of timed iterations.
+	Iters int
+
+	// ComputePhaseNS models the compute phase before each receive burst.
+	ComputePhaseNS float64
+}
+
+func (c *UMQConfig) defaults() {
+	if c.Recvs == 0 {
+		c.Recvs = 32
+	}
+	if c.Iters == 0 {
+		c.Iters = 5
+	}
+	if c.ComputePhaseNS == 0 {
+		c.ComputePhaseNS = 1e6
+	}
+}
+
+// UMQResult is one measurement point.
+type UMQResult struct {
+	NSPerRecv        float64 // modeled latency of one late-posted receive
+	CPUCyclesPerRecv float64
+	MeanUMQDepth     float64
+}
+
+// RunUMQ measures the cost of posting receives against a deep
+// unexpected queue. Deterministic.
+func RunUMQ(cfg UMQConfig) UMQResult {
+	cfg.defaults()
+	en := engine.New(cfg.Engine)
+
+	// The permanent unexpected backlog: messages from a source no
+	// receive ever names.
+	for i := 0; i < cfg.UDepth; i++ {
+		en.Arrive(match.Envelope{Rank: 63, Tag: int32(unmatchedTag + i), Ctx: 1}, uint64(1e9)+uint64(i))
+	}
+
+	var totalCycles uint64
+	var totalNS float64
+	recvs := 0
+	tag := 0
+	for it := 0; it < cfg.Iters; it++ {
+		// The messages of this iteration arrive first (eagerly buffered).
+		for r := 0; r < cfg.Recvs; r++ {
+			en.Arrive(match.Envelope{Rank: 1, Tag: int32(tag + r), Ctx: 1}, uint64(tag+r))
+		}
+		en.BeginComputePhase(cfg.ComputePhaseNS)
+		// The application posts its receives late: each searches past
+		// the whole unexpected backlog.
+		for r := 0; r < cfg.Recvs; r++ {
+			msg, ok, cy := en.PostRecv(1, tag+r, 1, uint64(tag+r))
+			if !ok || msg != uint64(tag+r) {
+				panic("workload: unexpected message not found")
+			}
+			totalCycles += cy
+			totalNS += cfg.Engine.Profile.CyclesToNanos(cy) + cfg.Fabric.OverheadNS/2
+			recvs++
+		}
+		tag += cfg.Recvs
+	}
+
+	return UMQResult{
+		NSPerRecv:        totalNS / float64(recvs),
+		CPUCyclesPerRecv: float64(totalCycles) / float64(recvs),
+		MeanUMQDepth:     en.Stats().MeanUMQDepth(),
+	}
+}

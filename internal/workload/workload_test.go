@@ -1,0 +1,319 @@
+package workload
+
+import (
+	"testing"
+
+	"spco/internal/cache"
+	"spco/internal/engine"
+	"spco/internal/matchlist"
+	"spco/internal/netmodel"
+	"spco/internal/stencil"
+)
+
+func bwPoint(prof cache.Profile, fab netmodel.Fabric, kind matchlist.Kind, k, depth int,
+	bytes uint64, hot, pool bool) BWResult {
+	return RunBW(BWConfig{
+		Engine: engine.Config{
+			Profile:        prof,
+			Kind:           kind,
+			EntriesPerNode: k,
+			Pool:           pool,
+			HotCache:       hot,
+		},
+		Fabric:     fab,
+		QueueDepth: depth,
+		MsgBytes:   bytes,
+		Window:     64,
+		Iters:      3,
+	})
+}
+
+func TestBWDeterministic(t *testing.T) {
+	a := bwPoint(cache.SandyBridge, netmodel.IBQDR, matchlist.KindLLA, 8, 128, 1, false, false)
+	b := bwPoint(cache.SandyBridge, netmodel.IBQDR, matchlist.KindLLA, 8, 128, 1, false, false)
+	if a != b {
+		t.Errorf("RunBW not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestBWDepthAccounting(t *testing.T) {
+	r := bwPoint(cache.SandyBridge, netmodel.IBQDR, matchlist.KindBaseline, 0, 100, 1, false, false)
+	if r.MeanDepth < 100 || r.MeanDepth > 102 {
+		t.Errorf("MeanDepth = %v, want ~101 (100 fillers + the match)", r.MeanDepth)
+	}
+}
+
+// Figure 4b's headline: at a deep queue, LLA beats baseline by a large
+// factor, the gain grows from K=2 to K=8, and plateaus beyond 8.
+func TestSpatialLocalityShape(t *testing.T) {
+	depth := 1024
+	base := bwPoint(cache.SandyBridge, netmodel.IBQDR, matchlist.KindBaseline, 0, depth, 1, false, false)
+	var lla [6]BWResult
+	for i, k := range []int{2, 4, 8, 16, 32} {
+		lla[i] = bwPoint(cache.SandyBridge, netmodel.IBQDR, matchlist.KindLLA, k, depth, 1, false, false)
+	}
+	if lla[0].BandwidthMiBps < base.BandwidthMiBps*1.5 {
+		t.Errorf("LLA-2 (%.4f) should be >= 1.5x baseline (%.4f)",
+			lla[0].BandwidthMiBps, base.BandwidthMiBps)
+	}
+	if lla[2].BandwidthMiBps <= lla[0].BandwidthMiBps {
+		t.Errorf("LLA-8 (%.4f) should beat LLA-2 (%.4f)",
+			lla[2].BandwidthMiBps, lla[0].BandwidthMiBps)
+	}
+	// Plateau: 16 and 32 within 10% of 8.
+	for i, k := range []int{16, 32} {
+		ratio := lla[3+i].BandwidthMiBps / lla[2].BandwidthMiBps
+		if ratio < 0.90 || ratio > 1.15 {
+			t.Errorf("LLA-%d/LLA-8 = %.3f, want plateau (0.90..1.15)", k, ratio)
+		}
+	}
+}
+
+// Figures 4a/5a: at 1 MiB messages the wire dominates and all variants
+// converge.
+func TestLargeMessageConvergence(t *testing.T) {
+	const depth = 1024
+	base := bwPoint(cache.SandyBridge, netmodel.IBQDR, matchlist.KindBaseline, 0, depth, 1<<20, false, false)
+	lla := bwPoint(cache.SandyBridge, netmodel.IBQDR, matchlist.KindLLA, 8, depth, 1<<20, false, false)
+	ratio := lla.BandwidthMiBps / base.BandwidthMiBps
+	if ratio > 1.25 {
+		t.Errorf("at 1 MiB LLA/baseline = %.3f, want near 1 (wire-bound)", ratio)
+	}
+	// And the absolute value should approach the fabric limit.
+	wire := netmodel.IBQDR.BandwidthBps / (1 << 20) // MiB/s
+	if lla.BandwidthMiBps < 0.5*wire {
+		t.Errorf("1 MiB bandwidth %.1f MiB/s too far below wire %.1f", lla.BandwidthMiBps, wire)
+	}
+}
+
+// Figure 6 vs Figure 7: hot caching helps on Sandy Bridge and does not
+// on Broadwell (the paper's sign flip).
+func TestHotCacheSignFlip(t *testing.T) {
+	const depth = 1024
+	sbBase := bwPoint(cache.SandyBridge, netmodel.IBQDR, matchlist.KindBaseline, 0, depth, 1, false, false)
+	sbHot := bwPoint(cache.SandyBridge, netmodel.IBQDR, matchlist.KindBaseline, 0, depth, 1, true, false)
+	if sbHot.BandwidthMiBps < sbBase.BandwidthMiBps*1.3 {
+		t.Errorf("Sandy Bridge HC (%.4f) should clearly beat baseline (%.4f)",
+			sbHot.BandwidthMiBps, sbBase.BandwidthMiBps)
+	}
+
+	bwBase := bwPoint(cache.Broadwell, netmodel.OmniPath, matchlist.KindBaseline, 0, depth, 1, false, false)
+	bwHot := bwPoint(cache.Broadwell, netmodel.OmniPath, matchlist.KindBaseline, 0, depth, 1, true, false)
+	if bwHot.BandwidthMiBps > bwBase.BandwidthMiBps*1.02 {
+		t.Errorf("Broadwell HC (%.4f) should not beat baseline (%.4f)",
+			bwHot.BandwidthMiBps, bwBase.BandwidthMiBps)
+	}
+}
+
+// HC+LLA with the element pool avoids the synchronisation overhead and
+// is the best Sandy Bridge configuration (Figure 6).
+func TestHCLLABestOnSandyBridge(t *testing.T) {
+	const depth = 1024
+	lla := bwPoint(cache.SandyBridge, netmodel.IBQDR, matchlist.KindLLA, 2, depth, 1, false, false)
+	hclla := bwPoint(cache.SandyBridge, netmodel.IBQDR, matchlist.KindLLA, 2, depth, 1, true, true)
+	if hclla.BandwidthMiBps <= lla.BandwidthMiBps {
+		t.Errorf("HC+LLA (%.4f) should beat LLA alone (%.4f) on Sandy Bridge",
+			hclla.BandwidthMiBps, lla.BandwidthMiBps)
+	}
+}
+
+func TestBandwidthDropsWithDepth(t *testing.T) {
+	shallow := bwPoint(cache.SandyBridge, netmodel.IBQDR, matchlist.KindBaseline, 0, 1, 1, false, false)
+	deep := bwPoint(cache.SandyBridge, netmodel.IBQDR, matchlist.KindBaseline, 0, 4096, 1, false, false)
+	if deep.BandwidthMiBps >= shallow.BandwidthMiBps {
+		t.Error("deeper queues must reduce small-message bandwidth")
+	}
+}
+
+func TestSweepHelpers(t *testing.T) {
+	sizes := MsgSizeSweep()
+	if sizes[0] != 1 || sizes[len(sizes)-1] != 1<<20 || len(sizes) != 21 {
+		t.Errorf("MsgSizeSweep: %v", sizes)
+	}
+	depths := DepthSweep()
+	if depths[0] != 1 || depths[len(depths)-1] != 8192 || len(depths) != 14 {
+		t.Errorf("DepthSweep: %v", depths)
+	}
+}
+
+// Table 1: the multithreaded benchmark reproduces tr/ts/length exactly
+// and mean search depth near length/4 (random posting against random
+// sending, shrinking list).
+func TestRunMTTable1Row(t *testing.T) {
+	r := RunMT(MTConfig{
+		Decomp:  stencil.Decomp{X: 32, Y: 32},
+		Stencil: stencil.Star2D5,
+		Trials:  3,
+	})
+	if r.TR != 124 || r.TS != 128 || r.Length != 128 {
+		t.Fatalf("tr/ts/len = %d/%d/%d, want 124/128/128", r.TR, r.TS, r.Length)
+	}
+	mean := r.Depth.Mean()
+	// Paper reports 32.51; randomised interleavings land near N/4.
+	if mean < 20 || mean > 46 {
+		t.Errorf("mean depth = %.2f, want ~32 (N/4)", mean)
+	}
+	if r.Depth.N() != uint64(3*128) {
+		t.Errorf("depth samples = %d, want 384", r.Depth.N())
+	}
+}
+
+func TestRunMT3D(t *testing.T) {
+	r := RunMT(MTConfig{
+		Decomp:  stencil.Decomp{X: 8, Y: 8, Z: 4},
+		Stencil: stencil.Star3D7,
+		Trials:  2,
+	})
+	if r.Length != 256 || r.TS != 256 || r.TR != 184 {
+		t.Fatalf("3D row mismatch: %+v", r)
+	}
+	if r.Depth.Mean() < 40 || r.Depth.Mean() > 90 {
+		t.Errorf("3D mean depth = %.2f, want ~64", r.Depth.Mean())
+	}
+}
+
+func TestTable1DecompsComplete(t *testing.T) {
+	rows := Table1Decomps()
+	if len(rows) != 10 {
+		t.Fatalf("Table1Decomps = %d rows, want 10", len(rows))
+	}
+	// Spot-check the largest row's derived length.
+	last := rows[9]
+	if got := stencil.TotalMessages(last.Decomp, last.Stencil); got != 6146 {
+		t.Errorf("row 10 length = %d, want 6146", got)
+	}
+}
+
+// The paper's Section 4.3 microbenchmark numbers, within 20%.
+func TestHCMicroCalibration(t *testing.T) {
+	cases := []struct {
+		prof         cache.Profile
+		cold, heated float64
+	}{
+		{cache.SandyBridge, 47.5, 22.9},
+		{cache.Broadwell, 38.5, 22.8},
+	}
+	for _, c := range cases {
+		r := RunHCMicro(HCMicroConfig{Profile: c.prof})
+		if ratio := r.ColdNS / c.cold; ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("%s cold = %.1f ns, want ~%.1f", c.prof.Name, r.ColdNS, c.cold)
+		}
+		if ratio := r.HeatedNS / c.heated; ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("%s heated = %.1f ns, want ~%.1f", c.prof.Name, r.HeatedNS, c.heated)
+		}
+		if r.Speedup < 1.5 {
+			t.Errorf("%s speedup = %.2f, want ~2x", c.prof.Name, r.Speedup)
+		}
+	}
+}
+
+func TestHCMicroDeterministic(t *testing.T) {
+	a := RunHCMicro(HCMicroConfig{Profile: cache.Nehalem, Lines: 512, Seed: 9})
+	b := RunHCMicro(HCMicroConfig{Profile: cache.Nehalem, Lines: 512, Seed: 9})
+	if a != b {
+		t.Error("RunHCMicro not deterministic")
+	}
+}
+
+func TestMTRateBasic(t *testing.T) {
+	r := RunMTRate(MTRateConfig{Threads: 2, OpsPerThread: 200, Kind: matchlist.KindLLA, EntriesPerNode: 8})
+	if r.Ops != 400 || r.MatchesPerSec <= 0 {
+		t.Errorf("MTRate result: %+v", r)
+	}
+}
+
+func TestMTRatePreloadDeepensSearch(t *testing.T) {
+	// With a deep preload, every match walks the unmatched prefix:
+	// throughput must drop substantially versus an empty list.
+	fast := RunMTRate(MTRateConfig{Threads: 1, OpsPerThread: 300, Kind: matchlist.KindBaseline})
+	slow := RunMTRate(MTRateConfig{Threads: 1, OpsPerThread: 300, Kind: matchlist.KindBaseline, Preload: 4096})
+	if slow.MatchesPerSec >= fast.MatchesPerSec/2 {
+		t.Errorf("preload should slash native throughput: %.0f vs %.0f matches/s",
+			slow.MatchesPerSec, fast.MatchesPerSec)
+	}
+}
+
+func TestUMQDepthAccounting(t *testing.T) {
+	r := RunUMQ(UMQConfig{
+		Engine: engine.Config{Profile: cache.SandyBridge, Kind: matchlist.KindLLA, EntriesPerNode: 2},
+		Fabric: netmodel.IBQDR,
+		UDepth: 100,
+		Recvs:  8,
+		Iters:  2,
+	})
+	// Each receive walks the 100-deep backlog plus this iteration's
+	// earlier-arrived messages.
+	if r.MeanUMQDepth < 100 {
+		t.Errorf("MeanUMQDepth = %.1f, want >= 100", r.MeanUMQDepth)
+	}
+	if r.NSPerRecv <= 0 {
+		t.Errorf("NSPerRecv = %v", r.NSPerRecv)
+	}
+}
+
+// The paper's locality thesis holds on the UMQ side too: the packed
+// 16-byte-entry UMQ beats the baseline's request-embedded entries.
+func TestUMQLocality(t *testing.T) {
+	run := func(kind matchlist.Kind) UMQResult {
+		return RunUMQ(UMQConfig{
+			Engine: engine.Config{Profile: cache.SandyBridge, Kind: kind, EntriesPerNode: 2},
+			Fabric: netmodel.IBQDR,
+			UDepth: 1024,
+			Recvs:  8,
+			Iters:  2,
+		})
+	}
+	base := run(matchlist.KindBaseline)
+	lla := run(matchlist.KindLLA)
+	if lla.CPUCyclesPerRecv*2 > base.CPUCyclesPerRecv {
+		t.Errorf("packed UMQ (%.0f cy) should be well under baseline (%.0f cy)",
+			lla.CPUCyclesPerRecv, base.CPUCyclesPerRecv)
+	}
+}
+
+func TestUMQDeterministic(t *testing.T) {
+	cfg := UMQConfig{
+		Engine: engine.Config{Profile: cache.Broadwell, Kind: matchlist.KindLLA, EntriesPerNode: 2},
+		Fabric: netmodel.OmniPath,
+		UDepth: 64, Recvs: 4, Iters: 2,
+	}
+	if RunUMQ(cfg) != RunUMQ(cfg) {
+		t.Error("RunUMQ not deterministic")
+	}
+}
+
+func TestLatBasics(t *testing.T) {
+	run := func(kind matchlist.Kind, depth int) LatResult {
+		return RunLat(LatConfig{
+			Engine:     engine.Config{Profile: cache.SandyBridge, Kind: kind, EntriesPerNode: 2},
+			Fabric:     netmodel.IBQDR,
+			QueueDepth: depth, MsgBytes: 1, Iters: 10,
+		})
+	}
+	shallow := run(matchlist.KindBaseline, 0)
+	deep := run(matchlist.KindBaseline, 2048)
+	if deep.OneWayUS <= shallow.OneWayUS {
+		t.Errorf("deep queue latency (%.2f us) should exceed shallow (%.2f us)",
+			deep.OneWayUS, shallow.OneWayUS)
+	}
+	// Locality shrinks the deep-queue penalty.
+	deepLLA := run(matchlist.KindLLA, 2048)
+	if deepLLA.OneWayUS >= deep.OneWayUS {
+		t.Errorf("LLA deep latency (%.2f us) should beat baseline (%.2f us)",
+			deepLLA.OneWayUS, deep.OneWayUS)
+	}
+	if shallow.OneWayUS < netmodel.IBQDR.LatencyNS/1e3 {
+		t.Error("latency below the wire floor")
+	}
+}
+
+func TestLatDeterministic(t *testing.T) {
+	cfg := LatConfig{
+		Engine:     engine.Config{Profile: cache.Broadwell, Kind: matchlist.KindLLA, EntriesPerNode: 4},
+		Fabric:     netmodel.OmniPath,
+		QueueDepth: 32, MsgBytes: 64, Iters: 5,
+	}
+	if RunLat(cfg) != RunLat(cfg) {
+		t.Error("RunLat not deterministic")
+	}
+}

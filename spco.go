@@ -1,0 +1,293 @@
+// Package spco (Semi-Permanent Cache Occupancy) reproduces the system
+// of "The Case for Semi-Permanent Cache Occupancy: Understanding the
+// Impact of Data Locality on Network Processing" (Dosanjh et al.,
+// ICPP 2018): an instrumented MPI message-matching engine for studying
+// how spatial and temporal data locality shape network processing
+// performance.
+//
+// The library provides, behind this facade:
+//
+//   - a cycle-accounting simulator of x86 cache hierarchies with the
+//     prefetchers the paper's analysis rests on (Sandy Bridge,
+//     Broadwell, Nehalem and KNL profiles);
+//   - MPI matching semantics and five posted-receive-queue structures:
+//     the MPICH-style linked-list baseline, the paper's linked list of
+//     arrays (LLA) with a configurable entries-per-node K, and the
+//     related-work comparators (hash bins, Open MPI rank arrays, the
+//     Zounmevo-Afsahi 4D decomposition);
+//   - hot caching: a heater that keeps the match queues semi-permanently
+//     resident in the shared cache, with the paper's locking and
+//     interference costs modeled;
+//   - a LogGP fabric model, a miniature MPI runtime for end-to-end
+//     application studies, proxy applications (MiniFE, AMG2013, FDS,
+//     MiniMD), and the complete experiment registry regenerating every
+//     table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	en := spco.NewEngine(spco.EngineConfig{
+//	    Profile:        spco.SandyBridge,
+//	    Kind:           spco.LLA,
+//	    EntriesPerNode: 8,
+//	})
+//	en.PostRecv(3, 42, 1, 100)
+//	req, ok, cycles := en.Arrive(spco.Envelope{Rank: 3, Tag: 42, Ctx: 1}, 0)
+//
+// See examples/ for runnable programs and cmd/spco-bench for the
+// experiment driver.
+package spco
+
+import (
+	"spco/internal/cache"
+	"spco/internal/engine"
+	"spco/internal/experiments"
+	"spco/internal/match"
+	"spco/internal/matchlist"
+	"spco/internal/motif"
+	"spco/internal/mpi"
+	"spco/internal/mtrace"
+	"spco/internal/netmodel"
+	"spco/internal/proxyapps"
+	"spco/internal/stencil"
+	"spco/internal/workload"
+)
+
+// Architecture profiles (Section 4.1's systems).
+type Profile = cache.Profile
+
+// The built-in machines.
+var (
+	SandyBridge = cache.SandyBridge
+	Broadwell   = cache.Broadwell
+	Nehalem     = cache.Nehalem
+	KNL         = cache.KNL
+)
+
+// ProfileByName looks up a built-in profile ("sandybridge", "broadwell",
+// "nehalem", "knl").
+func ProfileByName(name string) (Profile, bool) {
+	p, ok := cache.Profiles[name]
+	return p, ok
+}
+
+// WithNetworkCache extends a profile with the dedicated network cache
+// the paper's conclusions propose (an extension experiment; see the
+// "netcache" artifact). Engines can also request it directly via
+// EngineConfig.NetworkCache.
+func WithNetworkCache(p Profile, sizeBytes int) Profile {
+	return cache.WithNetworkCache(p, sizeBytes)
+}
+
+// Matching structures.
+type Kind = matchlist.Kind
+
+// The posted-receive-queue implementations: the paper's baseline and
+// LLA, the related-work comparators, and the extension kinds (a
+// Portals/BXI-style hardware offload with software spill, and the
+// MPICH-CH4-style per-communicator split).
+const (
+	Baseline  = matchlist.KindBaseline
+	LLA       = matchlist.KindLLA
+	HashBins  = matchlist.KindHashBins
+	RankArray = matchlist.KindRankArray
+	FourD     = matchlist.KindFourD
+	HWOffload = matchlist.KindHWOffload
+	PerComm   = matchlist.KindPerComm
+)
+
+// ParseKind maps a structure name to its Kind.
+func ParseKind(s string) (Kind, error) { return matchlist.ParseKind(s) }
+
+// Matching semantics.
+type (
+	// Envelope is the matching information an incoming message carries.
+	Envelope = match.Envelope
+	// Posted is a posted-receive entry.
+	Posted = match.Posted
+)
+
+// Wildcards.
+const (
+	AnySource = match.AnySource
+	AnyTag    = match.AnyTag
+)
+
+// The matching engine (the paper's instrument).
+type (
+	// Engine is a matching engine over the cache simulator.
+	Engine = engine.Engine
+	// EngineConfig parameterises an Engine.
+	EngineConfig = engine.Config
+	// EngineStats aggregates engine activity.
+	EngineStats = engine.Stats
+)
+
+// NewEngine builds a matching engine.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// Network fabrics.
+type Fabric = netmodel.Fabric
+
+// The built-in fabrics.
+var (
+	IBQDR       = netmodel.IBQDR
+	OmniPath    = netmodel.OmniPath
+	MellanoxQDR = netmodel.MellanoxQDR
+)
+
+// Mini-MPI runtime for end-to-end studies.
+type (
+	// World is a set of in-process ranks.
+	World = mpi.World
+	// WorldConfig parameterises a World.
+	WorldConfig = mpi.Config
+	// Proc is one rank of a World.
+	Proc = mpi.Proc
+	// Request is a nonblocking-operation handle.
+	Request = mpi.Request
+	// Comm is a communicator: isolated matching context, member group,
+	// and point-to-point binomial-tree collectives.
+	Comm = mpi.Comm
+)
+
+// NewWorld builds a world of ranks, each with its own engine.
+func NewWorld(cfg WorldConfig) *World { return mpi.NewWorld(cfg) }
+
+// Workloads (the paper's benchmarks).
+type (
+	// BWConfig parameterises the modified osu_bw benchmark.
+	BWConfig = workload.BWConfig
+	// BWResult is one bandwidth measurement.
+	BWResult = workload.BWResult
+	// MTConfig parameterises the Table 1 multithreaded benchmark.
+	MTConfig = workload.MTConfig
+	// MTResult is one Table 1 row.
+	MTResult = workload.MTResult
+	// HCMicroConfig parameterises the heater microbenchmark.
+	HCMicroConfig = workload.HCMicroConfig
+	// HCMicroResult reports cold and heated access latency.
+	HCMicroResult = workload.HCMicroResult
+)
+
+// RunBandwidth runs the modified osu_bw pattern (Figures 4-7).
+func RunBandwidth(cfg BWConfig) BWResult { return workload.RunBW(cfg) }
+
+// RunMultithreaded runs the Table 1 benchmark.
+func RunMultithreaded(cfg MTConfig) MTResult { return workload.RunMT(cfg) }
+
+// RunHCMicro runs the Section 4.3 heater microbenchmark.
+func RunHCMicro(cfg HCMicroConfig) HCMicroResult { return workload.RunHCMicro(cfg) }
+
+// Latency and UMQ workloads.
+type (
+	// LatConfig parameterises the modified osu_latency benchmark.
+	LatConfig = workload.LatConfig
+	// LatResult is one latency measurement.
+	LatResult = workload.LatResult
+	// UMQConfig parameterises the unexpected-queue-depth benchmark.
+	UMQConfig = workload.UMQConfig
+	// UMQResult is one UMQ measurement.
+	UMQResult = workload.UMQResult
+	// MTRateConfig parameterises the native thread-contention benchmark.
+	MTRateConfig = workload.MTRateConfig
+	// MTRateResult reports native matching throughput.
+	MTRateResult = workload.MTRateResult
+)
+
+// RunLatency runs the modified osu_latency pattern.
+func RunLatency(cfg LatConfig) LatResult { return workload.RunLat(cfg) }
+
+// RunUMQDepth runs the unexpected-queue-depth benchmark.
+func RunUMQDepth(cfg UMQConfig) UMQResult { return workload.RunUMQ(cfg) }
+
+// RunMTRate runs the native thread-contention benchmark.
+func RunMTRate(cfg MTRateConfig) MTRateResult { return workload.RunMTRate(cfg) }
+
+// Decompositions and stencils (Table 1, halo apps).
+type (
+	// Decomp is a 2D/3D thread or process grid.
+	Decomp = stencil.Decomp
+	// Stencil is a communication stencil.
+	Stencil = stencil.Stencil
+)
+
+// The Table 1 stencils.
+const (
+	Star2D5  = stencil.Star2D5
+	Full2D9  = stencil.Full2D9
+	Star3D7  = stencil.Star3D7
+	Full3D27 = stencil.Full3D27
+)
+
+// Communication motifs (Figure 1).
+type (
+	// MotifConfig tunes a motif run.
+	MotifConfig = motif.Config
+	// MotifResult holds a motif's queue-length histograms.
+	MotifResult = motif.Result
+)
+
+// The three motifs.
+var (
+	AMRMotif     = motif.AMR
+	Sweep3DMotif = motif.Sweep3D
+	Halo3DMotif  = motif.Halo3D
+)
+
+// Proxy applications (Figures 8-10).
+type (
+	// AppResult summarises one proxy-application run.
+	AppResult = proxyapps.Result
+	// MiniFEConfig parameterises the MiniFE proxy.
+	MiniFEConfig = proxyapps.MiniFEConfig
+	// AMGConfig parameterises the AMG2013 proxy.
+	AMGConfig = proxyapps.AMGConfig
+	// FDSConfig parameterises the FDS proxy.
+	FDSConfig = proxyapps.FDSConfig
+	// MiniMDConfig parameterises the MiniMD proxy.
+	MiniMDConfig = proxyapps.MiniMDConfig
+)
+
+// The proxy-application entry points.
+var (
+	RunMiniFE = proxyapps.RunMiniFE
+	RunAMG    = proxyapps.RunAMG
+	RunFDS    = proxyapps.RunFDS
+	RunMiniMD = proxyapps.RunMiniMD
+)
+
+// Matching-trace record and replay (trace-based simulation, after the
+// methodology of Ferreira et al., cited in Section 4.4).
+type (
+	// MatchTrace is a recorded sequence of matching operations.
+	MatchTrace = mtrace.Trace
+	// TraceRecorder captures an engine's operations (attach with
+	// Engine.SetObserver or WorldConfig.Observer).
+	TraceRecorder = mtrace.Recorder
+	// ReplayResult summarises one trace replay.
+	ReplayResult = mtrace.ReplayResult
+)
+
+// NewTraceRecorder starts an empty named trace.
+func NewTraceRecorder(name string) *TraceRecorder { return mtrace.NewRecorder(name) }
+
+// LoadTrace reads a trace file written by MatchTrace.Save.
+func LoadTrace(path string) (*MatchTrace, error) { return mtrace.Load(path) }
+
+// ReplayTrace drives a fresh engine through a recorded trace,
+// cross-checking every matching outcome.
+func ReplayTrace(t *MatchTrace, cfg EngineConfig) ReplayResult { return mtrace.Replay(t, cfg) }
+
+// Experiment registry (every paper table and figure).
+type (
+	// Experiment describes one registered paper artifact.
+	Experiment = experiments.Spec
+	// ExperimentOptions tunes experiment cost.
+	ExperimentOptions = experiments.Options
+)
+
+// Experiments returns the registered experiments in id order.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID looks one up ("table1", "fig4b", "fig10", ...).
+func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }

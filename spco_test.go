@@ -1,0 +1,132 @@
+package spco_test
+
+import (
+	"testing"
+
+	"spco"
+)
+
+func TestFacadeEngine(t *testing.T) {
+	en := spco.NewEngine(spco.EngineConfig{
+		Profile:        spco.SandyBridge,
+		Kind:           spco.LLA,
+		EntriesPerNode: 8,
+	})
+	en.PostRecv(3, 42, 1, 100)
+	req, ok, cycles := en.Arrive(spco.Envelope{Rank: 3, Tag: 42, Ctx: 1}, 0)
+	if !ok || req != 100 || cycles == 0 {
+		t.Fatalf("facade engine: req=%d ok=%v cycles=%d", req, ok, cycles)
+	}
+}
+
+func TestFacadeProfiles(t *testing.T) {
+	for _, name := range []string{"sandybridge", "broadwell", "nehalem", "knl"} {
+		p, ok := spco.ProfileByName(name)
+		if !ok || p.Validate() != nil {
+			t.Errorf("profile %s unavailable or invalid", name)
+		}
+	}
+	if _, ok := spco.ProfileByName("skylake"); ok {
+		t.Error("unknown profile resolved")
+	}
+}
+
+func TestFacadeKinds(t *testing.T) {
+	for _, k := range []spco.Kind{spco.Baseline, spco.LLA, spco.HashBins, spco.RankArray, spco.FourD, spco.HWOffload, spco.PerComm} {
+		parsed, err := spco.ParseKind(k.String())
+		if err != nil || parsed != k {
+			t.Errorf("kind %v round trip failed: %v", k, err)
+		}
+	}
+}
+
+func TestFacadeBandwidth(t *testing.T) {
+	r := spco.RunBandwidth(spco.BWConfig{
+		Engine:     spco.EngineConfig{Profile: spco.SandyBridge, Kind: spco.LLA, EntriesPerNode: 2},
+		Fabric:     spco.IBQDR,
+		QueueDepth: 16,
+		MsgBytes:   1,
+		Iters:      1,
+	})
+	if r.BandwidthMiBps <= 0 || r.MeanDepth < 16 {
+		t.Errorf("bandwidth result: %+v", r)
+	}
+}
+
+func TestFacadeMultithreaded(t *testing.T) {
+	r := spco.RunMultithreaded(spco.MTConfig{
+		Decomp: spco.Decomp{X: 8, Y: 8}, Stencil: spco.Star2D5, Trials: 1,
+	})
+	if r.Length != 32 || r.Depth.N() != 32 {
+		t.Errorf("MT result: %+v", r)
+	}
+}
+
+func TestFacadeHCMicro(t *testing.T) {
+	r := spco.RunHCMicro(spco.HCMicroConfig{Profile: spco.Nehalem, Lines: 256})
+	if r.Speedup <= 1 {
+		t.Errorf("heating should speed up random access: %+v", r)
+	}
+}
+
+func TestFacadeMotifs(t *testing.T) {
+	cfg := spco.MotifConfig{SampleRanks: 32, Phases: 2, Seed: 5}
+	for _, f := range []func(spco.MotifConfig) *spco.MotifResult{
+		spco.AMRMotif, spco.Sweep3DMotif, spco.Halo3DMotif,
+	} {
+		if res := f(cfg); res.Posted.Total() == 0 {
+			t.Error("motif produced no samples")
+		}
+	}
+}
+
+func TestFacadeWorld(t *testing.T) {
+	prof := spco.SandyBridge
+	prof.Cores = 2
+	w := spco.NewWorld(spco.WorldConfig{
+		Size:   2,
+		Engine: spco.EngineConfig{Profile: prof, Kind: spco.LLA, EntriesPerNode: 2},
+		Fabric: spco.IBQDR,
+	})
+	w.Run(func(p *spco.Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 1, []byte("x"))
+		} else {
+			if got := p.Recv(0, 1); string(got) != "x" {
+				t.Errorf("recv got %q", got)
+			}
+		}
+	})
+}
+
+func TestFacadeApps(t *testing.T) {
+	prof := spco.SandyBridge
+	prof.Cores = 2
+	world := spco.WorldConfig{
+		Size:   8,
+		Engine: spco.EngineConfig{Profile: prof, Kind: spco.LLA, EntriesPerNode: 2},
+		Fabric: spco.IBQDR,
+	}
+	if r := spco.RunMiniFE(spco.MiniFEConfig{World: world, N: 4, Iters: 2}); r.RuntimeNS <= 0 {
+		t.Error("MiniFE failed")
+	}
+	if r := spco.RunAMG(spco.AMGConfig{World: world, N: 8, Levels: 3, Cycles: 1}); r.RuntimeNS <= 0 {
+		t.Error("AMG failed")
+	}
+	if r := spco.RunFDS(spco.FDSConfig{World: world, TargetRanks: 128, Phases: 1}); r.RuntimeNS <= 0 {
+		t.Error("FDS failed")
+	}
+	if r := spco.RunMiniMD(spco.MiniMDConfig{World: world, Steps: 2, AtomsPerRank: 30}); r.RuntimeNS <= 0 {
+		t.Error("MiniMD failed")
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	exps := spco.Experiments()
+	if len(exps) != 27 {
+		t.Errorf("experiments = %d, want 27", len(exps))
+	}
+	if _, ok := spco.ExperimentByID("fig10"); !ok {
+		t.Error("fig10 missing")
+	}
+}
