@@ -1,0 +1,44 @@
+.DEFAULT_GOAL := build
+
+PKG      ?= ./...
+PROFDIR  ?= prof
+BENCHEXP ?= fig6b
+
+.PHONY: build
+build:
+	go build ./...
+
+.PHONY: test
+test:
+	go test $(PKG)
+
+.PHONY: test-race
+test-race:
+	go test -race $(PKG)
+
+.PHONY: vet
+vet:
+	go vet ./...
+
+.PHONY: fmt
+fmt:
+	gofmt -l -w .
+
+# profile runs a representative experiment under the Go profilers and
+# leaves CPU/heap pprof files plus the telemetry artifacts in $(PROFDIR).
+.PHONY: profile
+profile:
+	mkdir -p $(PROFDIR)
+	go run ./cmd/spco-bench -exp $(BENCHEXP) -quick \
+		-cpuprofile $(PROFDIR)/cpu.pprof -memprofile $(PROFDIR)/mem.pprof \
+		-metrics-out $(PROFDIR)/metrics.prom -series-out $(PROFDIR)/series.csv
+
+# analyze prints the hot paths of the most recent profile run.
+.PHONY: analyze
+analyze:
+	go tool pprof -top -cum $(PROFDIR)/cpu.pprof | head -30
+	go tool pprof -top $(PROFDIR)/mem.pprof | head -20
+
+.PHONY: clean
+clean:
+	rm -rf $(PROFDIR)

@@ -7,6 +7,18 @@
 //	spco-bench -exp fig4b -quick     # reduced sweep for a fast look
 //	spco-bench -exp all              # the full evaluation section
 //
+// Telemetry (the observability layer):
+//
+//	spco-bench -exp fig6b -metrics-out run.prom -residency-interval 1000
+//	spco-bench -exp fig6b -series-out residency.csv -events-out ops.jsonl
+//
+// -metrics-out writes the run's metrics registry (Prometheus text by
+// default; .jsonl/.csv select those formats), -series-out the sampled
+// time series (cache residency per owner and level, queue depths,
+// heater coverage, against simulated cycles), and -events-out the tail
+// of the per-operation event ring as JSONL. -cpuprofile/-memprofile
+// write Go pprof profiles of the simulator itself.
+//
 // Output is the same rows/series the paper plots; EXPERIMENTS.md
 // records the expected shapes against the paper's reported values.
 package main
@@ -15,10 +27,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"spco"
+	"spco/internal/engine"
+	"spco/internal/telemetry"
 )
 
 func main() {
@@ -29,6 +45,15 @@ func main() {
 		trials = flag.Int("trials", 0, "override trial count (0 = experiment default)")
 		csv    = flag.Bool("csv", false, "emit CSV where the artifact supports it")
 		plot   = flag.Bool("plot", false, "render figures as ASCII charts")
+
+		metricsOut  = flag.String("metrics-out", "", "write the metrics registry here (.prom/.txt Prometheus text, .jsonl, .csv)")
+		seriesOut   = flag.String("series-out", "", "write sampled time series here (.csv or .jsonl)")
+		eventsOut   = flag.String("events-out", "", "write the per-operation event ring here (JSONL)")
+		resInterval = flag.Uint64("residency-interval", 0, "sample residency/queue depths every N simulated cycles (0 = phase boundaries only)")
+		traceCap    = flag.Int("trace-cap", 0, "event ring capacity (0 = default)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU pprof profile here")
+		memProfile = flag.String("memprofile", "", "write a heap pprof profile here")
 	)
 	flag.Parse()
 
@@ -44,7 +69,33 @@ func main() {
 		return
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
 	opts := spco.ExperimentOptions{Quick: *quick, Trials: *trials}
+	var col *telemetry.Collector
+	if *metricsOut != "" || *seriesOut != "" || *resInterval > 0 {
+		col = telemetry.NewCollector(nil)
+		opts.Telemetry = col
+		opts.ResidencyInterval = *resInterval
+	}
+	var tracer *engine.Tracer
+	if *eventsOut != "" {
+		tracer = engine.NewTracer(*traceCap)
+		opts.Observer = tracer
+	}
+
 	var ids []string
 	if *exp == "all" {
 		for _, s := range spco.Experiments() {
@@ -81,4 +132,46 @@ func main() {
 		}
 		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
+
+	if col != nil {
+		if col.Registry.NumMetrics() == 0 {
+			fmt.Fprintln(os.Stderr, "spco-bench: warning: no metrics were published (this experiment's engines are not telemetry-instrumented)")
+		}
+		if *metricsOut != "" {
+			if err := telemetry.WriteMetricsFile(*metricsOut, col); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "spco-bench: metrics written to %s\n", *metricsOut)
+		}
+		if *seriesOut != "" {
+			if err := telemetry.WriteSeriesFile(*seriesOut, col); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "spco-bench: time series written to %s\n", *seriesOut)
+		}
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*eventsOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "spco-bench: %d events written to %s (%d recorded, %d dropped)\n",
+			tracer.Len(), *eventsOut, tracer.Total(), tracer.Dropped())
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "spco-bench: heap profile written to %s\n", *memProfile)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spco-bench:", err)
+	os.Exit(1)
 }

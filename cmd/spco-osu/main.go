@@ -6,15 +6,23 @@
 //
 //	spco-osu -arch sandybridge -list lla -k 8 -depth 1024 -size 1
 //	spco-osu -arch broadwell -list baseline -hotcache -depth 512 -sweep
+//
+// Telemetry: -metrics-out, -series-out, -events-out, and
+// -residency-interval instrument the run (see internal/telemetry);
+// -cpuprofile/-memprofile write Go pprof profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"spco"
+	"spco/internal/engine"
 	"spco/internal/netmodel"
+	"spco/internal/telemetry"
 	"spco/internal/workload"
 )
 
@@ -31,8 +39,30 @@ func main() {
 		iters  = flag.Int("iters", 10, "timed iterations")
 		lat    = flag.Bool("lat", false, "measure one-way latency (osu_latency) instead of bandwidth")
 		fabric = flag.String("fabric", "", "fabric override (ib-qdr, omnipath, mlx-qdr)")
+
+		metricsOut  = flag.String("metrics-out", "", "write the metrics registry here (.prom/.txt Prometheus text, .jsonl, .csv)")
+		seriesOut   = flag.String("series-out", "", "write sampled time series here (.csv or .jsonl)")
+		eventsOut   = flag.String("events-out", "", "write the per-operation event ring here (JSONL)")
+		resInterval = flag.Uint64("residency-interval", 0, "sample residency/queue depths every N simulated cycles (0 = phase boundaries only)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU pprof profile here")
+		memProfile = flag.String("memprofile", "", "write a heap pprof profile here")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	prof, ok := spco.ProfileByName(*arch)
 	if !ok {
@@ -54,19 +84,33 @@ func main() {
 		fab = f
 	}
 
+	var col *telemetry.Collector
+	if *metricsOut != "" || *seriesOut != "" || *resInterval > 0 {
+		col = telemetry.NewCollector(nil)
+	}
+	var tracer *engine.Tracer
+	if *eventsOut != "" {
+		tracer = engine.NewTracer(0)
+	}
+
 	cfg := spco.BWConfig{
 		Engine: spco.EngineConfig{
-			Profile:        prof,
-			Kind:           kind,
-			EntriesPerNode: *k,
-			HotCache:       *hot,
-			Pool:           *pool,
-			CommSize:       64,
-			Bins:           256,
+			Profile:           prof,
+			Kind:              kind,
+			EntriesPerNode:    *k,
+			HotCache:          *hot,
+			Pool:              *pool,
+			CommSize:          64,
+			Bins:              256,
+			Telemetry:         col,
+			ResidencyInterval: *resInterval,
 		},
 		Fabric:     fab,
 		QueueDepth: *depth,
 		Iters:      *iters,
+	}
+	if tracer != nil {
+		cfg.Observer = tracer
 	}
 
 	fmt.Printf("# arch=%s list=%s k=%d depth=%d hotcache=%v pool=%v fabric=%s\n",
@@ -87,14 +131,46 @@ func main() {
 			})
 			fmt.Printf("%-10d %14.3f %12.0f\n", sz, r.OneWayUS, r.CPUCyclesPerMsg)
 		}
-		return
+	} else {
+		fmt.Printf("%-10s %14s %14s %12s\n", "size(B)", "MiB/s", "msgs/s", "cycles/msg")
+		for _, sz := range sizes {
+			cfg.MsgBytes = sz
+			r := spco.RunBandwidth(cfg)
+			fmt.Printf("%-10d %14.4f %14.0f %12.0f\n", sz, r.BandwidthMiBps, r.MsgRate, r.CPUCyclesPerMsg)
+		}
 	}
-	fmt.Printf("%-10s %14s %14s %12s\n", "size(B)", "MiB/s", "msgs/s", "cycles/msg")
-	for _, sz := range sizes {
-		cfg.MsgBytes = sz
-		r := spco.RunBandwidth(cfg)
-		fmt.Printf("%-10d %14.4f %14.0f %12.0f\n", sz, r.BandwidthMiBps, r.MsgRate, r.CPUCyclesPerMsg)
+
+	if col != nil && *metricsOut != "" {
+		if err := telemetry.WriteMetricsFile(*metricsOut, col); err != nil {
+			fatal(err)
+		}
 	}
+	if col != nil && *seriesOut != "" {
+		if err := telemetry.WriteSeriesFile(*seriesOut, col); err != nil {
+			fatal(err)
+		}
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*eventsOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spco-osu:", err)
+	os.Exit(1)
 }
 
 func defaultFabric(arch string) spco.Fabric {

@@ -23,6 +23,7 @@ import (
 	"spco/internal/mtrace"
 	"spco/internal/netmodel"
 	"spco/internal/proxyapps"
+	"spco/internal/telemetry"
 	"spco/internal/trace"
 	"spco/internal/workload"
 )
@@ -145,6 +146,11 @@ func replay(args []string) {
 		hot  = fs.Bool("hotcache", false, "enable the heater")
 		nc   = fs.Bool("netcache", false, "enable the dedicated network cache")
 		all  = fs.Bool("all", false, "replay against every structure and print a table")
+
+		metricsOut  = fs.String("metrics-out", "", "write the metrics registry here (.prom/.txt Prometheus text, .jsonl, .csv)")
+		seriesOut   = fs.String("series-out", "", "write sampled time series here (.csv or .jsonl)")
+		eventsOut   = fs.String("events-out", "", "write the per-operation event ring here (JSONL)")
+		resInterval = fs.Uint64("residency-interval", 0, "sample residency/queue depths every N simulated cycles (0 = phase boundaries only)")
 	)
 	fs.Parse(args)
 
@@ -195,10 +201,35 @@ func replay(args []string) {
 		Bins: binsFor(kind), CommSize: 1 << 16,
 		HotCache: *hot, Pool: *hot, NetworkCache: *nc,
 	}
-	r := mtrace.Replay(tr, cfg)
+	var col *telemetry.Collector
+	if *metricsOut != "" || *seriesOut != "" || *resInterval > 0 {
+		col = telemetry.NewCollector(telemetry.Labels{"trace": tr.Name})
+		cfg.Telemetry = col
+		cfg.ResidencyInterval = *resInterval
+	}
+	var tracer *engine.Tracer
+	if *eventsOut != "" {
+		tracer = engine.NewTracer(0)
+	}
+	r := mtrace.Replay(tr, cfg, tracer.AsObserver())
 	fmt.Printf("replayed %d events on %s/%s: %d cycles (%.3f ms modeled), mean depth %.1f, %d mismatches\n",
 		len(tr.Events), prof.Name, kind, r.Stats.Cycles, r.CPUNanos/1e6,
 		r.Stats.MeanPRQDepth(), r.Mismatches)
+	if col != nil && *metricsOut != "" {
+		if err := telemetry.WriteMetricsFile(*metricsOut, col); err != nil {
+			fatal(err)
+		}
+	}
+	if col != nil && *seriesOut != "" {
+		if err := telemetry.WriteSeriesFile(*seriesOut, col); err != nil {
+			fatal(err)
+		}
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*eventsOut); err != nil {
+			fatal(err)
+		}
+	}
 	if r.Mismatches > 0 {
 		os.Exit(1)
 	}

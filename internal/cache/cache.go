@@ -229,6 +229,11 @@ type level struct {
 	sets [][]wayEntry
 	mask uint64
 	tick uint64
+
+	// onEvict, when set, observes capacity evictions: a fill of
+	// incoming displaced victim. Nil unless the hierarchy's residency
+	// tracking is enabled, so the disabled cost is one nil check.
+	onEvict func(incoming, victim uint64)
 }
 
 func newLevel(cfg LevelConfig) *level {
@@ -317,7 +322,22 @@ func (l *level) insertRange(line uint64, prefetched bool, lo, hi int) {
 			victim = i
 		}
 	}
+	if l.onEvict != nil && set[victim].valid {
+		l.onEvict(line, set[victim].line)
+	}
 	set[victim] = wayEntry{line: line, valid: true, lastUse: l.tick, prefetched: prefetched}
+}
+
+// forEachValid visits every valid line in the level (allocated sets
+// only). Used by residency tracking's flush attribution.
+func (l *level) forEachValid(fn func(line uint64)) {
+	for _, set := range l.sets {
+		for i := range set {
+			if set[i].valid {
+				fn(set[i].line)
+			}
+		}
+	}
 }
 
 // flushWaysFrom invalidates ways [lo, Ways) of every set, leaving the
@@ -388,6 +408,13 @@ type Hierarchy struct {
 
 	heaterActive bool
 	stats        Stats
+
+	// Residency tracking (see residency.go). All zero-valued and
+	// inert until EnableResidencyTracking.
+	resTrack  bool
+	owners    []ownedRegion // sorted by region base
+	evictions map[EvictionKey]uint64
+	agent     string // non-demand insert agent (AgentHeater) in flight
 }
 
 // tlbEntry is one cached page translation.
@@ -475,6 +502,17 @@ func (h *Hierarchy) HeaterActive() bool { return h.heaterActive }
 // The dedicated network cache is NOT flushed: ordinary traffic cannot
 // evict it — that retention is precisely the hardware proposal.
 func (h *Hierarchy) Flush() {
+	if h.resTrack {
+		for c := 0; c < h.prof.Cores; c++ {
+			h.noteFlush("l1", h.l1[c])
+			h.noteFlush("l2", h.l2[c])
+		}
+		// Partitioned ways survive the flush; attribute only what the
+		// flush below actually invalidates.
+		if h.l3 != nil && h.prof.L3PartitionWays == 0 {
+			h.noteFlush("l3", h.l3)
+		}
+	}
 	for c := 0; c < h.prof.Cores; c++ {
 		h.l1[c].flush()
 		h.l2[c].flush()
@@ -794,6 +832,9 @@ func (h *Hierarchy) HeaterTouch(core int, addr simmem.Addr, size uint64) {
 	}
 	first := addr.Line()
 	last := (addr + simmem.Addr(size) - 1).Line()
+	if h.resTrack {
+		h.agent = AgentHeater
+	}
 	for line := first; line <= last; line++ {
 		h.stats.HeaterTouches++
 		if h.l3 != nil {
@@ -801,6 +842,9 @@ func (h *Hierarchy) HeaterTouch(core int, addr simmem.Addr, size uint64) {
 		}
 		h.l2[core].insert(line, false)
 		h.l1[core].insert(line, false)
+	}
+	if h.resTrack {
+		h.agent = ""
 	}
 }
 

@@ -1,0 +1,275 @@
+package cache
+
+import (
+	"sort"
+
+	"spco/internal/simmem"
+)
+
+// Residency tracking teaches the hierarchy *whose* lines it is holding.
+// Owners tag address regions ("prq", "umq", "app", ...) and the
+// hierarchy can then report, at any instant of simulated time, the
+// fraction of each owner's lines resident per level — the occupancy
+// curve behind the paper's semi-permanent-occupancy claim — plus an
+// eviction-attribution matrix (who evicted whom, per level).
+//
+// The tracker is strictly opt-in. Until EnableResidencyTracking is
+// called the hierarchy carries no owner state, every insert path sees
+// one nil callback check, and demand cycle accounting is untouched, so
+// benchmark results are bit-identical with tracking off. Even when
+// enabled, scans probe with non-mutating lookups (LRU state and the
+// prefetched bits are not disturbed) and charge no cycles.
+
+// Agent names used in the eviction matrix beside region owners.
+const (
+	// AgentHeater marks fills performed by the hot-caching heater.
+	AgentHeater = "heater"
+	// AgentCompute marks invalidations by the compute-phase flush.
+	AgentCompute = "compute"
+	// AgentOther labels lines outside any tagged region.
+	AgentOther = "other"
+)
+
+// ownedRegion associates a tagged region with its owner.
+type ownedRegion struct {
+	r     simmem.Region
+	owner string
+}
+
+// EvictionKey identifies one cell of the eviction-attribution matrix:
+// at Level, a fill by By displaced a line owned by Of.
+type EvictionKey struct {
+	Level string // "l1", "l2", "l3", "nc"
+	By    string // owner of the incoming line, AgentHeater, or AgentCompute
+	Of    string // owner of the victim line, or AgentOther
+}
+
+// Residency reports one owner's line counts: how many of its Lines are
+// resident in each level. L1/L2 count lines present in *any* core's
+// private level.
+type Residency struct {
+	Owner string
+	Lines uint64 // total tagged lines for this owner
+	L1    uint64
+	L2    uint64
+	L3    uint64
+	NC    uint64 // dedicated network cache
+}
+
+// frac guards the empty-owner division.
+func frac(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// L1Frac returns the fraction of the owner's lines resident in any L1.
+func (r Residency) L1Frac() float64 { return frac(r.L1, r.Lines) }
+
+// L2Frac returns the fraction resident in any L2.
+func (r Residency) L2Frac() float64 { return frac(r.L2, r.Lines) }
+
+// L3Frac returns the fraction resident in the shared L3.
+func (r Residency) L3Frac() float64 { return frac(r.L3, r.Lines) }
+
+// NCFrac returns the fraction resident in the dedicated network cache.
+func (r Residency) NCFrac() float64 { return frac(r.NC, r.Lines) }
+
+// EnableResidencyTracking switches on owner tagging and eviction
+// attribution. Idempotent. There is deliberately no disable: the
+// telemetry layer decides at engine construction.
+func (h *Hierarchy) EnableResidencyTracking() {
+	if h.resTrack {
+		return
+	}
+	h.resTrack = true
+	h.evictions = make(map[EvictionKey]uint64)
+	hook := func(name string) func(incoming, victim uint64) {
+		return func(incoming, victim uint64) { h.noteEviction(name, incoming, victim) }
+	}
+	for c := 0; c < h.prof.Cores; c++ {
+		h.l1[c].onEvict = hook("l1")
+		h.l2[c].onEvict = hook("l2")
+	}
+	if h.l3 != nil {
+		h.l3.onEvict = hook("l3")
+	}
+	if h.nc != nil {
+		h.nc.onEvict = hook("nc")
+	}
+}
+
+// ResidencyTracking reports whether tracking is enabled.
+func (h *Hierarchy) ResidencyTracking() bool { return h.resTrack }
+
+// TagOwner marks a region as belonging to owner. Regions tagged by the
+// same owner may be adjacent or disjoint; overlapping tags keep the
+// earlier owner (first match wins on lookup). A no-op until tracking
+// is enabled.
+func (h *Hierarchy) TagOwner(owner string, r simmem.Region) {
+	if !h.resTrack || r.Size == 0 || owner == "" {
+		return
+	}
+	i := sort.Search(len(h.owners), func(i int) bool {
+		return h.owners[i].r.Base >= r.Base
+	})
+	h.owners = append(h.owners, ownedRegion{})
+	copy(h.owners[i+1:], h.owners[i:])
+	h.owners[i] = ownedRegion{r: r, owner: owner}
+}
+
+// UntagOwner removes any tagged region overlapping r, splitting tags
+// that straddle it (mirroring simmem.RegionSet.Remove).
+func (h *Hierarchy) UntagOwner(r simmem.Region) {
+	if !h.resTrack || r.Size == 0 {
+		return
+	}
+	out := h.owners[:0]
+	for _, o := range h.owners {
+		if !o.r.Overlaps(r) {
+			out = append(out, o)
+			continue
+		}
+		if o.r.Base < r.Base {
+			out = append(out, ownedRegion{
+				r:     simmem.Region{Base: o.r.Base, Size: uint64(r.Base - o.r.Base)},
+				owner: o.owner,
+			})
+		}
+		if o.r.End() > r.End() {
+			out = append(out, ownedRegion{
+				r:     simmem.Region{Base: r.End(), Size: uint64(o.r.End() - r.End())},
+				owner: o.owner,
+			})
+		}
+	}
+	h.owners = out
+}
+
+// OwnerOf returns the owner tag of the line's first byte, or "" when
+// untagged.
+func (h *Hierarchy) OwnerOf(line uint64) string {
+	addr := simmem.Addr(line * LineSize)
+	i := sort.Search(len(h.owners), func(i int) bool {
+		return h.owners[i].r.End() > addr
+	})
+	if i < len(h.owners) && h.owners[i].r.Contains(addr) {
+		return h.owners[i].owner
+	}
+	return ""
+}
+
+// ownerOrOther maps the empty tag to AgentOther for matrix cells.
+func (h *Hierarchy) ownerOrOther(line uint64) string {
+	if o := h.OwnerOf(line); o != "" {
+		return o
+	}
+	return AgentOther
+}
+
+// noteEviction records one matrix cell increment. Called from the
+// levels' onEvict hooks, which exist only while tracking is enabled.
+func (h *Hierarchy) noteEviction(level string, incoming, victim uint64) {
+	by := h.agent
+	if by == "" {
+		by = h.ownerOrOther(incoming)
+	}
+	h.evictions[EvictionKey{Level: level, By: by, Of: h.ownerOrOther(victim)}]++
+}
+
+// noteFlush attributes a compute-phase invalidation of every tagged
+// line currently valid in the level. Untagged victims are skipped: the
+// flush clears everything, and the matrix cares about who lost
+// designated network state.
+func (h *Hierarchy) noteFlush(level string, l *level) {
+	if l == nil {
+		return
+	}
+	l.forEachValid(func(line uint64) {
+		if o := h.OwnerOf(line); o != "" {
+			h.evictions[EvictionKey{Level: level, By: AgentCompute, Of: o}]++
+		}
+	})
+}
+
+// EvictionMatrix returns a copy of the eviction-attribution counts
+// (nil until tracking is enabled).
+func (h *Hierarchy) EvictionMatrix() map[EvictionKey]uint64 {
+	if h.evictions == nil {
+		return nil
+	}
+	out := make(map[EvictionKey]uint64, len(h.evictions))
+	for k, v := range h.evictions {
+		out[k] = v
+	}
+	return out
+}
+
+// ScanResidency probes every tagged line against every level and
+// returns per-owner counts, sorted by owner. The scan is passive: it
+// uses non-mutating presence probes and charges no cycles.
+func (h *Hierarchy) ScanResidency() []Residency {
+	if !h.resTrack || len(h.owners) == 0 {
+		return nil
+	}
+	acc := make(map[string]*Residency)
+	// Adjacent regions of one owner can share a boundary cache line when
+	// allocations are not line-aligned; lastLine dedupes it (the owners
+	// slice is sorted by base address).
+	lastLine := make(map[string]uint64)
+	for _, o := range h.owners {
+		res, ok := acc[o.owner]
+		if !ok {
+			res = &Residency{Owner: o.owner}
+			acc[o.owner] = res
+		}
+		first := o.r.Base.Line()
+		last := (o.r.End() - 1).Line()
+		if prev, seen := lastLine[o.owner]; seen && first <= prev {
+			first = prev + 1
+		}
+		if last < first {
+			continue
+		}
+		lastLine[o.owner] = last
+		for line := first; line <= last; line++ {
+			res.Lines++
+			for c := 0; c < h.prof.Cores; c++ {
+				if h.l1[c].contains(line) {
+					res.L1++
+					break
+				}
+			}
+			for c := 0; c < h.prof.Cores; c++ {
+				if h.l2[c].contains(line) {
+					res.L2++
+					break
+				}
+			}
+			if h.l3 != nil && h.l3.contains(line) {
+				res.L3++
+			}
+			if h.nc != nil && h.nc.contains(line) {
+				res.NC++
+			}
+		}
+	}
+	out := make([]Residency, 0, len(acc))
+	for _, r := range acc {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Owner < out[j].Owner })
+	return out
+}
+
+// ResidencyOf returns the scan entry for one owner (zero value when
+// the owner has no tagged regions).
+func (h *Hierarchy) ResidencyOf(owner string) Residency {
+	for _, r := range h.ScanResidency() {
+		if r.Owner == owner {
+			return r
+		}
+	}
+	return Residency{Owner: owner}
+}

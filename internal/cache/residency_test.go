@@ -1,0 +1,183 @@
+package cache
+
+import (
+	"testing"
+
+	"spco/internal/simmem"
+)
+
+// tinyProfile is a deliberately small machine so tests can force
+// capacity evictions with a handful of lines.
+func tinyProfile() Profile {
+	return Profile{
+		Name:        "tiny",
+		ClockGHz:    1,
+		Cores:       2,
+		L1:          LevelConfig{Name: "L1", SizeBytes: 512, Ways: 2, LatencyCycles: 4},
+		L2:          LevelConfig{Name: "L2", SizeBytes: 1024, Ways: 2, LatencyCycles: 12},
+		L3:          LevelConfig{Name: "L3", SizeBytes: 2048, Ways: 2, LatencyCycles: 40, Shared: true},
+		DRAMLatency: 200,
+	}
+}
+
+func lineAddr(line uint64) simmem.Addr { return simmem.Addr(line * LineSize) }
+
+func TestOwnerTagging(t *testing.T) {
+	h := New(tinyProfile())
+	// Inert until enabled.
+	h.TagOwner("prq", simmem.Region{Base: 0, Size: 4 * LineSize})
+	if h.OwnerOf(0) != "" || h.ScanResidency() != nil {
+		t.Fatal("tagging must be a no-op before EnableResidencyTracking")
+	}
+
+	h.EnableResidencyTracking()
+	h.TagOwner("prq", simmem.Region{Base: 0, Size: 4 * LineSize})
+	h.TagOwner("umq", simmem.Region{Base: 16 * LineSize, Size: 2 * LineSize})
+	if got := h.OwnerOf(2); got != "prq" {
+		t.Errorf("OwnerOf(2) = %q, want prq", got)
+	}
+	if got := h.OwnerOf(17); got != "umq" {
+		t.Errorf("OwnerOf(17) = %q, want umq", got)
+	}
+	if got := h.OwnerOf(8); got != "" {
+		t.Errorf("OwnerOf(8) = %q, want untagged", got)
+	}
+
+	// Untag the middle of prq: the tag splits.
+	h.UntagOwner(simmem.Region{Base: lineAddr(1), Size: 2 * LineSize})
+	if h.OwnerOf(0) != "prq" || h.OwnerOf(3) != "prq" {
+		t.Error("split lost the surviving halves")
+	}
+	if h.OwnerOf(1) != "" || h.OwnerOf(2) != "" {
+		t.Error("untagged middle still owned")
+	}
+}
+
+func TestScanResidencyTracksLevels(t *testing.T) {
+	h := New(tinyProfile())
+	h.EnableResidencyTracking()
+	h.TagOwner("prq", simmem.Region{Base: 0, Size: 4 * LineSize})
+
+	// Untouched: nothing resident.
+	res := h.ResidencyOf("prq")
+	if res.Lines != 4 || res.L1 != 0 || res.L3 != 0 {
+		t.Fatalf("pre-access residency = %+v", res)
+	}
+
+	// Touch two of the four lines from core 0.
+	h.Access(0, lineAddr(0), 1)
+	h.Access(0, lineAddr(2), 1)
+	res = h.ResidencyOf("prq")
+	if res.L1 < 2 || res.L3 < 2 {
+		t.Errorf("post-access residency = %+v, want >=2 resident in L1 and L3", res)
+	}
+	if res.L1Frac() < 0.5 || res.L3Frac() < 0.5 {
+		t.Errorf("fractions = %v / %v, want >= 0.5", res.L1Frac(), res.L3Frac())
+	}
+
+	// A flush empties every level.
+	h.Flush()
+	res = h.ResidencyOf("prq")
+	if res.L1 != 0 || res.L2 != 0 || res.L3 != 0 {
+		t.Errorf("post-flush residency = %+v, want zero", res)
+	}
+}
+
+func TestScanDoesNotPerturbState(t *testing.T) {
+	// Two hierarchies run the same access sequence; one is scanned
+	// between every access. Cycle totals must be bit-identical: scans
+	// are passive.
+	run := func(scan bool) Stats {
+		h := New(tinyProfile())
+		if scan {
+			h.EnableResidencyTracking()
+			h.TagOwner("prq", simmem.Region{Base: 0, Size: 64 * LineSize})
+		}
+		for i := uint64(0); i < 200; i++ {
+			h.Access(0, lineAddr((i*7)%64), 8)
+			if scan {
+				h.ScanResidency()
+				h.EvictionMatrix()
+			}
+		}
+		return h.Stats()
+	}
+	plain, scanned := run(false), run(true)
+	if plain != scanned {
+		t.Errorf("scanning changed simulation:\nplain   %+v\nscanned %+v", plain, scanned)
+	}
+}
+
+func TestEvictionAttribution(t *testing.T) {
+	prof := tinyProfile()
+	h := New(prof)
+	h.EnableResidencyTracking()
+
+	// L1: 512 B, 2 ways, 64 B lines -> 4 sets. Lines 4 sets apart
+	// collide; three colliding lines overflow a 2-way set.
+	sets := uint64(prof.L1.Sets())
+	h.TagOwner("prq", simmem.Region{Base: 0, Size: LineSize})
+	h.TagOwner("app", simmem.Region{Base: lineAddr(sets), Size: 2 * sets * LineSize})
+
+	h.Access(0, lineAddr(0), 1)      // prq line
+	h.Access(0, lineAddr(sets), 1)   // app line, same L1 set
+	h.Access(0, lineAddr(2*sets), 1) // app line, same L1 set: evicts LRU (prq)
+	m := h.EvictionMatrix()
+	if m[EvictionKey{Level: "l1", By: "app", Of: "prq"}] == 0 {
+		t.Errorf("missing app-evicted-prq L1 cell; matrix = %v", m)
+	}
+
+	// Heater fills are attributed to the heater agent.
+	h2 := New(prof)
+	h2.EnableResidencyTracking()
+	h2.TagOwner("prq", simmem.Region{Base: 0, Size: LineSize})
+	l3sets := uint64(prof.L3.Sets())
+	h2.Access(0, lineAddr(0), 1)
+	h2.HeaterTouch(1, lineAddr(l3sets), 1)
+	h2.HeaterTouch(1, lineAddr(2*l3sets), 1)
+	h2.HeaterTouch(1, lineAddr(3*l3sets), 1)
+	found := false
+	for k, v := range h2.EvictionMatrix() {
+		if k.By == AgentHeater && k.Of == "prq" && v > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing heater-evicted-prq cell; matrix = %v", h2.EvictionMatrix())
+	}
+}
+
+func TestFlushAttribution(t *testing.T) {
+	h := New(tinyProfile())
+	h.EnableResidencyTracking()
+	h.TagOwner("prq", simmem.Region{Base: 0, Size: 2 * LineSize})
+	h.Access(0, lineAddr(0), 1)
+	h.Access(0, lineAddr(1), 1)
+	h.Flush()
+	m := h.EvictionMatrix()
+	if m[EvictionKey{Level: "l3", By: AgentCompute, Of: "prq"}] != 2 {
+		t.Errorf("flush attribution: %v", m)
+	}
+}
+
+func TestResidencySeesHeaterWarmth(t *testing.T) {
+	// The core claim, at the hierarchy level: after a heater pass over a
+	// tagged region, the whole region is L3-resident; after a flush
+	// without the heater, none of it is.
+	h := New(SandyBridge)
+	h.EnableResidencyTracking()
+	region := simmem.Region{Base: 0x10000, Size: 256 * LineSize}
+	h.TagOwner("prq", region)
+
+	h.Flush()
+	if f := h.ResidencyOf("prq").L3Frac(); f != 0 {
+		t.Fatalf("cold L3 fraction = %v, want 0", f)
+	}
+	first := region.Base.Line()
+	for i := uint64(0); i < region.Lines(); i++ {
+		h.HeaterTouch(1, lineAddr(first+i), 4)
+	}
+	if f := h.ResidencyOf("prq").L3Frac(); f != 1 {
+		t.Fatalf("heated L3 fraction = %v, want 1", f)
+	}
+}

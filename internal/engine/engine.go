@@ -23,6 +23,7 @@ import (
 	"spco/internal/match"
 	"spco/internal/matchlist"
 	"spco/internal/simmem"
+	"spco/internal/telemetry"
 	"spco/internal/trace"
 )
 
@@ -90,6 +91,20 @@ type Config struct {
 
 	// HistogramBucket sets the sampling bucket width (default 10).
 	HistogramBucket int
+
+	// Telemetry attaches a metrics collector (internal/telemetry): the
+	// engine enables cache residency tracking, tags queue regions with
+	// owners, observes per-op cycle histograms, samples occupancy and
+	// queue-depth time series, and exposes PublishTelemetry. Nil (the
+	// default) costs one pointer check per operation and leaves cycle
+	// totals bit-identical.
+	Telemetry *telemetry.Collector
+
+	// ResidencyInterval is the telemetry sampling cadence in simulated
+	// cycles: every interval the engine records queue depths and
+	// per-owner cache-residency fractions. Zero samples only at
+	// compute-phase boundaries. Ignored without Telemetry.
+	ResidencyInterval uint64
 }
 
 // Stats aggregates engine activity.
@@ -146,6 +161,9 @@ type Engine struct {
 	// Observer (nil unless attached): sees every operation, e.g. the
 	// mtrace recorder.
 	observer Observer
+
+	// Telemetry binding (nil unless Config.Telemetry).
+	tel *engineTelemetry
 }
 
 // Observer sees every matching operation as it happens; the mtrace
@@ -211,8 +229,21 @@ func New(cfg Config) *Engine {
 		Pool:           cfg.Pool,
 		NoiseBytes:     cfg.NoiseBytes,
 	}
-	en.prq = matchlist.NewPosted(cfg.Kind, mcfg)
-	en.umq = matchlist.NewUnexpected(cfg.Kind, mcfg)
+	pcfg, ucfg := mcfg, mcfg
+	if cfg.Telemetry != nil {
+		// Residency tracking wants to know whose lines the hierarchy
+		// holds: give each queue its own listener chain with an owner
+		// tagger appended, so node regions carry "prq"/"umq" tags for
+		// the lifetime of the allocation.
+		en.hier.EnableResidencyTracking()
+		pcfg.Listener = append(append(multiListener{}, listeners...), ownerTagger{en.hier, OwnerPRQ})
+		ucfg.Listener = append(append(multiListener{}, listeners...), ownerTagger{en.hier, OwnerUMQ})
+	}
+	en.prq = matchlist.NewPosted(cfg.Kind, pcfg)
+	en.umq = matchlist.NewUnexpected(cfg.Kind, ucfg)
+	if cfg.Telemetry != nil {
+		en.tel = newEngineTelemetry(en, cfg.Telemetry)
+	}
 
 	if cfg.TrackHistograms {
 		bucket := cfg.HistogramBucket
@@ -305,6 +336,9 @@ func (en *Engine) Arrive(e match.Envelope, msg uint64) (req uint64, matched bool
 		if en.observer != nil {
 			en.observer.OnArrive(e, true, depth, cycles)
 		}
+		if en.tel != nil {
+			en.tel.op(en.tel.arrive, cycles)
+		}
 		return p.Req, true, cycles
 	}
 	en.umq.Append(match.NewUnexpected(e, msg))
@@ -316,6 +350,9 @@ func (en *Engine) Arrive(e match.Envelope, msg uint64) (req uint64, matched bool
 	en.sampleQueues()
 	if en.observer != nil {
 		en.observer.OnArrive(e, false, depth, cycles)
+	}
+	if en.tel != nil {
+		en.tel.op(en.tel.arrive, cycles)
 	}
 	return 0, false, cycles
 }
@@ -335,6 +372,9 @@ func (en *Engine) PostRecv(rank, tag int, ctx uint16, req uint64) (msg uint64, m
 		if en.observer != nil {
 			en.observer.OnPost(rank, tag, ctx, req, true, depth, cycles)
 		}
+		if en.tel != nil {
+			en.tel.op(en.tel.post, cycles)
+		}
 		return u.Msg, true, cycles
 	}
 	en.prq.Post(p)
@@ -347,6 +387,9 @@ func (en *Engine) PostRecv(rank, tag int, ctx uint16, req uint64) (msg uint64, m
 	if en.observer != nil {
 		en.observer.OnPost(rank, tag, ctx, req, false, depth, cycles)
 	}
+	if en.tel != nil {
+		en.tel.op(en.tel.post, cycles)
+	}
 	return 0, false, cycles
 }
 
@@ -358,6 +401,9 @@ func (en *Engine) Cancel(req uint64) (bool, uint64) {
 	en.sampleQueues()
 	if en.observer != nil {
 		en.observer.OnCancel(req, ok)
+	}
+	if en.tel != nil {
+		en.tel.op(en.tel.cancel, cycles)
 	}
 	return ok, cycles
 }
@@ -374,6 +420,9 @@ func (en *Engine) BeginComputePhase(durationNS float64) {
 	}
 	if en.observer != nil {
 		en.observer.OnComputePhase(durationNS)
+	}
+	if en.tel != nil {
+		en.tel.phase()
 	}
 }
 

@@ -127,3 +127,58 @@ func TestObserverWithNetworkCacheAndHeater(t *testing.T) {
 		t.Errorf("observer under full config: %+v", obs)
 	}
 }
+
+func TestObserverCancelWithHotCaching(t *testing.T) {
+	// Cancels remove queue regions, which the heater must deregister
+	// (the lock-contention path); the observer must still see every
+	// cancel, found or not, and the sync cycles must land in stats.
+	cfg := baseCfg()
+	cfg.HotCache = true
+	en := New(cfg)
+	obs := &countingObserver{}
+	en.SetObserver(obs)
+
+	for i := 0; i < 8; i++ {
+		en.PostRecv(0, i, 1, uint64(i+1))
+	}
+	found, cy := en.Cancel(3)
+	if !found || cy == 0 {
+		t.Fatalf("Cancel(3): found=%v cycles=%d", found, cy)
+	}
+	if found, _ := en.Cancel(999); found {
+		t.Error("Cancel(999) should miss")
+	}
+	if obs.cancels != 2 {
+		t.Errorf("observer cancels = %d, want 2 (hit and miss)", obs.cancels)
+	}
+	if en.Stats().SyncCycles == 0 {
+		t.Error("hot-cached posts should have charged heater sync cycles")
+	}
+}
+
+func TestObserverComputePhasesWithHotCaching(t *testing.T) {
+	// Every phase boundary notifies the observer exactly once and runs
+	// one heater sweep, regardless of phase length or registry size.
+	cfg := baseCfg()
+	cfg.HotCache = true
+	cfg.HeaterPeriodNS = 500
+	en := New(cfg)
+	obs := &countingObserver{}
+	en.SetObserver(obs)
+
+	for i := 0; i < 16; i++ {
+		en.PostRecv(0, i, 1, uint64(i+1))
+	}
+	for p := 0; p < 4; p++ {
+		en.BeginComputePhase(float64(p+1) * 1e5)
+	}
+	if obs.phases != 4 {
+		t.Errorf("observer phases = %d, want 4", obs.phases)
+	}
+	if en.Heater().Sweeps() != 4 {
+		t.Errorf("heater sweeps = %d, want 4", en.Heater().Sweeps())
+	}
+	if en.Heater().Touches() == 0 {
+		t.Error("sweeps over a populated registry should touch lines")
+	}
+}

@@ -1,0 +1,263 @@
+package engine
+
+import (
+	"spco/internal/cache"
+	"spco/internal/simmem"
+	"spco/internal/telemetry"
+)
+
+// Telemetry wiring. When a telemetry.Collector is attached at
+// construction the engine:
+//
+//   - enables cache residency tracking and tags the PRQ and UMQ node
+//     regions with owners as the structures allocate and free them, so
+//     ScanResidency can report per-queue occupancy curves and the
+//     eviction matrix can attribute who displaced queue state;
+//   - observes every operation's cycle cost into per-op histograms
+//     (spco_op_cycles{op});
+//   - samples queue depths and per-owner, per-level residency fractions
+//     into the collector's time series — every ResidencyInterval
+//     simulated cycles, and at every compute-phase boundary;
+//   - records heater sweep coverage as a series via the sweep hook;
+//   - on PublishTelemetry, folds end-of-run totals (engine counters,
+//     cache stats, heater counters, the eviction matrix) into the
+//     registry.
+//
+// With no collector the engine holds a nil *engineTelemetry and every
+// instrumented path costs exactly one pointer comparison, so benchmark
+// cycle totals are bit-identical with telemetry off.
+
+// engineTelemetry binds one engine instance to a collector.
+type engineTelemetry struct {
+	en *Engine
+	c  *telemetry.Collector
+
+	// labels identify this engine configuration on registry metrics;
+	// series additionally carries a per-engine instance id so repeated
+	// trials of one configuration keep distinct, monotonic series.
+	labels telemetry.Labels
+	series telemetry.Labels
+
+	arrive *telemetry.Histogram
+	post   *telemetry.Histogram
+	cancel *telemetry.Histogram
+
+	interval uint64 // residency sampling cadence in simulated cycles
+	nextScan uint64
+
+	// Previously published totals, so publish() adds deltas and stays
+	// idempotent even when several engines share one labeled counter.
+	pubStats  Stats
+	pubCache  cache.Stats
+	pubEvict  map[cache.EvictionKey]uint64
+	pubHeater struct{ sweeps, touches, sync uint64 }
+}
+
+// ownerTagger labels queue node regions in the hierarchy's residency
+// tracker as the match structures allocate and release them. Tag
+// maintenance is observer bookkeeping, not a modeled memory operation,
+// so it charges no cycles.
+type ownerTagger struct {
+	h     *cache.Hierarchy
+	owner string
+}
+
+// RegionAdded implements matchlist.RegionListener.
+func (o ownerTagger) RegionAdded(r simmem.Region) uint64 {
+	o.h.TagOwner(o.owner, r)
+	return 0
+}
+
+// RegionRemoved implements matchlist.RegionListener.
+func (o ownerTagger) RegionRemoved(r simmem.Region) uint64 {
+	o.h.UntagOwner(r)
+	return 0
+}
+
+// Owner tags used for the engine's own regions.
+const (
+	OwnerPRQ = "prq"
+	OwnerUMQ = "umq"
+	OwnerApp = "app"
+)
+
+func newEngineTelemetry(en *Engine, c *telemetry.Collector) *engineTelemetry {
+	hot := "off"
+	if en.cfg.HotCache {
+		hot = "on"
+	}
+	labels := telemetry.MergeLabels(c.Base, telemetry.Labels{
+		"arch": en.cfg.Profile.Name,
+		"list": en.cfg.Kind.String(),
+		"hot":  hot,
+	})
+	t := &engineTelemetry{
+		en:       en,
+		c:        c,
+		labels:   labels,
+		series:   telemetry.MergeLabels(labels, telemetry.Labels{"inst": c.NextInstance()}),
+		interval: en.cfg.ResidencyInterval,
+		pubEvict: make(map[cache.EvictionKey]uint64),
+	}
+	reg := c.Registry
+	reg.Help("spco_op_cycles", "Modeled cycle cost per matching operation.")
+	reg.Help("spco_ops_total", "Matching operations processed.")
+	reg.Help("spco_matches_total", "Successful matches per queue.")
+	reg.Help("spco_umq_appends_total", "Arrivals deferred to the unexpected queue.")
+	reg.Help("spco_engine_cycles_total", "Total modeled engine cycles.")
+	reg.Help("spco_sync_cycles_total", "Heater-synchronisation share of engine cycles.")
+	reg.Help("spco_cache_accesses_total", "Demand accesses observed by the hierarchy.")
+	reg.Help("spco_cache_hits_total", "Demand hits per cache level.")
+	reg.Help("spco_dram_loads_total", "Demand accesses served by DRAM.")
+	reg.Help("spco_prefetch_fills_total", "Prefetch fills issued by the hierarchy.")
+	reg.Help("spco_evictions_total", "Eviction-attribution matrix: at level, a fill by `by` displaced a line owned by `of`.")
+	reg.Help("spco_queue_len", "Final queue length.")
+	reg.Help("spco_queue_bytes", "Queue metadata footprint in bytes.")
+	reg.Help("spco_heater_sweeps_total", "Heater sweeps performed.")
+	reg.Help("spco_heater_touches_total", "Cache lines touched by the heater.")
+	reg.Help("spco_heater_sync_cycles_total", "Lifetime heater-synchronisation cycles.")
+	reg.Help("spco_heater_registered_bytes", "Bytes currently registered with the heater.")
+	op := func(name string) *telemetry.Histogram {
+		return reg.Histogram("spco_op_cycles",
+			telemetry.MergeLabels(labels, telemetry.Labels{"op": name}), telemetry.CycleBuckets)
+	}
+	t.arrive, t.post, t.cancel = op("arrive"), op("post"), op("cancel")
+	if ht := en.heater; ht != nil {
+		ht.SetSweepHook(func(phaseNS float64, touched uint64, coverage float64) {
+			t.c.Sampler.Record("spco_heater_coverage", t.series, t.en.stats.Cycles, coverage)
+		})
+	}
+	return t
+}
+
+// op records one operation's cycle cost and advances interval sampling.
+func (t *engineTelemetry) op(h *telemetry.Histogram, cycles uint64) {
+	h.Observe(float64(cycles))
+	if t.interval == 0 {
+		return
+	}
+	if now := t.en.stats.Cycles; now >= t.nextScan {
+		t.nextScan = now + t.interval
+		t.sample(now)
+	}
+}
+
+// phase samples at a compute-phase boundary (always, interval or not):
+// the flush-and-resweep transition is exactly the moment the occupancy
+// claim is about.
+func (t *engineTelemetry) phase() {
+	now := t.en.stats.Cycles
+	if t.interval > 0 {
+		t.nextScan = now + t.interval
+	}
+	t.sample(now)
+}
+
+// sample records queue depths and per-owner residency fractions at
+// simulated time now.
+func (t *engineTelemetry) sample(now uint64) {
+	s := t.c.Sampler
+	s.Record("spco_queue_len",
+		telemetry.MergeLabels(t.series, telemetry.Labels{"queue": "prq"}), now, float64(t.en.prq.Len()))
+	s.Record("spco_queue_len",
+		telemetry.MergeLabels(t.series, telemetry.Labels{"queue": "umq"}), now, float64(t.en.umq.Len()))
+	for _, r := range t.en.hier.ScanResidency() {
+		for _, lv := range [...]struct {
+			name string
+			frac float64
+		}{{"l1", r.L1Frac()}, {"l2", r.L2Frac()}, {"l3", r.L3Frac()}, {"nc", r.NCFrac()}} {
+			s.Record("spco_region_residency",
+				telemetry.MergeLabels(t.series, telemetry.Labels{"owner": r.Owner, "level": lv.name}),
+				now, lv.frac)
+		}
+	}
+}
+
+// publish folds end-of-run totals into the registry. Deltas against
+// the previous publish keep repeated calls idempotent, and several
+// engines sharing a labeled counter accumulate instead of clobbering.
+func (t *engineTelemetry) publish() {
+	reg := t.c.Registry
+	add := func(name string, extra telemetry.Labels, delta float64) {
+		if delta > 0 {
+			reg.Counter(name, telemetry.MergeLabels(t.labels, extra)).Add(delta)
+		}
+	}
+	gauge := func(name string, extra telemetry.Labels, v float64) {
+		reg.Gauge(name, telemetry.MergeLabels(t.labels, extra)).Set(v)
+	}
+
+	st, prev := t.en.stats, t.pubStats
+	add("spco_ops_total", telemetry.Labels{"op": "arrive"}, float64(st.Arrivals-prev.Arrivals))
+	add("spco_ops_total", telemetry.Labels{"op": "post"}, float64(st.Recvs-prev.Recvs))
+	add("spco_matches_total", telemetry.Labels{"queue": "prq"}, float64(st.PRQMatches-prev.PRQMatches))
+	add("spco_matches_total", telemetry.Labels{"queue": "umq"}, float64(st.UMQMatches-prev.UMQMatches))
+	add("spco_umq_appends_total", nil, float64(st.UMQAppends-prev.UMQAppends))
+	add("spco_engine_cycles_total", nil, float64(st.Cycles-prev.Cycles))
+	add("spco_sync_cycles_total", nil, float64(st.SyncCycles-prev.SyncCycles))
+	t.pubStats = st
+
+	cs := t.en.hier.Stats()
+	d := cs.Sub(t.pubCache)
+	add("spco_cache_accesses_total", nil, float64(d.Accesses))
+	add("spco_cache_hits_total", telemetry.Labels{"level": "l1"}, float64(d.L1Hits))
+	add("spco_cache_hits_total", telemetry.Labels{"level": "l2"}, float64(d.L2Hits))
+	add("spco_cache_hits_total", telemetry.Labels{"level": "l3"}, float64(d.L3Hits))
+	add("spco_cache_hits_total", telemetry.Labels{"level": "nc"}, float64(d.NCHits))
+	add("spco_dram_loads_total", nil, float64(d.DRAMLoads))
+	add("spco_prefetch_fills_total", nil, float64(d.Prefetches))
+	t.pubCache = cs
+
+	for k, v := range t.en.hier.EvictionMatrix() {
+		add("spco_evictions_total",
+			telemetry.Labels{"level": k.Level, "by": k.By, "of": k.Of}, float64(v-t.pubEvict[k]))
+		t.pubEvict[k] = v
+	}
+
+	gauge("spco_queue_len", telemetry.Labels{"queue": "prq"}, float64(t.en.prq.Len()))
+	gauge("spco_queue_len", telemetry.Labels{"queue": "umq"}, float64(t.en.umq.Len()))
+	gauge("spco_queue_bytes", nil, float64(t.en.MemoryBytes()))
+
+	if ht := t.en.heater; ht != nil {
+		add("spco_heater_sweeps_total", nil, float64(ht.Sweeps()-t.pubHeater.sweeps))
+		add("spco_heater_touches_total", nil, float64(ht.Touches()-t.pubHeater.touches))
+		add("spco_heater_sync_cycles_total", nil, float64(ht.SyncCyclesTotal()-t.pubHeater.sync))
+		t.pubHeater.sweeps, t.pubHeater.touches, t.pubHeater.sync =
+			ht.Sweeps(), ht.Touches(), ht.SyncCyclesTotal()
+		gauge("spco_heater_registered_bytes", nil, float64(ht.RegisteredBytes()))
+	}
+}
+
+// PublishTelemetry folds the engine's end-of-run totals into the
+// attached collector's registry: engine counters, cache-hierarchy
+// stats, heater counters, and the eviction-attribution matrix. Safe to
+// call repeatedly (idempotent); a no-op without a collector.
+func (en *Engine) PublishTelemetry() {
+	if en.tel != nil {
+		en.tel.publish()
+	}
+}
+
+// Telemetry returns the attached collector, or nil.
+func (en *Engine) Telemetry() *telemetry.Collector {
+	if en.tel == nil {
+		return nil
+	}
+	return en.tel.c
+}
+
+// SampleTelemetry forces an immediate residency/queue-depth sample at
+// the current simulated time (e.g. a workload's own checkpoints). A
+// no-op without a collector.
+func (en *Engine) SampleTelemetry() {
+	if en.tel != nil {
+		en.tel.sample(en.stats.Cycles)
+	}
+}
+
+// TagRegion labels an address region for residency attribution beyond
+// the queues the engine tags itself (e.g. the workload's application
+// buffers, tagged OwnerApp). A no-op unless telemetry is attached.
+func (en *Engine) TagRegion(owner string, r simmem.Region) {
+	en.hier.TagOwner(owner, r)
+}

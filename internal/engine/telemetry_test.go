@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"testing"
+
+	"spco/internal/match"
+	"spco/internal/telemetry"
+)
+
+// driveChurn runs a deterministic mixed workload: bursts of arrivals
+// and posts (half of which rendezvous), separated by compute phases.
+func driveChurn(en *Engine, phases, opsPerPhase int) {
+	req := uint64(1)
+	for p := 0; p < phases; p++ {
+		for i := 0; i < opsPerPhase; i++ {
+			tag := int32(i % 16)
+			if i%2 == 0 {
+				en.PostRecv(0, int(tag), 1, req)
+				req++
+			} else {
+				en.Arrive(match.Envelope{Rank: 0, Tag: tag, Ctx: 1}, uint64(i))
+			}
+		}
+		en.BeginComputePhase(1e6)
+	}
+}
+
+func TestTelemetryDisabledIsBitIdentical(t *testing.T) {
+	// The zero-cost contract: the same workload with and without a
+	// collector attached must produce identical engine and cache cycle
+	// totals — telemetry observes the simulation, never perturbs it.
+	run := func(tel bool) (Stats, uint64) {
+		cfg := baseCfg()
+		cfg.HotCache = true
+		if tel {
+			cfg.Telemetry = telemetry.NewCollector(nil)
+			cfg.ResidencyInterval = 500
+		}
+		en := New(cfg)
+		driveChurn(en, 4, 200)
+		en.PublishTelemetry()
+		return en.Stats(), en.Hierarchy().Stats().Cycles
+	}
+	plainStats, plainCache := run(false)
+	telStats, telCache := run(true)
+	if plainStats != telStats {
+		t.Errorf("telemetry changed engine stats:\noff %+v\non  %+v", plainStats, telStats)
+	}
+	if plainCache != telCache {
+		t.Errorf("telemetry changed cache cycles: off %d on %d", plainCache, telCache)
+	}
+}
+
+func TestQueueRegionsAreOwnerTagged(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Telemetry = telemetry.NewCollector(nil)
+	en := New(cfg)
+	for i := 0; i < 32; i++ {
+		en.PostRecv(0, i, 1, uint64(i+1))
+		en.Arrive(match.Envelope{Rank: 1, Tag: int32(i + 100), Ctx: 1}, uint64(i))
+	}
+	h := en.Hierarchy()
+	if r := h.ResidencyOf(OwnerPRQ); r.Lines == 0 {
+		t.Error("PRQ regions not tagged")
+	}
+	if r := h.ResidencyOf(OwnerUMQ); r.Lines == 0 {
+		t.Error("UMQ regions not tagged")
+	}
+	// Just-touched queue nodes are resident somewhere.
+	if r := h.ResidencyOf(OwnerPRQ); r.L3Frac() == 0 {
+		t.Errorf("freshly built PRQ has no L3 residency: %+v", r)
+	}
+}
+
+func TestOpHistogramsCountOperations(t *testing.T) {
+	cfg := baseCfg()
+	col := telemetry.NewCollector(telemetry.Labels{"exp": "unit"})
+	cfg.Telemetry = col
+	en := New(cfg)
+	for i := 0; i < 10; i++ {
+		en.PostRecv(0, i, 1, uint64(i+1))
+	}
+	for i := 0; i < 7; i++ {
+		en.Arrive(match.Envelope{Rank: 0, Tag: int32(i), Ctx: 1}, 0)
+	}
+	en.Cancel(8)
+
+	labels := telemetry.Labels{"exp": "unit", "arch": cfg.Profile.Name,
+		"list": "lla", "hot": "off"}
+	hist := func(op string) *telemetry.Histogram {
+		return col.Registry.Histogram("spco_op_cycles",
+			telemetry.MergeLabels(labels, telemetry.Labels{"op": op}), telemetry.CycleBuckets)
+	}
+	if n := hist("post").Count(); n != 10 {
+		t.Errorf("post observations = %d, want 10", n)
+	}
+	if n := hist("arrive").Count(); n != 7 {
+		t.Errorf("arrive observations = %d, want 7", n)
+	}
+	if n := hist("cancel").Count(); n != 1 {
+		t.Errorf("cancel observations = %d, want 1", n)
+	}
+	if hist("post").Sum() == 0 {
+		t.Error("post cycle sum should be positive")
+	}
+}
+
+// residencySeries finds this engine's prq/l3 residency series.
+func residencySeries(t *testing.T, col *telemetry.Collector) *telemetry.TimeSeries {
+	t.Helper()
+	for _, ts := range col.Sampler.Find("spco_region_residency") {
+		if ts.Labels["owner"] == OwnerPRQ && ts.Labels["level"] == "l3" {
+			return ts
+		}
+	}
+	t.Fatal("no spco_region_residency{owner=prq,level=l3} series recorded")
+	return nil
+}
+
+func TestResidencySeriesHotHoldsColdDecays(t *testing.T) {
+	// The acceptance curve: across compute phases, the heated engine's
+	// PRQ keeps a steady L3-resident fraction (the heater re-touches the
+	// registry each phase), while the unheated engine's occupancy
+	// collapses to zero at every flush. Samples land at phase
+	// boundaries — after flush and (when hot) re-sweep — so they probe
+	// exactly the steady state each phase hands to the next.
+	run := func(hot bool) *telemetry.TimeSeries {
+		cfg := baseCfg()
+		cfg.HotCache = hot
+		cfg.HeaterPeriodNS = 100
+		col := telemetry.NewCollector(nil)
+		cfg.Telemetry = col
+		en := New(cfg)
+		// Long-lived posted receives that never match: a persistent PRQ.
+		for i := 0; i < 256; i++ {
+			en.PostRecv(0, i, 1, uint64(i+1))
+		}
+		for p := 0; p < 5; p++ {
+			en.BeginComputePhase(1e7)
+		}
+		return residencySeries(t, col)
+	}
+	hotSeries, coldSeries := run(true), run(false)
+	if len(hotSeries.Points) < 5 || len(coldSeries.Points) < 5 {
+		t.Fatalf("expected >=5 phase samples, got hot=%d cold=%d",
+			len(hotSeries.Points), len(coldSeries.Points))
+	}
+	// Every post-phase hot sample holds the full steady-state fraction.
+	steady := hotSeries.Last().V
+	if steady < 0.9 {
+		t.Fatalf("hot steady-state L3 fraction = %v, want >= 0.9", steady)
+	}
+	for i, pt := range hotSeries.Points {
+		if pt.V < steady {
+			t.Errorf("hot sample %d dipped below steady state: %v < %v", i, pt.V, steady)
+		}
+	}
+	for i, pt := range coldSeries.Points {
+		if pt.V != 0 {
+			t.Errorf("cold sample %d survived the flush: L3 fraction %v, want 0", i, pt.V)
+		}
+	}
+	// And the heater's own coverage series confirms full sweeps.
+	// (Recorded by the sweep hook on the hot run only.)
+}
+
+func TestIntervalSamplingRecordsQueueDepths(t *testing.T) {
+	cfg := baseCfg()
+	col := telemetry.NewCollector(nil)
+	cfg.Telemetry = col
+	cfg.ResidencyInterval = 1000
+	en := New(cfg)
+	for i := 0; i < 500; i++ {
+		en.PostRecv(0, i, 1, uint64(i+1))
+	}
+	var prq *telemetry.TimeSeries
+	for _, ts := range col.Sampler.Find("spco_queue_len") {
+		if ts.Labels["queue"] == "prq" {
+			prq = ts
+		}
+	}
+	if prq == nil || len(prq.Points) < 2 {
+		t.Fatalf("expected interval-sampled prq depth series, got %+v", prq)
+	}
+	// Timestamps are simulated cycles: monotonic nondecreasing, spaced
+	// at least the interval apart, and depth grows with the queue.
+	for i := 1; i < len(prq.Points); i++ {
+		if prq.Points[i].T < prq.Points[i-1].T+1000 {
+			t.Fatalf("samples %d,%d closer than the interval: %v %v",
+				i-1, i, prq.Points[i-1], prq.Points[i])
+		}
+	}
+	if prq.Last().V <= prq.Points[0].V {
+		t.Errorf("queue depth series should grow: first %v last %v",
+			prq.Points[0], prq.Last())
+	}
+}
+
+func TestPublishTelemetryIdempotentAndAccumulating(t *testing.T) {
+	col := telemetry.NewCollector(nil)
+	mk := func() *Engine {
+		cfg := baseCfg()
+		cfg.Telemetry = col
+		return New(cfg)
+	}
+	labels := telemetry.Labels{"arch": baseCfg().Profile.Name, "list": "lla", "hot": "off",
+		"op": "post"}
+	ops := col.Registry.Counter("spco_ops_total", labels)
+
+	a := mk()
+	for i := 0; i < 5; i++ {
+		a.PostRecv(0, i, 1, uint64(i+1))
+	}
+	a.PublishTelemetry()
+	a.PublishTelemetry() // idempotent: publishing twice adds nothing
+	if v := ops.Value(); v != 5 {
+		t.Fatalf("after double publish: ops=%v, want 5", v)
+	}
+
+	// A second engine with identical labels accumulates into the shared
+	// counter instead of clobbering it.
+	b := mk()
+	for i := 0; i < 3; i++ {
+		b.PostRecv(0, i, 1, uint64(i+1))
+	}
+	b.PublishTelemetry()
+	if v := ops.Value(); v != 8 {
+		t.Fatalf("two engines publishing: ops=%v, want 8", v)
+	}
+
+	// More work on the first engine publishes only the delta.
+	a.PostRecv(0, 99, 1, 100)
+	a.PublishTelemetry()
+	if v := ops.Value(); v != 9 {
+		t.Fatalf("delta publish: ops=%v, want 9", v)
+	}
+}
+
+func TestPublishEvictionMatrix(t *testing.T) {
+	cfg := baseCfg()
+	col := telemetry.NewCollector(nil)
+	cfg.Telemetry = col
+	en := New(cfg)
+	driveChurn(en, 3, 300)
+	en.PublishTelemetry()
+	// The compute-phase flush must have displaced tagged queue lines.
+	found := false
+	for _, ts := range []string{"l1", "l2", "l3"} {
+		c := col.Registry.Counter("spco_evictions_total", telemetry.Labels{
+			"arch": cfg.Profile.Name, "list": "lla", "hot": "off",
+			"level": ts, "by": "compute", "of": OwnerPRQ,
+		})
+		if c.Value() > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no compute-evicted-prq cells published")
+	}
+}

@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+
+	"spco/internal/match"
+)
+
+// Tracer is a bounded ring-buffer event tracer on the Observer path:
+// it retains the most recent Capacity matching operations (and phase
+// boundaries) with their outcomes and cycle costs, so a long run can
+// be inspected after the fact without unbounded memory. Unlike the
+// mtrace recorder — which captures complete traces for replay — the
+// tracer is a flight recorder: old events fall off the front.
+//
+// The zero-cost rule holds by construction: a tracer only sees events
+// when attached via SetObserver, and recording is a slice write.
+type Tracer struct {
+	buf []TraceEvent
+	seq uint64 // total events ever recorded
+}
+
+// TraceEvent is one recorded operation.
+type TraceEvent struct {
+	Seq     uint64  `json:"seq"`
+	Kind    string  `json:"kind"` // "arrive", "post", "cancel", "phase"
+	Rank    int     `json:"rank,omitempty"`
+	Tag     int     `json:"tag,omitempty"`
+	Ctx     uint16  `json:"ctx,omitempty"`
+	Req     uint64  `json:"req,omitempty"`
+	Matched bool    `json:"matched"`
+	Depth   int     `json:"depth"`
+	Cycles  uint64  `json:"cycles"`
+	DurNS   float64 `json:"dur_ns,omitempty"` // phase events only
+}
+
+// DefaultTracerCapacity bounds a tracer when none is given: 64 Ki
+// events (~4 MiB) covers the tail of any experiment sweep.
+const DefaultTracerCapacity = 1 << 16
+
+// NewTracer builds a tracer retaining at most capacity events
+// (DefaultTracerCapacity when <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerCapacity
+	}
+	return &Tracer{buf: make([]TraceEvent, 0, capacity)}
+}
+
+// Capacity returns the ring size.
+func (t *Tracer) Capacity() int { return cap(t.buf) }
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int { return len(t.buf) }
+
+// Total returns the number of events ever recorded.
+func (t *Tracer) Total() uint64 { return t.seq }
+
+// Dropped returns how many events fell off the front of the ring.
+func (t *Tracer) Dropped() uint64 { return t.seq - uint64(len(t.buf)) }
+
+// record appends an event, overwriting the oldest once full.
+func (t *Tracer) record(ev TraceEvent) {
+	ev.Seq = t.seq
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.seq%uint64(cap(t.buf))] = ev
+	}
+	t.seq++
+}
+
+// Events returns the retained events oldest-first.
+func (t *Tracer) Events() []TraceEvent {
+	out := make([]TraceEvent, 0, len(t.buf))
+	if t.seq > uint64(cap(t.buf)) {
+		// The ring wrapped: the oldest event sits right after the most
+		// recently written slot.
+		start := t.seq % uint64(cap(t.buf))
+		out = append(out, t.buf[start:]...)
+		out = append(out, t.buf[:start]...)
+		return out
+	}
+	return append(out, t.buf...)
+}
+
+// OnArrive implements Observer.
+func (t *Tracer) OnArrive(e match.Envelope, matched bool, depth int, cycles uint64) {
+	t.record(TraceEvent{Kind: "arrive", Rank: int(e.Rank), Tag: int(e.Tag), Ctx: e.Ctx,
+		Matched: matched, Depth: depth, Cycles: cycles})
+}
+
+// OnPost implements Observer.
+func (t *Tracer) OnPost(rank, tag int, ctx uint16, req uint64, umqHit bool, depth int, cycles uint64) {
+	t.record(TraceEvent{Kind: "post", Rank: rank, Tag: tag, Ctx: ctx, Req: req,
+		Matched: umqHit, Depth: depth, Cycles: cycles})
+}
+
+// OnCancel implements Observer.
+func (t *Tracer) OnCancel(req uint64, found bool) {
+	t.record(TraceEvent{Kind: "cancel", Req: req, Matched: found})
+}
+
+// OnComputePhase implements Observer.
+func (t *Tracer) OnComputePhase(durationNS float64) {
+	t.record(TraceEvent{Kind: "phase", DurNS: durationNS})
+}
+
+// WriteJSONL writes the retained events oldest-first, one JSON object
+// per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range t.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the retained events to path as JSONL.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteJSONL(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// AsObserver returns the tracer as an Observer, mapping a nil tracer
+// to a nil interface value — callers can attach an optional tracer
+// without tripping over Go's typed-nil interface semantics.
+func (t *Tracer) AsObserver() Observer {
+	if t == nil {
+		return nil
+	}
+	return t
+}
+
+// multiObserver fans events out to several observers.
+type multiObserver []Observer
+
+func (m multiObserver) OnArrive(e match.Envelope, matched bool, depth int, cycles uint64) {
+	for _, o := range m {
+		o.OnArrive(e, matched, depth, cycles)
+	}
+}
+
+func (m multiObserver) OnPost(rank, tag int, ctx uint16, req uint64, umqHit bool, depth int, cycles uint64) {
+	for _, o := range m {
+		o.OnPost(rank, tag, ctx, req, umqHit, depth, cycles)
+	}
+}
+
+func (m multiObserver) OnCancel(req uint64, found bool) {
+	for _, o := range m {
+		o.OnCancel(req, found)
+	}
+}
+
+func (m multiObserver) OnComputePhase(durationNS float64) {
+	for _, o := range m {
+		o.OnComputePhase(durationNS)
+	}
+}
+
+// CombineObservers fans the Observer path out to several observers
+// (e.g. an mtrace recorder plus a Tracer). Nils are skipped; a single
+// survivor is returned unwrapped, and all-nil returns nil.
+func CombineObservers(obs ...Observer) Observer {
+	var m multiObserver
+	for _, o := range obs {
+		if o != nil {
+			m = append(m, o)
+		}
+	}
+	switch len(m) {
+	case 0:
+		return nil
+	case 1:
+		return m[0]
+	}
+	return m
+}

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"spco/internal/match"
+)
+
+func TestTracerRecordsOperations(t *testing.T) {
+	en := New(baseCfg())
+	tr := NewTracer(16)
+	en.SetObserver(tr)
+
+	en.PostRecv(1, 1, 1, 10)
+	en.Arrive(match.Envelope{Rank: 1, Tag: 1, Ctx: 1}, 0) // PRQ match
+	en.Arrive(match.Envelope{Rank: 2, Tag: 2, Ctx: 1}, 5) // unexpected
+	en.Cancel(99)                                         // not found
+	en.BeginComputePhase(2.5e5)
+
+	evs := tr.Events()
+	if len(evs) != 5 || tr.Total() != 5 || tr.Dropped() != 0 {
+		t.Fatalf("events=%d total=%d dropped=%d, want 5/5/0",
+			len(evs), tr.Total(), tr.Dropped())
+	}
+	wantKinds := []string{"post", "arrive", "arrive", "cancel", "phase"}
+	for i, ev := range evs {
+		if ev.Kind != wantKinds[i] {
+			t.Errorf("event %d kind = %q, want %q", i, ev.Kind, wantKinds[i])
+		}
+		if ev.Seq != uint64(i) {
+			t.Errorf("event %d seq = %d", i, ev.Seq)
+		}
+	}
+	if !evs[1].Matched || evs[1].Cycles == 0 {
+		t.Errorf("PRQ-match event: %+v", evs[1])
+	}
+	if evs[2].Matched {
+		t.Errorf("unexpected arrival marked matched: %+v", evs[2])
+	}
+	if evs[3].Matched || evs[3].Req != 99 {
+		t.Errorf("cancel event: %+v", evs[3])
+	}
+	if evs[4].DurNS != 2.5e5 {
+		t.Errorf("phase event: %+v", evs[4])
+	}
+}
+
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 20; i++ {
+		tr.OnCancel(uint64(i), true)
+	}
+	if tr.Len() != 8 || tr.Total() != 20 || tr.Dropped() != 12 {
+		t.Fatalf("len=%d total=%d dropped=%d, want 8/20/12",
+			tr.Len(), tr.Total(), tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 8 {
+		t.Fatalf("Events() returned %d", len(evs))
+	}
+	// The ring keeps the newest 8, oldest-first: seqs 12..19.
+	for i, ev := range evs {
+		if want := uint64(12 + i); ev.Seq != want || ev.Req != want {
+			t.Errorf("event %d: seq=%d req=%d, want %d", i, ev.Seq, ev.Req, want)
+		}
+	}
+}
+
+func TestTracerWraparoundMidRing(t *testing.T) {
+	// Total not a multiple of capacity: the split point lands mid-ring.
+	tr := NewTracer(4)
+	for i := 0; i < 7; i++ {
+		tr.OnCancel(uint64(i), false)
+	}
+	evs := tr.Events()
+	want := []uint64{3, 4, 5, 6}
+	for i, ev := range evs {
+		if ev.Seq != want[i] {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, want[i])
+		}
+	}
+}
+
+func TestTracerJSONL(t *testing.T) {
+	en := New(baseCfg())
+	tr := NewTracer(0) // default capacity
+	if tr.Capacity() != DefaultTracerCapacity {
+		t.Fatalf("default capacity = %d", tr.Capacity())
+	}
+	en.SetObserver(tr)
+	en.PostRecv(3, 7, 2, 42)
+	en.Arrive(match.Envelope{Rank: 3, Tag: 7, Ctx: 2}, 0)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	for sc.Scan() {
+		var ev TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Errorf("JSONL lines = %d, want 2", lines)
+	}
+}
+
+func TestCombineObservers(t *testing.T) {
+	if CombineObservers() != nil || CombineObservers(nil, nil) != nil {
+		t.Error("all-nil combine should be nil")
+	}
+	a, b := &countingObserver{}, &countingObserver{}
+	if got := CombineObservers(nil, a); got != Observer(a) {
+		t.Error("single survivor should be returned unwrapped")
+	}
+
+	en := New(baseCfg())
+	tr := NewTracer(8)
+	en.SetObserver(CombineObservers(a, tr, b))
+	en.PostRecv(1, 1, 1, 1)
+	en.Arrive(match.Envelope{Rank: 1, Tag: 1, Ctx: 1}, 0)
+	en.BeginComputePhase(1e5)
+	en.Cancel(5)
+	for _, o := range []*countingObserver{a, b} {
+		if o.posts != 1 || o.arrives != 1 || o.phases != 1 || o.cancels != 1 {
+			t.Errorf("fanned-out observer counts: %+v", o)
+		}
+	}
+	if tr.Total() != 4 {
+		t.Errorf("tracer in fan-out saw %d events, want 4", tr.Total())
+	}
+}

@@ -10,6 +10,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"spco/internal/engine"
+	"spco/internal/telemetry"
 )
 
 // Options tunes experiment cost.
@@ -20,6 +23,30 @@ type Options struct {
 
 	// Trials overrides the per-experiment trial count (0 = default).
 	Trials int
+
+	// Telemetry, when set, is attached to every engine the experiment
+	// builds: metrics accumulate in its registry and occupancy/queue
+	// series in its sampler (export with the telemetry writers). Nil
+	// leaves the experiments bit-identical to an uninstrumented run.
+	Telemetry *telemetry.Collector
+
+	// ResidencyInterval is the telemetry sampling cadence in simulated
+	// cycles (0 = compute-phase boundaries only). Ignored without
+	// Telemetry.
+	ResidencyInterval uint64
+
+	// Observer, when set, is attached to every engine the experiment
+	// builds (e.g. an engine.Tracer flight recorder).
+	Observer engine.Observer
+}
+
+// instrument applies the options' telemetry wiring to an engine
+// config; with no collector attached the config passes through
+// unchanged.
+func (o Options) instrument(cfg engine.Config) engine.Config {
+	cfg.Telemetry = o.Telemetry
+	cfg.ResidencyInterval = o.ResidencyInterval
+	return cfg
 }
 
 // Artifact is anything an experiment can print.

@@ -46,11 +46,11 @@ func init() {
 				s := fig.AddSeries(v.name)
 				for _, d := range deps {
 					r := workload.RunUMQ(workload.UMQConfig{
-						Engine: engine.Config{
+						Engine: o.instrument(engine.Config{
 							Profile:        cache.SandyBridge,
 							Kind:           v.kind,
 							EntriesPerNode: 2,
-						},
+						}),
 						Fabric: netmodel.IBQDR,
 						UDepth: d,
 						Iters:  iters,

@@ -47,16 +47,17 @@ func init() {
 				s := fig.AddSeries(v.name)
 				for _, d := range deps {
 					r := workload.RunBW(workload.BWConfig{
-						Engine: engine.Config{
+						Engine: o.instrument(engine.Config{
 							Profile:        cache.SandyBridge,
 							Kind:           v.kind,
 							EntriesPerNode: v.k,
 							Bins:           512, // hardware capacity
-						},
+						}),
 						Fabric:     netmodel.IBQDR,
 						QueueDepth: d,
 						MsgBytes:   1,
 						Iters:      iters,
+						Observer:   o.Observer,
 					})
 					s.Add(float64(d), r.BandwidthMiBps)
 				}

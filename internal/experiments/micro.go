@@ -55,16 +55,19 @@ func bwConfig(prof cache.Profile, fab netmodel.Fabric, v variant, depth int, byt
 	}
 	return workload.BWConfig{
 		Engine: engine.Config{
-			Profile:        prof,
-			Kind:           v.kind,
-			EntriesPerNode: v.k,
-			HotCache:       v.hot,
-			Pool:           v.pool,
+			Profile:           prof,
+			Kind:              v.kind,
+			EntriesPerNode:    v.k,
+			HotCache:          v.hot,
+			Pool:              v.pool,
+			Telemetry:         o.Telemetry,
+			ResidencyInterval: o.ResidencyInterval,
 		},
 		Fabric:     fab,
 		QueueDepth: depth,
 		MsgBytes:   bytes,
 		Iters:      iters,
+		Observer:   o.Observer,
 	}
 }
 

@@ -59,7 +59,7 @@ func init() {
 					s := fig.AddSeries(v.name)
 					for _, d := range deps {
 						r := workload.RunBW(workload.BWConfig{
-							Engine: engine.Config{
+							Engine: o.instrument(engine.Config{
 								Profile:         sys.prof,
 								Kind:            matchlist.KindLLA,
 								EntriesPerNode:  2,
@@ -67,11 +67,12 @@ func init() {
 								Pool:            v.hot,
 								NetworkCache:    v.nc,
 								L3PartitionWays: v.partWays,
-							},
+							}),
 							Fabric:     sys.fab,
 							QueueDepth: d,
 							MsgBytes:   1,
 							Iters:      iters,
+							Observer:   o.Observer,
 						})
 						s.Add(float64(d), r.BandwidthMiBps)
 					}

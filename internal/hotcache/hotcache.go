@@ -70,10 +70,16 @@ type Heater struct {
 
 	regions simmem.RegionSet
 
-	sweeps     uint64
-	touches    uint64
-	cursor     uint64 // resume position (line index into the registry)
-	syncCycles uint64 // accumulated, drained by TakeSyncCycles
+	sweeps       uint64
+	touches      uint64
+	cursor       uint64  // resume position (line index into the registry)
+	syncCycles   uint64  // accumulated, drained by TakeSyncCycles
+	syncTotal    uint64  // lifetime synchronisation cycles (never drained)
+	lastCoverage float64 // fraction of the registry the last sweep touched
+
+	// onSweep, when set, observes every sweep (the telemetry layer
+	// records sweep events as a time series). Nil costs one check.
+	onSweep func(phaseNS float64, touched uint64, coverage float64)
 }
 
 // New binds a heater to a hierarchy and the core it is pinned to. The
@@ -130,6 +136,7 @@ func (ht *Heater) RegionAdded(r simmem.Region) uint64 {
 	cost := lockAcquireCycles + ht.lockWaitCycles()
 	ht.regions.Add(r)
 	ht.syncCycles += cost
+	ht.syncTotal += cost
 	return cost
 }
 
@@ -145,6 +152,7 @@ func (ht *Heater) RegionRemoved(r simmem.Region) uint64 {
 		ht.lockWaitCycles()
 	ht.regions.Remove(r)
 	ht.syncCycles += cost
+	ht.syncTotal += cost
 	return cost
 }
 
@@ -165,7 +173,12 @@ func (ht *Heater) Sweep(phaseNS float64) {
 		budget = uint64(frac * float64(total))
 	}
 	ht.sweeps++
+	ht.lastCoverage = frac
 	if total == 0 || budget == 0 {
+		ht.lastCoverage = 0
+		if ht.onSweep != nil {
+			ht.onSweep(phaseNS, 0, 0)
+		}
 		return
 	}
 	start := ht.cursor % total
@@ -201,6 +214,9 @@ func (ht *Heater) Sweep(phaseNS float64) {
 		}
 	}
 	ht.cursor = (start + budget) % total
+	if ht.onSweep != nil {
+		ht.onSweep(phaseNS, done, frac)
+	}
 }
 
 // TakeSyncCycles drains and returns the synchronisation cycles accrued
@@ -211,6 +227,21 @@ func (ht *Heater) TakeSyncCycles() uint64 {
 	ht.syncCycles = 0
 	return c
 }
+
+// SetSweepHook attaches (or, with nil, detaches) a sweep observer: it
+// fires after every Sweep with the modeled phase length, the number of
+// lines touched, and the fraction of the registry covered.
+func (ht *Heater) SetSweepHook(fn func(phaseNS float64, touched uint64, coverage float64)) {
+	ht.onSweep = fn
+}
+
+// SyncCyclesTotal returns the lifetime synchronisation cycles charged,
+// unaffected by TakeSyncCycles draining.
+func (ht *Heater) SyncCyclesTotal() uint64 { return ht.syncTotal }
+
+// LastSweepCoverage returns the fraction of the registry the most
+// recent sweep touched (1 = a full refresh fit in the phase).
+func (ht *Heater) LastSweepCoverage() float64 { return ht.lastCoverage }
 
 // Sweeps returns the number of sweeps performed.
 func (ht *Heater) Sweeps() uint64 { return ht.sweeps }

@@ -202,3 +202,53 @@ func TestRefreshCycleBoundedBySweepTime(t *testing.T) {
 		t.Error("some coverage expected")
 	}
 }
+
+func TestSweepHookAndCounters(t *testing.T) {
+	h := testHierarchy()
+	ht := New(h, 1, Options{})
+	r := simmem.Region{Base: 0x10000, Size: 4 * 64}
+	cost := ht.RegionAdded(r)
+	if cost == 0 || ht.SyncCyclesTotal() != cost {
+		t.Errorf("sync total = %d, want add cost %d", ht.SyncCyclesTotal(), cost)
+	}
+
+	var phases []float64
+	var touched []uint64
+	var coverage []float64
+	ht.SetSweepHook(func(phaseNS float64, n uint64, cov float64) {
+		phases = append(phases, phaseNS)
+		touched = append(touched, n)
+		coverage = append(coverage, cov)
+	})
+	ht.Sweep(1e6)
+	if len(phases) != 1 || phases[0] != 1e6 || touched[0] != 4 || coverage[0] != 1 {
+		t.Errorf("sweep hook saw phases=%v touched=%v coverage=%v", phases, touched, coverage)
+	}
+	if ht.LastSweepCoverage() != 1 {
+		t.Errorf("coverage = %v, want 1", ht.LastSweepCoverage())
+	}
+
+	// TakeSyncCycles drains the per-op accumulator, not the total.
+	drained := ht.TakeSyncCycles()
+	if drained != cost || ht.TakeSyncCycles() != 0 {
+		t.Errorf("drained %d, want %d then 0", drained, cost)
+	}
+	if ht.SyncCyclesTotal() != cost {
+		t.Error("lifetime total must survive draining")
+	}
+	rmCost := ht.RegionRemoved(r)
+	if ht.SyncCyclesTotal() != cost+rmCost {
+		t.Errorf("total after removal = %d, want %d", ht.SyncCyclesTotal(), cost+rmCost)
+	}
+
+	// Empty-registry sweep still reports (zero) coverage to the hook.
+	ht.Sweep(1e6)
+	if len(touched) != 2 || touched[1] != 0 || ht.LastSweepCoverage() != 0 {
+		t.Errorf("empty sweep: touched=%v coverage=%v", touched, ht.LastSweepCoverage())
+	}
+	ht.SetSweepHook(nil)
+	ht.Sweep(1e6)
+	if len(touched) != 2 {
+		t.Error("detached hook still firing")
+	}
+}

@@ -290,8 +290,11 @@ type ReplayResult struct {
 // Replay drives a fresh engine built from cfg through the trace and
 // returns its cost and statistics. Wildcard posts are reconstructed
 // from the recorded sentinel values.
-func Replay(t *Trace, cfg engine.Config) ReplayResult {
+func Replay(t *Trace, cfg engine.Config, obs ...engine.Observer) ReplayResult {
 	en := engine.New(cfg)
+	if o := engine.CombineObservers(obs...); o != nil {
+		en.SetObserver(o)
+	}
 	var res ReplayResult
 	msg := uint64(1)
 	for _, e := range t.Events {
@@ -316,6 +319,7 @@ func Replay(t *Trace, cfg engine.Config) ReplayResult {
 			en.BeginComputePhase(e.DurNS)
 		}
 	}
+	en.PublishTelemetry()
 	res.Stats = en.Stats()
 	res.CPUNanos = cfg.Profile.CyclesToNanos(res.Stats.Cycles)
 	return res

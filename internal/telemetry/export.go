@@ -1,0 +1,265 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The exporters write three formats:
+//
+//   - Prometheus text exposition (WritePrometheus): the registry's
+//     counters, gauges, and histograms, one scrape's worth, for
+//     standard tooling (promtool, a Prometheus file_sd target, Grafana
+//     agents).
+//   - JSONL (WriteJSONL): one JSON object per line — every metric and
+//     every time-series point — for the paper-artifact pipelines.
+//   - CSV (WriteCSV / WriteSeriesCSV): the sampler's series as tidy
+//     rows (series,labels,t,value) for plotting.
+
+// promEscape escapes a label value for the exposition format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// promLabels renders {k="v",...} in sorted key order ("" when empty).
+// extra pairs are appended after the sorted base labels.
+func promLabels(l Labels, extraKey, extraVal string) string {
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, k+`="`+promEscape(l[k])+`"`)
+	}
+	if extraKey != "" {
+		parts = append(parts, extraKey+`="`+promEscape(extraVal)+`"`)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// promValue renders a sample value (Prometheus accepts Go float
+// formatting; +Inf/-Inf/NaN spellings included).
+func promValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry in the text exposition format.
+// Histograms expand to _bucket/_sum/_count families. Metrics sharing a
+// name emit one TYPE header, as the format requires.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	metrics, help := r.snapshot()
+	lastName := ""
+	for _, m := range metrics {
+		if m.name != lastName {
+			if h, ok := help[m.name]; ok {
+				fmt.Fprintf(bw, "# HELP %s %s\n", m.name, strings.ReplaceAll(h, "\n", " "))
+			}
+			typ := "counter"
+			switch m.kind {
+			case kindGauge:
+				typ = "gauge"
+			case kindHistogram:
+				typ = "histogram"
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, typ)
+			lastName = m.name
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s%s %s\n", m.name, promLabels(m.labels, "", ""), promValue(m.counter.Value()))
+		case kindGauge:
+			fmt.Fprintf(bw, "%s%s %s\n", m.name, promLabels(m.labels, "", ""), promValue(m.gauge.Value()))
+		case kindHistogram:
+			bounds, cum, count, sum := m.hist.Snapshot()
+			for i, b := range bounds {
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", m.name, promLabels(m.labels, "le", promValue(b)), cum[i])
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", m.name, promLabels(m.labels, "le", "+Inf"), count)
+			fmt.Fprintf(bw, "%s_sum%s %s\n", m.name, promLabels(m.labels, "", ""), promValue(sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", m.name, promLabels(m.labels, "", ""), count)
+		}
+	}
+	return bw.Flush()
+}
+
+// jsonRecord is one JSONL line.
+type jsonRecord struct {
+	Kind   string  `json:"kind"` // counter, gauge, histogram, point
+	Name   string  `json:"name"`
+	Labels Labels  `json:"labels,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+
+	// Histogram fields.
+	Count   uint64    `json:"count,omitempty"`
+	Sum     float64   `json:"sum,omitempty"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []uint64  `json:"buckets,omitempty"`
+
+	// Time-series point fields (T is simulated cycles).
+	T uint64 `json:"t,omitempty"`
+}
+
+// WriteJSONL writes every registry metric and every sampler point as
+// one JSON object per line. Either argument may be nil.
+func WriteJSONL(w io.Writer, r *Registry, s *Sampler) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if r != nil {
+		metrics, _ := r.snapshot()
+		for _, m := range metrics {
+			rec := jsonRecord{Name: m.name, Labels: m.labels}
+			switch m.kind {
+			case kindCounter:
+				rec.Kind = "counter"
+				rec.Value = m.counter.Value()
+			case kindGauge:
+				rec.Kind = "gauge"
+				rec.Value = m.gauge.Value()
+			case kindHistogram:
+				rec.Kind = "histogram"
+				bounds, cum, count, sum := m.hist.Snapshot()
+				rec.Bounds, rec.Buckets, rec.Count, rec.Sum = bounds, cum, count, sum
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+	}
+	if s != nil {
+		for _, ts := range s.Series() {
+			for _, p := range ts.Points {
+				rec := jsonRecord{Kind: "point", Name: ts.Name, Labels: ts.Labels, T: p.T, Value: p.V}
+				if err := enc.Encode(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSeriesCSV writes the sampler as tidy CSV rows:
+// series,labels,t,value.
+func WriteSeriesCSV(w io.Writer, s *Sampler) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "series,labels,t,value"); err != nil {
+		return err
+	}
+	for _, ts := range s.Series() {
+		lk := labelKey(ts.Labels)
+		if strings.ContainsAny(lk, ",\"\n") {
+			lk = `"` + strings.ReplaceAll(lk, `"`, `""`) + `"`
+		}
+		for _, p := range ts.Points {
+			fmt.Fprintf(bw, "%s,%s,%d,%s\n", ts.Name, lk, p.T, promValue(p.V))
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteCSV writes registry metrics as CSV rows: name,labels,value.
+// Histograms emit one row per cumulative bucket plus _sum and _count.
+func WriteCSV(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "name,labels,value"); err != nil {
+		return err
+	}
+	metrics, _ := r.snapshot()
+	row := func(name string, labels Labels, extraKey, extraVal string, v float64) {
+		lk := labelKey(labels)
+		if extraKey != "" {
+			if lk != "" {
+				lk += ","
+			}
+			lk += fmt.Sprintf("%s=%q", extraKey, extraVal)
+		}
+		if strings.ContainsAny(lk, ",\"\n") {
+			lk = `"` + strings.ReplaceAll(lk, `"`, `""`) + `"`
+		}
+		fmt.Fprintf(bw, "%s,%s,%s\n", name, lk, promValue(v))
+	}
+	for _, m := range metrics {
+		switch m.kind {
+		case kindCounter:
+			row(m.name, m.labels, "", "", m.counter.Value())
+		case kindGauge:
+			row(m.name, m.labels, "", "", m.gauge.Value())
+		case kindHistogram:
+			bounds, cum, count, sum := m.hist.Snapshot()
+			for i, b := range bounds {
+				row(m.name+"_bucket", m.labels, "le", promValue(b), float64(cum[i]))
+			}
+			row(m.name+"_bucket", m.labels, "le", "+Inf", float64(count))
+			row(m.name+"_sum", m.labels, "", "", sum)
+			row(m.name+"_count", m.labels, "", "", float64(count))
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteMetricsFile writes the collector's registry to path, choosing
+// the format from the extension: .jsonl → JSONL (including series),
+// .csv → CSV, anything else (.prom, .txt) → Prometheus text exposition.
+func WriteMetricsFile(path string, c *Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".jsonl":
+		err = WriteJSONL(f, c.Registry, c.Sampler)
+	case ".csv":
+		err = WriteCSV(f, c.Registry)
+	default:
+		err = WritePrometheus(f, c.Registry)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// WriteSeriesFile writes the collector's time series to path: .jsonl →
+// JSONL points, anything else (.csv) → tidy CSV.
+func WriteSeriesFile(path string, c *Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.ToLower(filepath.Ext(path)) == ".jsonl" {
+		err = WriteJSONL(f, nil, c.Sampler)
+	} else {
+		err = WriteSeriesCSV(f, c.Sampler)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

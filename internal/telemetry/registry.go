@@ -1,0 +1,334 @@
+// Package telemetry is the observability layer of the reproduction: a
+// metrics registry (named counters, gauges, and cycle-latency
+// histograms with labels), a time-series sampler that records points
+// against *simulated* time, and exporters for JSONL, CSV, and the
+// Prometheus text exposition format.
+//
+// The paper's headline claim — semi-permanent cache occupancy — is a
+// statement about state evolving over time, not about end-of-run
+// aggregates. The registry captures the aggregates (hit counters,
+// cycle totals, operation latency distributions); the sampler captures
+// the evolution (per-region cache residency, queue depths, heater
+// sweep coverage) so the occupancy curve itself becomes an artifact.
+//
+// Everything here is passive: recording a metric never charges
+// simulated cycles, and the engine skips all telemetry work when no
+// collector is attached, so benchmark results are bit-identical with
+// telemetry off.
+//
+// The registry is safe for concurrent use (worker goroutines in the
+// multithreaded benchmarks may share one); the simulator itself remains
+// single-threaded per engine.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Labels is a set of metric dimensions ({"arch": "sandybridge",
+// "list": "lla"}). Nil is valid and means "no labels".
+type Labels map[string]string
+
+// MergeLabels returns the union of the given label sets; later sets win
+// on key conflicts. The inputs are not modified.
+func MergeLabels(sets ...Labels) Labels {
+	out := Labels{}
+	for _, s := range sets {
+		for k, v := range s {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// labelKey renders labels in sorted order for map keys and exporters.
+func labelKey(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Add increases the counter by d (negative deltas are ignored: counters
+// only go up).
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += d
+	c.mu.Unlock()
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	g.mu.Lock()
+	g.v += d
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram counts observations into cumulative buckets with the given
+// upper bounds, Prometheus-style (an implicit +Inf bucket catches the
+// tail). The engine uses it for per-operation cycle latencies.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds, +Inf excluded
+	counts []uint64  // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Snapshot returns the bucket bounds and the *cumulative* counts per
+// bound (Prometheus "le" semantics), plus the total count and sum.
+func (h *Histogram) Snapshot() (bounds []float64, cumulative []uint64, count uint64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds = append([]float64(nil), h.bounds...)
+	cumulative = make([]uint64, len(h.counts))
+	var acc uint64
+	for i, c := range h.counts {
+		acc += c
+		cumulative[i] = acc
+	}
+	return bounds, cumulative, h.count, h.sum
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0..1):
+// the smallest bucket bound whose cumulative count reaches q. Samples
+// in the +Inf bucket report the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	bounds, cum, count, _ := h.Snapshot()
+	if count == 0 || len(bounds) == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(count)))
+	if target == 0 {
+		target = 1
+	}
+	for i, b := range bounds {
+		if cum[i] >= target {
+			return b
+		}
+	}
+	return bounds[len(bounds)-1]
+}
+
+// ExpBuckets returns n ascending bucket bounds starting at start and
+// growing by factor — the standard shape for cycle-latency histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 {
+		start = 1
+	}
+	if factor <= 1 {
+		factor = 2
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// CycleBuckets is the default bound set for operation-cycle histograms:
+// 64 cycles up to ~16M cycles in powers of four.
+var CycleBuckets = ExpBuckets(64, 4, 13)
+
+// metricKind discriminates registry entries for export.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered instrument.
+type metric struct {
+	name   string
+	help   string
+	labels Labels
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds named instruments. Looking up the same name+labels
+// returns the same instrument, so independent components accumulate
+// into shared totals.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric // name + "\x00" + labelKey
+	help    map[string]string  // name -> help text
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric), help: make(map[string]string)}
+}
+
+// Help sets the exported HELP text for a metric name.
+func (r *Registry) Help(name, text string) {
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
+}
+
+func (r *Registry) lookup(name string, labels Labels, kind metricKind) *metric {
+	key := name + "\x00" + labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered with a different kind", name))
+		}
+		return m
+	}
+	m := &metric{name: name, labels: MergeLabels(labels), kind: kind}
+	switch kind {
+	case kindCounter:
+		m.counter = &Counter{}
+	case kindGauge:
+		m.gauge = &Gauge{}
+	}
+	r.metrics[key] = m
+	return m
+}
+
+// Counter returns (creating on first use) the counter with the given
+// name and labels.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	return r.lookup(name, labels, kindCounter).counter
+}
+
+// Gauge returns (creating on first use) the gauge with the given name
+// and labels.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	return r.lookup(name, labels, kindGauge).gauge
+}
+
+// Histogram returns (creating on first use) the histogram with the
+// given name, labels, and bucket bounds. Bounds are fixed at creation;
+// later calls with the same name+labels reuse the existing buckets.
+func (r *Registry) Histogram(name string, labels Labels, bounds []float64) *Histogram {
+	m := r.lookup(name, labels, kindHistogram)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.hist == nil {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		m.hist = &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+	}
+	return m.hist
+}
+
+// NumMetrics reports how many metrics (name+label combinations) have
+// been registered. Zero after a run means nothing the collector was
+// attached to ever published — typically an experiment whose engines
+// are built outside the instrumented paths.
+func (r *Registry) NumMetrics() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.metrics)
+}
+
+// snapshot returns all metrics sorted by name then label key, for
+// deterministic export.
+func (r *Registry) snapshot() ([]*metric, map[string]string) {
+	r.mu.Lock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return labelKey(out[i].labels) < labelKey(out[j].labels)
+	})
+	return out, help
+}

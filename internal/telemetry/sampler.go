@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// SamplePoint is one time-series observation. T is simulated time in
+// engine cycles (not wall clock): the simulator is deterministic, so
+// identical runs produce identical series.
+type SamplePoint struct {
+	T uint64
+	V float64
+}
+
+// TimeSeries is a named, labeled sequence of sample points in record
+// order (the engine records with monotonically nondecreasing T).
+type TimeSeries struct {
+	Name   string
+	Labels Labels
+	Points []SamplePoint
+}
+
+// Last returns the most recent point (zero value when empty).
+func (ts *TimeSeries) Last() SamplePoint {
+	if len(ts.Points) == 0 {
+		return SamplePoint{}
+	}
+	return ts.Points[len(ts.Points)-1]
+}
+
+// MinV and MaxV return the value extrema (0 when empty).
+func (ts *TimeSeries) MinV() float64 {
+	if len(ts.Points) == 0 {
+		return 0
+	}
+	m := ts.Points[0].V
+	for _, p := range ts.Points[1:] {
+		if p.V < m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// MaxV returns the largest value in the series (0 when empty).
+func (ts *TimeSeries) MaxV() float64 {
+	if len(ts.Points) == 0 {
+		return 0
+	}
+	m := ts.Points[0].V
+	for _, p := range ts.Points[1:] {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Sampler records time series against simulated time. Recording is
+// cheap (one map lookup and an append); series identity is name+labels.
+type Sampler struct {
+	mu     sync.Mutex
+	series map[string]*TimeSeries
+}
+
+// NewSampler returns an empty sampler.
+func NewSampler() *Sampler {
+	return &Sampler{series: make(map[string]*TimeSeries)}
+}
+
+// Record appends a point to the series with the given name and labels,
+// creating the series on first use.
+func (s *Sampler) Record(name string, labels Labels, t uint64, v float64) {
+	key := name + "\x00" + labelKey(labels)
+	s.mu.Lock()
+	ts, ok := s.series[key]
+	if !ok {
+		ts = &TimeSeries{Name: name, Labels: MergeLabels(labels)}
+		s.series[key] = ts
+	}
+	ts.Points = append(ts.Points, SamplePoint{T: t, V: v})
+	s.mu.Unlock()
+}
+
+// Get returns the series with the given name and labels, or nil.
+func (s *Sampler) Get(name string, labels Labels) *TimeSeries {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.series[name+"\x00"+labelKey(labels)]
+}
+
+// Series returns all series sorted by name then label key.
+func (s *Sampler) Series() []*TimeSeries {
+	s.mu.Lock()
+	out := make([]*TimeSeries, 0, len(s.series))
+	for _, ts := range s.series {
+		out = append(out, ts)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelKey(out[i].Labels) < labelKey(out[j].Labels)
+	})
+	return out
+}
+
+// Find returns all series with the given name (any labels), sorted by
+// label key.
+func (s *Sampler) Find(name string) []*TimeSeries {
+	var out []*TimeSeries
+	for _, ts := range s.Series() {
+		if ts.Name == name {
+			out = append(out, ts)
+		}
+	}
+	return out
+}
+
+// Collector bundles a registry and a sampler with a base label set and
+// an instance counter. One collector typically spans a whole benchmark
+// run; each engine it observes takes an instance id so its series stay
+// distinct (and monotonic in simulated time) even when many engines
+// share a configuration.
+type Collector struct {
+	Registry *Registry
+	Sampler  *Sampler
+
+	// Base labels are merged into every metric and series the engines
+	// register (e.g. {"exp": "fig6b"}).
+	Base Labels
+
+	inst atomic.Uint64
+}
+
+// NewCollector builds a collector with the given base labels.
+func NewCollector(base Labels) *Collector {
+	return &Collector{
+		Registry: NewRegistry(),
+		Sampler:  NewSampler(),
+		Base:     MergeLabels(base),
+	}
+}
+
+// NextInstance hands out a fresh instance id. Engines are constructed
+// deterministically, so ids are stable run-to-run.
+func (c *Collector) NextInstance() string {
+	return strconv.FormatUint(c.inst.Add(1), 10)
+}

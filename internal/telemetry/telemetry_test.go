@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeIdentity(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("spco_ops_total", Labels{"op": "arrive"})
+	c2 := r.Counter("spco_ops_total", Labels{"op": "arrive"})
+	if c1 != c2 {
+		t.Error("same name+labels must return the same counter")
+	}
+	c3 := r.Counter("spco_ops_total", Labels{"op": "post"})
+	if c1 == c3 {
+		t.Error("different labels must return distinct counters")
+	}
+	c1.Add(3)
+	c1.Inc()
+	if c2.Value() != 4 {
+		t.Errorf("counter = %v, want 4", c2.Value())
+	}
+	c1.Add(-5) // ignored: counters only go up
+	if c1.Value() != 4 {
+		t.Errorf("counter after negative add = %v, want 4", c1.Value())
+	}
+	g := r.Gauge("spco_depth", nil)
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Errorf("gauge = %v, want 5", g.Value())
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("spco_cycles", nil, []float64{10, 100, 1000})
+	for _, v := range []float64{1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	bounds, cum, count, sum := h.Snapshot()
+	if count != 5 || sum != 5556 {
+		t.Errorf("count=%d sum=%v, want 5, 5556", count, sum)
+	}
+	wantCum := []uint64{2, 3, 4}
+	for i := range bounds {
+		if cum[i] != wantCum[i] {
+			t.Errorf("cum[le=%v] = %d, want %d", bounds[i], cum[i], wantCum[i])
+		}
+	}
+	if q := h.Quantile(0.5); q != 100 {
+		t.Errorf("p50 = %v, want 100", q)
+	}
+	// Same name+labels reuses the same histogram.
+	if r.Histogram("spco_cycles", nil, []float64{1}).Count() != 5 {
+		t.Error("histogram identity lost")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(64, 4, 3)
+	want := []float64{64, 256, 1024}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Errorf("bucket[%d] = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestSamplerRecordsAndSorts(t *testing.T) {
+	s := NewSampler()
+	s.Record("res", Labels{"owner": "prq"}, 100, 0.5)
+	s.Record("res", Labels{"owner": "prq"}, 200, 0.75)
+	s.Record("res", Labels{"owner": "umq"}, 100, 0.25)
+	s.Record("depth", nil, 50, 3)
+
+	ts := s.Get("res", Labels{"owner": "prq"})
+	if ts == nil || len(ts.Points) != 2 {
+		t.Fatalf("series lookup failed: %+v", ts)
+	}
+	if ts.Last().V != 0.75 || ts.Last().T != 200 {
+		t.Errorf("last = %+v", ts.Last())
+	}
+	if ts.MaxV() != 0.75 || ts.MinV() != 0.5 {
+		t.Errorf("extrema = %v..%v", ts.MinV(), ts.MaxV())
+	}
+	all := s.Series()
+	if len(all) != 3 || all[0].Name != "depth" {
+		t.Errorf("series order: %d series, first %q", len(all), all[0].Name)
+	}
+	if got := s.Find("res"); len(got) != 2 {
+		t.Errorf("Find(res) = %d series, want 2", len(got))
+	}
+}
+
+// promLine matches one valid Prometheus text-exposition sample line.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[+-]?[0-9].*|[0-9.eE+-]+)$`)
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Help("spco_cache_hits_total", "demand hits per level")
+	r.Counter("spco_cache_hits_total", Labels{"level": "l3", "arch": "sandybridge"}).Add(42)
+	r.Counter("spco_cache_hits_total", Labels{"level": "l1", "arch": "sandybridge"}).Add(7)
+	r.Gauge("spco_residency_fraction", Labels{"owner": "prq"}).Set(0.875)
+	h := r.Histogram("spco_op_cycles", Labels{"op": "arrive"}, []float64{100, 1000})
+	h.Observe(50)
+	h.Observe(5000)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	types := 0
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "#") {
+			if strings.HasPrefix(ln, "# TYPE ") {
+				types++
+			}
+			continue
+		}
+		if !promLine.MatchString(ln) {
+			t.Errorf("invalid exposition line: %q", ln)
+		}
+	}
+	if types != 3 {
+		t.Errorf("TYPE headers = %d, want 3 (one per metric family)", types)
+	}
+	for _, want := range []string{
+		`spco_cache_hits_total{arch="sandybridge",level="l3"} 42`,
+		`spco_op_cycles_bucket{op="arrive",le="+Inf"} 2`,
+		`spco_op_cycles_sum{op="arrive"} 5050`,
+		`spco_op_cycles_count{op="arrive"} 2`,
+		`# HELP spco_cache_hits_total demand hits per level`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Label values with quotes and backslashes must be escaped.
+	r2 := NewRegistry()
+	r2.Counter("m", Labels{"p": `a"b\c`}).Inc()
+	var b2 strings.Builder
+	if err := WritePrometheus(&b2, r2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), `m{p="a\"b\\c"} 1`) {
+		t.Errorf("escaping wrong: %q", b2.String())
+	}
+}
+
+func TestJSONLRoundTrips(t *testing.T) {
+	c := NewCollector(Labels{"exp": "test"})
+	c.Registry.Counter("spco_ops_total", c.Base).Add(9)
+	c.Registry.Histogram("spco_cy", nil, []float64{10}).Observe(3)
+	c.Sampler.Record("res", Labels{"owner": "prq"}, 10, 0.5)
+	c.Sampler.Record("res", Labels{"owner": "prq"}, 20, 0.25)
+
+	var b strings.Builder
+	if err := WriteJSONL(&b, c.Registry, c.Sampler); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 { // counter + histogram + 2 points
+		t.Fatalf("JSONL lines = %d, want 4:\n%s", len(lines), b.String())
+	}
+	kinds := map[string]int{}
+	for _, ln := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", ln, err)
+		}
+		kinds[rec["kind"].(string)]++
+	}
+	if kinds["counter"] != 1 || kinds["histogram"] != 1 || kinds["point"] != 2 {
+		t.Errorf("record kinds: %v", kinds)
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	c := NewCollector(nil)
+	c.Registry.Counter("a_total", nil).Add(1)
+	c.Registry.Histogram("h", nil, []float64{10}).Observe(5)
+	c.Sampler.Record("s", Labels{"owner": "prq"}, 1, 2.5)
+
+	var m strings.Builder
+	if err := WriteCSV(&m, c.Registry); err != nil {
+		t.Fatal(err)
+	}
+	// header + counter + 2 buckets + sum + count
+	if got := len(strings.Split(strings.TrimRight(m.String(), "\n"), "\n")); got != 6 {
+		t.Errorf("metrics CSV rows = %d, want 6:\n%s", got, m.String())
+	}
+	var s strings.Builder
+	if err := WriteSeriesCSV(&s, c.Sampler); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.String(), "s,") || !strings.Contains(s.String(), ",1,2.5") {
+		t.Errorf("series CSV: %q", s.String())
+	}
+}
+
+func TestMergeLabels(t *testing.T) {
+	base := Labels{"a": "1", "b": "2"}
+	got := MergeLabels(base, Labels{"b": "3", "c": "4"})
+	if got["a"] != "1" || got["b"] != "3" || got["c"] != "4" {
+		t.Errorf("merge = %v", got)
+	}
+	if base["b"] != "2" {
+		t.Error("merge mutated its input")
+	}
+	if MergeLabels(nil) == nil {
+		t.Error("merge of nil should be non-nil empty")
+	}
+}
+
+func TestCollectorInstances(t *testing.T) {
+	c := NewCollector(nil)
+	if a, b := c.NextInstance(), c.NextInstance(); a == b {
+		t.Errorf("instances must be unique: %q %q", a, b)
+	}
+}

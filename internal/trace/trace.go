@@ -186,6 +186,31 @@ func (s *Stats) Max() float64 {
 	return s.max
 }
 
+// Merge folds another accumulator into s, as if every sample added to
+// o had been added to s instead (Chan et al.'s parallel combination of
+// Welford's recurrence). Workers can accumulate independently and the
+// owner merges their partials; o is unchanged.
+func (s *Stats) Merge(o Stats) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.mean += d * float64(o.n) / float64(n)
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.n = n
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
 // String formats as "mean ± stddev".
 func (s *Stats) String() string {
 	return fmt.Sprintf("%.2f ± %.2f", s.Mean(), s.StdDev())

@@ -130,6 +130,83 @@ func TestStatsWelfordProperty(t *testing.T) {
 	}
 }
 
+func TestStatsMergeKnownValues(t *testing.T) {
+	var a, b, whole Stats
+	for _, v := range []float64{2, 4, 4, 4} {
+		a.Add(v)
+		whole.Add(v)
+	}
+	for _, v := range []float64{5, 5, 7, 9} {
+		b.Add(v)
+		whole.Add(v)
+	}
+	a.Merge(b)
+	if a.N() != whole.N() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Errorf("merged n/min/max = %d/%v/%v, want %d/%v/%v",
+			a.N(), a.Min(), a.Max(), whole.N(), whole.Min(), whole.Max())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-12 {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	if math.Abs(a.StdDev()-whole.StdDev()) > 1e-12 {
+		t.Errorf("merged stddev = %v, want %v", a.StdDev(), whole.StdDev())
+	}
+}
+
+func TestStatsMergeEmptySides(t *testing.T) {
+	var empty, s Stats
+	s.Add(3)
+	s.Add(5)
+
+	got := s
+	got.Merge(empty) // merging empty changes nothing
+	if got != s {
+		t.Errorf("merge(empty) changed stats: %+v != %+v", got, s)
+	}
+
+	var dst Stats
+	dst.Merge(s) // merging into empty copies
+	if dst != s {
+		t.Errorf("empty.Merge(s) = %+v, want %+v", dst, s)
+	}
+
+	// And o must be left untouched.
+	if s.N() != 2 || s.Mean() != 4 {
+		t.Errorf("merge mutated its argument: %+v", s)
+	}
+}
+
+// Splitting a random sample set across k workers and merging must agree
+// with accumulating the whole set sequentially.
+func TestStatsMergeProperty(t *testing.T) {
+	f := func(raw []int16, kRaw uint8) bool {
+		k := int(kRaw%7) + 2
+		var whole Stats
+		parts := make([]Stats, k)
+		for i, v := range raw {
+			whole.Add(float64(v))
+			parts[i%k].Add(float64(v))
+		}
+		var merged Stats
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		if merged.N() != whole.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		scale := 1 + math.Abs(whole.Mean())
+		return math.Abs(merged.Mean()-whole.Mean()) < 1e-9*scale &&
+			math.Abs(merged.StdDev()-whole.StdDev()) < 1e-6*(1+whole.StdDev()) &&
+			merged.Min() == whole.Min() && merged.Max() == whole.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tb := NewTable("T", "name", "value")
 	tb.AddRow("alpha", 1)

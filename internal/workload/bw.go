@@ -133,6 +133,7 @@ func RunBW(cfg BWConfig) BWResult {
 		totalNS += iterNS
 	}
 
+	en.PublishTelemetry()
 	res := BWResult{
 		NSPerMsg:        totalNS / float64(msgs),
 		CPUCyclesPerMsg: float64(totalCycles) / float64(msgs),

@@ -65,6 +65,7 @@ func RunLat(cfg LatConfig) LatResult {
 			cfg.Fabric.SerializationNS(cfg.MsgBytes)
 	}
 
+	en.PublishTelemetry()
 	n := float64(cfg.Iters)
 	return LatResult{
 		OneWayUS:        totalNS / n / 1e3,

@@ -84,6 +84,7 @@ func RunUMQ(cfg UMQConfig) UMQResult {
 		tag += cfg.Recvs
 	}
 
+	en.PublishTelemetry()
 	return UMQResult{
 		NSPerRecv:        totalNS / float64(recvs),
 		CPUCyclesPerRecv: float64(totalCycles) / float64(recvs),

@@ -49,6 +49,7 @@ import (
 	"spco/internal/netmodel"
 	"spco/internal/proxyapps"
 	"spco/internal/stencil"
+	"spco/internal/telemetry"
 	"spco/internal/workload"
 )
 
@@ -277,6 +278,55 @@ func LoadTrace(path string) (*MatchTrace, error) { return mtrace.Load(path) }
 // ReplayTrace drives a fresh engine through a recorded trace,
 // cross-checking every matching outcome.
 func ReplayTrace(t *MatchTrace, cfg EngineConfig) ReplayResult { return mtrace.Replay(t, cfg) }
+
+// Telemetry: the observability layer (internal/telemetry). A
+// MetricsCollector attached via EngineConfig.Telemetry gathers
+// per-operation cycle histograms, cache-residency and queue-depth time
+// series against simulated cycles, and an eviction-attribution matrix;
+// the writers export Prometheus text, JSONL, or CSV.
+type (
+	// MetricsCollector bundles a registry and a time-series sampler.
+	MetricsCollector = telemetry.Collector
+	// MetricsRegistry holds named counters, gauges, and histograms.
+	MetricsRegistry = telemetry.Registry
+	// MetricLabels is a set of metric dimensions.
+	MetricLabels = telemetry.Labels
+	// MetricSeries is one sampled time series.
+	MetricSeries = telemetry.TimeSeries
+	// EngineObserver sees every matching operation.
+	EngineObserver = engine.Observer
+	// EngineTracer is a bounded ring-buffer flight recorder of
+	// matching operations (attach with Engine.SetObserver).
+	EngineTracer = engine.Tracer
+	// EngineTraceEvent is one recorded operation.
+	EngineTraceEvent = engine.TraceEvent
+)
+
+// NewMetricsCollector builds a collector with the given base labels.
+func NewMetricsCollector(base MetricLabels) *MetricsCollector {
+	return telemetry.NewCollector(base)
+}
+
+// NewEngineTracer builds a flight recorder retaining at most capacity
+// events (0 selects the default).
+func NewEngineTracer(capacity int) *EngineTracer { return engine.NewTracer(capacity) }
+
+// CombineObservers fans the observer path out to several observers.
+func CombineObservers(obs ...EngineObserver) EngineObserver {
+	return engine.CombineObservers(obs...)
+}
+
+// WriteMetricsFile exports a collector's registry to path: .jsonl and
+// .csv select those formats, anything else Prometheus text exposition.
+func WriteMetricsFile(path string, c *MetricsCollector) error {
+	return telemetry.WriteMetricsFile(path, c)
+}
+
+// WriteSeriesFile exports a collector's sampled time series to path
+// (.jsonl, else CSV).
+func WriteSeriesFile(path string, c *MetricsCollector) error {
+	return telemetry.WriteSeriesFile(path, c)
+}
 
 // Experiment registry (every paper table and figure).
 type (
