@@ -20,6 +20,13 @@ test-race:
 vet:
 	go vet ./...
 
+# bench-smoke compiles and runs every benchmark exactly once, so the
+# exporter and PMU hot paths can't silently break or panic under the
+# benchmark harness without failing CI.
+.PHONY: bench-smoke
+bench-smoke:
+	go test -bench=. -benchtime=1x -run='^$$' $(PKG)
+
 .PHONY: fmt
 fmt:
 	gofmt -l -w .

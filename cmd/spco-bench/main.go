@@ -19,6 +19,11 @@
 // of the per-operation event ring as JSONL. -cpuprofile/-memprofile
 // write Go pprof profiles of the simulator itself.
 //
+// Simulated PMU (internal/perf): -perf-stat prints the counter report
+// accumulated across the experiment's engines; -folded/-pprof-sim
+// write sampling profiles of simulated cycles and -spans per-message
+// lifecycle spans (-sample-interval sets the profiler period).
+//
 // Output is the same rows/series the paper plots; EXPERIMENTS.md
 // records the expected shapes against the paper's reported values.
 package main
@@ -34,6 +39,7 @@ import (
 
 	"spco"
 	"spco/internal/engine"
+	"spco/internal/perf"
 	"spco/internal/telemetry"
 )
 
@@ -55,6 +61,8 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU pprof profile here")
 		memProfile = flag.String("memprofile", "", "write a heap pprof profile here")
 	)
+	var pcli perf.CLI
+	pcli.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list || *exp == "" {
@@ -95,6 +103,8 @@ func main() {
 		tracer = engine.NewTracer(*traceCap)
 		opts.Observer = tracer
 	}
+	pmu := pcli.New("bench")
+	opts.Perf = pmu
 
 	var ids []string
 	if *exp == "all" {
@@ -156,6 +166,9 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "spco-bench: %d events written to %s (%d recorded, %d dropped)\n",
 			tracer.Len(), *eventsOut, tracer.Total(), tracer.Dropped())
+	}
+	if err := pcli.Finish(os.Stdout, pmu); err != nil {
+		fatal(err)
 	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)

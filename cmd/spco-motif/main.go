@@ -4,14 +4,23 @@
 // Example:
 //
 //	spco-motif -motif amr -ranks 65536 -sample 1024 -phases 50
+//
+// Telemetry: -metrics-out exports the histogram buckets as registry
+// counters, -series-out the representative rank's queue-length series
+// (thinned with -residency-interval, here in queue events), and
+// -events-out every simulated queue mutation as JSONL.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"spco"
+	"spco/internal/motif"
+	"spco/internal/telemetry"
 )
 
 func main() {
@@ -23,6 +32,12 @@ func main() {
 		seed   = flag.Int64("seed", 2018, "random seed")
 		bucket = flag.Int("bucket", 0, "histogram bucket width (0 = motif default)")
 		bars   = flag.Bool("bars", false, "render log-scaled ASCII bars instead of counts")
+
+		metricsOut  = flag.String("metrics-out", "", "write the metrics registry here (.prom/.txt Prometheus text, .jsonl, .csv)")
+		seriesOut   = flag.String("series-out", "", "write queue-length time series here (.csv or .jsonl)")
+		eventsOut   = flag.String("events-out", "", "write every queue mutation here (JSONL)")
+		resInterval = flag.Uint64("residency-interval", 0, "record series every N queue events (0 = every event)")
+		seriesRanks = flag.Int("series-ranks", 1, "simulated ranks contributing time series")
 	)
 	flag.Parse()
 
@@ -32,6 +47,28 @@ func main() {
 		Phases:      *phases,
 		Seed:        *seed,
 		BucketWidth: *bucket,
+	}
+	var col *telemetry.Collector
+	if *metricsOut != "" || *seriesOut != "" {
+		col = telemetry.NewCollector(nil)
+		cfg.Telemetry = col
+		cfg.SeriesInterval = *resInterval
+		cfg.SeriesRanks = *seriesRanks
+	}
+	var evFile *os.File
+	var evBuf *bufio.Writer
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fatal(err)
+		}
+		evFile, evBuf = f, bufio.NewWriter(f)
+		enc := json.NewEncoder(evBuf)
+		cfg.Observer = func(ev motif.Event) {
+			if err := enc.Encode(ev); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	var res *spco.MotifResult
 	switch *name {
@@ -44,6 +81,25 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "spco-motif: unknown motif %q\n", *name)
 		os.Exit(2)
+	}
+
+	if evBuf != nil {
+		if err := evBuf.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := evFile.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if col != nil && *metricsOut != "" {
+		if err := telemetry.WriteMetricsFile(*metricsOut, col); err != nil {
+			fatal(err)
+		}
+	}
+	if col != nil && *seriesOut != "" {
+		if err := telemetry.WriteSeriesFile(*seriesOut, col); err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("# %s at %d ranks (%d sampled, %d phases, bucket %d)\n",
@@ -74,4 +130,9 @@ func main() {
 		}
 		fmt.Printf("%6d-%-9d %14d %14d\n", lo, hi, p, u)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spco-motif:", err)
+	os.Exit(1)
 }

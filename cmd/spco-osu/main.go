@@ -10,6 +10,11 @@
 // Telemetry: -metrics-out, -series-out, -events-out, and
 // -residency-interval instrument the run (see internal/telemetry);
 // -cpuprofile/-memprofile write Go pprof profiles.
+//
+// Simulated PMU (internal/perf): -perf-stat prints the counter report,
+// -folded/-pprof-sim write sampling profiles of simulated cycles, and
+// -spans writes per-message lifecycle spans; -sample-interval sets the
+// profiler period. See also cmd/spco-perf for the dedicated driver.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"spco"
 	"spco/internal/engine"
 	"spco/internal/netmodel"
+	"spco/internal/perf"
 	"spco/internal/telemetry"
 	"spco/internal/workload"
 )
@@ -48,6 +54,8 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU pprof profile here")
 		memProfile = flag.String("memprofile", "", "write a heap pprof profile here")
 	)
+	var pcli perf.CLI
+	pcli.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -92,6 +100,7 @@ func main() {
 	if *eventsOut != "" {
 		tracer = engine.NewTracer(0)
 	}
+	pmu := pcli.New("osu")
 
 	cfg := spco.BWConfig{
 		Engine: spco.EngineConfig{
@@ -104,6 +113,7 @@ func main() {
 			Bins:              256,
 			Telemetry:         col,
 			ResidencyInterval: *resInterval,
+			Perf:              pmu,
 		},
 		Fabric:     fab,
 		QueueDepth: *depth,
@@ -154,6 +164,9 @@ func main() {
 		if err := tracer.WriteFile(*eventsOut); err != nil {
 			fatal(err)
 		}
+	}
+	if err := pcli.Finish(os.Stdout, pmu); err != nil {
+		fatal(err)
 	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)

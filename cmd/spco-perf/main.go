@@ -1,0 +1,455 @@
+// Command spco-perf drives the simulated PMU (internal/perf) over the
+// modified OSU bandwidth workload, the way perf(1) drives the hardware
+// PMU over a process:
+//
+//	spco-perf stat   [flags]            counter report (perf-stat style)
+//	spco-perf record [flags]            sampling profile + per-message spans
+//	spco-perf diff   [flags] -vs SPEC   side-by-side delta of two configs
+//
+// Examples:
+//
+//	spco-perf stat -list lla -k 8 -depth 1024
+//	spco-perf record -depth 1024 -folded out.folded -pprof-out out.pb.gz
+//	spco-perf diff -list lla -k 2 -depth 1024 -vs k=32
+//	spco-perf diff -depth 512 -vs hc=on
+//
+// The -vs SPEC is a comma-separated list of overrides applied on top of
+// the base flags: arch, list, k, depth, size, window, iters, hc=on/off,
+// pool=on/off.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"spco"
+	"spco/internal/netmodel"
+	"spco/internal/perf"
+	"spco/internal/telemetry"
+	"spco/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "stat":
+		cmdStat(os.Args[2:])
+	case "record":
+		cmdRecord(os.Args[2:])
+	case "diff":
+		cmdDiff(os.Args[2:])
+	case "help", "-h", "-help", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "spco-perf: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: spco-perf <stat|record|diff> [flags]
+
+  stat    run the bandwidth workload under the simulated PMU and print
+          a perf-stat-style counter report
+  record  additionally sample the logical stack and trace per-message
+          spans; write folded stacks, pprof, and span JSONL
+  diff    run two configurations (base flags vs -vs overrides) and
+          print a side-by-side counter and latency-percentile delta
+
+Run 'spco-perf <subcommand> -h' for flags.
+`)
+}
+
+// spec is one workload configuration, shared by all subcommands.
+type spec struct {
+	arch, list, fabric             string
+	k, depth, window, iters, flush int
+	size                           uint64
+	hot, pool                      bool
+}
+
+// bindFlags registers the shared workload flags on fs, filling s.
+func bindFlags(fs *flag.FlagSet, s *spec) {
+	fs.StringVar(&s.arch, "arch", "sandybridge", "architecture profile (sandybridge, broadwell, nehalem, knl)")
+	fs.StringVar(&s.list, "list", "lla", "match structure (baseline, lla, hashbins, rankarray, fourd, hwoffload, percomm)")
+	fs.IntVar(&s.k, "k", 2, "LLA entries per node")
+	fs.IntVar(&s.depth, "depth", 1024, "unmatched entries padding the queue")
+	fs.Uint64Var(&s.size, "size", 1, "message size in bytes")
+	fs.IntVar(&s.window, "window", 0, "messages in flight per iteration (0 = workload default)")
+	fs.IntVar(&s.iters, "iters", 10, "timed iterations")
+	fs.IntVar(&s.flush, "flush-every", 0, "compute phase + cache flush every N windows (0 = default)")
+	fs.BoolVar(&s.hot, "hotcache", false, "enable the cache heater")
+	fs.BoolVar(&s.pool, "pool", false, "enable the element pool")
+	fs.StringVar(&s.fabric, "fabric", "", "fabric override (ib-qdr, omnipath, mlx-qdr)")
+}
+
+// label names a configuration in reports; only the dimensions that
+// distinguish runs appear.
+func (s spec) label() string {
+	return fmt.Sprintf("osu_bw arch=%s list=%s k=%d depth=%d size=%d hc=%v pool=%v",
+		s.arch, s.list, s.k, s.depth, s.size, s.hot, s.pool)
+}
+
+// run executes the bandwidth workload under a PMU built from popts.
+func (s spec) run(popts perf.Options) (*perf.PMU, workload.BWResult, error) {
+	prof, ok := spco.ProfileByName(s.arch)
+	if !ok {
+		return nil, workload.BWResult{}, fmt.Errorf("unknown architecture %q", s.arch)
+	}
+	kind, err := spco.ParseKind(s.list)
+	if err != nil {
+		return nil, workload.BWResult{}, err
+	}
+	fab := defaultFabric(s.arch)
+	if s.fabric != "" {
+		f, ok := netmodel.Fabrics[s.fabric]
+		if !ok {
+			return nil, workload.BWResult{}, fmt.Errorf("unknown fabric %q", s.fabric)
+		}
+		fab = f
+	}
+	popts.Label = s.label()
+	pmu := perf.New(popts)
+	cfg := spco.BWConfig{
+		Engine: spco.EngineConfig{
+			Profile:        prof,
+			Kind:           kind,
+			EntriesPerNode: s.k,
+			HotCache:       s.hot,
+			Pool:           s.pool,
+			CommSize:       64,
+			Bins:           256,
+			Perf:           pmu,
+		},
+		Fabric:     fab,
+		QueueDepth: s.depth,
+		MsgBytes:   s.size,
+		Window:     s.window,
+		Iters:      s.iters,
+		FlushEvery: s.flush,
+	}
+	return pmu, spco.RunBandwidth(cfg), nil
+}
+
+func defaultFabric(arch string) spco.Fabric {
+	switch arch {
+	case "broadwell":
+		return spco.OmniPath
+	case "nehalem":
+		return spco.MellanoxQDR
+	default:
+		return spco.IBQDR
+	}
+}
+
+// --- stat ---
+
+func cmdStat(args []string) {
+	fs := flag.NewFlagSet("spco-perf stat", flag.ExitOnError)
+	var s spec
+	bindFlags(fs, &s)
+	metricsOut := fs.String("metrics-out", "", "also publish counters to a metrics file (.prom/.txt, .jsonl, .csv)")
+	fs.Parse(args)
+
+	// Counters and spans only: stat reports totals and latency
+	// percentiles, no sampling profile.
+	pmu, r, err := s.run(perf.Options{Experiment: "osu_bw"})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(pmu.Report())
+	fmt.Println()
+	printResult(r)
+	printPercentiles(os.Stdout, pmu)
+
+	if *metricsOut != "" {
+		col := telemetry.NewCollector(nil)
+		pmu.Publish(col.Registry, telemetry.Labels{
+			"arch": s.arch, "list": s.list, "k": strconv.Itoa(s.k),
+		})
+		if err := telemetry.WriteMetricsFile(*metricsOut, col); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func printResult(r workload.BWResult) {
+	fmt.Printf(" %18.4f   MiB/s\n %18.0f   msgs/s\n %18.2f   cycles/msg\n %18.2f   mean search depth\n\n",
+		r.BandwidthMiBps, r.MsgRate, r.CPUCyclesPerMsg, r.MeanDepth)
+}
+
+func printPercentiles(w *os.File, pmu *perf.PMU) {
+	log := pmu.Spans()
+	if log == nil || log.Len() == 0 {
+		return
+	}
+	fmt.Fprintf(w, " span latency (cycles)  %10s %10s %10s %10s %10s\n", "n", "p50", "p90", "p99", "max")
+	for k := perf.OpKind(0); k < perf.NumOps; k++ {
+		p := log.Percentiles(k.String())
+		if p.N == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "   %-20s %10d %10d %10d %10d %10d\n", p.Kind, p.N, p.P50, p.P90, p.P99, p.Max)
+	}
+	if d := log.Dropped(); d > 0 {
+		fmt.Fprintf(w, "   (ring dropped %d oldest spans)\n", d)
+	}
+}
+
+// --- record ---
+
+func cmdRecord(args []string) {
+	fs := flag.NewFlagSet("spco-perf record", flag.ExitOnError)
+	var s spec
+	bindFlags(fs, &s)
+	folded := fs.String("folded", "", "write folded stacks here (flamegraph.pl / speedscope)")
+	pprofOut := fs.String("pprof-out", "", "write a gzipped pprof profile here (go tool pprof)")
+	spansOut := fs.String("spans", "", "write per-message spans here (JSONL)")
+	interval := fs.Uint64("sample-interval", perf.DefaultSampleInterval, "profiler sampling period in simulated cycles")
+	spanCap := fs.Int("span-cap", 0, "span ring capacity (0 = default 65536, negative disables)")
+	fs.Parse(args)
+
+	pmu, r, err := s.run(perf.Options{
+		Experiment:     "osu_bw",
+		SampleInterval: *interval,
+		SpanCapacity:   *spanCap,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(pmu.Report())
+	fmt.Println()
+	printResult(r)
+	printPercentiles(os.Stdout, pmu)
+	if pr := pmu.Profiler(); pr != nil {
+		fmt.Printf(" %18s   profile samples (interval %d cycles)\n", group(pr.NumSamples()), pr.Interval())
+	}
+
+	write := func(path string, fn func(*os.File) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if pr := pmu.Profiler(); pr != nil {
+		write(*folded, func(f *os.File) error { return pr.WriteFolded(f) })
+		write(*pprofOut, func(f *os.File) error { return pr.WritePprof(f) })
+	} else if *folded != "" || *pprofOut != "" {
+		fatal(fmt.Errorf("profiling disabled (-sample-interval 0), nothing to write"))
+	}
+	if log := pmu.Spans(); log != nil {
+		write(*spansOut, func(f *os.File) error { return log.WriteJSONL(f) })
+	} else if *spansOut != "" {
+		fatal(fmt.Errorf("span recording disabled (negative -span-cap), nothing to write"))
+	}
+}
+
+// --- diff ---
+
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("spco-perf diff", flag.ExitOnError)
+	var base spec
+	bindFlags(fs, &base)
+	vs := fs.String("vs", "", "variant overrides, comma-separated (e.g. k=32 or hc=on,list=baseline)")
+	fs.Parse(args)
+	if *vs == "" {
+		fatal(fmt.Errorf("diff needs -vs overrides (e.g. -vs k=32)"))
+	}
+	variant, err := applyOverrides(base, *vs)
+	if err != nil {
+		fatal(err)
+	}
+
+	pmuA, resA, err := base.run(perf.Options{Experiment: "osu_bw"})
+	if err != nil {
+		fatal(err)
+	}
+	pmuB, resB, err := variant.run(perf.Options{Experiment: "osu_bw"})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("# base:    %s\n# variant: %s\n\n", base.label(), variant.label())
+	a, b := pmuA.Totals().Rows(), pmuB.Totals().Rows()
+	fmt.Printf(" %-34s %16s %16s %18s\n", "counter", "base", "variant", "delta")
+	for i := range a {
+		// Rows() order is fixed, but level-gated rows (evictions, flushes)
+		// can differ between runs; align by name.
+		rb, ok := findRow(b, a[i].Name)
+		if !ok {
+			continue
+		}
+		fmt.Printf(" %-34s %16s %16s %18s\n", a[i].Name, fmtRow(a[i]), fmtRow(rb), fmtDelta(a[i], rb))
+	}
+
+	fmt.Println()
+	fmt.Printf(" %-28s %10s %10s %10s %10s %10s\n", "span latency (cycles)", "n", "p50", "p90", "p99", "max")
+	for k := perf.OpKind(0); k < perf.NumOps; k++ {
+		pa := pmuA.Spans().Percentiles(k.String())
+		pb := pmuB.Spans().Percentiles(k.String())
+		if pa.N == 0 && pb.N == 0 {
+			continue
+		}
+		fmt.Printf("   %-26s %10d %10d %10d %10d %10d\n", pa.Kind+" base", pa.N, pa.P50, pa.P90, pa.P99, pa.Max)
+		fmt.Printf("   %-26s %10d %10d %10d %10d %10d\n", pb.Kind+" variant", pb.N, pb.P50, pb.P90, pb.P99, pb.Max)
+		fmt.Printf("   %-26s %10s %10s %10s %10s %10s\n", "delta",
+			sdelta(int64(pb.N)-int64(pa.N)),
+			sdelta(int64(pb.P50)-int64(pa.P50)),
+			sdelta(int64(pb.P90)-int64(pa.P90)),
+			sdelta(int64(pb.P99)-int64(pa.P99)),
+			sdelta(int64(pb.Max)-int64(pa.Max)))
+	}
+
+	fmt.Println()
+	fmt.Printf(" %-28s %16s %16s\n", "workload", "base", "variant")
+	fmt.Printf(" %-28s %16.4f %16.4f\n", "bandwidth (MiB/s)", resA.BandwidthMiBps, resB.BandwidthMiBps)
+	fmt.Printf(" %-28s %16.0f %16.0f\n", "message rate (msgs/s)", resA.MsgRate, resB.MsgRate)
+	fmt.Printf(" %-28s %16.2f %16.2f\n", "cycles per message", resA.CPUCyclesPerMsg, resB.CPUCyclesPerMsg)
+	fmt.Printf(" %-28s %16.2f %16.2f\n", "mean search depth", resA.MeanDepth, resB.MeanDepth)
+}
+
+// applyOverrides parses a -vs spec ("k=32,hc=on") onto a copy of base.
+func applyOverrides(base spec, vs string) (spec, error) {
+	v := base
+	for _, kv := range strings.Split(vs, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return v, fmt.Errorf("bad override %q (want key=value)", kv)
+		}
+		var err error
+		switch key {
+		case "arch":
+			v.arch = val
+		case "list":
+			v.list = val
+		case "fabric":
+			v.fabric = val
+		case "k":
+			v.k, err = strconv.Atoi(val)
+		case "depth":
+			v.depth, err = strconv.Atoi(val)
+		case "window":
+			v.window, err = strconv.Atoi(val)
+		case "iters":
+			v.iters, err = strconv.Atoi(val)
+		case "flush-every":
+			v.flush, err = strconv.Atoi(val)
+		case "size":
+			v.size, err = strconv.ParseUint(val, 10, 64)
+		case "hc", "hotcache":
+			v.hot, err = parseOnOff(val)
+		case "pool":
+			v.pool, err = parseOnOff(val)
+		default:
+			return v, fmt.Errorf("unknown override key %q", key)
+		}
+		if err != nil {
+			return v, fmt.Errorf("override %q: %v", kv, err)
+		}
+	}
+	return v, nil
+}
+
+func parseOnOff(s string) (bool, error) {
+	switch s {
+	case "on", "true", "1", "yes":
+		return true, nil
+	case "off", "false", "0", "no":
+		return false, nil
+	}
+	return false, fmt.Errorf("want on/off")
+}
+
+func findRow(rows []perf.Row, name string) (perf.Row, bool) {
+	for _, r := range rows {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return perf.Row{}, false
+}
+
+// fmtRow renders one counter value the way the stat report does.
+func fmtRow(r perf.Row) string {
+	switch {
+	case r.Percent:
+		return fmt.Sprintf("%.2f%%", r.Value*100)
+	case r.Value == float64(uint64(r.Value)):
+		return group(uint64(r.Value))
+	default:
+		return fmt.Sprintf("%.2f", r.Value)
+	}
+}
+
+// fmtDelta renders variant-minus-base: percentage points for ratio
+// rows, a signed count plus relative change for counts.
+func fmtDelta(a, b perf.Row) string {
+	d := b.Value - a.Value
+	switch {
+	case a.Percent:
+		return fmt.Sprintf("%+.2fpp", d*100)
+	case a.Value == float64(uint64(a.Value)) && b.Value == float64(uint64(b.Value)):
+		if a.Value == 0 {
+			return sdelta(int64(d))
+		}
+		return fmt.Sprintf("%s (%+.1f%%)", sdelta(int64(d)), 100*d/a.Value)
+	default:
+		if a.Value == 0 {
+			return fmt.Sprintf("%+.2f", d)
+		}
+		return fmt.Sprintf("%+.2f (%+.1f%%)", d, 100*d/a.Value)
+	}
+}
+
+// sdelta renders a signed integer with thousands separators.
+func sdelta(n int64) string {
+	if n < 0 {
+		return "-" + group(uint64(-n))
+	}
+	return "+" + group(uint64(n))
+}
+
+// group renders n with thousands separators.
+func group(n uint64) string {
+	s := strconv.FormatUint(n, 10)
+	if len(s) <= 3 {
+		return s
+	}
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead == 0 {
+		lead = 3
+	}
+	b.WriteString(s[:lead])
+	for i := lead; i < len(s); i += 3 {
+		b.WriteByte(',')
+		b.WriteString(s[i : i+3])
+	}
+	return b.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spco-perf:", err)
+	os.Exit(1)
+}

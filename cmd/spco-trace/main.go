@@ -22,6 +22,7 @@ import (
 	"spco/internal/matchlist"
 	"spco/internal/mtrace"
 	"spco/internal/netmodel"
+	"spco/internal/perf"
 	"spco/internal/proxyapps"
 	"spco/internal/telemetry"
 	"spco/internal/trace"
@@ -152,6 +153,8 @@ func replay(args []string) {
 		eventsOut   = fs.String("events-out", "", "write the per-operation event ring here (JSONL)")
 		resInterval = fs.Uint64("residency-interval", 0, "sample residency/queue depths every N simulated cycles (0 = phase boundaries only)")
 	)
+	var pcli perf.CLI
+	pcli.Register(fs)
 	fs.Parse(args)
 
 	tr, err := mtrace.Load(*in)
@@ -211,6 +214,8 @@ func replay(args []string) {
 	if *eventsOut != "" {
 		tracer = engine.NewTracer(0)
 	}
+	pmu := pcli.New("replay")
+	cfg.Perf = pmu
 	r := mtrace.Replay(tr, cfg, tracer.AsObserver())
 	fmt.Printf("replayed %d events on %s/%s: %d cycles (%.3f ms modeled), mean depth %.1f, %d mismatches\n",
 		len(tr.Events), prof.Name, kind, r.Stats.Cycles, r.CPUNanos/1e6,
@@ -229,6 +234,9 @@ func replay(args []string) {
 		if err := tracer.WriteFile(*eventsOut); err != nil {
 			fatal(err)
 		}
+	}
+	if err := pcli.Finish(os.Stdout, pmu); err != nil {
+		fatal(err)
 	}
 	if r.Mismatches > 0 {
 		os.Exit(1)

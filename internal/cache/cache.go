@@ -223,6 +223,11 @@ type wayEntry struct {
 	prefetched bool // filled by a prefetcher, no demand hit yet
 }
 
+// evictHook observes a capacity eviction: a fill of incoming displaced
+// victim. The prefetched bits report how the incoming line is being
+// filled and whether the victim was an unused prefetch.
+type evictHook func(incoming, victim uint64, incomingPrefetched, victimPrefetched bool)
+
 // level is a true-LRU set-associative cache.
 type level struct {
 	cfg  LevelConfig
@@ -230,10 +235,10 @@ type level struct {
 	mask uint64
 	tick uint64
 
-	// onEvict, when set, observes capacity evictions: a fill of
-	// incoming displaced victim. Nil unless the hierarchy's residency
-	// tracking is enabled, so the disabled cost is one nil check.
-	onEvict func(incoming, victim uint64)
+	// onEvict, when set, observes capacity evictions. Nil unless the
+	// hierarchy's residency tracking or PMU probe is enabled, so the
+	// disabled cost is one nil check.
+	onEvict evictHook
 }
 
 func newLevel(cfg LevelConfig) *level {
@@ -323,7 +328,7 @@ func (l *level) insertRange(line uint64, prefetched bool, lo, hi int) {
 		}
 	}
 	if l.onEvict != nil && set[victim].valid {
-		l.onEvict(line, set[victim].line)
+		l.onEvict(line, set[victim].line, prefetched, set[victim].prefetched)
 	}
 	set[victim] = wayEntry{line: line, valid: true, lastUse: l.tick, prefetched: prefetched}
 }
@@ -338,6 +343,23 @@ func (l *level) forEachValid(fn func(line uint64)) {
 			}
 		}
 	}
+}
+
+// countValid reports the valid lines in ways [fromWay, Ways) of every
+// set and how many of them are unused prefetches. Used by the probe's
+// flush accounting; non-mutating.
+func (l *level) countValid(fromWay int) (valid, prefetched uint64) {
+	for _, set := range l.sets {
+		for i := fromWay; i < len(set); i++ {
+			if set[i].valid {
+				valid++
+				if set[i].prefetched {
+					prefetched++
+				}
+			}
+		}
+	}
+	return valid, prefetched
 }
 
 // flushWaysFrom invalidates ways [lo, Ways) of every set, leaving the
@@ -408,6 +430,10 @@ type Hierarchy struct {
 
 	heaterActive bool
 	stats        Stats
+
+	// probe, when attached, observes hierarchy events for the simulated
+	// PMU (see probe.go). Nil costs one check per emission site.
+	probe Probe
 
 	// Residency tracking (see residency.go). All zero-valued and
 	// inert until EnableResidencyTracking.
@@ -513,6 +539,16 @@ func (h *Hierarchy) Flush() {
 			h.noteFlush("l3", h.l3)
 		}
 	}
+	if h.probe != nil {
+		for c := 0; c < h.prof.Cores; c++ {
+			h.noteFlushProbe(LevelL1, h.l1[c], 0)
+			h.noteFlushProbe(LevelL2, h.l2[c], 0)
+		}
+		if h.l3 != nil {
+			// Partitioned ways survive; count only what dies below.
+			h.noteFlushProbe(LevelL3, h.l3, h.prof.L3PartitionWays)
+		}
+	}
 	for c := 0; c < h.prof.Cores; c++ {
 		h.l1[c].flush()
 		h.l2[c].flush()
@@ -580,6 +616,10 @@ func (h *Hierarchy) InNetworkCache(addr simmem.Addr) bool {
 // FlushPrivate invalidates only core's private L1/L2, modeling a context
 // where the core's working set churned but the shared cache survived.
 func (h *Hierarchy) FlushPrivate(core int) {
+	if h.probe != nil {
+		h.noteFlushProbe(LevelL1, h.l1[core], 0)
+		h.noteFlushProbe(LevelL2, h.l2[core], 0)
+	}
 	h.l1[core].flush()
 	h.l2[core].flush()
 	h.streams[core] = h.streams[core][:0]
@@ -613,8 +653,12 @@ func (h *Hierarchy) accessLine(core int, line uint64) uint64 {
 		if pf {
 			h.stats.PrefHits++
 		}
+		total := tlbCost + uint64(h.prof.L1.LatencyCycles)
+		if h.probe != nil {
+			h.probe.OnDemand(core, Demand{Level: LevelL1, WasPrefetched: pf, Cycles: total, TLBCycles: tlbCost})
+		}
 		h.streamObserve(core, line, false)
-		return tlbCost + uint64(h.prof.L1.LatencyCycles)
+		return total
 	}
 
 	// Designated network data is served by the dedicated cache right
@@ -623,10 +667,18 @@ func (h *Hierarchy) accessLine(core int, line uint64) uint64 {
 		if hit, _ := h.nc.lookup(line, true); hit {
 			h.stats.NCHits++
 			l1.insert(line, false)
+			total := tlbCost + uint64(h.prof.NetworkCache.LatencyCycles)
+			if h.probe != nil {
+				h.probe.OnDemand(core, Demand{Level: LevelNC, Cycles: total, TLBCycles: tlbCost})
+			}
 			h.streamObserve(core, line, false)
-			return tlbCost + uint64(h.prof.NetworkCache.LatencyCycles)
+			return total
 		}
-		cost := h.fillFromBeyondL2(core, line, false)
+		cost, src, pf, heater := h.fillFromBeyondL2(core, line, false)
+		if h.probe != nil {
+			h.probe.OnDemand(core, Demand{Level: src, WasPrefetched: pf,
+				Cycles: tlbCost + cost, HeaterCycles: heater, TLBCycles: tlbCost})
+		}
 		h.adjacentPrefetch(core, line)
 		h.pairPrefetch(core, line)
 		h.streamObserve(core, line, true)
@@ -638,14 +690,22 @@ func (h *Hierarchy) accessLine(core int, line uint64) uint64 {
 			h.stats.PrefHits++
 		}
 		l1.insert(line, false)
+		total := tlbCost + uint64(h.prof.L2.LatencyCycles)
+		if h.probe != nil {
+			h.probe.OnDemand(core, Demand{Level: LevelL2, WasPrefetched: pf, Cycles: total, TLBCycles: tlbCost})
+		}
 		h.dcuPrefetch(core, line)
 		h.streamObserve(core, line, false)
-		return tlbCost + uint64(h.prof.L2.LatencyCycles)
+		return total
 	}
 
 	// L2 miss: the adjacent-line, adjacent-pair and streamer prefetchers
 	// live at L2 and react here.
-	cost := h.fillFromBeyondL2(core, line, false)
+	cost, src, pf, heater := h.fillFromBeyondL2(core, line, false)
+	if h.probe != nil {
+		h.probe.OnDemand(core, Demand{Level: src, WasPrefetched: pf,
+			Cycles: tlbCost + cost, HeaterCycles: heater, TLBCycles: tlbCost})
+	}
 	h.adjacentPrefetch(core, line)
 	h.pairPrefetch(core, line)
 	h.streamObserve(core, line, true)
@@ -656,10 +716,11 @@ func (h *Hierarchy) accessLine(core int, line uint64) uint64 {
 // fillFromBeyondL2 resolves a line that missed a core's L1 and L2,
 // returning the demand cost, and fills the private levels. When
 // prefetched is true the fill is attributed to a prefetcher (and costs
-// the caller nothing).
-func (h *Hierarchy) fillFromBeyondL2(core int, line uint64, prefetched bool) uint64 {
+// the caller nothing). For demand fills the extra returns identify the
+// serving level, whether it held the line via a prefetch, and the
+// heater-contention share of the cost (probe bookkeeping only).
+func (h *Hierarchy) fillFromBeyondL2(core int, line uint64, prefetched bool) (cost uint64, src LevelID, wasPf bool, heaterExtra uint64) {
 	l1, l2 := h.l1[core], h.l2[core]
-	var cost uint64
 	if h.l3 != nil {
 		if hit, pf := h.l3.lookup(line, !prefetched); hit {
 			if !prefetched {
@@ -668,14 +729,17 @@ func (h *Hierarchy) fillFromBeyondL2(core int, line uint64, prefetched bool) uin
 					h.stats.PrefHits++
 				}
 			}
+			src, wasPf = LevelL3, pf
 			cost = uint64(h.prof.L3.LatencyCycles)
 			if !prefetched && h.heaterActive {
-				cost += uint64(h.prof.L3ContentionCycles)
+				heaterExtra = uint64(h.prof.L3ContentionCycles)
+				cost += heaterExtra
 			}
 		} else {
 			if !prefetched {
 				h.stats.DRAMLoads++
 			}
+			src = LevelDRAM
 			cost = uint64(h.prof.DRAMLatency)
 			h.l3insert(line, prefetched)
 		}
@@ -683,6 +747,7 @@ func (h *Hierarchy) fillFromBeyondL2(core int, line uint64, prefetched bool) uin
 		if !prefetched {
 			h.stats.DRAMLoads++
 		}
+		src = LevelDRAM
 		cost = uint64(h.prof.DRAMLatency)
 	}
 	l2.insert(line, prefetched)
@@ -693,7 +758,7 @@ func (h *Hierarchy) fillFromBeyondL2(core int, line uint64, prefetched bool) uin
 	if h.nc != nil && h.netRegion.Contains(simmem.Addr(line*LineSize)) {
 		h.nc.insert(line, prefetched)
 	}
-	return cost
+	return cost, src, wasPf, heaterExtra
 }
 
 // l3insert routes an L3 fill through the way partition when one is
@@ -726,6 +791,9 @@ func (h *Hierarchy) dcuPrefetch(core int, line uint64) {
 	if h.l2[core].contains(next) || (h.l3 != nil && h.l3.contains(next)) {
 		h.l1[core].insert(next, true)
 		h.stats.Prefetches++
+		if h.probe != nil {
+			h.probe.OnPrefetchIssue(core, UnitDCU)
+		}
 	}
 }
 
@@ -741,6 +809,9 @@ func (h *Hierarchy) adjacentPrefetch(core int, line uint64) {
 	}
 	h.fillFromBeyondL2(core, buddy, true)
 	h.stats.Prefetches++
+	if h.probe != nil {
+		h.probe.OnPrefetchIssue(core, UnitAdjacent)
+	}
 }
 
 // pairPrefetch models the specialized adjacent-pair unit: on an L2 miss
@@ -758,6 +829,9 @@ func (h *Hierarchy) pairPrefetch(core int, line uint64) {
 		}
 		h.fillFromBeyondL2(core, l, true)
 		h.stats.Prefetches++
+		if h.probe != nil {
+			h.probe.OnPrefetchIssue(core, UnitPair)
+		}
 	}
 }
 
@@ -809,6 +883,12 @@ func (h *Hierarchy) streamObserve(core int, line uint64, missed bool) {
 	if st.run < 2 || !missed {
 		return
 	}
+	// A miss that extends an already-trained run (the streamer was
+	// issuing on the previous access too) means the unit did not run far
+	// enough ahead of demand: the model's late-prefetch signal.
+	if h.probe != nil && st.run >= 3 {
+		h.probe.OnLatePrefetch(core)
+	}
 	lastInPage := (page+1)*pageSize/LineSize - 1
 	for d := 1; d <= h.prof.StreamerDegree; d++ {
 		next := line + uint64(d)
@@ -820,6 +900,9 @@ func (h *Hierarchy) streamObserve(core int, line uint64, missed bool) {
 		}
 		h.fillFromBeyondL2(core, next, true)
 		h.stats.Prefetches++
+		if h.probe != nil {
+			h.probe.OnPrefetchIssue(core, UnitStreamer)
+		}
 	}
 }
 
@@ -832,18 +915,21 @@ func (h *Hierarchy) HeaterTouch(core int, addr simmem.Addr, size uint64) {
 	}
 	first := addr.Line()
 	last := (addr + simmem.Addr(size) - 1).Line()
-	if h.resTrack {
+	if h.resTrack || h.probe != nil {
 		h.agent = AgentHeater
 	}
 	for line := first; line <= last; line++ {
 		h.stats.HeaterTouches++
+		if h.probe != nil {
+			h.probe.OnHeaterLine(core)
+		}
 		if h.l3 != nil {
 			h.l3.insert(line, false)
 		}
 		h.l2[core].insert(line, false)
 		h.l1[core].insert(line, false)
 	}
-	if h.resTrack {
+	if h.resTrack || h.probe != nil {
 		h.agent = ""
 	}
 }

@@ -85,19 +85,7 @@ func (h *Hierarchy) EnableResidencyTracking() {
 	}
 	h.resTrack = true
 	h.evictions = make(map[EvictionKey]uint64)
-	hook := func(name string) func(incoming, victim uint64) {
-		return func(incoming, victim uint64) { h.noteEviction(name, incoming, victim) }
-	}
-	for c := 0; c < h.prof.Cores; c++ {
-		h.l1[c].onEvict = hook("l1")
-		h.l2[c].onEvict = hook("l2")
-	}
-	if h.l3 != nil {
-		h.l3.onEvict = hook("l3")
-	}
-	if h.nc != nil {
-		h.nc.onEvict = hook("nc")
-	}
+	h.installEvictHooks()
 }
 
 // ResidencyTracking reports whether tracking is enabled.

@@ -1,0 +1,47 @@
+package engine
+
+import (
+	"testing"
+
+	"spco/internal/perf"
+	"spco/internal/telemetry"
+)
+
+// End-to-end churn benchmarks, with and without the observability
+// layers attached. bench-smoke runs each once in CI; comparing the
+// plain and instrumented variants locally measures host-side (not
+// simulated) observer overhead.
+
+func benchChurn(b *testing.B, cfg Config) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		en := New(cfg)
+		driveChurn(en, 2, 200)
+		en.PublishTelemetry()
+	}
+}
+
+func BenchmarkChurnPlain(b *testing.B) {
+	benchChurn(b, baseCfg())
+}
+
+func BenchmarkChurnWithPMU(b *testing.B) {
+	cfg := baseCfg()
+	cfg.Perf = perf.New(perf.Options{SampleInterval: perf.DefaultSampleInterval, Experiment: "bench"})
+	benchChurn(b, cfg)
+}
+
+func BenchmarkChurnWithTelemetry(b *testing.B) {
+	cfg := baseCfg()
+	cfg.Telemetry = telemetry.NewCollector(nil)
+	benchChurn(b, cfg)
+}
+
+func BenchmarkChurnFullyInstrumented(b *testing.B) {
+	cfg := baseCfg()
+	cfg.HotCache = true
+	cfg.Perf = perf.New(perf.Options{SampleInterval: perf.DefaultSampleInterval, Experiment: "bench"})
+	cfg.Telemetry = telemetry.NewCollector(nil)
+	cfg.ResidencyInterval = 10_000
+	benchChurn(b, cfg)
+}

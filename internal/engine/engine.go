@@ -22,6 +22,7 @@ import (
 	"spco/internal/hotcache"
 	"spco/internal/match"
 	"spco/internal/matchlist"
+	"spco/internal/perf"
 	"spco/internal/simmem"
 	"spco/internal/telemetry"
 	"spco/internal/trace"
@@ -105,6 +106,13 @@ type Config struct {
 	// per-owner cache-residency fractions. Zero samples only at
 	// compute-phase boundaries. Ignored without Telemetry.
 	ResidencyInterval uint64
+
+	// Perf attaches a simulated PMU (internal/perf): the engine connects
+	// it to the hierarchy as an event probe, brackets every operation
+	// for its counters/spans, and feeds the sampling profiler's stack.
+	// Nil (the default) costs one pointer check per operation and leaves
+	// cycle totals bit-identical.
+	Perf *perf.PMU
 }
 
 // Stats aggregates engine activity.
@@ -164,6 +172,9 @@ type Engine struct {
 
 	// Telemetry binding (nil unless Config.Telemetry).
 	tel *engineTelemetry
+
+	// Simulated PMU (nil unless Config.Perf).
+	pmu *perf.PMU
 }
 
 // Observer sees every matching operation as it happens; the mtrace
@@ -243,6 +254,9 @@ func New(cfg Config) *Engine {
 	en.umq = matchlist.NewUnexpected(cfg.Kind, ucfg)
 	if cfg.Telemetry != nil {
 		en.tel = newEngineTelemetry(en, cfg.Telemetry)
+	}
+	if cfg.Perf != nil {
+		en.bindPerf()
 	}
 
 	if cfg.TrackHistograms {
@@ -324,6 +338,9 @@ func (en *Engine) charge(memStart uint64, depth int, overhead uint64) uint64 {
 func (en *Engine) Arrive(e match.Envelope, msg uint64) (req uint64, matched bool, cycles uint64) {
 	memStart := en.acc.Cycles
 	en.stats.Arrivals++
+	if en.pmu != nil {
+		en.pmu.BeginOp(perf.OpArrive)
+	}
 	p, depth, ok := en.prq.Search(e)
 	en.stats.PRQDepthTotal += uint64(depth)
 	if en.prqDepthHist != nil {
@@ -338,6 +355,9 @@ func (en *Engine) Arrive(e match.Envelope, msg uint64) (req uint64, matched bool
 		}
 		if en.tel != nil {
 			en.tel.op(en.tel.arrive, cycles)
+		}
+		if en.pmu != nil {
+			en.pmu.EndOp(cycles, depth, true, p.Req)
 		}
 		return p.Req, true, cycles
 	}
@@ -354,6 +374,9 @@ func (en *Engine) Arrive(e match.Envelope, msg uint64) (req uint64, matched bool
 	if en.tel != nil {
 		en.tel.op(en.tel.arrive, cycles)
 	}
+	if en.pmu != nil {
+		en.pmu.EndOp(cycles, depth, false, 0)
+	}
 	return 0, false, cycles
 }
 
@@ -362,6 +385,9 @@ func (en *Engine) Arrive(e match.Envelope, msg uint64) (req uint64, matched bool
 func (en *Engine) PostRecv(rank, tag int, ctx uint16, req uint64) (msg uint64, matched bool, cycles uint64) {
 	memStart := en.acc.Cycles
 	en.stats.Recvs++
+	if en.pmu != nil {
+		en.pmu.BeginOp(perf.OpPost)
+	}
 	p := match.NewPosted(rank, tag, ctx, req)
 	u, depth, ok := en.umq.SearchBy(p)
 	en.stats.UMQDepthTotal += uint64(depth)
@@ -374,6 +400,9 @@ func (en *Engine) PostRecv(rank, tag int, ctx uint16, req uint64) (msg uint64, m
 		}
 		if en.tel != nil {
 			en.tel.op(en.tel.post, cycles)
+		}
+		if en.pmu != nil {
+			en.pmu.EndOp(cycles, depth, true, req)
 		}
 		return u.Msg, true, cycles
 	}
@@ -390,12 +419,18 @@ func (en *Engine) PostRecv(rank, tag int, ctx uint16, req uint64) (msg uint64, m
 	if en.tel != nil {
 		en.tel.op(en.tel.post, cycles)
 	}
+	if en.pmu != nil {
+		en.pmu.EndOp(cycles, depth, false, req)
+	}
 	return 0, false, cycles
 }
 
 // Cancel removes a posted receive by request handle.
 func (en *Engine) Cancel(req uint64) (bool, uint64) {
 	memStart := en.acc.Cycles
+	if en.pmu != nil {
+		en.pmu.BeginOp(perf.OpCancel)
+	}
 	ok := en.prq.Cancel(req)
 	cycles := en.charge(memStart, 0, PostOverheadCycles)
 	en.sampleQueues()
@@ -404,6 +439,9 @@ func (en *Engine) Cancel(req uint64) (bool, uint64) {
 	}
 	if en.tel != nil {
 		en.tel.op(en.tel.cancel, cycles)
+	}
+	if en.pmu != nil {
+		en.pmu.EndOp(cycles, 0, ok, req)
 	}
 	return ok, cycles
 }
@@ -423,6 +461,9 @@ func (en *Engine) BeginComputePhase(durationNS float64) {
 	}
 	if en.tel != nil {
 		en.tel.phase()
+	}
+	if en.pmu != nil {
+		en.pmu.AdvancePhase(en.phaseCycles(durationNS))
 	}
 }
 

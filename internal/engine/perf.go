@@ -1,0 +1,46 @@
+package engine
+
+// PMU wiring. When a perf.PMU is attached at construction the engine:
+//
+//   - connects it to the cache hierarchy as a probe, so every demand
+//     access, prefetch, eviction, flush, and heater touch lands in the
+//     PMU's counters;
+//   - hands it a segment reader over the cache accessor, so the
+//     sampling profiler's leaf frame is the queue node the current
+//     search is inspecting;
+//   - brackets every operation with BeginOp/EndOp, feeding the span log
+//     and the per-op counters;
+//   - advances the PMU's engine-cycle clock over compute phases, and
+//     counts heater sweeps via a sweep hook.
+//
+// Like telemetry, the binding is nil-guarded everywhere: a detached
+// engine pays one pointer comparison per operation and its simulated
+// cycle totals are bit-identical (enforced by TestPerfDisabledIsBitIdentical).
+
+import "spco/internal/perf"
+
+// bindPerf connects cfg.Perf to the engine's components.
+func (en *Engine) bindPerf() {
+	p := en.cfg.Perf
+	en.pmu = p
+	en.hier.AttachProbe(p)
+	p.SetSegFunc(func() int { return en.acc.Seg })
+	if en.heater != nil {
+		en.heater.AddSweepHook(func(phaseNS float64, touched uint64, coverage float64) {
+			p.OnHeaterSweep()
+		})
+	}
+}
+
+// Perf returns the attached PMU, or nil.
+func (en *Engine) Perf() *perf.PMU { return en.pmu }
+
+// phaseCycles converts a compute-phase length to simulated cycles on
+// the engine's clock, for the PMU's span/profile timeline.
+func (en *Engine) phaseCycles(durationNS float64) uint64 {
+	ns := en.cfg.Profile.CyclesToNanos(1)
+	if ns <= 0 || durationNS <= 0 {
+		return 0
+	}
+	return uint64(durationNS / ns)
+}

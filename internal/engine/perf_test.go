@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"testing"
+
+	"spco/internal/perf"
+	"spco/internal/telemetry"
+)
+
+func TestPerfDisabledIsBitIdentical(t *testing.T) {
+	// The zero-cost contract extended to the simulated PMU: the same
+	// workload with and without a PMU attached — profiler and span
+	// tracing fully enabled — must produce identical engine and cache
+	// cycle totals. The PMU observes the simulation, never perturbs it.
+	run := func(pmu *perf.PMU) (Stats, uint64) {
+		cfg := baseCfg()
+		cfg.HotCache = true
+		cfg.Perf = pmu
+		en := New(cfg)
+		driveChurn(en, 4, 200)
+		return en.Stats(), en.Hierarchy().Stats().Cycles
+	}
+	plainStats, plainCache := run(nil)
+	pmu := perf.New(perf.Options{SampleInterval: 100, Experiment: "zerocost"})
+	perfStats, perfCache := run(pmu)
+	if plainStats != perfStats {
+		t.Errorf("PMU changed engine stats:\noff %+v\non  %+v", plainStats, perfStats)
+	}
+	if plainCache != perfCache {
+		t.Errorf("PMU changed cache cycles: off %d on %d", plainCache, perfCache)
+	}
+	// And the instrumented run did observe the workload.
+	tot := pmu.Totals()
+	if tot.TotalOps() == 0 || tot.Accesses() == 0 || tot.MatchAttempts == 0 {
+		t.Errorf("PMU recorded nothing: %+v", tot)
+	}
+	if pmu.Spans().Len() == 0 || pmu.Profiler().NumSamples() == 0 {
+		t.Error("spans or profile samples missing")
+	}
+}
+
+func TestPerfAndTelemetryCoexist(t *testing.T) {
+	// Both observability layers share the heater sweep hook and the
+	// hierarchy's eviction dispatch; attaching them together must still
+	// leave cycle totals untouched and feed both.
+	run := func(both bool) (Stats, uint64, *perf.PMU) {
+		cfg := baseCfg()
+		cfg.HotCache = true
+		var pmu *perf.PMU
+		if both {
+			pmu = perf.New(perf.Options{})
+			cfg.Perf = pmu
+			cfg.Telemetry = telemetry.NewCollector(nil)
+		}
+		en := New(cfg)
+		driveChurn(en, 3, 100)
+		return en.Stats(), en.Hierarchy().Stats().Cycles, pmu
+	}
+	plainStats, plainCache, _ := run(false)
+	bothStats, bothCache, pmu := run(true)
+	if plainStats != bothStats || plainCache != bothCache {
+		t.Errorf("telemetry+PMU changed simulation:\noff %+v/%d\non  %+v/%d",
+			plainStats, plainCache, bothStats, bothCache)
+	}
+	tot := pmu.Totals()
+	if tot.HeaterSweeps == 0 {
+		t.Error("PMU missed heater sweeps (sweep hook not chained)")
+	}
+	if tot.HeaterLines == 0 {
+		t.Error("PMU missed heater line touches")
+	}
+}

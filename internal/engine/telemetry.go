@@ -123,7 +123,7 @@ func newEngineTelemetry(en *Engine, c *telemetry.Collector) *engineTelemetry {
 	}
 	t.arrive, t.post, t.cancel = op("arrive"), op("post"), op("cancel")
 	if ht := en.heater; ht != nil {
-		ht.SetSweepHook(func(phaseNS float64, touched uint64, coverage float64) {
+		ht.AddSweepHook(func(phaseNS float64, touched uint64, coverage float64) {
 			t.c.Sampler.Record("spco_heater_coverage", t.series, t.en.stats.Cycles, coverage)
 		})
 	}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"spco/internal/engine"
+	"spco/internal/perf"
 	"spco/internal/telemetry"
 )
 
@@ -38,6 +39,12 @@ type Options struct {
 	// Observer, when set, is attached to every engine the experiment
 	// builds (e.g. an engine.Tracer flight recorder).
 	Observer engine.Observer
+
+	// Perf, when set, is attached to every engine the experiment builds
+	// as its simulated PMU: counters, profile samples and spans
+	// accumulate across the experiment's engines. Nil leaves cycle
+	// totals bit-identical to an uninstrumented run.
+	Perf *perf.PMU
 }
 
 // instrument applies the options' telemetry wiring to an engine
@@ -46,6 +53,7 @@ type Options struct {
 func (o Options) instrument(cfg engine.Config) engine.Config {
 	cfg.Telemetry = o.Telemetry
 	cfg.ResidencyInterval = o.ResidencyInterval
+	cfg.Perf = o.Perf
 	return cfg
 }
 

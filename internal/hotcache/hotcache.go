@@ -77,9 +77,10 @@ type Heater struct {
 	syncTotal    uint64  // lifetime synchronisation cycles (never drained)
 	lastCoverage float64 // fraction of the registry the last sweep touched
 
-	// onSweep, when set, observes every sweep (the telemetry layer
-	// records sweep events as a time series). Nil costs one check.
-	onSweep func(phaseNS float64, touched uint64, coverage float64)
+	// onSweep holds the sweep observers (the telemetry layer records
+	// sweep events as a time series; the PMU counts sweeps). Empty
+	// costs one length check.
+	onSweep []func(phaseNS float64, touched uint64, coverage float64)
 }
 
 // New binds a heater to a hierarchy and the core it is pinned to. The
@@ -176,8 +177,8 @@ func (ht *Heater) Sweep(phaseNS float64) {
 	ht.lastCoverage = frac
 	if total == 0 || budget == 0 {
 		ht.lastCoverage = 0
-		if ht.onSweep != nil {
-			ht.onSweep(phaseNS, 0, 0)
+		for _, fn := range ht.onSweep {
+			fn(phaseNS, 0, 0)
 		}
 		return
 	}
@@ -214,8 +215,8 @@ func (ht *Heater) Sweep(phaseNS float64) {
 		}
 	}
 	ht.cursor = (start + budget) % total
-	if ht.onSweep != nil {
-		ht.onSweep(phaseNS, done, frac)
+	for _, fn := range ht.onSweep {
+		fn(phaseNS, done, frac)
 	}
 }
 
@@ -228,11 +229,25 @@ func (ht *Heater) TakeSyncCycles() uint64 {
 	return c
 }
 
-// SetSweepHook attaches (or, with nil, detaches) a sweep observer: it
-// fires after every Sweep with the modeled phase length, the number of
-// lines touched, and the fraction of the registry covered.
+// SetSweepHook replaces the sweep observers with fn (or, with nil,
+// detaches them all): it fires after every Sweep with the modeled phase
+// length, the number of lines touched, and the fraction of the registry
+// covered.
 func (ht *Heater) SetSweepHook(fn func(phaseNS float64, touched uint64, coverage float64)) {
-	ht.onSweep = fn
+	if fn == nil {
+		ht.onSweep = nil
+		return
+	}
+	ht.onSweep = []func(float64, uint64, float64){fn}
+}
+
+// AddSweepHook appends a sweep observer without disturbing the ones
+// already attached, so independent consumers (telemetry, the PMU) can
+// observe the same heater.
+func (ht *Heater) AddSweepHook(fn func(phaseNS float64, touched uint64, coverage float64)) {
+	if fn != nil {
+		ht.onSweep = append(ht.onSweep, fn)
+	}
 }
 
 // SyncCyclesTotal returns the lifetime synchronisation cycles charged,

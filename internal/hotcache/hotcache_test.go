@@ -252,3 +252,49 @@ func TestSweepHookAndCounters(t *testing.T) {
 		t.Error("detached hook still firing")
 	}
 }
+
+func TestSweepEvictionsAttributedToHeater(t *testing.T) {
+	// The heater-as-evictor case of the eviction-attribution matrix:
+	// the heater sweeps PRQ-owned regions, and when the resulting fills
+	// displace application lines from the shared L3 the matrix must
+	// charge the *heater* agent, not the queue owner whose lines it
+	// happened to be warming.
+	h := testHierarchy()
+	h.EnableResidencyTracking()
+
+	// Queue registry the size of the whole L3 (64 KiB, 1024 lines), so a
+	// full sweep displaces anything else resident.
+	queue := simmem.Region{Base: 0, Size: 1024 * 64}
+	h.TagOwner("prq", queue)
+	ht := New(h, 1, Options{})
+	ht.RegionAdded(queue)
+
+	// Application working set, resident in L3 via demand accesses.
+	app := simmem.Region{Base: 1 << 20, Size: 256 * 64}
+	h.TagOwner("app", app)
+	for i := uint64(0); i < app.Lines(); i++ {
+		h.Access(0, app.Base+simmem.Addr(i*64), 4)
+	}
+	if f := h.ResidencyOf("app").L3Frac(); f == 0 {
+		t.Fatal("app lines not L3-resident before the sweep")
+	}
+
+	ht.Sweep(1e9)
+
+	m := h.EvictionMatrix()
+	heaterEvictedApp := uint64(0)
+	for k, v := range m {
+		if k.Of != "app" || v == 0 {
+			continue
+		}
+		switch k.By {
+		case cache.AgentHeater:
+			heaterEvictedApp += v
+		case "prq", "umq":
+			t.Errorf("app victims misattributed to queue traffic: %v = %d", k, v)
+		}
+	}
+	if heaterEvictedApp == 0 {
+		t.Errorf("no app victims attributed to the heater; matrix = %v", m)
+	}
+}

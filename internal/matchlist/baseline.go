@@ -96,15 +96,18 @@ func (l *baselinePosted) Search(e match.Envelope) (match.Posted, int, bool) {
 	depth := 0
 	var prev *blNode
 	for n := l.head; n != nil; n = n.next {
+		l.cfg.setSeg(depth)
 		l.cfg.Acc.Access(n.addr, baselineMatchBytes)
 		l.cfg.Acc.Access(n.addr+baselineNextOff, baselinePtrBytes)
 		depth++
 		if n.entry.Matches(e) {
 			l.unlink(prev, n)
+			l.cfg.setSeg(-1)
 			return n.entry, depth, true
 		}
 		prev = n
 	}
+	l.cfg.setSeg(-1)
 	return match.Posted{}, depth, false
 }
 
@@ -196,6 +199,7 @@ func (l *baselineUnexpected) SearchBy(p match.Posted) (match.Unexpected, int, bo
 	depth := 0
 	var prev *buNode
 	for n := l.head; n != nil; n = n.next {
+		l.cfg.setSeg(depth)
 		l.cfg.Acc.Access(n.addr, baselineMatchBytes)
 		l.cfg.Acc.Access(n.addr+baselineNextOff, baselinePtrBytes)
 		depth++
@@ -214,10 +218,12 @@ func (l *baselineUnexpected) SearchBy(p match.Posted) (match.Unexpected, int, bo
 			regRemove(&l.cfg, &l.regions, simmem.Region{Base: n.addr, Size: baselineNodeBytes})
 			l.bytes -= baselineNodeBytes
 			l.n--
+			l.cfg.setSeg(-1)
 			return n.entry, depth, true
 		}
 		prev = n
 	}
+	l.cfg.setSeg(-1)
 	return match.Unexpected{}, depth, false
 }
 

@@ -13,11 +13,17 @@ type CacheAccessor struct {
 
 	// Cycles accumulates the cost of every access since the last Reset.
 	Cycles uint64
+
+	// Seg is the queue segment (node index) the current search is
+	// inspecting, -1 outside searches. The search loops maintain it
+	// unconditionally — plain host-side stores, zero simulated cycles —
+	// and the PMU's sampling profiler reads it for its leaf frame.
+	Seg int
 }
 
 // NewCacheAccessor binds a hierarchy and a core.
 func NewCacheAccessor(h *cache.Hierarchy, core int) *CacheAccessor {
-	return &CacheAccessor{H: h, Core: core}
+	return &CacheAccessor{H: h, Core: core, Seg: -1}
 }
 
 // Access implements Accessor.

@@ -221,6 +221,16 @@ func (c Config) noise() uint64 {
 	return c.NoiseBytes
 }
 
+// setSeg publishes the queue segment (node index) the current search is
+// inspecting, for the PMU profiler's leaf frame. Only the cache-routed
+// accessor carries the field; cost-free accessors ignore it. Pass -1
+// when the search ends.
+func (c *Config) setSeg(v int) {
+	if ca, ok := c.Acc.(*CacheAccessor); ok {
+		ca.Seg = v
+	}
+}
+
 func (c Config) validate() {
 	if c.Space == nil {
 		panic("matchlist: Config.Space is required")

@@ -125,9 +125,10 @@ func (l *llaPosted) Post(p match.Posted) {
 // skipped but still cost their memory access.
 func (l *llaPosted) Search(e match.Envelope) (match.Posted, int, bool) {
 	l.cfg.Acc.Access(l.ctrl, 16)
-	depth := 0
+	depth, seg := 0, 0
 	var prev *llaNode
 	for n := l.head; n != nil; n = n.next {
+		l.cfg.setSeg(seg)
 		l.cfg.Acc.Access(n.addr, 8) // head/tail indexes
 		for i := n.head; i < n.tail; i++ {
 			l.cfg.Acc.Access(n.entryAddr(i), match.PostedEntryBytes)
@@ -138,12 +139,15 @@ func (l *llaPosted) Search(e match.Envelope) (match.Posted, int, bool) {
 			}
 			if ent.Matches(e) {
 				l.removeAt(prev, n, i)
+				l.cfg.setSeg(-1)
 				return ent, depth, true
 			}
 		}
 		l.cfg.Acc.Access(n.nextPtrAddr(l.k), 8)
 		prev = n
+		seg++
 	}
+	l.cfg.setSeg(-1)
 	return match.Posted{}, depth, false
 }
 
@@ -307,9 +311,10 @@ func (l *llaUnexpected) Append(u match.Unexpected) {
 
 func (l *llaUnexpected) SearchBy(p match.Posted) (match.Unexpected, int, bool) {
 	l.cfg.Acc.Access(l.ctrl, 16)
-	depth := 0
+	depth, seg := 0, 0
 	var prev *lluNode
 	for n := l.head; n != nil; n = n.next {
+		l.cfg.setSeg(seg)
 		l.cfg.Acc.Access(n.addr, 8)
 		for i := n.head; i < n.tail; i++ {
 			l.cfg.Acc.Access(n.entryAddr(i), match.UnexpectedEntryBytes)
@@ -320,12 +325,15 @@ func (l *llaUnexpected) SearchBy(p match.Posted) (match.Unexpected, int, bool) {
 			}
 			if ent.MatchedBy(p) {
 				l.removeAt(prev, n, i)
+				l.cfg.setSeg(-1)
 				return ent, depth, true
 			}
 		}
 		l.cfg.Acc.Access(n.nextPtrAddr(l.k), 8)
 		prev = n
+		seg++
 	}
+	l.cfg.setSeg(-1)
 	return match.Unexpected{}, depth, false
 }
 

@@ -17,8 +17,10 @@ package motif
 
 import (
 	"math/rand"
+	"strconv"
 
 	"spco/internal/stencil"
+	"spco/internal/telemetry"
 	"spco/internal/trace"
 )
 
@@ -31,6 +33,76 @@ type Result struct {
 	Unexpected *trace.Histogram
 }
 
+// Event is one simulated queue mutation, for the -events-out JSONL
+// export: a post that either appends to the PRQ or consumes a waiting
+// unexpected message, or an arrival that either matches a posted
+// receive or appends to the UMQ.
+type Event struct {
+	Rank    int    `json:"rank"`
+	Phase   int    `json:"phase"`
+	Op      string `json:"op"` // "post" or "arrive"
+	Matched bool   `json:"matched"`
+	PRQ     int    `json:"prq"`
+	UMQ     int    `json:"umq"`
+}
+
+// instr carries a motif run's optional telemetry wiring; a nil *instr
+// leaves phaseSim on the uninstrumented path.
+type instr struct {
+	col      *telemetry.Collector
+	obs      func(Event)
+	series   telemetry.Labels
+	interval uint64 // record series every interval-th event (min 1)
+	ranks    int    // series recorded for ranks < ranks
+	now      uint64 // event clock (queue mutations)
+	rank     int
+	phase    int
+}
+
+func newInstr(c Config, name string) *instr {
+	if c.Telemetry == nil && c.Observer == nil {
+		return nil
+	}
+	in := &instr{col: c.Telemetry, obs: c.Observer, interval: c.SeriesInterval, ranks: c.SeriesRanks}
+	if in.interval == 0 {
+		in.interval = 1
+	}
+	if in.ranks == 0 {
+		in.ranks = 1
+	}
+	if in.col != nil {
+		in.series = telemetry.MergeLabels(in.col.Base,
+			telemetry.Labels{"motif": name, "inst": in.col.NextInstance()})
+	}
+	return in
+}
+
+// emit records one queue mutation: always to the observer, and to the
+// time series for the representative ranks at the configured cadence.
+func (in *instr) emit(op string, matched bool, prq, umq int) {
+	if in == nil {
+		return
+	}
+	in.now++
+	if in.obs != nil {
+		in.obs(Event{Rank: in.rank, Phase: in.phase, Op: op, Matched: matched, PRQ: prq, UMQ: umq})
+	}
+	if in.col != nil && in.rank < in.ranks && in.now%in.interval == 0 {
+		s := in.col.Sampler
+		s.Record("spco_motif_queue_len",
+			telemetry.MergeLabels(in.series, telemetry.Labels{"queue": "prq"}), in.now, float64(prq))
+		s.Record("spco_motif_queue_len",
+			telemetry.MergeLabels(in.series, telemetry.Labels{"queue": "umq"}), in.now, float64(umq))
+	}
+}
+
+// at positions the instrumentation at one rank's phase.
+func (in *instr) at(rank, phase int) {
+	if in != nil {
+		in.rank, in.phase = rank, phase
+	}
+}
+
 // phaseSim replays one communication phase for one rank: posts receives
 // and processes arrivals in a randomly interleaved order, sampling both
 // queue lengths after every mutation.
@@ -40,7 +112,7 @@ type Result struct {
 // both a post and an arrival are pending, the post happens first —
 // high bias models well-synchronised BSP phases (receives pre-posted),
 // low bias produces unexpected messages.
-func phaseSim(rng *rand.Rand, posts int, prepostBias float64, weight uint64, res *Result) {
+func phaseSim(rng *rand.Rand, posts int, prepostBias float64, weight uint64, res *Result, in *instr) {
 	arrival := rng.Perm(posts) // arrival order of messages
 	posted := make([]bool, posts)
 	arrived := make([]bool, posts)
@@ -66,10 +138,12 @@ func phaseSim(rng *rand.Rand, posts int, prepostBias float64, weight uint64, res
 				prqLen++
 			}
 			sample()
+			in.emit("post", arrived[i], prqLen, umqLen)
 		} else {
 			i := arrival[ai]
 			ai++
 			arrived[i] = true
+			matched := posted[i]
 			if posted[i] {
 				posted[i] = false
 				prqLen--
@@ -77,7 +151,34 @@ func phaseSim(rng *rand.Rand, posts int, prepostBias float64, weight uint64, res
 				umqLen++
 			}
 			sample()
+			in.emit("arrive", matched, prqLen, umqLen)
 		}
+	}
+}
+
+// publish folds the finished histograms into the collector's registry
+// as bucket-labeled counters (the Figure 1 series, exportable through
+// the standard writers). A no-op without a collector.
+func publish(c Config, res *Result) {
+	if c.Telemetry == nil {
+		return
+	}
+	reg := c.Telemetry.Registry
+	reg.Help("spco_motif_list_length_total",
+		"Scaled match-list length occurrences per histogram bucket.")
+	reg.Help("spco_motif_samples_total", "Scaled queue-length samples observed.")
+	base := telemetry.MergeLabels(c.Telemetry.Base, telemetry.Labels{"motif": res.Name})
+	for _, q := range []struct {
+		name string
+		h    *trace.Histogram
+	}{{"prq", res.Posted}, {"umq", res.Unexpected}} {
+		l := telemetry.MergeLabels(base, telemetry.Labels{"queue": q.name})
+		for _, b := range q.h.Buckets() {
+			reg.Counter("spco_motif_list_length_total", telemetry.MergeLabels(l, telemetry.Labels{
+				"lo": strconv.Itoa(b.Lo), "hi": strconv.Itoa(b.Hi),
+			})).Add(float64(b.Count))
+		}
+		reg.Counter("spco_motif_samples_total", l).Add(float64(q.h.Total()))
 	}
 }
 
@@ -88,6 +189,25 @@ type Config struct {
 	Phases      int   // communication phases replayed per rank
 	Seed        int64 // RNG seed (runs are deterministic per seed)
 	BucketWidth int   // histogram bucket width (20/10/5 in Figure 1)
+
+	// Telemetry, when set, receives the run's queue-length time series
+	// (for the first SeriesRanks simulated ranks, every SeriesInterval
+	// queue events) and, at the end, the histogram buckets as registry
+	// counters. Nil leaves the replay uninstrumented.
+	Telemetry *telemetry.Collector
+
+	// SeriesInterval thins the series: record every Nth queue event
+	// (0 = every event).
+	SeriesInterval uint64
+
+	// SeriesRanks is how many simulated ranks contribute series
+	// (0 = the first rank only; lengths are i.i.d. across ranks, so one
+	// representative rank is usually enough).
+	SeriesRanks int
+
+	// Observer, when set, receives every simulated queue mutation
+	// (cmd/spco-motif wires the JSONL event writer here).
+	Observer func(Event)
 }
 
 func (c *Config) defaults(ranks, bucket int) {
@@ -131,6 +251,7 @@ func AMR(c Config) *Result {
 	res := newResult("amr", c)
 	rng := rand.New(rand.NewSource(c.Seed))
 	weight := uint64(c.Ranks / c.SampleRanks)
+	in := newInstr(c, "amr")
 
 	for r := 0; r < c.SampleRanks; r++ {
 		// Refinement level: 0 coarse (30%), 1 (55%), 2 (15%). Octree
@@ -147,10 +268,12 @@ func AMR(c Config) *Result {
 		}
 		for ph := 0; ph < c.Phases; ph++ {
 			posts := blocks*fanout + rng.Intn(1+blocks/4)
+			in.at(r, ph)
 			// AMR phases pre-post fairly aggressively.
-			phaseSim(rng, posts, 0.85, weight, res)
+			phaseSim(rng, posts, 0.85, weight, res, in)
 		}
 	}
+	publish(c, res)
 	return res
 }
 
@@ -164,6 +287,7 @@ func Sweep3D(c Config) *Result {
 	res := newResult("sweep3d", c)
 	rng := rand.New(rand.NewSource(c.Seed))
 	weight := uint64(c.Ranks / c.SampleRanks)
+	in := newInstr(c, "sweep3d")
 
 	for r := 0; r < c.SampleRanks; r++ {
 		// Position in the wavefront pipeline determines how many
@@ -179,11 +303,13 @@ func Sweep3D(c Config) *Result {
 				if posts > 199 {
 					posts = 199
 				}
+				in.at(r, ph)
 				// Sweeps pre-post aggressively (receives are known).
-				phaseSim(rng, posts, 0.9, weight, res)
+				phaseSim(rng, posts, 0.9, weight, res, in)
 			}
 		}
 	}
+	publish(c, res)
 	return res
 }
 
@@ -197,6 +323,7 @@ func Halo3D(c Config) *Result {
 	res := newResult("halo3d", c)
 	rng := rand.New(rand.NewSource(c.Seed))
 	weight := uint64(c.Ranks / c.SampleRanks)
+	in := newInstr(c, "halo3d")
 
 	neighbours := len(stencil.Star3D7.Offsets())
 	for r := 0; r < c.SampleRanks; r++ {
@@ -208,8 +335,10 @@ func Halo3D(c Config) *Result {
 		}
 		for ph := 0; ph < c.Phases; ph++ {
 			posts := neighbours * vars
-			phaseSim(rng, posts, 0.8, weight, res)
+			in.at(r, ph)
+			phaseSim(rng, posts, 0.8, weight, res, in)
 		}
 	}
+	publish(c, res)
 	return res
 }

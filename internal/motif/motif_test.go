@@ -17,7 +17,7 @@ func TestPhaseSimConservation(t *testing.T) {
 	res := &Result{Posted: trace.NewHistogram(1), Unexpected: trace.NewHistogram(1)}
 	rng := rand.New(rand.NewSource(1))
 	const posts = 100
-	phaseSim(rng, posts, 0.5, 1, res)
+	phaseSim(rng, posts, 0.5, 1, res, nil)
 	if res.Posted.Total() != 2*posts || res.Unexpected.Total() != 2*posts {
 		t.Errorf("samples = %d/%d, want %d each", res.Posted.Total(), res.Unexpected.Total(), 2*posts)
 	}
@@ -31,7 +31,7 @@ func TestPhaseSimPrepostBiasExtremes(t *testing.T) {
 	// Bias 1: everything pre-posted, no unexpected messages at all.
 	res := &Result{Posted: trace.NewHistogram(1), Unexpected: trace.NewHistogram(1)}
 	rng := rand.New(rand.NewSource(2))
-	phaseSim(rng, 50, 1.0, 1, res)
+	phaseSim(rng, 50, 1.0, 1, res, nil)
 	if res.Unexpected.Max() != 0 {
 		t.Errorf("bias=1 produced unexpected messages (max %d)", res.Unexpected.Max())
 	}
@@ -41,7 +41,7 @@ func TestPhaseSimPrepostBiasExtremes(t *testing.T) {
 
 	// Bias 0: arrivals drain first, everything is unexpected.
 	res2 := &Result{Posted: trace.NewHistogram(1), Unexpected: trace.NewHistogram(1)}
-	phaseSim(rng, 50, 0.0, 1, res2)
+	phaseSim(rng, 50, 0.0, 1, res2, nil)
 	if res2.Posted.Max() != 0 {
 		t.Errorf("bias=0 posted max = %d, want 0", res2.Posted.Max())
 	}

@@ -1,0 +1,77 @@
+package perf
+
+import (
+	"io"
+	"testing"
+
+	"spco/internal/cache"
+)
+
+// The PMU's hot paths: per-access probe emission, profiler ticking, and
+// report/artifact rendering. bench-smoke (-benchtime=1x) runs these in
+// CI so they can't silently panic.
+
+func benchPMU() *PMU {
+	p := New(Options{SampleInterval: 100, Experiment: "bench"})
+	seg := 5
+	p.SetSegFunc(func() int { return seg })
+	for i := 0; i < 1000; i++ {
+		p.BeginOp(OpArrive)
+		p.OnDemand(0, cache.Demand{Level: cache.LevelDRAM, Cycles: 200})
+		p.OnPrefetchIssue(0, cache.UnitStreamer)
+		p.EndOp(800, 10, i%2 == 0, uint64(i+1))
+	}
+	return p
+}
+
+func BenchmarkProbeOnDemand(b *testing.B) {
+	p := New(Options{SampleInterval: 100, Experiment: "bench"})
+	d := cache.Demand{Level: cache.LevelL3, Cycles: 40}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.OnDemand(0, d)
+	}
+}
+
+func BenchmarkEndOpWithSpan(b *testing.B) {
+	p := New(Options{Experiment: "bench"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.BeginOp(OpArrive)
+		p.EndOp(500, 8, true, 0)
+	}
+}
+
+func BenchmarkWriteReport(b *testing.B) {
+	p := benchPMU()
+	for i := 0; i < b.N; i++ {
+		p.WriteReport(io.Discard)
+	}
+}
+
+func BenchmarkWriteFolded(b *testing.B) {
+	p := benchPMU()
+	for i := 0; i < b.N; i++ {
+		if err := p.Profiler().WriteFolded(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWritePprof(b *testing.B) {
+	p := benchPMU()
+	for i := 0; i < b.N; i++ {
+		if err := p.Profiler().WritePprof(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteSpansJSONL(b *testing.B) {
+	p := benchPMU()
+	for i := 0; i < b.N; i++ {
+		if err := p.Spans().WriteJSONL(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package perf
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// CLI is the standard flag bundle commands expose for the simulated
+// PMU: a perf-stat report on stdout plus optional folded-stack, pprof,
+// and span artifacts. Commands register the flags, build a PMU with
+// New (nil when nothing was requested, keeping the run bit-identical
+// to an uninstrumented one), attach it via engine.Config.Perf or
+// experiments.Options.Perf, and call Finish at exit.
+type CLI struct {
+	Stat           bool
+	Folded         string
+	Pprof          string
+	Spans          string
+	SampleInterval uint64
+}
+
+// Register installs the flags on fs (pass flag.CommandLine for the
+// global set).
+func (c *CLI) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Stat, "perf-stat", false, "print the simulated-PMU counter report (internal/perf)")
+	fs.StringVar(&c.Folded, "folded", "", "write simulated-PMU folded stacks here (flamegraph.pl / speedscope)")
+	fs.StringVar(&c.Pprof, "pprof-sim", "", "write a gzipped simulated-PMU pprof profile here (go tool pprof)")
+	fs.StringVar(&c.Spans, "spans", "", "write simulated-PMU per-message spans here (JSONL)")
+	fs.Uint64Var(&c.SampleInterval, "sample-interval", DefaultSampleInterval,
+		"simulated-PMU profiler period in simulated cycles")
+}
+
+// Enabled reports whether any PMU output was requested.
+func (c *CLI) Enabled() bool {
+	return c.Stat || c.Folded != "" || c.Pprof != "" || c.Spans != ""
+}
+
+// New builds the PMU the flags describe, or nil when no output was
+// requested. The profiler only runs when a profile artifact was asked
+// for; spans only when the report (percentiles) or the span file needs
+// them.
+func (c *CLI) New(label string) *PMU {
+	if !c.Enabled() {
+		return nil
+	}
+	opts := Options{Label: label, Experiment: label}
+	if c.Folded != "" || c.Pprof != "" {
+		opts.SampleInterval = c.SampleInterval
+	}
+	if c.Spans == "" && !c.Stat {
+		opts.SpanCapacity = -1
+	}
+	return New(opts)
+}
+
+// Finish prints the report when asked and writes the requested
+// artifacts. A nil PMU (nothing requested) is a no-op.
+func (c *CLI) Finish(w io.Writer, p *PMU) error {
+	if p == nil {
+		return nil
+	}
+	if c.Stat {
+		p.WriteReport(w)
+		if log := p.Spans(); log != nil && log.Len() > 0 {
+			fmt.Fprintf(w, "\n span latency (cycles)  %10s %10s %10s %10s %10s\n", "n", "p50", "p90", "p99", "max")
+			for k := OpKind(0); k < NumOps; k++ {
+				pc := log.Percentiles(k.String())
+				if pc.N == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "   %-20s %10d %10d %10d %10d %10d\n", pc.Kind, pc.N, pc.P50, pc.P90, pc.P99, pc.Max)
+			}
+		}
+	}
+	write := func(path string, fn func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if pr := p.Profiler(); pr != nil {
+		if err := write(c.Folded, pr.WriteFolded); err != nil {
+			return err
+		}
+		if err := write(c.Pprof, pr.WritePprof); err != nil {
+			return err
+		}
+	}
+	if log := p.Spans(); log != nil {
+		if err := write(c.Spans, log.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	return nil
+}

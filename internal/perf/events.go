@@ -1,0 +1,290 @@
+// Package perf is the simulated performance-monitoring unit: a
+// cache.Probe that turns the hierarchy's event stream into perf-style
+// counters, a cycle-attribution sampling profiler (folded stacks and
+// pprof protobuf), and per-message lifecycle spans.
+//
+// The paper's evidence is hardware-counter evidence — LLC miss rates,
+// prefetcher effectiveness, match-latency distributions collected with
+// perf on real Xeons. The PMU reproduces that observability inside the
+// simulator: every counter here is the analog of an event the paper
+// measures, so the comparative methodology (K=2 vs K=32, heater on vs
+// off) can be rerun as a counter diff rather than eyeballed from cycle
+// totals.
+//
+// Like the telemetry layer, the PMU is strictly passive: attaching one
+// changes no simulated cycle totals (a nil check per emission site is
+// the entire detached cost, and the attached path only does host-side
+// bookkeeping). A test enforces bit-identical results.
+package perf
+
+import "spco/internal/cache"
+
+// OpKind identifies an engine operation in counters, profiles and
+// spans.
+type OpKind uint8
+
+// The engine's operations. NumOps sizes per-op arrays.
+const (
+	OpArrive OpKind = iota
+	OpPost
+	OpCancel
+	NumOps
+)
+
+// String returns the operation's span/frame name.
+func (k OpKind) String() string {
+	switch k {
+	case OpArrive:
+		return "arrive"
+	case OpPost:
+		return "post"
+	case OpCancel:
+		return "cancel"
+	}
+	return "?"
+}
+
+// Counters is one snapshot of every modeled PMU event, either for one
+// core or summed over all cores (Totals). The arrays are indexed by the
+// cache package's LevelID, PrefetchUnit and EvictCause enums.
+type Counters struct {
+	// Demand counts demand line accesses by serving level; DemandPf is
+	// the subset served from a line a prefetcher brought in (useful
+	// prefetches). Demand[LevelDRAM] is the demand-miss-all-levels count
+	// — the LLC-miss analog.
+	Demand   [cache.NumLevels]uint64
+	DemandPf [cache.NumLevels]uint64
+
+	// Stall attributes demand cycles to the serving level, net of the
+	// TLB and heater shares, which are attributed separately below.
+	Stall       [cache.NumLevels]uint64
+	StallTLB    uint64
+	StallHeater uint64
+
+	// PrefIssued counts prefetch fills by issuing unit; PrefLate counts
+	// demand misses that extended an already-trained streamer run (the
+	// late-prefetch signal); PrefWastedEvict and PrefWastedFlush count
+	// prefetched lines destroyed before any demand hit, by capacity
+	// eviction and by compute-phase flush respectively.
+	PrefIssued      [cache.NumPrefetchUnits]uint64
+	PrefLate        uint64
+	PrefWastedEvict uint64
+	PrefWastedFlush uint64
+
+	// Evict counts capacity evictions by level and displacing cause.
+	Evict [cache.NumLevels][cache.NumEvictCauses]uint64
+
+	// FlushInvalidated counts valid lines destroyed by flushes, per
+	// level.
+	FlushInvalidated [cache.NumLevels]uint64
+
+	// HeaterLines counts lines touched by heater sweeps; HeaterSweeps
+	// the sweeps themselves.
+	HeaterLines  uint64
+	HeaterSweeps uint64
+
+	// Ops and OpCycles count engine operations and their total cycle
+	// cost by kind; MatchAttempts is the summed search depth (entries
+	// inspected) and Matches the successful ones.
+	Ops           [NumOps]uint64
+	OpCycles      [NumOps]uint64
+	MatchAttempts uint64
+	Matches       uint64
+}
+
+// add accumulates o into c.
+func (c *Counters) add(o *Counters) {
+	for i := range c.Demand {
+		c.Demand[i] += o.Demand[i]
+		c.DemandPf[i] += o.DemandPf[i]
+		c.Stall[i] += o.Stall[i]
+		c.FlushInvalidated[i] += o.FlushInvalidated[i]
+		for j := range c.Evict[i] {
+			c.Evict[i][j] += o.Evict[i][j]
+		}
+	}
+	c.StallTLB += o.StallTLB
+	c.StallHeater += o.StallHeater
+	for i := range c.PrefIssued {
+		c.PrefIssued[i] += o.PrefIssued[i]
+	}
+	c.PrefLate += o.PrefLate
+	c.PrefWastedEvict += o.PrefWastedEvict
+	c.PrefWastedFlush += o.PrefWastedFlush
+	c.HeaterLines += o.HeaterLines
+	c.HeaterSweeps += o.HeaterSweeps
+	for i := range c.Ops {
+		c.Ops[i] += o.Ops[i]
+		c.OpCycles[i] += o.OpCycles[i]
+	}
+	c.MatchAttempts += o.MatchAttempts
+	c.Matches += o.Matches
+}
+
+// Accesses returns the total demand line accesses.
+func (c Counters) Accesses() uint64 {
+	var n uint64
+	for _, v := range c.Demand {
+		n += v
+	}
+	return n
+}
+
+// UsefulPrefetches returns demand hits served from prefetched lines.
+func (c Counters) UsefulPrefetches() uint64 {
+	var n uint64
+	for _, v := range c.DemandPf {
+		n += v
+	}
+	return n
+}
+
+// PrefetchesIssued returns fills issued across all units.
+func (c Counters) PrefetchesIssued() uint64 {
+	var n uint64
+	for _, v := range c.PrefIssued {
+		n += v
+	}
+	return n
+}
+
+// PrefetchAccuracy is useful / issued: the fraction of prefetched lines
+// that saw a demand hit before dying.
+func (c Counters) PrefetchAccuracy() float64 {
+	return ratio(c.UsefulPrefetches(), c.PrefetchesIssued())
+}
+
+// PrefetchCoverage is useful / (useful + DRAM loads): the fraction of
+// would-be memory accesses the prefetchers absorbed.
+func (c Counters) PrefetchCoverage() float64 {
+	u := c.UsefulPrefetches()
+	return ratio(u, u+c.Demand[cache.LevelDRAM])
+}
+
+// StallCycles returns the demand cycles spent beyond the L1: the
+// memory-stall analog (L2/L3/NC/DRAM service plus TLB walks and heater
+// contention).
+func (c Counters) StallCycles() uint64 {
+	s := c.StallTLB + c.StallHeater
+	for lvl := cache.LevelL2; lvl < cache.NumLevels; lvl++ {
+		s += c.Stall[lvl]
+	}
+	return s
+}
+
+// StallPerMatchAttempt returns stall cycles per inspected queue entry —
+// the paper's per-entry traversal cost, isolated to its memory share.
+func (c Counters) StallPerMatchAttempt() float64 {
+	return fratio(float64(c.StallCycles()), float64(c.MatchAttempts))
+}
+
+// LLCMissesPerKiloAttempt is the MPKI analog with match attempts in
+// place of instructions: DRAM loads per thousand entries inspected.
+func (c Counters) LLCMissesPerKiloAttempt() float64 {
+	return fratio(float64(c.Demand[cache.LevelDRAM])*1000, float64(c.MatchAttempts))
+}
+
+// TotalOps returns the operation count across kinds.
+func (c Counters) TotalOps() uint64 {
+	var n uint64
+	for _, v := range c.Ops {
+		n += v
+	}
+	return n
+}
+
+// TotalOpCycles returns the engine cycles across kinds.
+func (c Counters) TotalOpCycles() uint64 {
+	var n uint64
+	for _, v := range c.OpCycles {
+		n += v
+	}
+	return n
+}
+
+func ratio(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+func fratio(n, d float64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return n / d
+}
+
+// Row is one named counter value, for reports and diff tables.
+type Row struct {
+	Name  string
+	Value float64
+	// Percent renders Value as a ratio in reports (e.g. accuracy).
+	Percent bool
+}
+
+// Rows flattens the snapshot into a stable, ordered counter list: raw
+// event counts first, derived ratios last. The order is fixed so diff
+// tables align between runs.
+func (c Counters) Rows() []Row {
+	rows := []Row{
+		{Name: "demand-accesses", Value: float64(c.Accesses())},
+	}
+	for lvl := cache.LevelID(0); lvl < cache.NumLevels; lvl++ {
+		rows = append(rows, Row{Name: "demand-" + lvl.String(), Value: float64(c.Demand[lvl])})
+	}
+	rows = append(rows,
+		Row{Name: "useful-prefetches", Value: float64(c.UsefulPrefetches())},
+		Row{Name: "prefetches-issued", Value: float64(c.PrefetchesIssued())},
+	)
+	for u := cache.PrefetchUnit(0); u < cache.NumPrefetchUnits; u++ {
+		rows = append(rows, Row{Name: "prefetch-" + u.String(), Value: float64(c.PrefIssued[u])})
+	}
+	rows = append(rows,
+		Row{Name: "late-prefetches", Value: float64(c.PrefLate)},
+		Row{Name: "wasted-prefetches-evicted", Value: float64(c.PrefWastedEvict)},
+		Row{Name: "wasted-prefetches-flushed", Value: float64(c.PrefWastedFlush)},
+	)
+	for lvl := cache.LevelID(0); lvl < cache.NumLevels; lvl++ {
+		for cs := cache.EvictCause(0); cs < cache.NumEvictCauses; cs++ {
+			if v := c.Evict[lvl][cs]; v > 0 || lvl <= cache.LevelL3 {
+				rows = append(rows, Row{
+					Name:  "evictions-" + lvl.String() + "-by-" + cs.String(),
+					Value: float64(v),
+				})
+			}
+		}
+	}
+	for lvl := cache.LevelID(0); lvl < cache.NumLevels; lvl++ {
+		if v := c.FlushInvalidated[lvl]; v > 0 || lvl <= cache.LevelL3 {
+			rows = append(rows, Row{Name: "flush-invalidated-" + lvl.String(), Value: float64(v)})
+		}
+	}
+	for lvl := cache.LevelID(0); lvl < cache.NumLevels; lvl++ {
+		rows = append(rows, Row{Name: "stall-cycles-" + lvl.String(), Value: float64(c.Stall[lvl])})
+	}
+	rows = append(rows,
+		Row{Name: "stall-cycles-tlb", Value: float64(c.StallTLB)},
+		Row{Name: "stall-cycles-heater", Value: float64(c.StallHeater)},
+		Row{Name: "stall-cycles-total", Value: float64(c.StallCycles())},
+		Row{Name: "heater-lines-touched", Value: float64(c.HeaterLines)},
+		Row{Name: "heater-sweeps", Value: float64(c.HeaterSweeps)},
+		Row{Name: "match-attempts", Value: float64(c.MatchAttempts)},
+		Row{Name: "matches", Value: float64(c.Matches)},
+	)
+	for k := OpKind(0); k < NumOps; k++ {
+		rows = append(rows,
+			Row{Name: "ops-" + k.String(), Value: float64(c.Ops[k])},
+			Row{Name: "cycles-" + k.String(), Value: float64(c.OpCycles[k])},
+		)
+	}
+	rows = append(rows,
+		Row{Name: "cycles-total", Value: float64(c.TotalOpCycles())},
+		Row{Name: "prefetch-accuracy", Value: c.PrefetchAccuracy(), Percent: true},
+		Row{Name: "prefetch-coverage", Value: c.PrefetchCoverage(), Percent: true},
+		Row{Name: "stall-cycles-per-match-attempt", Value: c.StallPerMatchAttempt()},
+		Row{Name: "llc-misses-per-kilo-attempt", Value: c.LLCMissesPerKiloAttempt()},
+	)
+	return rows
+}

@@ -1,0 +1,383 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"spco/internal/cache"
+	"spco/internal/telemetry"
+)
+
+// Options configures a PMU.
+type Options struct {
+	// Label names the measured run in reports ("bw k=32 hc=off").
+	Label string
+
+	// SampleInterval is the profiler's sampling period in simulated
+	// cycles; every interval the PMU records the current logical stack.
+	// Zero disables sampling.
+	SampleInterval uint64
+
+	// SpanCapacity bounds the span ring (default 65536 when spans are
+	// enabled). Negative disables span recording entirely.
+	SpanCapacity int
+
+	// Experiment seeds the profiler's root frame (default "run").
+	Experiment string
+}
+
+// DefaultSampleInterval is the profiler period CLIs use when the user
+// asks for profiling without choosing one: fine enough to see queue
+// traversal, coarse enough to stay cheap.
+const DefaultSampleInterval = 10_000
+
+// PMU is the simulated performance-monitoring unit. It implements
+// cache.Probe for hierarchy events and exposes operation hooks for the
+// engine. Like the engine it observes, a PMU is single-threaded: one
+// PMU per engine, no locks.
+type PMU struct {
+	opts  Options
+	cores []Counters // per-core hierarchy events
+	glob  Counters   // core-less events (evictions, flushes) + op totals
+
+	prof  *Profiler
+	spans *SpanLog
+
+	// seg reads the accessor's current queue-node index at sample time
+	// (nil → no segment frame).
+	seg func() int
+
+	// Running event totals the spans annotate (cheaper to snapshot than
+	// the full counter set).
+	evBeyondL2 uint64 // demand fills served past the private L2
+	evDRAM     uint64
+	evEvicts   uint64
+
+	// Current op state.
+	opActive  bool
+	op        OpKind
+	opStart   spanMarks
+	now       uint64            // engine-cycle clock (ops + compute phases)
+	openPosts map[uint64]uint64 // req handle -> posted span id
+}
+
+// spanMarks snapshots the running event totals at BeginOp.
+type spanMarks struct {
+	beyondL2 uint64
+	dram     uint64
+	evicts   uint64
+}
+
+// New builds a PMU.
+func New(opts Options) *PMU {
+	if opts.Experiment == "" {
+		opts.Experiment = "run"
+	}
+	p := &PMU{opts: opts, openPosts: make(map[uint64]uint64)}
+	if opts.SampleInterval > 0 {
+		p.prof = newProfiler(opts.Experiment, opts.SampleInterval)
+	}
+	if opts.SpanCapacity >= 0 {
+		cap := opts.SpanCapacity
+		if cap == 0 {
+			cap = 65536
+		}
+		p.spans = newSpanLog(cap)
+	}
+	return p
+}
+
+// Label returns the run label.
+func (p *PMU) Label() string { return p.opts.Label }
+
+// SetSegFunc installs the segment reader the profiler samples for its
+// leaf frame (the engine wires the accessor's node index here).
+func (p *PMU) SetSegFunc(f func() int) { p.seg = f }
+
+// SetPhase names the current phase frame ("comm", "compute").
+func (p *PMU) SetPhase(name string) {
+	if p.prof != nil {
+		p.prof.setPhase(name)
+	}
+}
+
+func (p *PMU) core(core int) *Counters {
+	for core >= len(p.cores) {
+		p.cores = append(p.cores, Counters{})
+	}
+	return &p.cores[core]
+}
+
+// --- cache.Probe ---
+
+// OnDemand implements cache.Probe.
+func (p *PMU) OnDemand(core int, d cache.Demand) {
+	c := p.core(core)
+	c.Demand[d.Level]++
+	if d.WasPrefetched {
+		c.DemandPf[d.Level]++
+	}
+	c.Stall[d.Level] += d.Cycles - d.TLBCycles - d.HeaterCycles
+	c.StallTLB += d.TLBCycles
+	c.StallHeater += d.HeaterCycles
+	switch d.Level {
+	case cache.LevelL3, cache.LevelNC, cache.LevelDRAM:
+		p.evBeyondL2++
+	}
+	if d.Level == cache.LevelDRAM {
+		p.evDRAM++
+	}
+	if p.prof != nil {
+		p.prof.tick(d.Cycles, p.seg)
+	}
+}
+
+// OnPrefetchIssue implements cache.Probe.
+func (p *PMU) OnPrefetchIssue(core int, unit cache.PrefetchUnit) {
+	p.core(core).PrefIssued[unit]++
+}
+
+// OnLatePrefetch implements cache.Probe.
+func (p *PMU) OnLatePrefetch(core int) {
+	p.core(core).PrefLate++
+}
+
+// OnEvict implements cache.Probe.
+func (p *PMU) OnEvict(level cache.LevelID, cause cache.EvictCause, victimPrefetched bool) {
+	p.glob.Evict[level][cause]++
+	if victimPrefetched {
+		p.glob.PrefWastedEvict++
+	}
+	p.evEvicts++
+}
+
+// OnFlush implements cache.Probe.
+func (p *PMU) OnFlush(level cache.LevelID, invalidated, prefetchedUnused uint64) {
+	p.glob.FlushInvalidated[level] += invalidated
+	p.glob.PrefWastedFlush += prefetchedUnused
+}
+
+// OnHeaterLine implements cache.Probe.
+func (p *PMU) OnHeaterLine(core int) {
+	p.core(core).HeaterLines++
+}
+
+// OnHeaterSweep counts one heater sweep (wired via the heater's sweep
+// hook, not the cache probe).
+func (p *PMU) OnHeaterSweep() {
+	p.glob.HeaterSweeps++
+}
+
+// --- engine hooks ---
+
+// BeginOp opens an operation: the profiler's op frame switches and the
+// span annotation counters are marked. Ops do not nest.
+func (p *PMU) BeginOp(k OpKind) {
+	p.opActive = true
+	p.op = k
+	p.opStart = spanMarks{beyondL2: p.evBeyondL2, dram: p.evDRAM, evicts: p.evEvicts}
+	if p.prof != nil {
+		p.prof.setOp(k.String())
+	}
+}
+
+// EndOp closes the current operation with its final cycle cost, the
+// search depth it traversed, whether it matched, and the request handle
+// it concerns (posted-receive handle for OpPost/OpCancel, the matched
+// handle for a hit OpArrive; 0 when not applicable).
+func (p *PMU) EndOp(cycles uint64, depth int, matched bool, req uint64) {
+	if !p.opActive {
+		return
+	}
+	k := p.op
+	p.opActive = false
+	p.glob.Ops[k]++
+	p.glob.OpCycles[k] += cycles
+	p.glob.MatchAttempts += uint64(depth)
+	if matched {
+		p.glob.Matches++
+	}
+	if p.prof != nil {
+		// Memory cycles ticked during the op; attribute the software-path
+		// remainder (overhead + compares + sync) to the op frame itself.
+		p.prof.setOp(k.String())
+		mem := p.memCyclesDelta()
+		if cycles > mem {
+			p.prof.tickFlat(cycles - mem)
+		}
+		p.prof.setOp("")
+	}
+	if p.spans != nil {
+		s := Span{
+			Kind:      k.String(),
+			StartCy:   p.now,
+			Cycles:    cycles,
+			Depth:     depth,
+			Matched:   matched,
+			Req:       req,
+			BeyondL2:  p.evBeyondL2 - p.opStart.beyondL2,
+			DRAMLoads: p.evDRAM - p.opStart.dram,
+			Evictions: p.evEvicts - p.opStart.evicts,
+		}
+		p.spans.append(s, func(sp *Span) {
+			switch {
+			case k == OpPost && !matched && req != 0:
+				p.openPosts[req] = sp.ID
+			case k == OpArrive && matched && req != 0:
+				if pid, ok := p.openPosts[req]; ok {
+					sp.LinkID = pid
+					delete(p.openPosts, req)
+				}
+			case k == OpCancel && req != 0:
+				delete(p.openPosts, req)
+			}
+		})
+	}
+	p.now += cycles
+}
+
+// memCyclesDelta returns the memory cycles the profiler ticked since
+// the op frame was set, so EndOp only attributes the non-memory
+// remainder to the op itself.
+func (p *PMU) memCyclesDelta() uint64 {
+	if p.prof == nil {
+		return 0
+	}
+	return p.prof.takeOpCycles()
+}
+
+// AdvancePhase accounts a compute phase of the given cycle length on
+// the span clock and ticks the profiler under the "compute" frame.
+func (p *PMU) AdvancePhase(cycles uint64) {
+	if p.prof != nil {
+		p.prof.setPhase("compute")
+		p.prof.setOp("")
+		p.prof.tickFlat(cycles)
+		p.prof.setPhase("comm")
+	}
+	p.now += cycles
+}
+
+// Now returns the PMU's engine-cycle clock.
+func (p *PMU) Now() uint64 { return p.now }
+
+// Totals returns counters summed across cores plus the global events.
+func (p *PMU) Totals() Counters {
+	var t Counters
+	for i := range p.cores {
+		t.add(&p.cores[i])
+	}
+	t.add(&p.glob)
+	return t
+}
+
+// Core returns one core's counters (zero value for untouched cores).
+func (p *PMU) Core(core int) Counters {
+	if core < len(p.cores) {
+		return p.cores[core]
+	}
+	return Counters{}
+}
+
+// Spans returns the span log (nil when disabled).
+func (p *PMU) Spans() *SpanLog { return p.spans }
+
+// Profiler returns the sampling profiler (nil when disabled).
+func (p *PMU) Profiler() *Profiler { return p.prof }
+
+// --- perf stat report ---
+
+// WriteReport renders the perf-stat-style counter report.
+func (p *PMU) WriteReport(w io.Writer) {
+	t := p.Totals()
+	label := p.opts.Label
+	if label == "" {
+		label = p.opts.Experiment
+	}
+	fmt.Fprintf(w, " Performance counter stats for '%s':\n\n", label)
+	for _, r := range t.Rows() {
+		if r.Percent {
+			fmt.Fprintf(w, " %18s   %s\n", fmt.Sprintf("%.2f%%", r.Value*100), r.Name)
+		} else if r.Value == float64(uint64(r.Value)) {
+			fmt.Fprintf(w, " %18s   %s\n", group(uint64(r.Value)), r.Name)
+		} else {
+			fmt.Fprintf(w, " %18.2f   %s\n", r.Value, r.Name)
+		}
+	}
+}
+
+// Report returns WriteReport as a string.
+func (p *PMU) Report() string {
+	var b strings.Builder
+	p.WriteReport(&b)
+	return b.String()
+}
+
+// group renders n with thousands separators.
+func group(n uint64) string {
+	s := fmt.Sprintf("%d", n)
+	if len(s) <= 3 {
+		return s
+	}
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead == 0 {
+		lead = 3
+	}
+	b.WriteString(s[:lead])
+	for i := lead; i < len(s); i += 3 {
+		b.WriteByte(',')
+		b.WriteString(s[i : i+3])
+	}
+	return b.String()
+}
+
+// Publish registers the PMU's totals as telemetry counters so the
+// standard exporters (Prometheus text, JSONL, CSV) carry them.
+func (p *PMU) Publish(reg *telemetry.Registry, base telemetry.Labels) {
+	if reg == nil {
+		return
+	}
+	t := p.Totals()
+	reg.Help("spco_perf_demand_total", "Demand line accesses by serving level.")
+	reg.Help("spco_perf_stall_cycles_total", "Demand cycles attributed by source.")
+	reg.Help("spco_perf_prefetch_issued_total", "Prefetch fills by issuing unit.")
+	reg.Help("spco_perf_evictions_total", "Capacity evictions by level and displacing cause.")
+	for lvl := cache.LevelID(0); lvl < cache.NumLevels; lvl++ {
+		l := telemetry.MergeLabels(base, telemetry.Labels{"level": lvl.String()})
+		reg.Counter("spco_perf_demand_total", l).Add(float64(t.Demand[lvl]))
+		reg.Counter("spco_perf_demand_prefetched_total", l).Add(float64(t.DemandPf[lvl]))
+		reg.Counter("spco_perf_flush_invalidated_total", l).Add(float64(t.FlushInvalidated[lvl]))
+		reg.Counter("spco_perf_stall_cycles_total",
+			telemetry.MergeLabels(base, telemetry.Labels{"source": lvl.String()})).
+			Add(float64(t.Stall[lvl]))
+		for cs := cache.EvictCause(0); cs < cache.NumEvictCauses; cs++ {
+			reg.Counter("spco_perf_evictions_total", telemetry.MergeLabels(base,
+				telemetry.Labels{"level": lvl.String(), "cause": cs.String()})).
+				Add(float64(t.Evict[lvl][cs]))
+		}
+	}
+	reg.Counter("spco_perf_stall_cycles_total",
+		telemetry.MergeLabels(base, telemetry.Labels{"source": "tlb"})).Add(float64(t.StallTLB))
+	reg.Counter("spco_perf_stall_cycles_total",
+		telemetry.MergeLabels(base, telemetry.Labels{"source": "heater"})).Add(float64(t.StallHeater))
+	for u := cache.PrefetchUnit(0); u < cache.NumPrefetchUnits; u++ {
+		reg.Counter("spco_perf_prefetch_issued_total",
+			telemetry.MergeLabels(base, telemetry.Labels{"unit": u.String()})).
+			Add(float64(t.PrefIssued[u]))
+	}
+	reg.Counter("spco_perf_prefetch_late_total", base).Add(float64(t.PrefLate))
+	reg.Counter("spco_perf_prefetch_wasted_total",
+		telemetry.MergeLabels(base, telemetry.Labels{"by": "evict"})).Add(float64(t.PrefWastedEvict))
+	reg.Counter("spco_perf_prefetch_wasted_total",
+		telemetry.MergeLabels(base, telemetry.Labels{"by": "flush"})).Add(float64(t.PrefWastedFlush))
+	reg.Counter("spco_perf_heater_lines_total", base).Add(float64(t.HeaterLines))
+	reg.Counter("spco_perf_match_attempts_total", base).Add(float64(t.MatchAttempts))
+	reg.Counter("spco_perf_matches_total", base).Add(float64(t.Matches))
+	for k := OpKind(0); k < NumOps; k++ {
+		l := telemetry.MergeLabels(base, telemetry.Labels{"op": k.String()})
+		reg.Counter("spco_perf_ops_total", l).Add(float64(t.Ops[k]))
+		reg.Counter("spco_perf_op_cycles_total", l).Add(float64(t.OpCycles[k]))
+	}
+}

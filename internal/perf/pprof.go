@@ -1,0 +1,153 @@
+package perf
+
+import (
+	"compress/gzip"
+	"io"
+	"strings"
+)
+
+// pprof protobuf export, hand-encoded against the profile.proto wire
+// format (github.com/google/pprof/proto/profile.proto) so the repo
+// stays dependency-free. Only the message subset a cycles profile needs
+// is emitted:
+//
+//	Profile:  sample_type=1  sample=2  location=4  function=5
+//	          string_table=6 period_type=11 period=12
+//	Sample:   location_id=1 (packed)  value=2 (packed)
+//	Location: id=1  line=4
+//	Line:     function_id=1
+//	Function: id=1  name=2  system_name=3  filename=4
+//	ValueType: type=1  unit=2
+//
+// The output is gzipped, as `go tool pprof` and speedscope expect.
+
+// protoBuf accumulates wire-format bytes.
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// field emits a varint-typed field.
+func (p *protoBuf) field(num int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.varint(uint64(num)<<3 | 0)
+	p.varint(v)
+}
+
+// bytesField emits a length-delimited field.
+func (p *protoBuf) bytesField(num int, b []byte) {
+	p.varint(uint64(num)<<3 | 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+// packed emits a packed repeated varint field.
+func (p *protoBuf) packed(num int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.bytesField(num, inner.b)
+}
+
+// stringTable interns strings; index 0 is "" per the format.
+type stringTable struct {
+	idx  map[string]uint64
+	strs []string
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{idx: map[string]uint64{"": 0}, strs: []string{""}}
+}
+
+func (st *stringTable) id(s string) uint64 {
+	if i, ok := st.idx[s]; ok {
+		return i
+	}
+	i := uint64(len(st.strs))
+	st.idx[s] = i
+	st.strs = append(st.strs, s)
+	return i
+}
+
+// WritePprof renders the profiler's samples as a gzipped pprof
+// protobuf. Sample values are cycles (sample count × period).
+func (pr *Profiler) WritePprof(w io.Writer) error {
+	st := newStringTable()
+	cyclesID := st.id("cycles")
+
+	// Frames become functions/locations on first sight, in sorted key
+	// order so ids are deterministic.
+	funcID := map[string]uint64{}
+	var funcs []string
+	locFor := func(frame string) uint64 {
+		if id, ok := funcID[frame]; ok {
+			return id
+		}
+		id := uint64(len(funcs) + 1)
+		funcID[frame] = id
+		funcs = append(funcs, frame)
+		return id
+	}
+
+	var samples protoBuf
+	for _, key := range pr.foldedKeys() {
+		frames := strings.Split(key, ";")
+		// pprof wants the leaf first; folded keys are root-first.
+		locs := make([]uint64, 0, len(frames))
+		for i := len(frames) - 1; i >= 0; i-- {
+			locs = append(locs, locFor(frames[i]))
+		}
+		var s protoBuf
+		s.packed(1, locs)
+		s.packed(2, []uint64{pr.samples[key] * pr.interval})
+		samples.bytesField(2, s.b)
+	}
+
+	var out protoBuf
+	// sample_type: one value per sample, cycles/cycles.
+	var vt protoBuf
+	vt.field(1, cyclesID)
+	vt.field(2, cyclesID)
+	out.bytesField(1, vt.b)
+	out.b = append(out.b, samples.b...)
+	for i, name := range funcs {
+		id := uint64(i + 1)
+		nameID := st.id(name)
+		var fn protoBuf
+		fn.field(1, id)
+		fn.field(2, nameID)
+		fn.field(3, nameID)
+		out.bytesField(5, fn.b)
+		var line protoBuf
+		line.field(1, id)
+		var loc protoBuf
+		loc.field(1, id)
+		loc.bytesField(4, line.b)
+		out.bytesField(4, loc.b)
+	}
+	for _, s := range st.strs {
+		out.bytesField(6, []byte(s))
+	}
+	var pt protoBuf
+	pt.field(1, cyclesID)
+	pt.field(2, cyclesID)
+	out.bytesField(11, pt.b)
+	out.field(12, pr.interval)
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(out.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}

@@ -1,0 +1,148 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Profiler is the PMU's sampling profiler. Simulated cycles stream in
+// from demand accesses and operation remainders; every SampleInterval
+// cycles it records the current logical stack —
+//
+//	experiment ; phase ; operation ; queue-node bucket
+//
+// — into a folded-stack histogram. The output loads directly in
+// flamegraph.pl and speedscope, and WritePprof renders the same data as
+// a gzipped pprof protobuf for `go tool pprof`.
+type Profiler struct {
+	root     string
+	phase    string
+	op       string
+	prefix   string // cached "root;phase[;op]"
+	interval uint64
+	acc      uint64 // cycles toward the next sample
+	opAcc    uint64 // cycles ticked since the op frame last changed
+	samples  map[string]uint64
+}
+
+func newProfiler(root string, interval uint64) *Profiler {
+	pr := &Profiler{root: root, phase: "comm", interval: interval, samples: make(map[string]uint64)}
+	pr.rebuild()
+	return pr
+}
+
+// Interval returns the sampling period in simulated cycles.
+func (pr *Profiler) Interval() uint64 { return pr.interval }
+
+func (pr *Profiler) setPhase(name string) {
+	if pr.phase == name {
+		return
+	}
+	pr.phase = name
+	pr.rebuild()
+}
+
+func (pr *Profiler) setOp(name string) {
+	if pr.op == name {
+		return
+	}
+	pr.op = name
+	pr.opAcc = 0
+	pr.rebuild()
+}
+
+func (pr *Profiler) rebuild() {
+	pr.prefix = pr.root + ";" + pr.phase
+	if pr.op != "" {
+		pr.prefix += ";" + pr.op
+	}
+}
+
+// tick advances the sample clock by cycles; when a sample boundary is
+// crossed, the current stack is recorded with seg's queue-node bucket as
+// the leaf (seg nil or negative → no leaf frame).
+func (pr *Profiler) tick(cycles uint64, seg func() int) {
+	pr.opAcc += cycles
+	pr.acc += cycles
+	if pr.acc < pr.interval {
+		return
+	}
+	key := pr.prefix
+	if seg != nil {
+		if s := seg(); s >= 0 {
+			key += ";" + segFrame(s)
+		}
+	}
+	for pr.acc >= pr.interval {
+		pr.acc -= pr.interval
+		pr.samples[key]++
+	}
+}
+
+// tickFlat advances the clock attributing samples to the current stack
+// with no leaf frame.
+func (pr *Profiler) tickFlat(cycles uint64) { pr.tick(cycles, nil) }
+
+// takeOpCycles returns and resets the cycles ticked since the op frame
+// last changed (the in-op memory share, for remainder attribution).
+func (pr *Profiler) takeOpCycles() uint64 {
+	v := pr.opAcc
+	pr.opAcc = 0
+	return v
+}
+
+// segFrame buckets a queue-node index into a power-of-two range frame
+// ("node:0", "node:2-3", "node:8-15"), bounding frame cardinality on
+// arbitrarily long lists.
+func segFrame(s int) string {
+	if s <= 0 {
+		return "node:0"
+	}
+	b := bits.Len(uint(s))
+	lo := 1 << (b - 1)
+	hi := 1<<b - 1
+	if lo == hi {
+		return fmt.Sprintf("node:%d", lo)
+	}
+	return fmt.Sprintf("node:%d-%d", lo, hi)
+}
+
+// NumSamples returns the total samples recorded.
+func (pr *Profiler) NumSamples() uint64 {
+	var n uint64
+	for _, c := range pr.samples {
+		n += c
+	}
+	return n
+}
+
+// foldedKeys returns the stack keys sorted, for deterministic export.
+func (pr *Profiler) foldedKeys() []string {
+	keys := make([]string, 0, len(pr.samples))
+	for k := range pr.samples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteFolded emits the folded-stack histogram ("a;b;c 42" per line,
+// sorted) — the input format of flamegraph.pl and speedscope.
+func (pr *Profiler) WriteFolded(w io.Writer) error {
+	for _, k := range pr.foldedKeys() {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, pr.samples[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Folded returns WriteFolded as a string.
+func (pr *Profiler) Folded() string {
+	var b strings.Builder
+	pr.WriteFolded(&b)
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package perf
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Span is one recorded operation in a message's lifecycle. A posted
+// receive that a later arrival consumes is linked from the arrival's
+// span via LinkID, so the pair reconstructs the post → match interval.
+type Span struct {
+	// ID is the span's 1-based sequence number in arrival order.
+	ID uint64 `json:"id"`
+
+	// Kind is the operation ("arrive", "post", "cancel").
+	Kind string `json:"kind"`
+
+	// StartCy is the engine-cycle clock when the operation began;
+	// Cycles is its full modeled cost.
+	StartCy uint64 `json:"start_cy"`
+	Cycles  uint64 `json:"cycles"`
+
+	// Depth is the queue traversal depth (entries inspected) and
+	// Matched whether the search succeeded.
+	Depth   int  `json:"depth"`
+	Matched bool `json:"matched"`
+
+	// Req is the posted-request handle the operation concerns (0 when
+	// not applicable). LinkID, on a matched arrival, is the ID of the
+	// posted span this arrival satisfied (0 when the post predates the
+	// log or the match came from the UMQ path).
+	Req    uint64 `json:"req,omitempty"`
+	LinkID uint64 `json:"link_id,omitempty"`
+
+	// Cache-event annotations: demand fills served beyond the private
+	// L2, of which DRAM loads, and capacity evictions, all counted
+	// within this operation.
+	BeyondL2  uint64 `json:"beyond_l2"`
+	DRAMLoads uint64 `json:"dram_loads"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// SpanLog is a bounded ring of spans. When full, the oldest spans are
+// overwritten (the tail of a run is usually the interesting part) and
+// Dropped counts the loss.
+type SpanLog struct {
+	spans   []Span
+	cap     int
+	next    int
+	total   uint64
+	dropped uint64
+}
+
+func newSpanLog(capacity int) *SpanLog {
+	if capacity <= 0 {
+		capacity = 65536
+	}
+	return &SpanLog{spans: make([]Span, 0, capacity), cap: capacity}
+}
+
+// append stores s (assigning its ID), calls link with the stored span
+// for post-linking bookkeeping, and returns the ID.
+func (l *SpanLog) append(s Span, link func(*Span)) uint64 {
+	l.total++
+	s.ID = l.total
+	var stored *Span
+	if len(l.spans) < l.cap {
+		l.spans = append(l.spans, s)
+		stored = &l.spans[len(l.spans)-1]
+	} else {
+		l.dropped++
+		l.spans[l.next] = s
+		stored = &l.spans[l.next]
+		l.next = (l.next + 1) % l.cap
+	}
+	if link != nil {
+		link(stored)
+	}
+	return s.ID
+}
+
+// Len returns the number of retained spans.
+func (l *SpanLog) Len() int { return len(l.spans) }
+
+// Total returns the number of spans ever recorded.
+func (l *SpanLog) Total() uint64 { return l.total }
+
+// Dropped returns how many spans the ring overwrote.
+func (l *SpanLog) Dropped() uint64 { return l.dropped }
+
+// All returns the retained spans in arrival order.
+func (l *SpanLog) All() []Span {
+	out := make([]Span, 0, len(l.spans))
+	out = append(out, l.spans[l.next:]...)
+	out = append(out, l.spans[:l.next]...)
+	return out
+}
+
+// WriteJSONL emits one span per line in arrival order.
+func (l *SpanLog) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range l.All() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Percentiles summarises one operation kind's cycle latencies.
+type Percentiles struct {
+	Kind string
+	N    int
+	P50  uint64
+	P90  uint64
+	P99  uint64
+	Max  uint64
+}
+
+// Percentiles computes the latency distribution of the retained spans
+// of the given kind ("" selects all).
+func (l *SpanLog) Percentiles(kind string) Percentiles {
+	var cy []uint64
+	for i := range l.spans {
+		if kind == "" || l.spans[i].Kind == kind {
+			cy = append(cy, l.spans[i].Cycles)
+		}
+	}
+	p := Percentiles{Kind: kind, N: len(cy)}
+	if len(cy) == 0 {
+		return p
+	}
+	sort.Slice(cy, func(i, j int) bool { return cy[i] < cy[j] })
+	at := func(q float64) uint64 {
+		i := int(q*float64(len(cy))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return cy[i]
+	}
+	p.P50, p.P90, p.P99 = at(0.50), at(0.90), at(0.99)
+	p.Max = cy[len(cy)-1]
+	return p
+}

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+)
+
+// Exporter hot paths, run once per CI pass by bench-smoke.
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	c := goldenCollector()
+	for i := 0; i < b.N; i++ {
+		if err := WritePrometheus(io.Discard, c.Registry); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteCSV(b *testing.B) {
+	c := goldenCollector()
+	for i := 0; i < b.N; i++ {
+		if err := WriteCSV(io.Discard, c.Registry); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteSeriesCSV(b *testing.B) {
+	c := goldenCollector()
+	for i := 0; i < b.N; i++ {
+		if err := WriteSeriesCSV(io.Discard, c.Sampler); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteJSONL(b *testing.B) {
+	c := goldenCollector()
+	for i := 0; i < b.N; i++ {
+		if err := WriteJSONL(io.Discard, c.Registry, c.Sampler); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegistryCounterLookup(b *testing.B) {
+	c := goldenCollector()
+	l := Labels{"op": "post", "list": "lla"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Registry.Counter("spco_ops_total", l).Add(1)
+	}
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the exporter golden files")
+
+// goldenCollector builds a small, fully deterministic registry and
+// sampler, registering metrics in deliberately scrambled order: the
+// exporters must sort by name then label key, so the files below are
+// byte-identical across runs and Go map iteration orders.
+func goldenCollector() *Collector {
+	c := NewCollector(Labels{"run": "golden"})
+	reg, s := c.Registry, c.Sampler
+
+	reg.Help("spco_ops_total", "Matching operations processed.")
+	reg.Help("spco_queue_len", "Final queue length.")
+	reg.Help("spco_op_cycles", "Modeled cycle cost per matching operation.")
+
+	reg.Counter("spco_ops_total", Labels{"op": "post", "list": "lla"}).Add(3)
+	reg.Gauge("spco_queue_len", Labels{"queue": "umq"}).Set(7)
+	reg.Counter("spco_ops_total", Labels{"op": "arrive", "list": "lla"}).Add(5)
+	reg.Gauge("spco_queue_len", Labels{"queue": "prq"}).Set(42)
+	reg.Counter("spco_cache_hits_total", Labels{"level": "l2"}).Add(11)
+	reg.Counter("spco_cache_hits_total", Labels{"level": "l1"}).Add(640)
+
+	h := reg.Histogram("spco_op_cycles", Labels{"op": "arrive"}, []float64{100, 1000, 10000})
+	for _, v := range []float64{50, 150, 1500, 2500, 20000} {
+		h.Observe(v)
+	}
+
+	s.Record("spco_queue_len", Labels{"queue": "umq"}, 100, 1)
+	s.Record("spco_queue_len", Labels{"queue": "prq"}, 100, 9)
+	s.Record("spco_queue_len", Labels{"queue": "prq"}, 200, 8)
+	return c
+}
+
+// checkGolden compares got against testdata/name, rewriting the file
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden output\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	c := goldenCollector()
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, c.Registry); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden.prom", b.Bytes())
+}
+
+func TestCSVGolden(t *testing.T) {
+	c := goldenCollector()
+	var b bytes.Buffer
+	if err := WriteCSV(&b, c.Registry); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_metrics.csv", b.Bytes())
+
+	b.Reset()
+	if err := WriteSeriesCSV(&b, c.Sampler); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_series.csv", b.Bytes())
+}
+
+// TestExportersDeterministic re-exports a freshly built collector many
+// times: every pass must be byte-identical (sorted, map-order-free).
+func TestExportersDeterministic(t *testing.T) {
+	var first []byte
+	for i := 0; i < 20; i++ {
+		c := goldenCollector()
+		var b bytes.Buffer
+		if err := WritePrometheus(&b, c.Registry); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCSV(&b, c.Registry); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteSeriesCSV(&b, c.Sampler); err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = b.Bytes()
+		} else if !bytes.Equal(first, b.Bytes()) {
+			t.Fatalf("pass %d produced different bytes", i)
+		}
+	}
+}
