@@ -27,6 +27,15 @@ vet:
 bench-smoke:
 	go test -bench=. -benchtime=1x -run='^$$' $(PKG)
 
+# chaos-smoke runs the fixed-seed fault-injection soak over every
+# matchlist kind: 1% drop, 0.5% dup, 2% reorder, with the exactly-once /
+# FIFO / cycle-conservation invariants checked at the end of each run.
+CHAOS_MSGS ?= 20000
+.PHONY: chaos-smoke
+chaos-smoke:
+	go run ./cmd/spco-chaos -messages $(CHAOS_MSGS) -fault-seed 1 \
+		-fault-drop 0.01 -fault-dup 0.005 -fault-reorder 0.02
+
 .PHONY: fmt
 fmt:
 	gofmt -l -w .

@@ -349,7 +349,7 @@ func BenchmarkAblationHoles(b *testing.B) {
 		b.Run(fmt.Sprintf("holes-%d%%", holePct), func(b *testing.B) {
 			const live = 512
 			total := live * 100 / (100 - holePct)
-			en := engine.New(engine.Config{
+			en := engine.MustNew(engine.Config{
 				Profile: cache.SandyBridge, Kind: matchlist.KindLLA, EntriesPerNode: 8,
 			})
 			for i := 0; i < total; i++ {
@@ -397,7 +397,7 @@ func BenchmarkStructures(b *testing.B) {
 		{"fourd", matchlist.KindFourD, 0},
 	} {
 		b.Run(c.name, func(b *testing.B) {
-			en := engine.New(engine.Config{
+			en := engine.MustNew(engine.Config{
 				Profile: cache.SandyBridge, Kind: c.kind, EntriesPerNode: c.k,
 				Bins: 256, CommSize: 64,
 			})
@@ -548,6 +548,59 @@ func BenchmarkLatency(b *testing.B) {
 			b.ReportMetric(r.OneWayUS, "one-way-us")
 		})
 	}
+}
+
+// BenchmarkChaos runs the fault-injection soak loop per matchlist kind:
+// a lossy, duplicating, reordering wire with full retransmission, with
+// the harness's invariant audits on every run.
+func BenchmarkChaos(b *testing.B) {
+	for _, kind := range []matchlist.Kind{matchlist.KindBaseline, matchlist.KindLLA, matchlist.KindHashBins} {
+		b.Run(kind.String(), func(b *testing.B) {
+			cfg := workload.ChaosConfig{
+				Engine: engine.Config{
+					Profile: cache.SandyBridge, Kind: kind,
+					EntriesPerNode: 2, CommSize: 64, Bins: 256,
+				},
+				Fabric:   netmodel.IBQDR,
+				Wire:     spco.WireConfig{DropProb: 0.01, DupProb: 0.005, ReorderProb: 0.02},
+				Seed:     1,
+				Messages: 5000,
+			}
+			var r workload.ChaosResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = workload.RunChaos(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !r.Passed() {
+					b.Fatalf("invariant violations: %v", r.Violations)
+				}
+			}
+			b.ReportMetric(float64(r.Transport.Retransmits), "retransmits")
+			b.ReportMetric(float64(r.Transport.EngineOpCycles), "engine-cycles")
+		})
+	}
+}
+
+// BenchmarkFaultedBW runs the osu_bw loop over the unreliable transport
+// (1% loss): goodput after retransmission, the fault path's headline.
+func BenchmarkFaultedBW(b *testing.B) {
+	cfg := workload.BWConfig{
+		Engine: engine.Config{
+			Profile: cache.SandyBridge, Kind: matchlist.KindLLA, EntriesPerNode: 2,
+		},
+		Fabric: netmodel.IBQDR, QueueDepth: 256, MsgBytes: 4096, Iters: 2,
+		Fault: &workload.FaultOpts{
+			Wire: spco.WireConfig{DropProb: 0.01},
+			Seed: 1,
+		},
+	}
+	var r workload.BWResult
+	for i := 0; i < b.N; i++ {
+		r = workload.RunBW(cfg)
+	}
+	b.ReportMetric(r.BandwidthMiBps, "MiB/s")
 }
 
 // BenchmarkAblationTLB turns on the data-TLB model: translation misses

@@ -39,6 +39,7 @@ import (
 
 	"spco"
 	"spco/internal/engine"
+	"spco/internal/fault"
 	"spco/internal/perf"
 	"spco/internal/telemetry"
 )
@@ -63,6 +64,8 @@ func main() {
 	)
 	var pcli perf.CLI
 	pcli.Register(flag.CommandLine)
+	var fcli fault.CLI
+	fcli.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list || *exp == "" {
@@ -105,6 +108,9 @@ func main() {
 	}
 	pmu := pcli.New("bench")
 	opts.Perf = pmu
+	if fcli.Enabled() {
+		opts.Fault = &fcli
+	}
 
 	var ids []string
 	if *exp == "all" {

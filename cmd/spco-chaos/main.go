@@ -1,0 +1,168 @@
+// Command spco-chaos is the chaos/soak harness for the fault-injection
+// layer (internal/fault): it pushes a seeded stream of messages from
+// several source ranks across an unreliable wire into the matching
+// engine, recovers every fault with the retransmission protocol, and
+// audits the run against the fault-layer invariants —
+//
+//   - exactly-once delivery (no loss, no double delivery),
+//   - per-flow FIFO despite wire reordering,
+//   - cycle conservation (engine totals equal summed per-op costs;
+//     transport-side cycles stay outside them),
+//   - full drain (no packet pending, no queue entry left behind).
+//
+// A fixed -fault-seed reproduces a run bit-identically, so a failure
+// printed by this command is a unit test waiting to be written.
+//
+// Examples:
+//
+//	spco-chaos -fault-drop 0.01 -fault-dup 0.005 -fault-reorder 0.02
+//	spco-chaos -list lla -messages 200000 -fault-burst 0.001
+//	spco-chaos -umq-cap 64 -flow credit -fault-drop 0.02
+//	spco-chaos -list all -soak
+//
+// Exit status is 0 only if every configuration passed every invariant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spco"
+	"spco/internal/fault"
+	"spco/internal/netmodel"
+	"spco/internal/perf"
+	"spco/internal/telemetry"
+	"spco/internal/workload"
+)
+
+var allKinds = []string{"baseline", "lla", "hashbins", "rankarray", "fourd", "hwoffload", "percomm"}
+
+func main() {
+	var (
+		arch     = flag.String("arch", "sandybridge", "architecture profile (sandybridge, broadwell, nehalem, knl)")
+		list     = flag.String("list", "all", "match structure to soak, or 'all' for every kind")
+		k        = flag.Int("k", 2, "LLA entries per node")
+		fabric   = flag.String("fabric", "ib-qdr", "fabric (ib-qdr, omnipath, mlx-qdr)")
+		messages = flag.Int("messages", 20000, "messages per configuration")
+		senders  = flag.Int("senders", 8, "source ranks (flows)")
+		prepost  = flag.Float64("prepost", 0.5, "fraction of receives posted before the send")
+		phases   = flag.Int("phase-every", 1024, "compute phase every N messages (0: never)")
+		phaseNS  = flag.Float64("phase-ns", 1e5, "compute-phase duration in ns")
+		soak     = flag.Bool("soak", false, "soak preset: 100k messages, drop 1%, dup 0.5%, reorder 2%")
+		verbose  = flag.Bool("v", false, "print per-configuration transport counters")
+
+		metricsOut = flag.String("metrics-out", "", "write the metrics registry here (.prom/.txt, .jsonl, .csv)")
+	)
+	var fcli fault.CLI
+	fcli.Register(flag.CommandLine)
+	var pcli perf.CLI
+	pcli.Register(flag.CommandLine)
+	flag.Parse()
+
+	if *soak {
+		if *messages == 20000 {
+			*messages = 100000
+		}
+		if fcli.Drop == 0 && fcli.Dup == 0 && fcli.Reorder == 0 && fcli.Corrupt == 0 && fcli.BurstProb == 0 {
+			fcli.Drop, fcli.Dup, fcli.Reorder = 0.01, 0.005, 0.02
+		}
+	}
+
+	prof, ok := spco.ProfileByName(*arch)
+	if !ok {
+		fatal(fmt.Errorf("unknown architecture %q", *arch))
+	}
+	fab, ok := netmodel.Fabrics[*fabric]
+	if !ok {
+		fatal(fmt.Errorf("unknown fabric %q", *fabric))
+	}
+	kinds := allKinds
+	if *list != "all" {
+		kinds = []string{*list}
+	}
+
+	var col *telemetry.Collector
+	if *metricsOut != "" {
+		col = telemetry.NewCollector(telemetry.Labels{"cmd": "chaos"})
+	}
+
+	fmt.Printf("# arch=%s fabric=%s messages=%d senders=%d prepost=%.2f seed=%d drop=%g dup=%g reorder=%g corrupt=%g burst=%g umq-cap=%d flow=%s\n",
+		prof.Name, fab.Name, *messages, *senders, *prepost, fcli.Seed,
+		fcli.Drop, fcli.Dup, fcli.Reorder, fcli.Corrupt, fcli.BurstProb, fcli.UMQCap, fcli.Flow)
+	fmt.Printf("%-10s %9s %9s %7s %7s %7s %7s %12s  %s\n",
+		"list", "transmit", "deliver", "retx", "dups", "nacks", "stalls", "sim-ms", "verdict")
+
+	failed := false
+	for _, name := range kinds {
+		kind, err := spco.ParseKind(name)
+		if err != nil {
+			fatal(err)
+		}
+		pmu := pcli.New("chaos-" + name)
+		ecfg := spco.EngineConfig{
+			Profile:        prof,
+			Kind:           kind,
+			EntriesPerNode: *k,
+			CommSize:       64,
+			Bins:           256,
+			Telemetry:      col,
+			Perf:           pmu,
+		}
+		if err := fcli.ApplyEngine(&ecfg); err != nil {
+			fatal(err)
+		}
+		res, err := workload.RunChaos(workload.ChaosConfig{
+			Engine:      ecfg,
+			Fabric:      fab,
+			Wire:        fcli.Wire(),
+			Seed:        fcli.Seed,
+			Messages:    *messages,
+			Senders:     *senders,
+			PrePostFrac: *prepost,
+			PhaseEvery:  *phases,
+			PhaseNS:     *phaseNS,
+			RTONS:       fcli.RTONS,
+			MaxRetries:  fcli.Retries,
+			PMU:         pmu,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		verdict := "PASS"
+		if !res.Passed() {
+			verdict = fmt.Sprintf("FAIL (%d violations)", len(res.Violations))
+			failed = true
+		}
+		ts := res.Transport
+		fmt.Printf("%-10s %9d %9d %7d %7d %7d %7d %12.3f  %s\n",
+			name, ts.Transmits, ts.Delivered, ts.Retransmits, ts.DupSuppressed,
+			ts.BusyNacks, ts.CreditStalls, res.SimulatedNS/1e6, verdict)
+		for _, v := range res.Violations {
+			fmt.Printf("  !! %s\n", v)
+		}
+		if *verbose {
+			fmt.Printf("  wire: drops=%d dups=%d reorders=%d corrupts=%d bursts=%d | ooo: buffered=%d overflow=%d | acks: sent=%d lost=%d | rto=%d grants=%d rendezvous=%d aux-cycles=%d\n",
+				ts.WireDrops, ts.WireDups, ts.WireReorders, ts.WireCorrupts, ts.WireBursts,
+				ts.OOOBuffered, ts.OOOOverflow, ts.AcksSent, ts.AcksLost,
+				ts.RTOExpired, ts.CreditsGrants, ts.RendezvousTrips, ts.AuxCycles)
+		}
+		if err := pcli.Finish(os.Stdout, pmu); err != nil {
+			fatal(err)
+		}
+	}
+
+	if col != nil {
+		if err := telemetry.WriteMetricsFile(*metricsOut, col); err != nil {
+			fatal(err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spco-chaos:", err)
+	os.Exit(1)
+}

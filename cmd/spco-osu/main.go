@@ -26,6 +26,7 @@ import (
 
 	"spco"
 	"spco/internal/engine"
+	"spco/internal/fault"
 	"spco/internal/netmodel"
 	"spco/internal/perf"
 	"spco/internal/telemetry"
@@ -56,6 +57,8 @@ func main() {
 	)
 	var pcli perf.CLI
 	pcli.Register(flag.CommandLine)
+	var fcli fault.CLI
+	fcli.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -122,9 +125,27 @@ func main() {
 	if tracer != nil {
 		cfg.Observer = tracer
 	}
+	var fopts *workload.FaultOpts
+	if fcli.Enabled() {
+		if err := fcli.ApplyEngine(&cfg.Engine); err != nil {
+			fatal(err)
+		}
+		fopts = &workload.FaultOpts{
+			Wire:       fcli.Wire(),
+			Seed:       fcli.Seed,
+			RTONS:      fcli.RTONS,
+			MaxRetries: fcli.Retries,
+			PMU:        pmu,
+		}
+		cfg.Fault = fopts
+	}
 
 	fmt.Printf("# arch=%s list=%s k=%d depth=%d hotcache=%v pool=%v fabric=%s\n",
 		prof.Name, kind, *k, *depth, *hot, *pool, fab.Name)
+	if fopts != nil {
+		fmt.Printf("# fault: drop=%g dup=%g reorder=%g corrupt=%g burst=%g seed=%d umq-cap=%d flow=%s\n",
+			fcli.Drop, fcli.Dup, fcli.Reorder, fcli.Corrupt, fcli.BurstProb, fcli.Seed, fcli.UMQCap, fcli.Flow)
+	}
 	sizes := []uint64{*size}
 	if *sweep {
 		sizes = workload.MsgSizeSweep()
@@ -138,6 +159,7 @@ func main() {
 				QueueDepth: *depth,
 				MsgBytes:   sz,
 				Iters:      *iters * 10,
+				Fault:      fopts,
 			})
 			fmt.Printf("%-10d %14.3f %12.0f\n", sz, r.OneWayUS, r.CPUCyclesPerMsg)
 		}

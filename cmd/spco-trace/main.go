@@ -185,7 +185,7 @@ func replay(args []string) {
 		} {
 			cfg := engine.Config{
 				Profile: prof, Kind: v.kind, EntriesPerNode: v.k,
-				Bins: binsFor(v.kind), CommSize: 1 << 16,
+				Bins: binsFor(v.kind), CommSize: matchlist.MaxCommSize,
 			}
 			r := mtrace.Replay(tr, cfg)
 			t.AddRow(v.name, r.Stats.Cycles, fmt.Sprintf("%.3f", r.CPUNanos/1e6),
@@ -201,7 +201,7 @@ func replay(args []string) {
 	}
 	cfg := engine.Config{
 		Profile: prof, Kind: kind, EntriesPerNode: *k,
-		Bins: binsFor(kind), CommSize: 1 << 16,
+		Bins: binsFor(kind), CommSize: matchlist.MaxCommSize,
 		HotCache: *hot, Pool: *hot, NetworkCache: *nc,
 	}
 	var col *telemetry.Collector

@@ -8,7 +8,7 @@ import (
 
 // The core loop: post receives, deliver messages, observe matching.
 func ExampleNewEngine() {
-	en := spco.NewEngine(spco.EngineConfig{
+	en := spco.MustNewEngine(spco.EngineConfig{
 		Profile:        spco.SandyBridge,
 		Kind:           spco.LLA,
 		EntriesPerNode: 8,
@@ -33,7 +33,7 @@ func ExampleNewEngine() {
 
 // Wildcard receives accept any source and tag within their communicator.
 func ExampleNewEngine_wildcards() {
-	en := spco.NewEngine(spco.EngineConfig{
+	en := spco.MustNewEngine(spco.EngineConfig{
 		Profile: spco.SandyBridge,
 		Kind:    spco.Baseline,
 	})
@@ -52,7 +52,7 @@ func ExampleNewEngine_wildcards() {
 // structure, and hot caching stacks on top.
 func ExampleNewEngine_locality() {
 	deepSearch := func(cfg spco.EngineConfig) uint64 {
-		en := spco.NewEngine(cfg)
+		en := spco.MustNewEngine(cfg)
 		for i := 0; i < 1024; i++ {
 			en.PostRecv(0, 10000+i, 1, uint64(i))
 		}

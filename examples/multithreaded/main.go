@@ -49,7 +49,7 @@ func main() {
 		{"LLA-8", spco.LLA, 8},
 		{"hash bins (256)", spco.HashBins, 0},
 	} {
-		en := spco.NewEngine(spco.EngineConfig{
+		en := spco.MustNewEngine(spco.EngineConfig{
 			Profile: spco.SandyBridge, Kind: c.kind, EntriesPerNode: c.k,
 			Bins: 256, CommSize: 64,
 		})

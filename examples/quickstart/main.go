@@ -27,7 +27,7 @@ func main() {
 	}
 
 	for _, c := range configs {
-		en := spco.NewEngine(c.cfg)
+		en := spco.MustNewEngine(c.cfg)
 
 		// Pad the posted receive queue: 1024 receives that will never
 		// match (a different source rank).
@@ -53,7 +53,7 @@ func main() {
 	fmt.Println()
 	fmt.Println("Same comparison, message matched at the head (depth 1):")
 	for _, c := range configs {
-		en := spco.NewEngine(c.cfg)
+		en := spco.MustNewEngine(c.cfg)
 		en.PostRecv(3, 42, 1, 1)
 		en.BeginComputePhase(1e6)
 		_, _, cycles := en.Arrive(spco.Envelope{Rank: 3, Tag: 42, Ctx: 1}, 0)

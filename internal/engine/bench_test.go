@@ -15,7 +15,7 @@ import (
 func benchChurn(b *testing.B, cfg Config) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		en := New(cfg)
+		en := MustNew(cfg)
 		driveChurn(en, 2, 200)
 		en.PublishTelemetry()
 	}

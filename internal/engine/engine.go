@@ -18,6 +18,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"spco/internal/cache"
 	"spco/internal/hotcache"
 	"spco/internal/match"
@@ -37,6 +39,65 @@ const (
 	ArriveOverheadCycles = 600
 	PostOverheadCycles   = 400
 )
+
+// OverflowPolicy selects how the engine degrades when a bounded UMQ
+// fills: the graceful-degradation half of the fault-injection layer
+// (the wire half lives in internal/fault).
+type OverflowPolicy int
+
+// The policies.
+const (
+	// OverflowUnbounded is the legacy behaviour: the UMQ grows without
+	// bound and UMQCapacity is ignored.
+	OverflowUnbounded OverflowPolicy = iota
+
+	// OverflowDrop refuses the arrival (ArriveRefused): the transport's
+	// retransmission protocol redelivers it once the queue drains, as a
+	// NACK-based eager protocol would.
+	OverflowDrop
+
+	// OverflowCredit refuses excess arrivals like OverflowDrop, but is
+	// meant to be paired with sender-side credit flow control
+	// (fault.Transport) that throttles sends to the advertised window,
+	// so refusals indicate a credit-accounting bug rather than load.
+	OverflowCredit
+
+	// OverflowRendezvous appends only the 16-byte envelope header past
+	// the threshold (ArriveRendezvous): the payload stays at the sender
+	// and delivery costs an extra rendezvous round trip, the eager-to-
+	// rendezvous fallback real MPI libraries use under buffer pressure.
+	OverflowRendezvous
+)
+
+// String implements fmt.Stringer.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case OverflowUnbounded:
+		return "unbounded"
+	case OverflowDrop:
+		return "drop"
+	case OverflowCredit:
+		return "credit"
+	case OverflowRendezvous:
+		return "rendezvous"
+	}
+	return fmt.Sprintf("OverflowPolicy(%d)", int(p))
+}
+
+// ParseOverflowPolicy maps a flag value to a policy.
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	switch s {
+	case "", "unbounded", "none":
+		return OverflowUnbounded, nil
+	case "drop":
+		return OverflowDrop, nil
+	case "credit":
+		return OverflowCredit, nil
+	case "rendezvous":
+		return OverflowRendezvous, nil
+	}
+	return 0, fmt.Errorf("engine: unknown overflow policy %q", s)
+}
 
 // Config describes an engine instance.
 type Config struct {
@@ -113,6 +174,58 @@ type Config struct {
 	// Nil (the default) costs one pointer check per operation and leaves
 	// cycle totals bit-identical.
 	Perf *perf.PMU
+
+	// UMQCapacity bounds the unexpected-message queue: an eager arrival
+	// that finds Len() >= UMQCapacity is handled per Overflow instead of
+	// appended. Zero (the legacy default) leaves the UMQ unbounded; a
+	// positive capacity requires a non-unbounded Overflow policy, and
+	// vice versa (Validate enforces the pairing).
+	UMQCapacity int
+
+	// Overflow selects the degradation policy for a full UMQ.
+	Overflow OverflowPolicy
+}
+
+// Validate checks the configuration, returning the first problem found.
+// New rejects exactly what Validate rejects; any panic past construction
+// is an internal invariant violation, not a configuration error.
+func (c Config) Validate() error {
+	if c.Profile.Cores <= 0 {
+		return fmt.Errorf("engine: Profile.Cores must be positive (use a cache.Profile preset or constructor)")
+	}
+	if c.Profile.ClockGHz <= 0 {
+		return fmt.Errorf("engine: Profile.ClockGHz must be positive")
+	}
+	if c.Core < 0 || c.Core >= c.Profile.Cores {
+		return fmt.Errorf("engine: Core %d out of range [0,%d)", c.Core, c.Profile.Cores)
+	}
+	if err := matchlist.ValidateParams(c.Kind, c.EntriesPerNode, c.Bins, c.CommSize); err != nil {
+		return err
+	}
+	if c.HotCache {
+		if c.HeaterPeriodNS < 0 {
+			return fmt.Errorf("engine: negative HeaterPeriodNS %g", c.HeaterPeriodNS)
+		}
+		if c.HeaterCore < 0 || c.HeaterCore >= c.Profile.Cores {
+			return fmt.Errorf("engine: HeaterCore %d out of range [0,%d)", c.HeaterCore, c.Profile.Cores)
+		}
+	}
+	if c.NetworkCacheBytes < 0 {
+		return fmt.Errorf("engine: negative NetworkCacheBytes %d", c.NetworkCacheBytes)
+	}
+	if c.L3PartitionWays < 0 {
+		return fmt.Errorf("engine: negative L3PartitionWays %d", c.L3PartitionWays)
+	}
+	if c.UMQCapacity < 0 {
+		return fmt.Errorf("engine: negative UMQCapacity %d", c.UMQCapacity)
+	}
+	if c.UMQCapacity > 0 && c.Overflow == OverflowUnbounded {
+		return fmt.Errorf("engine: UMQCapacity %d requires an overflow policy (drop, credit, or rendezvous)", c.UMQCapacity)
+	}
+	if c.Overflow != OverflowUnbounded && c.UMQCapacity <= 0 {
+		return fmt.Errorf("engine: overflow policy %v requires UMQCapacity > 0", c.Overflow)
+	}
+	return nil
 }
 
 // Stats aggregates engine activity.
@@ -126,6 +239,11 @@ type Stats struct {
 
 	PRQDepthTotal uint64 // summed PRQ search depths
 	UMQDepthTotal uint64 // summed UMQ search depths
+
+	// Bounded-UMQ policy activity (zero unless Config.UMQCapacity > 0).
+	UMQOverflows uint64 // arrivals that found the UMQ at capacity
+	Refused      uint64 // overflow arrivals refused (drop/credit policies)
+	Rendezvous   uint64 // overflow arrivals demoted to rendezvous headers
 
 	Cycles     uint64 // total modeled engine cycles
 	SyncCycles uint64 // heater-synchronisation share of Cycles
@@ -193,9 +311,13 @@ type Observer interface {
 // SetObserver attaches (or detaches, with nil) an operation observer.
 func (en *Engine) SetObserver(o Observer) { en.observer = o }
 
-// New builds an engine. The zero Kind is the baseline list; a zero
+// New builds an engine, rejecting misconfiguration with the errors
+// Config.Validate returns. The zero Kind is the baseline list; a zero
 // profile is invalid (use a cache.Profile from internal/cache).
-func New(cfg Config) *Engine {
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.HotCache && cfg.HeaterCore == cfg.Core {
 		cfg.HeaterCore = (cfg.Core + 1) % cfg.Profile.Cores
 	}
@@ -268,6 +390,17 @@ func New(cfg Config) *Engine {
 		en.umqLenHist = trace.NewHistogram(bucket)
 		en.prqDepthHist = trace.NewHistogram(bucket)
 	}
+	return en, nil
+}
+
+// MustNew is New for pre-validated, code-authored configurations
+// (tests, workloads behind a validated boundary); it panics on the
+// errors New returns.
+func MustNew(cfg Config) *Engine {
+	en, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return en
 }
 
@@ -333,9 +466,59 @@ func (en *Engine) charge(memStart uint64, depth int, overhead uint64) uint64 {
 	return cycles
 }
 
+// ArriveOutcome reports how ArriveFull handled an arrival.
+type ArriveOutcome int
+
+// The outcomes.
+const (
+	// ArriveMatched: the envelope matched a posted receive.
+	ArriveMatched ArriveOutcome = iota
+
+	// ArriveQueued: no posted receive matched; the message (header and
+	// eager payload) was appended to the UMQ.
+	ArriveQueued
+
+	// ArriveQueuedRendezvous: the bounded UMQ was at capacity under
+	// OverflowRendezvous; only the envelope header was appended, and the
+	// payload must be fetched from the sender with a rendezvous round
+	// trip when a receive matches it (the transport accounts that trip).
+	ArriveQueuedRendezvous
+
+	// ArriveRefused: the bounded UMQ was full under OverflowDrop or
+	// OverflowCredit; nothing was stored and the sender must redeliver.
+	ArriveRefused
+)
+
+// String implements fmt.Stringer.
+func (o ArriveOutcome) String() string {
+	switch o {
+	case ArriveMatched:
+		return "matched"
+	case ArriveQueued:
+		return "queued"
+	case ArriveQueuedRendezvous:
+		return "queued-rendezvous"
+	case ArriveRefused:
+		return "refused"
+	}
+	return fmt.Sprintf("ArriveOutcome(%d)", int(o))
+}
+
 // Arrive processes an incoming message. It returns the matched posted
 // request (if any), whether it matched, and the operation's cycle cost.
+// Bounded-UMQ refusals and rendezvous demotions report matched=false;
+// callers that configured a capacity and need to distinguish them use
+// ArriveFull.
 func (en *Engine) Arrive(e match.Envelope, msg uint64) (req uint64, matched bool, cycles uint64) {
+	req, outcome, cycles := en.ArriveFull(e, msg)
+	return req, outcome == ArriveMatched, cycles
+}
+
+// ArriveFull is Arrive with the full outcome: it distinguishes a normal
+// UMQ append from the bounded-queue degradations (refusal, rendezvous
+// demotion) so a transport can drive its retransmission and rendezvous
+// protocols off the return value.
+func (en *Engine) ArriveFull(e match.Envelope, msg uint64) (req uint64, outcome ArriveOutcome, cycles uint64) {
 	memStart := en.acc.Cycles
 	en.stats.Arrivals++
 	if en.pmu != nil {
@@ -359,7 +542,41 @@ func (en *Engine) Arrive(e match.Envelope, msg uint64) (req uint64, matched bool
 		if en.pmu != nil {
 			en.pmu.EndOp(cycles, depth, true, p.Req)
 		}
-		return p.Req, true, cycles
+		return p.Req, ArriveMatched, cycles
+	}
+	outcome = ArriveQueued
+	if en.cfg.UMQCapacity > 0 && en.umq.Len() >= en.cfg.UMQCapacity {
+		en.stats.UMQOverflows++
+		if en.pmu != nil {
+			en.pmu.OnUMQOverflow()
+		}
+		if en.cfg.Overflow == OverflowRendezvous {
+			// Demote to rendezvous: the header still enters the UMQ (it
+			// is what matching needs), so the queue bounds eager payload
+			// buffering, not envelope count.
+			outcome = ArriveQueuedRendezvous
+			en.stats.Rendezvous++
+			if en.pmu != nil {
+				en.pmu.OnRendezvousFallback()
+			}
+		} else {
+			// Drop/credit: refuse outright. The refused arrival still
+			// paid the full PRQ search before discovering the queue was
+			// full, exactly as a NACK-generating NIC firmware path would.
+			en.stats.Refused++
+			cycles = en.charge(memStart, depth, ArriveOverheadCycles)
+			en.sampleQueues()
+			if en.observer != nil {
+				en.observer.OnArrive(e, false, depth, cycles)
+			}
+			if en.tel != nil {
+				en.tel.op(en.tel.arrive, cycles)
+			}
+			if en.pmu != nil {
+				en.pmu.EndOp(cycles, depth, false, 0)
+			}
+			return 0, ArriveRefused, cycles
+		}
 	}
 	en.umq.Append(match.NewUnexpected(e, msg))
 	en.stats.UMQAppends++
@@ -377,7 +594,7 @@ func (en *Engine) Arrive(e match.Envelope, msg uint64) (req uint64, matched bool
 	if en.pmu != nil {
 		en.pmu.EndOp(cycles, depth, false, 0)
 	}
-	return 0, false, cycles
+	return 0, outcome, cycles
 }
 
 // PostRecv posts a receive. It returns the buffered message handle if

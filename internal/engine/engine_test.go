@@ -18,7 +18,7 @@ func baseCfg() Config {
 }
 
 func TestArriveMatchesPostedReceive(t *testing.T) {
-	en := New(baseCfg())
+	en := MustNew(baseCfg())
 	en.PostRecv(3, 7, 1, 100)
 	req, ok, cy := en.Arrive(match.Envelope{Rank: 3, Tag: 7, Ctx: 1}, 1)
 	if !ok || req != 100 {
@@ -37,7 +37,7 @@ func TestArriveMatchesPostedReceive(t *testing.T) {
 }
 
 func TestUnexpectedPath(t *testing.T) {
-	en := New(baseCfg())
+	en := MustNew(baseCfg())
 	// Message arrives before its receive: goes to the UMQ.
 	if _, ok, _ := en.Arrive(match.Envelope{Rank: 2, Tag: 9, Ctx: 1}, 555); ok {
 		t.Fatal("arrival with no posted receive must not match")
@@ -60,7 +60,7 @@ func TestUnexpectedPath(t *testing.T) {
 }
 
 func TestWildcardReceiveDrainsUMQInOrder(t *testing.T) {
-	en := New(baseCfg())
+	en := MustNew(baseCfg())
 	en.Arrive(match.Envelope{Rank: 1, Tag: 1, Ctx: 1}, 10)
 	en.Arrive(match.Envelope{Rank: 2, Tag: 2, Ctx: 1}, 20)
 	msg, ok, _ := en.PostRecv(match.AnySource, match.AnyTag, 1, 0)
@@ -70,7 +70,7 @@ func TestWildcardReceiveDrainsUMQInOrder(t *testing.T) {
 }
 
 func TestCancelRemovesPosted(t *testing.T) {
-	en := New(baseCfg())
+	en := MustNew(baseCfg())
 	en.PostRecv(1, 1, 1, 42)
 	ok, _ := en.Cancel(42)
 	if !ok {
@@ -82,7 +82,7 @@ func TestCancelRemovesPosted(t *testing.T) {
 }
 
 func TestDepthAccounting(t *testing.T) {
-	en := New(baseCfg())
+	en := MustNew(baseCfg())
 	for i := 0; i < 10; i++ {
 		en.PostRecv(0, i, 1, uint64(i))
 	}
@@ -94,7 +94,7 @@ func TestDepthAccounting(t *testing.T) {
 }
 
 func TestComputePhaseColdsCaches(t *testing.T) {
-	en := New(baseCfg())
+	en := MustNew(baseCfg())
 	for i := 0; i < 256; i++ {
 		en.PostRecv(0, i, 1, uint64(i))
 	}
@@ -121,7 +121,7 @@ func TestHotCachingHelpsOnSandyBridge(t *testing.T) {
 		cfg := baseCfg()
 		cfg.Kind = matchlist.KindBaseline
 		cfg.HotCache = hot
-		en := New(cfg)
+		en := MustNew(cfg)
 		for i := 0; i < 512; i++ {
 			en.PostRecv(0, i, 1, uint64(i))
 		}
@@ -144,7 +144,7 @@ func TestHeaterCoreSeparation(t *testing.T) {
 	cfg.HotCache = true
 	cfg.Core = 0
 	cfg.HeaterCore = 0
-	en := New(cfg)
+	en := MustNew(cfg)
 	if en.Heater().Core() == cfg.Core {
 		t.Error("heater core must differ from compute core")
 	}
@@ -154,7 +154,7 @@ func TestSyncCyclesChargedWithHotCache(t *testing.T) {
 	cfg := baseCfg()
 	cfg.Kind = matchlist.KindBaseline
 	cfg.HotCache = true
-	en := New(cfg)
+	en := MustNew(cfg)
 	for i := 0; i < 32; i++ {
 		en.PostRecv(0, i, 1, uint64(i))
 	}
@@ -170,7 +170,7 @@ func TestSyncCyclesChargedWithHotCache(t *testing.T) {
 	// With the element pool, drains cost no synchronisation.
 	cfg.Kind = matchlist.KindLLA
 	cfg.Pool = true
-	en2 := New(cfg)
+	en2 := MustNew(cfg)
 	for i := 0; i < 32; i++ {
 		en2.PostRecv(0, i, 1, uint64(i))
 	}
@@ -185,7 +185,7 @@ func TestSyncCyclesChargedWithHotCache(t *testing.T) {
 }
 
 func TestMemoryBytesTracksQueues(t *testing.T) {
-	en := New(baseCfg())
+	en := MustNew(baseCfg())
 	before := en.MemoryBytes()
 	for i := 0; i < 100; i++ {
 		en.PostRecv(0, i, 1, uint64(i))
@@ -196,7 +196,7 @@ func TestMemoryBytesTracksQueues(t *testing.T) {
 }
 
 func TestMaxLenTracking(t *testing.T) {
-	en := New(baseCfg())
+	en := MustNew(baseCfg())
 	for i := 0; i < 5; i++ {
 		en.PostRecv(0, i, 1, uint64(i))
 	}
@@ -227,7 +227,7 @@ func TestEngineKindMatrix(t *testing.T) {
 		cfg := baseCfg()
 		cfg.Kind = kind
 		cfg.Bins = 64
-		en := New(cfg)
+		en := MustNew(cfg)
 		// Two communicators, interleaved traffic.
 		en.PostRecv(1, 5, 1, 11)
 		en.PostRecv(1, 5, 2, 22)
@@ -248,7 +248,7 @@ func TestEngineKindMatrix(t *testing.T) {
 // The engine's cycle accounting is monotone and consistent with its
 // stats under a mixed workload.
 func TestEngineCycleAccounting(t *testing.T) {
-	en := New(baseCfg())
+	en := MustNew(baseCfg())
 	var sum uint64
 	for i := 0; i < 64; i++ {
 		_, _, cy := en.PostRecv(0, i, 1, uint64(i))

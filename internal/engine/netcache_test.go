@@ -15,7 +15,7 @@ import (
 func TestNetworkCacheProposal(t *testing.T) {
 	for _, prof := range []cache.Profile{cache.SandyBridge, cache.Broadwell} {
 		run := func(netcache bool, depth int) uint64 {
-			en := New(Config{
+			en := MustNew(Config{
 				Profile:        prof,
 				Kind:           matchlist.KindLLA,
 				EntriesPerNode: 2,
@@ -55,7 +55,7 @@ func TestNetworkCacheProposal(t *testing.T) {
 
 // Unlike hot caching, the network cache charges no synchronisation.
 func TestNetworkCacheNoSyncCycles(t *testing.T) {
-	en := New(Config{
+	en := MustNew(Config{
 		Profile:      cache.Broadwell,
 		Kind:         matchlist.KindBaseline,
 		NetworkCache: true,
@@ -73,7 +73,7 @@ func TestNetworkCacheNoSyncCycles(t *testing.T) {
 
 // Hot caching and the network cache can coexist (both listeners fire).
 func TestHeaterAndNetworkCacheCompose(t *testing.T) {
-	en := New(Config{
+	en := MustNew(Config{
 		Profile:        cache.SandyBridge,
 		Kind:           matchlist.KindLLA,
 		EntriesPerNode: 2,
@@ -93,7 +93,7 @@ func TestHeaterAndNetworkCacheCompose(t *testing.T) {
 }
 
 func TestNetworkCacheBytesOption(t *testing.T) {
-	en := New(Config{
+	en := MustNew(Config{
 		Profile:           cache.SandyBridge,
 		Kind:              matchlist.KindLLA,
 		NetworkCache:      true,

@@ -34,7 +34,7 @@ func (c *countingObserver) OnCancel(req uint64, found bool) { c.cancels++ }
 func (c *countingObserver) OnComputePhase(durationNS float64) { c.phases++ }
 
 func TestObserverSeesEverything(t *testing.T) {
-	en := New(baseCfg())
+	en := MustNew(baseCfg())
 	obs := &countingObserver{}
 	en.SetObserver(obs)
 
@@ -65,7 +65,7 @@ func TestHistogramsTrackQueues(t *testing.T) {
 	cfg := baseCfg()
 	cfg.TrackHistograms = true
 	cfg.HistogramBucket = 1
-	en := New(cfg)
+	en := MustNew(cfg)
 
 	for i := 0; i < 5; i++ {
 		en.PostRecv(0, i, 1, uint64(i))
@@ -99,7 +99,7 @@ func TestHistogramsTrackQueues(t *testing.T) {
 }
 
 func TestHistogramsDisabledByDefault(t *testing.T) {
-	en := New(baseCfg())
+	en := MustNew(baseCfg())
 	if en.PRQLengthHistogram() != nil || en.PRQDepthHistogram() != nil {
 		t.Error("histograms should be nil unless enabled")
 	}
@@ -117,7 +117,7 @@ func TestObserverWithNetworkCacheAndHeater(t *testing.T) {
 		Pool:           true,
 		NetworkCache:   true,
 	}
-	en := New(cfg)
+	en := MustNew(cfg)
 	obs := &countingObserver{}
 	en.SetObserver(obs)
 	en.PostRecv(0, 0, 1, 1)
@@ -134,7 +134,7 @@ func TestObserverCancelWithHotCaching(t *testing.T) {
 	// cancel, found or not, and the sync cycles must land in stats.
 	cfg := baseCfg()
 	cfg.HotCache = true
-	en := New(cfg)
+	en := MustNew(cfg)
 	obs := &countingObserver{}
 	en.SetObserver(obs)
 
@@ -162,7 +162,7 @@ func TestObserverComputePhasesWithHotCaching(t *testing.T) {
 	cfg := baseCfg()
 	cfg.HotCache = true
 	cfg.HeaterPeriodNS = 500
-	en := New(cfg)
+	en := MustNew(cfg)
 	obs := &countingObserver{}
 	en.SetObserver(obs)
 

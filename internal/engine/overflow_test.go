@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"spco/internal/cache"
+	"spco/internal/match"
+	"spco/internal/matchlist"
+)
+
+func boundedCfg(cap int, pol OverflowPolicy) Config {
+	cfg := baseCfg()
+	cfg.UMQCapacity = cap
+	cfg.Overflow = pol
+	return cfg
+}
+
+func fillUMQ(en *Engine, n int) {
+	for i := 0; i < n; i++ {
+		_, outcome, _ := en.ArriveFull(match.Envelope{Rank: 1, Tag: int32(i), Ctx: 1}, uint64(i))
+		if outcome != ArriveQueued {
+			panic("fillUMQ: expected ArriveQueued")
+		}
+	}
+}
+
+func TestArriveRefusedPastCapacityDropPolicy(t *testing.T) {
+	en := MustNew(boundedCfg(4, OverflowDrop))
+	fillUMQ(en, 4)
+	req, outcome, cycles := en.ArriveFull(match.Envelope{Rank: 1, Tag: 99, Ctx: 1}, 99)
+	if outcome != ArriveRefused || req != 0 {
+		t.Fatalf("outcome = %v, req = %d; want ArriveRefused", outcome, req)
+	}
+	if cycles == 0 {
+		t.Error("a refused arrival must still pay its PRQ search")
+	}
+	if en.UMQLen() != 4 {
+		t.Errorf("UMQ grew past capacity: %d", en.UMQLen())
+	}
+	st := en.Stats()
+	if st.UMQOverflows != 1 || st.Refused != 1 || st.Rendezvous != 0 {
+		t.Errorf("stats = %+v, want 1 overflow, 1 refused", st)
+	}
+	// Draining one slot readmits arrivals.
+	if _, ok, _ := en.PostRecv(1, 0, 1, 500); !ok {
+		t.Fatal("drain post did not match")
+	}
+	if _, outcome, _ := en.ArriveFull(match.Envelope{Rank: 1, Tag: 99, Ctx: 1}, 99); outcome != ArriveQueued {
+		t.Errorf("after drain, outcome = %v, want ArriveQueued", outcome)
+	}
+}
+
+func TestArriveRendezvousDemotionKeepsHeader(t *testing.T) {
+	en := MustNew(boundedCfg(4, OverflowRendezvous))
+	fillUMQ(en, 4)
+	_, outcome, _ := en.ArriveFull(match.Envelope{Rank: 1, Tag: 99, Ctx: 1}, 99)
+	if outcome != ArriveQueuedRendezvous {
+		t.Fatalf("outcome = %v, want ArriveQueuedRendezvous", outcome)
+	}
+	// The header still entered the UMQ: matching must find it.
+	if en.UMQLen() != 5 {
+		t.Errorf("UMQ len = %d, want 5 (header appended past the eager bound)", en.UMQLen())
+	}
+	msg, ok, _ := en.PostRecv(1, 99, 1, 500)
+	if !ok || msg != 99 {
+		t.Fatalf("demoted message unmatchable: msg=%d ok=%v", msg, ok)
+	}
+	st := en.Stats()
+	if st.UMQOverflows != 1 || st.Rendezvous != 1 || st.Refused != 0 {
+		t.Errorf("stats = %+v, want 1 overflow, 1 rendezvous, 0 refused", st)
+	}
+}
+
+func TestArrivePRQHitBypassesCapacity(t *testing.T) {
+	// A full UMQ must not refuse arrivals that match a posted receive:
+	// the capacity bounds buffering, not matching.
+	en := MustNew(boundedCfg(2, OverflowDrop))
+	fillUMQ(en, 2)
+	en.PostRecv(3, 7, 1, 100)
+	req, outcome, _ := en.ArriveFull(match.Envelope{Rank: 3, Tag: 7, Ctx: 1}, 50)
+	if outcome != ArriveMatched || req != 100 {
+		t.Errorf("PRQ hit at full UMQ: outcome = %v req = %d, want ArriveMatched 100", outcome, req)
+	}
+}
+
+func TestArriveWrapperMatchesArriveFull(t *testing.T) {
+	en := MustNew(baseCfg())
+	en.PostRecv(2, 5, 1, 77)
+	req, matched, _ := en.Arrive(match.Envelope{Rank: 2, Tag: 5, Ctx: 1}, 10)
+	if !matched || req != 77 {
+		t.Errorf("Arrive = (%d, %v), want (77, true)", req, matched)
+	}
+	if _, matched, _ := en.Arrive(match.Envelope{Rank: 9, Tag: 9, Ctx: 1}, 11); matched {
+		t.Error("unexpected arrival reported matched")
+	}
+}
+
+func TestConfigValidateRejectsMisconfig(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"no profile", func(c *Config) { c.Profile = cache.Profile{} }, "Cores"},
+		{"core out of range", func(c *Config) { c.Core = 99 }, "Core"},
+		{"negative heater period", func(c *Config) { c.HotCache = true; c.HeaterPeriodNS = -1 }, "HeaterPeriodNS"},
+		{"heater core out of range", func(c *Config) { c.HotCache = true; c.HeaterCore = -2 }, "HeaterCore"},
+		{"negative network cache", func(c *Config) { c.NetworkCacheBytes = -1 }, "NetworkCacheBytes"},
+		{"negative partition", func(c *Config) { c.L3PartitionWays = -1 }, "L3PartitionWays"},
+		{"negative umq capacity", func(c *Config) { c.UMQCapacity = -1 }, "UMQCapacity"},
+		{"capacity without policy", func(c *Config) { c.UMQCapacity = 8 }, "overflow policy"},
+		{"policy without capacity", func(c *Config) { c.Overflow = OverflowCredit }, "UMQCapacity"},
+		{"fourd commsize too large", func(c *Config) {
+			c.Kind = matchlist.KindFourD
+			c.CommSize = matchlist.MaxCommSize + 1
+		}, "CommSize"},
+	}
+	for _, tc := range cases {
+		cfg := baseCfg()
+		tc.mut(&cfg)
+		_, err := New(cfg)
+		if err == nil {
+			t.Errorf("%s: New accepted invalid config", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := New(baseCfg()); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestParseOverflowPolicy(t *testing.T) {
+	for in, want := range map[string]OverflowPolicy{
+		"":           OverflowUnbounded,
+		"none":       OverflowUnbounded,
+		"unbounded":  OverflowUnbounded,
+		"drop":       OverflowDrop,
+		"credit":     OverflowCredit,
+		"rendezvous": OverflowRendezvous,
+	} {
+		got, err := ParseOverflowPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseOverflowPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+		if got.String() == "" {
+			t.Errorf("empty String for %v", got)
+		}
+	}
+	if _, err := ParseOverflowPolicy("bogus"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestMustNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic on invalid config")
+		}
+	}()
+	cfg := baseCfg()
+	cfg.UMQCapacity = -1
+	MustNew(cfg)
+}

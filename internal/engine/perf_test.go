@@ -16,7 +16,7 @@ func TestPerfDisabledIsBitIdentical(t *testing.T) {
 		cfg := baseCfg()
 		cfg.HotCache = true
 		cfg.Perf = pmu
-		en := New(cfg)
+		en := MustNew(cfg)
 		driveChurn(en, 4, 200)
 		return en.Stats(), en.Hierarchy().Stats().Cycles
 	}
@@ -52,7 +52,7 @@ func TestPerfAndTelemetryCoexist(t *testing.T) {
 			cfg.Perf = pmu
 			cfg.Telemetry = telemetry.NewCollector(nil)
 		}
-		en := New(cfg)
+		en := MustNew(cfg)
 		driveChurn(en, 3, 100)
 		return en.Stats(), en.Hierarchy().Stats().Cycles, pmu
 	}

@@ -117,6 +117,11 @@ func newEngineTelemetry(en *Engine, c *telemetry.Collector) *engineTelemetry {
 	reg.Help("spco_heater_touches_total", "Cache lines touched by the heater.")
 	reg.Help("spco_heater_sync_cycles_total", "Lifetime heater-synchronisation cycles.")
 	reg.Help("spco_heater_registered_bytes", "Bytes currently registered with the heater.")
+	if en.cfg.UMQCapacity > 0 {
+		reg.Help("spco_umq_overflows_total", "Arrivals that found the bounded UMQ at capacity.")
+		reg.Help("spco_umq_refused_total", "Overflow arrivals refused (drop/credit policies).")
+		reg.Help("spco_umq_rendezvous_total", "Overflow arrivals demoted to rendezvous headers.")
+	}
 	op := func(name string) *telemetry.Histogram {
 		return reg.Histogram("spco_op_cycles",
 			telemetry.MergeLabels(labels, telemetry.Labels{"op": name}), telemetry.CycleBuckets)
@@ -195,6 +200,9 @@ func (t *engineTelemetry) publish() {
 	add("spco_umq_appends_total", nil, float64(st.UMQAppends-prev.UMQAppends))
 	add("spco_engine_cycles_total", nil, float64(st.Cycles-prev.Cycles))
 	add("spco_sync_cycles_total", nil, float64(st.SyncCycles-prev.SyncCycles))
+	add("spco_umq_overflows_total", nil, float64(st.UMQOverflows-prev.UMQOverflows))
+	add("spco_umq_refused_total", nil, float64(st.Refused-prev.Refused))
+	add("spco_umq_rendezvous_total", nil, float64(st.Rendezvous-prev.Rendezvous))
 	t.pubStats = st
 
 	cs := t.en.hier.Stats()

@@ -36,7 +36,7 @@ func TestTelemetryDisabledIsBitIdentical(t *testing.T) {
 			cfg.Telemetry = telemetry.NewCollector(nil)
 			cfg.ResidencyInterval = 500
 		}
-		en := New(cfg)
+		en := MustNew(cfg)
 		driveChurn(en, 4, 200)
 		en.PublishTelemetry()
 		return en.Stats(), en.Hierarchy().Stats().Cycles
@@ -54,7 +54,7 @@ func TestTelemetryDisabledIsBitIdentical(t *testing.T) {
 func TestQueueRegionsAreOwnerTagged(t *testing.T) {
 	cfg := baseCfg()
 	cfg.Telemetry = telemetry.NewCollector(nil)
-	en := New(cfg)
+	en := MustNew(cfg)
 	for i := 0; i < 32; i++ {
 		en.PostRecv(0, i, 1, uint64(i+1))
 		en.Arrive(match.Envelope{Rank: 1, Tag: int32(i + 100), Ctx: 1}, uint64(i))
@@ -76,7 +76,7 @@ func TestOpHistogramsCountOperations(t *testing.T) {
 	cfg := baseCfg()
 	col := telemetry.NewCollector(telemetry.Labels{"exp": "unit"})
 	cfg.Telemetry = col
-	en := New(cfg)
+	en := MustNew(cfg)
 	for i := 0; i < 10; i++ {
 		en.PostRecv(0, i, 1, uint64(i+1))
 	}
@@ -130,7 +130,7 @@ func TestResidencySeriesHotHoldsColdDecays(t *testing.T) {
 		cfg.HeaterPeriodNS = 100
 		col := telemetry.NewCollector(nil)
 		cfg.Telemetry = col
-		en := New(cfg)
+		en := MustNew(cfg)
 		// Long-lived posted receives that never match: a persistent PRQ.
 		for i := 0; i < 256; i++ {
 			en.PostRecv(0, i, 1, uint64(i+1))
@@ -169,7 +169,7 @@ func TestIntervalSamplingRecordsQueueDepths(t *testing.T) {
 	col := telemetry.NewCollector(nil)
 	cfg.Telemetry = col
 	cfg.ResidencyInterval = 1000
-	en := New(cfg)
+	en := MustNew(cfg)
 	for i := 0; i < 500; i++ {
 		en.PostRecv(0, i, 1, uint64(i+1))
 	}
@@ -201,7 +201,7 @@ func TestPublishTelemetryIdempotentAndAccumulating(t *testing.T) {
 	mk := func() *Engine {
 		cfg := baseCfg()
 		cfg.Telemetry = col
-		return New(cfg)
+		return MustNew(cfg)
 	}
 	labels := telemetry.Labels{"arch": baseCfg().Profile.Name, "list": "lla", "hot": "off",
 		"op": "post"}
@@ -240,7 +240,7 @@ func TestPublishEvictionMatrix(t *testing.T) {
 	cfg := baseCfg()
 	col := telemetry.NewCollector(nil)
 	cfg.Telemetry = col
-	en := New(cfg)
+	en := MustNew(cfg)
 	driveChurn(en, 3, 300)
 	en.PublishTelemetry()
 	// The compute-phase flush must have displaced tagged queue lines.

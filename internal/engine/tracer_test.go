@@ -10,7 +10,7 @@ import (
 )
 
 func TestTracerRecordsOperations(t *testing.T) {
-	en := New(baseCfg())
+	en := MustNew(baseCfg())
 	tr := NewTracer(16)
 	en.SetObserver(tr)
 
@@ -85,7 +85,7 @@ func TestTracerWraparoundMidRing(t *testing.T) {
 }
 
 func TestTracerJSONL(t *testing.T) {
-	en := New(baseCfg())
+	en := MustNew(baseCfg())
 	tr := NewTracer(0) // default capacity
 	if tr.Capacity() != DefaultTracerCapacity {
 		t.Fatalf("default capacity = %d", tr.Capacity())
@@ -121,7 +121,7 @@ func TestCombineObservers(t *testing.T) {
 		t.Error("single survivor should be returned unwrapped")
 	}
 
-	en := New(baseCfg())
+	en := MustNew(baseCfg())
 	tr := NewTracer(8)
 	en.SetObserver(CombineObservers(a, tr, b))
 	en.PostRecv(1, 1, 1, 1)

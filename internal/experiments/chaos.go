@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"spco/internal/cache"
+	"spco/internal/engine"
+	"spco/internal/fault"
+	"spco/internal/matchlist"
+	"spco/internal/netmodel"
+	"spco/internal/workload"
+)
+
+// The chaos experiment: how do the paper's locality structures hold up
+// when the wire misbehaves and retransmission traffic hammers the match
+// queues? Each scenario runs the seeded chaos harness against a set of
+// matchlist kinds, audits the fault-layer invariants, and reports the
+// recovery traffic and the goodput cost relative to the clean wire.
+
+// chaosScenario is one named fault regime.
+type chaosScenario struct {
+	name string
+	wire fault.WireConfig
+	cap  int // UMQ bound (0: unbounded)
+	flow engine.OverflowPolicy
+}
+
+func chaosScenarios() []chaosScenario {
+	return []chaosScenario{
+		{name: "clean"},
+		{name: "loss-1%", wire: fault.WireConfig{DropProb: 0.01}},
+		{name: "chaos-mix", wire: fault.WireConfig{DropProb: 0.01, DupProb: 0.005, ReorderProb: 0.02}},
+		{name: "burst", wire: fault.WireConfig{GoodToBad: 0.002, BadToGood: 0.2, BadDropProb: 0.5}},
+		{name: "bounded-drop", wire: fault.WireConfig{DropProb: 0.01}, cap: 16, flow: engine.OverflowDrop},
+		{name: "bounded-credit", wire: fault.WireConfig{DropProb: 0.01}, cap: 16, flow: engine.OverflowCredit},
+		{name: "bounded-rndv", wire: fault.WireConfig{DropProb: 0.01}, cap: 16, flow: engine.OverflowRendezvous},
+	}
+}
+
+func init() {
+	register(Spec{
+		ID:    "chaos",
+		Title: "Matching under an unreliable wire: recovery traffic, flow control, and invariant audit",
+		Description: "Seeded chaos runs per fault scenario and matchlist kind: exactly-once/FIFO/cycle-conservation " +
+			"invariants must hold while drops, duplicates, reordering and UMQ bounds inject recovery traffic " +
+			"through the real match queues.",
+		Run: runChaosExperiment,
+	})
+}
+
+func runChaosExperiment(o Options) Artifact {
+	fab := netmodel.IBQDR
+	kinds := []matchlist.Kind{matchlist.KindBaseline, matchlist.KindLLA, matchlist.KindHashBins}
+	messages := 20000
+	if o.Quick {
+		messages = 3000
+		kinds = kinds[:2]
+	}
+	if o.Trials > 0 {
+		messages = o.Trials
+	}
+
+	scenarios := chaosScenarios()
+	seed := uint64(1)
+	if o.Fault != nil {
+		// -fault-* flags override the sweep with one CLI-defined regime.
+		fc := *o.Fault
+		var scratch engine.Config
+		if err := fc.ApplyEngine(&scratch); err != nil {
+			return textArtifact(fmt.Sprintf("chaos: %v", err))
+		}
+		scenarios = []chaosScenario{{name: "cli", wire: fc.Wire(), cap: scratch.UMQCapacity, flow: scratch.Overflow}}
+		seed = fc.Seed
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s %-10s %9s %7s %7s %7s %7s %10s  %s\n",
+		"scenario", "list", "transmit", "retx", "dups", "nacks", "stalls", "sim-ms", "verdict")
+	for _, sc := range scenarios {
+		for _, kind := range kinds {
+			ecfg := o.instrument(engine.Config{
+				Profile:        cache.SandyBridge,
+				Kind:           kind,
+				EntriesPerNode: 2,
+				CommSize:       64,
+				Bins:           256,
+				UMQCapacity:    sc.cap,
+				Overflow:       sc.flow,
+			})
+			res, err := workload.RunChaos(workload.ChaosConfig{
+				Engine:     ecfg,
+				Fabric:     fab,
+				Wire:       sc.wire,
+				Seed:       seed,
+				Messages:   messages,
+				Senders:    8,
+				PhaseEvery: 1024,
+				PMU:        o.Perf,
+			})
+			if err != nil {
+				return textArtifact(fmt.Sprintf("chaos: %v", err))
+			}
+			verdict := "PASS"
+			if !res.Passed() {
+				verdict = fmt.Sprintf("FAIL (%d violations)", len(res.Violations))
+			}
+			ts := res.Transport
+			fmt.Fprintf(&b, "%-15s %-10s %9d %7d %7d %7d %7d %10.3f  %s\n",
+				sc.name, kind, ts.Transmits, ts.Retransmits, ts.DupSuppressed,
+				ts.BusyNacks, ts.CreditStalls, res.SimulatedNS/1e6, verdict)
+			for _, v := range res.Violations {
+				fmt.Fprintf(&b, "  !! %s\n", v)
+			}
+		}
+	}
+	b.WriteString("\nInvariants: exactly-once delivery, per-flow FIFO, cycle conservation, full drain.\n")
+	b.WriteString("Same transport counters for every kind is expected: the wire schedule is seed-driven;\n")
+	b.WriteString("what differs per kind is the engine's cycle cost of absorbing the recovery traffic.\n")
+	return textArtifact(b.String())
+}

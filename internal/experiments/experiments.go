@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"spco/internal/engine"
+	"spco/internal/fault"
 	"spco/internal/perf"
 	"spco/internal/telemetry"
 )
@@ -45,6 +46,11 @@ type Options struct {
 	// accumulate across the experiment's engines. Nil leaves cycle
 	// totals bit-identical to an uninstrumented run.
 	Perf *perf.PMU
+
+	// Fault, when set (spco-bench's -fault-* flags), replaces the chaos
+	// experiment's built-in scenario sweep with this single fault
+	// regime. Other experiments ignore it.
+	Fault *fault.CLI
 }
 
 // instrument applies the options' telemetry wiring to an engine

@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig6a", "fig6b", "fig6c",
 		"fig7a", "fig7b", "fig7c",
 		"fig8", "fig9", "fig10",
-		"hcmicro",
+		"hcmicro", "chaos",
 	}
 	ids := IDs()
 	have := map[string]bool{}

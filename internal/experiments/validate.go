@@ -92,7 +92,7 @@ func init() {
 				for _, prof := range []cache.Profile{cache.SandyBridge, cache.Broadwell, cache.Nehalem} {
 					cfg := engine.Config{
 						Profile: prof, Kind: v.kind, EntriesPerNode: v.k,
-						CommSize: 1 << 16,
+						CommSize: matchlist.MaxCommSize,
 					}
 					switch v.kind {
 					case matchlist.KindHashBins:

@@ -1,0 +1,100 @@
+package fault
+
+import (
+	"flag"
+	"fmt"
+
+	"spco/internal/engine"
+)
+
+// CLI is the standard -fault-* / -umq-* flag bundle commands expose for
+// the fault layer, mirroring perf.CLI: register the flags, then apply
+// them to a WireConfig / engine.Config pair.
+type CLI struct {
+	Drop    float64
+	Dup     float64
+	Reorder float64
+	Corrupt float64
+
+	BurstProb   float64
+	BurstRecov  float64
+	BurstDrop   float64
+	ReorderDisp int
+
+	Seed    uint64
+	RTONS   float64
+	Retries int
+
+	UMQCap int
+	Flow   string
+}
+
+// Register installs the flags on fs.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	fs.Float64Var(&c.Drop, "fault-drop", 0, "per-packet drop probability (i.i.d., or good-state with bursts)")
+	fs.Float64Var(&c.Dup, "fault-dup", 0, "per-packet duplication probability")
+	fs.Float64Var(&c.Reorder, "fault-reorder", 0, "per-packet reorder probability (bounded displacement)")
+	fs.Float64Var(&c.Corrupt, "fault-corrupt", 0, "per-packet corruption probability (discarded on checksum)")
+	fs.Float64Var(&c.BurstProb, "fault-burst", 0, "Gilbert-Elliott good-to-bad transition probability (enables burst loss)")
+	fs.Float64Var(&c.BurstRecov, "fault-burst-recovery", 0.2, "Gilbert-Elliott bad-to-good transition probability")
+	fs.Float64Var(&c.BurstDrop, "fault-burst-drop", DefaultBadDropProb, "drop probability inside a burst")
+	fs.IntVar(&c.ReorderDisp, "fault-reorder-disp", DefaultMaxReorderDisp, "max reorder displacement in injection gaps")
+	fs.Uint64Var(&c.Seed, "fault-seed", 1, "fault-layer RNG seed (same seed reproduces the run bit-identically)")
+	fs.Float64Var(&c.RTONS, "fault-rto", 0, "initial retransmission timeout in ns (0: fabric-suggested)")
+	fs.IntVar(&c.Retries, "fault-retries", DefaultMaxRetries, "max retransmissions per packet")
+	fs.IntVar(&c.UMQCap, "umq-cap", 0, "bound the unexpected-message queue (0: unbounded)")
+	fs.StringVar(&c.Flow, "flow", "", "overflow policy for a bounded UMQ: drop, credit, or rendezvous")
+}
+
+// Enabled reports whether any fault behaviour was requested.
+func (c *CLI) Enabled() bool {
+	return c.Wire().Enabled() || c.UMQCap > 0 || c.Flow != ""
+}
+
+// Wire returns the wire model the flags describe.
+func (c *CLI) Wire() WireConfig {
+	return WireConfig{
+		DropProb:       c.Drop,
+		DupProb:        c.Dup,
+		ReorderProb:    c.Reorder,
+		CorruptProb:    c.Corrupt,
+		GoodToBad:      c.BurstProb,
+		BadToGood:      c.BurstRecov,
+		BadDropProb:    c.BurstDrop,
+		MaxReorderDisp: c.ReorderDisp,
+	}
+}
+
+// ApplyEngine folds the bounded-UMQ flags into an engine config,
+// defaulting the policy to drop when only a capacity was given.
+func (c *CLI) ApplyEngine(cfg *engine.Config) error {
+	if c.UMQCap > 0 && c.Flow == "" {
+		c.Flow = "drop"
+	}
+	pol, err := engine.ParseOverflowPolicy(c.Flow)
+	if err != nil {
+		return err
+	}
+	if pol != engine.OverflowUnbounded && c.UMQCap <= 0 {
+		return fmt.Errorf("fault: -flow %s requires -umq-cap > 0", c.Flow)
+	}
+	cfg.UMQCapacity = c.UMQCap
+	cfg.Overflow = pol
+	return nil
+}
+
+// TransportConfig assembles a transport config for the given engine.
+// Credit flow control follows the engine's policy automatically.
+func (c *CLI) TransportConfig(en *engine.Engine) Config {
+	cfg := Config{
+		Wire:       c.Wire(),
+		Seed:       c.Seed,
+		Engine:     en,
+		RTONS:      c.RTONS,
+		MaxRetries: c.Retries,
+	}
+	if en.Config().Overflow == engine.OverflowCredit {
+		cfg.Credits = -1
+	}
+	return cfg
+}

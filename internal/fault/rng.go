@@ -1,0 +1,57 @@
+// Package fault is the deterministic fault-injection layer: an
+// unreliable-wire model over the LogGP fabrics (drops, duplicates,
+// bounded reordering, corruption, i.i.d. or Gilbert–Elliott burst
+// loss), and a cycle-accounted retransmission transport (sequence
+// numbers, RTO with exponential backoff and jitter, capped retries,
+// receiver dup-suppression and in-order reassembly) that drives every
+// redelivery through the real matching engine, so retries show up as
+// extra Arrive traffic in the PRQ/UMQ and in simulated-cycle totals.
+//
+// Everything is seeded: the same seed reproduces the same drops, the
+// same retransmission schedule, and bit-identical counters — the
+// property the chaos harness (cmd/spco-chaos) and the determinism
+// regression tests rely on.
+package fault
+
+// RNG is a splitmix64 generator: tiny, fast, and fully determined by
+// its seed. The fault layer cannot use math/rand's global state — every
+// draw must replay identically under a fixed seed regardless of what
+// else the process does.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator. Distinct seeds give independent-looking
+// streams (splitmix64 is the recommended seeder for larger PRNGs).
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform draw in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("fault: Intn on non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Fork derives an independent generator for a named substream, so the
+// wire and the timer jitter (for example) can draw without perturbing
+// each other's sequences when one side's draw count changes.
+func (r *RNG) Fork(stream uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (stream * 0xd6e8feb86659fd93))
+}

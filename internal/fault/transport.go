@@ -1,0 +1,849 @@
+package fault
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"spco/internal/engine"
+	"spco/internal/match"
+	"spco/internal/netmodel"
+	"spco/internal/perf"
+	"spco/internal/telemetry"
+)
+
+// Transport-side cost model (cycles) and control-packet sizing. These
+// cycles are charged to AuxCycles, not the engine: dup suppression and
+// checksum verification happen in the NIC driver before matching runs,
+// so they must not perturb the engine's own cycle totals (the zero-cost
+// observability contract extends to the fault layer — with a perfect
+// wire none of these paths execute and AuxCycles is zero).
+const (
+	// DupSuppressCycles is the receive-side cost of recognising and
+	// discarding a duplicate (sequence-window check plus header free).
+	DupSuppressCycles = 120
+
+	// CorruptCheckCycles is the checksum-verification cost paid for a
+	// corrupted packet before it is discarded.
+	CorruptCheckCycles = 90
+
+	// CtrlBytes is the wire size of acks, nacks, credit grants and
+	// rendezvous control messages.
+	CtrlBytes = 32
+
+	// DefaultMaxRetries caps per-packet retransmissions before the
+	// transport declares the packet undeliverable.
+	DefaultMaxRetries = 16
+
+	// DefaultReorderBuffer bounds the per-flow out-of-order reassembly
+	// buffer; packets beyond it are discarded as if lost (the sender's
+	// RTO recovers them once the window drains).
+	DefaultReorderBuffer = 1024
+)
+
+// Config parameterises a Transport: one receiver engine fed by any
+// number of sending flows (one flow per source rank) across an
+// unreliable wire.
+type Config struct {
+	// Fabric supplies the timing model (latency, gaps, serialization)
+	// for data, control, and rendezvous traffic.
+	Fabric netmodel.Fabric
+
+	// Wire is the fault model; its zero value is a perfect wire.
+	Wire WireConfig
+
+	// Seed determines every wire fate and every timer jitter. The same
+	// seed over the same schedule of Send/PostRecv calls reproduces
+	// bit-identical deliveries and counters.
+	Seed uint64
+
+	// Engine is the receiving matching engine. Required.
+	Engine *engine.Engine
+
+	// PMU, when set, receives fault-event hooks (retransmits, RTO
+	// expirations, dup suppressions, wire drops, credit stalls) so
+	// -perf-stat reports include the fault counters.
+	PMU *perf.PMU
+
+	// RTONS is the initial retransmission timeout; zero selects
+	// Fabric.SuggestedRTONS(EagerBytes). Backoff doubles it per retry up
+	// to MaxRTONS (zero: 64× the base), plus ±10% deterministic jitter.
+	RTONS    float64
+	MaxRTONS float64
+
+	// MaxRetries caps retransmissions per packet (zero:
+	// DefaultMaxRetries). Busy-NACKs from a full UMQ reset the count —
+	// flow-control pressure is not loss.
+	MaxRetries int
+
+	// EagerBytes is the modeled data-packet size used for timing and the
+	// default RTO (zero: 4096, a typical eager threshold).
+	EagerBytes uint64
+
+	// ReorderBuffer bounds each flow's out-of-order reassembly buffer
+	// (zero: DefaultReorderBuffer).
+	ReorderBuffer int
+
+	// Credits enables sender-side credit flow control with the given
+	// window when positive; -1 uses the engine's UMQCapacity. Pair it
+	// with engine.OverflowCredit so the receiver's bound matches the
+	// window. Zero disables.
+	Credits int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Engine == nil {
+		return fmt.Errorf("fault: Config.Engine is required")
+	}
+	if err := c.Fabric.Validate(); err != nil {
+		return err
+	}
+	if err := c.Wire.Validate(); err != nil {
+		return err
+	}
+	if c.RTONS < 0 || c.MaxRTONS < 0 {
+		return fmt.Errorf("fault: negative RTO")
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("fault: negative MaxRetries %d", c.MaxRetries)
+	}
+	if c.ReorderBuffer < 0 {
+		return fmt.Errorf("fault: negative ReorderBuffer %d", c.ReorderBuffer)
+	}
+	if c.Credits < -1 {
+		return fmt.Errorf("fault: Credits %d (want -1, 0, or a positive window)", c.Credits)
+	}
+	if c.Credits == -1 && c.Engine.Config().UMQCapacity == 0 {
+		return fmt.Errorf("fault: Credits -1 needs an engine with UMQCapacity set")
+	}
+	return nil
+}
+
+// Stats aggregates transport activity.
+type Stats struct {
+	Sends       uint64 // Send calls accepted
+	Transmits   uint64 // data packets injected (first copies + retransmits)
+	Delivered   uint64 // packets delivered into the engine
+	Retransmits uint64 // data packets resent
+	RTOExpired  uint64 // retransmission timeouts fired
+
+	DupSuppressed   uint64 // duplicate deliveries absorbed pre-engine
+	CorruptDiscards uint64 // packets discarded on checksum failure
+	OOOBuffered     uint64 // packets held for reassembly
+	OOOOverflow     uint64 // packets discarded because the reassembly buffer was full
+
+	AcksSent uint64 // acks injected (cumulative, possibly with a SACK)
+	AcksLost uint64 // acks the wire dropped or corrupted
+
+	BusyNacks     uint64 // UMQ-full refusals NACKed back to the sender
+	CreditStalls  uint64 // sends parked waiting for a credit
+	CreditsGrants uint64 // credit grants issued by the receiver
+
+	RendezvousTrips uint64  // payload fetches for demoted arrivals
+	RendezvousNS    float64 // extra network time those trips cost
+
+	RetryExhausted uint64 // packets abandoned after MaxRetries
+
+	// Wire-level event tallies (what the fault model did, pre-recovery).
+	WireDrops    uint64
+	WireDups     uint64
+	WireReorders uint64
+	WireCorrupts uint64
+	WireBursts   uint64
+
+	// AuxCycles is the transport-side CPU cost (dup suppression,
+	// checksum discards) charged outside the engine's totals.
+	AuxCycles uint64
+
+	// EngineOpCycles sums the cycle costs the engine returned for every
+	// operation the transport drove (the independent side of the
+	// cycle-conservation check: it must equal the engine's own total
+	// when the transport is the engine's only driver).
+	EngineOpCycles uint64
+
+	// LastEventNS is the simulated time of the last processed event.
+	LastEventNS float64
+}
+
+// Delivery is one packet handed to the engine, in delivery order — the
+// record the invariant checkers (internal/validate) audit.
+type Delivery struct {
+	Src     int32
+	Seq     uint64 // per-flow transport sequence number
+	Tag     int32
+	Ctx     uint16
+	Msg     uint64
+	AtNS    float64
+	Outcome engine.ArriveOutcome
+}
+
+// --- event heap ---
+
+type evKind uint8
+
+const (
+	evSend evKind = iota
+	evData
+	evAck
+	evNack
+	evCredit
+	evRTO
+	evPost
+	evPhase
+)
+
+type event struct {
+	at   float64
+	id   uint64 // tiebreaker: enqueue order, so equal times stay deterministic
+	kind evKind
+
+	flow int32
+	seq  uint64
+	gen  uint64
+
+	env     match.Envelope
+	msg     uint64
+	corrupt bool
+
+	// evAck
+	cum     uint64 // receiver's next expected seq: everything below is in
+	sack    uint64
+	hasSack bool
+
+	// evPost
+	rank, tag int
+	ctx       uint16
+	req       uint64
+
+	// evPhase
+	durNS float64
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].id < h[j].id
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (x any) {
+	old := *h
+	n := len(old)
+	x = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// --- flow state ---
+
+type pendingPkt struct {
+	seq     uint64
+	env     match.Envelope
+	msg     uint64
+	retries int
+	busy    int    // busy-NACK requeues (liveness bound, see fireNack)
+	gen     uint64 // bumps on every (re)send; stale RTO events no-op
+	sacked  bool   // receiver holds it out of order; defer retransmit
+}
+
+type sendFlow struct {
+	src     int32
+	nextSeq uint64
+	base    uint64 // lowest unacked seq
+	pending map[uint64]*pendingPkt
+	backlog []*pendingPkt // credit-stalled, FIFO
+}
+
+type oooPkt struct {
+	env match.Envelope
+	msg uint64
+}
+
+type recvFlow struct {
+	expected uint64 // next in-sequence seq to deliver
+	ooo      map[uint64]oooPkt
+}
+
+// Transport is the retransmission protocol over one unreliable wire
+// into one engine. Like the engine it feeds, it is single-threaded.
+type Transport struct {
+	cfg     Config
+	wire    *Wire
+	jitter  *RNG // timer-jitter stream, independent of wire fates
+	en      *engine.Engine
+	pmu     *perf.PMU
+	baseRTO float64
+	maxRTO  float64
+	retries int
+	oooCap  int
+	credits int // remaining window; -1 when flow control is off
+
+	heap   eventHeap
+	nextID uint64
+	now    float64
+
+	send map[int32]*sendFlow
+	recv map[int32]*recvFlow
+
+	// rendezvous holds msg handles demoted to header-only UMQ entries;
+	// consuming one costs the payload round trip.
+	rendezvous map[uint64]uint64 // msg -> bytes
+
+	deliveries []Delivery
+	stats      Stats
+}
+
+// NewTransport builds a transport, validating the configuration.
+func NewTransport(cfg Config) (*Transport, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.EagerBytes == 0 {
+		cfg.EagerBytes = 4096
+	}
+	if cfg.RTONS == 0 {
+		cfg.RTONS = cfg.Fabric.SuggestedRTONS(cfg.EagerBytes)
+	}
+	if cfg.MaxRTONS == 0 {
+		cfg.MaxRTONS = 64 * cfg.RTONS
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.ReorderBuffer == 0 {
+		cfg.ReorderBuffer = DefaultReorderBuffer
+	}
+	credits := -1
+	if cfg.Credits > 0 {
+		credits = cfg.Credits
+	} else if cfg.Credits == -1 {
+		credits = cfg.Engine.Config().UMQCapacity
+	}
+	root := NewRNG(cfg.Seed)
+	t := &Transport{
+		cfg:        cfg,
+		wire:       NewWire(cfg.Wire, root.Fork(1)),
+		jitter:     root.Fork(2),
+		en:         cfg.Engine,
+		pmu:        cfg.PMU,
+		baseRTO:    cfg.RTONS,
+		maxRTO:     cfg.MaxRTONS,
+		retries:    cfg.MaxRetries,
+		oooCap:     cfg.ReorderBuffer,
+		credits:    credits,
+		send:       make(map[int32]*sendFlow),
+		recv:       make(map[int32]*recvFlow),
+		rendezvous: make(map[uint64]uint64),
+	}
+	return t, nil
+}
+
+// MustNewTransport panics on the errors NewTransport returns.
+func MustNewTransport(cfg Config) *Transport {
+	t, err := NewTransport(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Transport) push(e *event) {
+	e.id = t.nextID
+	t.nextID++
+	heap.Push(&t.heap, e)
+}
+
+func (t *Transport) sendFlow(src int32) *sendFlow {
+	f := t.send[src]
+	if f == nil {
+		f = &sendFlow{src: src, pending: make(map[uint64]*pendingPkt)}
+		t.send[src] = f
+	}
+	return f
+}
+
+func (t *Transport) recvFlow(src int32) *recvFlow {
+	f := t.recv[src]
+	if f == nil {
+		f = &recvFlow{ooo: make(map[uint64]oooPkt)}
+		t.recv[src] = f
+	}
+	return f
+}
+
+// Send schedules an eager message from src at simulated time atNS.
+// Times must not be negative; equal times resolve in call order.
+func (t *Transport) Send(atNS float64, src int32, tag int32, ctx uint16, msg uint64) {
+	t.stats.Sends++
+	t.push(&event{at: atNS, kind: evSend, flow: src,
+		env: match.Envelope{Rank: src, Tag: tag, Ctx: ctx}, msg: msg})
+}
+
+// PostRecv schedules a receive post at simulated time atNS. The engine
+// runs it at that time; a UMQ consumption returns credits and settles
+// rendezvous payloads.
+func (t *Transport) PostRecv(atNS float64, rank, tag int, ctx uint16, req uint64) {
+	t.push(&event{at: atNS, kind: evPost, rank: rank, tag: tag, ctx: ctx, req: req})
+}
+
+// ComputePhase schedules an application compute phase at simulated
+// time atNS: the engine flushes its caches (and re-heats, if a heater
+// is attached) exactly as in the direct-driven workloads.
+func (t *Transport) ComputePhase(atNS, durationNS float64) {
+	t.push(&event{at: atNS, kind: evPhase, durNS: durationNS})
+}
+
+// Run drains the event heap to completion: all sends transmitted,
+// all retransmissions resolved (delivered or abandoned), all posts
+// processed. It returns the accumulated stats.
+func (t *Transport) Run() Stats {
+	for t.heap.Len() > 0 {
+		e := heap.Pop(&t.heap).(*event)
+		t.now = e.at
+		if e.at > t.stats.LastEventNS {
+			t.stats.LastEventNS = e.at
+		}
+		switch e.kind {
+		case evSend:
+			t.fireSend(e)
+		case evData:
+			t.fireData(e)
+		case evAck:
+			t.fireAck(e)
+		case evNack:
+			t.fireNack(e)
+		case evCredit:
+			t.fireCredit()
+		case evRTO:
+			t.fireRTO(e)
+		case evPost:
+			t.firePost(e)
+		case evPhase:
+			t.en.BeginComputePhase(e.durNS)
+		}
+	}
+	return t.Stats()
+}
+
+// rto returns the timeout for a packet's next (re)transmission:
+// exponential backoff capped at MaxRTONS, with ±10% deterministic
+// jitter so synchronized losses don't retransmit in lockstep.
+func (t *Transport) rto(retries int, sacked bool) float64 {
+	v := t.baseRTO
+	for i := 0; i < retries && v < t.maxRTO; i++ {
+		v *= 2
+	}
+	if sacked {
+		// The receiver holds it out of order; only the ack was lost.
+		// Defer, the cumulative ack likely arrives first.
+		v *= 2
+	}
+	if v > t.maxRTO {
+		v = t.maxRTO
+	}
+	return v * (0.9 + 0.2*t.jitter.Float64())
+}
+
+// fireSend runs sender-side admission: consume a credit (or park in
+// the backlog), assign the flow sequence number, transmit.
+func (t *Transport) fireSend(e *event) {
+	f := t.sendFlow(e.flow)
+	pkt := &pendingPkt{env: e.env, msg: e.msg}
+	if t.credits == 0 || len(f.backlog) > 0 {
+		// No window, or earlier sends of this flow are already parked
+		// (overtaking them would break per-flow FIFO).
+		t.stats.CreditStalls++
+		if t.pmu != nil {
+			t.pmu.OnCreditStall()
+		}
+		f.backlog = append(f.backlog, pkt)
+		return
+	}
+	if t.credits > 0 {
+		t.credits--
+	}
+	t.admit(f, pkt)
+}
+
+// admit assigns the next sequence number and performs the first
+// transmission.
+func (t *Transport) admit(f *sendFlow, pkt *pendingPkt) {
+	pkt.seq = f.nextSeq
+	f.nextSeq++
+	pkt.env.Seq = pkt.seq
+	f.pending[pkt.seq] = pkt
+	t.transmit(f, pkt)
+}
+
+// transmit injects one copy of pkt onto the wire and arms its RTO.
+func (t *Transport) transmit(f *sendFlow, pkt *pendingPkt) {
+	t.stats.Transmits++
+	pkt.gen++
+	fate := t.wire.Judge()
+	bytes := t.cfg.EagerBytes
+	if fate.Dropped {
+		t.stats.WireDrops++
+		if t.pmu != nil {
+			t.pmu.OnWireDrop()
+		}
+	} else {
+		arrive := t.now + t.cfg.Fabric.EndToEndNS(bytes) +
+			float64(fate.DelayGaps)*t.cfg.Fabric.MessageGapNS(bytes)
+		if fate.DelayGaps > 0 {
+			t.stats.WireReorders++
+		}
+		if fate.Corrupted {
+			t.stats.WireCorrupts++
+			if t.pmu != nil {
+				t.pmu.OnWireCorrupt()
+			}
+		}
+		t.push(&event{at: arrive, kind: evData, flow: f.src, seq: pkt.seq,
+			env: pkt.env, msg: pkt.msg, corrupt: fate.Corrupted})
+		if fate.Duplicated {
+			t.stats.WireDups++
+			t.push(&event{at: arrive + t.cfg.Fabric.MessageGapNS(bytes), kind: evData,
+				flow: f.src, seq: pkt.seq, env: pkt.env, msg: pkt.msg})
+		}
+	}
+	t.push(&event{at: t.now + t.rto(pkt.retries, pkt.sacked), kind: evRTO,
+		flow: f.src, seq: pkt.seq, gen: pkt.gen})
+}
+
+// fireData runs the receiver for one arriving data packet: checksum,
+// dup suppression, in-order reassembly, engine delivery, acking.
+func (t *Transport) fireData(e *event) {
+	if e.corrupt {
+		// Checksum fails; burn the verification cycles and drop. The
+		// sender's RTO recovers it.
+		t.stats.CorruptDiscards++
+		t.stats.AuxCycles += CorruptCheckCycles
+		return
+	}
+	f := t.recvFlow(e.flow)
+	if e.seq < f.expected {
+		// Already delivered: a wire duplicate or a retransmission that
+		// crossed our ack. Suppress, re-ack so the sender stops.
+		t.suppressDup(e.flow, f)
+		return
+	}
+	if _, buffered := f.ooo[e.seq]; buffered {
+		t.suppressDup(e.flow, f)
+		return
+	}
+	if e.seq > f.expected {
+		if len(f.ooo) >= t.oooCap {
+			// Reassembly window full: treat as loss, no ack.
+			t.stats.OOOOverflow++
+			return
+		}
+		f.ooo[e.seq] = oooPkt{env: e.env, msg: e.msg}
+		t.stats.OOOBuffered++
+		t.sendAck(e.flow, f, e.seq, true)
+		return
+	}
+	// In sequence: deliver it and everything consecutive behind it.
+	t.deliverRun(e.flow, f, oooPkt{env: e.env, msg: e.msg})
+	t.sendAck(e.flow, f, 0, false)
+}
+
+// suppressDup charges the duplicate-recognition cost and re-acks.
+func (t *Transport) suppressDup(src int32, f *recvFlow) {
+	t.stats.DupSuppressed++
+	t.stats.AuxCycles += DupSuppressCycles
+	if t.pmu != nil {
+		t.pmu.OnDupSuppressed()
+	}
+	t.sendAck(src, f, 0, false)
+}
+
+// deliverRun feeds the in-sequence packet, then any directly following
+// buffered packets, into the engine. A UMQ-full refusal stops the run
+// without advancing expected: the packet is NACKed and redelivered by
+// the sender once the queue drains, preserving per-flow FIFO.
+func (t *Transport) deliverRun(src int32, f *recvFlow, first oooPkt) {
+	pkt := first
+	for {
+		_, outcome, cycles := t.en.ArriveFull(pkt.env, pkt.msg)
+		t.stats.EngineOpCycles += cycles
+		if outcome == engine.ArriveRefused {
+			t.stats.BusyNacks++
+			t.pushNack(src, f.expected)
+			return
+		}
+		t.stats.Delivered++
+		t.deliveries = append(t.deliveries, Delivery{
+			Src: src, Seq: f.expected, Tag: pkt.env.Tag, Ctx: pkt.env.Ctx,
+			Msg: pkt.msg, AtNS: t.now, Outcome: outcome,
+		})
+		switch outcome {
+		case engine.ArriveQueuedRendezvous:
+			t.rendezvous[pkt.msg] = t.cfg.EagerBytes
+		case engine.ArriveMatched:
+			// Straight into a posted receive: no UMQ slot consumed, the
+			// credit frees immediately.
+			t.grantCredit()
+		}
+		f.expected++
+		next, ok := f.ooo[f.expected]
+		if !ok {
+			return
+		}
+		delete(f.ooo, f.expected)
+		pkt = next
+	}
+}
+
+// sendAck injects a cumulative ack (next expected seq), optionally
+// carrying one SACK for a just-buffered out-of-order packet. Acks ride
+// the same lossy wire as data.
+func (t *Transport) sendAck(src int32, f *recvFlow, sack uint64, hasSack bool) {
+	t.stats.AcksSent++
+	fate := t.wire.Judge()
+	if fate.Dropped || fate.Corrupted {
+		t.stats.AcksLost++
+		if fate.Dropped {
+			t.stats.WireDrops++
+		} else {
+			t.stats.WireCorrupts++
+		}
+		return
+	}
+	at := t.now + t.cfg.Fabric.EndToEndNS(CtrlBytes) +
+		float64(fate.DelayGaps)*t.cfg.Fabric.MessageGapNS(CtrlBytes)
+	t.push(&event{at: at, kind: evAck, flow: src, cum: f.expected, sack: sack, hasSack: hasSack})
+}
+
+// pushNack sends the busy-NACK for a refused in-sequence packet. It
+// rides the lossy wire; if lost, the sender's RTO still recovers.
+func (t *Transport) pushNack(src int32, seq uint64) {
+	fate := t.wire.Judge()
+	if fate.Dropped || fate.Corrupted {
+		return
+	}
+	at := t.now + t.cfg.Fabric.EndToEndNS(CtrlBytes)
+	t.push(&event{at: at, kind: evNack, flow: src, seq: seq})
+}
+
+// fireAck runs the sender for one arriving ack: slide the window,
+// mark the SACKed packet.
+func (t *Transport) fireAck(e *event) {
+	f := t.sendFlow(e.flow)
+	for seq := f.base; seq < e.cum; seq++ {
+		if pkt := f.pending[seq]; pkt != nil {
+			pkt.gen++ // invalidate the armed RTO
+			delete(f.pending, seq)
+		}
+	}
+	if e.cum > f.base {
+		f.base = e.cum
+	}
+	if e.hasSack {
+		if pkt := f.pending[e.sack]; pkt != nil && !pkt.sacked {
+			// The receiver holds this packet out of order: only the hole
+			// ahead of it is missing. Defer its armed RTO so it doesn't
+			// retransmit spuriously while the hole's own recovery (and
+			// the cumulative ack that follows) is in flight.
+			pkt.sacked = true
+			pkt.gen++
+			t.push(&event{at: t.now + t.rto(pkt.retries, true), kind: evRTO,
+				flow: e.flow, seq: pkt.seq, gen: pkt.gen})
+		}
+	}
+}
+
+// MaxBusyRequeues bounds how often one packet may be requeued by
+// busy-NACKs before the transport abandons it. Retry-count resets make
+// flow-control pressure survivable indefinitely; this bound only exists
+// so a workload that never posts receives (a harness bug) terminates
+// with RetryExhausted instead of looping forever.
+const MaxBusyRequeues = 4096
+
+// fireNack handles a busy-NACK: the receiver's UMQ was full, which is
+// congestion, not loss — reset the retry budget and retransmit after a
+// fresh timeout to let the queue drain.
+func (t *Transport) fireNack(e *event) {
+	f := t.sendFlow(e.flow)
+	pkt := f.pending[e.seq]
+	if pkt == nil {
+		return
+	}
+	pkt.busy++
+	if pkt.busy > MaxBusyRequeues {
+		t.stats.RetryExhausted++
+		delete(f.pending, e.seq)
+		return
+	}
+	pkt.retries = 0
+	pkt.gen++
+	t.push(&event{at: t.now + t.rto(0, false), kind: evRTO,
+		flow: e.flow, seq: pkt.seq, gen: pkt.gen})
+}
+
+// grantCredit issues one credit back to the sender pool. Grants are
+// modeled as reliable control traffic (a lost grant would leak window
+// permanently; real credit schemes piggyback grants redundantly, which
+// amounts to the same thing).
+func (t *Transport) grantCredit() {
+	if t.credits < 0 {
+		return
+	}
+	t.stats.CreditsGrants++
+	t.push(&event{at: t.now + t.cfg.Fabric.EndToEndNS(CtrlBytes), kind: evCredit})
+}
+
+// fireCredit returns a credit to the pool and drains the backlog in
+// flow order (lowest source rank first, then FIFO within the flow) so
+// the drain order is deterministic.
+func (t *Transport) fireCredit() {
+	t.credits++
+	for t.credits > 0 {
+		var pick *sendFlow
+		for _, f := range t.send {
+			if len(f.backlog) == 0 {
+				continue
+			}
+			if pick == nil || f.src < pick.src {
+				pick = f
+			}
+		}
+		if pick == nil {
+			return
+		}
+		pkt := pick.backlog[0]
+		pick.backlog = pick.backlog[1:]
+		t.credits--
+		t.admit(pick, pkt)
+	}
+}
+
+// fireRTO handles a retransmission timer: if the packet is still
+// unacked, resend it (or abandon it past MaxRetries).
+func (t *Transport) fireRTO(e *event) {
+	f := t.sendFlow(e.flow)
+	pkt := f.pending[e.seq]
+	if pkt == nil || pkt.gen != e.gen {
+		return // acked or superseded since armed
+	}
+	t.stats.RTOExpired++
+	if t.pmu != nil {
+		t.pmu.OnRTOExpired()
+	}
+	pkt.retries++
+	if pkt.retries > t.retries {
+		t.stats.RetryExhausted++
+		delete(f.pending, e.seq)
+		return
+	}
+	t.stats.Retransmits++
+	if t.pmu != nil {
+		t.pmu.OnRetransmit()
+	}
+	t.transmit(f, pkt)
+}
+
+// firePost runs a posted receive through the engine. A UMQ match
+// consumes a buffered slot: return its credit and settle a rendezvous
+// payload if the message was demoted.
+func (t *Transport) firePost(e *event) {
+	msg, matched, cycles := t.en.PostRecv(e.rank, e.tag, e.ctx, e.req)
+	t.stats.EngineOpCycles += cycles
+	if !matched {
+		return
+	}
+	if bytes, ok := t.rendezvous[msg]; ok {
+		delete(t.rendezvous, msg)
+		t.stats.RendezvousTrips++
+		t.stats.RendezvousNS += 2*t.cfg.Fabric.EndToEndNS(CtrlBytes) +
+			t.cfg.Fabric.SerializationNS(bytes)
+	}
+	t.grantCredit()
+}
+
+// Stats returns a copy of the accumulated counters.
+func (t *Transport) Stats() Stats {
+	s := t.stats
+	s.WireBursts = t.wire.Bursts
+	return s
+}
+
+// Deliveries returns the delivery log in delivery order.
+func (t *Transport) Deliveries() []Delivery { return t.deliveries }
+
+// NowNS returns the transport's simulated clock (the time of the last
+// processed event).
+func (t *Transport) NowNS() float64 { return t.now }
+
+// Unacked reports packets still pending or backlogged across all flows
+// (zero after a clean Run).
+func (t *Transport) Unacked() int {
+	n := 0
+	for _, f := range t.send {
+		n += len(f.pending) + len(f.backlog)
+	}
+	return n
+}
+
+// Flows returns the source ranks seen, sorted (deterministic for
+// reports).
+func (t *Transport) Flows() []int32 {
+	out := make([]int32, 0, len(t.send))
+	for src := range t.send {
+		out = append(out, src)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Publish folds the transport counters into a telemetry registry under
+// spco_fault_events_total{kind}, plus the rendezvous time gauge.
+func (t *Transport) Publish(reg *telemetry.Registry, base telemetry.Labels) {
+	if reg == nil {
+		return
+	}
+	s := t.stats
+	reg.Help("spco_fault_events_total", "Fault-layer events by kind (wire, transport, flow control).")
+	for _, kv := range []struct {
+		kind string
+		v    uint64
+	}{
+		{"send", s.Sends},
+		{"transmit", s.Transmits},
+		{"delivered", s.Delivered},
+		{"wire-drop", s.WireDrops},
+		{"wire-dup", s.WireDups},
+		{"wire-reorder", s.WireReorders},
+		{"wire-corrupt", s.WireCorrupts},
+		{"retransmit", s.Retransmits},
+		{"rto-expired", s.RTOExpired},
+		{"dup-suppressed", s.DupSuppressed},
+		{"corrupt-discard", s.CorruptDiscards},
+		{"ooo-buffered", s.OOOBuffered},
+		{"ack-sent", s.AcksSent},
+		{"ack-lost", s.AcksLost},
+		{"busy-nack", s.BusyNacks},
+		{"credit-stall", s.CreditStalls},
+		{"credit-grant", s.CreditsGrants},
+		{"rendezvous-trip", s.RendezvousTrips},
+		{"retry-exhausted", s.RetryExhausted},
+	} {
+		if kv.v > 0 {
+			reg.Counter("spco_fault_events_total",
+				telemetry.MergeLabels(base, telemetry.Labels{"kind": kv.kind})).Add(float64(kv.v))
+		}
+	}
+	if s.AuxCycles > 0 {
+		reg.Help("spco_fault_aux_cycles_total", "Transport-side cycles (dup suppression, checksum discards) outside engine totals.")
+		reg.Counter("spco_fault_aux_cycles_total", base).Add(float64(s.AuxCycles))
+	}
+	if s.RendezvousNS > 0 {
+		reg.Help("spco_fault_rendezvous_ns_total", "Extra network time spent on rendezvous payload fetches.")
+		reg.Counter("spco_fault_rendezvous_ns_total", base).Add(s.RendezvousNS)
+	}
+}

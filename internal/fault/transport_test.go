@@ -1,0 +1,315 @@
+package fault_test
+
+import (
+	"reflect"
+	"testing"
+
+	"spco/internal/cache"
+	"spco/internal/engine"
+	"spco/internal/fault"
+	"spco/internal/match"
+	"spco/internal/matchlist"
+	"spco/internal/netmodel"
+	"spco/internal/validate"
+)
+
+func testEngine(t *testing.T, umqCap int, pol engine.OverflowPolicy) *engine.Engine {
+	t.Helper()
+	en, err := engine.New(engine.Config{
+		Profile:        cache.SandyBridge,
+		Kind:           matchlist.KindLLA,
+		EntriesPerNode: 2,
+		CommSize:       64,
+		UMQCapacity:    umqCap,
+		Overflow:       pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return en
+}
+
+func testTransport(t *testing.T, en *engine.Engine, wire fault.WireConfig, seed uint64) *fault.Transport {
+	t.Helper()
+	cfg := fault.Config{Fabric: netmodel.IBQDR, Wire: wire, Seed: seed, Engine: en}
+	if en.Config().Overflow == engine.OverflowCredit {
+		cfg.Credits = -1
+	}
+	tr, err := fault.NewTransport(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// drive schedules msgs sends from nflows sources with a matching
+// receive each: even messages preposted, odd posted late. Returns the
+// per-source send counts for the exactly-once audit.
+func drive(tr *fault.Transport, msgs, nflows int) map[int32]uint64 {
+	gap := netmodel.IBQDR.MessageGapNS(4096)
+	late := 4 * netmodel.IBQDR.EndToEndNS(4096)
+	sent := make(map[int32]uint64)
+	for i := 0; i < msgs; i++ {
+		src := int32(i % nflows)
+		at := float64(i) * gap
+		tr.Send(at, src, int32(i), 1, uint64(i))
+		sent[src]++
+		postAt := at
+		if i%2 == 1 {
+			postAt = at + late
+		}
+		tr.PostRecv(postAt, int(src), i, 1, uint64(i))
+	}
+	return sent
+}
+
+func auditClean(t *testing.T, tr *fault.Transport, en *engine.Engine, sent map[int32]uint64) {
+	t.Helper()
+	ts := tr.Stats()
+	var vs []validate.Violation
+	vs = append(vs, validate.CheckExactlyOnce(sent, tr.Deliveries())...)
+	vs = append(vs, validate.CheckFlowFIFO(tr.Deliveries())...)
+	vs = append(vs, validate.CheckCycleConservation(en.Stats(), ts.EngineOpCycles, ts)...)
+	vs = append(vs, validate.CheckTransportClean(tr)...)
+	for _, v := range vs {
+		t.Error(v)
+	}
+}
+
+func TestCleanWireBitIdenticalToDirectDrive(t *testing.T) {
+	// The acceptance contract: with every fault probability zero and
+	// flow control off, routing a workload through the transport must
+	// leave the engine's cycle totals bit-identical to driving the
+	// engine directly with the same operation sequence.
+	const msgs = 500
+
+	// Direct drive. Preposts first (they beat every arrival), then the
+	// arrivals in send order, then the late posts in arrival order —
+	// exactly the event order a perfect wire produces.
+	direct := testEngine(t, 0, engine.OverflowUnbounded)
+	var directOpCycles uint64
+	for i := 0; i < msgs; i++ {
+		if i%2 == 0 {
+			_, _, cy := direct.PostRecv(int(int32(i%4)), i, 1, uint64(i))
+			directOpCycles += cy
+		}
+	}
+	for i := 0; i < msgs; i++ {
+		_, _, cy := direct.Arrive(match.Envelope{Rank: int32(i % 4), Tag: int32(i), Ctx: 1, Seq: uint64(i / 4)}, uint64(i))
+		directOpCycles += cy
+	}
+	for i := 1; i < msgs; i += 2 {
+		_, _, cy := direct.PostRecv(int(int32(i%4)), i, 1, uint64(i))
+		directOpCycles += cy
+	}
+
+	// Transport drive: preposts at send time, late posts far after the
+	// last arrival so the interleaving matches the direct sequence.
+	en := testEngine(t, 0, engine.OverflowUnbounded)
+	tr := testTransport(t, en, fault.WireConfig{}, 1)
+	gap := netmodel.IBQDR.MessageGapNS(4096)
+	end := float64(msgs)*gap + netmodel.IBQDR.EndToEndNS(4096)
+	for i := 0; i < msgs; i++ {
+		src := int32(i % 4)
+		at := float64(i) * gap
+		tr.Send(at, src, int32(i), 1, uint64(i))
+		if i%2 == 0 {
+			tr.PostRecv(0, int(src), i, 1, uint64(i))
+		} else {
+			tr.PostRecv(end+float64(i), int(src), i, 1, uint64(i))
+		}
+	}
+	ts := tr.Run()
+
+	if ts.Retransmits != 0 || ts.DupSuppressed != 0 || ts.AuxCycles != 0 || ts.RTOExpired != 0 {
+		t.Errorf("perfect wire produced fault activity: %+v", ts)
+	}
+	if ts.Delivered != msgs {
+		t.Fatalf("delivered %d of %d", ts.Delivered, msgs)
+	}
+	if got, want := en.Stats(), direct.Stats(); got != want {
+		t.Errorf("engine stats differ:\ntransport %+v\ndirect    %+v", got, want)
+	}
+	if got, want := en.Hierarchy().Stats().Cycles, direct.Hierarchy().Stats().Cycles; got != want {
+		t.Errorf("cache cycles differ: transport %d direct %d", got, want)
+	}
+	if ts.EngineOpCycles != directOpCycles {
+		t.Errorf("op cycles differ: transport %d direct %d", ts.EngineOpCycles, directOpCycles)
+	}
+}
+
+func TestExactlyOnceUnderChaosMix(t *testing.T) {
+	en := testEngine(t, 0, engine.OverflowUnbounded)
+	tr := testTransport(t, en,
+		fault.WireConfig{DropProb: 0.02, DupProb: 0.01, ReorderProb: 0.05, CorruptProb: 0.01}, 42)
+	sent := drive(tr, 4000, 4)
+	ts := tr.Run()
+	if ts.Delivered != 4000 {
+		t.Fatalf("delivered %d of 4000", ts.Delivered)
+	}
+	if ts.Retransmits == 0 || ts.DupSuppressed == 0 || ts.CorruptDiscards == 0 || ts.OOOBuffered == 0 {
+		t.Errorf("fault machinery unexercised: %+v", ts)
+	}
+	auditClean(t, tr, en, sent)
+}
+
+func TestBurstLossRecovery(t *testing.T) {
+	en := testEngine(t, 0, engine.OverflowUnbounded)
+	tr := testTransport(t, en,
+		fault.WireConfig{GoodToBad: 0.005, BadToGood: 0.2, BadDropProb: 0.6}, 7)
+	sent := drive(tr, 3000, 4)
+	ts := tr.Run()
+	if ts.WireBursts == 0 || ts.WireDrops == 0 {
+		t.Fatalf("no burst losses: %+v", ts)
+	}
+	if ts.Delivered != 3000 {
+		t.Fatalf("delivered %d of 3000", ts.Delivered)
+	}
+	auditClean(t, tr, en, sent)
+}
+
+func TestSameSeedBitIdenticalDifferentSeedDiffers(t *testing.T) {
+	wire := fault.WireConfig{DropProb: 0.02, DupProb: 0.01, ReorderProb: 0.04}
+	run := func(seed uint64) (fault.Stats, []fault.Delivery, engine.Stats) {
+		en := testEngine(t, 0, engine.OverflowUnbounded)
+		tr := testTransport(t, en, wire, seed)
+		drive(tr, 2000, 4)
+		ts := tr.Run()
+		return ts, tr.Deliveries(), en.Stats()
+	}
+	s1, d1, e1 := run(42)
+	s2, d2, e2 := run(42)
+	if s1 != s2 {
+		t.Errorf("same seed, different transport stats:\n%+v\n%+v", s1, s2)
+	}
+	if !reflect.DeepEqual(d1, d2) {
+		t.Error("same seed, different delivery logs")
+	}
+	if e1 != e2 {
+		t.Errorf("same seed, different engine stats:\n%+v\n%+v", e1, e2)
+	}
+	s3, _, _ := run(43)
+	if s1 == s3 {
+		t.Error("different seeds produced identical transport stats")
+	}
+}
+
+func TestRetryExhaustionOnDeadWire(t *testing.T) {
+	en := testEngine(t, 0, engine.OverflowUnbounded)
+	tr, err := fault.NewTransport(fault.Config{
+		Fabric: netmodel.IBQDR, Wire: fault.WireConfig{DropProb: 1},
+		Seed: 1, Engine: en, MaxRetries: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Send(0, 0, 1, 1, 100)
+	tr.PostRecv(0, 0, 1, 1, 100)
+	ts := tr.Run()
+	if ts.RetryExhausted != 1 {
+		t.Errorf("RetryExhausted = %d, want 1", ts.RetryExhausted)
+	}
+	if ts.Delivered != 0 {
+		t.Errorf("delivered %d on a dead wire", ts.Delivered)
+	}
+	if ts.Transmits != 4 { // original + MaxRetries
+		t.Errorf("transmits = %d, want 4", ts.Transmits)
+	}
+	if tr.Unacked() != 0 {
+		t.Errorf("abandoned packet still pending")
+	}
+}
+
+func TestCreditFlowControl(t *testing.T) {
+	en := testEngine(t, 8, engine.OverflowCredit)
+	tr := testTransport(t, en, fault.WireConfig{}, 1)
+	// Everything sent at once, receives posted late: the window must
+	// throttle admission to the UMQ bound.
+	sent := make(map[int32]uint64)
+	late := 100 * netmodel.IBQDR.EndToEndNS(4096)
+	for i := 0; i < 200; i++ {
+		tr.Send(float64(i), 0, int32(i), 1, uint64(i))
+		sent[0]++
+		tr.PostRecv(late+float64(i)*500, 0, i, 1, uint64(i))
+	}
+	ts := tr.Run()
+	if ts.CreditStalls == 0 || ts.CreditsGrants == 0 {
+		t.Fatalf("credit machinery unexercised: %+v", ts)
+	}
+	if ts.Delivered != 200 {
+		t.Fatalf("delivered %d of 200", ts.Delivered)
+	}
+	if en.Stats().UMQOverflows != 0 {
+		t.Errorf("credit window let the UMQ overflow %d times", en.Stats().UMQOverflows)
+	}
+	auditClean(t, tr, en, sent)
+}
+
+func TestDropPolicyBusyNacks(t *testing.T) {
+	en := testEngine(t, 4, engine.OverflowDrop)
+	tr := testTransport(t, en, fault.WireConfig{}, 1)
+	sent := make(map[int32]uint64)
+	late := 50 * netmodel.IBQDR.EndToEndNS(4096)
+	for i := 0; i < 100; i++ {
+		tr.Send(float64(i), 0, int32(i), 1, uint64(i))
+		sent[0]++
+		tr.PostRecv(late+float64(i)*1000, 0, i, 1, uint64(i))
+	}
+	ts := tr.Run()
+	if ts.BusyNacks == 0 {
+		t.Fatalf("no busy-NACKs with UMQ capacity 4: %+v", ts)
+	}
+	if en.Stats().Refused == 0 || en.Stats().UMQOverflows == 0 {
+		t.Errorf("engine saw no refusals: %+v", en.Stats())
+	}
+	if ts.Delivered != 100 {
+		t.Fatalf("delivered %d of 100 (drop policy must still converge)", ts.Delivered)
+	}
+	auditClean(t, tr, en, sent)
+}
+
+func TestRendezvousFallback(t *testing.T) {
+	en := testEngine(t, 4, engine.OverflowRendezvous)
+	tr := testTransport(t, en, fault.WireConfig{}, 1)
+	sent := make(map[int32]uint64)
+	late := 50 * netmodel.IBQDR.EndToEndNS(4096)
+	for i := 0; i < 100; i++ {
+		tr.Send(float64(i), 0, int32(i), 1, uint64(i))
+		sent[0]++
+		tr.PostRecv(late+float64(i)*500, 0, i, 1, uint64(i))
+	}
+	ts := tr.Run()
+	if ts.RendezvousTrips == 0 || ts.RendezvousNS == 0 {
+		t.Fatalf("no rendezvous demotions with capacity 4: %+v", ts)
+	}
+	if en.Stats().Rendezvous == 0 {
+		t.Errorf("engine counted no rendezvous fallbacks: %+v", en.Stats())
+	}
+	if ts.BusyNacks != 0 {
+		t.Errorf("rendezvous policy should absorb arrivals, got %d NACKs", ts.BusyNacks)
+	}
+	if ts.Delivered != 100 {
+		t.Fatalf("delivered %d of 100", ts.Delivered)
+	}
+	auditClean(t, tr, en, sent)
+}
+
+func TestConfigValidation(t *testing.T) {
+	en := testEngine(t, 0, engine.OverflowUnbounded)
+	bad := []fault.Config{
+		{},                      // no engine
+		{Engine: en, RTONS: -1}, // negative RTO
+		{Engine: en, MaxRetries: -1},
+		{Engine: en, Credits: -2},
+		{Engine: en, Credits: -1}, // -1 needs engine UMQ capacity
+		{Engine: en, Wire: fault.WireConfig{DropProb: 2}},
+	}
+	for i := range bad {
+		if bad[i].Engine != nil {
+			bad[i].Fabric = netmodel.IBQDR
+		}
+		if _, err := fault.NewTransport(bad[i]); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package fault
+
+import "fmt"
+
+// WireConfig parameterises the unreliable-wire model. All probabilities
+// are per-packet and in [0, 1]; the zero value is a perfect wire.
+type WireConfig struct {
+	// DropProb is the i.i.d. per-packet loss probability (the good-state
+	// loss probability when the Gilbert–Elliott chain is enabled).
+	DropProb float64
+
+	// DupProb duplicates a delivered packet: a second copy arrives one
+	// injection gap behind the first (NIC-level replay, as a recovering
+	// link or a misrouted-then-rerouted packet produces).
+	DupProb float64
+
+	// ReorderProb delays a delivered packet by a uniform 1..MaxReorderDisp
+	// injection gaps, letting later packets overtake it (adaptive-routing
+	// skew). Displacement is bounded: real fabrics reorder within a
+	// window, not arbitrarily.
+	ReorderProb float64
+
+	// CorruptProb delivers the packet with a payload checksum failure;
+	// the receiver pays the verification cost and discards it, so the
+	// end-to-end effect is a loss the sender must recover, plus receiver
+	// CPU burn.
+	CorruptProb float64
+
+	// MaxReorderDisp bounds reorder displacement in injection gaps
+	// (default DefaultMaxReorderDisp).
+	MaxReorderDisp int
+
+	// Gilbert–Elliott burst loss: a two-state Markov chain. In the good
+	// state packets drop with DropProb; in the bad state with
+	// BadDropProb. GoodToBad and BadToGood are the per-packet transition
+	// probabilities; GoodToBad > 0 enables the chain. Mean burst length
+	// is 1/BadToGood packets.
+	GoodToBad   float64
+	BadToGood   float64
+	BadDropProb float64
+}
+
+// DefaultMaxReorderDisp is the reorder-displacement bound when the
+// config leaves it zero.
+const DefaultMaxReorderDisp = 4
+
+// DefaultBadDropProb is the bad-state loss probability when the chain
+// is enabled without one.
+const DefaultBadDropProb = 0.5
+
+// Enabled reports whether the wire can misbehave at all.
+func (c WireConfig) Enabled() bool {
+	return c.DropProb > 0 || c.DupProb > 0 || c.ReorderProb > 0 ||
+		c.CorruptProb > 0 || c.GoodToBad > 0
+}
+
+// Validate checks the configuration.
+func (c WireConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"DropProb", c.DropProb}, {"DupProb", c.DupProb},
+		{"ReorderProb", c.ReorderProb}, {"CorruptProb", c.CorruptProb},
+		{"GoodToBad", c.GoodToBad}, {"BadToGood", c.BadToGood},
+		{"BadDropProb", c.BadDropProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("fault: %s %g outside [0,1]", p.name, p.v)
+		}
+	}
+	if c.MaxReorderDisp < 0 {
+		return fmt.Errorf("fault: negative MaxReorderDisp %d", c.MaxReorderDisp)
+	}
+	if c.GoodToBad > 0 && c.BadToGood == 0 {
+		return fmt.Errorf("fault: GoodToBad %g with BadToGood 0 would never leave the burst state", c.GoodToBad)
+	}
+	return nil
+}
+
+// Fate is the wire's verdict on one packet.
+type Fate struct {
+	// Dropped: the packet never arrives.
+	Dropped bool
+	// Duplicated: a second copy arrives one gap behind the first.
+	Duplicated bool
+	// Corrupted: the packet arrives but fails the receiver's checksum.
+	Corrupted bool
+	// DelayGaps is the reorder displacement in injection gaps (0 = in
+	// order).
+	DelayGaps int
+}
+
+// Wire judges packets against a WireConfig with a private RNG stream.
+// One Wire per direction per link; it is single-threaded like the
+// simulator that drives it.
+type Wire struct {
+	cfg WireConfig
+	rng *RNG
+	bad bool // Gilbert–Elliott state
+
+	// Event tallies (what the wire did, before any recovery).
+	Drops    uint64
+	Dups     uint64
+	Reorders uint64
+	Corrupts uint64
+	Bursts   uint64 // good→bad transitions
+}
+
+// NewWire builds a judged wire. cfg must have passed Validate.
+func NewWire(cfg WireConfig, rng *RNG) *Wire {
+	if cfg.MaxReorderDisp == 0 {
+		cfg.MaxReorderDisp = DefaultMaxReorderDisp
+	}
+	if cfg.GoodToBad > 0 && cfg.BadDropProb == 0 {
+		cfg.BadDropProb = DefaultBadDropProb
+	}
+	return &Wire{cfg: cfg, rng: rng}
+}
+
+// Judge decides one packet's fate. Draw order is fixed (chain step,
+// drop, dup, corrupt, reorder) so a seed fully determines the sequence
+// of fates.
+func (w *Wire) Judge() Fate {
+	var f Fate
+	drop := w.cfg.DropProb
+	if w.cfg.GoodToBad > 0 {
+		if w.bad {
+			if w.rng.Float64() < w.cfg.BadToGood {
+				w.bad = false
+			}
+		} else if w.rng.Float64() < w.cfg.GoodToBad {
+			w.bad = true
+			w.Bursts++
+		}
+		if w.bad {
+			drop = w.cfg.BadDropProb
+		}
+	}
+	if drop > 0 && w.rng.Float64() < drop {
+		w.Drops++
+		f.Dropped = true
+		return f
+	}
+	if w.cfg.DupProb > 0 && w.rng.Float64() < w.cfg.DupProb {
+		w.Dups++
+		f.Duplicated = true
+	}
+	if w.cfg.CorruptProb > 0 && w.rng.Float64() < w.cfg.CorruptProb {
+		w.Corrupts++
+		f.Corrupted = true
+	}
+	if w.cfg.ReorderProb > 0 && w.rng.Float64() < w.cfg.ReorderProb {
+		w.Reorders++
+		f.DelayGaps = 1 + w.rng.Intn(w.cfg.MaxReorderDisp)
+	}
+	return f
+}
+
+// InBurst reports the current Gilbert–Elliott state (for tests).
+func (w *Wire) InBurst() bool { return w.bad }

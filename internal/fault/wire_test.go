@@ -1,0 +1,119 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Error("different seeds produced the same first draw")
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	// A fork must not share its parent's sequence, and consuming draws
+	// from one fork must not perturb a sibling created beforehand.
+	root1, root2 := NewRNG(7), NewRNG(7)
+	f1a, f1b := root1.Fork(1), root1.Fork(2)
+	f2a, f2b := root2.Fork(1), root2.Fork(2)
+	for i := 0; i < 10; i++ {
+		f1a.Uint64() // consumed only on side 1
+	}
+	for i := 0; i < 100; i++ {
+		if f1b.Uint64() != f2b.Uint64() {
+			t.Fatalf("sibling stream perturbed by the other fork's draws (draw %d)", i)
+		}
+	}
+	_ = f2a
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", v)
+		}
+	}
+}
+
+func TestWireDistributions(t *testing.T) {
+	cfg := WireConfig{DropProb: 0.1, DupProb: 0.05, ReorderProb: 0.08, CorruptProb: 0.03}
+	w := NewWire(cfg, NewRNG(11))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		f := w.Judge()
+		if f.DelayGaps < 0 || f.DelayGaps > DefaultMaxReorderDisp {
+			t.Fatalf("displacement %d outside [0,%d]", f.DelayGaps, DefaultMaxReorderDisp)
+		}
+	}
+	check := func(name string, got uint64, p float64) {
+		t.Helper()
+		// Drops gate the later draws, so dup/corrupt/reorder see only
+		// surviving packets.
+		exp := p * n
+		if name != "drops" {
+			exp *= 1 - cfg.DropProb
+		}
+		if math.Abs(float64(got)-exp) > 0.15*exp {
+			t.Errorf("%s: got %d, want ~%.0f", name, got, exp)
+		}
+	}
+	check("drops", w.Drops, cfg.DropProb)
+	check("dups", w.Dups, cfg.DupProb)
+	check("reorders", w.Reorders, cfg.ReorderProb)
+	check("corrupts", w.Corrupts, cfg.CorruptProb)
+}
+
+func TestGilbertElliottBursts(t *testing.T) {
+	cfg := WireConfig{GoodToBad: 0.01, BadToGood: 0.25, BadDropProb: 0.5}
+	w := NewWire(cfg, NewRNG(5))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		w.Judge()
+	}
+	if w.Bursts == 0 {
+		t.Fatal("no bursts with GoodToBad > 0")
+	}
+	// Stationary loss: fraction of time in bad = g2b/(g2b+b2g) ~ 3.85%,
+	// times the bad-state drop prob ~ 1.9%.
+	pBad := cfg.GoodToBad / (cfg.GoodToBad + cfg.BadToGood)
+	exp := pBad * cfg.BadDropProb * n
+	if math.Abs(float64(w.Drops)-exp) > 0.25*exp {
+		t.Errorf("burst drops: got %d, want ~%.0f", w.Drops, exp)
+	}
+	// Mean burst length ~ 1/BadToGood packets.
+	mean := float64(w.Drops) / float64(w.Bursts) / cfg.BadDropProb
+	if mean < 2 || mean > 8 {
+		t.Errorf("mean burst length %.1f, want ~%.1f", mean, 1/cfg.BadToGood)
+	}
+}
+
+func TestWireConfigValidate(t *testing.T) {
+	cases := []WireConfig{
+		{DropProb: -0.1},
+		{DropProb: 1.5},
+		{DupProb: 2},
+		{MaxReorderDisp: -1},
+		{GoodToBad: 0.1}, // no BadToGood: the chain would never recover
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d (%+v): want error", i, c)
+		}
+	}
+	good := WireConfig{DropProb: 0.5, GoodToBad: 0.1, BadToGood: 0.2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if (WireConfig{}).Enabled() {
+		t.Error("zero config must be a perfect wire")
+	}
+}

@@ -1,7 +1,6 @@
 package matchlist
 
 import (
-	"fmt"
 	"math"
 
 	"spco/internal/match"
@@ -16,15 +15,16 @@ import (
 // stays O(1) in list operations (four array hops). Wildcard-source
 // receives use the fallback chain, as in rankArray.
 type fourD struct {
-	cfg     Config
-	radix   int
-	root    *fourDLevel
-	wild    chain
-	ctrl    simmem.Addr
-	seq     uint64
-	n       int
-	bytes   uint64
-	regions simmem.RegionSet
+	cfg      Config
+	radix    int
+	capacity int // radix^4, the largest decomposable rank + 1
+	root     *fourDLevel
+	wild     chain
+	ctrl     simmem.Addr
+	seq      uint64
+	n        int
+	bytes    uint64
+	regions  simmem.RegionSet
 }
 
 // fourDLevel is one trie level: an array of child pointers (interior)
@@ -36,14 +36,14 @@ type fourDLevel struct {
 }
 
 func newFourD(cfg Config) *fourD {
-	if cfg.CommSize <= 0 {
-		panic("matchlist: FourD requires Config.CommSize")
-	}
+	// CommSize > 0 and <= MaxCommSize are guaranteed by Config.Validate;
+	// radix = ceil(N^(1/4)) then makes radix^4 >= CommSize, so every
+	// in-communicator rank decomposes into four digits.
 	radix := int(math.Ceil(math.Pow(float64(cfg.CommSize), 0.25)))
 	if radix < 2 {
 		radix = 2
 	}
-	l := &fourD{cfg: cfg, radix: radix}
+	l := &fourD{cfg: cfg, radix: radix, capacity: radix * radix * radix * radix}
 	l.ctrl = cfg.Space.AllocLines(1)
 	l.bytes += simmem.LineSize
 	regAdd(&l.cfg, &l.regions, simmem.Region{Base: l.ctrl, Size: simmem.LineSize})
@@ -73,20 +73,23 @@ func (l *fourD) newLevel(leaf bool) *fourDLevel {
 	return lv
 }
 
-// digits decomposes a rank into its four trie digits, most significant
-// first.
+// rankInRange reports whether the rank decomposes into four trie
+// digits. Out-of-range ranks (negative, or beyond the radix capacity a
+// misdeclared CommSize would imply) degrade to the ordered fallback
+// chain instead of detonating mid-workload; the configuration itself is
+// bounded up front by Config.Validate.
+func (l *fourD) rankInRange(rank int) bool {
+	return rank >= 0 && rank < l.capacity
+}
+
+// digits decomposes an in-range rank into its four trie digits, most
+// significant first.
 func (l *fourD) digits(rank int) [4]int {
-	if rank < 0 {
-		panic(fmt.Sprintf("matchlist: negative rank %d (the 2-byte packed rank field caps communicators at 32768)", rank))
-	}
 	var d [4]int
 	r := rank
 	for i := 3; i >= 0; i-- {
 		d[i] = r % l.radix
 		r /= l.radix
-	}
-	if r != 0 {
-		panic(fmt.Sprintf("matchlist: rank %d exceeds 4D capacity radix^4=%d", rank, l.radix*l.radix*l.radix*l.radix))
 	}
 	return d
 }
@@ -116,7 +119,7 @@ func (l *fourD) Post(p match.Posted) {
 	l.cfg.Acc.Access(l.ctrl, 16)
 	e := seqEntry{entry: p, seq: l.seq}
 	l.seq++
-	if p.IsWild() && p.RankMask == 0 {
+	if (p.IsWild() && p.RankMask == 0) || !l.rankInRange(int(p.Rank)) {
 		l.wild.append(&l.regions, &l.bytes, e)
 	} else {
 		l.leafFor(int(p.Rank), true).append(&l.regions, &l.bytes, e)
@@ -129,7 +132,7 @@ func (l *fourD) Search(e match.Envelope) (match.Posted, int, bool) {
 	depth := 0
 	var binPrev, binNode *chainNode
 	var leaf *chain
-	if e.Rank >= 0 {
+	if l.rankInRange(int(e.Rank)) {
 		leaf = l.leafFor(int(e.Rank), false)
 		if leaf != nil {
 			binPrev, binNode = leaf.firstMatch(e, &depth)

@@ -63,8 +63,10 @@ func newHWOffload(cfg Config) *hwOffload {
 // not a Kind: it exists for the hwoffload extension experiment).
 // hwEntries <= 0 selects DefaultHWEntries.
 func NewHWOffload(cfg Config, hwEntries int) PostedList {
-	cfg.validate()
 	cfg.Bins = hwEntries
+	if err := cfg.Validate(KindHWOffload); err != nil {
+		panic(err)
+	}
 	return newHWOffload(cfg)
 }
 

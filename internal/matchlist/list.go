@@ -231,46 +231,115 @@ func (c *Config) setSeg(v int) {
 	}
 }
 
-func (c Config) validate() {
+// MaxCommSize is the largest communicator the packed entry layout can
+// address: the 2-byte rank field of Figure 2 caps sources at 32768.
+const MaxCommSize = 1 << 15
+
+// ValidateParams checks the kind-specific sizing parameters without
+// requiring a full Config (library boundaries validate user input with
+// it before any simulated allocation happens).
+func ValidateParams(kind Kind, entriesPerNode, bins, commSize int) error {
+	if entriesPerNode < 0 {
+		return fmt.Errorf("matchlist: negative EntriesPerNode %d", entriesPerNode)
+	}
+	if bins < 0 {
+		return fmt.Errorf("matchlist: negative Bins %d", bins)
+	}
+	if commSize < 0 {
+		return fmt.Errorf("matchlist: negative CommSize %d", commSize)
+	}
+	if commSize > MaxCommSize {
+		return fmt.Errorf("matchlist: CommSize %d exceeds the packed-rank cap %d", commSize, MaxCommSize)
+	}
+	switch kind {
+	case KindBaseline, KindLLA, KindHashBins, KindHWOffload, KindPerComm:
+	case KindRankArray:
+		if commSize <= 0 {
+			return fmt.Errorf("matchlist: %v requires Config.CommSize > 0", kind)
+		}
+	case KindFourD:
+		// The 4D radix capacity (radix = ceil(N^(1/4)), capacity =
+		// radix^4 >= N) is implied by CommSize; checking once here is
+		// what lets the structure reject nothing mid-workload.
+		if commSize <= 0 {
+			return fmt.Errorf("matchlist: %v requires Config.CommSize > 0", kind)
+		}
+	default:
+		return fmt.Errorf("matchlist: unknown kind %v", kind)
+	}
+	return nil
+}
+
+// Validate checks the configuration for the given kind. Constructors
+// reject exactly what Validate rejects; any panic past construction is
+// an internal invariant violation, not a configuration error.
+func (c Config) Validate(kind Kind) error {
 	if c.Space == nil {
-		panic("matchlist: Config.Space is required")
+		return fmt.Errorf("matchlist: Config.Space is required")
 	}
 	if c.Acc == nil {
-		panic("matchlist: Config.Acc is required")
+		return fmt.Errorf("matchlist: Config.Acc is required")
 	}
+	return ValidateParams(kind, c.EntriesPerNode, c.Bins, c.CommSize)
 }
 
-// NewPosted constructs the selected PRQ implementation.
-func NewPosted(kind Kind, cfg Config) PostedList {
-	cfg.validate()
+// NewPostedList constructs the selected PRQ implementation, rejecting
+// misconfiguration with an error.
+func NewPostedList(kind Kind, cfg Config) (PostedList, error) {
+	if err := cfg.Validate(kind); err != nil {
+		return nil, err
+	}
 	switch kind {
 	case KindBaseline:
-		return newBaselinePosted(cfg)
+		return newBaselinePosted(cfg), nil
 	case KindLLA:
-		return newLLAPosted(cfg)
+		return newLLAPosted(cfg), nil
 	case KindHashBins:
-		return newHashBins(cfg)
+		return newHashBins(cfg), nil
 	case KindRankArray:
-		return newRankArray(cfg)
+		return newRankArray(cfg), nil
 	case KindFourD:
-		return newFourD(cfg)
+		return newFourD(cfg), nil
 	case KindHWOffload:
 		// Config.Bins carries the hardware capacity (see NewHWOffload).
-		return newHWOffload(cfg)
+		return newHWOffload(cfg), nil
 	case KindPerComm:
-		return newPerComm(cfg)
+		return newPerComm(cfg), nil
 	}
-	panic(fmt.Sprintf("matchlist: unknown kind %v", kind))
+	return nil, fmt.Errorf("matchlist: unknown kind %v", kind)
 }
 
-// NewUnexpected constructs a UMQ matching the PRQ kind: baseline kinds
-// get the baseline UMQ; LLA gets the packed-array UMQ (3 entries per
-// line at the first locality level); bucketed kinds reuse the baseline
-// UMQ (the paper's comparators focus on the PRQ).
-func NewUnexpected(kind Kind, cfg Config) UnexpectedList {
-	cfg.validate()
-	if kind == KindLLA {
-		return newLLAUnexpected(cfg)
+// NewUnexpectedList constructs a UMQ matching the PRQ kind: baseline
+// kinds get the baseline UMQ; LLA gets the packed-array UMQ (3 entries
+// per line at the first locality level); bucketed kinds reuse the
+// baseline UMQ (the paper's comparators focus on the PRQ).
+func NewUnexpectedList(kind Kind, cfg Config) (UnexpectedList, error) {
+	if err := cfg.Validate(kind); err != nil {
+		return nil, err
 	}
-	return newBaselineUnexpected(cfg)
+	if kind == KindLLA {
+		return newLLAUnexpected(cfg), nil
+	}
+	return newBaselineUnexpected(cfg), nil
+}
+
+// NewPosted is NewPostedList for pre-validated, code-authored configs
+// (tests, workloads behind a validated boundary); it panics on the
+// errors NewPostedList returns.
+func NewPosted(kind Kind, cfg Config) PostedList {
+	l, err := NewPostedList(kind, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// NewUnexpected is NewUnexpectedList with NewPosted's panicking
+// contract.
+func NewUnexpected(kind Kind, cfg Config) UnexpectedList {
+	u, err := NewUnexpectedList(kind, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return u
 }

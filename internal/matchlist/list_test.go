@@ -314,8 +314,9 @@ func TestFourDRadix(t *testing.T) {
 
 func TestFourDMemoryScalesWithPopulation(t *testing.T) {
 	// A 4D structure touching few sources must use far less memory than
-	// a rank array sized for the full communicator.
-	const comm = 1 << 16
+	// a rank array sized for the full communicator (at the largest
+	// communicator the packed-rank entry layout can address).
+	const comm = MaxCommSize
 	spaceA := simmem.NewSpace()
 	ra := NewPosted(KindRankArray, Config{Space: spaceA, Acc: FreeAccessor{}, CommSize: comm})
 	spaceB := simmem.NewSpace()

@@ -1,8 +1,6 @@
 package matchlist
 
 import (
-	"fmt"
-
 	"spco/internal/match"
 	"spco/internal/simmem"
 )
@@ -49,13 +47,13 @@ func (l *rankArray) Post(p match.Posted) {
 	l.cfg.Acc.Access(l.ctrl, 16)
 	e := seqEntry{entry: p, seq: l.seq}
 	l.seq++
-	if p.IsWild() && p.RankMask == 0 {
+	r := int(p.Rank)
+	if (p.IsWild() && p.RankMask == 0) || r < 0 || r >= len(l.perRank) {
+		// Wildcards cannot be bucketed; ranks outside the declared
+		// communicator (a misdeclared CommSize) degrade to the ordered
+		// fallback chain instead of panicking mid-workload.
 		l.wild.append(&l.regions, &l.bytes, e)
 	} else {
-		r := int(p.Rank)
-		if r < 0 || r >= len(l.perRank) {
-			panic(fmt.Sprintf("matchlist: rank %d outside communicator of size %d", r, len(l.perRank)))
-		}
 		l.cfg.Acc.Access(l.headsAddr+simmem.Addr(r*8), 8)
 		l.perRank[r].append(&l.regions, &l.bytes, e)
 	}

@@ -97,7 +97,7 @@ func NewWorld(cfg Config) *World {
 		w.procs[r] = &Proc{
 			w:        w,
 			rank:     r,
-			en:       engine.New(ecfg),
+			en:       engine.MustNew(ecfg),
 			requests: make(map[uint64]*Request),
 			umqData:  make(map[uint64]packet),
 			nextReq:  1,

@@ -291,7 +291,7 @@ type ReplayResult struct {
 // returns its cost and statistics. Wildcard posts are reconstructed
 // from the recorded sentinel values.
 func Replay(t *Trace, cfg engine.Config, obs ...engine.Observer) ReplayResult {
-	en := engine.New(cfg)
+	en := engine.MustNew(cfg)
 	if o := engine.CombineObservers(obs...); o != nil {
 		en.SetObserver(o)
 	}

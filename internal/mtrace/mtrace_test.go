@@ -22,7 +22,7 @@ func engCfg(kind matchlist.Kind, k int) engine.Config {
 func recordSynthetic(t *testing.T) *Trace {
 	t.Helper()
 	rec := NewRecorder("synthetic")
-	en := engine.New(engCfg(matchlist.KindLLA, 2))
+	en := engine.MustNew(engCfg(matchlist.KindLLA, 2))
 	en.SetObserver(rec)
 
 	for i := 0; i < 20; i++ {

@@ -68,6 +68,15 @@ func (f Fabric) EndToEndNS(bytes uint64) float64 {
 	return f.OverheadNS + f.LatencyNS + f.SerializationNS(bytes)
 }
 
+// SuggestedRTONS returns a conservative initial retransmission timeout
+// for messages of the given size on this fabric: four end-to-end times
+// plus two injection gaps, enough headroom that a healthy link (ack
+// time ≈ 2·EndToEnd) never fires a spurious timeout, while a lost
+// packet is still recovered within a handful of round trips.
+func (f Fabric) SuggestedRTONS(bytes uint64) float64 {
+	return 4*f.EndToEndNS(bytes) + 2*f.MessageGapNS(bytes)
+}
+
 // Built-in fabrics.
 var (
 	// IBQDR models the QLogic InfiniBand QDR network (Sandy Bridge

@@ -90,6 +90,26 @@ type Counters struct {
 	OpCycles      [NumOps]uint64
 	MatchAttempts uint64
 	Matches       uint64
+
+	// Fault-injection events (internal/fault wire/transport plus the
+	// engine's bounded-UMQ policies). All stay zero unless a fault layer
+	// is attached; reports and exports omit them while zero so fault-free
+	// output is byte-identical to pre-fault builds.
+	Retransmits   uint64 // data packets resent after loss, timeout, or refusal
+	RTOExpired    uint64 // retransmission timeouts that fired
+	DupSuppressed uint64 // duplicate deliveries absorbed before the engine
+	WireDrops     uint64 // packets the unreliable wire dropped
+	WireCorrupt   uint64 // packets delivered corrupted and discarded on checksum
+	UMQOverflows  uint64 // arrivals that found the bounded UMQ full
+	CreditStalls  uint64 // sends stalled waiting for flow-control credits
+	RendezvousFB  uint64 // eager arrivals demoted to rendezvous headers
+}
+
+// faultActive reports whether any fault-layer event fired; zero-fault
+// runs skip the fault rows/metrics entirely.
+func (c Counters) faultActive() bool {
+	return c.Retransmits|c.RTOExpired|c.DupSuppressed|c.WireDrops|
+		c.WireCorrupt|c.UMQOverflows|c.CreditStalls|c.RendezvousFB != 0
 }
 
 // add accumulates o into c.
@@ -119,6 +139,14 @@ func (c *Counters) add(o *Counters) {
 	}
 	c.MatchAttempts += o.MatchAttempts
 	c.Matches += o.Matches
+	c.Retransmits += o.Retransmits
+	c.RTOExpired += o.RTOExpired
+	c.DupSuppressed += o.DupSuppressed
+	c.WireDrops += o.WireDrops
+	c.WireCorrupt += o.WireCorrupt
+	c.UMQOverflows += o.UMQOverflows
+	c.CreditStalls += o.CreditStalls
+	c.RendezvousFB += o.RendezvousFB
 }
 
 // Accesses returns the total demand line accesses.
@@ -277,6 +305,18 @@ func (c Counters) Rows() []Row {
 		rows = append(rows,
 			Row{Name: "ops-" + k.String(), Value: float64(c.Ops[k])},
 			Row{Name: "cycles-" + k.String(), Value: float64(c.OpCycles[k])},
+		)
+	}
+	if c.faultActive() {
+		rows = append(rows,
+			Row{Name: "wire-drops", Value: float64(c.WireDrops)},
+			Row{Name: "wire-corruptions", Value: float64(c.WireCorrupt)},
+			Row{Name: "retransmits", Value: float64(c.Retransmits)},
+			Row{Name: "rto-expirations", Value: float64(c.RTOExpired)},
+			Row{Name: "dups-suppressed", Value: float64(c.DupSuppressed)},
+			Row{Name: "umq-overflows", Value: float64(c.UMQOverflows)},
+			Row{Name: "credit-stalls", Value: float64(c.CreditStalls)},
+			Row{Name: "rendezvous-fallbacks", Value: float64(c.RendezvousFB)},
 		)
 	}
 	rows = append(rows,

@@ -237,6 +237,37 @@ func (p *PMU) EndOp(cycles uint64, depth int, matched bool, req uint64) {
 	p.now += cycles
 }
 
+// --- fault hooks ---
+//
+// The fault layer (internal/fault) and the engine's bounded-UMQ
+// policies report their events here; each is a plain global counter
+// increment, so an attached PMU stays cycle-passive.
+
+// OnRetransmit counts one data-packet retransmission.
+func (p *PMU) OnRetransmit() { p.glob.Retransmits++ }
+
+// OnRTOExpired counts one retransmission-timeout expiration.
+func (p *PMU) OnRTOExpired() { p.glob.RTOExpired++ }
+
+// OnDupSuppressed counts one duplicate delivery absorbed pre-engine.
+func (p *PMU) OnDupSuppressed() { p.glob.DupSuppressed++ }
+
+// OnWireDrop counts one packet lost on the wire.
+func (p *PMU) OnWireDrop() { p.glob.WireDrops++ }
+
+// OnWireCorrupt counts one packet delivered corrupted and discarded.
+func (p *PMU) OnWireCorrupt() { p.glob.WireCorrupt++ }
+
+// OnUMQOverflow counts one arrival that found the bounded UMQ full.
+func (p *PMU) OnUMQOverflow() { p.glob.UMQOverflows++ }
+
+// OnCreditStall counts one send stalled awaiting flow-control credits.
+func (p *PMU) OnCreditStall() { p.glob.CreditStalls++ }
+
+// OnRendezvousFallback counts one eager arrival demoted to a
+// rendezvous header.
+func (p *PMU) OnRendezvousFallback() { p.glob.RendezvousFB++ }
+
 // memCyclesDelta returns the memory cycles the profiler ticked since
 // the op frame was set, so EndOp only attributes the non-memory
 // remainder to the op itself.
@@ -379,5 +410,24 @@ func (p *PMU) Publish(reg *telemetry.Registry, base telemetry.Labels) {
 		l := telemetry.MergeLabels(base, telemetry.Labels{"op": k.String()})
 		reg.Counter("spco_perf_ops_total", l).Add(float64(t.Ops[k]))
 		reg.Counter("spco_perf_op_cycles_total", l).Add(float64(t.OpCycles[k]))
+	}
+	if t.faultActive() {
+		reg.Help("spco_perf_fault_events_total", "Fault-layer events by kind (wire, transport, flow control).")
+		for _, fv := range []struct {
+			kind string
+			v    uint64
+		}{
+			{"wire-drop", t.WireDrops},
+			{"wire-corrupt", t.WireCorrupt},
+			{"retransmit", t.Retransmits},
+			{"rto-expired", t.RTOExpired},
+			{"dup-suppressed", t.DupSuppressed},
+			{"umq-overflow", t.UMQOverflows},
+			{"credit-stall", t.CreditStalls},
+			{"rendezvous-fallback", t.RendezvousFB},
+		} {
+			reg.Counter("spco_perf_fault_events_total",
+				telemetry.MergeLabels(base, telemetry.Labels{"kind": fv.kind})).Add(float64(fv.v))
+		}
 	}
 }

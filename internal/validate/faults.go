@@ -1,0 +1,128 @@
+package validate
+
+import (
+	"fmt"
+
+	"spco/internal/engine"
+	"spco/internal/fault"
+)
+
+// Fault-layer invariant checking: the chaos harness audits a
+// fault.Transport run against the guarantees the retransmission
+// protocol claims, independently of the transport's own bookkeeping.
+//
+//   - exactly-once: every sent message is delivered exactly once — no
+//     loss (drops are recovered by retransmission) and no double
+//     delivery (duplicates are suppressed);
+//   - per-flow FIFO: within one (src, tag, ctx) flow, deliveries reach
+//     the engine in send order despite wire reordering;
+//   - cycle conservation: the engine's cycle total equals the sum of
+//     per-operation costs, and transport AuxCycles stay outside it.
+
+// Violation is one invariant breach, with enough context to debug.
+type Violation struct {
+	Invariant string
+	Detail    string
+}
+
+func (v Violation) String() string {
+	return v.Invariant + ": " + v.Detail
+}
+
+// CheckExactlyOnce audits the delivery log against the sent set: sent
+// is the per-source count of messages handed to the transport. Every
+// (src, seq) in [0, sent[src]) must appear exactly once.
+func CheckExactlyOnce(sent map[int32]uint64, deliveries []fault.Delivery) []Violation {
+	var out []Violation
+	seen := make(map[int32]map[uint64]int, len(sent))
+	for _, d := range deliveries {
+		m := seen[d.Src]
+		if m == nil {
+			m = make(map[uint64]int)
+			seen[d.Src] = m
+		}
+		m[d.Seq]++
+	}
+	for src, n := range sent {
+		m := seen[src]
+		for seq := uint64(0); seq < n; seq++ {
+			switch c := m[seq]; {
+			case c == 0:
+				out = append(out, Violation{"exactly-once",
+					fmt.Sprintf("src %d seq %d lost (never delivered)", src, seq)})
+			case c > 1:
+				out = append(out, Violation{"exactly-once",
+					fmt.Sprintf("src %d seq %d delivered %d times", src, seq, c)})
+			}
+		}
+		if uint64(len(m)) > n {
+			out = append(out, Violation{"exactly-once",
+				fmt.Sprintf("src %d delivered %d distinct seqs, only %d sent", src, len(m), n)})
+		}
+	}
+	for src := range seen {
+		if _, ok := sent[src]; !ok {
+			out = append(out, Violation{"exactly-once",
+				fmt.Sprintf("deliveries from unknown src %d", src)})
+		}
+	}
+	return out
+}
+
+// CheckFlowFIFO verifies that, per source, delivery order is strictly
+// increasing in transport sequence — which implies FIFO for every
+// (src, tag, ctx) sub-flow, since sequence numbers are assigned in send
+// order.
+func CheckFlowFIFO(deliveries []fault.Delivery) []Violation {
+	var out []Violation
+	last := make(map[int32]uint64)
+	seenAny := make(map[int32]bool)
+	for i, d := range deliveries {
+		if seenAny[d.Src] && d.Seq <= last[d.Src] {
+			out = append(out, Violation{"flow-fifo",
+				fmt.Sprintf("delivery %d: src %d seq %d after seq %d", i, d.Src, d.Seq, last[d.Src])})
+		}
+		last[d.Src] = d.Seq
+		seenAny[d.Src] = true
+	}
+	return out
+}
+
+// CheckCycleConservation verifies the engine's accounting: the summed
+// per-op cycles equal Stats().Cycles (opCycles is the caller's
+// independent sum of every returned cycle cost), and the transport's
+// AuxCycles were not leaked into the engine.
+func CheckCycleConservation(st engine.Stats, opCycles uint64, ts fault.Stats) []Violation {
+	var out []Violation
+	if st.Cycles != opCycles {
+		out = append(out, Violation{"cycle-conservation",
+			fmt.Sprintf("engine total %d != summed per-op cycles %d", st.Cycles, opCycles)})
+	}
+	if ts.AuxCycles > 0 && ts.DupSuppressed == 0 && ts.CorruptDiscards == 0 {
+		out = append(out, Violation{"cycle-conservation",
+			fmt.Sprintf("AuxCycles %d with no dup/corrupt events to charge", ts.AuxCycles)})
+	}
+	want := ts.DupSuppressed*fault.DupSuppressCycles + ts.CorruptDiscards*fault.CorruptCheckCycles
+	if ts.AuxCycles != want {
+		out = append(out, Violation{"cycle-conservation",
+			fmt.Sprintf("AuxCycles %d != %d dups x %d + %d corrupts x %d", ts.AuxCycles,
+				ts.DupSuppressed, fault.DupSuppressCycles, ts.CorruptDiscards, fault.CorruptCheckCycles)})
+	}
+	return out
+}
+
+// CheckTransportClean asserts the transport drained fully: nothing
+// pending, nothing abandoned.
+func CheckTransportClean(tr *fault.Transport) []Violation {
+	var out []Violation
+	s := tr.Stats()
+	if n := tr.Unacked(); n > 0 {
+		out = append(out, Violation{"transport-drain",
+			fmt.Sprintf("%d packets still pending or backlogged after Run", n)})
+	}
+	if s.RetryExhausted > 0 {
+		out = append(out, Violation{"transport-drain",
+			fmt.Sprintf("%d packets abandoned after retry exhaustion", s.RetryExhausted)})
+	}
+	return out
+}

@@ -49,6 +49,11 @@ type BWConfig struct {
 	// Observer, when set, is attached to the benchmark's engine (the
 	// mtrace recorder captures replayable traces this way).
 	Observer engine.Observer
+
+	// Fault routes the benchmark through the fault-injection transport
+	// (see FaultOpts). Nil keeps the legacy perfect-wire path, cycle
+	// totals bit-identical.
+	Fault *FaultOpts
 }
 
 func (c *BWConfig) defaults() {
@@ -83,7 +88,10 @@ const unmatchedTag = 1 << 20
 // result.
 func RunBW(cfg BWConfig) BWResult {
 	cfg.defaults()
-	en := engine.New(cfg.Engine)
+	if cfg.Fault != nil {
+		return runBWFault(cfg)
+	}
+	en := engine.MustNew(cfg.Engine)
 	if cfg.Observer != nil {
 		en.SetObserver(cfg.Observer)
 	}

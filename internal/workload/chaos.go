@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"fmt"
+
+	"spco/internal/engine"
+	"spco/internal/fault"
+	"spco/internal/netmodel"
+	"spco/internal/perf"
+	"spco/internal/validate"
+)
+
+// ChaosConfig parameterises the chaos/soak harness: a seeded stream of
+// eager sends from several source ranks crosses the unreliable wire
+// into one matching engine, with a configurable fraction of receives
+// posted before the messages arrive (PRQ hits) and the rest posted
+// late (UMQ traffic). Every send has exactly one matching receive, so
+// after Run the transport and both queues must drain completely — the
+// harness then audits the run against the fault-layer invariants.
+type ChaosConfig struct {
+	Engine engine.Config
+	Fabric netmodel.Fabric
+	Wire   fault.WireConfig
+
+	// Seed drives the wire, the timers, and the prepost choices. The
+	// same seed reproduces the run bit-identically.
+	Seed uint64
+
+	// Messages is the total number of sends; Senders the number of
+	// source ranks they round-robin across.
+	Messages int
+	Senders  int
+
+	// PrePostFrac is the probability a message's receive is posted
+	// before the send (a PRQ hit on a clean wire); the rest post late,
+	// after the eager arrival, exercising the UMQ.
+	PrePostFrac float64
+
+	// SendGapNS spaces consecutive sends (zero: the fabric's injection
+	// gap at EagerBytes). LateSlackNS delays a late receive past its
+	// send (zero: 4x the eager end-to-end time).
+	SendGapNS   float64
+	LateSlackNS float64
+
+	// PhaseEvery inserts a compute phase (cache flush + reheat) every
+	// that many messages; PhaseNS is its duration. Zero disables.
+	PhaseEvery int
+	PhaseNS    float64
+
+	// Transport knobs, passed through to fault.Config.
+	RTONS      float64
+	MaxRetries int
+	EagerBytes uint64
+
+	// PMU receives the fault-event hooks when set.
+	PMU *perf.PMU
+}
+
+func (c *ChaosConfig) defaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Messages == 0 {
+		c.Messages = 2048
+	}
+	if c.Senders == 0 {
+		c.Senders = 8
+	}
+	if c.PrePostFrac == 0 {
+		c.PrePostFrac = 0.5
+	}
+	if c.EagerBytes == 0 {
+		c.EagerBytes = 4096
+	}
+	if c.SendGapNS == 0 {
+		c.SendGapNS = c.Fabric.MessageGapNS(c.EagerBytes)
+	}
+	if c.LateSlackNS == 0 {
+		c.LateSlackNS = 4 * c.Fabric.EndToEndNS(c.EagerBytes)
+	}
+	if c.PhaseEvery > 0 && c.PhaseNS == 0 {
+		c.PhaseNS = 1e5
+	}
+}
+
+// ChaosResult is one audited chaos run.
+type ChaosResult struct {
+	Transport fault.Stats
+	Engine    engine.Stats
+
+	// Violations lists every invariant breach (empty on a passing run).
+	Violations []validate.Violation
+
+	// SimulatedNS is the simulated time of the last transport event.
+	SimulatedNS float64
+}
+
+// Passed reports whether every invariant held.
+func (r ChaosResult) Passed() bool { return len(r.Violations) == 0 }
+
+// RunChaos executes one seeded chaos run and audits it: exactly-once
+// delivery, per-flow FIFO, cycle conservation, full transport drain,
+// and empty PRQ/UMQ at the end (every send has a matching receive, so
+// anything left over is a matching failure).
+func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
+	cfg.defaults()
+	en, err := engine.New(cfg.Engine)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	tcfg := fault.Config{
+		Fabric:     cfg.Fabric,
+		Wire:       cfg.Wire,
+		Seed:       cfg.Seed,
+		Engine:     en,
+		PMU:        cfg.PMU,
+		RTONS:      cfg.RTONS,
+		MaxRetries: cfg.MaxRetries,
+		EagerBytes: cfg.EagerBytes,
+	}
+	if cfg.Engine.Overflow == engine.OverflowCredit {
+		tcfg.Credits = -1
+	}
+	tr, err := fault.NewTransport(tcfg)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+
+	// Schedule the traffic. The prepost stream is forked off the run
+	// seed so the send/post mix is part of what the seed reproduces.
+	sched := fault.NewRNG(cfg.Seed).Fork(7)
+	sent := make(map[int32]uint64, cfg.Senders)
+	for i := 0; i < cfg.Messages; i++ {
+		src := int32(i % cfg.Senders)
+		tag := int32(i)
+		at := float64(i) * cfg.SendGapNS
+		tr.Send(at, src, tag, 1, uint64(i))
+		sent[src]++
+		postAt := at + cfg.LateSlackNS
+		if sched.Float64() < cfg.PrePostFrac {
+			postAt = at // before the arrival: earliest possible is at+EndToEnd
+		}
+		tr.PostRecv(postAt, int(src), int(tag), 1, uint64(i))
+	}
+	if cfg.PhaseEvery > 0 {
+		for k := cfg.PhaseEvery; k < cfg.Messages; k += cfg.PhaseEvery {
+			tr.ComputePhase((float64(k)-0.5)*cfg.SendGapNS, cfg.PhaseNS)
+		}
+	}
+
+	ts := tr.Run()
+	res := ChaosResult{
+		Transport:   ts,
+		Engine:      en.Stats(),
+		SimulatedNS: ts.LastEventNS,
+	}
+	res.Violations = append(res.Violations, validate.CheckExactlyOnce(sent, tr.Deliveries())...)
+	res.Violations = append(res.Violations, validate.CheckFlowFIFO(tr.Deliveries())...)
+	res.Violations = append(res.Violations, validate.CheckCycleConservation(res.Engine, ts.EngineOpCycles, ts)...)
+	res.Violations = append(res.Violations, validate.CheckTransportClean(tr)...)
+	if n := en.PRQLen(); n > 0 {
+		res.Violations = append(res.Violations, validate.Violation{
+			Invariant: "queue-drain", Detail: fmt.Sprintf("%d receives left in the PRQ", n)})
+	}
+	if n := en.UMQLen(); n > 0 {
+		res.Violations = append(res.Violations, validate.Violation{
+			Invariant: "queue-drain", Detail: fmt.Sprintf("%d messages left in the UMQ", n)})
+	}
+
+	en.PublishTelemetry()
+	if tel := cfg.Engine.Telemetry; tel != nil {
+		tr.Publish(tel.Registry, tel.Base)
+	}
+	return res, nil
+}

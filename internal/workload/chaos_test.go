@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"spco/internal/cache"
+	"spco/internal/engine"
+	"spco/internal/fault"
+	"spco/internal/matchlist"
+	"spco/internal/netmodel"
+)
+
+var chaosKinds = []matchlist.Kind{
+	matchlist.KindBaseline, matchlist.KindLLA, matchlist.KindHashBins,
+	matchlist.KindRankArray, matchlist.KindFourD, matchlist.KindHWOffload,
+	matchlist.KindPerComm,
+}
+
+func chaosCfg(kind matchlist.Kind, wire fault.WireConfig, seed uint64, messages int) ChaosConfig {
+	return ChaosConfig{
+		Engine: engine.Config{
+			Profile:        cache.SandyBridge,
+			Kind:           kind,
+			EntriesPerNode: 2,
+			CommSize:       64,
+			Bins:           256,
+		},
+		Fabric:     netmodel.IBQDR,
+		Wire:       wire,
+		Seed:       seed,
+		Messages:   messages,
+		Senders:    8,
+		PhaseEvery: 512,
+	}
+}
+
+// TestDupAndReorderAcrossKinds is the satellite coverage: duplicate and
+// out-of-order arrivals against every matchlist kind. Dup suppression
+// must absorb every duplicate before the engine, and per-(src,tag,comm)
+// FIFO must survive wire reordering — both checked by the harness's
+// exactly-once and flow-FIFO audits.
+func TestDupAndReorderAcrossKinds(t *testing.T) {
+	// Displacement must exceed the 8-sender round-robin stride or a
+	// delayed packet can never overtake its flow's successor.
+	wire := fault.WireConfig{DupProb: 0.05, ReorderProb: 0.1, MaxReorderDisp: 32}
+	for _, kind := range chaosKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			res, err := RunChaos(chaosCfg(kind, wire, 1234, 2000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Error(v)
+			}
+			ts := res.Transport
+			if ts.DupSuppressed == 0 {
+				t.Error("no duplicates suppressed at 5% dup probability")
+			}
+			if ts.OOOBuffered == 0 {
+				t.Error("no out-of-order buffering at 10% reorder probability")
+			}
+			if ts.Delivered != 2000 {
+				t.Errorf("delivered %d of 2000", ts.Delivered)
+			}
+			if res.Engine.Arrivals != ts.Delivered {
+				t.Errorf("engine saw %d arrivals for %d deliveries: a duplicate leaked past suppression",
+					res.Engine.Arrivals, ts.Delivered)
+			}
+		})
+	}
+}
+
+// TestChaosDeterminism is the satellite regression: two chaos runs with
+// the same seed produce byte-identical counters, cycle totals, and
+// delivery logs; a different seed produces a different run.
+func TestChaosDeterminism(t *testing.T) {
+	wire := fault.WireConfig{DropProb: 0.01, DupProb: 0.005, ReorderProb: 0.02}
+	run := func(seed uint64) (ChaosResult, fault.Stats) {
+		res, err := RunChaos(chaosCfg(matchlist.KindLLA, wire, seed, 3000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Passed() {
+			t.Fatalf("violations: %v", res.Violations)
+		}
+		return res, res.Transport
+	}
+	r1, s1 := run(42)
+	r2, s2 := run(42)
+	if s1 != s2 {
+		t.Errorf("same seed, different transport stats:\n%+v\n%+v", s1, s2)
+	}
+	if r1.Engine != r2.Engine {
+		t.Errorf("same seed, different engine stats (cycle totals not bit-identical):\n%+v\n%+v",
+			r1.Engine, r2.Engine)
+	}
+	if r1.SimulatedNS != r2.SimulatedNS {
+		t.Errorf("same seed, different simulated time: %g vs %g", r1.SimulatedNS, r2.SimulatedNS)
+	}
+	r3, s3 := run(43)
+	if s1 == s3 && r1.Engine == r3.Engine {
+		t.Error("different seeds reproduced the identical run")
+	}
+	if !reflect.DeepEqual(r1.Violations, r3.Violations) {
+		t.Errorf("both runs should be violation-free: %v vs %v", r1.Violations, r3.Violations)
+	}
+}
+
+// TestChaosZeroFaultMatchesLegacyCycleContract: with every probability
+// zero and no flow control, the chaos harness is pure clean traffic —
+// no retransmits, no aux cycles, and the cycle-conservation audit holds
+// exactly.
+func TestChaosZeroFaultIsClean(t *testing.T) {
+	res, err := RunChaos(chaosCfg(matchlist.KindLLA, fault.WireConfig{}, 1, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	ts := res.Transport
+	if ts.Retransmits != 0 || ts.RTOExpired != 0 || ts.DupSuppressed != 0 || ts.AuxCycles != 0 {
+		t.Errorf("zero-fault run produced fault activity: %+v", ts)
+	}
+	if ts.Transmits != ts.Sends || ts.Delivered != ts.Sends {
+		t.Errorf("clean wire: sends %d, transmits %d, delivered %d — all must agree",
+			ts.Sends, ts.Transmits, ts.Delivered)
+	}
+}
+
+// TestChaosSoakAllKinds is the acceptance-criterion soak: drop 1%, dup
+// 0.5%, reorder 2% over 100k messages for every matchlist kind. Runs
+// the full volume only without -short.
+func TestChaosSoakAllKinds(t *testing.T) {
+	messages := 100000
+	if testing.Short() {
+		messages = 5000
+	}
+	wire := fault.WireConfig{DropProb: 0.01, DupProb: 0.005, ReorderProb: 0.02}
+	for _, kind := range chaosKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			res, err := RunChaos(chaosCfg(kind, wire, 1, messages))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Error(v)
+			}
+			if res.Transport.Delivered != uint64(messages) {
+				t.Errorf("delivered %d of %d", res.Transport.Delivered, messages)
+			}
+		})
+	}
+}
+
+// TestChaosOverflowPolicies drives each bounded-UMQ policy to its
+// pressure point (tiny capacity, every receive late) and checks the
+// harness still converges with all invariants intact.
+func TestChaosOverflowPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		pol  engine.OverflowPolicy
+		caps int
+	}{
+		{engine.OverflowDrop, 4},
+		{engine.OverflowCredit, 4},
+		{engine.OverflowRendezvous, 4},
+	} {
+		t.Run(tc.pol.String(), func(t *testing.T) {
+			cfg := chaosCfg(matchlist.KindLLA, fault.WireConfig{DropProb: 0.01}, 9, 2000)
+			cfg.Engine.UMQCapacity = tc.caps
+			cfg.Engine.Overflow = tc.pol
+			cfg.PrePostFrac = 0.01
+			res, err := RunChaos(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Error(v)
+			}
+			ts := res.Transport
+			switch tc.pol {
+			case engine.OverflowDrop:
+				if ts.BusyNacks == 0 {
+					t.Error("drop policy never NACKed at capacity 4")
+				}
+			case engine.OverflowCredit:
+				if ts.CreditStalls == 0 || ts.CreditsGrants == 0 {
+					t.Errorf("credit machinery unexercised: %+v", ts)
+				}
+			case engine.OverflowRendezvous:
+				if ts.RendezvousTrips == 0 {
+					t.Error("rendezvous policy never demoted at capacity 4")
+				}
+			}
+		})
+	}
+}

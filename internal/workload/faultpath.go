@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"spco/internal/engine"
+	"spco/internal/fault"
+	"spco/internal/perf"
+)
+
+// FaultOpts routes a benchmark through the fault-injection transport
+// (internal/fault) instead of the perfect in-order wire the legacy
+// paths assume: sends cross the unreliable wire, losses are recovered
+// by retransmission, and every redelivery is extra Arrive traffic
+// through the real PRQ/UMQ. Attached via BWConfig.Fault or
+// LatConfig.Fault; nil keeps the legacy path (and its cycle totals)
+// bit-identical.
+type FaultOpts struct {
+	Wire       fault.WireConfig
+	Seed       uint64
+	RTONS      float64
+	MaxRetries int
+	PMU        *perf.PMU
+}
+
+func (o *FaultOpts) transportConfig(en *engine.Engine) fault.Config {
+	cfg := fault.Config{
+		Wire:       o.Wire,
+		Seed:       o.Seed,
+		Engine:     en,
+		PMU:        o.PMU,
+		RTONS:      o.RTONS,
+		MaxRetries: o.MaxRetries,
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if en.Config().Overflow == engine.OverflowCredit {
+		cfg.Credits = -1
+	}
+	return cfg
+}
+
+// runBWFault is the fault-injected osu_bw: the same offered load
+// (Window sends per iteration, pre-posted receives, compute phases
+// every FlushEvery messages) pushed through the retransmission
+// transport. The figure of merit becomes goodput: delivered messages
+// over the simulated time the run actually took, retransmission tail
+// included.
+func runBWFault(cfg BWConfig) BWResult {
+	en := engine.MustNew(cfg.Engine)
+	if cfg.Observer != nil {
+		en.SetObserver(cfg.Observer)
+	}
+	for i := 0; i < cfg.QueueDepth; i++ {
+		en.PostRecv(0, unmatchedTag+i, 1, uint64(1e9)+uint64(i))
+	}
+
+	tcfg := cfg.Fault.transportConfig(en)
+	tcfg.Fabric = cfg.Fabric
+	tcfg.EagerBytes = cfg.MsgBytes
+	tr := fault.MustNewTransport(tcfg)
+
+	gapNS := cfg.Fabric.MessageGapNS(cfg.MsgBytes)
+	msgs := cfg.Iters * cfg.Window
+	req := uint64(1)
+	tag := 0
+	for i := 0; i < msgs; i++ {
+		at := float64(i) * gapNS
+		if i%cfg.FlushEvery == 0 {
+			tr.ComputePhase(at, cfg.ComputePhaseNS)
+		}
+		// Pre-posted receive (modification 1): the post is scheduled at
+		// the send time, and the earliest arrival is a full end-to-end
+		// later, so on a clean wire every match is a PRQ hit.
+		tr.PostRecv(at, 1, tag, 1, req)
+		tr.Send(at, 1, int32(tag), 1, uint64(tag))
+		req++
+		tag++
+	}
+	ts := tr.Run()
+
+	en.PublishTelemetry()
+	if tel := cfg.Engine.Telemetry; tel != nil {
+		tr.Publish(tel.Registry, tel.Base)
+	}
+	delivered := float64(ts.Delivered)
+	if delivered == 0 {
+		delivered = 1
+	}
+	res := BWResult{
+		NSPerMsg:        (ts.LastEventNS + cfg.Fabric.LatencyNS) / delivered,
+		CPUCyclesPerMsg: float64(ts.EngineOpCycles) / delivered,
+		MeanDepth:       en.Stats().MeanPRQDepth(),
+	}
+	res.MsgRate = 1e9 / res.NSPerMsg
+	res.BandwidthMiBps = res.MsgRate * float64(cfg.MsgBytes) / (1 << 20)
+	return res
+}
+
+// runLatFault is the fault-injected osu_latency: pings are spaced far
+// enough apart that most retransmission storms settle between them, and
+// the per-message one-way latency is measured from send to engine
+// delivery — so a dropped ping's latency includes its RTO waits.
+func runLatFault(cfg LatConfig) LatResult {
+	en := engine.MustNew(cfg.Engine)
+	for i := 0; i < cfg.QueueDepth; i++ {
+		en.PostRecv(0, unmatchedTag+i, 1, uint64(1e9)+uint64(i))
+	}
+
+	tcfg := cfg.Fault.transportConfig(en)
+	tcfg.Fabric = cfg.Fabric
+	if cfg.MsgBytes > 0 {
+		tcfg.EagerBytes = cfg.MsgBytes
+	}
+	tr := fault.MustNewTransport(tcfg)
+
+	rto := tcfg.RTONS
+	if rto == 0 {
+		rto = cfg.Fabric.SuggestedRTONS(tcfg.EagerBytes)
+	}
+	spacing := 8 * rto
+	sendAt := make(map[uint64]float64, cfg.Iters)
+	for it := 0; it < cfg.Iters; it++ {
+		at := float64(it) * spacing
+		tr.ComputePhase(at, cfg.ComputePhaseNS)
+		tr.PostRecv(at, 1, it, 1, uint64(it))
+		tr.Send(at, 1, int32(it), 1, uint64(it))
+		sendAt[uint64(it)] = at
+	}
+	ts := tr.Run()
+
+	en.PublishTelemetry()
+	if tel := cfg.Engine.Telemetry; tel != nil {
+		tr.Publish(tel.Registry, tel.Base)
+	}
+	var totalNS float64
+	n := 0
+	for _, d := range tr.Deliveries() {
+		totalNS += d.AtNS - sendAt[d.Msg]
+		n++
+	}
+	if n == 0 {
+		n = 1
+	}
+	matchNS := cfg.Engine.Profile.CyclesToNanos(ts.EngineOpCycles) / float64(n)
+	return LatResult{
+		OneWayUS:        (totalNS/float64(n) + matchNS) / 1e3,
+		CPUCyclesPerMsg: float64(ts.EngineOpCycles) / float64(n),
+		MeanDepth:       en.Stats().MeanPRQDepth(),
+	}
+}

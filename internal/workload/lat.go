@@ -19,6 +19,10 @@ type LatConfig struct {
 	Iters      int
 
 	ComputePhaseNS float64
+
+	// Fault routes the ping-pong through the fault-injection transport
+	// (see FaultOpts). Nil keeps the legacy perfect-wire path.
+	Fault *FaultOpts
 }
 
 func (c *LatConfig) defaults() {
@@ -43,7 +47,10 @@ type LatResult struct {
 // engine focus warrants. Deterministic.
 func RunLat(cfg LatConfig) LatResult {
 	cfg.defaults()
-	en := engine.New(cfg.Engine)
+	if cfg.Fault != nil {
+		return runLatFault(cfg)
+	}
+	en := engine.MustNew(cfg.Engine)
 	for i := 0; i < cfg.QueueDepth; i++ {
 		en.PostRecv(0, unmatchedTag+i, 1, uint64(1e9)+uint64(i))
 	}

@@ -52,7 +52,7 @@ type UMQResult struct {
 // unexpected queue. Deterministic.
 func RunUMQ(cfg UMQConfig) UMQResult {
 	cfg.defaults()
-	en := engine.New(cfg.Engine)
+	en := engine.MustNew(cfg.Engine)
 
 	// The permanent unexpected backlog: messages from a source no
 	// receive ever names.

@@ -25,7 +25,7 @@
 //
 // Quick start:
 //
-//	en := spco.NewEngine(spco.EngineConfig{
+//	en := spco.MustNewEngine(spco.EngineConfig{
 //	    Profile:        spco.SandyBridge,
 //	    Kind:           spco.LLA,
 //	    EntriesPerNode: 8,
@@ -41,6 +41,7 @@ import (
 	"spco/internal/cache"
 	"spco/internal/engine"
 	"spco/internal/experiments"
+	"spco/internal/fault"
 	"spco/internal/match"
 	"spco/internal/matchlist"
 	"spco/internal/motif"
@@ -50,6 +51,7 @@ import (
 	"spco/internal/proxyapps"
 	"spco/internal/stencil"
 	"spco/internal/telemetry"
+	"spco/internal/validate"
 	"spco/internal/workload"
 )
 
@@ -123,8 +125,36 @@ type (
 	EngineStats = engine.Stats
 )
 
-// NewEngine builds a matching engine.
-func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+// NewEngine builds a matching engine, rejecting misconfiguration (an
+// unknown Kind, an out-of-range core, an oversized communicator, a
+// bounded UMQ without an overflow policy) with an error instead of a
+// panic.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// MustNewEngine is NewEngine for code-authored configurations known to
+// be valid; it panics on the errors NewEngine returns.
+func MustNewEngine(cfg EngineConfig) *Engine { return engine.MustNew(cfg) }
+
+// ValidateEngineConfig reports the first problem with cfg, or nil.
+func ValidateEngineConfig(cfg EngineConfig) error { return cfg.Validate() }
+
+// UMQ overflow policies for bounded-UMQ configurations
+// (EngineConfig.UMQCapacity + EngineConfig.Overflow).
+type OverflowPolicy = engine.OverflowPolicy
+
+// The policies.
+const (
+	OverflowUnbounded  = engine.OverflowUnbounded
+	OverflowDrop       = engine.OverflowDrop
+	OverflowCredit     = engine.OverflowCredit
+	OverflowRendezvous = engine.OverflowRendezvous
+)
+
+// ParseOverflowPolicy maps a policy name ("unbounded", "drop",
+// "credit", "rendezvous") to its OverflowPolicy.
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	return engine.ParseOverflowPolicy(s)
+}
 
 // Network fabrics.
 type Fabric = netmodel.Fabric
@@ -203,6 +233,44 @@ func RunUMQDepth(cfg UMQConfig) UMQResult { return workload.RunUMQ(cfg) }
 
 // RunMTRate runs the native thread-contention benchmark.
 func RunMTRate(cfg MTRateConfig) MTRateResult { return workload.RunMTRate(cfg) }
+
+// Fault injection (internal/fault): the unreliable wire, the
+// retransmission transport, and the chaos/soak harness.
+type (
+	// WireConfig parameterises the unreliable-wire model (drop, dup,
+	// reorder, corrupt, Gilbert–Elliott bursts).
+	WireConfig = fault.WireConfig
+	// FaultTransportConfig parameterises the retransmission transport.
+	FaultTransportConfig = fault.Config
+	// FaultTransport is the cycle-accounted retransmission protocol over
+	// one unreliable wire into one engine.
+	FaultTransport = fault.Transport
+	// FaultStats aggregates transport activity.
+	FaultStats = fault.Stats
+	// FaultDelivery is one packet handed to the engine.
+	FaultDelivery = fault.Delivery
+	// FaultOpts routes RunBandwidth/RunLatency through the fault layer.
+	FaultOpts = workload.FaultOpts
+	// FaultCLI is the -fault-* flag bundle for commands.
+	FaultCLI = fault.CLI
+	// ChaosConfig parameterises the chaos/soak harness.
+	ChaosConfig = workload.ChaosConfig
+	// ChaosResult is one audited chaos run.
+	ChaosResult = workload.ChaosResult
+	// InvariantViolation is one invariant breach found by the audit.
+	InvariantViolation = validate.Violation
+)
+
+// NewFaultTransport builds a retransmission transport over an
+// unreliable wire, validating the configuration.
+func NewFaultTransport(cfg FaultTransportConfig) (*FaultTransport, error) {
+	return fault.NewTransport(cfg)
+}
+
+// RunChaos executes one seeded chaos run against a matching engine and
+// audits it: exactly-once delivery, per-flow FIFO, cycle conservation,
+// full drain. A fixed seed reproduces the run bit-identically.
+func RunChaos(cfg ChaosConfig) (ChaosResult, error) { return workload.RunChaos(cfg) }
 
 // Decompositions and stencils (Table 1, halo apps).
 type (

@@ -7,7 +7,7 @@ import (
 )
 
 func TestFacadeEngine(t *testing.T) {
-	en := spco.NewEngine(spco.EngineConfig{
+	en := spco.MustNewEngine(spco.EngineConfig{
 		Profile:        spco.SandyBridge,
 		Kind:           spco.LLA,
 		EntriesPerNode: 8,
@@ -123,8 +123,8 @@ func TestFacadeApps(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	exps := spco.Experiments()
-	if len(exps) != 27 {
-		t.Errorf("experiments = %d, want 27", len(exps))
+	if len(exps) != 28 {
+		t.Errorf("experiments = %d, want 28", len(exps))
 	}
 	if _, ok := spco.ExperimentByID("fig10"); !ok {
 		t.Error("fig10 missing")
