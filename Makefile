@@ -27,6 +27,29 @@ vet:
 bench-smoke:
 	go test -bench=. -benchtime=1x -run='^$$' $(PKG)
 
+# bench-json runs the core match benchmarks (one match per iteration)
+# and converts the output to BENCH_daemon.json: name, iterations,
+# ns/op, allocs/op, and the domain throughput matches_per_sec.
+BENCHJSON ?= BENCH_daemon.json
+.PHONY: bench-json
+bench-json:
+	go test -run='^$$' -bench='BenchmarkNativeSearch|BenchmarkStructures' \
+		-benchmem . | tee bench.out
+	go run ./cmd/spco-benchjson -in bench.out -out $(BENCHJSON)
+	rm -f bench.out
+	@echo wrote $(BENCHJSON)
+
+# daemon-smoke is the serving-mode acceptance gate: it starts a daemon
+# on loopback ports, drives it with >= 4 concurrent audited client
+# connections through a lossy ingress wire, scrapes /metrics live,
+# fetches and verifies the /debug/profile zip (pprof set + non-empty
+# simulated perf-stat), then drains and checks live-vs-flushed metric
+# name parity. Self-contained: no curl, unzip, or fixed ports.
+SMOKE_MSGS ?= 5000
+.PHONY: daemon-smoke
+daemon-smoke:
+	go run ./cmd/spco-daemon smoke -conns 4 -messages $(SMOKE_MSGS)
+
 # chaos-smoke runs the fixed-seed fault-injection soak over every
 # matchlist kind: 1% drop, 0.5% dup, 2% reorder, with the exactly-once /
 # FIFO / cycle-conservation invariants checked at the end of each run.

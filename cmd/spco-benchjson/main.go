@@ -1,0 +1,198 @@
+// Command spco-benchjson converts `go test -bench` text output into a
+// machine-readable JSON document (`make bench-json` writes it to
+// BENCH_daemon.json). Each benchmark iteration in the core match
+// benchmarks performs one match, so the domain throughput metric is
+// matches_per_sec = 1e9 / ns_per_op.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'NativeSearch|Structures' -benchmem . | spco-benchjson -out BENCH_daemon.json
+//	spco-benchjson -in bench.out -out BENCH_daemon.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	// Name is the benchmark path with the -P GOMAXPROCS suffix split
+	// off (BenchmarkNativeSearch/lla-8-16 -> NativeSearch/lla-8).
+	Name  string `json:"name"`
+	Procs int    `json:"procs,omitempty"`
+
+	Iterations    int64   `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	MatchesPerSec float64 `json:"matches_per_sec"`
+	BytesPerOp    float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp   float64 `json:"allocs_per_op,omitempty"`
+
+	// Metrics holds any custom b.ReportMetric units (cycles/match ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the BENCH_daemon.json schema.
+type Document struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	Package    string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		in  = flag.String("in", "", "bench output to parse (default: stdin)")
+		out = flag.String("out", "", "JSON destination (default: stdout)")
+	)
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	doc, err := Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+}
+
+// Parse reads `go test -bench` output. Benchmark lines look like
+//
+//	BenchmarkName/sub-8   123456   987.6 ns/op   12 B/op   3 allocs/op   45 cycles/match
+//
+// with header lines (goos:, goarch:, pkg:, cpu:) preceding each
+// package's results.
+func Parse(r io.Reader) (Document, error) {
+	var doc Document
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			if doc.Package == "" {
+				doc.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			}
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	stripProcsSuffix(&doc)
+	return doc, sc.Err()
+}
+
+// stripProcsSuffix removes the -P GOMAXPROCS suffix go test appends to
+// every benchmark name (when GOMAXPROCS > 1). A per-line strip would
+// eat parameter suffixes like lla-8, so the suffix is only recognised
+// when one numeric suffix spans every result — which the GOMAXPROCS
+// suffix, unlike parameters, always does.
+func stripProcsSuffix(doc *Document) {
+	procs := 0
+	for _, b := range doc.Benchmarks {
+		i := strings.LastIndex(b.Name, "-")
+		if i < 0 {
+			return
+		}
+		p, err := strconv.Atoi(b.Name[i+1:])
+		if err != nil || p <= 1 {
+			return
+		}
+		if procs == 0 {
+			procs = p
+		} else if p != procs {
+			return
+		}
+	}
+	for i := range doc.Benchmarks {
+		b := &doc.Benchmarks[i]
+		b.Name = b.Name[:strings.LastIndex(b.Name, "-")]
+		b.Procs = procs
+	}
+}
+
+// parseLine parses one benchmark result line.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: strings.TrimPrefix(fields[0], "Benchmark")}
+	iter, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iter
+
+	// The rest is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+			if v > 0 {
+				b.MatchesPerSec = 1e9 / v
+			}
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		case "MB/s":
+			// go test's own throughput; keep it with the custom metrics.
+			fallthrough
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, b.NsPerOp > 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spco-benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: spco
+cpu: Intel(R) Xeon(R)
+BenchmarkNativeSearch/baseline-16         	    9051	    131456 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNativeSearch/lla-8-16            	  106935	     11215 ns/op	       1 B/op	       0 allocs/op
+BenchmarkStructures/lla-2-16              	    4148	    287200 ns/op	   12016 cycles/match	     363 B/op	       2 allocs/op
+PASS
+ok  	spco	12.776s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || doc.Package != "spco" {
+		t.Errorf("header: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[1]
+	// The uniform -16 GOMAXPROCS suffix strips; the lla-8 parameter
+	// suffix survives.
+	if b.Name != "NativeSearch/lla-8" || b.Procs != 16 {
+		t.Errorf("name split: %+v", b)
+	}
+	if doc.Benchmarks[0].Name != "NativeSearch/baseline" || doc.Benchmarks[0].Procs != 16 {
+		t.Errorf("name split: %+v", doc.Benchmarks[0])
+	}
+	if b.Iterations != 106935 || b.NsPerOp != 11215 {
+		t.Errorf("values: %+v", b)
+	}
+	want := 1e9 / 11215.0
+	if diff := b.MatchesPerSec - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("matches_per_sec = %g, want %g", b.MatchesPerSec, want)
+	}
+	s := doc.Benchmarks[2]
+	if s.Metrics["cycles/match"] != 12016 {
+		t.Errorf("custom metric lost: %+v", s.Metrics)
+	}
+	if s.AllocsPerOp != 2 || s.BytesPerOp != 363 {
+		t.Errorf("benchmem fields: %+v", s)
+	}
+}
+
+// On a GOMAXPROCS=1 runner go test appends no suffix; parameter
+// suffixes must then survive untouched.
+func TestParseNoProcsSuffix(t *testing.T) {
+	doc, err := Parse(strings.NewReader(
+		"BenchmarkNativeSearch/lla-8   10 100 ns/op\nBenchmarkNativeSearch/fourd   10 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Benchmarks[0].Name != "NativeSearch/lla-8" || doc.Benchmarks[0].Procs != 0 {
+		t.Errorf("mangled name: %+v", doc.Benchmarks[0])
+	}
+	if doc.Benchmarks[1].Name != "NativeSearch/fourd" {
+		t.Errorf("mangled name: %+v", doc.Benchmarks[1])
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	doc, err := Parse(strings.NewReader("BenchmarkBroken notanumber ns/op\nhello\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("accepted garbage: %+v", doc.Benchmarks)
+	}
+}

@@ -20,6 +20,13 @@
 //	spco-chaos -umq-cap 64 -flow credit -fault-drop 0.02
 //	spco-chaos -list all -soak
 //
+// With -daemon the harness instead drives a LIVE spco-daemon over TCP:
+// seeded load across -conns concurrent connections, audited for
+// exactly-once pairing, queue drain, and (with -daemon-admin) counter
+// conservation against /status deltas:
+//
+//	spco-chaos -daemon 127.0.0.1:7777 -daemon-admin 127.0.0.1:7778 -messages 50000 -conns 8
+//
 // Exit status is 0 only if every configuration passed every invariant.
 package main
 
@@ -52,6 +59,10 @@ func main() {
 		soak     = flag.Bool("soak", false, "soak preset: 100k messages, drop 1%, dup 0.5%, reorder 2%")
 		verbose  = flag.Bool("v", false, "print per-configuration transport counters")
 
+		daemonAddr  = flag.String("daemon", "", "audit a live daemon at this match-traffic address instead of simulating")
+		daemonAdmin = flag.String("daemon-admin", "", "the daemon's admin address (enables the counter-conservation audit)")
+		conns       = flag.Int("conns", 4, "concurrent connections in -daemon mode")
+
 		metricsOut = flag.String("metrics-out", "", "write the metrics registry here (.prom/.txt, .jsonl, .csv)")
 	)
 	var fcli fault.CLI
@@ -67,6 +78,14 @@ func main() {
 		if fcli.Drop == 0 && fcli.Dup == 0 && fcli.Reorder == 0 && fcli.Corrupt == 0 && fcli.BurstProb == 0 {
 			fcli.Drop, fcli.Dup, fcli.Reorder = 0.01, 0.005, 0.02
 		}
+	}
+
+	if *daemonAddr != "" {
+		if err := runDaemonMode(*daemonAddr, *daemonAdmin, *conns, *messages, *senders,
+			*prepost, *phases, *phaseNS, fcli.Seed); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	prof, ok := spco.ProfileByName(*arch)
@@ -160,6 +179,44 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runDaemonMode drives a live daemon and prints the audit verdict.
+func runDaemonMode(addr, admin string, conns, messages, senders int,
+	prepost float64, phaseEvery int, phaseNS float64, seed uint64) error {
+	fmt.Printf("# daemon=%s admin=%s conns=%d messages=%d senders=%d prepost=%.2f seed=%d\n",
+		addr, admin, conns, messages, senders, prepost, seed)
+	res, err := workload.RunDaemonChaos(workload.DaemonChaosConfig{
+		Addr:      addr,
+		AdminAddr: admin,
+		Load: workload.DaemonLoadConfig{
+			Conns:       conns,
+			Messages:    messages,
+			Senders:     senders,
+			PrePostFrac: prepost,
+			Seed:        seed,
+			PhaseEvery:  phaseEvery,
+			PhaseNS:     phaseNS,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	ld := res.Load
+	verdict := "PASS"
+	if !res.Passed() {
+		verdict = fmt.Sprintf("FAIL (%d violations)", len(res.Violations))
+	}
+	fmt.Printf("%-10s %9d %9d %7d %7d %7d %7d %12.3f  %s\n",
+		"daemon", ld.Arrives+ld.Posts, ld.Matched(), ld.Retries, 0,
+		ld.Nacks, ld.Busy, ld.Elapsed.Seconds()*1e3, verdict)
+	for _, v := range res.Violations {
+		fmt.Printf("  !! %s\n", v)
+	}
+	if !res.Passed() {
+		os.Exit(1)
+	}
+	return nil
 }
 
 func fatal(err error) {

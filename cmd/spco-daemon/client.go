@@ -1,0 +1,69 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"spco/internal/daemon"
+)
+
+// runClient drives a live daemon with the seeded load generator and
+// prints the audit tallies.
+func runClient(args []string) error {
+	fs := flag.NewFlagSet("spco-daemon client", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7777", "daemon match-traffic address")
+		conns    = fs.Int("conns", 4, "concurrent connections")
+		messages = fs.Int("messages", 10000, "total arrive/post pairs")
+		senders  = fs.Int("senders", 8, "source ranks the pairs round-robin")
+		prepost  = fs.Float64("prepost", 0.5, "fraction of receives posted before the arrive")
+		seed     = fs.Uint64("seed", 1, "load RNG seed")
+		phases   = fs.Int("phase-every", 0, "compute phase every N pairs on connection 0 (0: never)")
+		phaseNS  = fs.Float64("phase-ns", 1e5, "compute-phase duration in ns")
+		retries  = fs.Int("retries", 64, "max retransmissions per refused arrive")
+	)
+	fs.Parse(args)
+
+	res, err := daemon.RunLoad(daemon.LoadConfig{
+		Addr:        *addr,
+		Conns:       *conns,
+		Messages:    *messages,
+		Senders:     *senders,
+		PrePostFrac: *prepost,
+		Seed:        *seed,
+		PhaseEvery:  *phases,
+		PhaseNS:     *phaseNS,
+		MaxRetries:  *retries,
+	})
+	printLoadResult(res)
+	if err != nil {
+		return err
+	}
+	if res.Unmatched != 0 || res.Mismatches != 0 {
+		return fmt.Errorf("pairing audit failed: %d unmatched, %d mismatched",
+			res.Unmatched, res.Mismatches)
+	}
+	return nil
+}
+
+func printLoadResult(res daemon.LoadResult) {
+	sec := res.Elapsed.Seconds()
+	if sec <= 0 {
+		sec = 1e-9
+	}
+	fmt.Printf("%-22s %12d\n", "arrives", res.Arrives)
+	fmt.Printf("%-22s %12d\n", "posts", res.Posts)
+	fmt.Printf("%-22s %12d\n", "phases", res.Phases)
+	fmt.Printf("%-22s %12d\n", "matched (prq)", res.ArriveMatched)
+	fmt.Printf("%-22s %12d\n", "matched (umq)", res.PostMatched)
+	fmt.Printf("%-22s %12d\n", "rendezvous", res.Rendezvous)
+	fmt.Printf("%-22s %12d\n", "nacks", res.Nacks)
+	fmt.Printf("%-22s %12d\n", "busy", res.Busy)
+	fmt.Printf("%-22s %12d\n", "retries", res.Retries)
+	fmt.Printf("%-22s %12d\n", "unmatched", res.Unmatched)
+	fmt.Printf("%-22s %12d\n", "mismatches", res.Mismatches)
+	fmt.Printf("%-22s %12d\n", "engine cycles", res.EngineCycles)
+	fmt.Printf("%-22s %12s\n", "elapsed", res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("%-22s %12.0f\n", "matches/sec", float64(res.Matched())/sec)
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"archive/zip"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// requiredBundleEntries are the artifacts every profile bundle must
+// carry (cpu.pprof additionally appears when seconds > 0; folded.txt
+// and sim.pprof when the daemon's profiler is enabled, which
+// spco-daemon serve always does).
+var requiredBundleEntries = []string{
+	"heap.pprof", "goroutines.pprof", "mutex.pprof", "block.pprof",
+	"perf-stat.txt", "metrics.prom", "status.json",
+}
+
+// runDiag fetches /debug/profile from a live daemon, verifies the zip,
+// and writes it to disk — the kubo `diag profile` flow, self-contained
+// so CI needs neither curl nor unzip.
+func runDiag(args []string) error {
+	fs := flag.NewFlagSet("spco-daemon diag", flag.ExitOnError)
+	var (
+		admin   = fs.String("admin", "127.0.0.1:7778", "daemon admin-plane address")
+		seconds = fs.Float64("seconds", 1, "CPU-profile window (0 skips cpu.pprof)")
+		out     = fs.String("out", "", "output path (default: spco-profile-<unix>.zip)")
+	)
+	fs.Parse(args)
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("spco-profile-%d.zip", time.Now().Unix())
+	}
+	body, err := fetchProfile(*admin, *seconds)
+	if err != nil {
+		return err
+	}
+	entries, err := verifyBundle(body, *seconds > 0)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes, %d entries)\n", path, len(body), len(entries))
+	for _, name := range entries {
+		fmt.Printf("  %s\n", name)
+	}
+	return nil
+}
+
+// fetchProfile GETs the diagnostic bundle.
+func fetchProfile(admin string, seconds float64) ([]byte, error) {
+	client := &http.Client{Timeout: time.Duration(seconds)*time.Second + 60*time.Second}
+	url := fmt.Sprintf("http://%s/debug/profile?seconds=%g", admin, seconds)
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+// verifyBundle checks the zip opens and every required artifact is
+// present and non-empty, returning the entry names.
+func verifyBundle(body []byte, wantCPU bool) ([]string, error) {
+	zr, err := zip.NewReader(bytes.NewReader(body), int64(len(body)))
+	if err != nil {
+		return nil, fmt.Errorf("bundle is not a zip: %w", err)
+	}
+	sizes := map[string]uint64{}
+	var names []string
+	for _, f := range zr.File {
+		sizes[f.Name] = f.UncompressedSize64
+		names = append(names, f.Name)
+	}
+	want := requiredBundleEntries
+	if wantCPU {
+		want = append([]string{"cpu.pprof"}, want...)
+	}
+	for _, name := range want {
+		if sizes[name] == 0 {
+			return names, fmt.Errorf("bundle entry %s missing or empty", name)
+		}
+	}
+	// The simulated perf-stat must actually report counters.
+	f, err := zr.Open("perf-stat.txt")
+	if err != nil {
+		return names, err
+	}
+	stat, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return names, err
+	}
+	if !strings.Contains(string(stat), "Performance counter stats") {
+		return names, fmt.Errorf("perf-stat.txt lacks the counter report")
+	}
+	return names, nil
+}

@@ -1,0 +1,196 @@
+// Command spco-daemon hosts one matching engine as a long-running
+// service: match traffic arrives over TCP (the internal/mpi wire
+// protocol) from many concurrent client connections, while an HTTP
+// admin plane exposes the live telemetry registry and a one-shot
+// diagnostic bundle —
+//
+//	GET /metrics        live Prometheus scrape
+//	GET /healthz        liveness
+//	GET /readyz         readiness (503 once draining)
+//	GET /status         JSON status document
+//	GET /debug/profile  diagnostic zip (pprof + simulated perf-stat)
+//
+// Subcommands:
+//
+//	spco-daemon serve   run the daemon (default when flags follow)
+//	spco-daemon client  drive a daemon with seeded concurrent load
+//	spco-daemon diag    fetch and verify a /debug/profile bundle
+//	spco-daemon smoke   self-contained acceptance run (CI gate)
+//
+// Examples:
+//
+//	spco-daemon serve -listen :7777 -admin :7778 -list lla -k 2 -hot
+//	spco-daemon serve -listen :7777 -admin :7778 -fault-drop 0.01 -umq-cap 512 -flow rendezvous
+//	spco-daemon client -addr :7777 -conns 8 -messages 100000
+//	spco-daemon diag -admin :7778 -seconds 5 -out profile.zip
+//	spco-daemon smoke
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: the listener closes,
+// /readyz flips to 503, in-flight connections get -drain-timeout to
+// finish, exporters flush, and the final perf-stat report is emitted.
+// A second signal forces shutdown with a nonzero exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spco"
+	"spco/internal/daemon"
+	"spco/internal/engine"
+	"spco/internal/fault"
+	"spco/internal/perf"
+	"spco/internal/telemetry"
+)
+
+func main() {
+	args := os.Args[1:]
+	cmd := "serve"
+	if len(args) > 0 && !isFlag(args[0]) {
+		cmd, args = args[0], args[1:]
+	}
+	var err error
+	switch cmd {
+	case "serve":
+		err = runServe(args)
+	case "client":
+		err = runClient(args)
+	case "diag":
+		err = runDiag(args)
+	case "smoke":
+		err = runSmoke(args)
+	case "help", "-h", "--help":
+		fmt.Println("usage: spco-daemon [serve|client|diag|smoke] [flags]")
+		return
+	default:
+		err = fmt.Errorf("unknown subcommand %q (want serve, client, diag, or smoke)", cmd)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spco-daemon:", err)
+		os.Exit(1)
+	}
+}
+
+func isFlag(s string) bool { return len(s) > 0 && s[0] == '-' }
+
+// runServe builds and runs the daemon until signalled.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("spco-daemon serve", flag.ExitOnError)
+	var (
+		listen = fs.String("listen", "127.0.0.1:7777", "match-traffic listen address")
+		admin  = fs.String("admin", "127.0.0.1:7778", "admin-plane (HTTP) listen address")
+
+		arch    = fs.String("arch", "sandybridge", "architecture profile (sandybridge, broadwell, nehalem, knl)")
+		list    = fs.String("list", "lla", "match structure (baseline, lla, hashbins, rankarray, fourd, hwoffload, percomm)")
+		k       = fs.Int("k", 2, "LLA entries per node")
+		comm    = fs.Int("comm", 64, "communicator size for bucketed comparators")
+		bins    = fs.Int("bins", 256, "bins for the hash-bin comparator")
+		pool    = fs.Bool("pool", false, "recycle match-list nodes (modified-LLA allocator)")
+		hot     = fs.Bool("hot", false, "attach the cache heater (semi-permanent occupancy)")
+		hotNS   = fs.Float64("hot-period", 0, "heater sweep period in ns (0: profile default)")
+		netc    = fs.Bool("netcache", false, "attach the dedicated network-data cache")
+		resNS   = fs.Uint64("residency-interval", 200_000, "residency sampling cadence in simulated cycles")
+		drain   = fs.Duration("drain-timeout", daemon.DefaultDrainTimeout, "graceful-drain bound after the first signal")
+		mOut    = fs.String("metrics-out", "", "flush the registry here on shutdown (.prom/.txt, .jsonl, .csv)")
+		sOut    = fs.String("series-out", "", "flush the sampler time series here on shutdown (.csv, .jsonl)")
+		quiet   = fs.Bool("q", false, "suppress serving logs")
+		perfOut = fs.String("perf-out", "-", "final perf-stat destination (-: stdout, empty: discard)")
+	)
+	var fcli fault.CLI
+	fcli.Register(fs)
+	fs.Parse(args)
+
+	cfg, err := engineConfig(*arch, *list, *k, *comm, *bins, *pool, *hot, *hotNS, *netc, &fcli)
+	if err != nil {
+		return err
+	}
+	cfg.ResidencyInterval = *resNS
+
+	srv, err := newServer(cfg, *listen, *admin, fcli, *drain, *mOut, *sOut, *perfOut, *quiet)
+	if err != nil {
+		return err
+	}
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	return srv.Run(sig)
+}
+
+// engineConfig assembles the hosted engine's configuration from flags.
+func engineConfig(arch, list string, k, comm, bins int, pool, hot bool,
+	hotNS float64, netc bool, fcli *fault.CLI) (engine.Config, error) {
+	prof, ok := spco.ProfileByName(arch)
+	if !ok {
+		return engine.Config{}, fmt.Errorf("unknown architecture %q", arch)
+	}
+	kind, err := spco.ParseKind(list)
+	if err != nil {
+		return engine.Config{}, err
+	}
+	cfg := engine.Config{
+		Profile:        prof,
+		Kind:           kind,
+		EntriesPerNode: k,
+		CommSize:       comm,
+		Bins:           bins,
+		Pool:           pool,
+		HotCache:       hot,
+		HeaterPeriodNS: hotNS,
+		NetworkCache:   netc,
+	}
+	if err := fcli.ApplyEngine(&cfg); err != nil {
+		return engine.Config{}, err
+	}
+	return cfg, nil
+}
+
+// newServer wires the collector, PMU, and daemon together. The PMU and
+// collector are attached for the life of the process: /metrics scrapes
+// the collector live, /debug/profile bundles the PMU's artifacts.
+func newServer(ecfg engine.Config, listen, admin string, fcli fault.CLI,
+	drain time.Duration, mOut, sOut, perfOut string, quiet bool) (*daemon.Server, error) {
+	coll := telemetry.NewCollector(telemetry.Labels{"cmd": "daemon"})
+	pmu := perf.New(perf.Options{
+		Label:          "spco-daemon",
+		Experiment:     "daemon",
+		SampleInterval: perf.DefaultSampleInterval,
+	})
+	dcfg := daemon.Config{
+		Engine:       ecfg,
+		ListenAddr:   listen,
+		AdminAddr:    admin,
+		Collector:    coll,
+		PMU:          pmu,
+		Wire:         fcli.Wire(),
+		FaultSeed:    fcli.Seed,
+		DrainTimeout: drain,
+		MetricsOut:   mOut,
+		SeriesOut:    sOut,
+	}
+	switch perfOut {
+	case "-":
+		dcfg.PerfOut = os.Stdout
+	case "":
+		// Config default resolution would pick stdout; keep it silent.
+		dcfg.PerfOut = discardWriter{}
+	default:
+		f, err := os.Create(perfOut)
+		if err != nil {
+			return nil, err
+		}
+		dcfg.PerfOut = f
+	}
+	if !quiet {
+		dcfg.Logf = log.New(os.Stderr, "", log.LstdFlags).Printf
+	}
+	return daemon.New(dcfg)
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

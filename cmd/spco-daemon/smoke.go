@@ -1,0 +1,175 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"spco/internal/daemon"
+	"spco/internal/engine"
+	"spco/internal/fault"
+	"spco/internal/workload"
+)
+
+// runSmoke is the self-contained acceptance gate (`make daemon-smoke`):
+// it starts a daemon on loopback ports, drives it with concurrent
+// audited load through a lossy ingress wire, scrapes /metrics live,
+// fetches and verifies a /debug/profile bundle, then drains and checks
+// the live scrape's metric names all appear in the flushed file export.
+// Everything runs in one process tree over real TCP and HTTP, so CI
+// needs no curl, unzip, or port coordination.
+func runSmoke(args []string) error {
+	fs := flag.NewFlagSet("spco-daemon smoke", flag.ExitOnError)
+	var (
+		conns    = fs.Int("conns", 4, "concurrent client connections (acceptance floor: 4)")
+		messages = fs.Int("messages", 5000, "arrive/post pairs to drive")
+		seconds  = fs.Float64("seconds", 0.2, "CPU window for the profile bundle")
+		keep     = fs.String("keep", "", "also write the profile bundle here")
+	)
+	fs.Parse(args)
+
+	dir, err := os.MkdirTemp("", "spco-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	metricsOut := filepath.Join(dir, "metrics.prom")
+
+	ecfg, err := engineConfig("sandybridge", "lla", 2, 64, 256, false, true, 0, false, &fault.CLI{})
+	if err != nil {
+		return err
+	}
+	ecfg.UMQCapacity = 4096
+	ecfg.Overflow = engine.OverflowDrop
+	srv, err := newServer(ecfg, "127.0.0.1:0", "127.0.0.1:0",
+		fault.CLI{Drop: 0.01, Dup: 0.005, Corrupt: 0.005, Seed: 1},
+		daemon.DefaultDrainTimeout, metricsOut, "", "", true)
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Run(nil) }()
+	fmt.Printf("smoke: daemon on %s (admin %s), %d conns x %d pairs\n",
+		srv.Addr(), srv.AdminAddr(), *conns, *messages)
+
+	fail := func(format string, a ...any) error {
+		srv.Stop()
+		<-errc
+		return fmt.Errorf(format, a...)
+	}
+
+	// 1. Audited concurrent load through the lossy ingress.
+	res, err := workload.RunDaemonChaos(workload.DaemonChaosConfig{
+		Addr:      srv.Addr(),
+		AdminAddr: srv.AdminAddr(),
+		Load:      workload.DaemonLoadConfig{Conns: *conns, Messages: *messages},
+	})
+	if err != nil {
+		return fail("chaos: %v", err)
+	}
+	for _, v := range res.Violations {
+		fmt.Printf("smoke: !! %s\n", v)
+	}
+	if !res.Passed() {
+		return fail("chaos audit failed with %d violations", len(res.Violations))
+	}
+	ld := res.Load
+	fmt.Printf("smoke: load ok — %d matched (%d prq, %d umq), %d nacks retransmitted\n",
+		ld.Matched(), ld.ArriveMatched, ld.PostMatched, ld.Nacks)
+
+	// 2. Live Prometheus scrape.
+	live, err := httpGet("http://" + srv.AdminAddr() + "/metrics")
+	if err != nil {
+		return fail("/metrics: %v", err)
+	}
+	liveNames := metricNameSet(live)
+	for _, want := range []string{"spco_daemon_frames_total", "spco_matches_total", "spco_daemon_connections_total"} {
+		if !liveNames[want] {
+			return fail("/metrics scrape lacks %s", want)
+		}
+	}
+	fmt.Printf("smoke: /metrics ok — %d metric names live\n", len(liveNames))
+
+	// 3. Diagnostic bundle.
+	body, err := fetchProfile(srv.AdminAddr(), *seconds)
+	if err != nil {
+		return fail("/debug/profile: %v", err)
+	}
+	entries, err := verifyBundle(body, *seconds > 0)
+	if err != nil {
+		return fail("profile bundle: %v", err)
+	}
+	if *keep != "" {
+		if err := os.WriteFile(*keep, body, 0o644); err != nil {
+			return fail("keep bundle: %v", err)
+		}
+	}
+	fmt.Printf("smoke: profile bundle ok — %d entries (%d bytes)\n", len(entries), len(body))
+
+	// 4. Graceful drain, then live-vs-flushed metric-name parity. The
+	// flush may add spco_perf_* counters (the PMU publishes once, at
+	// shutdown); everything else must agree.
+	srv.Stop()
+	if err := <-errc; err != nil {
+		return fmt.Errorf("drain: %v", err)
+	}
+	flushedBytes, err := os.ReadFile(metricsOut)
+	if err != nil {
+		return fmt.Errorf("flushed export: %v", err)
+	}
+	flushed := metricNameSet(string(flushedBytes))
+	for name := range liveNames {
+		if !flushed[name] {
+			return fmt.Errorf("live metric %s absent from the flushed export", name)
+		}
+	}
+	for name := range flushed {
+		if !liveNames[name] && !strings.HasPrefix(name, "spco_perf_") {
+			return fmt.Errorf("flushed metric %s never appeared in the live scrape", name)
+		}
+	}
+	fmt.Printf("smoke: exporter parity ok — %d live names all flushed\n", len(liveNames))
+	fmt.Println("smoke: PASS")
+	return nil
+}
+
+// httpGet fetches a URL body with a bounded client.
+func httpGet(url string) (string, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return string(body), nil
+}
+
+// metricNameSet extracts metric names from Prometheus text format.
+func metricNameSet(text string) map[string]bool {
+	names := map[string]bool{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if name != "" {
+			names[name] = true
+		}
+	}
+	return names
+}

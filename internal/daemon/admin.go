@@ -1,0 +1,195 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"spco/internal/telemetry"
+)
+
+// The admin plane: a kubo-style HTTP surface for a long-running match
+// daemon.
+//
+//	GET /healthz        — liveness (200 while the process serves)
+//	GET /readyz         — readiness (503 once draining)
+//	GET /status         — JSON: uptime, connections, queue depths,
+//	                      residency fractions, fault counters
+//	GET /metrics        — live Prometheus scrape of the registry
+//	GET /debug/profile  — one-shot diagnostic zip (see profile.go)
+
+func (s *Server) adminMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/profile", s.handleProfile)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleMetrics is the live Prometheus scrape: publish the engine's
+// running totals into the registry (idempotent deltas under the engine
+// mutex), then export. The registry and sampler are safe to export
+// while concurrent connections keep mutating counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	s.en.PublishTelemetry()
+	s.publishResidency()
+	s.mu.Unlock()
+	s.gUptime.Set(time.Since(s.start).Seconds())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := telemetry.WritePrometheus(w, s.cfg.Collector.Registry); err != nil {
+		s.cfg.Logf("daemon: /metrics: %v", err)
+	}
+}
+
+// publishResidency mirrors the current per-owner cache-residency
+// fractions into registry gauges, so a live /metrics scrape carries
+// the occupancy story (spco_region_residency{owner,level}) without
+// waiting for a series flush. The engine records the same name as a
+// sampler time series; the registry gauge is its point-in-time view.
+// Callers hold s.mu.
+func (s *Server) publishResidency() {
+	reg := s.cfg.Collector.Registry
+	for _, r := range s.en.Hierarchy().ScanResidency() {
+		for _, lv := range [...]struct {
+			name string
+			frac float64
+		}{{"l1", r.L1Frac()}, {"l2", r.L2Frac()}, {"l3", r.L3Frac()}, {"nc", r.NCFrac()}} {
+			reg.Gauge("spco_region_residency",
+				telemetry.Labels{"owner": r.Owner, "level": lv.name}).Set(lv.frac)
+		}
+	}
+}
+
+// StatusResidency is one owner/level residency fraction.
+type StatusResidency struct {
+	Owner string  `json:"owner"`
+	Level string  `json:"level"`
+	Frac  float64 `json:"frac"`
+}
+
+// StatusEngine is the engine half of /status.
+type StatusEngine struct {
+	Arch       string `json:"arch"`
+	List       string `json:"list"`
+	HotCache   bool   `json:"hot_cache"`
+	Arrivals   uint64 `json:"arrivals"`
+	Posts      uint64 `json:"posts"`
+	PRQMatches uint64 `json:"prq_matches"`
+	UMQMatches uint64 `json:"umq_matches"`
+	UMQAppends uint64 `json:"umq_appends"`
+	Refused    uint64 `json:"refused"`
+	Rendezvous uint64 `json:"rendezvous"`
+	Cycles     uint64 `json:"cycles"`
+	SyncCycles uint64 `json:"sync_cycles"`
+	PRQLen     int    `json:"prq_len"`
+	UMQLen     int    `json:"umq_len"`
+	UMQCap     int    `json:"umq_capacity"`
+	Overflow   string `json:"overflow_policy"`
+}
+
+// StatusReport is the /status JSON document.
+type StatusReport struct {
+	UptimeSeconds     float64           `json:"uptime_seconds"`
+	Addr              string            `json:"addr"`
+	AdminAddr         string            `json:"admin_addr"`
+	Draining          bool              `json:"draining"`
+	ConnectionsActive int64             `json:"connections_active"`
+	ConnectionsTotal  uint64            `json:"connections_total"`
+	Nacks             uint64            `json:"nacks"`
+	DupSuppressed     uint64            `json:"dups_suppressed"`
+	Engine            StatusEngine      `json:"engine"`
+	Residency         []StatusResidency `json:"residency"`
+}
+
+// Status assembles the live status document (also used by /status).
+func (s *Server) Status() StatusReport {
+	st := s.Stats()
+	rep := StatusReport{
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+		Addr:              s.Addr(),
+		AdminAddr:         s.AdminAddr(),
+		Draining:          s.draining.Load(),
+		ConnectionsActive: st.ConnectionsActive,
+		ConnectionsTotal:  st.ConnectionsTotal,
+		Nacks:             st.Nacks,
+		DupSuppressed:     st.DupSuppressed,
+	}
+	s.mu.Lock()
+	es := s.en.Stats()
+	cfg := s.en.Config()
+	rep.Engine = StatusEngine{
+		Arch:       cfg.Profile.Name,
+		List:       cfg.Kind.String(),
+		HotCache:   cfg.HotCache,
+		Arrivals:   es.Arrivals,
+		Posts:      es.Posts,
+		PRQMatches: es.PRQMatches,
+		UMQMatches: es.UMQMatches,
+		UMQAppends: es.UMQAppends,
+		Refused:    es.Refused,
+		Rendezvous: es.Rendezvous,
+		Cycles:     es.Cycles,
+		SyncCycles: es.SyncCycles,
+		PRQLen:     s.en.PRQLen(),
+		UMQLen:     s.en.UMQLen(),
+		UMQCap:     cfg.UMQCapacity,
+		Overflow:   cfg.Overflow.String(),
+	}
+	for _, r := range s.en.Hierarchy().ScanResidency() {
+		for _, lv := range [...]struct {
+			name string
+			frac float64
+		}{{"l1", r.L1Frac()}, {"l2", r.L2Frac()}, {"l3", r.L3Frac()}, {"nc", r.NCFrac()}} {
+			rep.Residency = append(rep.Residency, StatusResidency{Owner: r.Owner, Level: lv.name, Frac: lv.frac})
+		}
+	}
+	s.mu.Unlock()
+	return rep
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.Status()); err != nil {
+		s.cfg.Logf("daemon: /status: %v", err)
+	}
+}
+
+// profileSeconds parses the CPU-profile duration query parameter,
+// clamped to [0, 30].
+func profileSeconds(r *http.Request) float64 {
+	sec := 1.0
+	if v := r.URL.Query().Get("seconds"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			sec = f
+		}
+	}
+	if sec < 0 {
+		sec = 0
+	}
+	if sec > 30 {
+		sec = 30
+	}
+	return sec
+}

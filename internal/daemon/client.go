@@ -1,0 +1,355 @@
+package daemon
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"spco/internal/engine"
+	"spco/internal/fault"
+	"spco/internal/mpi"
+)
+
+// Client is one match-traffic connection to a daemon: a serial
+// request-response stream of wire operations. A Client is not safe for
+// concurrent use; open one per goroutine (that is the point — each
+// connection is an independent traffic source, like a NIC queue pair).
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects and completes the protocol handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	if err := mpi.WriteWireHello(c.bw); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := mpi.ReadWireHello(c.br); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("daemon: handshake: %w", err)
+	}
+	return c, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// do performs one request-response round trip.
+func (c *Client) do(op mpi.WireOp) (mpi.WireReply, error) {
+	if err := mpi.WriteWireOp(c.bw, op); err != nil {
+		return mpi.WireReply{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return mpi.WireReply{}, err
+	}
+	rep, err := mpi.ReadWireReply(c.br)
+	if err != nil {
+		return mpi.WireReply{}, err
+	}
+	if rep.Status == mpi.WireErr {
+		return rep, fmt.Errorf("daemon: server rejected %d op", op.Kind)
+	}
+	return rep, nil
+}
+
+// Arrive delivers an envelope; the reply carries the engine outcome.
+func (c *Client) Arrive(rank, tag int32, ctx uint16, msg uint64) (mpi.WireReply, error) {
+	return c.do(mpi.WireOp{Kind: mpi.WireArrive, Rank: rank, Tag: tag, Ctx: ctx, Handle: msg})
+}
+
+// Post posts a receive; the reply reports a UMQ match (Outcome 1).
+func (c *Client) Post(rank, tag int32, ctx uint16, req uint64) (mpi.WireReply, error) {
+	return c.do(mpi.WireOp{Kind: mpi.WirePost, Rank: rank, Tag: tag, Ctx: ctx, Handle: req})
+}
+
+// Phase runs a compute phase on the daemon engine.
+func (c *Client) Phase(durationNS float64) error {
+	_, err := c.do(mpi.WireOp{Kind: mpi.WirePhase, DurationNS: durationNS})
+	return err
+}
+
+// QueueLens returns the daemon engine's current PRQ and UMQ depths.
+func (c *Client) QueueLens() (prq, umq int, err error) {
+	rep, err := c.do(mpi.WireOp{Kind: mpi.WireStat})
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(rep.PRQLen), int(rep.UMQLen), nil
+}
+
+// Ping performs a no-op round trip.
+func (c *Client) Ping() error {
+	_, err := c.do(mpi.WireOp{Kind: mpi.WirePing})
+	return err
+}
+
+// LoadConfig parameterises the client-side load generator: a seeded
+// stream of arrive/post pairs with unique tags, partitioned across
+// Conns concurrent connections. The same seed reproduces the same
+// per-connection op streams (arrival interleaving at the daemon remains
+// scheduler-dependent, as multithreaded MPI is).
+type LoadConfig struct {
+	Addr string
+
+	// Conns is the number of concurrent client connections (default 4).
+	Conns int
+
+	// Messages is the total number of matched pairs (default 1000);
+	// Senders the number of source ranks they round-robin (default 8).
+	Messages int
+	Senders  int
+
+	// PrePostFrac is the probability a pair posts its receive before the
+	// arrive (a PRQ hit); the rest arrive first and exercise the UMQ
+	// (default 0.5).
+	PrePostFrac float64
+
+	// Seed drives the prepost choices (default 1).
+	Seed uint64
+
+	// PhaseEvery inserts a compute phase every that many pairs on
+	// connection 0; PhaseNS is its duration (0 disables).
+	PhaseEvery int
+	PhaseNS    float64
+
+	// MaxRetries bounds retransmissions of an arrive refused at ingress
+	// (WireNack) or by a full bounded UMQ (WireBusy) (default 64).
+	MaxRetries int
+
+	// RetryDelay spaces retransmissions (default 200µs).
+	RetryDelay time.Duration
+
+	// Ctx is the communicator context (default 1).
+	Ctx uint16
+}
+
+func (c *LoadConfig) defaults() {
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.Messages <= 0 {
+		c.Messages = 1000
+	}
+	if c.Senders <= 0 {
+		c.Senders = 8
+	}
+	if c.PrePostFrac == 0 {
+		c.PrePostFrac = 0.5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 64
+	}
+	if c.RetryDelay <= 0 {
+		c.RetryDelay = 200 * time.Microsecond
+	}
+	if c.Ctx == 0 {
+		c.Ctx = 1
+	}
+}
+
+// LoadResult tallies one load run. Every pair uses a globally unique
+// tag, so the expected pairing is exact: pair i's arrive must match
+// request i and its post must match message i — any other handle is a
+// matching bug, recorded in Mismatches. Unmatched counts pairs whose
+// second operation failed to find the first (it must be zero once the
+// run drains).
+type LoadResult struct {
+	Arrives uint64 // arrive frames accepted by the engine
+	Posts   uint64 // post frames served
+	Phases  uint64 // compute phases driven
+
+	ArriveMatched uint64 // arrives that hit the PRQ
+	PostMatched   uint64 // posts that hit the UMQ
+	Rendezvous    uint64 // arrives demoted to rendezvous headers
+
+	Nacks   uint64 // ingress fault-injection refusals (retransmitted)
+	Busy    uint64 // bounded-UMQ refusals (retransmitted)
+	Retries uint64 // total retransmissions
+
+	Unmatched  uint64 // pairs that never matched (audit failure)
+	Mismatches uint64 // pairs matched to the wrong counterpart
+
+	EngineCycles uint64 // summed modeled cycles across replies
+
+	Errors  []string // transport-level failures (capped)
+	Elapsed time.Duration
+}
+
+// Matched returns the total matched pairs.
+func (r LoadResult) Matched() uint64 { return r.ArriveMatched + r.PostMatched }
+
+// RunLoad drives a daemon with cfg.Conns concurrent connections and
+// audits the exact pairing of every arrive/post pair.
+func RunLoad(cfg LoadConfig) (LoadResult, error) {
+	cfg.defaults()
+	var (
+		res   LoadResult
+		resMu sync.Mutex
+		wg    sync.WaitGroup
+	)
+	start := time.Now()
+	addErr := func(err error) {
+		resMu.Lock()
+		if len(res.Errors) < 16 {
+			res.Errors = append(res.Errors, err.Error())
+		}
+		resMu.Unlock()
+	}
+
+	for conn := 0; conn < cfg.Conns; conn++ {
+		wg.Add(1)
+		go func(conn int) {
+			defer wg.Done()
+			cl, err := Dial(cfg.Addr)
+			if err != nil {
+				addErr(fmt.Errorf("conn %d: %w", conn, err))
+				return
+			}
+			defer cl.Close()
+
+			var local LoadResult
+			rng := fault.NewRNG(cfg.Seed).Fork(uint64(conn) + 11)
+			pairs := 0
+			for i := conn; i < cfg.Messages; i += cfg.Conns {
+				src := int32(i % cfg.Senders)
+				tag := int32(i)
+				prepost := rng.Float64() < cfg.PrePostFrac
+
+				if prepost {
+					rep, err := cl.Post(src, tag, cfg.Ctx, uint64(i))
+					if err != nil {
+						addErr(fmt.Errorf("conn %d post %d: %w", conn, i, err))
+						break
+					}
+					local.Posts++
+					local.EngineCycles += rep.Cycles
+					if rep.Outcome == 1 {
+						// A UMQ hit here would mean a stray message wore our
+						// unique tag.
+						local.Mismatches++
+						continue
+					}
+					rep, ok := arriveWithRetry(cl, src, tag, cfg, uint64(i), &local, addErr, conn, i)
+					if !ok {
+						break
+					}
+					local.EngineCycles += rep.Cycles
+					if rep.Outcome == byte(engine.ArriveMatched) {
+						local.Arrives++
+						local.ArriveMatched++
+						if rep.Handle != uint64(i) {
+							local.Mismatches++
+						}
+					} else {
+						// The posted receive was there; the arrive must match.
+						local.Unmatched++
+					}
+				} else {
+					rep, ok := arriveWithRetry(cl, src, tag, cfg, uint64(i), &local, addErr, conn, i)
+					if !ok {
+						break
+					}
+					local.Arrives++
+					local.EngineCycles += rep.Cycles
+					switch rep.Outcome {
+					case byte(engine.ArriveMatched):
+						// Unique tags: nothing else can have posted this.
+						local.Mismatches++
+						continue
+					case byte(engine.ArriveQueuedRendezvous):
+						local.Rendezvous++
+					}
+					prep, err := cl.Post(src, tag, cfg.Ctx, uint64(i))
+					if err != nil {
+						addErr(fmt.Errorf("conn %d post %d: %w", conn, i, err))
+						break
+					}
+					local.Posts++
+					local.EngineCycles += prep.Cycles
+					if prep.Outcome != 1 {
+						local.Unmatched++
+					} else {
+						local.PostMatched++
+						if prep.Handle != uint64(i) {
+							local.Mismatches++
+						}
+					}
+				}
+
+				pairs++
+				if conn == 0 && cfg.PhaseEvery > 0 && pairs%cfg.PhaseEvery == 0 {
+					if err := cl.Phase(cfg.PhaseNS); err != nil {
+						addErr(fmt.Errorf("conn %d phase: %w", conn, err))
+						break
+					}
+					local.Phases++
+				}
+			}
+
+			resMu.Lock()
+			res.Arrives += local.Arrives
+			res.Posts += local.Posts
+			res.Phases += local.Phases
+			res.ArriveMatched += local.ArriveMatched
+			res.PostMatched += local.PostMatched
+			res.Rendezvous += local.Rendezvous
+			res.Nacks += local.Nacks
+			res.Busy += local.Busy
+			res.Retries += local.Retries
+			res.Unmatched += local.Unmatched
+			res.Mismatches += local.Mismatches
+			res.EngineCycles += local.EngineCycles
+			resMu.Unlock()
+		}(conn)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if len(res.Errors) > 0 {
+		return res, fmt.Errorf("daemon load: %d transport errors (first: %s)", len(res.Errors), res.Errors[0])
+	}
+	return res, nil
+}
+
+// arriveWithRetry delivers one arrive, retransmitting on ingress NACK
+// (fault injection) and engine Busy (bounded UMQ) up to MaxRetries.
+func arriveWithRetry(cl *Client, src, tag int32, cfg LoadConfig, msg uint64,
+	local *LoadResult, addErr func(error), conn, i int) (mpi.WireReply, bool) {
+	for attempt := 0; ; attempt++ {
+		rep, err := cl.Arrive(src, tag, cfg.Ctx, msg)
+		if err != nil {
+			addErr(fmt.Errorf("conn %d arrive %d: %w", conn, i, err))
+			return rep, false
+		}
+		switch rep.Status {
+		case mpi.WireOK:
+			return rep, true
+		case mpi.WireNack:
+			local.Nacks++
+		case mpi.WireBusy:
+			local.Busy++
+		}
+		if attempt >= cfg.MaxRetries {
+			addErr(fmt.Errorf("conn %d arrive %d: gave up after %d retries", conn, i, attempt))
+			local.Unmatched++
+			return rep, false
+		}
+		local.Retries++
+		time.Sleep(cfg.RetryDelay)
+	}
+}

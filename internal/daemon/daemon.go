@@ -1,0 +1,489 @@
+// Package daemon turns the matching engine into a long-running serving
+// system: one engine instance (with its heater, telemetry collector,
+// and simulated PMU attached for the life of the process) served to
+// many concurrent client connections over the internal/mpi socket wire
+// protocol, with a live HTTP admin plane.
+//
+// The paper's claim — semi-permanent cache occupancy pays off — is a
+// statement about persistent network services, not run-to-completion
+// benchmarks. The daemon is where that setting exists in this repo:
+// match traffic arrives over real TCP for hours, the telemetry registry
+// is scraped live by Prometheus (/metrics), and a one-shot diagnostic
+// bundle (/debug/profile) captures host pprof profiles alongside the
+// simulated PMU's perf-stat report, so cache-residency behaviour under
+// sustained load is observable without stopping the process.
+//
+// Concurrency model: the engine, heater, PMU, and ingress fault wire
+// are single-threaded by design; the server serializes all matching
+// operations behind one mutex. Connection handling, the admin plane,
+// and the telemetry registry are fully concurrent — the registry and
+// sampler are safe to scrape while operations mutate them.
+//
+// Lifecycle: Run serves until the first signal (SIGTERM/SIGINT), then
+// drains gracefully — the listener closes, /readyz flips to 503,
+// in-flight connections get DrainTimeout to finish, exporters flush,
+// and the final perf-stat report is emitted. A second signal during the
+// drain forces shutdown with ErrForced (a nonzero exit in spco-daemon).
+package daemon
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spco/internal/engine"
+	"spco/internal/fault"
+	"spco/internal/match"
+	"spco/internal/mpi"
+	"spco/internal/perf"
+	"spco/internal/telemetry"
+)
+
+// ErrForced reports a shutdown forced by a second signal during the
+// graceful drain; commands should exit nonzero.
+var ErrForced = errors.New("daemon: forced shutdown before drain completed")
+
+// DefaultDrainTimeout bounds the graceful drain.
+const DefaultDrainTimeout = 5 * time.Second
+
+// Config describes a daemon.
+type Config struct {
+	// Engine is the hosted engine's configuration. Telemetry must carry
+	// the collector the admin plane scrapes (New fills it from Collector
+	// when unset).
+	Engine engine.Config
+
+	// ListenAddr accepts match traffic ("127.0.0.1:0" picks a port);
+	// AdminAddr serves the HTTP admin plane.
+	ListenAddr string
+	AdminAddr  string
+
+	// Collector receives engine telemetry and the daemon's own serving
+	// metrics; /metrics exports it live. Required.
+	Collector *telemetry.Collector
+
+	// PMU is the simulated performance-monitoring unit attached to the
+	// engine for the life of the process; /debug/profile bundles its
+	// perf-stat report and profiles. Optional.
+	PMU *perf.PMU
+
+	// Wire, when enabled, applies the unreliable-wire fate model to
+	// inbound arrive frames at ingress: dropped or corrupted frames earn
+	// a WireNack the client must retransmit, duplicated frames are
+	// delivered once and counted as suppressed — the daemon-shaped
+	// analogue of the fault transport's lossy link.
+	Wire fault.WireConfig
+
+	// FaultSeed seeds the ingress wire (default 1).
+	FaultSeed uint64
+
+	// DrainTimeout bounds the graceful drain (default
+	// DefaultDrainTimeout).
+	DrainTimeout time.Duration
+
+	// MetricsOut and SeriesOut, when set, receive a final export of the
+	// registry and sampler during shutdown (the exporter flush).
+	MetricsOut string
+	SeriesOut  string
+
+	// PerfOut receives the final perf-stat report on shutdown (default
+	// os.Stdout; io.Discard silences it).
+	PerfOut io.Writer
+
+	// Logf logs serving events (default: silent).
+	Logf func(format string, args ...any)
+}
+
+// Server is a running daemon.
+type Server struct {
+	cfg Config
+
+	// mu serializes the single-threaded simulation stack: engine, heater,
+	// PMU, and the ingress fault wire.
+	mu   sync.Mutex
+	en   *engine.Engine
+	wire *fault.Wire
+
+	ln      net.Listener
+	adminLn net.Listener
+	admin   *http.Server
+
+	start    time.Time
+	ready    atomic.Bool
+	draining atomic.Bool
+	quit     chan struct{} // Stop() closes: begin graceful drain
+	quitOnce sync.Once
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	connWG sync.WaitGroup
+
+	// Serving tallies, mirrored into registry counters so a live scrape
+	// sees them without a publish step.
+	active        atomic.Int64
+	total         atomic.Uint64
+	nacks         atomic.Uint64
+	dupSuppressed atomic.Uint64
+
+	cFrames map[byte]*telemetry.Counter
+	cNacks  *telemetry.Counter
+	cDups   *telemetry.Counter
+	cConns  *telemetry.Counter
+	gActive *telemetry.Gauge
+	gUptime *telemetry.Gauge
+
+	profileBusy atomic.Bool
+}
+
+// New builds a daemon and binds both listeners (so Addr/AdminAddr are
+// known before Run). The engine is constructed here; a bad engine
+// configuration fails fast.
+func New(cfg Config) (*Server, error) {
+	if cfg.Collector == nil {
+		return nil, errors.New("daemon: Config.Collector is required")
+	}
+	if err := cfg.Wire.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Engine.Telemetry == nil {
+		cfg.Engine.Telemetry = cfg.Collector
+	}
+	if cfg.Engine.Perf == nil {
+		cfg.Engine.Perf = cfg.PMU
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	if cfg.FaultSeed == 0 {
+		cfg.FaultSeed = 1
+	}
+	if cfg.PerfOut == nil {
+		cfg.PerfOut = os.Stdout
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.AdminAddr == "" {
+		cfg.AdminAddr = "127.0.0.1:0"
+	}
+
+	en, err := engine.New(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		en:    en,
+		quit:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+	if cfg.Wire.Enabled() {
+		s.wire = fault.NewWire(cfg.Wire, fault.NewRNG(cfg.FaultSeed).Fork(99))
+	}
+
+	reg := cfg.Collector.Registry
+	reg.Help("spco_daemon_frames_total", "Wire frames served by operation.")
+	reg.Help("spco_daemon_nacks_total", "Arrive frames refused at ingress by fault injection.")
+	reg.Help("spco_daemon_dups_suppressed_total", "Duplicated arrive frames delivered once.")
+	reg.Help("spco_daemon_connections_total", "Client connections accepted.")
+	reg.Help("spco_daemon_connections_active", "Client connections currently open.")
+	reg.Help("spco_daemon_uptime_seconds", "Seconds since the daemon started serving.")
+	reg.Help("spco_region_residency", "Cache-residency fraction by region owner and level, refreshed per scrape.")
+	s.cFrames = map[byte]*telemetry.Counter{
+		mpi.WireArrive: reg.Counter("spco_daemon_frames_total", telemetry.Labels{"op": "arrive"}),
+		mpi.WirePost:   reg.Counter("spco_daemon_frames_total", telemetry.Labels{"op": "post"}),
+		mpi.WirePhase:  reg.Counter("spco_daemon_frames_total", telemetry.Labels{"op": "phase"}),
+		mpi.WireStat:   reg.Counter("spco_daemon_frames_total", telemetry.Labels{"op": "stat"}),
+		mpi.WirePing:   reg.Counter("spco_daemon_frames_total", telemetry.Labels{"op": "ping"}),
+	}
+	s.cNacks = reg.Counter("spco_daemon_nacks_total", nil)
+	s.cDups = reg.Counter("spco_daemon_dups_suppressed_total", nil)
+	s.cConns = reg.Counter("spco_daemon_connections_total", nil)
+	s.gActive = reg.Gauge("spco_daemon_connections_active", nil)
+	s.gUptime = reg.Gauge("spco_daemon_uptime_seconds", nil)
+
+	if s.ln, err = net.Listen("tcp", cfg.ListenAddr); err != nil {
+		return nil, err
+	}
+	if s.adminLn, err = net.Listen("tcp", cfg.AdminAddr); err != nil {
+		s.ln.Close()
+		return nil, err
+	}
+	s.admin = &http.Server{Handler: s.adminMux()}
+
+	// Host lock contention and blocking are part of the diagnostic story
+	// for a serving system; sample them so mutex.pprof and block.pprof in
+	// the profile bundle have something to say.
+	runtime.SetMutexProfileFraction(5)
+	runtime.SetBlockProfileRate(1_000_000)
+	return s, nil
+}
+
+// Addr returns the bound match-traffic address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// AdminAddr returns the bound admin-plane address.
+func (s *Server) AdminAddr() string { return s.adminLn.Addr().String() }
+
+// Engine exposes the hosted engine; callers must not drive it while the
+// server is running (the server owns the serialization).
+func (s *Server) Engine() *engine.Engine { return s.en }
+
+// Stop begins the graceful drain, as the first SIGTERM would.
+func (s *Server) Stop() { s.quitOnce.Do(func() { close(s.quit) }) }
+
+// Run serves until the first delivered signal (or Stop), then drains:
+// the listener closes, readiness flips, in-flight connections get
+// DrainTimeout to finish, exporters flush, and the final perf-stat is
+// emitted. A second signal during the drain forces shutdown and returns
+// ErrForced. A nil signal channel serves until Stop.
+func (s *Server) Run(signals <-chan os.Signal) error {
+	s.start = time.Now()
+	go s.admin.Serve(s.adminLn)
+	go s.acceptLoop()
+	s.ready.Store(true)
+	s.cfg.Logf("daemon: serving match traffic on %s, admin on %s", s.Addr(), s.AdminAddr())
+
+	select {
+	case sig := <-signals:
+		s.cfg.Logf("daemon: received %v, draining (timeout %s)", sig, s.cfg.DrainTimeout)
+	case <-s.quit:
+		s.cfg.Logf("daemon: stop requested, draining (timeout %s)", s.cfg.DrainTimeout)
+	}
+	s.beginDrain()
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.finish()
+		s.cfg.Logf("daemon: drain complete")
+		return nil
+	case sig := <-signals:
+		s.cfg.Logf("daemon: received %v during drain, forcing shutdown", sig)
+		s.forceClose()
+		return ErrForced
+	}
+}
+
+// beginDrain stops accepting and bounds the remaining connections.
+func (s *Server) beginDrain() {
+	s.draining.Store(true)
+	s.ready.Store(false)
+	s.ln.Close()
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.SetReadDeadline(deadline)
+	}
+	s.connMu.Unlock()
+}
+
+// forceClose tears down every connection immediately.
+func (s *Server) forceClose() {
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	s.connWG.Wait()
+	s.admin.Close()
+}
+
+// finish flushes exporters and emits the final perf-stat report.
+func (s *Server) finish() {
+	s.mu.Lock()
+	s.en.PublishTelemetry()
+	if s.cfg.PMU != nil {
+		s.cfg.PMU.Publish(s.cfg.Collector.Registry, s.cfg.Collector.Base)
+	}
+	s.mu.Unlock()
+	s.gUptime.Set(time.Since(s.start).Seconds())
+
+	if s.cfg.MetricsOut != "" {
+		if err := telemetry.WriteMetricsFile(s.cfg.MetricsOut, s.cfg.Collector); err != nil {
+			s.cfg.Logf("daemon: metrics flush: %v", err)
+		}
+	}
+	if s.cfg.SeriesOut != "" {
+		if err := telemetry.WriteSeriesFile(s.cfg.SeriesOut, s.cfg.Collector); err != nil {
+			s.cfg.Logf("daemon: series flush: %v", err)
+		}
+	}
+	if s.cfg.PMU != nil {
+		s.mu.Lock()
+		s.cfg.PMU.WriteReport(s.cfg.PerfOut)
+		s.mu.Unlock()
+	}
+	s.admin.Close()
+}
+
+// acceptLoop admits connections until the listener closes.
+func (s *Server) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		if s.draining.Load() {
+			c.Close()
+			continue
+		}
+		s.connWG.Add(1)
+		s.connMu.Lock()
+		s.conns[c] = struct{}{}
+		s.connMu.Unlock()
+		s.total.Add(1)
+		s.cConns.Inc()
+		s.active.Add(1)
+		s.gActive.Set(float64(s.active.Load()))
+		go s.serveConn(c)
+	}
+}
+
+// serveConn runs one connection's request-response loop.
+func (s *Server) serveConn(c net.Conn) {
+	defer func() {
+		c.Close()
+		s.connMu.Lock()
+		delete(s.conns, c)
+		s.connMu.Unlock()
+		s.active.Add(-1)
+		s.gActive.Set(float64(s.active.Load()))
+		s.connWG.Done()
+	}()
+
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	if err := mpi.ReadWireHello(br); err != nil {
+		return
+	}
+	if err := mpi.WriteWireHello(bw); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	for {
+		op, err := mpi.ReadWireOp(br)
+		if err != nil {
+			if isWireDecodeError(err) {
+				mpi.WriteWireReply(bw, mpi.WireReply{Status: mpi.WireErr})
+				bw.Flush()
+			}
+			return
+		}
+		rep := s.apply(op)
+		if err := mpi.WriteWireReply(bw, rep); err != nil {
+			return
+		}
+		// Flush when the pipeline runs dry: consecutive buffered requests
+		// batch their replies into one segment.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// isWireDecodeError distinguishes a malformed frame (worth an error
+// reply) from a closed or timed-out connection.
+func isWireDecodeError(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return false
+	}
+	var ne net.Error
+	return !errors.As(err, &ne)
+}
+
+// apply executes one wire operation against the engine.
+func (s *Server) apply(op mpi.WireOp) mpi.WireReply {
+	rep := mpi.WireReply{Kind: op.Kind, Status: mpi.WireOK}
+	if ctr := s.cFrames[op.Kind]; ctr != nil {
+		ctr.Inc()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch op.Kind {
+	case mpi.WireArrive:
+		if s.wire != nil {
+			fate := s.wire.Judge()
+			if fate.Dropped || fate.Corrupted {
+				s.nacks.Add(1)
+				s.cNacks.Inc()
+				rep.Status = mpi.WireNack
+				return rep
+			}
+			if fate.Duplicated {
+				// The wire would deliver a second copy; the daemon's dedup
+				// (one frame, one engine delivery) suppresses it.
+				s.dupSuppressed.Add(1)
+				s.cDups.Inc()
+			}
+		}
+		env := match.Envelope{Rank: op.Rank, Tag: op.Tag, Ctx: op.Ctx}
+		req, outcome, cy := s.en.ArriveFull(env, op.Handle)
+		rep.Outcome = byte(outcome)
+		rep.Handle = req
+		rep.Cycles = cy
+		if outcome == engine.ArriveRefused {
+			rep.Status = mpi.WireBusy
+		}
+	case mpi.WirePost:
+		msg, matched, cy := s.en.PostRecv(int(op.Rank), int(op.Tag), op.Ctx, op.Handle)
+		if matched {
+			rep.Outcome = 1
+			rep.Handle = msg
+		}
+		rep.Cycles = cy
+	case mpi.WirePhase:
+		s.en.BeginComputePhase(op.DurationNS)
+	case mpi.WireStat:
+		rep.PRQLen = uint32(s.en.PRQLen())
+		rep.UMQLen = uint32(s.en.UMQLen())
+	case mpi.WirePing:
+	default:
+		rep.Status = mpi.WireErr
+	}
+	return rep
+}
+
+// Stats is a point-in-time snapshot of serving activity.
+type Stats struct {
+	ConnectionsActive int64
+	ConnectionsTotal  uint64
+	Nacks             uint64
+	DupSuppressed     uint64
+}
+
+// Stats returns current serving tallies.
+func (s *Server) Stats() Stats {
+	return Stats{
+		ConnectionsActive: s.active.Load(),
+		ConnectionsTotal:  s.total.Load(),
+		Nacks:             s.nacks.Load(),
+		DupSuppressed:     s.dupSuppressed.Load(),
+	}
+}
+
+// String renders a one-line summary for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("conns=%d/%d nacks=%d dups=%d",
+		s.ConnectionsActive, s.ConnectionsTotal, s.Nacks, s.DupSuppressed)
+}

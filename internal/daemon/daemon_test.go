@@ -1,0 +1,565 @@
+package daemon
+
+import (
+	"archive/zip"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"spco/internal/cache"
+	"spco/internal/engine"
+	"spco/internal/fault"
+	"spco/internal/matchlist"
+	"spco/internal/perf"
+	"spco/internal/telemetry"
+)
+
+// testServer starts a daemon on loopback ports and returns it with its
+// Run error channel. Callers stop it with srv.Stop() (or by sending on
+// sig) and then wait on errc.
+func testServer(t *testing.T, mut func(*Config)) (*Server, chan os.Signal, <-chan error) {
+	t.Helper()
+	cfg := Config{
+		Engine: engine.Config{
+			Profile:        cache.SandyBridge,
+			Kind:           matchlist.KindLLA,
+			EntriesPerNode: 2,
+		},
+		Collector:    telemetry.NewCollector(telemetry.Labels{"exp": "daemon-test"}),
+		PMU:          perf.New(perf.Options{Label: "daemon-test", SampleInterval: perf.DefaultSampleInterval}),
+		DrainTimeout: 2 * time.Second,
+		PerfOut:      io.Discard,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 2)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Run(sig) }()
+	waitReady(t, srv)
+	return srv, sig, errc
+}
+
+func waitReady(t *testing.T, srv *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + srv.AdminAddr() + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("daemon never became ready")
+}
+
+func stopAndWait(t *testing.T, srv *Server, errc <-chan error) {
+	t.Helper()
+	srv.Stop()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestServeLoad drives a live daemon with concurrent connections and
+// audits exact pairing, then checks the queues drained.
+func TestServeLoad(t *testing.T) {
+	srv, _, errc := testServer(t, nil)
+
+	res, err := RunLoad(LoadConfig{
+		Addr:       srv.Addr(),
+		Conns:      4,
+		Messages:   2000,
+		PhaseEvery: 100,
+		PhaseNS:    5e4,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if res.Unmatched != 0 || res.Mismatches != 0 {
+		t.Fatalf("pairing audit failed: %d unmatched, %d mismatched", res.Unmatched, res.Mismatches)
+	}
+	if got := res.Matched(); got != 2000 {
+		t.Fatalf("matched %d pairs, want 2000", got)
+	}
+	if res.Phases == 0 {
+		t.Fatal("no compute phases driven")
+	}
+
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prq, umq, err := cl.QueueLens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prq != 0 || umq != 0 {
+		t.Fatalf("queues not drained after load: prq=%d umq=%d", prq, umq)
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+
+	st := srv.Stats()
+	if st.ConnectionsTotal < 5 {
+		t.Fatalf("connections_total = %d, want >= 5", st.ConnectionsTotal)
+	}
+	stopAndWait(t, srv, errc)
+}
+
+// TestAdminEndpoints checks the HTTP plane: health, readiness, status,
+// and a live /metrics scrape whose metric-name set matches the file
+// exporter's byte-for-byte naming.
+func TestAdminEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	metricsOut := filepath.Join(dir, "final.prom")
+	srv, _, errc := testServer(t, func(c *Config) { c.MetricsOut = metricsOut })
+
+	if _, err := RunLoad(LoadConfig{Addr: srv.Addr(), Conns: 2, Messages: 200}); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.AdminAddr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	if code, body := get("/readyz"); code != 200 || !strings.Contains(body, "ready") {
+		t.Fatalf("/readyz: %d %q", code, body)
+	}
+
+	code, status := get("/status")
+	if code != 200 {
+		t.Fatalf("/status: %d", code)
+	}
+	for _, want := range []string{`"uptime_seconds"`, `"connections_total"`, `"prq_len"`, `"residency"`, `"arch"`} {
+		if !strings.Contains(status, want) {
+			t.Errorf("/status missing %s in %s", want, status)
+		}
+	}
+
+	code, live := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, want := range []string{
+		"spco_daemon_frames_total", "spco_daemon_connections_total",
+		"spco_daemon_uptime_seconds", "spco_matches_total",
+		"spco_region_residency",
+	} {
+		if !strings.Contains(live, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	stopAndWait(t, srv, errc)
+
+	// The shutdown flush must produce the same metric names the live
+	// scrape served (the file exporter and /metrics share a writer).
+	flushed, err := os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatalf("exporter flush missing: %v", err)
+	}
+	liveNames := metricNames(live)
+	flushNames := metricNames(string(flushed))
+	if len(liveNames) == 0 {
+		t.Fatal("no metric names parsed from live scrape")
+	}
+	for name := range liveNames {
+		if !flushNames[name] {
+			t.Errorf("live metric %s absent from flushed export", name)
+		}
+	}
+}
+
+// metricNames extracts the metric-name set from Prometheus text format.
+func metricNames(text string) map[string]bool {
+	names := map[string]bool{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if name != "" {
+			names[name] = true
+		}
+	}
+	return names
+}
+
+// TestGracefulDrain verifies that a connection with an in-flight
+// request stream finishes during the drain window, exporters flush, and
+// the final perf-stat report is emitted.
+func TestGracefulDrain(t *testing.T) {
+	dir := t.TempDir()
+	var perfOut bytes.Buffer
+	metricsOut := filepath.Join(dir, "metrics.prom")
+	seriesOut := filepath.Join(dir, "series.csv")
+	srv, sig, errc := testServer(t, func(c *Config) {
+		c.MetricsOut = metricsOut
+		c.SeriesOut = seriesOut
+		c.PerfOut = &perfOut
+		c.DrainTimeout = 5 * time.Second
+	})
+
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Half of an unexpected pair is in flight when the signal lands.
+	if _, err := cl.Arrive(1, 7, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	sig <- syscall.SIGTERM
+
+	// Draining: no new connections, readiness 503, but the in-flight
+	// connection still gets service.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get("http://" + srv.AdminAddr() + "/readyz")
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusServiceUnavailable {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never flipped to 503")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := Dial(srv.Addr()); err == nil {
+		t.Error("new connection accepted during drain")
+	}
+
+	rep, err := cl.Post(1, 7, 1, 7)
+	if err != nil {
+		t.Fatalf("in-flight connection refused during drain: %v", err)
+	}
+	if rep.Outcome != 1 || rep.Handle != 7 {
+		t.Fatalf("drain-window post did not match: %+v", rep)
+	}
+	cl.Close()
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain never completed")
+	}
+
+	if !strings.Contains(perfOut.String(), "Performance counter stats") {
+		t.Errorf("final perf-stat report missing, got %q", perfOut.String())
+	}
+	for _, f := range []string{metricsOut, seriesOut} {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Errorf("exporter flush %s: %v", f, err)
+		} else if len(b) == 0 {
+			t.Errorf("exporter flush %s is empty", f)
+		}
+	}
+}
+
+// TestForcedShutdown verifies a second signal during the drain forces
+// exit with ErrForced.
+func TestForcedShutdown(t *testing.T) {
+	srv, sig, errc := testServer(t, func(c *Config) {
+		c.DrainTimeout = 30 * time.Second // drain would outlive the test
+	})
+
+	// An idle connection holds the drain open.
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	sig <- syscall.SIGTERM
+	for !srv.draining.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	sig <- syscall.SIGTERM
+
+	select {
+	case err := <-errc:
+		if err != ErrForced {
+			t.Fatalf("Run = %v, want ErrForced", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("second signal did not force shutdown")
+	}
+}
+
+// TestFaultIngress runs load against a lossy ingress wire: drops and
+// corruption surface as NACKs the client retransmits, duplicates are
+// suppressed, and the pairing audit still holds exactly.
+func TestFaultIngress(t *testing.T) {
+	srv, _, errc := testServer(t, func(c *Config) {
+		c.Wire = fault.WireConfig{DropProb: 0.05, DupProb: 0.03, CorruptProb: 0.02}
+		c.FaultSeed = 7
+	})
+
+	res, err := RunLoad(LoadConfig{
+		Addr:     srv.Addr(),
+		Conns:    4,
+		Messages: 1500,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if res.Unmatched != 0 || res.Mismatches != 0 {
+		t.Fatalf("pairing audit failed under faults: %d unmatched, %d mismatched", res.Unmatched, res.Mismatches)
+	}
+	if res.Nacks == 0 {
+		t.Error("lossy wire produced no NACKs")
+	}
+	if res.Retries < res.Nacks {
+		t.Errorf("retries %d < nacks %d", res.Retries, res.Nacks)
+	}
+	st := srv.Stats()
+	if st.Nacks != res.Nacks {
+		t.Errorf("server counted %d nacks, client saw %d", st.Nacks, res.Nacks)
+	}
+	if st.DupSuppressed == 0 {
+		t.Error("no duplicates suppressed")
+	}
+	stopAndWait(t, srv, errc)
+}
+
+// TestProfileBundle fetches /debug/profile and verifies the zip holds
+// every advertised artifact, with a non-empty simulated perf-stat.
+func TestProfileBundle(t *testing.T) {
+	srv, _, errc := testServer(t, nil)
+
+	if _, err := RunLoad(LoadConfig{Addr: srv.Addr(), Conns: 2, Messages: 300}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + srv.AdminAddr() + "/debug/profile?seconds=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/profile: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/zip" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	zr, err := zip.NewReader(bytes.NewReader(body), int64(len(body)))
+	if err != nil {
+		t.Fatalf("bundle is not a zip: %v", err)
+	}
+	entries := map[string][]byte{}
+	for _, f := range zr.File {
+		rc, err := f.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries[f.Name] = b
+	}
+	// seconds=0 skips cpu.pprof; everything else must be present and
+	// non-empty.
+	for _, want := range []string{
+		"heap.pprof", "goroutines.pprof", "mutex.pprof", "block.pprof",
+		"perf-stat.txt", "folded.txt", "sim.pprof", "metrics.prom", "status.json",
+	} {
+		if len(entries[want]) == 0 {
+			t.Errorf("bundle entry %s missing or empty", want)
+		}
+	}
+	if !strings.Contains(string(entries["perf-stat.txt"]), "Performance counter stats") {
+		t.Errorf("perf-stat.txt lacks report header: %q", entries["perf-stat.txt"])
+	}
+	if !strings.Contains(string(entries["status.json"]), `"uptime_seconds"`) {
+		t.Error("status.json lacks uptime")
+	}
+	if !strings.Contains(string(entries["metrics.prom"]), "spco_daemon_frames_total") {
+		t.Error("metrics.prom lacks daemon counters")
+	}
+
+	// A CPU-sampling bundle includes cpu.pprof.
+	resp, err = http.Get("http://" + srv.AdminAddr() + "/debug/profile?seconds=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	zr, err = zip.NewReader(bytes.NewReader(body), int64(len(body)))
+	if err != nil {
+		t.Fatalf("cpu bundle is not a zip: %v", err)
+	}
+	found := false
+	for _, f := range zr.File {
+		if f.Name == "cpu.pprof" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("cpu.pprof missing from sampling bundle")
+	}
+	stopAndWait(t, srv, errc)
+}
+
+// TestScrapeUnderLoad hammers /metrics, /status, and /debug/profile
+// while match traffic is flowing; run with -race this is the live
+// exercise of the registry's concurrent export guarantees.
+func TestScrapeUnderLoad(t *testing.T) {
+	srv, _, errc := testServer(t, nil)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunLoad(LoadConfig{Addr: srv.Addr(), Conns: 4, Messages: 3000, PhaseEvery: 200, PhaseNS: 1e4})
+		done <- err
+	}()
+
+	for i := 0; ; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("RunLoad: %v", err)
+			}
+			stopAndWait(t, srv, errc)
+			return
+		default:
+		}
+		path := [...]string{"/metrics", "/status", "/debug/profile?seconds=0"}[i%3]
+		resp, err := http.Get("http://" + srv.AdminAddr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 && resp.StatusCode != http.StatusConflict {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestProfileSingleFlight: concurrent bundle requests collapse to one.
+func TestProfileSingleFlight(t *testing.T) {
+	srv, _, errc := testServer(t, nil)
+
+	first := make(chan struct{})
+	go func() {
+		resp, err := http.Get("http://" + srv.AdminAddr() + "/debug/profile?seconds=2")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		close(first)
+	}()
+	// Wait for the long-running bundle to take the slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for !srv.profileBusy.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("first profile request never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := http.Get("http://" + srv.AdminAddr() + "/debug/profile?seconds=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second concurrent profile: %d, want 409", resp.StatusCode)
+	}
+	<-first
+	stopAndWait(t, srv, errc)
+}
+
+// TestNewValidation: missing collector and bad wire config fail fast.
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted nil Collector")
+	}
+	if _, err := New(Config{
+		Collector: telemetry.NewCollector(nil),
+		Wire:      fault.WireConfig{DropProb: 2},
+	}); err == nil {
+		t.Error("New accepted invalid wire config")
+	}
+}
+
+func ExampleServer() {
+	coll := telemetry.NewCollector(nil)
+	srv, err := New(Config{
+		Engine: engine.Config{
+			Profile:        cache.SandyBridge,
+			Kind:           matchlist.KindLLA,
+			EntriesPerNode: 2,
+		},
+		Collector: coll,
+		PerfOut:   io.Discard,
+	})
+	if err != nil {
+		panic(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Run(nil) }()
+
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		panic(err)
+	}
+	cl.Arrive(0, 1, 1, 100)
+	rep, _ := cl.Post(0, 1, 1, 200)
+	fmt.Printf("matched=%d msg=%d\n", rep.Outcome, rep.Handle)
+	cl.Close()
+
+	srv.Stop()
+	<-errc
+	// Output: matched=1 msg=100
+}

@@ -1,0 +1,152 @@
+package daemon
+
+import (
+	"archive/zip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"spco/internal/telemetry"
+)
+
+// The one-shot diagnostic bundle, after kubo's `ipfs diag profile`
+// (test/sharness/t0152-profile.sh): GET /debug/profile streams a zip
+// holding everything needed to diagnose a live daemon in one grab —
+//
+//	cpu.pprof        host CPU profile over ?seconds (default 1, max 30)
+//	heap.pprof       host heap after a GC
+//	goroutines.pprof host goroutine dump
+//	mutex.pprof      host mutex-contention profile
+//	block.pprof      host blocking profile
+//	perf-stat.txt    the simulated PMU's perf-stat report
+//	folded.txt       simulated-PMU folded stacks (profiler enabled)
+//	sim.pprof        simulated-PMU pprof protobuf (profiler enabled)
+//	metrics.prom     the registry at bundle time
+//	status.json      the /status document at bundle time
+//
+// Only one bundle runs at a time (the host CPU profiler is a process-
+// wide singleton); concurrent requests get 409 Conflict.
+
+// ProfileName is the suggested download filename prefix.
+const ProfileName = "spco-profile"
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if !s.profileBusy.CompareAndSwap(false, true) {
+		http.Error(w, "a profile bundle is already being collected", http.StatusConflict)
+		return
+	}
+	defer s.profileBusy.Store(false)
+
+	w.Header().Set("Content-Type", "application/zip")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf(`attachment; filename="%s-%d.zip"`, ProfileName, time.Now().Unix()))
+	if err := s.WriteProfileBundle(w, profileSeconds(r)); err != nil {
+		// Headers are gone; all we can do is log and cut the stream.
+		s.cfg.Logf("daemon: /debug/profile: %v", err)
+	}
+}
+
+// WriteProfileBundle streams the diagnostic zip to w, sampling the host
+// CPU for cpuSeconds.
+func (s *Server) WriteProfileBundle(w io.Writer, cpuSeconds float64) error {
+	zw := zip.NewWriter(w)
+
+	entry := func(name string, fill func(io.Writer) error) error {
+		f, err := zw.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := fill(f); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		return nil
+	}
+
+	// Host profiles first: the CPU window should sample live serving,
+	// not the bundle's own export work.
+	if cpuSeconds > 0 {
+		if err := entry("cpu.pprof", func(f io.Writer) error {
+			if err := pprof.StartCPUProfile(f); err != nil {
+				return err
+			}
+			time.Sleep(time.Duration(cpuSeconds * float64(time.Second)))
+			pprof.StopCPUProfile()
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if err := entry("heap.pprof", func(f io.Writer) error {
+		runtime.GC()
+		return pprof.Lookup("heap").WriteTo(f, 0)
+	}); err != nil {
+		return err
+	}
+	if err := entry("goroutines.pprof", func(f io.Writer) error {
+		return pprof.Lookup("goroutine").WriteTo(f, 0)
+	}); err != nil {
+		return err
+	}
+	if err := entry("mutex.pprof", func(f io.Writer) error {
+		return pprof.Lookup("mutex").WriteTo(f, 0)
+	}); err != nil {
+		return err
+	}
+	if err := entry("block.pprof", func(f io.Writer) error {
+		return pprof.Lookup("block").WriteTo(f, 0)
+	}); err != nil {
+		return err
+	}
+
+	// Simulated-PMU artifacts, under the engine mutex (the PMU is part
+	// of the single-threaded simulation stack).
+	if p := s.cfg.PMU; p != nil {
+		if err := entry("perf-stat.txt", func(f io.Writer) error {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			p.WriteReport(f)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if prof := p.Profiler(); prof != nil {
+			if err := entry("folded.txt", func(f io.Writer) error {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return prof.WriteFolded(f)
+			}); err != nil {
+				return err
+			}
+			if err := entry("sim.pprof", func(f io.Writer) error {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return prof.WritePprof(f)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Current metrics and status.
+	if err := entry("metrics.prom", func(f io.Writer) error {
+		s.mu.Lock()
+		s.en.PublishTelemetry()
+		s.publishResidency()
+		s.mu.Unlock()
+		return telemetry.WritePrometheus(f, s.cfg.Collector.Registry)
+	}); err != nil {
+		return err
+	}
+	if err := entry("status.json", func(f io.Writer) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(s.Status())
+	}); err != nil {
+		return err
+	}
+	return zw.Close()
+}

@@ -1,0 +1,196 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The socket wire format: the mini-MPI transport's envelope semantics
+// over real TCP connections, used by the spco daemon and its clients.
+//
+// In-process worlds (World/Proc) move packets through goroutine
+// mailboxes; a daemon moves the same matching operations through framed
+// binary messages instead. Frames are fixed-size and request-response:
+// every WireOp a client writes earns exactly one WireReply, in order,
+// so a connection is a serial stream of matching operations — the same
+// discipline a NIC command queue gives real MPI matching offload.
+//
+// The codec is deliberately dependency-free (encoding/binary over
+// bufio) and versioned by a handshake: a connecting client sends
+// WireMagic+WireVersion, the server echoes it, and both sides refuse a
+// mismatch, so a stale client fails fast instead of misparsing frames.
+
+// WireMagic identifies the protocol; WireVersion its revision.
+const (
+	WireMagic   uint32 = 0x53_50_43_4F // "SPCO"
+	WireVersion uint16 = 1
+)
+
+// Wire op kinds (client → server).
+const (
+	// WireArrive delivers an envelope to the daemon's engine, as an
+	// incoming message off the fabric: Rank/Tag/Ctx match fields, Handle
+	// the sender-chosen message id returned on the eventual match.
+	WireArrive byte = iota + 1
+
+	// WirePost posts a receive: Rank/Tag/Ctx (wildcards allowed), Handle
+	// the request id returned on the eventual match.
+	WirePost
+
+	// WirePhase runs a compute phase of DurationNS on the daemon engine
+	// (cache flush + heater resweep), the cadence the paper's occupancy
+	// claim is about.
+	WirePhase
+
+	// WireStat asks for current queue depths (reply carries PRQ/UMQ
+	// lengths).
+	WireStat
+
+	// WirePing is a no-op round trip (liveness, latency probes).
+	WirePing
+)
+
+// Wire reply statuses.
+const (
+	// WireOK: the operation was applied; Outcome/Handle/Cycles are valid.
+	WireOK byte = iota
+
+	// WireNack: the daemon's ingress fault injection dropped or corrupted
+	// the frame before it reached the engine; the client must retransmit
+	// (the daemon's analogue of the fault transport's lossy wire).
+	WireNack
+
+	// WireBusy: the engine refused the arrival (bounded UMQ under the
+	// drop/credit policies); retransmit after backoff.
+	WireBusy
+
+	// WireErr: malformed or unknown op; the server closes the connection.
+	WireErr
+)
+
+// Arrive outcomes carried in WireReply.Outcome (mirrors
+// engine.ArriveOutcome; redeclared so the codec stays a leaf package).
+const (
+	WireOutMatched byte = iota
+	WireOutQueued
+	WireOutQueuedRendezvous
+	WireOutRefused
+)
+
+// WireOp is one client request frame.
+type WireOp struct {
+	Kind       byte
+	Rank       int32
+	Tag        int32
+	Ctx        uint16
+	Handle     uint64  // msg id (arrive) or req id (post)
+	DurationNS float64 // phase length (WirePhase only)
+}
+
+// WireReply is one server response frame.
+type WireReply struct {
+	Kind    byte // echoes the op kind
+	Status  byte
+	Outcome byte   // arrive outcome; for posts 1 = matched from UMQ
+	Handle  uint64 // matched counterpart (req for arrive, msg for post)
+	Cycles  uint64 // modeled engine cycles charged to the operation
+	PRQLen  uint32 // WireStat only
+	UMQLen  uint32 // WireStat only
+}
+
+// Frame sizes (fixed): ops are 27 bytes, replies 29.
+const (
+	wireOpSize    = 1 + 4 + 4 + 2 + 8 + 8
+	wireReplySize = 1 + 1 + 1 + 8 + 8 + 4 + 4 + 2 // +2 reserved
+)
+
+// WriteWireOp writes one request frame.
+func WriteWireOp(w io.Writer, op WireOp) error {
+	var b [wireOpSize]byte
+	b[0] = op.Kind
+	binary.BigEndian.PutUint32(b[1:5], uint32(op.Rank))
+	binary.BigEndian.PutUint32(b[5:9], uint32(op.Tag))
+	binary.BigEndian.PutUint16(b[9:11], op.Ctx)
+	binary.BigEndian.PutUint64(b[11:19], op.Handle)
+	binary.BigEndian.PutUint64(b[19:27], math.Float64bits(op.DurationNS))
+	_, err := w.Write(b[:])
+	return err
+}
+
+// ReadWireOp reads one request frame.
+func ReadWireOp(r io.Reader) (WireOp, error) {
+	var b [wireOpSize]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return WireOp{}, err
+	}
+	op := WireOp{
+		Kind:       b[0],
+		Rank:       int32(binary.BigEndian.Uint32(b[1:5])),
+		Tag:        int32(binary.BigEndian.Uint32(b[5:9])),
+		Ctx:        binary.BigEndian.Uint16(b[9:11]),
+		Handle:     binary.BigEndian.Uint64(b[11:19]),
+		DurationNS: math.Float64frombits(binary.BigEndian.Uint64(b[19:27])),
+	}
+	if op.Kind < WireArrive || op.Kind > WirePing {
+		return op, fmt.Errorf("mpi: unknown wire op kind %d", op.Kind)
+	}
+	return op, nil
+}
+
+// WriteWireReply writes one response frame.
+func WriteWireReply(w io.Writer, rep WireReply) error {
+	var b [wireReplySize]byte
+	b[0] = rep.Kind
+	b[1] = rep.Status
+	b[2] = rep.Outcome
+	binary.BigEndian.PutUint64(b[3:11], rep.Handle)
+	binary.BigEndian.PutUint64(b[11:19], rep.Cycles)
+	binary.BigEndian.PutUint32(b[19:23], rep.PRQLen)
+	binary.BigEndian.PutUint32(b[23:27], rep.UMQLen)
+	_, err := w.Write(b[:])
+	return err
+}
+
+// ReadWireReply reads one response frame.
+func ReadWireReply(r io.Reader) (WireReply, error) {
+	var b [wireReplySize]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return WireReply{}, err
+	}
+	return WireReply{
+		Kind:    b[0],
+		Status:  b[1],
+		Outcome: b[2],
+		Handle:  binary.BigEndian.Uint64(b[3:11]),
+		Cycles:  binary.BigEndian.Uint64(b[11:19]),
+		PRQLen:  binary.BigEndian.Uint32(b[19:23]),
+		UMQLen:  binary.BigEndian.Uint32(b[23:27]),
+	}, nil
+}
+
+// WriteWireHello sends the handshake (client side, and the server's
+// echo).
+func WriteWireHello(w io.Writer) error {
+	var b [6]byte
+	binary.BigEndian.PutUint32(b[0:4], WireMagic)
+	binary.BigEndian.PutUint16(b[4:6], WireVersion)
+	_, err := w.Write(b[:])
+	return err
+}
+
+// ReadWireHello validates the handshake from the peer.
+func ReadWireHello(r io.Reader) error {
+	var b [6]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return err
+	}
+	if m := binary.BigEndian.Uint32(b[0:4]); m != WireMagic {
+		return fmt.Errorf("mpi: bad wire magic %#x", m)
+	}
+	if v := binary.BigEndian.Uint16(b[4:6]); v != WireVersion {
+		return fmt.Errorf("mpi: wire version %d, want %d", v, WireVersion)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package mpi
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestWireOpRoundTrip(t *testing.T) {
+	ops := []WireOp{
+		{Kind: WireArrive, Rank: 3, Tag: 42, Ctx: 1, Handle: 7},
+		{Kind: WirePost, Rank: -1, Tag: -1, Ctx: 65535, Handle: math.MaxUint64},
+		{Kind: WirePhase, DurationNS: 1e5},
+		{Kind: WireStat},
+		{Kind: WirePing},
+	}
+	var buf bytes.Buffer
+	for _, op := range ops {
+		if err := WriteWireOp(&buf, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range ops {
+		got, err := ReadWireOp(&buf)
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("op %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestWireReplyRoundTrip(t *testing.T) {
+	reps := []WireReply{
+		{Kind: WireArrive, Status: WireOK, Outcome: WireOutMatched, Handle: 9, Cycles: 1234},
+		{Kind: WireArrive, Status: WireNack},
+		{Kind: WirePost, Status: WireOK, Outcome: 1, Handle: 3, Cycles: 999},
+		{Kind: WireStat, Status: WireOK, PRQLen: 17, UMQLen: 4},
+	}
+	var buf bytes.Buffer
+	for _, rep := range reps {
+		if err := WriteWireReply(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range reps {
+		got, err := ReadWireReply(&buf)
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("reply %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestWireHello(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWireHello(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadWireHello(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A wrong magic must be refused.
+	if err := ReadWireHello(bytes.NewReader([]byte{0, 0, 0, 0, 0, 1})); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+}
+
+func TestWireOpRejectsUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWireOp(&buf, WireOp{Kind: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadWireOp(&buf); err == nil {
+		t.Fatal("accepted unknown op kind")
+	}
+}

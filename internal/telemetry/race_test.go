@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestScrapeWhileMutate drives every export path concurrently with
+// writers hammering counters, gauges, histograms, the sampler, and —
+// the hard case — creation of brand-new metrics mid-scrape. Run under
+// -race (CI does) this locks in the daemon's core requirement: a live
+// Prometheus scrape must be safe against an engine mutating the same
+// registry.
+func TestScrapeWhileMutate(t *testing.T) {
+	c := NewCollector(Labels{"run": "race"})
+	reg, s := c.Registry, c.Sampler
+	reg.Help("spco_race_ops_total", "racing counter")
+
+	const (
+		writers = 4
+		scrapes = 50
+		ops     = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				reg.Counter("spco_race_ops_total", Labels{"op": "arrive"}).Inc()
+				reg.Gauge("spco_race_queue_len", Labels{"queue": "umq"}).Set(float64(i))
+				reg.Histogram("spco_race_op_cycles", Labels{"op": "arrive"}, CycleBuckets).
+					Observe(float64(i))
+				// Fresh name+label combinations force metric creation to
+				// race against snapshotting scrapers.
+				reg.Counter(fmt.Sprintf("spco_race_new_%d_total", i%97),
+					Labels{"w": fmt.Sprint(w)}).Inc()
+				s.Record("spco_race_series", Labels{"w": fmt.Sprint(w)}, uint64(i), float64(i))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < scrapes; i++ {
+			if err := WritePrometheus(io.Discard, reg); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			if err := WriteJSONL(io.Discard, reg, s); err != nil {
+				t.Errorf("WriteJSONL: %v", err)
+				return
+			}
+			if err := WriteCSV(io.Discard, reg); err != nil {
+				t.Errorf("WriteCSV: %v", err)
+				return
+			}
+			if err := WriteSeriesCSV(io.Discard, s); err != nil {
+				t.Errorf("WriteSeriesCSV: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	want := float64(writers * ops)
+	if got := reg.Counter("spco_race_ops_total", Labels{"op": "arrive"}).Value(); got != want {
+		t.Errorf("counter lost updates under concurrent scrape: got %g want %g", got, want)
+	}
+	if got := reg.Histogram("spco_race_op_cycles", Labels{"op": "arrive"}, CycleBuckets).Count(); got != uint64(want) {
+		t.Errorf("histogram lost observations: got %d want %g", got, want)
+	}
+}
+
+// TestSamplerSnapshotIsolated verifies Get/Series hand back copies: a
+// reader's slice must not observe points recorded after the call.
+func TestSamplerSnapshotIsolated(t *testing.T) {
+	s := NewSampler()
+	s.Record("x", nil, 1, 1)
+	snap := s.Get("x", nil)
+	all := s.Series()
+	s.Record("x", nil, 2, 2)
+	if len(snap.Points) != 1 {
+		t.Errorf("Get snapshot grew to %d points", len(snap.Points))
+	}
+	if len(all[0].Points) != 1 {
+		t.Errorf("Series snapshot grew to %d points", len(all[0].Points))
+	}
+	if got := s.Get("x", nil); len(got.Points) != 2 {
+		t.Errorf("live series has %d points, want 2", len(got.Points))
+	}
+}

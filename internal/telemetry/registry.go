@@ -253,7 +253,11 @@ func (r *Registry) Help(name, text string) {
 	r.mu.Unlock()
 }
 
-func (r *Registry) lookup(name string, labels Labels, kind metricKind) *metric {
+// lookup finds or creates a metric. The instrument is fully constructed
+// before the entry becomes visible in r.metrics — a concurrent scrape
+// holding a snapshot must never observe a half-built metric (histogram
+// buckets are part of construction, so bounds travel here).
+func (r *Registry) lookup(name string, labels Labels, kind metricKind, bounds []float64) *metric {
 	key := name + "\x00" + labelKey(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -269,6 +273,10 @@ func (r *Registry) lookup(name string, labels Labels, kind metricKind) *metric {
 		m.counter = &Counter{}
 	case kindGauge:
 		m.gauge = &Gauge{}
+	case kindHistogram:
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		m.hist = &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
 	}
 	r.metrics[key] = m
 	return m
@@ -277,28 +285,20 @@ func (r *Registry) lookup(name string, labels Labels, kind metricKind) *metric {
 // Counter returns (creating on first use) the counter with the given
 // name and labels.
 func (r *Registry) Counter(name string, labels Labels) *Counter {
-	return r.lookup(name, labels, kindCounter).counter
+	return r.lookup(name, labels, kindCounter, nil).counter
 }
 
 // Gauge returns (creating on first use) the gauge with the given name
 // and labels.
 func (r *Registry) Gauge(name string, labels Labels) *Gauge {
-	return r.lookup(name, labels, kindGauge).gauge
+	return r.lookup(name, labels, kindGauge, nil).gauge
 }
 
 // Histogram returns (creating on first use) the histogram with the
 // given name, labels, and bucket bounds. Bounds are fixed at creation;
 // later calls with the same name+labels reuse the existing buckets.
 func (r *Registry) Histogram(name string, labels Labels, bounds []float64) *Histogram {
-	m := r.lookup(name, labels, kindHistogram)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if m.hist == nil {
-		b := append([]float64(nil), bounds...)
-		sort.Float64s(b)
-		m.hist = &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
-	}
-	return m.hist
+	return r.lookup(name, labels, kindHistogram, bounds).hist
 }
 
 // NumMetrics reports how many metrics (name+label combinations) have

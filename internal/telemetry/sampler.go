@@ -85,19 +85,38 @@ func (s *Sampler) Record(name string, labels Labels, t uint64, v float64) {
 	s.mu.Unlock()
 }
 
-// Get returns the series with the given name and labels, or nil.
+// snapshot copies a series under the sampler lock. Readers (exporters,
+// the live /metrics scrape) must never share a Points slice with the
+// recorder: append may grow or write the backing array concurrently.
+func (ts *TimeSeries) snapshot() *TimeSeries {
+	return &TimeSeries{
+		Name:   ts.Name,
+		Labels: ts.Labels, // immutable after creation
+		Points: append([]SamplePoint(nil), ts.Points...),
+	}
+}
+
+// Get returns a point-in-time copy of the series with the given name
+// and labels, or nil. The copy is safe to read while recording
+// continues.
 func (s *Sampler) Get(name string, labels Labels) *TimeSeries {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.series[name+"\x00"+labelKey(labels)]
+	ts, ok := s.series[name+"\x00"+labelKey(labels)]
+	if !ok {
+		return nil
+	}
+	return ts.snapshot()
 }
 
-// Series returns all series sorted by name then label key.
+// Series returns point-in-time copies of all series sorted by name then
+// label key, safe to read while recording continues (the daemon's live
+// scrape path depends on this).
 func (s *Sampler) Series() []*TimeSeries {
 	s.mu.Lock()
 	out := make([]*TimeSeries, 0, len(s.series))
 	for _, ts := range s.series {
-		out = append(out, ts)
+		out = append(out, ts.snapshot())
 	}
 	s.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"spco/internal/daemon"
+	"spco/internal/validate"
+)
+
+// DaemonLoadConfig re-exports the daemon load-generator configuration
+// so chaos callers shape traffic without importing internal/daemon.
+type DaemonLoadConfig = daemon.LoadConfig
+
+// DaemonChaosConfig parameterises a chaos run against a LIVE daemon:
+// where RunChaos owns its engine in-process and replays a discrete
+// event schedule, RunDaemonChaos drives seeded load across real TCP
+// connections into a running spco-daemon and audits what came back.
+// The interleaving at the daemon is scheduler-real, not simulated — the
+// soak gate for the serving path.
+type DaemonChaosConfig struct {
+	// Addr is the daemon's match-traffic address; AdminAddr, when set,
+	// enables the counter-conservation audit via /status deltas.
+	Addr      string
+	AdminAddr string
+
+	// Load shapes the traffic (Load.Addr is overridden with Addr).
+	Load daemon.LoadConfig
+}
+
+// DaemonChaosResult is one audited live-daemon run.
+type DaemonChaosResult struct {
+	Load daemon.LoadResult
+
+	// Before and After are /status snapshots bracketing the run (zero
+	// unless AdminAddr was given). Deltas, not absolutes, are audited,
+	// so a daemon that has already served traffic still gates cleanly.
+	Before, After daemon.StatusReport
+
+	// Violations lists every invariant breach (empty on a passing run).
+	Violations []validate.Violation
+}
+
+// Passed reports whether every invariant held.
+func (r DaemonChaosResult) Passed() bool { return len(r.Violations) == 0 }
+
+// RunDaemonChaos executes one seeded load run against a live daemon and
+// audits it:
+//
+//   - transport-clean: every connection completed its stream without a
+//     transport error;
+//   - exactly-once: every pair matched, none twice (unique tags make
+//     the expected pairing exact regardless of interleaving);
+//   - pairing: each arrive matched its own post and vice versa;
+//   - queue-drain: PRQ and UMQ are empty once the load drains;
+//   - counter-conservation (with AdminAddr): the daemon's engine
+//     counter deltas equal the client-side tallies — nothing was
+//     served that the clients did not send, and nothing they sent was
+//     double-counted.
+func RunDaemonChaos(cfg DaemonChaosConfig) (DaemonChaosResult, error) {
+	var res DaemonChaosResult
+	cfg.Load.Addr = cfg.Addr
+
+	if cfg.AdminAddr != "" {
+		st, err := fetchStatus(cfg.AdminAddr)
+		if err != nil {
+			return res, fmt.Errorf("daemon chaos: before-status: %w", err)
+		}
+		res.Before = st
+	}
+
+	load, err := daemon.RunLoad(cfg.Load)
+	res.Load = load
+	if err != nil {
+		res.Violations = append(res.Violations, validate.Violation{
+			Invariant: "transport-clean", Detail: err.Error()})
+	}
+	for _, e := range load.Errors {
+		res.Violations = append(res.Violations, validate.Violation{
+			Invariant: "transport-clean", Detail: e})
+	}
+
+	// Exactly-once and pairing, from the client-side audit.
+	if load.Unmatched != 0 {
+		res.Violations = append(res.Violations, validate.Violation{
+			Invariant: "exactly-once",
+			Detail:    fmt.Sprintf("%d pairs never matched", load.Unmatched)})
+	}
+	if load.Mismatches != 0 {
+		res.Violations = append(res.Violations, validate.Violation{
+			Invariant: "pairing",
+			Detail:    fmt.Sprintf("%d pairs matched the wrong counterpart", load.Mismatches)})
+	}
+	messages := cfg.Load.Messages
+	if messages == 0 {
+		messages = 1000 // daemon.LoadConfig default
+	}
+	if got := load.Matched(); int(got) != messages && len(load.Errors) == 0 {
+		res.Violations = append(res.Violations, validate.Violation{
+			Invariant: "exactly-once",
+			Detail:    fmt.Sprintf("matched %d pairs, expected %d", got, messages)})
+	}
+
+	// Queue drain, observed over the wire.
+	cl, err := daemon.Dial(cfg.Addr)
+	if err != nil {
+		res.Violations = append(res.Violations, validate.Violation{
+			Invariant: "queue-drain", Detail: "post-run dial: " + err.Error()})
+	} else {
+		prq, umq, err := cl.QueueLens()
+		cl.Close()
+		switch {
+		case err != nil:
+			res.Violations = append(res.Violations, validate.Violation{
+				Invariant: "queue-drain", Detail: "stat: " + err.Error()})
+		case prq != 0:
+			res.Violations = append(res.Violations, validate.Violation{
+				Invariant: "queue-drain", Detail: fmt.Sprintf("%d receives left in the PRQ", prq)})
+		case umq != 0:
+			res.Violations = append(res.Violations, validate.Violation{
+				Invariant: "queue-drain", Detail: fmt.Sprintf("%d messages left in the UMQ", umq)})
+		}
+	}
+
+	if cfg.AdminAddr != "" {
+		st, err := fetchStatus(cfg.AdminAddr)
+		if err != nil {
+			return res, fmt.Errorf("daemon chaos: after-status: %w", err)
+		}
+		res.After = st
+		res.Violations = append(res.Violations, auditCounters(res.Before, res.After, load)...)
+	}
+	return res, nil
+}
+
+// auditCounters checks the daemon's engine counter deltas against the
+// client tallies.
+func auditCounters(before, after daemon.StatusReport, load daemon.LoadResult) []validate.Violation {
+	var out []validate.Violation
+	check := func(name string, delta, want uint64) {
+		if delta != want {
+			out = append(out, validate.Violation{
+				Invariant: "counter-conservation",
+				Detail:    fmt.Sprintf("%s advanced by %d, clients account for %d", name, delta, want)})
+		}
+	}
+	// Every arrive frame that reached the engine is one arrival — the
+	// accepted ones plus the Busy attempts that paid a PRQ search before
+	// the bounded UMQ refused them (ingress NACKs never got this far).
+	check("engine.arrivals", after.Engine.Arrivals-before.Engine.Arrivals, load.Arrives+load.Busy)
+	check("engine.refused", after.Engine.Refused-before.Engine.Refused, load.Busy)
+	check("engine.prq_matches", after.Engine.PRQMatches-before.Engine.PRQMatches, load.ArriveMatched)
+	check("engine.umq_matches", after.Engine.UMQMatches-before.Engine.UMQMatches, load.PostMatched)
+	check("engine.rendezvous", after.Engine.Rendezvous-before.Engine.Rendezvous, load.Rendezvous)
+	check("daemon.nacks", after.Nacks-before.Nacks, load.Nacks)
+	return out
+}
+
+// fetchStatus GETs and decodes /status.
+func fetchStatus(adminAddr string) (daemon.StatusReport, error) {
+	var st daemon.StatusReport
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get("http://" + adminAddr + "/status")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("/status: HTTP %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}

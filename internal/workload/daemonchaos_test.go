@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"spco/internal/cache"
+	"spco/internal/daemon"
+	"spco/internal/engine"
+	"spco/internal/fault"
+	"spco/internal/matchlist"
+	"spco/internal/telemetry"
+)
+
+func startDaemon(t *testing.T, mut func(*daemon.Config)) (*daemon.Server, func()) {
+	t.Helper()
+	cfg := daemon.Config{
+		Engine: engine.Config{
+			Profile:        cache.SandyBridge,
+			Kind:           matchlist.KindLLA,
+			EntriesPerNode: 2,
+		},
+		Collector:    telemetry.NewCollector(nil),
+		DrainTimeout: 2 * time.Second,
+		PerfOut:      io.Discard,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	srv, err := daemon.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Run(nil) }()
+	return srv, func() {
+		srv.Stop()
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Errorf("daemon Run: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("daemon did not stop")
+		}
+	}
+}
+
+func TestRunDaemonChaosClean(t *testing.T) {
+	srv, stop := startDaemon(t, nil)
+	defer stop()
+
+	res, err := RunDaemonChaos(DaemonChaosConfig{
+		Addr:      srv.Addr(),
+		AdminAddr: srv.AdminAddr(),
+		Load:      daemon.LoadConfig{Conns: 4, Messages: 2000, PhaseEvery: 250, PhaseNS: 5e4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.Load.Matched() != 2000 {
+		t.Fatalf("matched %d, want 2000", res.Load.Matched())
+	}
+	if res.After.Engine.Arrivals <= res.Before.Engine.Arrivals {
+		t.Error("status deltas did not advance")
+	}
+}
+
+func TestRunDaemonChaosLossyWire(t *testing.T) {
+	srv, stop := startDaemon(t, func(c *daemon.Config) {
+		c.Wire = fault.WireConfig{DropProb: 0.05, DupProb: 0.02, CorruptProb: 0.02}
+		c.FaultSeed = 11
+	})
+	defer stop()
+
+	res, err := RunDaemonChaos(DaemonChaosConfig{
+		Addr:      srv.Addr(),
+		AdminAddr: srv.AdminAddr(),
+		Load:      daemon.LoadConfig{Conns: 4, Messages: 1500, Seed: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.Load.Nacks == 0 {
+		t.Error("lossy wire produced no NACKs")
+	}
+}
+
+// A bounded UMQ under drop policy refuses arrivals when full; the
+// retransmitting client must still land every pair, and the refusals
+// must reconcile in the counter audit.
+func TestRunDaemonChaosBoundedUMQ(t *testing.T) {
+	srv, stop := startDaemon(t, func(c *daemon.Config) {
+		c.Engine.UMQCapacity = 16
+		c.Engine.Overflow = engine.OverflowDrop
+	})
+	defer stop()
+
+	res, err := RunDaemonChaos(DaemonChaosConfig{
+		Addr:      srv.Addr(),
+		AdminAddr: srv.AdminAddr(),
+		Load: daemon.LoadConfig{
+			Conns:       4,
+			Messages:    1200,
+			PrePostFrac: 0.1, // arrive-heavy: pressure the UMQ bound
+			MaxRetries:  2000,
+			RetryDelay:  50 * time.Microsecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}
