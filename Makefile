@@ -59,6 +59,30 @@ chaos-smoke:
 	go run ./cmd/spco-chaos -messages $(CHAOS_MSGS) -fault-seed 1 \
 		-fault-drop 0.01 -fault-dup 0.005 -fault-reorder 0.02
 
+# trace-smoke is the causal-spine acceptance gate: a seeded lossy chaos
+# run exports its full Chrome trace, and spco-trace check validates the
+# span trees and requires at least one message to show the complete
+# causal chain (client send -> dropped + delivered wire attempts ->
+# engine span -> match).
+TRACE_OUT ?= chaos_trace.json
+.PHONY: trace-smoke
+trace-smoke:
+	go run ./cmd/spco-chaos -list lla -messages 5000 -fault-seed 7 \
+		-fault-drop 0.05 -trace-out $(TRACE_OUT) -trace-keep-all -trace-cap 8192
+	go run ./cmd/spco-trace check -in $(TRACE_OUT) -require-chain -require-fault
+	rm -f $(TRACE_OUT)
+
+# bench-diff compares a fresh benchmark run against the committed
+# BENCH_daemon.json and fails past BENCH_THRESHOLD percent regression.
+# Advisory in CI (shared runners are noisy); authoritative locally.
+BENCH_THRESHOLD ?= 25
+.PHONY: bench-diff
+bench-diff:
+	go test -run='^$$' -bench='BenchmarkNativeSearch|BenchmarkStructures' \
+		-benchmem . | go run ./cmd/spco-benchjson -out bench_new.json
+	go run ./cmd/spco-benchjson -threshold $(BENCH_THRESHOLD) \
+		-diff BENCH_daemon.json bench_new.json; status=$$?; rm -f bench_new.json; exit $$status
+
 .PHONY: fmt
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Benchmark-to-benchmark comparison (`spco-benchjson -diff old.json
+// new.json`): pair the two documents' benchmarks by name, print a
+// per-benchmark delta table on ns/op, and exit nonzero when any shared
+// benchmark regressed past -threshold percent. CI runs it advisorily
+// against the committed BENCH_daemon.json so a perf cliff shows up in
+// the log the moment it lands.
+
+// DiffRow is one shared benchmark's comparison.
+type DiffRow struct {
+	Name     string
+	OldNs    float64
+	NewNs    float64
+	DeltaPct float64 // positive: slower (regression)
+}
+
+// DiffReport pairs two benchmark documents.
+type DiffReport struct {
+	Rows    []DiffRow
+	Added   []string // only in the new document
+	Removed []string // only in the old document
+}
+
+// Regressions returns the rows slower by more than thresholdPct.
+func (d DiffReport) Regressions(thresholdPct float64) []DiffRow {
+	var out []DiffRow
+	for _, r := range d.Rows {
+		if r.DeltaPct > thresholdPct {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Diff pairs benchmarks by name. Rows keep the old document's order;
+// added/removed names are sorted.
+func Diff(oldDoc, newDoc Document) DiffReport {
+	var rep DiffReport
+	newBy := make(map[string]Benchmark, len(newDoc.Benchmarks))
+	for _, b := range newDoc.Benchmarks {
+		newBy[b.Name] = b
+	}
+	oldSeen := make(map[string]bool, len(oldDoc.Benchmarks))
+	for _, ob := range oldDoc.Benchmarks {
+		oldSeen[ob.Name] = true
+		nb, ok := newBy[ob.Name]
+		if !ok {
+			rep.Removed = append(rep.Removed, ob.Name)
+			continue
+		}
+		row := DiffRow{Name: ob.Name, OldNs: ob.NsPerOp, NewNs: nb.NsPerOp}
+		if ob.NsPerOp > 0 {
+			row.DeltaPct = (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	for _, nb := range newDoc.Benchmarks {
+		if !oldSeen[nb.Name] {
+			rep.Added = append(rep.Added, nb.Name)
+		}
+	}
+	sort.Strings(rep.Added)
+	sort.Strings(rep.Removed)
+	return rep
+}
+
+// loadDocument reads a benchmark JSON document written by this command.
+func loadDocument(path string) (Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Document{}, err
+	}
+	defer f.Close()
+	var doc Document
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return Document{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return Document{}, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return doc, nil
+}
+
+// runDiff loads, compares, prints, and reports whether any regression
+// exceeded thresholdPct.
+func runDiff(w io.Writer, oldPath, newPath string, thresholdPct float64) (bool, error) {
+	oldDoc, err := loadDocument(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newDoc, err := loadDocument(newPath)
+	if err != nil {
+		return false, err
+	}
+	rep := Diff(oldDoc, newDoc)
+	if len(rep.Rows) == 0 {
+		return false, fmt.Errorf("%s and %s share no benchmark names", oldPath, newPath)
+	}
+
+	fmt.Fprintf(w, "# %s -> %s (threshold %.1f%%)\n", oldPath, newPath, thresholdPct)
+	fmt.Fprintf(w, "%-40s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, r := range rep.Rows {
+		verdict := ""
+		if r.DeltaPct > thresholdPct {
+			verdict = "  << REGRESSION"
+		} else if r.DeltaPct < -thresholdPct {
+			verdict = "  improved"
+		}
+		fmt.Fprintf(w, "%-40s %14.1f %14.1f %+8.1f%%%s\n", r.Name, r.OldNs, r.NewNs, r.DeltaPct, verdict)
+	}
+	for _, name := range rep.Added {
+		fmt.Fprintf(w, "%-40s %14s %14s %9s\n", name, "-", "new", "")
+	}
+	for _, name := range rep.Removed {
+		fmt.Fprintf(w, "%-40s %14s %14s %9s\n", name, "gone", "-", "")
+	}
+
+	regs := rep.Regressions(thresholdPct)
+	if len(regs) > 0 {
+		fmt.Fprintf(w, "%d of %d benchmarks regressed more than %.1f%%\n",
+			len(regs), len(rep.Rows), thresholdPct)
+		return true, nil
+	}
+	fmt.Fprintf(w, "no regression beyond %.1f%% across %d shared benchmarks\n",
+		thresholdPct, len(rep.Rows))
+	return false, nil
+}

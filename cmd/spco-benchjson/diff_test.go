@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func doc(benchmarks ...Benchmark) Document {
+	return Document{Benchmarks: benchmarks}
+}
+
+func bench(name string, ns float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 100, NsPerOp: ns, MatchesPerSec: 1e9 / ns}
+}
+
+func TestDiffPairsAndDeltas(t *testing.T) {
+	oldDoc := doc(bench("A", 100), bench("B", 200), bench("Gone", 50))
+	newDoc := doc(bench("A", 125), bench("B", 180), bench("New", 10))
+	rep := Diff(oldDoc, newDoc)
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows: %+v", rep.Rows)
+	}
+	if rep.Rows[0].Name != "A" || math.Abs(rep.Rows[0].DeltaPct-25) > 1e-9 {
+		t.Errorf("A: %+v", rep.Rows[0])
+	}
+	if rep.Rows[1].Name != "B" || math.Abs(rep.Rows[1].DeltaPct+10) > 1e-9 {
+		t.Errorf("B: %+v", rep.Rows[1])
+	}
+	if len(rep.Added) != 1 || rep.Added[0] != "New" {
+		t.Errorf("added: %v", rep.Added)
+	}
+	if len(rep.Removed) != 1 || rep.Removed[0] != "Gone" {
+		t.Errorf("removed: %v", rep.Removed)
+	}
+	if regs := rep.Regressions(10); len(regs) != 1 || regs[0].Name != "A" {
+		t.Errorf("regressions at 10%%: %+v", regs)
+	}
+	if regs := rep.Regressions(30); len(regs) != 0 {
+		t.Errorf("regressions at 30%%: %+v", regs)
+	}
+}
+
+func writeDoc(t *testing.T, path string, d Document) {
+	t.Helper()
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDiff(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeDoc(t, oldPath, doc(bench("Match/lla", 100), bench("Match/fourd", 300)))
+	writeDoc(t, newPath, doc(bench("Match/lla", 150), bench("Match/fourd", 290)))
+
+	var buf bytes.Buffer
+	regressed, err := runDiff(&buf, oldPath, newPath, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Error("50% slowdown not flagged at 10% threshold")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "Match/lla") {
+		t.Errorf("table lacks the regression row:\n%s", out)
+	}
+
+	buf.Reset()
+	regressed, err = runDiff(&buf, oldPath, newPath, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("flagged at 60%% threshold:\n%s", buf.String())
+	}
+}
+
+func TestRunDiffDisjoint(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeDoc(t, oldPath, doc(bench("Only/old", 100)))
+	writeDoc(t, newPath, doc(bench("Only/new", 100)))
+	if _, err := runDiff(&bytes.Buffer{}, oldPath, newPath, 10); err == nil {
+		t.Error("disjoint documents must error, not report a clean diff")
+	}
+}

@@ -8,6 +8,12 @@
 //
 //	go test -run '^$' -bench 'NativeSearch|Structures' -benchmem . | spco-benchjson -out BENCH_daemon.json
 //	spco-benchjson -in bench.out -out BENCH_daemon.json
+//
+// With -diff it instead compares two such documents and prints a
+// per-benchmark ns/op delta table, exiting nonzero when any shared
+// benchmark regressed past -threshold percent:
+//
+//	spco-benchjson -diff BENCH_daemon.json new.json -threshold 10
 package main
 
 import (
@@ -49,10 +55,26 @@ type Document struct {
 
 func main() {
 	var (
-		in  = flag.String("in", "", "bench output to parse (default: stdin)")
-		out = flag.String("out", "", "JSON destination (default: stdout)")
+		in        = flag.String("in", "", "bench output to parse (default: stdin)")
+		out       = flag.String("out", "", "JSON destination (default: stdout)")
+		diffOld   = flag.String("diff", "", "baseline JSON: compare against the new JSON given as the positional argument")
+		threshold = flag.Float64("threshold", 10, "diff: fail when a benchmark slows down more than this percent")
 	)
 	flag.Parse()
+
+	if *diffOld != "" {
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("-diff %s needs exactly one positional argument (the new JSON)", *diffOld))
+		}
+		regressed, err := runDiff(os.Stdout, *diffOld, flag.Arg(0), *threshold)
+		if err != nil {
+			fatal(err)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	r := io.Reader(os.Stdin)
 	if *in != "" {

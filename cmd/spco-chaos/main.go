@@ -36,6 +36,7 @@ import (
 	"os"
 
 	"spco"
+	"spco/internal/ctrace"
 	"spco/internal/fault"
 	"spco/internal/netmodel"
 	"spco/internal/perf"
@@ -56,6 +57,7 @@ func main() {
 		prepost  = flag.Float64("prepost", 0.5, "fraction of receives posted before the send")
 		phases   = flag.Int("phase-every", 1024, "compute phase every N messages (0: never)")
 		phaseNS  = flag.Float64("phase-ns", 1e5, "compute-phase duration in ns")
+		hot      = flag.Bool("hot", false, "attach the cache heater (adds the heater counter track to -trace-out)")
 		soak     = flag.Bool("soak", false, "soak preset: 100k messages, drop 1%, dup 0.5%, reorder 2%")
 		verbose  = flag.Bool("v", false, "print per-configuration transport counters")
 
@@ -69,6 +71,8 @@ func main() {
 	fcli.Register(flag.CommandLine)
 	var pcli perf.CLI
 	pcli.Register(flag.CommandLine)
+	var tcli ctrace.CLI
+	tcli.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *soak {
@@ -105,6 +109,9 @@ func main() {
 	if *metricsOut != "" {
 		col = telemetry.NewCollector(telemetry.Labels{"cmd": "chaos"})
 	}
+	// One recorder spans every configuration: with -list all the export
+	// concatenates the kinds' timelines (trace ids keep incrementing).
+	trace := tcli.New()
 
 	fmt.Printf("# arch=%s fabric=%s messages=%d senders=%d prepost=%.2f seed=%d drop=%g dup=%g reorder=%g corrupt=%g burst=%g umq-cap=%d flow=%s\n",
 		prof.Name, fab.Name, *messages, *senders, *prepost, fcli.Seed,
@@ -125,6 +132,7 @@ func main() {
 			EntriesPerNode: *k,
 			CommSize:       64,
 			Bins:           256,
+			HotCache:       *hot,
 			Telemetry:      col,
 			Perf:           pmu,
 		}
@@ -144,6 +152,7 @@ func main() {
 			RTONS:       fcli.RTONS,
 			MaxRetries:  fcli.Retries,
 			PMU:         pmu,
+			Trace:       trace,
 		})
 		if err != nil {
 			fatal(err)
@@ -175,6 +184,9 @@ func main() {
 		if err := telemetry.WriteMetricsFile(*metricsOut, col); err != nil {
 			fatal(err)
 		}
+	}
+	if err := tcli.Finish(os.Stdout, trace); err != nil {
+		fatal(err)
 	}
 	if failed {
 		os.Exit(1)

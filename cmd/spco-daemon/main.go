@@ -9,6 +9,7 @@
 //	GET /readyz         readiness (503 once draining)
 //	GET /status         JSON status document
 //	GET /debug/profile  diagnostic zip (pprof + simulated perf-stat)
+//	GET /debug/trace    flight-recorder dump (Chrome trace JSON)
 //
 // Subcommands:
 //
@@ -41,6 +42,7 @@ import (
 	"time"
 
 	"spco"
+	"spco/internal/ctrace"
 	"spco/internal/daemon"
 	"spco/internal/engine"
 	"spco/internal/fault"
@@ -103,6 +105,8 @@ func runServe(args []string) error {
 	)
 	var fcli fault.CLI
 	fcli.Register(fs)
+	var tcli ctrace.CLI
+	tcli.Register(fs)
 	fs.Parse(args)
 
 	cfg, err := engineConfig(*arch, *list, *k, *comm, *bins, *pool, *hot, *hotNS, *netc, &fcli)
@@ -111,7 +115,7 @@ func runServe(args []string) error {
 	}
 	cfg.ResidencyInterval = *resNS
 
-	srv, err := newServer(cfg, *listen, *admin, fcli, *drain, *mOut, *sOut, *perfOut, *quiet)
+	srv, err := newServer(cfg, *listen, *admin, fcli, tcli, *drain, *mOut, *sOut, *perfOut, *quiet)
 	if err != nil {
 		return err
 	}
@@ -149,10 +153,11 @@ func engineConfig(arch, list string, k, comm, bins int, pool, hot bool,
 	return cfg, nil
 }
 
-// newServer wires the collector, PMU, and daemon together. The PMU and
-// collector are attached for the life of the process: /metrics scrapes
-// the collector live, /debug/profile bundles the PMU's artifacts.
-func newServer(ecfg engine.Config, listen, admin string, fcli fault.CLI,
+// newServer wires the collector, PMU, flight recorder, and daemon
+// together. The PMU and collector are attached for the life of the
+// process: /metrics scrapes the collector live, /debug/profile bundles
+// the PMU's artifacts, /debug/trace dumps the flight recorder.
+func newServer(ecfg engine.Config, listen, admin string, fcli fault.CLI, tcli ctrace.CLI,
 	drain time.Duration, mOut, sOut, perfOut string, quiet bool) (*daemon.Server, error) {
 	coll := telemetry.NewCollector(telemetry.Labels{"cmd": "daemon"})
 	pmu := perf.New(perf.Options{
@@ -171,6 +176,15 @@ func newServer(ecfg engine.Config, listen, admin string, fcli fault.CLI,
 		DrainTimeout: drain,
 		MetricsOut:   mOut,
 		SeriesOut:    sOut,
+		// The daemon's flight recorder is always on; the -trace-* flags
+		// only shape it (capacity, retention, shutdown export).
+		Trace: ctrace.New(ctrace.Options{
+			Capacity:         tcli.Cap,
+			KeepAll:          tcli.KeepAll,
+			LatencyQuantile:  tcli.Quantile,
+			TriggerLatencyNS: tcli.TriggerNS,
+		}),
+		TraceOut: tcli.Out,
 	}
 	switch perfOut {
 	case "-":

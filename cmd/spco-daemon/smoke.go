@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"spco/internal/ctrace"
 	"spco/internal/daemon"
 	"spco/internal/engine"
 	"spco/internal/fault"
@@ -48,6 +49,7 @@ func runSmoke(args []string) error {
 	ecfg.Overflow = engine.OverflowDrop
 	srv, err := newServer(ecfg, "127.0.0.1:0", "127.0.0.1:0",
 		fault.CLI{Drop: 0.01, Dup: 0.005, Corrupt: 0.005, Seed: 1},
+		ctrace.CLI{KeepAll: true},
 		daemon.DefaultDrainTimeout, metricsOut, "", "", true)
 	if err != nil {
 		return err
@@ -111,7 +113,23 @@ func runSmoke(args []string) error {
 	}
 	fmt.Printf("smoke: profile bundle ok — %d entries (%d bytes)\n", len(entries), len(body))
 
-	// 4. Graceful drain, then live-vs-flushed metric-name parity. The
+	// 4. Flight-recorder dump: /debug/trace must return well-formed
+	// Chrome trace JSON holding one trace per driven pair.
+	dump, err := httpGet("http://" + srv.AdminAddr() + "/debug/trace")
+	if err != nil {
+		return fail("/debug/trace: %v", err)
+	}
+	rep, err := ctrace.CheckChromeJSON(strings.NewReader(dump))
+	if err != nil {
+		return fail("/debug/trace dump: %v", err)
+	}
+	if rep.Traces == 0 || rep.Spans == 0 {
+		return fail("/debug/trace dump is empty: %+v", rep)
+	}
+	fmt.Printf("smoke: /debug/trace ok — %d traces, %d spans, %d faulted\n",
+		rep.Traces, rep.Spans, rep.FaultTraces)
+
+	// 5. Graceful drain, then live-vs-flushed metric-name parity. The
 	// flush may add spco_perf_* counters (the PMU publishes once, at
 	// shutdown); everything else must agree.
 	srv.Stop()

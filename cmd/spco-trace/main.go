@@ -9,6 +9,13 @@
 // Record captures rank 0's matching operations from a built-in
 // workload; replay drives any structure/architecture through the same
 // sequence, cross-checking every matching outcome.
+//
+// Check validates a causal-timeline export (the Chrome trace JSON that
+// -trace-out and /debug/trace produce): well-formed trace events,
+// consistent span trees, and optionally that at least one message
+// shows the full client-to-match causal chain:
+//
+//	spco-trace check -in chaos_trace.json -require-chain
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 
 	"spco"
 	"spco/internal/cache"
+	"spco/internal/ctrace"
 	"spco/internal/engine"
 	"spco/internal/matchlist"
 	"spco/internal/mtrace"
@@ -40,14 +48,54 @@ func main() {
 		info(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "check":
+		check(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spco-trace {record|info|replay} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: spco-trace {record|info|replay|check} [flags]")
 	os.Exit(2)
+}
+
+// check validates a Chrome trace-event export from the causal spine.
+func check(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	var (
+		in      = fs.String("in", "", "Chrome trace JSON to validate (- for stdin)")
+		chain   = fs.Bool("require-chain", false, "fail unless a message shows the full causal chain (client -> dropped+delivered xmits -> engine -> match)")
+		faulted = fs.Bool("require-fault", false, "fail unless at least one trace carries a fault event")
+	)
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("check: -in is required"))
+	}
+	rd := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		rd = f
+	}
+	rep, err := ctrace.CheckChromeJSON(rd)
+	if err != nil {
+		fatal(fmt.Errorf("check: %s: %w", *in, err))
+	}
+	fmt.Printf("check: %s: %d traces, %d spans, %d instants, %d counter samples, %d faulted, %d full causal chains\n",
+		*in, rep.Traces, rep.Spans, rep.Instants, rep.Counters, rep.FaultTraces, rep.FullChains)
+	if rep.Traces == 0 {
+		fatal(fmt.Errorf("check: %s holds no traces", *in))
+	}
+	if *chain && rep.FullChains == 0 {
+		fatal(fmt.Errorf("check: %s shows no full causal chain (client send -> >=2 wire attempts with a drop and a delivery -> engine span -> match)", *in))
+	}
+	if *faulted && rep.FaultTraces == 0 {
+		fatal(fmt.Errorf("check: %s carries no fault-marked trace", *in))
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,221 @@
+package ctrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Chrome-trace validation: `spco-trace check` and the trace-smoke CI
+// gate parse an exported file back and verify (a) it is well-formed
+// trace-event JSON and every span tree is consistent, and (b) — the
+// acceptance bar for the causal spine — at least one message shows the
+// full end-to-end chain: a client root span, two or more wire
+// transmission attempts of which at least one was dropped and at least
+// one delivered, an engine operation span, and a matched outcome.
+
+// chromeEvent mirrors one exported trace-event record.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+type chromeFile struct {
+	TraceEvents []json.RawMessage `json:"traceEvents"`
+}
+
+// CheckReport summarizes a validated Chrome trace file.
+type CheckReport struct {
+	Events      int // span + instant events (metadata/counters excluded)
+	Counters    int // counter samples
+	Traces      int // distinct trace ids
+	Spans       int // complete ('X') spans
+	Instants    int // instant ('i') events
+	FaultTraces int // traces containing at least one fault instant
+	FullChains  int // traces showing the complete causal chain
+}
+
+// chainState accumulates per-trace evidence for the causal chain.
+type chainState struct {
+	client    bool
+	xmits     int
+	dropped   bool
+	delivered bool
+	engine    bool
+	matched   bool
+	fault     bool
+}
+
+func (c *chainState) full() bool {
+	return c.client && c.xmits >= 2 && c.dropped && c.delivered && c.engine && c.matched
+}
+
+// CheckChromeJSON parses an exported Chrome trace and validates its
+// structure: known phases, non-negative ts/dur, unique span ids, and
+// every non-root span's parent existing within the same trace. It
+// returns a summary including how many traces exhibit the full causal
+// chain.
+func CheckChromeJSON(rd io.Reader) (CheckReport, error) {
+	var rep CheckReport
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return rep, err
+	}
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return rep, fmt.Errorf("not valid trace-event JSON: %w", err)
+	}
+
+	type spanRec struct {
+		trace  uint64
+		parent uint64
+	}
+	spans := map[uint64]spanRec{} // span id -> record
+	var ordered []uint64
+	chains := map[uint64]*chainState{}
+	traceSeen := map[uint64]bool{}
+
+	for i, raw := range f.TraceEvents {
+		// Counter args are numeric; decode those separately.
+		var probe struct {
+			Ph string `json:"ph"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return rep, fmt.Errorf("event %d: %w", i, err)
+		}
+		switch probe.Ph {
+		case "M":
+			continue
+		case "C":
+			rep.Counters++
+			continue
+		case "X", "i":
+		default:
+			return rep, fmt.Errorf("event %d: unexpected phase %q", i, probe.Ph)
+		}
+		var ev chromeEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return rep, fmt.Errorf("event %d: %w", i, err)
+		}
+		rep.Events++
+		if ev.Ts < 0 {
+			return rep, fmt.Errorf("event %d (%s): negative ts %v", i, ev.Name, ev.Ts)
+		}
+		trace, err := argID(ev.Args, "trace")
+		if err != nil {
+			return rep, fmt.Errorf("event %d (%s): %w", i, ev.Name, err)
+		}
+		parent, err := argID(ev.Args, "parent")
+		if err != nil {
+			return rep, fmt.Errorf("event %d (%s): %w", i, ev.Name, err)
+		}
+		if trace == 0 {
+			return rep, fmt.Errorf("event %d (%s): missing trace id", i, ev.Name)
+		}
+		traceSeen[trace] = true
+		st := chains[trace]
+		if st == nil {
+			st = &chainState{}
+			chains[trace] = st
+		}
+
+		if ev.Ph == "i" {
+			rep.Instants++
+			if ev.Args["fault"] == "true" || isFaultName(ev.Name) {
+				st.fault = true
+			}
+			continue
+		}
+
+		// Complete span.
+		rep.Spans++
+		if ev.Dur < 0 {
+			return rep, fmt.Errorf("event %d (%s): negative dur %v", i, ev.Name, ev.Dur)
+		}
+		span, err := argID(ev.Args, "span")
+		if err != nil || span == 0 {
+			return rep, fmt.Errorf("event %d (%s): bad span id", i, ev.Name)
+		}
+		if prev, dup := spans[span]; dup {
+			return rep, fmt.Errorf("event %d (%s): span id %d reused (first in trace %d)", i, ev.Name, span, prev.trace)
+		}
+		spans[span] = spanRec{trace: trace, parent: parent}
+		ordered = append(ordered, span)
+
+		switch {
+		case ev.Cat == "client":
+			st.client = true
+			if ev.Args["status"] == "matched" {
+				st.matched = true
+			}
+		case ev.Cat == "wire" && strings.HasPrefix(ev.Name, "xmit"):
+			st.xmits++
+			switch ev.Args["fate"] {
+			case "dropped":
+				st.dropped = true
+				st.fault = true
+			case "delivered":
+				st.delivered = true
+			}
+		case ev.Cat == "engine":
+			st.engine = true
+		}
+	}
+
+	// Parent linkage: every non-root span's parent must be a span in
+	// the same trace.
+	for _, id := range ordered {
+		rec := spans[id]
+		if rec.parent == 0 {
+			continue
+		}
+		p, ok := spans[rec.parent]
+		if !ok {
+			return rep, fmt.Errorf("span %d: parent %d not present in file", id, rec.parent)
+		}
+		if p.trace != rec.trace {
+			return rep, fmt.Errorf("span %d (trace %d): parent %d belongs to trace %d", id, rec.trace, rec.parent, p.trace)
+		}
+	}
+
+	rep.Traces = len(traceSeen)
+	for _, st := range chains {
+		if st.fault {
+			rep.FaultTraces++
+		}
+		if st.full() {
+			rep.FullChains++
+		}
+	}
+	return rep, nil
+}
+
+func argID(args map[string]string, key string) (uint64, error) {
+	v, ok := args[key]
+	if !ok {
+		return 0, fmt.Errorf("missing arg %q", key)
+	}
+	id, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("arg %q = %q: %w", key, v, err)
+	}
+	return id, nil
+}
+
+// isFaultName reports whether an instant name denotes a fault event.
+func isFaultName(name string) bool {
+	switch name {
+	case "drop", "rto", "corrupt-discard", "dup-suppressed", "wire-dup",
+		"busy-nack", "retry-exhausted", "ooo-overflow", "credit-stall":
+		return true
+	}
+	return false
+}

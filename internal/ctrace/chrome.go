@@ -1,0 +1,208 @@
+package ctrace
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace-event JSON export (the "JSON Array Format" both
+// chrome://tracing and Perfetto load). The file is built by hand —
+// no encoding/json, no map iteration — so a seeded run exports
+// byte-identical output, which the golden test locks.
+//
+// Layout conventions:
+//
+//   - pid = rank; every rank gets a process_name metadata record and
+//     one named thread lane per layer (client/wire/transport/engine/
+//     daemon), so a message's timeline reads top-to-bottom through the
+//     stack.
+//   - spans are phase 'X' (complete) events with ts/dur in µs
+//     (fractional, 3 decimals → ns precision preserved); fault marks
+//     are phase 'i' instants; heater/residency samples are phase 'C'
+//     counter tracks under a dedicated "counters" pid.
+//   - args carry the causal identity (trace/span/parent) as decimal
+//     strings plus each event's ordered KV annotations; Perfetto shows
+//     them in the selection panel and the checker rebuilds span trees
+//     from them.
+
+// counterPid is the synthetic process counter tracks render under.
+const counterPid = 1 << 20
+
+// WriteChrome exports every retained trace, every still-open trace
+// (sealed as status "open"), and all counter samples as Chrome
+// trace-event JSON.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{\"traceEvents\":[]}\n")
+		return err
+	}
+	traces, counters := r.snapshot()
+	return writeChrome(w, traces, counters)
+}
+
+func writeChrome(w io.Writer, traces []*Trace, counters []Event) error {
+	var evs []Event
+	pids := map[int]uint8{} // pid -> bitmask of lanes seen
+	for _, t := range traces {
+		for _, ev := range t.Events {
+			evs = append(evs, ev)
+			if ev.Lane > 0 && ev.Lane < numLanes {
+				pids[ev.Pid] |= 1 << ev.Lane
+			}
+		}
+	}
+	// Stable visual order: by start time, then by causal identity so
+	// simultaneous events (a drop and its retransmit arming) never
+	// shuffle between runs.
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.StartNS != b.StartNS {
+			return a.StartNS < b.StartNS
+		}
+		if a.Trace != b.Trace {
+			return a.Trace < b.Trace
+		}
+		return a.Span < b.Span
+	})
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[\n")
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+	}
+
+	// Metadata: name the process and thread lanes.
+	pidOrder := make([]int, 0, len(pids))
+	for pid := range pids {
+		pidOrder = append(pidOrder, pid)
+	}
+	sort.Ints(pidOrder)
+	for _, pid := range pidOrder {
+		sep()
+		writeMeta(bw, "process_name", pid, 0, "rank "+strconv.Itoa(pid))
+		for l := Lane(1); l < numLanes; l++ {
+			if pids[pid]&(1<<l) == 0 {
+				continue
+			}
+			bw.WriteString(",\n")
+			writeMeta(bw, "thread_name", pid, int(l), l.String())
+		}
+	}
+	if len(counters) > 0 {
+		sep()
+		writeMeta(bw, "process_name", counterPid, 0, "counters")
+	}
+
+	for _, ev := range evs {
+		sep()
+		writeSpan(bw, &ev)
+	}
+	for _, ev := range counters {
+		sep()
+		writeCounter(bw, &ev)
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+func writeMeta(bw *bufio.Writer, kind string, pid, tid int, name string) {
+	bw.WriteString("{\"name\":\"")
+	bw.WriteString(kind)
+	bw.WriteString("\",\"ph\":\"M\",\"pid\":")
+	bw.WriteString(strconv.Itoa(pid))
+	bw.WriteString(",\"tid\":")
+	bw.WriteString(strconv.Itoa(tid))
+	bw.WriteString(",\"args\":{\"name\":")
+	writeJSONString(bw, name)
+	bw.WriteString("}}")
+}
+
+func writeSpan(bw *bufio.Writer, ev *Event) {
+	bw.WriteString("{\"name\":")
+	writeJSONString(bw, ev.Name)
+	bw.WriteString(",\"cat\":\"")
+	bw.WriteString(ev.Lane.String())
+	bw.WriteString("\",\"ph\":\"")
+	bw.WriteByte(ev.Phase)
+	bw.WriteString("\",\"ts\":")
+	bw.WriteString(formatFloat(ev.StartNS / 1e3))
+	if ev.Phase == 'X' {
+		bw.WriteString(",\"dur\":")
+		bw.WriteString(formatFloat(ev.DurNS / 1e3))
+	}
+	bw.WriteString(",\"pid\":")
+	bw.WriteString(strconv.Itoa(ev.Pid))
+	bw.WriteString(",\"tid\":")
+	bw.WriteString(strconv.Itoa(int(ev.Lane)))
+	if ev.Phase == 'i' {
+		bw.WriteString(",\"s\":\"t\"")
+	}
+	bw.WriteString(",\"args\":{\"trace\":\"")
+	bw.WriteString(strconv.FormatUint(ev.Trace, 10))
+	bw.WriteString("\",\"span\":\"")
+	bw.WriteString(strconv.FormatUint(ev.Span, 10))
+	bw.WriteString("\",\"parent\":\"")
+	bw.WriteString(strconv.FormatUint(ev.Parent, 10))
+	bw.WriteString("\"")
+	for _, kv := range ev.Args {
+		bw.WriteString(",")
+		writeJSONString(bw, kv.K)
+		bw.WriteString(":")
+		writeJSONString(bw, kv.V)
+	}
+	bw.WriteString("}}")
+}
+
+func writeCounter(bw *bufio.Writer, ev *Event) {
+	bw.WriteString("{\"name\":")
+	writeJSONString(bw, ev.Name)
+	bw.WriteString(",\"ph\":\"C\",\"ts\":")
+	bw.WriteString(formatFloat(ev.StartNS / 1e3))
+	bw.WriteString(",\"pid\":")
+	bw.WriteString(strconv.Itoa(counterPid))
+	bw.WriteString(",\"tid\":0,\"args\":{")
+	for i, kv := range ev.Args {
+		if i > 0 {
+			bw.WriteString(",")
+		}
+		writeJSONString(bw, kv.K)
+		bw.WriteString(":")
+		bw.WriteString(kv.V) // counter values are numeric literals
+	}
+	bw.WriteString("}}")
+}
+
+// formatFloat renders a timestamp or counter value with fixed 3-decimal
+// precision: deterministic, and µs-with-ns-precision for ts/dur.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', 3, 64)
+}
+
+// writeJSONString writes s as a JSON string literal. Span names and
+// annotation values are ASCII by construction; anything unusual is
+// escaped the conservative way.
+func writeJSONString(bw *bufio.Writer, s string) {
+	bw.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			bw.WriteByte('\\')
+			bw.WriteByte(c)
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			bw.WriteString("\\u00")
+			bw.WriteByte(hex[c>>4])
+			bw.WriteByte(hex[c&0xf])
+		default:
+			bw.WriteByte(c)
+		}
+	}
+	bw.WriteByte('"')
+}

@@ -1,0 +1,73 @@
+package ctrace
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// CLI is the standard -trace-* flag bundle commands expose for the
+// causal-tracing spine, mirroring perf.CLI and fault.CLI: register the
+// flags, build a Recorder with New (nil when tracing was not requested,
+// keeping the run bit-identical to an untraced one), and call Finish at
+// exit to write the Chrome export.
+type CLI struct {
+	Out       string
+	Cap       int
+	KeepAll   bool
+	Quantile  float64
+	TriggerNS float64
+}
+
+// Register installs the flags on fs.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Out, "trace-out", "", "write a Chrome trace-event JSON timeline here (Perfetto / chrome://tracing)")
+	fs.IntVar(&c.Cap, "trace-cap", DefaultCapacity, "flight-recorder bound: max retained traces")
+	fs.BoolVar(&c.KeepAll, "trace-keep-all", false, "retain every trace instead of tail-based sampling")
+	fs.Float64Var(&c.Quantile, "trace-quantile", 0.99, "tail retention: keep fault-free traces at/above this latency quantile")
+	fs.Float64Var(&c.TriggerNS, "trace-trigger-ns", 0, "record a trigger when a trace's latency exceeds this (simulated ns, 0: off)")
+}
+
+// Enabled reports whether tracing was requested.
+func (c *CLI) Enabled() bool { return c.Out != "" }
+
+// New builds the recorder the flags describe, or nil when tracing was
+// not requested.
+func (c *CLI) New() *Recorder {
+	if !c.Enabled() {
+		return nil
+	}
+	return New(Options{
+		Capacity:         c.Cap,
+		KeepAll:          c.KeepAll,
+		LatencyQuantile:  c.Quantile,
+		TriggerLatencyNS: c.TriggerNS,
+	})
+}
+
+// Finish writes the Chrome export and prints a one-line summary plus
+// any latency triggers. A nil recorder (tracing off) is a no-op.
+func (c *CLI) Finish(w io.Writer, r *Recorder) error {
+	if r == nil || c.Out == "" {
+		return nil
+	}
+	f, err := os.Create(c.Out)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st := r.Stats()
+	fmt.Fprintf(w, "trace: %s (%d retained of %d finished, %d open, %d evicted)\n",
+		c.Out, st.Retained, st.Finished, st.Open, st.Evicted)
+	for _, t := range r.Triggered() {
+		fmt.Fprintf(w, "trace: TRIGGER %s\n", t)
+	}
+	return nil
+}

@@ -1,0 +1,578 @@
+// Package ctrace is the causal-tracing spine: one trace per message,
+// minted at the client/workload edge and carried through every layer it
+// crosses — the mpi wire frames, the fault-injection retransmission
+// transport (each attempt, drop, duplicate and RTO becomes a child
+// event with its wire fate), and the engine's matching operations — all
+// stitched on the simulated clock and exportable as Chrome trace-event
+// JSON (chrome://tracing, Perfetto).
+//
+// The recorder doubles as an always-on flight recorder: every finished
+// trace passes a tail-based retention decision (keep when it
+// experienced any fault event, or when its end-to-end latency exceeds a
+// running quantile of recent traces), and the retained set lives in a
+// bounded ring so a long-running daemon can expose a dump at any moment
+// (/debug/trace) without unbounded memory.
+//
+// Like the telemetry and PMU layers, tracing is strictly passive: every
+// hook is host-side bookkeeping behind a nil check, so simulated cycle
+// totals are bit-identical with a recorder attached or detached (a test
+// enforces this, extending the zero-cost-when-off contract).
+package ctrace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Context is the trace context carried end to end: the trace identity
+// plus the span new children attach under. The zero Context means
+// "untraced" and every recording hook ignores it.
+type Context struct {
+	Trace  uint64
+	Parent uint64
+}
+
+// Valid reports whether the context names a trace.
+func (c Context) Valid() bool { return c.Trace != 0 }
+
+// Lane is the layer a span belongs to; lanes become Chrome tid values,
+// so a message's timeline reads top-to-bottom through the stack.
+type Lane uint8
+
+// The lanes.
+const (
+	LaneClient Lane = iota + 1
+	LaneWire
+	LaneTransport
+	LaneEngine
+	LaneDaemon
+	numLanes
+)
+
+// String returns the lane's thread name in the Chrome export.
+func (l Lane) String() string {
+	switch l {
+	case LaneClient:
+		return "client"
+	case LaneWire:
+		return "wire"
+	case LaneTransport:
+		return "transport"
+	case LaneEngine:
+		return "engine"
+	case LaneDaemon:
+		return "daemon"
+	}
+	return fmt.Sprintf("lane-%d", int(l))
+}
+
+// KV is one ordered span annotation. A slice of KVs (not a map) keeps
+// every export byte-identical across runs.
+type KV struct{ K, V string }
+
+// CV is one numeric counter-track sample value.
+type CV struct {
+	K string
+	V float64
+}
+
+// Event is one recorded trace event: a complete span (Phase 'X') or an
+// instant ('i'). Counter samples ('C') are recorded outside traces.
+type Event struct {
+	Trace   uint64
+	Span    uint64 // 0 on instants
+	Parent  uint64
+	Name    string
+	Lane    Lane
+	Pid     int // rank (process lane in the export)
+	Phase   byte
+	StartNS float64
+	DurNS   float64
+	Args    []KV
+}
+
+// Trace is one message's recorded timeline. Events hold the root span
+// last once finished; open spans are completed at Finish (or at export
+// time for still-open traces).
+type Trace struct {
+	ID      uint64
+	Pid     int
+	Root    uint64
+	Name    string
+	StartNS float64
+	EndNS   float64
+	Status  string // "" while open; "matched", "abandoned", ...
+	Fault   bool   // experienced any fault event
+	Events  []Event
+
+	open map[uint64]int // span id -> Events index with DurNS < 0
+}
+
+// LatencyNS returns the root span's end-to-end latency (zero while
+// open).
+func (t *Trace) LatencyNS() float64 { return t.EndNS - t.StartNS }
+
+// Options configures a Recorder.
+type Options struct {
+	// Capacity bounds the retained-trace ring (default
+	// DefaultCapacity). The oldest retained trace is evicted when full.
+	Capacity int
+
+	// KeepAll retains every finished trace regardless of the tail
+	// decision (golden tests, short diagnostic runs).
+	KeepAll bool
+
+	// LatencyQuantile is the tail-retention threshold: a fault-free
+	// trace is kept when its latency reaches this quantile of the
+	// recent-latency window (default 0.99). Values outside (0,1) keep
+	// only faulted traces.
+	LatencyQuantile float64
+
+	// TriggerLatencyNS, when positive, records a sticky trigger the
+	// first time a finished trace exceeds it; harnesses poll Triggered
+	// to dump the recorder on latency violations.
+	TriggerLatencyNS float64
+}
+
+// DefaultCapacity is the retained-trace ring bound when Options leaves
+// it zero: enough to hold every faulted message of a long soak without
+// unbounded growth.
+const DefaultCapacity = 4096
+
+// latWindow is the recent-latency sample window the tail quantile is
+// computed over; latEvery is the recompute cadence.
+const (
+	latWindow = 512
+	latEvery  = 64
+)
+
+// Stats is a point-in-time recorder summary.
+type Stats struct {
+	Open     int    // traces still in flight
+	Retained int    // finished traces currently held
+	Finished uint64 // traces ever finished
+	Kept     uint64 // finished traces that passed retention
+	Evicted  uint64 // retained traces the ring overwrote
+}
+
+// Recorder collects traces and counter tracks. It is safe for
+// concurrent use (the daemon records under its engine mutex but dumps
+// from HTTP handlers); the single-threaded simulation pays one
+// uncontended lock per hook.
+type Recorder struct {
+	mu   sync.Mutex
+	opts Options
+
+	nextTrace uint64
+	nextSpan  uint64
+
+	open      map[uint64]*Trace
+	openOrder []uint64
+	done      []*Trace
+	counters  []Event
+
+	finished uint64
+	kept     uint64
+	evicted  uint64
+
+	latWin      []float64
+	latThreshNS float64
+	sinceThresh int
+
+	triggered []string
+}
+
+// New builds a recorder.
+func New(opts Options) *Recorder {
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultCapacity
+	}
+	if opts.LatencyQuantile == 0 {
+		opts.LatencyQuantile = 0.99
+	}
+	return &Recorder{opts: opts, open: make(map[uint64]*Trace)}
+}
+
+// Options returns the recorder's resolved options.
+func (r *Recorder) Options() Options { return r.opts }
+
+// Mint opens a new trace at the client/workload edge and returns the
+// context children attach under (Parent is the root span). A nil
+// recorder returns the zero Context.
+func (r *Recorder) Mint(pid int, name string, atNS float64) Context {
+	if r == nil {
+		return Context{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextTrace++
+	return r.startLocked(r.nextTrace, pid, name, atNS)
+}
+
+// Adopt attaches to an externally minted trace identity (one that
+// crossed a wire hop): the first event for an unknown trace ID opens it
+// with a root span named name. When ctx carries no parent span the
+// returned context parents under the root.
+func (r *Recorder) Adopt(ctx Context, pid int, name string, atNS float64) Context {
+	if r == nil || !ctx.Valid() {
+		return Context{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.open[ctx.Trace]
+	if t == nil {
+		root := r.startLocked(ctx.Trace, pid, name, atNS)
+		if ctx.Parent == 0 {
+			return root
+		}
+		return ctx
+	}
+	if ctx.Parent == 0 {
+		ctx.Parent = t.Root
+	}
+	return ctx
+}
+
+// startLocked opens trace id with its root span. Callers hold r.mu.
+func (r *Recorder) startLocked(id uint64, pid int, name string, atNS float64) Context {
+	r.nextSpan++
+	t := &Trace{
+		ID: id, Pid: pid, Root: r.nextSpan, Name: name,
+		StartNS: atNS, open: make(map[uint64]int),
+	}
+	r.open[id] = t
+	r.openOrder = append(r.openOrder, id)
+	return Context{Trace: id, Parent: t.Root}
+}
+
+// Begin opens a child span and returns its id (0 when untraced).
+func (r *Recorder) Begin(ctx Context, lane Lane, pid int, name string, atNS float64, args ...KV) uint64 {
+	if r == nil || !ctx.Valid() {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.open[ctx.Trace]
+	if t == nil {
+		return 0
+	}
+	r.nextSpan++
+	t.open[r.nextSpan] = len(t.Events)
+	t.Events = append(t.Events, Event{
+		Trace: ctx.Trace, Span: r.nextSpan, Parent: ctx.Parent,
+		Name: name, Lane: lane, Pid: pid, Phase: 'X',
+		StartNS: atNS, DurNS: -1, Args: args,
+	})
+	return r.nextSpan
+}
+
+// End closes a span opened with Begin, appending any final args.
+func (r *Recorder) End(trace, span uint64, atNS float64, args ...KV) {
+	if r == nil || trace == 0 || span == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.open[trace]
+	if t == nil {
+		return
+	}
+	i, ok := t.open[span]
+	if !ok {
+		return
+	}
+	delete(t.open, span)
+	ev := &t.Events[i]
+	if d := atNS - ev.StartNS; d > 0 {
+		ev.DurNS = d
+	} else {
+		ev.DurNS = 0
+	}
+	ev.Args = append(ev.Args, args...)
+}
+
+// Complete records a span whose duration is already known (engine
+// operations, wire flights) and returns its id.
+func (r *Recorder) Complete(ctx Context, lane Lane, pid int, name string, startNS, durNS float64, args ...KV) uint64 {
+	if r == nil || !ctx.Valid() {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.open[ctx.Trace]
+	if t == nil {
+		return 0
+	}
+	if durNS < 0 {
+		durNS = 0
+	}
+	r.nextSpan++
+	t.Events = append(t.Events, Event{
+		Trace: ctx.Trace, Span: r.nextSpan, Parent: ctx.Parent,
+		Name: name, Lane: lane, Pid: pid, Phase: 'X',
+		StartNS: startNS, DurNS: durNS, Args: args,
+	})
+	return r.nextSpan
+}
+
+// Instant records a zero-duration event (an RTO firing, a wire drop, a
+// busy-NACK).
+func (r *Recorder) Instant(ctx Context, lane Lane, pid int, name string, atNS float64, args ...KV) {
+	if r == nil || !ctx.Valid() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.open[ctx.Trace]
+	if t == nil {
+		return
+	}
+	t.Events = append(t.Events, Event{
+		Trace: ctx.Trace, Parent: ctx.Parent,
+		Name: name, Lane: lane, Pid: pid, Phase: 'i',
+		StartNS: atNS, Args: args,
+	})
+}
+
+// MarkFault flags the trace as having experienced a fault event, which
+// guarantees retention when it finishes.
+func (r *Recorder) MarkFault(trace uint64) {
+	if r == nil || trace == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t := r.open[trace]; t != nil {
+		t.Fault = true
+	}
+}
+
+// Counter records one sample of a global counter track (heater sweeps,
+// residency fractions); the export renders it as a stacked counter lane
+// above the spans.
+func (r *Recorder) Counter(name string, atNS float64, values ...CV) {
+	if r == nil {
+		return
+	}
+	args := make([]KV, len(values))
+	for i, v := range values {
+		args[i] = KV{K: v.K, V: formatFloat(v.V)}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = append(r.counters, Event{
+		Name: name, Phase: 'C', StartNS: atNS, Args: args,
+	})
+}
+
+// Finish closes a trace: the root span ends at atNS with the given
+// status, still-open child spans are closed, and the tail-based
+// retention decision runs. Finishing an unknown trace is a no-op.
+func (r *Recorder) Finish(trace uint64, atNS float64, status string) {
+	if r == nil || trace == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.open[trace]
+	if t == nil {
+		return
+	}
+	delete(r.open, trace)
+	for i, id := range r.openOrder {
+		if id == trace {
+			r.openOrder = append(r.openOrder[:i], r.openOrder[i+1:]...)
+			break
+		}
+	}
+	r.sealLocked(t, atNS, status)
+
+	lat := t.LatencyNS()
+	r.finished++
+	r.observeLatencyLocked(lat)
+	if r.opts.TriggerLatencyNS > 0 && lat >= r.opts.TriggerLatencyNS && len(r.triggered) < 16 {
+		r.triggered = append(r.triggered,
+			fmt.Sprintf("trace %d latency %.0fns >= %.0fns", t.ID, lat, r.opts.TriggerLatencyNS))
+	}
+	if !r.keepLocked(t, lat) {
+		return
+	}
+	r.kept++
+	if len(r.done) >= r.opts.Capacity {
+		r.done = append(r.done[1:], t)
+		r.evicted++
+		return
+	}
+	r.done = append(r.done, t)
+}
+
+// sealLocked closes open child spans and appends the root span event.
+func (r *Recorder) sealLocked(t *Trace, atNS float64, status string) {
+	t.EndNS = atNS
+	t.Status = status
+	for span, i := range t.open {
+		_ = span
+		ev := &t.Events[i]
+		if ev.DurNS < 0 {
+			if d := atNS - ev.StartNS; d > 0 {
+				ev.DurNS = d
+			} else {
+				ev.DurNS = 0
+			}
+		}
+	}
+	t.open = nil
+	dur := atNS - t.StartNS
+	if dur < 0 {
+		dur = 0
+	}
+	args := []KV{}
+	if status != "" {
+		args = append(args, KV{"status", status})
+	}
+	if t.Fault {
+		args = append(args, KV{"fault", "true"})
+	}
+	t.Events = append(t.Events, Event{
+		Trace: t.ID, Span: t.Root,
+		Name: t.Name, Lane: LaneClient, Pid: t.Pid, Phase: 'X',
+		StartNS: t.StartNS, DurNS: dur, Args: args,
+	})
+}
+
+// keepLocked is the tail-based retention decision.
+func (r *Recorder) keepLocked(t *Trace, lat float64) bool {
+	if r.opts.KeepAll || t.Fault {
+		return true
+	}
+	q := r.opts.LatencyQuantile
+	if q <= 0 || q >= 1 {
+		return false
+	}
+	if r.latThreshNS == 0 {
+		// Warming up: no quantile estimate yet, keep everything.
+		return true
+	}
+	return lat >= r.latThreshNS
+}
+
+// observeLatencyLocked feeds the recent-latency window and periodically
+// recomputes the tail threshold.
+func (r *Recorder) observeLatencyLocked(lat float64) {
+	if len(r.latWin) < latWindow {
+		r.latWin = append(r.latWin, lat)
+	} else {
+		r.latWin[int(r.finished)%latWindow] = lat
+	}
+	r.sinceThresh++
+	if r.sinceThresh < latEvery {
+		return
+	}
+	r.sinceThresh = 0
+	s := append([]float64(nil), r.latWin...)
+	sort.Float64s(s)
+	i := int(r.opts.LatencyQuantile*float64(len(s))) - 1
+	if i < 0 {
+		i = 0
+	}
+	r.latThreshNS = s[i]
+}
+
+// Trigger records an explicit sticky trigger reason (an invariant
+// violation, an operator's on-demand dump). Harnesses poll Triggered
+// after a run to decide whether to dump the recorder.
+func (r *Recorder) Trigger(reason string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.triggered) < 16 {
+		r.triggered = append(r.triggered, reason)
+	}
+}
+
+// MarkAllOpen flags every still-in-flight trace as faulted: an
+// invariant violation implicates the whole run, so the evidence must
+// survive retention whenever those traces finish.
+func (r *Recorder) MarkAllOpen() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range r.open {
+		t.Fault = true
+	}
+}
+
+// Triggered returns the sticky latency-trigger reasons recorded so far.
+func (r *Recorder) Triggered() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.triggered...)
+}
+
+// Stats returns a recorder summary.
+func (r *Recorder) Stats() Stats {
+	if r == nil {
+		return Stats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{
+		Open:     len(r.open),
+		Retained: len(r.done),
+		Finished: r.finished,
+		Kept:     r.kept,
+		Evicted:  r.evicted,
+	}
+}
+
+// Retained returns the finished traces currently held, oldest first.
+func (r *Recorder) Retained() []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Trace(nil), r.done...)
+}
+
+// snapshot collects every exportable trace — retained first, then
+// still-open ones sealed as "open" copies — plus the counter samples.
+func (r *Recorder) snapshot() ([]*Trace, []Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]*Trace(nil), r.done...)
+	for _, id := range r.openOrder {
+		t := r.open[id]
+		end := t.StartNS
+		for i := range t.Events {
+			ev := &t.Events[i]
+			e := ev.StartNS
+			if ev.DurNS > 0 {
+				e += ev.DurNS
+			}
+			if e > end {
+				end = e
+			}
+		}
+		cp := &Trace{
+			ID: t.ID, Pid: t.Pid, Root: t.Root, Name: t.Name,
+			StartNS: t.StartNS, Fault: t.Fault,
+			Events: append([]Event(nil), t.Events...),
+			open:   make(map[uint64]int, len(t.open)),
+		}
+		for s, i := range t.open {
+			cp.open[s] = i
+		}
+		r.sealLocked(cp, end, "open")
+		out = append(out, cp)
+	}
+	return out, append([]Event(nil), r.counters...)
+}

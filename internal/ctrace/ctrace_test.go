@@ -1,0 +1,287 @@
+package ctrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// record builds a small two-message scenario: message A suffers a wire
+// drop and a retransmission before matching; message B sails through.
+// Event insertion order is deliberately interleaved so the exporter's
+// sort carries the determinism, not the call sites.
+func record(r *Recorder) {
+	a := r.Mint(0, "send rank0->rank1 tag7", 100)
+	b := r.Mint(0, "send rank0->rank1 tag8", 150)
+
+	r.Complete(a, LaneWire, 0, "xmit#0", 110, 0, KV{"fate", "dropped"})
+	r.MarkFault(a.Trace)
+	r.Instant(a, LaneTransport, 0, "rto", 400, KV{"retries", "1"})
+	r.Complete(b, LaneWire, 0, "xmit#0", 160, 90, KV{"fate", "delivered"})
+	r.Complete(a, LaneWire, 0, "xmit#1", 410, 95, KV{"fate", "delivered"})
+
+	bEng := r.Adopt(b, 1, "rx", 250)
+	r.Complete(bEng, LaneEngine, 1, "arrive", 250, 40, KV{"outcome", "prq-match"})
+	aEng := r.Adopt(a, 1, "rx", 505)
+	r.Complete(aEng, LaneEngine, 1, "arrive", 505, 45, KV{"outcome", "prq-match"})
+
+	r.Counter("heater", 300, CV{"sweeps", 2}, CV{"coverage", 0.5})
+	r.Counter("heater", 550, CV{"sweeps", 4}, CV{"coverage", 0.75})
+
+	r.Finish(b.Trace, 290, "matched")
+	r.Finish(a.Trace, 550, "matched")
+}
+
+func TestRecorderLifecycle(t *testing.T) {
+	r := New(Options{KeepAll: true})
+	record(r)
+	st := r.Stats()
+	if st.Finished != 2 || st.Retained != 2 || st.Open != 0 {
+		t.Fatalf("stats = %+v, want 2 finished, 2 retained, 0 open", st)
+	}
+	traces := r.Retained()
+	if len(traces) != 2 {
+		t.Fatalf("retained %d traces", len(traces))
+	}
+	// Message A: root + 2 xmit + engine arrive spans, 1 rto instant.
+	var a *Trace
+	for _, tr := range traces {
+		if tr.Fault {
+			a = tr
+		}
+	}
+	if a == nil {
+		t.Fatal("faulted trace not retained")
+	}
+	if a.Status != "matched" || a.LatencyNS() != 450 {
+		t.Fatalf("trace A status %q latency %v", a.Status, a.LatencyNS())
+	}
+	spans, instants := 0, 0
+	for _, ev := range a.Events {
+		switch ev.Phase {
+		case 'X':
+			spans++
+		case 'i':
+			instants++
+		}
+	}
+	if spans != 4 || instants != 1 {
+		t.Fatalf("trace A has %d spans, %d instants; want 4, 1", spans, instants)
+	}
+}
+
+// TestNilAndUntracedAreNoOps locks the zero-cost contract's API half:
+// every hook on a nil recorder or with an invalid context is safe.
+func TestNilAndUntracedAreNoOps(t *testing.T) {
+	var r *Recorder
+	ctx := r.Mint(0, "x", 0)
+	if ctx.Valid() {
+		t.Fatal("nil recorder minted a context")
+	}
+	r.Complete(ctx, LaneWire, 0, "x", 0, 1)
+	r.Instant(ctx, LaneWire, 0, "x", 0)
+	r.MarkFault(1)
+	r.Counter("x", 0)
+	r.Finish(1, 0, "done")
+	r.End(1, 1, 0)
+	if got := r.Stats(); got != (Stats{}) {
+		t.Fatalf("nil recorder stats = %+v", got)
+	}
+	var b bytes.Buffer
+	if err := r.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "traceEvents") {
+		t.Fatalf("nil export = %q", b.String())
+	}
+
+	live := New(Options{})
+	if id := live.Begin(Context{}, LaneWire, 0, "x", 0); id != 0 {
+		t.Fatal("Begin with zero context returned a span")
+	}
+	live.Complete(Context{Trace: 99}, LaneWire, 0, "x", 0, 1) // unknown trace
+	if st := live.Stats(); st.Open != 0 {
+		t.Fatalf("unknown-trace events opened something: %+v", st)
+	}
+}
+
+func TestBeginEnd(t *testing.T) {
+	r := New(Options{KeepAll: true})
+	ctx := r.Mint(2, "msg", 0)
+	id := r.Begin(ctx, LaneTransport, 2, "inflight", 10)
+	if id == 0 {
+		t.Fatal("Begin returned 0")
+	}
+	r.End(ctx.Trace, id, 70, KV{"acked", "true"})
+	r.Finish(ctx.Trace, 100, "matched")
+	tr := r.Retained()[0]
+	var found bool
+	for _, ev := range tr.Events {
+		if ev.Name == "inflight" {
+			found = true
+			if ev.DurNS != 60 {
+				t.Fatalf("inflight dur = %v, want 60", ev.DurNS)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("inflight span missing")
+	}
+}
+
+// TestFinishSealsOpenSpans: spans still open at Finish close at the
+// trace end rather than exporting with a sentinel duration.
+func TestFinishSealsOpenSpans(t *testing.T) {
+	r := New(Options{KeepAll: true})
+	ctx := r.Mint(0, "msg", 0)
+	r.Begin(ctx, LaneTransport, 0, "never-ended", 20)
+	r.Finish(ctx.Trace, 80, "abandoned")
+	for _, ev := range r.Retained()[0].Events {
+		if ev.Phase == 'X' && ev.DurNS < 0 {
+			t.Fatalf("span %q exported with dur %v", ev.Name, ev.DurNS)
+		}
+		if ev.Name == "never-ended" && ev.DurNS != 60 {
+			t.Fatalf("open span sealed with dur %v, want 60", ev.DurNS)
+		}
+	}
+}
+
+// TestTailRetention: with faults retained unconditionally and a tight
+// quantile, short clean traces are discarded once the window warms up.
+func TestTailRetention(t *testing.T) {
+	r := New(Options{LatencyQuantile: 0.9})
+	// Warm past the first threshold recompute with uniform latencies.
+	for i := 0; i < latEvery; i++ {
+		ctx := r.Mint(0, "warm", float64(i)*1000)
+		r.Finish(ctx.Trace, float64(i)*1000+100, "matched")
+	}
+	before := r.Stats()
+	// Now a fast clean trace must be discarded...
+	fast := r.Mint(0, "fast", 1e6)
+	r.Finish(fast.Trace, 1e6+1, "matched")
+	if got := r.Stats(); got.Retained != before.Retained {
+		t.Fatalf("fast clean trace retained (before %d, after %d)", before.Retained, got.Retained)
+	}
+	// ...a slow one kept...
+	slow := r.Mint(0, "slow", 2e6)
+	r.Finish(slow.Trace, 2e6+1e5, "matched")
+	if got := r.Stats(); got.Retained != before.Retained+1 {
+		t.Fatal("slow trace not retained")
+	}
+	// ...and a fast faulted one kept too.
+	faulted := r.Mint(0, "faulted", 3e6)
+	r.MarkFault(faulted.Trace)
+	r.Finish(faulted.Trace, 3e6+1, "matched")
+	if got := r.Stats(); got.Retained != before.Retained+2 {
+		t.Fatal("faulted trace not retained")
+	}
+}
+
+// TestRingEviction: the flight recorder is bounded; the oldest retained
+// trace is evicted when full.
+func TestRingEviction(t *testing.T) {
+	r := New(Options{Capacity: 4, KeepAll: true})
+	for i := 0; i < 10; i++ {
+		ctx := r.Mint(0, "msg", float64(i))
+		r.Finish(ctx.Trace, float64(i)+1, "matched")
+	}
+	st := r.Stats()
+	if st.Retained != 4 || st.Evicted != 6 || st.Kept != 10 {
+		t.Fatalf("stats = %+v, want retained 4, evicted 6, kept 10", st)
+	}
+	got := r.Retained()
+	if got[0].ID != 7 || got[3].ID != 10 {
+		t.Fatalf("ring holds traces %d..%d, want 7..10", got[0].ID, got[3].ID)
+	}
+}
+
+func TestLatencyTrigger(t *testing.T) {
+	r := New(Options{TriggerLatencyNS: 1000})
+	ctx := r.Mint(0, "fast", 0)
+	r.Finish(ctx.Trace, 500, "matched")
+	if len(r.Triggered()) != 0 {
+		t.Fatal("fast trace tripped the trigger")
+	}
+	ctx = r.Mint(0, "slow", 0)
+	r.Finish(ctx.Trace, 5000, "matched")
+	trig := r.Triggered()
+	if len(trig) != 1 || !strings.Contains(trig[0], "5000ns") {
+		t.Fatalf("triggers = %v", trig)
+	}
+}
+
+// TestOpenTracesExport: still-open traces appear in the Chrome dump
+// (sealed as "open"), so a live daemon's /debug/trace shows in-flight
+// work.
+func TestOpenTracesExport(t *testing.T) {
+	r := New(Options{})
+	ctx := r.Mint(3, "inflight-msg", 100)
+	r.Complete(ctx, LaneWire, 3, "xmit#0", 110, 50, KV{"fate", "delivered"})
+	var b bytes.Buffer
+	if err := r.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "inflight-msg") || !strings.Contains(out, `"status":"open"`) {
+		t.Fatalf("open trace missing from export:\n%s", out)
+	}
+	// Exporting must not consume the open trace.
+	if st := r.Stats(); st.Open != 1 {
+		t.Fatalf("export consumed the open trace: %+v", st)
+	}
+	r.Finish(ctx.Trace, 200, "matched")
+	if st := r.Stats(); st.Open != 0 || st.Finished != 1 {
+		t.Fatalf("post-export finish broken: %+v", st)
+	}
+}
+
+// TestCheckChromeJSON: the exported scenario passes the checker, and
+// the checker's evidence matches the scenario — message A is the full
+// causal chain (dropped xmit#0 + delivered xmit#1 + engine arrive +
+// matched root); message B is clean with a single attempt.
+func TestCheckChromeJSON(t *testing.T) {
+	r := New(Options{KeepAll: true})
+	record(r)
+	var b bytes.Buffer
+	if err := r.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckChromeJSON(&b)
+	if err != nil {
+		t.Fatalf("check failed: %v\n%s", err, b.String())
+	}
+	if rep.Traces != 2 {
+		t.Fatalf("report %+v: want 2 traces", rep)
+	}
+	if rep.FaultTraces != 1 {
+		t.Fatalf("report %+v: want 1 fault trace", rep)
+	}
+	if rep.FullChains != 1 {
+		t.Fatalf("report %+v: want 1 full causal chain", rep)
+	}
+	if rep.Counters != 2 {
+		t.Fatalf("report %+v: want 2 counter samples", rep)
+	}
+}
+
+// TestCheckRejectsBrokenParent: a span pointing at a parent in another
+// trace fails validation.
+func TestCheckRejectsBrokenParent(t *testing.T) {
+	bad := `{"traceEvents":[
+{"name":"a","cat":"client","ph":"X","ts":0,"dur":1,"pid":0,"tid":1,"args":{"trace":"1","span":"1","parent":"0"}},
+{"name":"b","cat":"wire","ph":"X","ts":0,"dur":1,"pid":0,"tid":2,"args":{"trace":"2","span":"2","parent":"1"}}
+]}`
+	if _, err := CheckChromeJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("cross-trace parent accepted")
+	}
+	dup := `{"traceEvents":[
+{"name":"a","cat":"client","ph":"X","ts":0,"dur":1,"pid":0,"tid":1,"args":{"trace":"1","span":"1","parent":"0"}},
+{"name":"b","cat":"wire","ph":"X","ts":0,"dur":1,"pid":0,"tid":2,"args":{"trace":"1","span":"1","parent":"0"}}
+]}`
+	if _, err := CheckChromeJSON(strings.NewReader(dup)); err == nil {
+		t.Fatal("duplicate span id accepted")
+	}
+	if _, err := CheckChromeJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("non-JSON accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package ctrace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the Chrome trace golden file")
+
+// checkGolden compares got against testdata/name, rewriting the file
+// under -update (mirrors internal/telemetry's exporter golden tests).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden output\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestChromeGolden locks the Chrome export byte-for-byte: the scenario
+// in record() interleaves two messages' events out of order, so the
+// golden file also proves the exporter's cycle-ordered sort.
+func TestChromeGolden(t *testing.T) {
+	r := New(Options{KeepAll: true})
+	record(r)
+	var b bytes.Buffer
+	if err := r.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_chrome.json", b.Bytes())
+}
+
+// TestChromeDeterministic re-records and re-exports the scenario many
+// times: every pass must be byte-identical (no map iteration anywhere
+// in the export path).
+func TestChromeDeterministic(t *testing.T) {
+	var first []byte
+	for i := 0; i < 20; i++ {
+		r := New(Options{KeepAll: true})
+		record(r)
+		var b bytes.Buffer
+		if err := r.WriteChrome(&b); err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = b.Bytes()
+		} else if !bytes.Equal(first, b.Bytes()) {
+			t.Fatalf("pass %d produced different bytes", i)
+		}
+	}
+}

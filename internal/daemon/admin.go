@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -19,6 +20,8 @@ import (
 //	                      residency fractions, fault counters
 //	GET /metrics        — live Prometheus scrape of the registry
 //	GET /debug/profile  — one-shot diagnostic zip (see profile.go)
+//	GET /debug/trace    — flight-recorder dump as Chrome trace JSON
+//	                      (load in Perfetto / chrome://tracing)
 
 func (s *Server) adminMux() *http.ServeMux {
 	mux := http.NewServeMux()
@@ -27,7 +30,19 @@ func (s *Server) adminMux() *http.ServeMux {
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/profile", s.handleProfile)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
 	return mux
+}
+
+// handleTrace dumps the always-on flight recorder: every retained
+// trace (tail-latency outliers and fault-marked timelines) plus the
+// currently in-flight ones, as Chrome trace-event JSON.
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="spco-trace.json"`)
+	if err := s.tr.WriteChrome(w); err != nil {
+		s.cfg.Logf("daemon: /debug/trace: %v", err)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -107,8 +122,19 @@ type StatusEngine struct {
 	Overflow   string `json:"overflow_policy"`
 }
 
+// StatusTrace is the flight-recorder half of /status.
+type StatusTrace struct {
+	Open     int    `json:"open"`
+	Retained int    `json:"retained"`
+	Finished uint64 `json:"finished"`
+	Kept     uint64 `json:"kept"`
+	Evicted  uint64 `json:"evicted"`
+}
+
 // StatusReport is the /status JSON document.
 type StatusReport struct {
+	Version           string            `json:"version"`
+	GoVersion         string            `json:"go_version"`
 	UptimeSeconds     float64           `json:"uptime_seconds"`
 	Addr              string            `json:"addr"`
 	AdminAddr         string            `json:"admin_addr"`
@@ -119,12 +145,20 @@ type StatusReport struct {
 	DupSuppressed     uint64            `json:"dups_suppressed"`
 	Engine            StatusEngine      `json:"engine"`
 	Residency         []StatusResidency `json:"residency"`
+	Trace             StatusTrace       `json:"trace"`
 }
 
 // Status assembles the live status document (also used by /status).
 func (s *Server) Status() StatusReport {
 	st := s.Stats()
+	ts := s.tr.Stats()
 	rep := StatusReport{
+		Version:   Version,
+		GoVersion: runtime.Version(),
+		Trace: StatusTrace{
+			Open: ts.Open, Retained: ts.Retained,
+			Finished: ts.Finished, Kept: ts.Kept, Evicted: ts.Evicted,
+		},
 		UptimeSeconds:     time.Since(s.start).Seconds(),
 		Addr:              s.Addr(),
 		AdminAddr:         s.AdminAddr(),

@@ -70,9 +70,24 @@ func (c *Client) Arrive(rank, tag int32, ctx uint16, msg uint64) (mpi.WireReply,
 	return c.do(mpi.WireOp{Kind: mpi.WireArrive, Rank: rank, Tag: tag, Ctx: ctx, Handle: msg})
 }
 
+// ArriveTraced is Arrive carrying a client-minted causal-trace id the
+// daemon adopts into its flight recorder (0 = untraced).
+func (c *Client) ArriveTraced(rank, tag int32, ctx uint16, msg, trace uint64) (mpi.WireReply, error) {
+	return c.do(mpi.WireOp{Kind: mpi.WireArrive, Rank: rank, Tag: tag, Ctx: ctx,
+		Handle: msg, Trace: trace})
+}
+
 // Post posts a receive; the reply reports a UMQ match (Outcome 1).
 func (c *Client) Post(rank, tag int32, ctx uint16, req uint64) (mpi.WireReply, error) {
 	return c.do(mpi.WireOp{Kind: mpi.WirePost, Rank: rank, Tag: tag, Ctx: ctx, Handle: req})
+}
+
+// PostTraced is Post carrying a causal-trace id (0 = untraced). A
+// matched pair whose arrive and post share one trace id lands as one
+// end-to-end timeline in the daemon's recorder.
+func (c *Client) PostTraced(rank, tag int32, ctx uint16, req, trace uint64) (mpi.WireReply, error) {
+	return c.do(mpi.WireOp{Kind: mpi.WirePost, Rank: rank, Tag: tag, Ctx: ctx,
+		Handle: req, Trace: trace})
 }
 
 // Phase runs a compute phase on the daemon engine.
@@ -231,8 +246,11 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 				tag := int32(i)
 				prepost := rng.Float64() < cfg.PrePostFrac
 
+				// Pair i's arrive and post share trace id i+1, so the
+				// daemon's flight recorder sees one end-to-end timeline
+				// per pair.
 				if prepost {
-					rep, err := cl.Post(src, tag, cfg.Ctx, uint64(i))
+					rep, err := cl.PostTraced(src, tag, cfg.Ctx, uint64(i), uint64(i)+1)
 					if err != nil {
 						addErr(fmt.Errorf("conn %d post %d: %w", conn, i, err))
 						break
@@ -275,7 +293,7 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 					case byte(engine.ArriveQueuedRendezvous):
 						local.Rendezvous++
 					}
-					prep, err := cl.Post(src, tag, cfg.Ctx, uint64(i))
+					prep, err := cl.PostTraced(src, tag, cfg.Ctx, uint64(i), uint64(i)+1)
 					if err != nil {
 						addErr(fmt.Errorf("conn %d post %d: %w", conn, i, err))
 						break
@@ -331,7 +349,7 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 func arriveWithRetry(cl *Client, src, tag int32, cfg LoadConfig, msg uint64,
 	local *LoadResult, addErr func(error), conn, i int) (mpi.WireReply, bool) {
 	for attempt := 0; ; attempt++ {
-		rep, err := cl.Arrive(src, tag, cfg.Ctx, msg)
+		rep, err := cl.ArriveTraced(src, tag, cfg.Ctx, msg, msg+1)
 		if err != nil {
 			addErr(fmt.Errorf("conn %d arrive %d: %w", conn, i, err))
 			return rep, false

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spco/internal/ctrace"
 	"spco/internal/engine"
 	"spco/internal/fault"
 	"spco/internal/match"
@@ -46,6 +47,12 @@ import (
 	"spco/internal/perf"
 	"spco/internal/telemetry"
 )
+
+// Version identifies the build in spco_build_info and /status;
+// overridable at link time:
+//
+//	go build -ldflags "-X spco/internal/daemon.Version=v1.2.3"
+var Version = "dev"
 
 // ErrForced reports a shutdown forced by a second signal during the
 // graceful drain; commands should exit nonzero.
@@ -98,6 +105,15 @@ type Config struct {
 	// os.Stdout; io.Discard silences it).
 	PerfOut io.Writer
 
+	// Trace is the causal-trace flight recorder. Nil gets a default
+	// always-on recorder (bounded, tail-retained) so /debug/trace works
+	// on every daemon; supply one to tune capacity/retention.
+	Trace *ctrace.Recorder
+
+	// TraceOut, when set, receives a final Chrome trace-event JSON dump
+	// of the flight recorder during shutdown.
+	TraceOut string
+
 	// Logf logs serving events (default: silent).
 	Logf func(format string, args ...any)
 }
@@ -111,6 +127,7 @@ type Server struct {
 	mu   sync.Mutex
 	en   *engine.Engine
 	wire *fault.Wire
+	tr   *ctrace.Recorder
 
 	ln      net.Listener
 	adminLn net.Listener
@@ -171,6 +188,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.Trace == nil {
+		// The flight recorder is always on: bounded, tail-retained, and
+		// dumpable at any moment via /debug/trace.
+		cfg.Trace = ctrace.New(ctrace.Options{})
+	}
 	if cfg.ListenAddr == "" {
 		cfg.ListenAddr = "127.0.0.1:0"
 	}
@@ -185,6 +207,8 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:   cfg,
 		en:    en,
+		tr:    cfg.Trace,
+		start: time.Now(), // reset by Run; set here so pre-Run traffic has a clock
 		quit:  make(chan struct{}),
 		conns: make(map[net.Conn]struct{}),
 	}
@@ -212,6 +236,9 @@ func New(cfg Config) (*Server, error) {
 	s.cConns = reg.Counter("spco_daemon_connections_total", nil)
 	s.gActive = reg.Gauge("spco_daemon_connections_active", nil)
 	s.gUptime = reg.Gauge("spco_daemon_uptime_seconds", nil)
+	reg.Help("spco_build_info", "Build identity (constant 1; the labels carry the information).")
+	reg.Gauge("spco_build_info",
+		telemetry.Labels{"version": Version, "go": runtime.Version()}).Set(1)
 
 	if s.ln, err = net.Listen("tcp", cfg.ListenAddr); err != nil {
 		return nil, err
@@ -329,7 +356,28 @@ func (s *Server) finish() {
 		s.cfg.PMU.WriteReport(s.cfg.PerfOut)
 		s.mu.Unlock()
 	}
+	if s.cfg.TraceOut != "" {
+		if err := s.writeTraceFile(s.cfg.TraceOut); err != nil {
+			s.cfg.Logf("daemon: trace flush: %v", err)
+		}
+	}
+	for _, trig := range s.tr.Triggered() {
+		s.cfg.Logf("daemon: trace trigger: %s", trig)
+	}
 	s.admin.Close()
+}
+
+// writeTraceFile dumps the flight recorder as Chrome trace JSON.
+func (s *Server) writeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // acceptLoop admits connections until the listener closes.
@@ -412,6 +460,25 @@ func isWireDecodeError(err error) bool {
 	return !errors.As(err, &ne)
 }
 
+// hostNS is the daemon's trace clock: host nanoseconds since start
+// (the daemon serves real traffic, so its timeline is wall time).
+func (s *Server) hostNS() float64 {
+	return float64(time.Since(s.start).Nanoseconds())
+}
+
+// adoptTrace joins the client-minted trace context riding a wire frame
+// (zero when the client is untraced or the recorder is off).
+func (s *Server) adoptTrace(op mpi.WireOp, name string) ctrace.Context {
+	if op.Trace == 0 {
+		return ctrace.Context{}
+	}
+	pid := int(op.Rank)
+	if pid < 0 {
+		pid = 0
+	}
+	return s.tr.Adopt(ctrace.Context{Trace: op.Trace, Parent: op.Span}, pid, name, s.hostNS())
+}
+
 // apply executes one wire operation against the engine.
 func (s *Server) apply(op mpi.WireOp) mpi.WireReply {
 	rep := mpi.WireReply{Kind: op.Kind, Status: mpi.WireOK}
@@ -422,12 +489,19 @@ func (s *Server) apply(op mpi.WireOp) mpi.WireReply {
 	defer s.mu.Unlock()
 	switch op.Kind {
 	case mpi.WireArrive:
+		tctx := s.adoptTrace(op, fmt.Sprintf("msg tag=%d", op.Tag))
+		pid := int(op.Rank)
+		if pid < 0 {
+			pid = 0
+		}
 		if s.wire != nil {
 			fate := s.wire.Judge()
 			if fate.Dropped || fate.Corrupted {
 				s.nacks.Add(1)
 				s.cNacks.Inc()
 				rep.Status = mpi.WireNack
+				s.tr.Instant(tctx, ctrace.LaneWire, pid, "ingress-nack", s.hostNS())
+				s.tr.MarkFault(tctx.Trace)
 				return rep
 			}
 			if fate.Duplicated {
@@ -435,25 +509,56 @@ func (s *Server) apply(op mpi.WireOp) mpi.WireReply {
 				// (one frame, one engine delivery) suppresses it.
 				s.dupSuppressed.Add(1)
 				s.cDups.Inc()
+				s.tr.Instant(tctx, ctrace.LaneWire, pid, "dup-suppressed", s.hostNS())
+				s.tr.MarkFault(tctx.Trace)
 			}
 		}
 		env := match.Envelope{Rank: op.Rank, Tag: op.Tag, Ctx: op.Ctx}
+		at := s.hostNS()
+		s.cfg.PMU.SetTraceContext(op.Trace, op.Span)
 		req, outcome, cy := s.en.ArriveFull(env, op.Handle)
 		rep.Outcome = byte(outcome)
 		rep.Handle = req
 		rep.Cycles = cy
-		if outcome == engine.ArriveRefused {
+		s.tr.Complete(tctx, ctrace.LaneEngine, pid, "arrive",
+			at, s.en.CyclesToNanos(cy),
+			ctrace.KV{K: "outcome", V: outcome.String()})
+		switch outcome {
+		case engine.ArriveRefused:
 			rep.Status = mpi.WireBusy
+			s.tr.Instant(tctx, ctrace.LaneDaemon, pid, "busy-nack", s.hostNS())
+			s.tr.MarkFault(tctx.Trace)
+		case engine.ArriveMatched:
+			s.tr.Finish(tctx.Trace, s.hostNS(), "matched")
 		}
 	case mpi.WirePost:
+		tctx := s.adoptTrace(op, fmt.Sprintf("msg tag=%d", op.Tag))
+		pid := int(op.Rank)
+		if pid < 0 {
+			pid = 0
+		}
+		at := s.hostNS()
 		msg, matched, cy := s.en.PostRecv(int(op.Rank), int(op.Tag), op.Ctx, op.Handle)
 		if matched {
 			rep.Outcome = 1
 			rep.Handle = msg
 		}
 		rep.Cycles = cy
+		s.tr.Complete(tctx, ctrace.LaneEngine, pid, "post",
+			at, s.en.CyclesToNanos(cy),
+			ctrace.KV{K: "matched", V: fmt.Sprintf("%v", matched)})
+		if matched {
+			s.tr.Finish(tctx.Trace, s.hostNS(), "matched")
+		}
 	case mpi.WirePhase:
 		s.en.BeginComputePhase(op.DurationNS)
+		if s.tr != nil {
+			if ht := s.en.Heater(); ht != nil {
+				s.tr.Counter("heater", s.hostNS(),
+					ctrace.CV{K: "sweeps", V: float64(ht.Sweeps())},
+					ctrace.CV{K: "coverage", V: ht.LastSweepCoverage()})
+			}
+		}
 	case mpi.WireStat:
 		rep.PRQLen = uint32(s.en.PRQLen())
 		rep.UMQLen = uint32(s.en.UMQLen())

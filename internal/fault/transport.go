@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"spco/internal/ctrace"
 	"spco/internal/engine"
 	"spco/internal/match"
 	"spco/internal/netmodel"
@@ -64,6 +65,13 @@ type Config struct {
 	// expirations, dup suppressions, wire drops, credit stalls) so
 	// -perf-stat reports include the fault counters.
 	PMU *perf.PMU
+
+	// Trace, when set, receives the causal timeline: every Send mints a
+	// trace, every wire attempt becomes a child span carrying its fate,
+	// every fault event an instant, and every engine operation an
+	// engine-lane span, all on the transport's simulated-ns clock. Nil
+	// keeps the run bit-identical to an untraced one.
+	Trace *ctrace.Recorder
 
 	// RTONS is the initial retransmission timeout; zero selects
 	// Fabric.SuggestedRTONS(EagerBytes). Backoff doubles it per retry up
@@ -218,6 +226,9 @@ type event struct {
 
 	// evPhase
 	durNS float64
+
+	// causal-trace context riding the event (zero when untraced)
+	tctx ctrace.Context
 }
 
 type eventHeap []*event
@@ -250,6 +261,7 @@ type pendingPkt struct {
 	busy    int    // busy-NACK requeues (liveness bound, see fireNack)
 	gen     uint64 // bumps on every (re)send; stale RTO events no-op
 	sacked  bool   // receiver holds it out of order; defer retransmit
+	tctx    ctrace.Context
 }
 
 type sendFlow struct {
@@ -261,8 +273,9 @@ type sendFlow struct {
 }
 
 type oooPkt struct {
-	env match.Envelope
-	msg uint64
+	env  match.Envelope
+	msg  uint64
+	tctx ctrace.Context
 }
 
 type recvFlow struct {
@@ -294,6 +307,10 @@ type Transport struct {
 	// rendezvous holds msg handles demoted to header-only UMQ entries;
 	// consuming one costs the payload round trip.
 	rendezvous map[uint64]uint64 // msg -> bytes
+
+	// Causal tracing (nil recorder: every hook no-ops).
+	tr         *ctrace.Recorder
+	traceByMsg map[uint64]traceRef // UMQ-queued msg -> its open trace
 
 	deliveries []Delivery
 	stats      Stats
@@ -340,8 +357,17 @@ func NewTransport(cfg Config) (*Transport, error) {
 		send:       make(map[int32]*sendFlow),
 		recv:       make(map[int32]*recvFlow),
 		rendezvous: make(map[uint64]uint64),
+		tr:         cfg.Trace,
+		traceByMsg: make(map[uint64]traceRef),
 	}
 	return t, nil
+}
+
+// traceRef remembers an open trace (and its display pid) for a message
+// parked in the UMQ, so the consuming post attaches and finishes it.
+type traceRef struct {
+	ctx ctrace.Context
+	pid int
 }
 
 // MustNewTransport panics on the errors NewTransport returns.
@@ -381,8 +407,9 @@ func (t *Transport) recvFlow(src int32) *recvFlow {
 // Times must not be negative; equal times resolve in call order.
 func (t *Transport) Send(atNS float64, src int32, tag int32, ctx uint16, msg uint64) {
 	t.stats.Sends++
+	tctx := t.tr.Mint(int(src), fmt.Sprintf("send src=%d tag=%d", src, tag), atNS)
 	t.push(&event{at: atNS, kind: evSend, flow: src,
-		env: match.Envelope{Rank: src, Tag: tag, Ctx: ctx}, msg: msg})
+		env: match.Envelope{Rank: src, Tag: tag, Ctx: ctx}, msg: msg, tctx: tctx})
 }
 
 // PostRecv schedules a receive post at simulated time atNS. The engine
@@ -425,10 +452,32 @@ func (t *Transport) Run() Stats {
 		case evPost:
 			t.firePost(e)
 		case evPhase:
+			t.sampleCounters()
 			t.en.BeginComputePhase(e.durNS)
+			t.sampleCounters()
 		}
 	}
 	return t.Stats()
+}
+
+// sampleCounters records heater-sweep and cache-residency counter
+// tracks at compute-phase boundaries, so Perfetto shows occupancy
+// moving under the message spans. No-op without a recorder.
+func (t *Transport) sampleCounters() {
+	if t.tr == nil {
+		return
+	}
+	if ht := t.en.Heater(); ht != nil {
+		t.tr.Counter("heater", t.now,
+			ctrace.CV{K: "sweeps", V: float64(ht.Sweeps())},
+			ctrace.CV{K: "coverage", V: ht.LastSweepCoverage()})
+	}
+	for _, r := range t.en.Hierarchy().ScanResidency() {
+		t.tr.Counter("residency:"+r.Owner, t.now,
+			ctrace.CV{K: "l1", V: r.L1Frac()},
+			ctrace.CV{K: "l2", V: r.L2Frac()},
+			ctrace.CV{K: "l3", V: r.L3Frac()})
+	}
 }
 
 // rto returns the timeout for a packet's next (re)transmission:
@@ -454,7 +503,7 @@ func (t *Transport) rto(retries int, sacked bool) float64 {
 // the backlog), assign the flow sequence number, transmit.
 func (t *Transport) fireSend(e *event) {
 	f := t.sendFlow(e.flow)
-	pkt := &pendingPkt{env: e.env, msg: e.msg}
+	pkt := &pendingPkt{env: e.env, msg: e.msg, tctx: e.tctx}
 	if t.credits == 0 || len(f.backlog) > 0 {
 		// No window, or earlier sends of this flow are already parked
 		// (overtaking them would break per-flow FIFO).
@@ -462,6 +511,8 @@ func (t *Transport) fireSend(e *event) {
 		if t.pmu != nil {
 			t.pmu.OnCreditStall()
 		}
+		t.tr.Instant(pkt.tctx, ctrace.LaneTransport, int(e.flow), "credit-stall", t.now)
+		t.tr.MarkFault(pkt.tctx.Trace)
 		f.backlog = append(f.backlog, pkt)
 		return
 	}
@@ -487,11 +538,15 @@ func (t *Transport) transmit(f *sendFlow, pkt *pendingPkt) {
 	pkt.gen++
 	fate := t.wire.Judge()
 	bytes := t.cfg.EagerBytes
+	attempt := fmt.Sprintf("xmit#%d", pkt.gen-1)
 	if fate.Dropped {
 		t.stats.WireDrops++
 		if t.pmu != nil {
 			t.pmu.OnWireDrop()
 		}
+		t.tr.Complete(pkt.tctx, ctrace.LaneWire, int(f.src), attempt, t.now, 0,
+			ctrace.KV{K: "fate", V: "dropped"})
+		t.tr.MarkFault(pkt.tctx.Trace)
 	} else {
 		arrive := t.now + t.cfg.Fabric.EndToEndNS(bytes) +
 			float64(fate.DelayGaps)*t.cfg.Fabric.MessageGapNS(bytes)
@@ -504,12 +559,24 @@ func (t *Transport) transmit(f *sendFlow, pkt *pendingPkt) {
 				t.pmu.OnWireCorrupt()
 			}
 		}
+		xargs := []ctrace.KV{{K: "fate", V: "delivered"}}
+		if fate.Corrupted {
+			xargs = append(xargs, ctrace.KV{K: "corrupt", V: "true"})
+		}
+		if fate.DelayGaps > 0 {
+			xargs = append(xargs, ctrace.KV{K: "delay_gaps", V: fmt.Sprintf("%d", fate.DelayGaps)})
+		}
+		t.tr.Complete(pkt.tctx, ctrace.LaneWire, int(f.src), attempt, t.now, arrive-t.now, xargs...)
 		t.push(&event{at: arrive, kind: evData, flow: f.src, seq: pkt.seq,
-			env: pkt.env, msg: pkt.msg, corrupt: fate.Corrupted})
+			env: pkt.env, msg: pkt.msg, corrupt: fate.Corrupted, tctx: pkt.tctx})
 		if fate.Duplicated {
 			t.stats.WireDups++
-			t.push(&event{at: arrive + t.cfg.Fabric.MessageGapNS(bytes), kind: evData,
-				flow: f.src, seq: pkt.seq, env: pkt.env, msg: pkt.msg})
+			dupArrive := arrive + t.cfg.Fabric.MessageGapNS(bytes)
+			t.tr.Complete(pkt.tctx, ctrace.LaneWire, int(f.src), attempt+".dup", t.now, dupArrive-t.now,
+				ctrace.KV{K: "fate", V: "delivered"}, ctrace.KV{K: "wire_dup", V: "true"})
+			t.tr.MarkFault(pkt.tctx.Trace)
+			t.push(&event{at: dupArrive, kind: evData,
+				flow: f.src, seq: pkt.seq, env: pkt.env, msg: pkt.msg, tctx: pkt.tctx})
 		}
 	}
 	t.push(&event{at: t.now + t.rto(pkt.retries, pkt.sacked), kind: evRTO,
@@ -524,16 +591,20 @@ func (t *Transport) fireData(e *event) {
 		// sender's RTO recovers it.
 		t.stats.CorruptDiscards++
 		t.stats.AuxCycles += CorruptCheckCycles
+		t.tr.Instant(e.tctx, ctrace.LaneTransport, int(e.flow), "corrupt-discard", t.now)
+		t.tr.MarkFault(e.tctx.Trace)
 		return
 	}
 	f := t.recvFlow(e.flow)
 	if e.seq < f.expected {
 		// Already delivered: a wire duplicate or a retransmission that
 		// crossed our ack. Suppress, re-ack so the sender stops.
+		t.tr.Instant(e.tctx, ctrace.LaneTransport, int(e.flow), "dup-suppressed", t.now)
 		t.suppressDup(e.flow, f)
 		return
 	}
 	if _, buffered := f.ooo[e.seq]; buffered {
+		t.tr.Instant(e.tctx, ctrace.LaneTransport, int(e.flow), "dup-suppressed", t.now)
 		t.suppressDup(e.flow, f)
 		return
 	}
@@ -541,15 +612,18 @@ func (t *Transport) fireData(e *event) {
 		if len(f.ooo) >= t.oooCap {
 			// Reassembly window full: treat as loss, no ack.
 			t.stats.OOOOverflow++
+			t.tr.Instant(e.tctx, ctrace.LaneTransport, int(e.flow), "ooo-overflow", t.now)
+			t.tr.MarkFault(e.tctx.Trace)
 			return
 		}
-		f.ooo[e.seq] = oooPkt{env: e.env, msg: e.msg}
+		f.ooo[e.seq] = oooPkt{env: e.env, msg: e.msg, tctx: e.tctx}
 		t.stats.OOOBuffered++
+		t.tr.Instant(e.tctx, ctrace.LaneTransport, int(e.flow), "ooo-buffered", t.now)
 		t.sendAck(e.flow, f, e.seq, true)
 		return
 	}
 	// In sequence: deliver it and everything consecutive behind it.
-	t.deliverRun(e.flow, f, oooPkt{env: e.env, msg: e.msg})
+	t.deliverRun(e.flow, f, oooPkt{env: e.env, msg: e.msg, tctx: e.tctx})
 	t.sendAck(e.flow, f, 0, false)
 }
 
@@ -570,10 +644,17 @@ func (t *Transport) suppressDup(src int32, f *recvFlow) {
 func (t *Transport) deliverRun(src int32, f *recvFlow, first oooPkt) {
 	pkt := first
 	for {
+		t.pmu.SetTraceContext(pkt.tctx.Trace, pkt.tctx.Parent)
 		_, outcome, cycles := t.en.ArriveFull(pkt.env, pkt.msg)
 		t.stats.EngineOpCycles += cycles
+		t.tr.Complete(pkt.tctx, ctrace.LaneEngine, int(src), "arrive",
+			t.now, t.en.CyclesToNanos(cycles),
+			ctrace.KV{K: "outcome", V: outcome.String()},
+			ctrace.KV{K: "cycles", V: fmt.Sprintf("%d", cycles)})
 		if outcome == engine.ArriveRefused {
 			t.stats.BusyNacks++
+			t.tr.Instant(pkt.tctx, ctrace.LaneTransport, int(src), "busy-nack", t.now)
+			t.tr.MarkFault(pkt.tctx.Trace)
 			t.pushNack(src, f.expected)
 			return
 		}
@@ -585,9 +666,13 @@ func (t *Transport) deliverRun(src int32, f *recvFlow, first oooPkt) {
 		switch outcome {
 		case engine.ArriveQueuedRendezvous:
 			t.rendezvous[pkt.msg] = t.cfg.EagerBytes
+			t.noteQueued(pkt)
+		case engine.ArriveQueued:
+			t.noteQueued(pkt)
 		case engine.ArriveMatched:
 			// Straight into a posted receive: no UMQ slot consumed, the
 			// credit frees immediately.
+			t.tr.Finish(pkt.tctx.Trace, t.now+t.en.CyclesToNanos(cycles), "matched")
 			t.grantCredit()
 		}
 		f.expected++
@@ -598,6 +683,15 @@ func (t *Transport) deliverRun(src int32, f *recvFlow, first oooPkt) {
 		delete(f.ooo, f.expected)
 		pkt = next
 	}
+}
+
+// noteQueued remembers the open trace of a message parked in the UMQ,
+// so the posted receive that later consumes it can close the timeline.
+func (t *Transport) noteQueued(pkt oooPkt) {
+	if t.tr == nil || !pkt.tctx.Valid() {
+		return
+	}
+	t.traceByMsg[pkt.msg] = traceRef{ctx: pkt.tctx, pid: int(pkt.env.Rank)}
 }
 
 // sendAck injects a cumulative ack (next expected seq), optionally
@@ -677,6 +771,10 @@ func (t *Transport) fireNack(e *event) {
 	pkt.busy++
 	if pkt.busy > MaxBusyRequeues {
 		t.stats.RetryExhausted++
+		t.tr.Instant(pkt.tctx, ctrace.LaneTransport, int(e.flow), "retry-exhausted", t.now,
+			ctrace.KV{K: "cause", V: "busy"})
+		t.tr.MarkFault(pkt.tctx.Trace)
+		t.tr.Finish(pkt.tctx.Trace, t.now, "abandoned")
 		delete(f.pending, e.seq)
 		return
 	}
@@ -735,9 +833,15 @@ func (t *Transport) fireRTO(e *event) {
 	if t.pmu != nil {
 		t.pmu.OnRTOExpired()
 	}
+	t.tr.Instant(pkt.tctx, ctrace.LaneTransport, int(e.flow), "rto", t.now,
+		ctrace.KV{K: "retries", V: fmt.Sprintf("%d", pkt.retries)})
+	t.tr.MarkFault(pkt.tctx.Trace)
 	pkt.retries++
 	if pkt.retries > t.retries {
 		t.stats.RetryExhausted++
+		t.tr.Instant(pkt.tctx, ctrace.LaneTransport, int(e.flow), "retry-exhausted", t.now,
+			ctrace.KV{K: "cause", V: "loss"})
+		t.tr.Finish(pkt.tctx.Trace, t.now, "abandoned")
 		delete(f.pending, e.seq)
 		return
 	}
@@ -756,6 +860,15 @@ func (t *Transport) firePost(e *event) {
 	t.stats.EngineOpCycles += cycles
 	if !matched {
 		return
+	}
+	if ref, ok := t.traceByMsg[msg]; ok {
+		// The post consumed a traced UMQ message: attach the consuming
+		// engine op and close the timeline.
+		delete(t.traceByMsg, msg)
+		t.tr.Complete(ref.ctx, ctrace.LaneEngine, ref.pid, "post-match",
+			t.now, t.en.CyclesToNanos(cycles),
+			ctrace.KV{K: "cycles", V: fmt.Sprintf("%d", cycles)})
+		t.tr.Finish(ref.ctx.Trace, t.now+t.en.CyclesToNanos(cycles), "matched")
 	}
 	if bytes, ok := t.rendezvous[msg]; ok {
 		delete(t.rendezvous, msg)

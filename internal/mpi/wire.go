@@ -23,9 +23,12 @@ import (
 // mismatch, so a stale client fails fast instead of misparsing frames.
 
 // WireMagic identifies the protocol; WireVersion its revision.
+// Version 2 widened WireOp with the causal-trace context (trace id +
+// parent span id) so a timeline minted client-side survives the hop
+// into the daemon's flight recorder.
 const (
 	WireMagic   uint32 = 0x53_50_43_4F // "SPCO"
-	WireVersion uint16 = 1
+	WireVersion uint16 = 2
 )
 
 // Wire op kinds (client → server).
@@ -87,6 +90,12 @@ type WireOp struct {
 	Ctx        uint16
 	Handle     uint64  // msg id (arrive) or req id (post)
 	DurationNS float64 // phase length (WirePhase only)
+
+	// Trace/Span carry the client-minted causal-trace context
+	// (internal/ctrace); zero means untraced. The daemon adopts the
+	// trace into its flight recorder and parents its spans under Span.
+	Trace uint64
+	Span  uint64
 }
 
 // WireReply is one server response frame.
@@ -100,9 +109,10 @@ type WireReply struct {
 	UMQLen  uint32 // WireStat only
 }
 
-// Frame sizes (fixed): ops are 27 bytes, replies 29.
+// Frame sizes (fixed): ops are 43 bytes (v2: +16 for trace context),
+// replies 29.
 const (
-	wireOpSize    = 1 + 4 + 4 + 2 + 8 + 8
+	wireOpSize    = 1 + 4 + 4 + 2 + 8 + 8 + 8 + 8
 	wireReplySize = 1 + 1 + 1 + 8 + 8 + 4 + 4 + 2 // +2 reserved
 )
 
@@ -115,6 +125,8 @@ func WriteWireOp(w io.Writer, op WireOp) error {
 	binary.BigEndian.PutUint16(b[9:11], op.Ctx)
 	binary.BigEndian.PutUint64(b[11:19], op.Handle)
 	binary.BigEndian.PutUint64(b[19:27], math.Float64bits(op.DurationNS))
+	binary.BigEndian.PutUint64(b[27:35], op.Trace)
+	binary.BigEndian.PutUint64(b[35:43], op.Span)
 	_, err := w.Write(b[:])
 	return err
 }
@@ -132,6 +144,8 @@ func ReadWireOp(r io.Reader) (WireOp, error) {
 		Ctx:        binary.BigEndian.Uint16(b[9:11]),
 		Handle:     binary.BigEndian.Uint64(b[11:19]),
 		DurationNS: math.Float64frombits(binary.BigEndian.Uint64(b[19:27])),
+		Trace:      binary.BigEndian.Uint64(b[27:35]),
+		Span:       binary.BigEndian.Uint64(b[35:43]),
 	}
 	if op.Kind < WireArrive || op.Kind > WirePing {
 		return op, fmt.Errorf("mpi: unknown wire op kind %d", op.Kind)

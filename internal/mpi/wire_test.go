@@ -9,7 +9,9 @@ import (
 func TestWireOpRoundTrip(t *testing.T) {
 	ops := []WireOp{
 		{Kind: WireArrive, Rank: 3, Tag: 42, Ctx: 1, Handle: 7},
-		{Kind: WirePost, Rank: -1, Tag: -1, Ctx: 65535, Handle: math.MaxUint64},
+		{Kind: WireArrive, Rank: 3, Tag: 42, Ctx: 1, Handle: 7, Trace: 99, Span: 12},
+		{Kind: WirePost, Rank: -1, Tag: -1, Ctx: 65535, Handle: math.MaxUint64,
+			Trace: math.MaxUint64, Span: math.MaxUint64},
 		{Kind: WirePhase, DurationNS: 1e5},
 		{Kind: WireStat},
 		{Kind: WirePing},

@@ -19,6 +19,7 @@ type CLI struct {
 	Pprof          string
 	Spans          string
 	SampleInterval uint64
+	SpanCap        int
 }
 
 // Register installs the flags on fs (pass flag.CommandLine for the
@@ -30,6 +31,7 @@ func (c *CLI) Register(fs *flag.FlagSet) {
 	fs.StringVar(&c.Spans, "spans", "", "write simulated-PMU per-message spans here (JSONL)")
 	fs.Uint64Var(&c.SampleInterval, "sample-interval", DefaultSampleInterval,
 		"simulated-PMU profiler period in simulated cycles")
+	fs.IntVar(&c.SpanCap, "span-cap", 0, "bound the per-message span ring (0: default 65536; oldest spans overwritten when full)")
 }
 
 // Enabled reports whether any PMU output was requested.
@@ -51,6 +53,8 @@ func (c *CLI) New(label string) *PMU {
 	}
 	if c.Spans == "" && !c.Stat {
 		opts.SpanCapacity = -1
+	} else if c.SpanCap > 0 {
+		opts.SpanCapacity = c.SpanCap
 	}
 	return New(opts)
 }
@@ -63,6 +67,10 @@ func (c *CLI) Finish(w io.Writer, p *PMU) error {
 	}
 	if c.Stat {
 		p.WriteReport(w)
+		if log := p.Spans(); log != nil && log.Dropped() > 0 {
+			fmt.Fprintf(w, "\n WARNING: span ring overflowed: %s of %s spans dropped (raise -span-cap to keep them)\n",
+				group(log.Dropped()), group(log.Total()))
+		}
 		if log := p.Spans(); log != nil && log.Len() > 0 {
 			fmt.Fprintf(w, "\n span latency (cycles)  %10s %10s %10s %10s %10s\n", "n", "p50", "p90", "p99", "max")
 			for k := OpKind(0); k < NumOps; k++ {

@@ -60,6 +60,11 @@ type PMU struct {
 	opStart   spanMarks
 	now       uint64            // engine-cycle clock (ops + compute phases)
 	openPosts map[uint64]uint64 // req handle -> posted span id
+
+	// Causal-trace context the next op's span is stamped with (set by
+	// the transport/daemon just before driving the engine, cleared at
+	// EndOp).
+	traceID, traceParent uint64
 }
 
 // spanMarks snapshots the running event totals at BeginOp.
@@ -211,6 +216,8 @@ func (p *PMU) EndOp(cycles uint64, depth int, matched bool, req uint64) {
 	if p.spans != nil {
 		s := Span{
 			Kind:      k.String(),
+			Trace:     p.traceID,
+			Parent:    p.traceParent,
 			StartCy:   p.now,
 			Cycles:    cycles,
 			Depth:     depth,
@@ -234,7 +241,19 @@ func (p *PMU) EndOp(cycles uint64, depth int, matched bool, req uint64) {
 			}
 		})
 	}
+	p.traceID, p.traceParent = 0, 0
 	p.now += cycles
+}
+
+// SetTraceContext stamps the next operation's span with a causal-trace
+// identity (internal/ctrace): the transport or daemon calls it
+// immediately before ArriveFull/PostRecv, and EndOp clears it. A nil
+// PMU is safe.
+func (p *PMU) SetTraceContext(trace, parent uint64) {
+	if p == nil {
+		return
+	}
+	p.traceID, p.traceParent = trace, parent
 }
 
 // --- fault hooks ---
@@ -410,6 +429,10 @@ func (p *PMU) Publish(reg *telemetry.Registry, base telemetry.Labels) {
 		l := telemetry.MergeLabels(base, telemetry.Labels{"op": k.String()})
 		reg.Counter("spco_perf_ops_total", l).Add(float64(t.Ops[k]))
 		reg.Counter("spco_perf_op_cycles_total", l).Add(float64(t.OpCycles[k]))
+	}
+	if p.spans != nil {
+		reg.Help("spco_perf_spans_dropped", "Per-message spans overwritten by the bounded span ring.")
+		reg.Counter("spco_perf_spans_dropped", base).Add(float64(p.spans.Dropped()))
 	}
 	if t.faultActive() {
 		reg.Help("spco_perf_fault_events_total", "Fault-layer events by kind (wire, transport, flow control).")

@@ -26,6 +26,12 @@ type Span struct {
 	Depth   int  `json:"depth"`
 	Matched bool `json:"matched"`
 
+	// Trace and Parent carry the causal-trace context active when the
+	// operation ran (internal/ctrace; zero when the message was
+	// untraced), so engine spans stitch into end-to-end timelines.
+	Trace  uint64 `json:"trace,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+
 	// Req is the posted-request handle the operation concerns (0 when
 	// not applicable). LinkID, on a matched arrival, is the ID of the
 	// posted span this arrival satisfied (0 when the post predates the

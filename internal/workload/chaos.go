@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 
+	"spco/internal/ctrace"
 	"spco/internal/engine"
 	"spco/internal/fault"
 	"spco/internal/netmodel"
@@ -54,6 +55,12 @@ type ChaosConfig struct {
 
 	// PMU receives the fault-event hooks when set.
 	PMU *perf.PMU
+
+	// Trace receives the causal timeline of every message when set:
+	// wire attempts, fault instants, and engine spans, exportable as
+	// Chrome trace JSON. An invariant violation marks every still-open
+	// trace so the dump keeps the evidence.
+	Trace *ctrace.Recorder
 }
 
 func (c *ChaosConfig) defaults() {
@@ -114,6 +121,7 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		Seed:       cfg.Seed,
 		Engine:     en,
 		PMU:        cfg.PMU,
+		Trace:      cfg.Trace,
 		RTONS:      cfg.RTONS,
 		MaxRetries: cfg.MaxRetries,
 		EagerBytes: cfg.EagerBytes,
@@ -165,6 +173,14 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	if n := en.UMQLen(); n > 0 {
 		res.Violations = append(res.Violations, validate.Violation{
 			Invariant: "queue-drain", Detail: fmt.Sprintf("%d messages left in the UMQ", n)})
+	}
+
+	if len(res.Violations) > 0 {
+		// Implicate every in-flight trace and record a sticky trigger so
+		// harnesses dump the recorder as the crash-scene evidence.
+		cfg.Trace.MarkAllOpen()
+		cfg.Trace.Trigger(fmt.Sprintf("%d invariant violation(s): %s",
+			len(res.Violations), res.Violations[0].Invariant))
 	}
 
 	en.PublishTelemetry()

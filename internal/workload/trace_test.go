@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spco/internal/ctrace"
+	"spco/internal/fault"
+	"spco/internal/matchlist"
+)
+
+// TestChaosTraceZeroCost extends the zero-cost-when-off contract to the
+// causal tracer: the same seeded chaos run with and without a recorder
+// attached produces bit-identical transport stats, engine cycle totals,
+// and simulated time. Tracing is host-side bookkeeping only.
+func TestChaosTraceZeroCost(t *testing.T) {
+	wire := fault.WireConfig{DropProb: 0.05, DupProb: 0.01, ReorderProb: 0.02}
+	run := func(tr *ctrace.Recorder) ChaosResult {
+		cfg := chaosCfg(matchlist.KindLLA, wire, 42, 3000)
+		cfg.Trace = tr
+		res, err := RunChaos(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Passed() {
+			t.Fatalf("violations: %v", res.Violations)
+		}
+		return res
+	}
+	plain := run(nil)
+	traced := run(ctrace.New(ctrace.Options{KeepAll: true}))
+	if plain.Transport != traced.Transport {
+		t.Errorf("recorder changed transport stats:\n%+v\n%+v", plain.Transport, traced.Transport)
+	}
+	if plain.Engine != traced.Engine {
+		t.Errorf("recorder changed engine cycle totals:\n%+v\n%+v", plain.Engine, traced.Engine)
+	}
+	if plain.SimulatedNS != traced.SimulatedNS {
+		t.Errorf("recorder changed simulated time: %g vs %g", plain.SimulatedNS, traced.SimulatedNS)
+	}
+}
+
+// TestChaosTraceCausalChain is the acceptance criterion for the spine:
+// a chaos run with wire drops exports a Chrome trace in which at least
+// one message shows the full causal chain — client send, two or more
+// wire attempts (one dropped, one delivered), an engine span, and a
+// matched outcome — verified by the automated span-tree checker.
+func TestChaosTraceCausalChain(t *testing.T) {
+	rec := ctrace.New(ctrace.Options{KeepAll: true})
+	cfg := chaosCfg(matchlist.KindLLA, fault.WireConfig{DropProb: 0.15}, 7, 2000)
+	cfg.Engine.HotCache = true // heater counter track at phase boundaries
+	cfg.Trace = rec
+	res, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+
+	st := rec.Stats()
+	if st.Finished != 2000 {
+		t.Errorf("finished %d traces, want one per message (2000)", st.Finished)
+	}
+	if st.Open != 0 {
+		t.Errorf("%d traces still open after a drained run", st.Open)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ctrace.CheckChromeJSON(&buf)
+	if err != nil {
+		t.Fatalf("exported trace malformed: %v", err)
+	}
+	if rep.Traces != 2000 {
+		t.Errorf("export has %d traces, want 2000", rep.Traces)
+	}
+	if rep.FullChains < 1 {
+		t.Errorf("no trace shows the full causal chain (client -> dropped xmit -> delivered xmit -> engine -> matched): %+v", rep)
+	}
+	if rep.FaultTraces == 0 {
+		t.Errorf("no fault-marked traces at 15%% drop: %+v", rep)
+	}
+	if rep.Counters == 0 {
+		t.Errorf("no heater/residency counter samples despite PhaseEvery: %+v", rep)
+	}
+}
+
+// TestChaosTraceRetention: without KeepAll, a long clean run retains
+// only the latency tail, while faulted traces are always kept.
+func TestChaosTraceRetention(t *testing.T) {
+	rec := ctrace.New(ctrace.Options{LatencyQuantile: 0.99})
+	cfg := chaosCfg(matchlist.KindLLA, fault.WireConfig{DropProb: 0.02}, 5, 4000)
+	cfg.Trace = rec
+	res, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	st := rec.Stats()
+	if st.Kept == st.Finished {
+		t.Errorf("tail retention kept all %d traces — quantile filter never engaged", st.Finished)
+	}
+	if st.Kept == 0 {
+		t.Error("tail retention kept nothing despite drops")
+	}
+	// Every retained-or-not decision still leaves the faulted evidence.
+	faulted := 0
+	for _, tr := range rec.Retained() {
+		if tr.Fault {
+			faulted++
+		}
+	}
+	if faulted == 0 {
+		t.Error("no faulted traces retained at 2% drop")
+	}
+}
+
+// TestChaosTraceViolationTrigger: a run that breaks an invariant
+// (retry exhaustion abandons messages, so exactly-once fails) records a
+// sticky trigger naming the violation, and the abandoned traces carry
+// their fate.
+func TestChaosTraceViolationTrigger(t *testing.T) {
+	rec := ctrace.New(ctrace.Options{KeepAll: true})
+	cfg := chaosCfg(matchlist.KindLLA, fault.WireConfig{DropProb: 0.5}, 11, 200)
+	cfg.MaxRetries = 1
+	cfg.Trace = rec
+	res, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() {
+		t.Skip("seed produced no retry exhaustion; invariants held")
+	}
+	trig := rec.Triggered()
+	if len(trig) == 0 {
+		t.Fatal("invariant violation recorded no trigger")
+	}
+	if !strings.Contains(trig[len(trig)-1], "invariant violation") {
+		t.Errorf("trigger does not name the violation: %q", trig)
+	}
+	abandoned := 0
+	for _, tr := range rec.Retained() {
+		if tr.Status == "abandoned" {
+			abandoned++
+		}
+	}
+	if abandoned == 0 {
+		t.Error("no abandoned traces retained despite retry exhaustion")
+	}
+}
