@@ -29,15 +29,30 @@ bench-smoke:
 
 # bench-json runs the core match benchmarks (one match per iteration)
 # and converts the output to BENCH_daemon.json: name, iterations,
-# ns/op, allocs/op, and the domain throughput matches_per_sec.
+# ns/op, allocs/op, and the domain throughput matches_per_sec. It also
+# regenerates BENCH_hotpath.json via bench-json-hotpath.
 BENCHJSON ?= BENCH_daemon.json
 .PHONY: bench-json
-bench-json:
+bench-json: bench-json-hotpath
 	go test -run='^$$' -bench='BenchmarkNativeSearch|BenchmarkStructures' \
 		-benchmem . | tee bench.out
 	go run ./cmd/spco-benchjson -in bench.out -out $(BENCHJSON)
 	rm -f bench.out
 	@echo wrote $(BENCHJSON)
+
+# bench-json-hotpath measures the zero-allocation batched hot path
+# (engine and wire, scalar vs. batch x {8,64,512}; one matched pair per
+# iteration) into BENCH_hotpath.json. The engine rows' allocs/op column
+# must stay 0 — bench-diff flags any growth from zero regardless of the
+# percentage threshold.
+BENCHHOTPATH ?= BENCH_hotpath.json
+.PHONY: bench-json-hotpath
+bench-json-hotpath:
+	go test -run='^$$' -bench='BenchmarkHotPath' -benchtime=2s \
+		-benchmem . | tee bench_hotpath.out
+	go run ./cmd/spco-benchjson -in bench_hotpath.out -out $(BENCHHOTPATH)
+	rm -f bench_hotpath.out
+	@echo wrote $(BENCHHOTPATH)
 
 # daemon-smoke is the serving-mode acceptance gate: it starts a daemon
 # on loopback ports, drives it with >= 4 concurrent audited client
@@ -82,6 +97,18 @@ bench-diff:
 		-benchmem . | go run ./cmd/spco-benchjson -out bench_new.json
 	go run ./cmd/spco-benchjson -threshold $(BENCH_THRESHOLD) \
 		-diff BENCH_daemon.json bench_new.json; status=$$?; rm -f bench_new.json; exit $$status
+
+# hotpath-gate is the zero-allocation hot path's CI gate: the
+# AllocsPerRun assertions (0 allocs/op steady state on the pooled
+# engine), the batch-vs-scalar differential across every matchlist
+# kind, the pooled bit-identity checks, the daemon batch-frame parity
+# tests, and a one-iteration benchmark smoke so the suite can't rot.
+.PHONY: hotpath-gate
+hotpath-gate:
+	go test ./internal/engine/ -run 'ZeroAlloc|BatchMatchesScalar|PoolingIsBitIdentical|PoolStats'
+	go test ./internal/daemon/ -run 'Batch'
+	go test ./internal/mpi/ -run 'Wire'
+	go test -run='^$$' -bench='BenchmarkHotPath' -benchtime=1x -benchmem .
 
 .PHONY: fmt
 fmt:

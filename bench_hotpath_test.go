@@ -1,0 +1,181 @@
+// BenchmarkHotPath measures the zero-allocation batched hot path at two
+// layers: the engine's Arrive/PostRecv cores (scalar vs. the batch APIs)
+// and the full wire path against an in-process daemon (scalar
+// request-response vs. WireVersion-3 batch frames). One iteration is
+// always one matched pair, so ns/op is directly comparable across
+// variants and matches_per_sec falls out of the benchjson conversion.
+// The wire rows are where batching pays: a batch of K pairs costs two
+// flushes and two round trips instead of 2K.
+//
+// Committed as BENCH_hotpath.json via `make bench-json-hotpath`; the
+// alloc columns are the regression guard `make hotpath-gate` enforces.
+package spco_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"spco/internal/cache"
+	"spco/internal/daemon"
+	"spco/internal/engine"
+	"spco/internal/match"
+	"spco/internal/matchlist"
+	"spco/internal/mpi"
+	"spco/internal/perf"
+	"spco/internal/telemetry"
+)
+
+// hotPathEngine is the serving configuration: pooled LLA-8.
+func hotPathEngine() *engine.Engine {
+	return engine.MustNew(engine.Config{
+		Profile:        cache.SandyBridge,
+		Kind:           matchlist.KindLLA,
+		EntriesPerNode: 8,
+		Pool:           true,
+	})
+}
+
+func benchEngineScalar(b *testing.B) {
+	en := hotPathEngine()
+	env := match.Envelope{Rank: 1, Tag: 3, Ctx: 1}
+	for i := 0; i < 512; i++ { // warm the node pools
+		en.PostRecv(1, 3, 1, 7)
+		en.Arrive(env, 9)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en.PostRecv(1, 3, 1, 7)
+		if _, ok, _ := en.Arrive(env, 9); !ok {
+			b.Fatal("pair did not match")
+		}
+	}
+}
+
+func benchEngineBatch(b *testing.B, k int) {
+	en := hotPathEngine()
+	posts := make([]engine.PostReq, k)
+	envs := make([]match.Envelope, k)
+	msgs := make([]uint64, k)
+	pres := make([]engine.PostResult, 0, k)
+	ares := make([]engine.ArriveResult, 0, k)
+	for i := 0; i < k; i++ {
+		posts[i] = engine.PostReq{Rank: i % 8, Tag: i % 4, Ctx: 1, Req: uint64(i) + 1}
+		envs[i] = match.Envelope{Rank: int32(i % 8), Tag: int32(i % 4), Ctx: 1}
+		msgs[i] = uint64(i) + 100
+	}
+	batch := func() {
+		pres = en.PostRecvBatch(posts, pres)
+		ares = en.ArriveBatch(envs, msgs, ares)
+	}
+	for i := 0; i < 8; i++ { // warm the node pools
+		batch()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += k { // one batch completes k pairs
+		batch()
+	}
+	b.StopTimer()
+	for _, r := range ares {
+		if r.Outcome != engine.ArriveMatched {
+			b.Fatal("batch pair did not match")
+		}
+	}
+}
+
+// hotPathDaemon starts an in-process daemon on loopback and returns a
+// connected client plus a stopper.
+func hotPathDaemon(b *testing.B) (*daemon.Client, func()) {
+	b.Helper()
+	srv, err := daemon.New(daemon.Config{
+		Engine: engine.Config{
+			Profile:        cache.SandyBridge,
+			Kind:           matchlist.KindLLA,
+			EntriesPerNode: 8,
+			Pool:           true,
+		},
+		Collector: telemetry.NewCollector(telemetry.Labels{"exp": "hotpath-bench"}),
+		PMU:       perf.New(perf.Options{Label: "hotpath-bench", SampleInterval: perf.DefaultSampleInterval}),
+		PerfOut:   io.Discard,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Run(nil) }()
+	cl, err := daemon.Dial(srv.Addr())
+	if err != nil {
+		srv.Stop()
+		b.Fatal(err)
+	}
+	return cl, func() {
+		cl.Close()
+		srv.Stop()
+		if err := <-errc; err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchWireScalar(b *testing.B) {
+	cl, stop := hotPathDaemon(b)
+	defer stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Post(1, 3, 1, 7); err != nil {
+			b.Fatal(err)
+		}
+		rep, err := cl.Arrive(1, 3, 1, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Outcome != mpi.WireOutMatched {
+			b.Fatal("pair did not match")
+		}
+	}
+}
+
+func benchWireBatch(b *testing.B, k int) {
+	cl, stop := hotPathDaemon(b)
+	defer stop()
+	posts := make([]mpi.WireOp, k)
+	arrives := make([]mpi.WireOp, k)
+	for i := 0; i < k; i++ {
+		posts[i] = mpi.WireOp{Kind: mpi.WirePost, Rank: int32(i % 8), Tag: int32(i % 4),
+			Ctx: 1, Handle: uint64(i) + 1}
+		arrives[i] = mpi.WireOp{Kind: mpi.WireArrive, Rank: int32(i % 8), Tag: int32(i % 4),
+			Ctx: 1, Handle: uint64(i) + 100}
+	}
+	var reps []mpi.WireReply
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += k { // two frames complete k pairs
+		var err error
+		if reps, err = cl.DoBatch(posts, reps); err != nil {
+			b.Fatal(err)
+		}
+		if reps, err = cl.DoBatch(arrives, reps); err != nil {
+			b.Fatal(err)
+		}
+		for j := range reps {
+			if reps[j].Outcome != mpi.WireOutMatched {
+				b.Fatal("batch pair did not match")
+			}
+		}
+	}
+}
+
+func BenchmarkHotPath(b *testing.B) {
+	sizes := []int{8, 64, 512}
+	b.Run("engine/scalar", benchEngineScalar)
+	for _, k := range sizes {
+		b.Run(fmt.Sprintf("engine/batch-%d", k), func(b *testing.B) { benchEngineBatch(b, k) })
+	}
+	b.Run("wire/scalar", benchWireScalar)
+	for _, k := range sizes {
+		b.Run(fmt.Sprintf("wire/batch-%d", k), func(b *testing.B) { benchWireBatch(b, k) })
+	}
+}

@@ -21,6 +21,24 @@ type DiffRow struct {
 	OldNs    float64
 	NewNs    float64
 	DeltaPct float64 // positive: slower (regression)
+
+	OldBytes  float64
+	NewBytes  float64
+	OldAllocs float64
+	NewAllocs float64
+}
+
+// AllocRegressed reports whether allocs/op got worse: any growth from
+// zero regresses (that is the zero-alloc gate — 0 -> 1 is the whole
+// point), otherwise growth beyond thresholdPct.
+func (r DiffRow) AllocRegressed(thresholdPct float64) bool {
+	if r.NewAllocs <= r.OldAllocs {
+		return false
+	}
+	if r.OldAllocs == 0 {
+		return true
+	}
+	return (r.NewAllocs-r.OldAllocs)/r.OldAllocs*100 > thresholdPct
 }
 
 // DiffReport pairs two benchmark documents.
@@ -30,11 +48,12 @@ type DiffReport struct {
 	Removed []string // only in the old document
 }
 
-// Regressions returns the rows slower by more than thresholdPct.
+// Regressions returns the rows slower by more than thresholdPct on
+// ns/op, plus the rows whose allocs/op regressed (see AllocRegressed).
 func (d DiffReport) Regressions(thresholdPct float64) []DiffRow {
 	var out []DiffRow
 	for _, r := range d.Rows {
-		if r.DeltaPct > thresholdPct {
+		if r.DeltaPct > thresholdPct || r.AllocRegressed(thresholdPct) {
 			out = append(out, r)
 		}
 	}
@@ -57,7 +76,11 @@ func Diff(oldDoc, newDoc Document) DiffReport {
 			rep.Removed = append(rep.Removed, ob.Name)
 			continue
 		}
-		row := DiffRow{Name: ob.Name, OldNs: ob.NsPerOp, NewNs: nb.NsPerOp}
+		row := DiffRow{
+			Name: ob.Name, OldNs: ob.NsPerOp, NewNs: nb.NsPerOp,
+			OldBytes: ob.BytesPerOp, NewBytes: nb.BytesPerOp,
+			OldAllocs: ob.AllocsPerOp, NewAllocs: nb.AllocsPerOp,
+		}
 		if ob.NsPerOp > 0 {
 			row.DeltaPct = (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
 		}
@@ -71,6 +94,15 @@ func Diff(oldDoc, newDoc Document) DiffReport {
 	sort.Strings(rep.Added)
 	sort.Strings(rep.Removed)
 	return rep
+}
+
+// deltaCol renders an old -> new pair, collapsing the common unchanged
+// case to the bare value.
+func deltaCol(before, after float64) string {
+	if before == after {
+		return fmt.Sprintf("%.0f", before)
+	}
+	return fmt.Sprintf("%.0f->%.0f", before, after)
 }
 
 // loadDocument reads a benchmark JSON document written by this command.
@@ -107,7 +139,8 @@ func runDiff(w io.Writer, oldPath, newPath string, thresholdPct float64) (bool, 
 	}
 
 	fmt.Fprintf(w, "# %s -> %s (threshold %.1f%%)\n", oldPath, newPath, thresholdPct)
-	fmt.Fprintf(w, "%-40s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Fprintf(w, "%-40s %14s %14s %9s %16s %16s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "B/op", "allocs/op")
 	for _, r := range rep.Rows {
 		verdict := ""
 		if r.DeltaPct > thresholdPct {
@@ -115,7 +148,12 @@ func runDiff(w io.Writer, oldPath, newPath string, thresholdPct float64) (bool, 
 		} else if r.DeltaPct < -thresholdPct {
 			verdict = "  improved"
 		}
-		fmt.Fprintf(w, "%-40s %14.1f %14.1f %+8.1f%%%s\n", r.Name, r.OldNs, r.NewNs, r.DeltaPct, verdict)
+		if r.AllocRegressed(thresholdPct) {
+			verdict += "  << ALLOC REGRESSION"
+		}
+		fmt.Fprintf(w, "%-40s %14.1f %14.1f %+8.1f%% %16s %16s%s\n",
+			r.Name, r.OldNs, r.NewNs, r.DeltaPct,
+			deltaCol(r.OldBytes, r.NewBytes), deltaCol(r.OldAllocs, r.NewAllocs), verdict)
 	}
 	for _, name := range rep.Added {
 		fmt.Fprintf(w, "%-40s %14s %14s %9s\n", name, "-", "new", "")

@@ -18,6 +18,13 @@ func bench(name string, ns float64) Benchmark {
 	return Benchmark{Name: name, Iterations: 100, NsPerOp: ns, MatchesPerSec: 1e9 / ns}
 }
 
+func benchAlloc(name string, ns, bytes, allocs float64) Benchmark {
+	b := bench(name, ns)
+	b.BytesPerOp = bytes
+	b.AllocsPerOp = allocs
+	return b
+}
+
 func TestDiffPairsAndDeltas(t *testing.T) {
 	oldDoc := doc(bench("A", 100), bench("B", 200), bench("Gone", 50))
 	newDoc := doc(bench("A", 125), bench("B", 180), bench("New", 10))
@@ -42,6 +49,66 @@ func TestDiffPairsAndDeltas(t *testing.T) {
 	}
 	if regs := rep.Regressions(30); len(regs) != 0 {
 		t.Errorf("regressions at 30%%: %+v", regs)
+	}
+}
+
+func TestDiffAllocRegressions(t *testing.T) {
+	oldDoc := doc(
+		benchAlloc("ZeroToOne", 100, 0, 0),
+		benchAlloc("SmallGrowth", 100, 64, 10),
+		benchAlloc("BigGrowth", 100, 64, 10),
+		benchAlloc("Shrunk", 100, 64, 10),
+	)
+	newDoc := doc(
+		benchAlloc("ZeroToOne", 100, 16, 1),    // 0 -> 1: always a regression
+		benchAlloc("SmallGrowth", 100, 64, 11), // +10%: inside threshold
+		benchAlloc("BigGrowth", 100, 64, 20),   // +100%: past threshold
+		benchAlloc("Shrunk", 100, 32, 5),       // improvement
+	)
+	rep := Diff(oldDoc, newDoc)
+	regs := rep.Regressions(25)
+	names := map[string]bool{}
+	for _, r := range regs {
+		names[r.Name] = true
+	}
+	if !names["ZeroToOne"] {
+		t.Error("0 -> 1 allocs/op not flagged")
+	}
+	if !names["BigGrowth"] {
+		t.Error("+100% allocs/op not flagged at 25% threshold")
+	}
+	if names["SmallGrowth"] {
+		t.Error("+10% allocs/op flagged at 25% threshold")
+	}
+	if names["Shrunk"] {
+		t.Error("alloc improvement flagged as regression")
+	}
+	// Carried through to the rows for the table.
+	for _, r := range rep.Rows {
+		if r.Name == "ZeroToOne" && (r.OldAllocs != 0 || r.NewAllocs != 1 || r.NewBytes != 16) {
+			t.Errorf("alloc columns not populated: %+v", r)
+		}
+	}
+}
+
+func TestRunDiffFlagsAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	// Same speed, but the hot path started allocating.
+	writeDoc(t, oldPath, doc(benchAlloc("HotPath/engine/scalar", 100, 0, 0)))
+	writeDoc(t, newPath, doc(benchAlloc("HotPath/engine/scalar", 100, 48, 3)))
+
+	var buf bytes.Buffer
+	regressed, err := runDiff(&buf, oldPath, newPath, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Errorf("0 -> 3 allocs/op at equal speed not flagged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "ALLOC REGRESSION") {
+		t.Errorf("table lacks the alloc verdict:\n%s", buf.String())
 	}
 }
 

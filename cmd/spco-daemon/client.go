@@ -22,6 +22,7 @@ func runClient(args []string) error {
 		phases   = fs.Int("phase-every", 0, "compute phase every N pairs on connection 0 (0: never)")
 		phaseNS  = fs.Float64("phase-ns", 1e5, "compute-phase duration in ns")
 		retries  = fs.Int("retries", 64, "max retransmissions per refused arrive")
+		batch    = fs.Int("batch", 0, "pairs per batched wire frame (0/1: scalar request-response)")
 	)
 	fs.Parse(args)
 
@@ -35,6 +36,7 @@ func runClient(args []string) error {
 		PhaseEvery:  *phases,
 		PhaseNS:     *phaseNS,
 		MaxRetries:  *retries,
+		Batch:       *batch,
 	})
 	printLoadResult(res)
 	if err != nil {

@@ -1,0 +1,133 @@
+package daemon
+
+import (
+	"testing"
+
+	"spco/internal/mpi"
+)
+
+// mixedOpStream builds a deterministic interleaving of arrivals, posts,
+// phases, pings, and stats — including traced ops, which must fall off
+// the batch fast path onto the per-op path without changing replies.
+func mixedOpStream(n int) []mpi.WireOp {
+	ops := make([]mpi.WireOp, 0, n)
+	req := uint64(1)
+	for i := 0; len(ops) < n; i++ {
+		switch i % 11 {
+		case 3, 7:
+			ops = append(ops, mpi.WireOp{
+				Kind: mpi.WirePost, Rank: int32(i % 5), Tag: int32(i % 3),
+				Ctx: 1, Handle: req,
+			})
+			req++
+		case 5:
+			ops = append(ops, mpi.WireOp{Kind: mpi.WirePhase, DurationNS: 1e4})
+		case 9:
+			ops = append(ops, mpi.WireOp{Kind: mpi.WirePing})
+		case 10:
+			ops = append(ops, mpi.WireOp{Kind: mpi.WireStat})
+		default:
+			op := mpi.WireOp{
+				Kind: mpi.WireArrive, Rank: int32(i % 5), Tag: int32(i % 3),
+				Ctx: 1, Handle: uint64(i) + 1000,
+			}
+			if i%13 == 0 {
+				op.Trace = uint64(i) + 1 // traced: not batch-fast-path eligible
+			}
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// TestBatchRepliesMatchScalar drives the identical op stream through a
+// batched connection on one daemon and a scalar connection on a second,
+// identically configured daemon: every reply must agree.
+func TestBatchRepliesMatchScalar(t *testing.T) {
+	ops := mixedOpStream(600)
+
+	run := func(batched bool) []mpi.WireReply {
+		srv, _, errc := testServer(t, nil)
+		defer stopAndWait(t, srv, errc)
+		cl, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		out := make([]mpi.WireReply, 0, len(ops))
+		if batched {
+			const window = 37 // not a divisor of len(ops): trailing partial batch
+			var reps []mpi.WireReply
+			for i := 0; i < len(ops); i += window {
+				j := i + window
+				if j > len(ops) {
+					j = len(ops)
+				}
+				reps, err = cl.DoBatch(ops[i:j], reps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, reps...)
+			}
+		} else {
+			for _, op := range ops {
+				rep, err := cl.do(op)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, rep)
+			}
+		}
+		return out
+	}
+
+	scalar := run(false)
+	batch := run(true)
+	for i := range scalar {
+		if scalar[i] != batch[i] {
+			t.Fatalf("reply %d diverged (op %+v):\nscalar %+v\nbatch  %+v",
+				i, ops[i], scalar[i], batch[i])
+		}
+	}
+}
+
+// TestServeLoadBatched runs the audited load generator in batched mode:
+// the pairing audit must hold exactly, as in the scalar path.
+func TestServeLoadBatched(t *testing.T) {
+	srv, _, errc := testServer(t, nil)
+
+	res, err := RunLoad(LoadConfig{
+		Addr:       srv.Addr(),
+		Conns:      3,
+		Messages:   1800,
+		PhaseEvery: 100,
+		PhaseNS:    5e4,
+		Batch:      64,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if res.Unmatched != 0 || res.Mismatches != 0 {
+		t.Fatalf("pairing audit failed: %d unmatched, %d mismatched", res.Unmatched, res.Mismatches)
+	}
+	if got := res.Matched(); got != 1800 {
+		t.Fatalf("matched %d pairs, want 1800", got)
+	}
+	if res.Phases == 0 {
+		t.Fatal("no compute phases driven")
+	}
+
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prq, umq, err := cl.QueueLens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prq != 0 || umq != 0 {
+		t.Fatalf("queues not drained after batched load: prq=%d umq=%d", prq, umq)
+	}
+	cl.Close()
+	stopAndWait(t, srv, errc)
+}

@@ -65,6 +65,32 @@ func (c *Client) do(op mpi.WireOp) (mpi.WireReply, error) {
 	return rep, nil
 }
 
+// DoBatch performs one batched round trip: ops go out as a single v3
+// batch frame with one flush, and len(ops) replies come back in op
+// order, appended to reps[:0]. Reusing the reps slice across calls
+// keeps the steady state allocation-free. A WireErr reply aborts (the
+// server closes the connection on malformed frames).
+func (c *Client) DoBatch(ops []mpi.WireOp, reps []mpi.WireReply) ([]mpi.WireReply, error) {
+	reps = reps[:0]
+	if err := mpi.WriteWireBatch(c.bw, ops); err != nil {
+		return reps, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return reps, err
+	}
+	for range ops {
+		rep, err := mpi.ReadWireReply(c.br)
+		if err != nil {
+			return reps, err
+		}
+		if rep.Status == mpi.WireErr {
+			return reps, fmt.Errorf("daemon: server rejected batched op")
+		}
+		reps = append(reps, rep)
+	}
+	return reps, nil
+}
+
 // Arrive delivers an envelope; the reply carries the engine outcome.
 func (c *Client) Arrive(rank, tag int32, ctx uint16, msg uint64) (mpi.WireReply, error) {
 	return c.do(mpi.WireOp{Kind: mpi.WireArrive, Rank: rank, Tag: tag, Ctx: ctx, Handle: msg})
@@ -149,6 +175,15 @@ type LoadConfig struct {
 
 	// Ctx is the communicator context (default 1).
 	Ctx uint16
+
+	// Batch > 1 switches a connection to v3 batch frames: pairs are
+	// processed in windows of Batch, each window driven with two batched
+	// round trips (every pair's first op, then every pair's second op)
+	// instead of two flushes per pair. Batched ops are untraced — the
+	// batch path is the throughput configuration, tracing the per-pair
+	// one. Values above mpi.MaxWireBatch are clamped; 0 or 1 is the
+	// scalar request-response mode.
+	Batch int
 }
 
 func (c *LoadConfig) defaults() {
@@ -175,6 +210,9 @@ func (c *LoadConfig) defaults() {
 	}
 	if c.Ctx == 0 {
 		c.Ctx = 1
+	}
+	if c.Batch > mpi.MaxWireBatch {
+		c.Batch = mpi.MaxWireBatch
 	}
 }
 
@@ -239,85 +277,10 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 			defer cl.Close()
 
 			var local LoadResult
-			rng := fault.NewRNG(cfg.Seed).Fork(uint64(conn) + 11)
-			pairs := 0
-			for i := conn; i < cfg.Messages; i += cfg.Conns {
-				src := int32(i % cfg.Senders)
-				tag := int32(i)
-				prepost := rng.Float64() < cfg.PrePostFrac
-
-				// Pair i's arrive and post share trace id i+1, so the
-				// daemon's flight recorder sees one end-to-end timeline
-				// per pair.
-				if prepost {
-					rep, err := cl.PostTraced(src, tag, cfg.Ctx, uint64(i), uint64(i)+1)
-					if err != nil {
-						addErr(fmt.Errorf("conn %d post %d: %w", conn, i, err))
-						break
-					}
-					local.Posts++
-					local.EngineCycles += rep.Cycles
-					if rep.Outcome == 1 {
-						// A UMQ hit here would mean a stray message wore our
-						// unique tag.
-						local.Mismatches++
-						continue
-					}
-					rep, ok := arriveWithRetry(cl, src, tag, cfg, uint64(i), &local, addErr, conn, i)
-					if !ok {
-						break
-					}
-					local.EngineCycles += rep.Cycles
-					if rep.Outcome == byte(engine.ArriveMatched) {
-						local.Arrives++
-						local.ArriveMatched++
-						if rep.Handle != uint64(i) {
-							local.Mismatches++
-						}
-					} else {
-						// The posted receive was there; the arrive must match.
-						local.Unmatched++
-					}
-				} else {
-					rep, ok := arriveWithRetry(cl, src, tag, cfg, uint64(i), &local, addErr, conn, i)
-					if !ok {
-						break
-					}
-					local.Arrives++
-					local.EngineCycles += rep.Cycles
-					switch rep.Outcome {
-					case byte(engine.ArriveMatched):
-						// Unique tags: nothing else can have posted this.
-						local.Mismatches++
-						continue
-					case byte(engine.ArriveQueuedRendezvous):
-						local.Rendezvous++
-					}
-					prep, err := cl.PostTraced(src, tag, cfg.Ctx, uint64(i), uint64(i)+1)
-					if err != nil {
-						addErr(fmt.Errorf("conn %d post %d: %w", conn, i, err))
-						break
-					}
-					local.Posts++
-					local.EngineCycles += prep.Cycles
-					if prep.Outcome != 1 {
-						local.Unmatched++
-					} else {
-						local.PostMatched++
-						if prep.Handle != uint64(i) {
-							local.Mismatches++
-						}
-					}
-				}
-
-				pairs++
-				if conn == 0 && cfg.PhaseEvery > 0 && pairs%cfg.PhaseEvery == 0 {
-					if err := cl.Phase(cfg.PhaseNS); err != nil {
-						addErr(fmt.Errorf("conn %d phase: %w", conn, err))
-						break
-					}
-					local.Phases++
-				}
+			if cfg.Batch > 1 {
+				runConnBatched(cl, cfg, conn, &local, addErr)
+			} else {
+				runConnScalar(cl, cfg, conn, &local, addErr)
 			}
 
 			resMu.Lock()
@@ -342,6 +305,295 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 		return res, fmt.Errorf("daemon load: %d transport errors (first: %s)", len(res.Errors), res.Errors[0])
 	}
 	return res, nil
+}
+
+// runConnScalar drives one connection in request-response mode, two
+// round trips per pair.
+func runConnScalar(cl *Client, cfg LoadConfig, conn int, local *LoadResult, addErr func(error)) {
+	rng := fault.NewRNG(cfg.Seed).Fork(uint64(conn) + 11)
+	pairs := 0
+	for i := conn; i < cfg.Messages; i += cfg.Conns {
+		src := int32(i % cfg.Senders)
+		tag := int32(i)
+		prepost := rng.Float64() < cfg.PrePostFrac
+
+		// Pair i's arrive and post share trace id i+1, so the
+		// daemon's flight recorder sees one end-to-end timeline
+		// per pair.
+		if prepost {
+			rep, err := cl.PostTraced(src, tag, cfg.Ctx, uint64(i), uint64(i)+1)
+			if err != nil {
+				addErr(fmt.Errorf("conn %d post %d: %w", conn, i, err))
+				break
+			}
+			local.Posts++
+			local.EngineCycles += rep.Cycles
+			if rep.Outcome == 1 {
+				// A UMQ hit here would mean a stray message wore our
+				// unique tag.
+				local.Mismatches++
+				continue
+			}
+			rep, ok := arriveWithRetry(cl, src, tag, cfg, uint64(i), local, addErr, conn, i)
+			if !ok {
+				break
+			}
+			local.EngineCycles += rep.Cycles
+			if rep.Outcome == byte(engine.ArriveMatched) {
+				local.Arrives++
+				local.ArriveMatched++
+				if rep.Handle != uint64(i) {
+					local.Mismatches++
+				}
+			} else {
+				// The posted receive was there; the arrive must match.
+				local.Unmatched++
+			}
+		} else {
+			rep, ok := arriveWithRetry(cl, src, tag, cfg, uint64(i), local, addErr, conn, i)
+			if !ok {
+				break
+			}
+			local.Arrives++
+			local.EngineCycles += rep.Cycles
+			switch rep.Outcome {
+			case byte(engine.ArriveMatched):
+				// Unique tags: nothing else can have posted this.
+				local.Mismatches++
+				continue
+			case byte(engine.ArriveQueuedRendezvous):
+				local.Rendezvous++
+			}
+			prep, err := cl.PostTraced(src, tag, cfg.Ctx, uint64(i), uint64(i)+1)
+			if err != nil {
+				addErr(fmt.Errorf("conn %d post %d: %w", conn, i, err))
+				break
+			}
+			local.Posts++
+			local.EngineCycles += prep.Cycles
+			if prep.Outcome != 1 {
+				local.Unmatched++
+			} else {
+				local.PostMatched++
+				if prep.Handle != uint64(i) {
+					local.Mismatches++
+				}
+			}
+		}
+
+		pairs++
+		if conn == 0 && cfg.PhaseEvery > 0 && pairs%cfg.PhaseEvery == 0 {
+			if err := cl.Phase(cfg.PhaseNS); err != nil {
+				addErr(fmt.Errorf("conn %d phase: %w", conn, err))
+				break
+			}
+			local.Phases++
+		}
+	}
+}
+
+// loadPair is one pair's plan and window-local progress in batch mode.
+type loadPair struct {
+	i       int
+	src     int32
+	tag     int32
+	prepost bool
+	skip    bool // second op unnecessary (first op already audited a failure)
+}
+
+// runConnBatched drives one connection in windowed batch mode: each
+// window of cfg.Batch pairs costs two batched round trips — every
+// pair's first operation, then (for pairs still in play) every pair's
+// second — instead of two flushes per pair. The audit is the same as
+// scalar mode's; arrives the server refused (NACK/Busy) fall back to
+// scalar retransmission inside the window.
+func runConnBatched(cl *Client, cfg LoadConfig, conn int, local *LoadResult, addErr func(error)) {
+	rng := fault.NewRNG(cfg.Seed).Fork(uint64(conn) + 11)
+	var (
+		window []loadPair
+		ops    []mpi.WireOp
+		reps   []mpi.WireReply
+		pairs  int
+	)
+
+	// resolveArrive finishes one arrive the server answered rep to,
+	// retrying refused deliveries scalar. Returns the accepted reply and
+	// whether the connection can continue.
+	resolveArrive := func(p *loadPair, rep mpi.WireReply) (mpi.WireReply, bool) {
+		for attempt := 0; ; attempt++ {
+			switch rep.Status {
+			case mpi.WireOK:
+				return rep, true
+			case mpi.WireNack:
+				local.Nacks++
+			case mpi.WireBusy:
+				local.Busy++
+			}
+			if attempt >= cfg.MaxRetries {
+				addErr(fmt.Errorf("conn %d arrive %d: gave up after %d retries", conn, p.i, attempt))
+				local.Unmatched++
+				p.skip = true
+				return rep, true
+			}
+			local.Retries++
+			time.Sleep(cfg.RetryDelay)
+			var err error
+			rep, err = cl.Arrive(p.src, p.tag, cfg.Ctx, uint64(p.i))
+			if err != nil {
+				addErr(fmt.Errorf("conn %d arrive %d: %w", conn, p.i, err))
+				return rep, false
+			}
+		}
+	}
+
+	auditArrive := func(p *loadPair, rep mpi.WireReply) bool {
+		rep, ok := resolveArrive(p, rep)
+		if !ok {
+			return false
+		}
+		if p.skip {
+			return true
+		}
+		local.Arrives++
+		local.EngineCycles += rep.Cycles
+		if p.prepost {
+			// Second op of a preposted pair: it must match our receive.
+			p.skip = true
+			if rep.Outcome == byte(engine.ArriveMatched) {
+				local.ArriveMatched++
+				if rep.Handle != uint64(p.i) {
+					local.Mismatches++
+				}
+			} else {
+				local.Unmatched++
+			}
+			return true
+		}
+		// First op of an arrive-first pair: it must not match anything.
+		switch rep.Outcome {
+		case byte(engine.ArriveMatched):
+			local.Mismatches++
+			p.skip = true
+		case byte(engine.ArriveQueuedRendezvous):
+			local.Rendezvous++
+		}
+		return true
+	}
+
+	auditPost := func(p *loadPair, rep mpi.WireReply, second bool) {
+		local.Posts++
+		local.EngineCycles += rep.Cycles
+		if !second {
+			// Prepost: a UMQ hit would mean a stray message wore our tag.
+			if rep.Outcome == 1 {
+				local.Mismatches++
+				p.skip = true
+			}
+			return
+		}
+		p.skip = true
+		if rep.Outcome != 1 {
+			local.Unmatched++
+		} else {
+			local.PostMatched++
+			if rep.Handle != uint64(p.i) {
+				local.Mismatches++
+			}
+		}
+	}
+
+	flushWindow := func() bool {
+		// First half: every pair's opening operation.
+		ops = ops[:0]
+		for k := range window {
+			p := &window[k]
+			kind := mpi.WireArrive
+			if p.prepost {
+				kind = mpi.WirePost
+			}
+			ops = append(ops, mpi.WireOp{Kind: kind, Rank: p.src, Tag: p.tag, Ctx: cfg.Ctx, Handle: uint64(p.i)})
+		}
+		var err error
+		reps, err = cl.DoBatch(ops, reps)
+		if err != nil {
+			addErr(fmt.Errorf("conn %d batch: %w", conn, err))
+			return false
+		}
+		for k := range reps {
+			p := &window[k]
+			if p.prepost {
+				auditPost(p, reps[k], false)
+			} else if !auditArrive(p, reps[k]) {
+				return false
+			}
+		}
+
+		// Second half: the counterparts, for pairs still in play.
+		ops = ops[:0]
+		live := 0
+		for k := range window {
+			p := &window[k]
+			if p.skip {
+				continue
+			}
+			window[live] = *p
+			live++
+			kind := mpi.WirePost
+			if p.prepost {
+				kind = mpi.WireArrive
+			}
+			ops = append(ops, mpi.WireOp{Kind: kind, Rank: p.src, Tag: p.tag, Ctx: cfg.Ctx, Handle: uint64(p.i)})
+		}
+		if len(ops) == 0 {
+			return true
+		}
+		reps, err = cl.DoBatch(ops, reps)
+		if err != nil {
+			addErr(fmt.Errorf("conn %d batch: %w", conn, err))
+			return false
+		}
+		for k := range reps {
+			p := &window[k]
+			if p.prepost {
+				if !auditArrive(p, reps[k]) {
+					return false
+				}
+			} else {
+				auditPost(p, reps[k], true)
+			}
+		}
+		return true
+	}
+
+	for i := conn; i < cfg.Messages; i += cfg.Conns {
+		window = append(window, loadPair{
+			i:       i,
+			src:     int32(i % cfg.Senders),
+			tag:     int32(i),
+			prepost: rng.Float64() < cfg.PrePostFrac,
+		})
+		if len(window) < cfg.Batch {
+			continue
+		}
+		if !flushWindow() {
+			return
+		}
+		pairs += len(window)
+		window = window[:0]
+		// Compute phases land on window boundaries in batch mode: the
+		// same average cadence as scalar mode, quantized to the window.
+		if conn == 0 && cfg.PhaseEvery > 0 && pairs >= cfg.PhaseEvery {
+			pairs -= cfg.PhaseEvery
+			if err := cl.Phase(cfg.PhaseNS); err != nil {
+				addErr(fmt.Errorf("conn %d phase: %w", conn, err))
+				return
+			}
+			local.Phases++
+		}
+	}
+	if len(window) > 0 {
+		flushWindow()
+	}
 }
 
 // arriveWithRetry delivers one arrive, retransmitting on ingress NACK

@@ -157,6 +157,12 @@ type Server struct {
 	gActive *telemetry.Gauge
 	gUptime *telemetry.Gauge
 
+	// Batch scratch, reused across applyBatch calls; guarded by mu, so
+	// steady-state batch serving allocates nothing.
+	batchEnvs []match.Envelope
+	batchMsgs []uint64
+	batchRes  []engine.ArriveResult
+
 	profileBusy atomic.Bool
 }
 
@@ -427,8 +433,14 @@ func (s *Server) serveConn(c net.Conn) {
 		return
 	}
 
+	var (
+		ops  []mpi.WireOp
+		reps []mpi.WireReply
+	)
 	for {
-		op, err := mpi.ReadWireOp(br)
+		var batch bool
+		var err error
+		ops, batch, err = mpi.ReadWireFrame(br, ops)
 		if err != nil {
 			if isWireDecodeError(err) {
 				mpi.WriteWireReply(bw, mpi.WireReply{Status: mpi.WireErr})
@@ -436,9 +448,18 @@ func (s *Server) serveConn(c net.Conn) {
 			}
 			return
 		}
-		rep := s.apply(op)
-		if err := mpi.WriteWireReply(bw, rep); err != nil {
-			return
+		if !batch {
+			rep := s.apply(ops[0])
+			if err := mpi.WriteWireReply(bw, rep); err != nil {
+				return
+			}
+		} else {
+			reps = s.applyBatch(ops, reps)
+			for i := range reps {
+				if err := mpi.WriteWireReply(bw, reps[i]); err != nil {
+					return
+				}
+			}
 		}
 		// Flush when the pipeline runs dry: consecutive buffered requests
 		// batch their replies into one segment.
@@ -481,12 +502,87 @@ func (s *Server) adoptTrace(op mpi.WireOp, name string) ctrace.Context {
 
 // apply executes one wire operation against the engine.
 func (s *Server) apply(op mpi.WireOp) mpi.WireReply {
-	rep := mpi.WireReply{Kind: op.Kind, Status: mpi.WireOK}
 	if ctr := s.cFrames[op.Kind]; ctr != nil {
 		ctr.Inc()
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.applyLocked(op)
+}
+
+// applyBatch executes a batch frame's ops under one lock acquisition,
+// appending one reply per op to reps[:0] and returning the result.
+// Maximal runs of untraced arrives with fault injection off — the
+// serving hot path — bypass the per-op trace/fault plumbing entirely
+// and go through the engine's ArriveBatch.
+func (s *Server) applyBatch(ops []mpi.WireOp, reps []mpi.WireReply) []mpi.WireReply {
+	reps = reps[:0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < len(ops); {
+		if s.wire == nil && plainArrive(ops[i]) {
+			j := i + 1
+			for j < len(ops) && plainArrive(ops[j]) {
+				j++
+			}
+			reps = s.applyArriveRun(ops[i:j], reps)
+			i = j
+			continue
+		}
+		if ctr := s.cFrames[ops[i].Kind]; ctr != nil {
+			ctr.Inc()
+		}
+		reps = append(reps, s.applyLocked(ops[i]))
+		i++
+	}
+	return reps
+}
+
+// plainArrive reports whether the op takes the batched arrive fast
+// path: an untraced arrival needs no flight-recorder spans (every
+// ctrace call is a no-op on a zero context).
+func plainArrive(op mpi.WireOp) bool {
+	return op.Kind == mpi.WireArrive && op.Trace == 0
+}
+
+// applyArriveRun feeds a run of untraced arrivals through ArriveBatch.
+// Caller holds mu and has checked s.wire == nil. Equivalent to
+// applyLocked per op: with a zero trace context the recorder calls
+// no-op, and SetTraceContext is hoisted to one zero-zero call for the
+// run instead of one per op.
+func (s *Server) applyArriveRun(ops []mpi.WireOp, reps []mpi.WireReply) []mpi.WireReply {
+	s.batchEnvs = s.batchEnvs[:0]
+	s.batchMsgs = s.batchMsgs[:0]
+	for i := range ops {
+		s.batchEnvs = append(s.batchEnvs, match.Envelope{Rank: ops[i].Rank, Tag: ops[i].Tag, Ctx: ops[i].Ctx})
+		s.batchMsgs = append(s.batchMsgs, ops[i].Handle)
+	}
+	s.cfg.PMU.SetTraceContext(0, 0)
+	s.batchRes = s.en.ArriveBatch(s.batchEnvs, s.batchMsgs, s.batchRes)
+	if ctr := s.cFrames[mpi.WireArrive]; ctr != nil {
+		ctr.Add(float64(len(ops)))
+	}
+	for i := range s.batchRes {
+		r := &s.batchRes[i]
+		rep := mpi.WireReply{
+			Kind:    mpi.WireArrive,
+			Status:  mpi.WireOK,
+			Outcome: byte(r.Outcome),
+			Handle:  r.Req,
+			Cycles:  r.Cycles,
+		}
+		if r.Outcome == engine.ArriveRefused {
+			rep.Status = mpi.WireBusy
+		}
+		reps = append(reps, rep)
+	}
+	return reps
+}
+
+// applyLocked executes one wire operation; the caller holds mu and has
+// counted the frame.
+func (s *Server) applyLocked(op mpi.WireOp) mpi.WireReply {
+	rep := mpi.WireReply{Kind: op.Kind, Status: mpi.WireOK}
 	switch op.Kind {
 	case mpi.WireArrive:
 		tctx := s.adoptTrace(op, fmt.Sprintf("msg tag=%d", op.Tag))

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"testing"
+
+	"spco/internal/match"
+	"spco/internal/matchlist"
+)
+
+// The zero-allocation gate: steady-state matching on a pooled engine
+// must not touch the Go heap. Node pools recycle list nodes, the
+// in-place RegionSet absorbs region churn, and the batch APIs write
+// into caller-owned slices — so once warmed, Arrive, PostRecv and the
+// batch variants run at 0 allocs/op. CI runs this via `make
+// hotpath-gate`; a regression here is a hot-path performance bug even
+// when every functional test still passes.
+
+// allocGateKinds are the structures the pools cover directly (the
+// remaining kinds compose these).
+var allocGateKinds = []matchlist.Kind{
+	matchlist.KindLLA, matchlist.KindBaseline, matchlist.KindHashBins,
+}
+
+func newPooledEngine(t *testing.T, kind matchlist.Kind) *Engine {
+	t.Helper()
+	cfg := baseCfg()
+	cfg.Kind = kind
+	cfg.Pool = true
+	return MustNew(cfg)
+}
+
+// churnOnce drives one balanced cycle over both queues: a PRQ
+// append+match pair and a UMQ append+match pair.
+func churnOnce(en *Engine) {
+	en.PostRecv(1, 3, 1, 7)
+	en.Arrive(match.Envelope{Rank: 1, Tag: 3, Ctx: 1}, 9)
+	en.Arrive(match.Envelope{Rank: 2, Tag: 4, Ctx: 1}, 11)
+	en.PostRecv(2, 4, 1, 8)
+}
+
+func TestScalarHotPathZeroAlloc(t *testing.T) {
+	for _, kind := range allocGateKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			en := newPooledEngine(t, kind)
+			// Warm until pools and free lists reach steady capacity.
+			for i := 0; i < 512; i++ {
+				churnOnce(en)
+			}
+			if avg := testing.AllocsPerRun(200, func() { churnOnce(en) }); avg != 0 {
+				t.Errorf("steady-state Arrive/PostRecv allocates %.2f allocs per churn cycle, want 0", avg)
+			}
+		})
+	}
+}
+
+func TestBatchHotPathZeroAlloc(t *testing.T) {
+	const k = 64
+	for _, kind := range allocGateKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			en := newPooledEngine(t, kind)
+			posts := make([]PostReq, k)
+			envs := make([]match.Envelope, k)
+			msgs := make([]uint64, k)
+			pres := make([]PostResult, 0, k)
+			ares := make([]ArriveResult, 0, k)
+			for i := 0; i < k; i++ {
+				posts[i] = PostReq{Rank: i % 8, Tag: i % 4, Ctx: 1, Req: uint64(i) + 1}
+				envs[i] = match.Envelope{Rank: int32(i % 8), Tag: int32(i % 4), Ctx: 1}
+				msgs[i] = uint64(i) + 100
+			}
+			batch := func() {
+				pres = en.PostRecvBatch(posts, pres)
+				ares = en.ArriveBatch(envs, msgs, ares)
+			}
+			for i := 0; i < 64; i++ {
+				batch()
+			}
+			if en.PRQLen() != 0 || en.UMQLen() != 0 {
+				t.Fatalf("churn is not balanced: PRQ=%d UMQ=%d", en.PRQLen(), en.UMQLen())
+			}
+			if avg := testing.AllocsPerRun(100, batch); avg != 0 {
+				t.Errorf("steady-state batch of %d pairs allocates %.2f allocs per batch, want 0", k, avg)
+			}
+		})
+	}
+}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"spco/internal/match"
+	"spco/internal/matchlist"
+)
+
+// Batched hot-path APIs. A NIC progress thread drains envelopes in
+// bursts and an application preposts receives in windows; processing a
+// burst through one call amortizes the per-call costs a driver pays
+// around the engine (the daemon's serialization lock, wire framing,
+// reply flushing) over N operations.
+//
+// The batch entry points run the exact scalar cores in a loop: every
+// per-operation cache access, depth charge, telemetry observation, PMU
+// bracket and observer callback happens in the same order as N scalar
+// calls, so modeled cycle totals are bit-identical between the two
+// shapes — the differential tests in batch_test.go pin this down. What
+// batching buys is Go-level efficiency (one call, no per-op interface
+// dispatch from the driver) and the driver-level amortization above,
+// not a different cost model.
+//
+// None of the batch entry points allocate in steady state: results go
+// into caller-provided slices (reused across calls, grown only when
+// capacity is exceeded) and the pooled match structures recycle their
+// nodes. The alloc gate in alloc_test.go enforces this with
+// testing.AllocsPerRun.
+
+// PostReq describes one receive for PostRecvBatch, mirroring the
+// PostRecv parameter list.
+type PostReq struct {
+	Rank int
+	Tag  int
+	Ctx  uint16
+	Req  uint64
+}
+
+// ArriveResult is one arrival's outcome.
+type ArriveResult struct {
+	Req     uint64 // matched posted request handle (ArriveMatched only)
+	Outcome ArriveOutcome
+	Cycles  uint64
+}
+
+// PostResult is one posted receive's outcome.
+type PostResult struct {
+	Msg     uint64 // buffered message handle (Matched only)
+	Matched bool
+	Cycles  uint64
+}
+
+// ArriveBatch processes envs in order, appending one ArriveResult per
+// envelope to out (which it first truncates to length zero) and
+// returning the extended slice. msgs carries the per-envelope eager
+// payload handles; it may be nil (all zero) or must match len(envs).
+// Pass an out slice with cap(out) >= len(envs) to keep the call
+// allocation-free.
+func (en *Engine) ArriveBatch(envs []match.Envelope, msgs []uint64, out []ArriveResult) []ArriveResult {
+	if msgs != nil && len(msgs) != len(envs) {
+		panic("engine: ArriveBatch msgs length mismatch")
+	}
+	out = out[:0]
+	for i := range envs {
+		var msg uint64
+		if msgs != nil {
+			msg = msgs[i]
+		}
+		req, outcome, cycles := en.ArriveFull(envs[i], msg)
+		out = append(out, ArriveResult{Req: req, Outcome: outcome, Cycles: cycles})
+	}
+	return out
+}
+
+// PostRecvBatch posts reqs in order, appending one PostResult per
+// request to out (truncated to zero first) and returning the extended
+// slice. Pass cap(out) >= len(reqs) to keep the call allocation-free.
+func (en *Engine) PostRecvBatch(reqs []PostReq, out []PostResult) []PostResult {
+	out = out[:0]
+	for i := range reqs {
+		r := &reqs[i]
+		msg, matched, cycles := en.PostRecv(r.Rank, r.Tag, r.Ctx, r.Req)
+		out = append(out, PostResult{Msg: msg, Matched: matched, Cycles: cycles})
+	}
+	return out
+}
+
+// PoolStatsByQueue reports the node-pool counters of each queue
+// structure (zero values when the structure does not pool or pooling is
+// disabled).
+func (en *Engine) PoolStatsByQueue() (prq, umq matchlist.PoolStats) {
+	if ps, ok := en.prq.(matchlist.PoolStatser); ok {
+		prq = ps.PoolStats()
+	}
+	if ps, ok := en.umq.(matchlist.PoolStatser); ok {
+		umq = ps.PoolStats()
+	}
+	return prq, umq
+}
+
+// PoolStats sums both queues' node-pool counters.
+func (en *Engine) PoolStats() matchlist.PoolStats {
+	prq, umq := en.PoolStatsByQueue()
+	return prq.Add(umq)
+}

@@ -1,0 +1,234 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"spco/internal/match"
+	"spco/internal/matchlist"
+)
+
+// batchTestOp is one step of a randomized differential stream.
+type batchTestOp struct {
+	arrive bool
+	env    match.Envelope
+	msg    uint64
+	post   PostReq
+}
+
+// randomOpStream builds a seeded mixed stream: arrivals and posts over
+// a small rank/tag space (so both queues churn), with occasional
+// wildcard receives.
+func randomOpStream(seed int64, n int) []batchTestOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]batchTestOp, n)
+	req := uint64(1)
+	for i := range ops {
+		rank, tag := rng.Intn(24), rng.Intn(6)
+		if rng.Intn(2) == 0 {
+			ops[i] = batchTestOp{
+				arrive: true,
+				env:    match.Envelope{Rank: int32(rank), Tag: int32(tag), Ctx: 1},
+				msg:    uint64(i) + 1,
+			}
+		} else {
+			if rng.Intn(8) == 0 {
+				rank = match.AnySource
+			}
+			if rng.Intn(8) == 0 {
+				tag = match.AnyTag
+			}
+			ops[i] = batchTestOp{post: PostReq{Rank: rank, Tag: tag, Ctx: 1, Req: req}}
+			req++
+		}
+	}
+	return ops
+}
+
+// opRecord captures one operation's observable result, shared between
+// the scalar and batched drivers so records compare directly.
+type opRecord struct {
+	handle  uint64
+	outcome ArriveOutcome
+	matched bool
+	cycles  uint64
+}
+
+func runScalar(en *Engine, ops []batchTestOp) []opRecord {
+	out := make([]opRecord, 0, len(ops))
+	for _, op := range ops {
+		if op.arrive {
+			req, outcome, cy := en.ArriveFull(op.env, op.msg)
+			out = append(out, opRecord{handle: req, outcome: outcome, cycles: cy})
+		} else {
+			msg, matched, cy := en.PostRecv(op.post.Rank, op.post.Tag, op.post.Ctx, op.post.Req)
+			out = append(out, opRecord{handle: msg, matched: matched, cycles: cy})
+		}
+	}
+	return out
+}
+
+// runBatched drives the same stream through the batch APIs: maximal
+// same-kind runs become one ArriveBatch or PostRecvBatch call, exactly
+// how the daemon's batch path slices a wire frame.
+func runBatched(en *Engine, ops []batchTestOp) []opRecord {
+	out := make([]opRecord, 0, len(ops))
+	var (
+		envs []match.Envelope
+		msgs []uint64
+		ares []ArriveResult
+		prs  []PostReq
+		pres []PostResult
+	)
+	for i := 0; i < len(ops); {
+		j := i + 1
+		for j < len(ops) && ops[j].arrive == ops[i].arrive {
+			j++
+		}
+		if ops[i].arrive {
+			envs, msgs = envs[:0], msgs[:0]
+			for _, op := range ops[i:j] {
+				envs = append(envs, op.env)
+				msgs = append(msgs, op.msg)
+			}
+			ares = en.ArriveBatch(envs, msgs, ares)
+			for _, r := range ares {
+				out = append(out, opRecord{handle: r.Req, outcome: r.Outcome, cycles: r.Cycles})
+			}
+		} else {
+			prs = prs[:0]
+			for _, op := range ops[i:j] {
+				prs = append(prs, op.post)
+			}
+			pres = en.PostRecvBatch(prs, pres)
+			for _, r := range pres {
+				out = append(out, opRecord{handle: r.Msg, matched: r.Matched, cycles: r.Cycles})
+			}
+		}
+		i = j
+	}
+	return out
+}
+
+// batchKindConfigs enumerates every matchlist kind (plus bounded-UMQ
+// policy variants on the default kind), all pooled.
+func batchKindConfigs() map[string]Config {
+	kinds := []matchlist.Kind{
+		matchlist.KindBaseline, matchlist.KindLLA, matchlist.KindHashBins,
+		matchlist.KindRankArray, matchlist.KindFourD, matchlist.KindHWOffload,
+		matchlist.KindPerComm,
+	}
+	cfgs := make(map[string]Config, len(kinds)+2)
+	for _, k := range kinds {
+		cfg := baseCfg()
+		cfg.Kind = k
+		cfg.Pool = true
+		cfgs[k.String()] = cfg
+	}
+	drop := baseCfg()
+	drop.Pool = true
+	drop.UMQCapacity = 8
+	drop.Overflow = OverflowDrop
+	cfgs["lla-drop"] = drop
+	rdv := baseCfg()
+	rdv.Pool = true
+	rdv.UMQCapacity = 8
+	rdv.Overflow = OverflowRendezvous
+	cfgs["lla-rendezvous"] = rdv
+	return cfgs
+}
+
+func TestBatchMatchesScalarAcrossKinds(t *testing.T) {
+	// The batch APIs' contract: for any op stream, batching is
+	// indistinguishable from the scalar calls — same per-op results,
+	// same stats, same queue states, and bit-identical cycle totals.
+	ops := randomOpStream(7, 3000)
+	for name, cfg := range batchKindConfigs() {
+		t.Run(name, func(t *testing.T) {
+			a, b := MustNew(cfg), MustNew(cfg)
+			ra := runScalar(a, ops)
+			rb := runBatched(b, ops)
+			for i := range ra {
+				if ra[i] != rb[i] {
+					t.Fatalf("op %d diverged: scalar %+v batch %+v", i, ra[i], rb[i])
+				}
+			}
+			if sa, sb := a.Stats(), b.Stats(); sa != sb {
+				t.Errorf("stats diverged:\nscalar %+v\nbatch  %+v", sa, sb)
+			}
+			if a.PRQLen() != b.PRQLen() || a.UMQLen() != b.UMQLen() {
+				t.Errorf("queues diverged: scalar %d/%d batch %d/%d",
+					a.PRQLen(), a.UMQLen(), b.PRQLen(), b.UMQLen())
+			}
+			if ca, cb := a.Hierarchy().Stats().Cycles, b.Hierarchy().Stats().Cycles; ca != cb {
+				t.Errorf("cache cycles diverged: scalar %d batch %d", ca, cb)
+			}
+		})
+	}
+}
+
+func TestPoolingIsBitIdenticalOnCycles(t *testing.T) {
+	// Node pooling recycles Go objects only; the simulated allocation
+	// sequence is unchanged, so modeled cycles must not depend on the
+	// Pool knob for the structures whose pool is new in this layer.
+	ops := randomOpStream(11, 2500)
+	for _, k := range []matchlist.Kind{
+		matchlist.KindBaseline, matchlist.KindHashBins,
+		matchlist.KindRankArray, matchlist.KindFourD, matchlist.KindPerComm,
+	} {
+		t.Run(k.String(), func(t *testing.T) {
+			cfg := baseCfg()
+			cfg.Kind = k
+			cold := cfg
+			cold.Pool = false
+			warm := cfg
+			warm.Pool = true
+			a, b := MustNew(cold), MustNew(warm)
+			ra := runScalar(a, ops)
+			rb := runScalar(b, ops)
+			for i := range ra {
+				if ra[i] != rb[i] {
+					t.Fatalf("op %d diverged: unpooled %+v pooled %+v", i, ra[i], rb[i])
+				}
+			}
+			if sa, sb := a.Stats(), b.Stats(); sa != sb {
+				t.Errorf("stats diverged:\nunpooled %+v\npooled   %+v", sa, sb)
+			}
+			if ca, cb := a.Hierarchy().Stats().Cycles, b.Hierarchy().Stats().Cycles; ca != cb {
+				t.Errorf("cache cycles diverged: unpooled %d pooled %d", ca, cb)
+			}
+		})
+	}
+}
+
+func TestPoolStatsAccount(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Kind = matchlist.KindBaseline
+	cfg.Pool = true
+	en := MustNew(cfg)
+	runScalar(en, randomOpStream(3, 2000))
+	st := en.PoolStats()
+	if st.Puts == 0 {
+		t.Fatal("churned pooled engine recorded no pool puts")
+	}
+	if st.Gets == 0 {
+		t.Fatal("churned pooled engine recorded no pool gets")
+	}
+	if st.Gets > st.Puts {
+		t.Errorf("pool served more nodes than were returned: %+v", st)
+	}
+	prq, umq := en.PoolStatsByQueue()
+	if got := prq.Add(umq); got != st {
+		t.Errorf("PoolStats %+v != sum of per-queue stats %+v", st, got)
+	}
+}
+
+func TestArriveBatchMsgsLengthMismatchPanics(t *testing.T) {
+	en := MustNew(baseCfg())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched msgs length did not panic")
+		}
+	}()
+	en.ArriveBatch(make([]match.Envelope, 2), make([]uint64, 1), nil)
+}

@@ -12,30 +12,39 @@ func TestPerfDisabledIsBitIdentical(t *testing.T) {
 	// workload with and without a PMU attached — profiler and span
 	// tracing fully enabled — must produce identical engine and cache
 	// cycle totals. The PMU observes the simulation, never perturbs it.
-	run := func(pmu *perf.PMU) (Stats, uint64) {
+	run := func(pmu *perf.PMU, pool bool) (Stats, uint64) {
 		cfg := baseCfg()
 		cfg.HotCache = true
+		cfg.Pool = pool
 		cfg.Perf = pmu
 		en := MustNew(cfg)
 		driveChurn(en, 4, 200)
 		return en.Stats(), en.Hierarchy().Stats().Cycles
 	}
-	plainStats, plainCache := run(nil)
-	pmu := perf.New(perf.Options{SampleInterval: 100, Experiment: "zerocost"})
-	perfStats, perfCache := run(pmu)
-	if plainStats != perfStats {
-		t.Errorf("PMU changed engine stats:\noff %+v\non  %+v", plainStats, perfStats)
-	}
-	if plainCache != perfCache {
-		t.Errorf("PMU changed cache cycles: off %d on %d", plainCache, perfCache)
-	}
-	// And the instrumented run did observe the workload.
-	tot := pmu.Totals()
-	if tot.TotalOps() == 0 || tot.Accesses() == 0 || tot.MatchAttempts == 0 {
-		t.Errorf("PMU recorded nothing: %+v", tot)
-	}
-	if pmu.Spans().Len() == 0 || pmu.Profiler().NumSamples() == 0 {
-		t.Error("spans or profile samples missing")
+	for _, pool := range []bool{false, true} {
+		name := "unpooled"
+		if pool {
+			name = "pooled"
+		}
+		t.Run(name, func(t *testing.T) {
+			plainStats, plainCache := run(nil, pool)
+			pmu := perf.New(perf.Options{SampleInterval: 100, Experiment: "zerocost"})
+			perfStats, perfCache := run(pmu, pool)
+			if plainStats != perfStats {
+				t.Errorf("PMU changed engine stats:\noff %+v\non  %+v", plainStats, perfStats)
+			}
+			if plainCache != perfCache {
+				t.Errorf("PMU changed cache cycles: off %d on %d", plainCache, perfCache)
+			}
+			// And the instrumented run did observe the workload.
+			tot := pmu.Totals()
+			if tot.TotalOps() == 0 || tot.Accesses() == 0 || tot.MatchAttempts == 0 {
+				t.Errorf("PMU recorded nothing: %+v", tot)
+			}
+			if pmu.Spans().Len() == 0 || pmu.Profiler().NumSamples() == 0 {
+				t.Error("spans or profile samples missing")
+			}
+		})
 	}
 }
 

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"spco/internal/cache"
+	"spco/internal/matchlist"
 	"spco/internal/simmem"
 	"spco/internal/telemetry"
 )
@@ -51,6 +52,7 @@ type engineTelemetry struct {
 	pubCache  cache.Stats
 	pubEvict  map[cache.EvictionKey]uint64
 	pubHeater struct{ sweeps, touches, sync uint64 }
+	pubPool   [2]matchlist.PoolStats // prq, umq
 }
 
 // ownerTagger labels queue node regions in the hierarchy's residency
@@ -117,6 +119,12 @@ func newEngineTelemetry(en *Engine, c *telemetry.Collector) *engineTelemetry {
 	reg.Help("spco_heater_touches_total", "Cache lines touched by the heater.")
 	reg.Help("spco_heater_sync_cycles_total", "Lifetime heater-synchronisation cycles.")
 	reg.Help("spco_heater_registered_bytes", "Bytes currently registered with the heater.")
+	if en.cfg.Pool {
+		reg.Help("spco_pool_gets_total", "Queue nodes served from the recycling pool.")
+		reg.Help("spco_pool_misses_total", "Queue-node allocations the pool could not serve.")
+		reg.Help("spco_pool_puts_total", "Queue nodes returned to the recycling pool.")
+		reg.Help("spco_pool_size", "Queue nodes currently held by the recycling pool.")
+	}
 	if en.cfg.UMQCapacity > 0 {
 		reg.Help("spco_umq_overflows_total", "Arrivals that found the bounded UMQ at capacity.")
 		reg.Help("spco_umq_refused_total", "Overflow arrivals refused (drop/credit policies).")
@@ -225,6 +233,22 @@ func (t *engineTelemetry) publish() {
 	gauge("spco_queue_len", telemetry.Labels{"queue": "prq"}, float64(t.en.prq.Len()))
 	gauge("spco_queue_len", telemetry.Labels{"queue": "umq"}, float64(t.en.umq.Len()))
 	gauge("spco_queue_bytes", nil, float64(t.en.MemoryBytes()))
+
+	if t.en.cfg.Pool {
+		prq, umq := t.en.PoolStatsByQueue()
+		for i, q := range [...]struct {
+			label string
+			st    matchlist.PoolStats
+		}{{"prq", prq}, {"umq", umq}} {
+			prev := t.pubPool[i]
+			ql := telemetry.Labels{"queue": q.label}
+			add("spco_pool_gets_total", ql, float64(q.st.Gets-prev.Gets))
+			add("spco_pool_misses_total", ql, float64(q.st.Misses-prev.Misses))
+			add("spco_pool_puts_total", ql, float64(q.st.Puts-prev.Puts))
+			gauge("spco_pool_size", ql, float64(q.st.Size))
+			t.pubPool[i] = q.st
+		}
+	}
 
 	if ht := t.en.heater; ht != nil {
 		add("spco_heater_sweeps_total", nil, float64(ht.Sweeps()-t.pubHeater.sweeps))

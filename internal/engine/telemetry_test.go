@@ -29,9 +29,12 @@ func TestTelemetryDisabledIsBitIdentical(t *testing.T) {
 	// The zero-cost contract: the same workload with and without a
 	// collector attached must produce identical engine and cache cycle
 	// totals — telemetry observes the simulation, never perturbs it.
-	run := func(tel bool) (Stats, uint64) {
+	// Held with node pooling both off and on (the pooled engine is the
+	// serving configuration).
+	run := func(tel, pool bool) (Stats, uint64) {
 		cfg := baseCfg()
 		cfg.HotCache = true
+		cfg.Pool = pool
 		if tel {
 			cfg.Telemetry = telemetry.NewCollector(nil)
 			cfg.ResidencyInterval = 500
@@ -41,13 +44,21 @@ func TestTelemetryDisabledIsBitIdentical(t *testing.T) {
 		en.PublishTelemetry()
 		return en.Stats(), en.Hierarchy().Stats().Cycles
 	}
-	plainStats, plainCache := run(false)
-	telStats, telCache := run(true)
-	if plainStats != telStats {
-		t.Errorf("telemetry changed engine stats:\noff %+v\non  %+v", plainStats, telStats)
-	}
-	if plainCache != telCache {
-		t.Errorf("telemetry changed cache cycles: off %d on %d", plainCache, telCache)
+	for _, pool := range []bool{false, true} {
+		name := "unpooled"
+		if pool {
+			name = "pooled"
+		}
+		t.Run(name, func(t *testing.T) {
+			plainStats, plainCache := run(false, pool)
+			telStats, telCache := run(true, pool)
+			if plainStats != telStats {
+				t.Errorf("telemetry changed engine stats:\noff %+v\non  %+v", plainStats, telStats)
+			}
+			if plainCache != telCache {
+				t.Errorf("telemetry changed cache cycles: off %d on %d", plainCache, telCache)
+			}
+		})
 	}
 }
 

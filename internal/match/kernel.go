@@ -1,0 +1,136 @@
+// Packed compare kernels: branch-free candidate masks over contiguous
+// entry arrays. The LLA stores K entries per node (Section 3.1); its
+// search loop used to call Posted.Matches once per slot, a chain of
+// three data-dependent branches per entry. The kernels below compare a
+// whole node in one pass, folding each entry's three masked equality
+// tests and the hole test into a single bit of a candidate mask — the
+// software analogue of a SIMD packed compare. Matching semantics are
+// identical to the scalar path: a bit is set exactly when the scalar
+// loop's IsHole()-skip-then-Matches() sequence would have accepted the
+// entry.
+package match
+
+import "math/bits"
+
+// KernelWidth is the widest array one mask covers (one bit per entry).
+const KernelWidth = 64
+
+// eqZero returns 1 when x == 0, else 0, without branching.
+func eqZero(x uint32) uint64 {
+	return (uint64(x) - 1) >> 63
+}
+
+// MatchMask returns a bitmask over ps (len(ps) <= KernelWidth; excess
+// entries are ignored) whose bit i is set when ps[i] is a live
+// (non-hole) entry accepting e. Bit order follows slice order, so
+// bits.TrailingZeros64 on the mask yields the earliest match — the
+// MPI-ordered winner within a node.
+//
+// Holes carry InvalidCtx with full masks, so for any envelope with a
+// valid context the ctx term of the miss test already excludes them;
+// the explicit hole term is only needed — and only computed — on the
+// InvalidCtx path, keeping the common per-entry work to the three
+// masked equality folds.
+func MatchMask(ps []Posted, e Envelope) uint64 {
+	if len(ps) > KernelWidth {
+		ps = ps[:KernelWidth]
+	}
+	if e.Ctx == InvalidCtx {
+		return matchMaskHoleSafe(ps, e)
+	}
+	var m uint64
+	ec, et, er := uint32(e.Ctx), uint32(e.Tag), uint32(e.Rank)
+	for i := range ps {
+		p := &ps[i]
+		miss := uint32(p.Ctx) ^ ec
+		miss |= (uint32(p.Tag) ^ et) & p.TagMask
+		miss |= (uint32(int32(p.Rank)) ^ er) & p.RankMask
+		m |= eqZero(miss) << uint(i)
+	}
+	return m
+}
+
+// matchMaskHoleSafe is the adversarial-context path: an envelope
+// carrying InvalidCtx could pass a hole's miss test, so holes are
+// masked out explicitly.
+func matchMaskHoleSafe(ps []Posted, e Envelope) uint64 {
+	var m uint64
+	for i := range ps {
+		p := &ps[i]
+		miss := uint32(p.Ctx) ^ uint32(e.Ctx)
+		miss |= (uint32(p.Tag) ^ uint32(e.Tag)) & p.TagMask
+		miss |= (uint32(int32(p.Rank)) ^ uint32(e.Rank)) & p.RankMask
+		hole := uint32(p.Tag^holeTag) | uint32(uint16(p.Rank^holeRank))
+		m |= (eqZero(miss) &^ eqZero(hole)) << uint(i)
+	}
+	return m
+}
+
+// MatchedByMask is MatchMask for UMQ arrays: bit i is set when us[i] is
+// a live buffered message that the posted receive p accepts. The same
+// hole-exclusion argument applies: UMQ holes carry InvalidCtx, which no
+// valid posted receive's context equals.
+func MatchedByMask(us []Unexpected, p Posted) uint64 {
+	if len(us) > KernelWidth {
+		us = us[:KernelWidth]
+	}
+	if p.Ctx == InvalidCtx {
+		return matchedByMaskHoleSafe(us, p)
+	}
+	var m uint64
+	pc, pt, pr := uint32(p.Ctx), uint32(p.Tag), uint32(int32(p.Rank))
+	for i := range us {
+		u := &us[i]
+		miss := pc ^ uint32(u.Ctx)
+		miss |= (pt ^ uint32(u.Tag)) & p.TagMask
+		miss |= (pr ^ uint32(int32(u.Rank))) & p.RankMask
+		m |= eqZero(miss) << uint(i)
+	}
+	return m
+}
+
+// matchedByMaskHoleSafe masks holes explicitly for posted receives
+// carrying the adversarial InvalidCtx.
+func matchedByMaskHoleSafe(us []Unexpected, p Posted) uint64 {
+	var m uint64
+	for i := range us {
+		u := &us[i]
+		miss := uint32(p.Ctx) ^ uint32(u.Ctx)
+		miss |= (uint32(p.Tag) ^ uint32(u.Tag)) & p.TagMask
+		miss |= (uint32(int32(p.Rank)) ^ uint32(int32(u.Rank))) & p.RankMask
+		hole := uint32(u.Tag^holeTag) | uint32(uint16(u.Rank^holeRank))
+		m |= (eqZero(miss) &^ eqZero(hole)) << uint(i)
+	}
+	return m
+}
+
+// FindPosted returns the index of the earliest live entry in ps
+// accepting e, or -1. Arrays wider than KernelWidth are scanned in
+// 64-entry chunks, earliest chunk first.
+func FindPosted(ps []Posted, e Envelope) int {
+	for base := 0; base < len(ps); base += KernelWidth {
+		end := base + KernelWidth
+		if end > len(ps) {
+			end = len(ps)
+		}
+		if m := MatchMask(ps[base:end], e); m != 0 {
+			return base + bits.TrailingZeros64(m)
+		}
+	}
+	return -1
+}
+
+// FindUnexpected returns the index of the earliest live buffered message
+// in us accepted by p, or -1.
+func FindUnexpected(us []Unexpected, p Posted) int {
+	for base := 0; base < len(us); base += KernelWidth {
+		end := base + KernelWidth
+		if end > len(us) {
+			end = len(us)
+		}
+		if m := MatchedByMask(us[base:end], p); m != 0 {
+			return base + bits.TrailingZeros64(m)
+		}
+	}
+	return -1
+}

@@ -1,0 +1,138 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randPosted draws an entry mixing exact receives, wildcards, and holes.
+func randPosted(rng *rand.Rand) Posted {
+	switch rng.Intn(8) {
+	case 0:
+		return Hole()
+	case 1:
+		return NewPosted(AnySource, rng.Intn(8), uint16(1+rng.Intn(3)), rng.Uint64())
+	case 2:
+		return NewPosted(rng.Intn(16), AnyTag, uint16(1+rng.Intn(3)), rng.Uint64())
+	case 3:
+		return NewPosted(AnySource, AnyTag, uint16(1+rng.Intn(3)), rng.Uint64())
+	default:
+		return NewPosted(rng.Intn(16), rng.Intn(8), uint16(1+rng.Intn(3)), rng.Uint64())
+	}
+}
+
+func randUnexpected(rng *rand.Rand) Unexpected {
+	if rng.Intn(8) == 0 {
+		return UnexpectedHole()
+	}
+	return NewUnexpected(Envelope{
+		Rank: int32(rng.Intn(16)), Tag: int32(rng.Intn(8)), Ctx: uint16(1 + rng.Intn(3)),
+	}, rng.Uint64())
+}
+
+// adversarialEnvelopes includes the envelope that a hole's raw fields
+// would match if the kernel forgot to mask holes out.
+func adversarialEnvelopes(rng *rand.Rand) []Envelope {
+	envs := []Envelope{
+		{Rank: int32(holeRank), Tag: holeTag, Ctx: InvalidCtx},
+		{Rank: AnySource, Tag: AnyTag, Ctx: 1},
+	}
+	for i := 0; i < 32; i++ {
+		envs = append(envs, Envelope{
+			Rank: int32(rng.Intn(16)), Tag: int32(rng.Intn(8)), Ctx: uint16(1 + rng.Intn(3)),
+		})
+	}
+	return envs
+}
+
+func TestMatchMaskAgreesWithScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(KernelWidth)
+		ps := make([]Posted, n)
+		for i := range ps {
+			ps[i] = randPosted(rng)
+		}
+		for _, e := range adversarialEnvelopes(rng) {
+			m := MatchMask(ps, e)
+			for i, p := range ps {
+				want := !p.IsHole() && p.Matches(e)
+				got := m&(1<<uint(i)) != 0
+				if got != want {
+					t.Fatalf("trial %d entry %d env %v: kernel=%v scalar=%v (entry %+v)",
+						trial, i, e, got, want, p)
+				}
+			}
+		}
+	}
+}
+
+func TestMatchedByMaskAgreesWithScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(KernelWidth)
+		us := make([]Unexpected, n)
+		for i := range us {
+			us[i] = randUnexpected(rng)
+		}
+		for j := 0; j < 16; j++ {
+			p := randPosted(rng)
+			m := MatchedByMask(us, p)
+			for i, u := range us {
+				want := !u.IsHole() && u.MatchedBy(p)
+				got := m&(1<<uint(i)) != 0
+				if got != want {
+					t.Fatalf("trial %d entry %d posted %+v: kernel=%v scalar=%v (entry %+v)",
+						trial, i, p, got, want, u)
+				}
+			}
+		}
+	}
+}
+
+// TestFindChunked exercises arrays wider than one mask (the LLA-Large
+// configurations) and checks first-match order across chunk boundaries.
+func TestFindChunked(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(3*KernelWidth)
+		ps := make([]Posted, n)
+		us := make([]Unexpected, n)
+		for i := range ps {
+			ps[i] = randPosted(rng)
+			us[i] = randUnexpected(rng)
+		}
+		for _, e := range adversarialEnvelopes(rng) {
+			want := -1
+			for i, p := range ps {
+				if !p.IsHole() && p.Matches(e) {
+					want = i
+					break
+				}
+			}
+			if got := FindPosted(ps, e); got != want {
+				t.Fatalf("FindPosted trial %d env %v: got %d want %d", trial, e, got, want)
+			}
+		}
+		p := randPosted(rng)
+		want := -1
+		for i, u := range us {
+			if !u.IsHole() && u.MatchedBy(p) {
+				want = i
+				break
+			}
+		}
+		if got := FindUnexpected(us, p); got != want {
+			t.Fatalf("FindUnexpected trial %d posted %+v: got %d want %d", trial, p, got, want)
+		}
+	}
+}
+
+func TestFindEmpty(t *testing.T) {
+	if got := FindPosted(nil, Envelope{Ctx: 1}); got != -1 {
+		t.Fatalf("FindPosted(nil) = %d", got)
+	}
+	if got := FindUnexpected(nil, NewPosted(0, 0, 1, 1)); got != -1 {
+		t.Fatalf("FindUnexpected(nil) = %d", got)
+	}
+}

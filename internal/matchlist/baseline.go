@@ -45,6 +45,8 @@ type baselinePosted struct {
 	n       int
 	bytes   uint64
 	regions simmem.RegionSet
+	pool    []*blNode
+	pstats  PoolStats
 }
 
 func newBaselinePosted(cfg Config) *baselinePosted {
@@ -64,6 +66,19 @@ func (l *baselinePosted) allocNode() *blNode {
 	l.cfg.Space.Alloc(l.cfg.noise(), 8)
 	l.bytes += baselineNodeBytes
 	regAdd(&l.cfg, &l.regions, simmem.Region{Base: addr, Size: baselineNodeBytes})
+	// Pooling recycles only the Go node object; the simulated address
+	// sequence above is identical with or without it, so modeled cycles
+	// do not depend on the Pool knob.
+	if l.cfg.Pool {
+		if k := len(l.pool); k > 0 {
+			n := l.pool[k-1]
+			l.pool = l.pool[:k-1]
+			l.pstats.Gets++
+			n.addr, n.entry, n.next = addr, match.Posted{}, nil
+			return n
+		}
+		l.pstats.Misses++
+	}
 	return &blNode{addr: addr}
 }
 
@@ -71,6 +86,18 @@ func (l *baselinePosted) freeNode(n *blNode) {
 	l.cfg.Space.Free(n.addr, baselineNodeBytes)
 	regRemove(&l.cfg, &l.regions, simmem.Region{Base: n.addr, Size: baselineNodeBytes})
 	l.bytes -= baselineNodeBytes
+	if l.cfg.Pool {
+		n.next = nil
+		l.pool = append(l.pool, n)
+		l.pstats.Puts++
+	}
+}
+
+// PoolStats implements PoolStatser.
+func (l *baselinePosted) PoolStats() PoolStats {
+	st := l.pstats
+	st.Size = len(l.pool)
+	return st
 }
 
 // Post appends at the tail.
@@ -157,6 +184,8 @@ type baselineUnexpected struct {
 	n       int
 	bytes   uint64
 	regions simmem.RegionSet
+	pool    []*buNode
+	pstats  PoolStats
 }
 
 type buNode struct {
@@ -175,12 +204,44 @@ func newBaselineUnexpected(cfg Config) *baselineUnexpected {
 
 func (l *baselineUnexpected) Name() string { return "baseline" }
 
-func (l *baselineUnexpected) Append(u match.Unexpected) {
+func (l *baselineUnexpected) allocNode(u match.Unexpected) *buNode {
 	addr := l.cfg.Space.AllocReuse(baselineNodeBytes, baselineAlign)
 	l.cfg.Space.Alloc(l.cfg.noise(), 8)
 	l.bytes += baselineNodeBytes
 	regAdd(&l.cfg, &l.regions, simmem.Region{Base: addr, Size: baselineNodeBytes})
-	n := &buNode{addr: addr, entry: u}
+	if l.cfg.Pool {
+		if k := len(l.pool); k > 0 {
+			n := l.pool[k-1]
+			l.pool = l.pool[:k-1]
+			l.pstats.Gets++
+			n.addr, n.entry, n.next = addr, u, nil
+			return n
+		}
+		l.pstats.Misses++
+	}
+	return &buNode{addr: addr, entry: u}
+}
+
+func (l *baselineUnexpected) freeNode(n *buNode) {
+	l.cfg.Space.Free(n.addr, baselineNodeBytes)
+	regRemove(&l.cfg, &l.regions, simmem.Region{Base: n.addr, Size: baselineNodeBytes})
+	l.bytes -= baselineNodeBytes
+	if l.cfg.Pool {
+		n.next = nil
+		l.pool = append(l.pool, n)
+		l.pstats.Puts++
+	}
+}
+
+// PoolStats implements PoolStatser.
+func (l *baselineUnexpected) PoolStats() PoolStats {
+	st := l.pstats
+	st.Size = len(l.pool)
+	return st
+}
+
+func (l *baselineUnexpected) Append(u match.Unexpected) {
+	n := l.allocNode(u)
 	l.cfg.Acc.Access(l.ctrl, 16)
 	l.cfg.Acc.Access(n.addr, baselineMatchBytes)
 	l.cfg.Acc.Access(n.addr+baselineNextOff, baselinePtrBytes)
@@ -214,12 +275,11 @@ func (l *baselineUnexpected) SearchBy(p match.Posted) (match.Unexpected, int, bo
 				l.tail = prev
 			}
 			l.cfg.Acc.Access(l.ctrl, 16)
-			l.cfg.Space.Free(n.addr, baselineNodeBytes)
-			regRemove(&l.cfg, &l.regions, simmem.Region{Base: n.addr, Size: baselineNodeBytes})
-			l.bytes -= baselineNodeBytes
+			ent := n.entry
+			l.freeNode(n)
 			l.n--
 			l.cfg.setSeg(-1)
-			return n.entry, depth, true
+			return ent, depth, true
 		}
 		prev = n
 	}

@@ -17,6 +17,16 @@ type seqEntry struct {
 	seq   uint64
 }
 
+// chainPoolStats snapshots a pool's counters (zero for a nil pool).
+func chainPoolStats(cp *chainPool) PoolStats {
+	if cp == nil {
+		return PoolStats{}
+	}
+	st := cp.stats
+	st.Size = len(cp.free)
+	return st
+}
+
 type chainNode struct {
 	addr simmem.Addr
 	e    seqEntry
@@ -37,7 +47,20 @@ func (c *chain) append(rs *simmem.RegionSet, bytes *uint64, e seqEntry) {
 	c.cfg.Space.Alloc(c.cfg.noise(), 8)
 	*bytes += chainNodeBytes
 	regAdd(c.cfg, rs, simmem.Region{Base: addr, Size: chainNodeBytes})
-	n := &chainNode{addr: addr, e: e}
+	var n *chainNode
+	if cp := c.cfg.cpool; cp != nil {
+		if k := len(cp.free); k > 0 {
+			n = cp.free[k-1]
+			cp.free = cp.free[:k-1]
+			cp.stats.Gets++
+			n.addr, n.e, n.next = addr, e, nil
+		} else {
+			cp.stats.Misses++
+		}
+	}
+	if n == nil {
+		n = &chainNode{addr: addr, e: e}
+	}
 	c.cfg.Acc.Access(addr, 40)
 	if c.tail == nil {
 		c.head, c.tail = n, n
@@ -92,5 +115,10 @@ func (c *chain) remove(rs *simmem.RegionSet, bytes *uint64, prev, node *chainNod
 	regRemove(c.cfg, rs, simmem.Region{Base: node.addr, Size: chainNodeBytes})
 	*bytes -= chainNodeBytes
 	c.cfg.Space.Free(node.addr, chainNodeBytes)
+	if cp := c.cfg.cpool; cp != nil {
+		node.next = nil
+		cp.free = append(cp.free, node)
+		cp.stats.Puts++
+	}
 	c.n--
 }

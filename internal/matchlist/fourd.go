@@ -44,6 +44,9 @@ func newFourD(cfg Config) *fourD {
 		radix = 2
 	}
 	l := &fourD{cfg: cfg, radix: radix, capacity: radix * radix * radix * radix}
+	if cfg.Pool {
+		l.cfg.cpool = &chainPool{}
+	}
 	l.ctrl = cfg.Space.AllocLines(1)
 	l.bytes += simmem.LineSize
 	regAdd(&l.cfg, &l.regions, simmem.Region{Base: l.ctrl, Size: simmem.LineSize})
@@ -185,6 +188,9 @@ func (l *fourD) Cancel(req uint64) bool {
 	walk(l.root, 0)
 	return found
 }
+
+// PoolStats implements PoolStatser over the shared chain-node pool.
+func (l *fourD) PoolStats() PoolStats { return chainPoolStats(l.cfg.cpool) }
 
 func (l *fourD) Len() int { return l.n }
 

@@ -33,6 +33,9 @@ func newHashBins(cfg Config) *hashBins {
 		bins = DefaultBins
 	}
 	l := &hashBins{cfg: cfg, bins: make([]chain, bins)}
+	if cfg.Pool {
+		l.cfg.cpool = &chainPool{}
+	}
 	l.ctrl = cfg.Space.AllocLines(1)
 	l.bytes += simmem.LineSize
 	regAdd(&l.cfg, &l.regions, simmem.Region{Base: l.ctrl, Size: simmem.LineSize})
@@ -113,6 +116,9 @@ func (l *hashBins) Cancel(req uint64) bool {
 	}
 	return false
 }
+
+// PoolStats implements PoolStatser over the shared chain-node pool.
+func (l *hashBins) PoolStats() PoolStats { return chainPoolStats(l.cfg.cpool) }
 
 func (l *hashBins) Len() int { return l.n }
 

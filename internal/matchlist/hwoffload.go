@@ -167,6 +167,15 @@ func (l *hwOffload) Cancel(req uint64) bool {
 	return l.spill.Cancel(req)
 }
 
+// PoolStats delegates to the software spill list (the hardware unit
+// holds entries in a fixed on-NIC array and never allocates nodes).
+func (l *hwOffload) PoolStats() PoolStats {
+	if ps, ok := l.spill.(PoolStatser); ok {
+		return ps.PoolStats()
+	}
+	return PoolStats{}
+}
+
 func (l *hwOffload) Len() int { return len(l.hw) + l.spill.Len() }
 
 func (l *hwOffload) Regions() []simmem.Region {

@@ -176,6 +176,43 @@ func regRemove(cfg *Config, rs *simmem.RegionSet, r simmem.Region) {
 	}
 }
 
+// PoolStats counts free-pool activity for one structure (zero unless
+// Config.Pool). The engine publishes the PRQ+UMQ sums as spco_pool_*
+// counters.
+type PoolStats struct {
+	Gets   uint64 // nodes served from the pool
+	Misses uint64 // nodes freshly allocated with pooling on (pool empty)
+	Puts   uint64 // nodes returned to the pool
+	Size   int    // nodes currently pooled
+}
+
+// Add returns the elementwise sum.
+func (p PoolStats) Add(o PoolStats) PoolStats {
+	return PoolStats{
+		Gets:   p.Gets + o.Gets,
+		Misses: p.Misses + o.Misses,
+		Puts:   p.Puts + o.Puts,
+		Size:   p.Size + o.Size,
+	}
+}
+
+// PoolStatser is implemented by structures that recycle nodes through a
+// free pool.
+type PoolStatser interface {
+	PoolStats() PoolStats
+}
+
+// chainPool recycles the Go-side chainNode objects of the bucketed
+// structures. Unlike the LLA pool it does not pin simulated addresses:
+// chain.remove still returns the block to Space's free list and
+// chain.append still draws from AllocReuse, so the simulated allocation
+// sequence — and with it every modeled cycle — is bit-identical with
+// pooling on or off. Only the Go heap traffic disappears.
+type chainPool struct {
+	free  []*chainNode
+	stats PoolStats
+}
+
 // Config parameterises construction.
 type Config struct {
 	Space *simmem.Space // required: simulated address space
@@ -208,6 +245,11 @@ type Config struct {
 	// long-lived-heap behaviour the paper's baseline exhibits. Zero
 	// selects the per-kind default.
 	NoiseBytes uint64
+
+	// cpool is the shared chain-node free pool; the bucketed
+	// constructors set it when Pool is enabled. Chains reach it through
+	// their owner's cfg pointer.
+	cpool *chainPool
 }
 
 // DefaultNoiseBytes models the per-post request-object allocation that

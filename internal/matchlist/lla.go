@@ -46,6 +46,7 @@ type llaPosted struct {
 	bytes     uint64
 	regions   simmem.RegionSet
 	pool      []*llaNode
+	pstats    PoolStats
 }
 
 func newLLAPosted(cfg Config) *llaPosted {
@@ -69,6 +70,7 @@ func (l *llaPosted) allocNode() *llaNode {
 	if len(l.pool) > 0 {
 		n := l.pool[len(l.pool)-1]
 		l.pool = l.pool[:len(l.pool)-1]
+		l.pstats.Gets++
 		n.head, n.tail, n.live, n.next = 0, 0, 0, nil
 		for i := range n.entries {
 			n.entries[i] = match.Posted{}
@@ -76,6 +78,9 @@ func (l *llaPosted) allocNode() *llaNode {
 		regAdd(&l.cfg, &l.regions, simmem.Region{Base: n.addr, Size: l.nodeBytes})
 		l.bytes += l.nodeBytes
 		return n
+	}
+	if l.cfg.Pool {
+		l.pstats.Misses++
 	}
 	// Nodes are 128-byte aligned so the adjacent-line prefetcher's
 	// buddy is the node's own second line, exactly as the paper's
@@ -91,9 +96,17 @@ func (l *llaPosted) freeNode(n *llaNode) {
 	l.bytes -= l.nodeBytes
 	if l.cfg.Pool {
 		l.pool = append(l.pool, n)
+		l.pstats.Puts++
 	} else {
 		l.cfg.Space.Free(n.addr, l.nodeBytes)
 	}
+}
+
+// PoolStats implements PoolStatser.
+func (l *llaPosted) PoolStats() PoolStats {
+	st := l.pstats
+	st.Size = len(l.pool)
+	return st
 }
 
 // Post appends at the tail array, growing the list by a node when full.
@@ -121,8 +134,12 @@ func (l *llaPosted) Post(p match.Posted) {
 	l.n++
 }
 
-// Search walks nodes in order, inspecting each used slot; holes are
-// skipped but still cost their memory access.
+// Search walks nodes in order. The per-slot candidate test runs through
+// the packed branch-free kernel (match.FindPosted) over the node's
+// contiguous entry array; the modeled accounting is unchanged — every
+// slot up to and including the hit (or every used slot on a miss) is
+// charged one entry access and one depth unit, holes included, exactly
+// as the scalar loop did.
 func (l *llaPosted) Search(e match.Envelope) (match.Posted, int, bool) {
 	l.cfg.Acc.Access(l.ctrl, 16)
 	depth, seg := 0, 0
@@ -130,18 +147,21 @@ func (l *llaPosted) Search(e match.Envelope) (match.Posted, int, bool) {
 	for n := l.head; n != nil; n = n.next {
 		l.cfg.setSeg(seg)
 		l.cfg.Acc.Access(n.addr, 8) // head/tail indexes
-		for i := n.head; i < n.tail; i++ {
+		hit := match.FindPosted(n.entries[n.head:n.tail], e)
+		last := n.tail
+		if hit >= 0 {
+			last = n.head + hit + 1
+		}
+		for i := n.head; i < last; i++ {
 			l.cfg.Acc.Access(n.entryAddr(i), match.PostedEntryBytes)
 			depth++
+		}
+		if hit >= 0 {
+			i := n.head + hit
 			ent := n.entries[i]
-			if ent.IsHole() {
-				continue
-			}
-			if ent.Matches(e) {
-				l.removeAt(prev, n, i)
-				l.cfg.setSeg(-1)
-				return ent, depth, true
-			}
+			l.removeAt(prev, n, i)
+			l.cfg.setSeg(-1)
+			return ent, depth, true
 		}
 		l.cfg.Acc.Access(n.nextPtrAddr(l.k), 8)
 		prev = n
@@ -229,6 +249,7 @@ type llaUnexpected struct {
 	bytes     uint64
 	regions   simmem.RegionSet
 	pool      []*lluNode
+	pstats    PoolStats
 }
 
 type lluNode struct {
@@ -276,10 +297,14 @@ func (l *llaUnexpected) allocNode() *lluNode {
 	if len(l.pool) > 0 {
 		n := l.pool[len(l.pool)-1]
 		l.pool = l.pool[:len(l.pool)-1]
+		l.pstats.Gets++
 		n.head, n.tail, n.live, n.next = 0, 0, 0, nil
 		regAdd(&l.cfg, &l.regions, simmem.Region{Base: n.addr, Size: l.nodeBytes})
 		l.bytes += l.nodeBytes
 		return n
+	}
+	if l.cfg.Pool {
+		l.pstats.Misses++
 	}
 	addr := l.cfg.Space.Alloc(l.nodeBytes, 128)
 	l.bytes += l.nodeBytes
@@ -309,6 +334,9 @@ func (l *llaUnexpected) Append(u match.Unexpected) {
 	l.n++
 }
 
+// SearchBy mirrors llaPosted.Search: the packed kernel
+// (match.FindUnexpected) picks the candidate, the accounting charges
+// the same accesses and depth as the scalar slot-by-slot loop.
 func (l *llaUnexpected) SearchBy(p match.Posted) (match.Unexpected, int, bool) {
 	l.cfg.Acc.Access(l.ctrl, 16)
 	depth, seg := 0, 0
@@ -316,18 +344,21 @@ func (l *llaUnexpected) SearchBy(p match.Posted) (match.Unexpected, int, bool) {
 	for n := l.head; n != nil; n = n.next {
 		l.cfg.setSeg(seg)
 		l.cfg.Acc.Access(n.addr, 8)
-		for i := n.head; i < n.tail; i++ {
+		hit := match.FindUnexpected(n.entries[n.head:n.tail], p)
+		last := n.tail
+		if hit >= 0 {
+			last = n.head + hit + 1
+		}
+		for i := n.head; i < last; i++ {
 			l.cfg.Acc.Access(n.entryAddr(i), match.UnexpectedEntryBytes)
 			depth++
+		}
+		if hit >= 0 {
+			i := n.head + hit
 			ent := n.entries[i]
-			if ent.IsHole() {
-				continue
-			}
-			if ent.MatchedBy(p) {
-				l.removeAt(prev, n, i)
-				l.cfg.setSeg(-1)
-				return ent, depth, true
-			}
+			l.removeAt(prev, n, i)
+			l.cfg.setSeg(-1)
+			return ent, depth, true
 		}
 		l.cfg.Acc.Access(n.nextPtrAddr(l.k), 8)
 		prev = n
@@ -366,10 +397,18 @@ func (l *llaUnexpected) removeAt(prev, n *lluNode, i int) {
 		l.bytes -= l.nodeBytes
 		if l.cfg.Pool {
 			l.pool = append(l.pool, n)
+			l.pstats.Puts++
 		} else {
 			l.cfg.Space.Free(n.addr, l.nodeBytes)
 		}
 	}
+}
+
+// PoolStats implements PoolStatser.
+func (l *llaUnexpected) PoolStats() PoolStats {
+	st := l.pstats
+	st.Size = len(l.pool)
+	return st
 }
 
 func (l *llaUnexpected) Len() int { return l.n }

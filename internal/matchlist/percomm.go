@@ -75,6 +75,15 @@ func (l *perComm) Cancel(req uint64) bool {
 	return false
 }
 
+// PoolStats sums the per-communicator sub-lists' node pools.
+func (l *perComm) PoolStats() PoolStats {
+	var st PoolStats
+	for _, ctx := range l.ctxs {
+		st = st.Add(l.lists[ctx].PoolStats())
+	}
+	return st
+}
+
 func (l *perComm) Len() int { return l.n }
 
 func (l *perComm) Regions() []simmem.Region {

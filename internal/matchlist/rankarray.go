@@ -28,6 +28,9 @@ func newRankArray(cfg Config) *rankArray {
 		panic("matchlist: RankArray requires Config.CommSize")
 	}
 	l := &rankArray{cfg: cfg, perRank: make([]chain, cfg.CommSize)}
+	if cfg.Pool {
+		l.cfg.cpool = &chainPool{}
+	}
 	l.ctrl = cfg.Space.AllocLines(1)
 	l.bytes += simmem.LineSize
 	regAdd(&l.cfg, &l.regions, simmem.Region{Base: l.ctrl, Size: simmem.LineSize})
@@ -101,6 +104,9 @@ func (l *rankArray) Cancel(req uint64) bool {
 	}
 	return false
 }
+
+// PoolStats implements PoolStatser over the shared chain-node pool.
+func (l *rankArray) PoolStats() PoolStats { return chainPoolStats(l.cfg.cpool) }
 
 func (l *rankArray) Len() int { return l.n }
 

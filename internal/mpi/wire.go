@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -25,10 +26,12 @@ import (
 // WireMagic identifies the protocol; WireVersion its revision.
 // Version 2 widened WireOp with the causal-trace context (trace id +
 // parent span id) so a timeline minted client-side survives the hop
-// into the daemon's flight recorder.
+// into the daemon's flight recorder. Version 3 added the batch frame:
+// a WireBatch marker followed by a count and that many op frames, so a
+// client amortizes one flush and one server wakeup over N operations.
 const (
 	WireMagic   uint32 = 0x53_50_43_4F // "SPCO"
-	WireVersion uint16 = 2
+	WireVersion uint16 = 3
 )
 
 // Wire op kinds (client → server).
@@ -54,6 +57,16 @@ const (
 	// WirePing is a no-op round trip (liveness, latency probes).
 	WirePing
 )
+
+// WireBatch marks a v3 batch frame. It is a frame discriminator, not an
+// op kind: it never appears in WireOp.Kind (ReadWireOp rejects it), and
+// a batch frame's payload is plain op frames. Each batched op earns one
+// WireReply, in op order, exactly as if sent scalar.
+const WireBatch byte = 6
+
+// MaxWireBatch bounds the ops one batch frame may carry, so a corrupt
+// or hostile count cannot make the server buffer unbounded input.
+const MaxWireBatch = 4096
 
 // Wire reply statuses.
 const (
@@ -182,6 +195,65 @@ func ReadWireReply(r io.Reader) (WireReply, error) {
 		PRQLen:  binary.BigEndian.Uint32(b[19:23]),
 		UMQLen:  binary.BigEndian.Uint32(b[23:27]),
 	}, nil
+}
+
+// wireBatchHeaderSize is the batch frame header: the WireBatch marker
+// plus a big-endian uint32 op count.
+const wireBatchHeaderSize = 1 + 4
+
+// WriteWireBatch writes one batch frame: header, then len(ops) op
+// frames back to back. The caller still owns flushing.
+func WriteWireBatch(w io.Writer, ops []WireOp) error {
+	if len(ops) == 0 || len(ops) > MaxWireBatch {
+		return fmt.Errorf("mpi: batch of %d ops (want 1..%d)", len(ops), MaxWireBatch)
+	}
+	var h [wireBatchHeaderSize]byte
+	h[0] = WireBatch
+	binary.BigEndian.PutUint32(h[1:5], uint32(len(ops)))
+	if _, err := w.Write(h[:]); err != nil {
+		return err
+	}
+	for i := range ops {
+		if err := WriteWireOp(w, ops[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadWireFrame reads the next frame — a single op or a v3 batch —
+// appending the decoded ops to buf[:0] and returning the result along
+// with whether the frame was a batch. Passing a buf with capacity
+// MaxWireBatch keeps steady-state reads allocation-free.
+func ReadWireFrame(br *bufio.Reader, buf []WireOp) ([]WireOp, bool, error) {
+	first, err := br.Peek(1)
+	if err != nil {
+		return buf[:0], false, err
+	}
+	buf = buf[:0]
+	if first[0] != WireBatch {
+		op, err := ReadWireOp(br)
+		if err != nil {
+			return buf, false, err
+		}
+		return append(buf, op), false, nil
+	}
+	var h [wireBatchHeaderSize]byte
+	if _, err := io.ReadFull(br, h[:]); err != nil {
+		return buf, true, err
+	}
+	n := binary.BigEndian.Uint32(h[1:5])
+	if n == 0 || n > MaxWireBatch {
+		return buf, true, fmt.Errorf("mpi: batch count %d (want 1..%d)", n, MaxWireBatch)
+	}
+	for i := uint32(0); i < n; i++ {
+		op, err := ReadWireOp(br)
+		if err != nil {
+			return buf, true, err
+		}
+		buf = append(buf, op)
+	}
+	return buf, true, nil
 }
 
 // WriteWireHello sends the handshake (client side, and the server's

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"bufio"
 	"bytes"
 	"math"
 	"testing"
@@ -78,5 +79,79 @@ func TestWireOpRejectsUnknownKind(t *testing.T) {
 	}
 	if _, err := ReadWireOp(&buf); err == nil {
 		t.Fatal("accepted unknown op kind")
+	}
+	// WireBatch is a frame marker, never an op kind.
+	buf.Reset()
+	if err := WriteWireOp(&buf, WireOp{Kind: WireBatch}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadWireOp(&buf); err == nil {
+		t.Fatal("accepted WireBatch as an op kind")
+	}
+}
+
+func TestWireBatchRoundTrip(t *testing.T) {
+	ops := []WireOp{
+		{Kind: WireArrive, Rank: 3, Tag: 42, Ctx: 1, Handle: 7},
+		{Kind: WirePost, Rank: -1, Tag: -1, Ctx: 65535, Handle: math.MaxUint64},
+		{Kind: WirePing},
+	}
+	var buf bytes.Buffer
+	if err := WriteWireBatch(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, batch, err := ReadWireFrame(bufio.NewReader(&buf), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !batch {
+		t.Fatal("batch frame not recognised as a batch")
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("got %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Errorf("op %d: got %+v want %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestWireFrameScalarPassthrough(t *testing.T) {
+	want := WireOp{Kind: WireArrive, Rank: 5, Tag: 6, Ctx: 2, Handle: 11}
+	var buf bytes.Buffer
+	if err := WriteWireOp(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	// Reuse a caller buffer; the result must land in it.
+	scratch := make([]WireOp, 0, 4)
+	got, batch, err := ReadWireFrame(bufio.NewReader(&buf), scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch {
+		t.Fatal("scalar frame misread as batch")
+	}
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("got %+v, want [%+v]", got, want)
+	}
+}
+
+func TestWireBatchRejectsBadCounts(t *testing.T) {
+	if err := WriteWireBatch(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("accepted empty batch")
+	}
+	if err := WriteWireBatch(&bytes.Buffer{}, make([]WireOp, MaxWireBatch+1)); err == nil {
+		t.Fatal("accepted oversize batch")
+	}
+	// A forged zero-count header must be refused on read.
+	br := bufio.NewReader(bytes.NewReader([]byte{WireBatch, 0, 0, 0, 0}))
+	if _, _, err := ReadWireFrame(br, nil); err == nil {
+		t.Fatal("accepted zero-count batch header")
+	}
+	// And a count past the cap.
+	br = bufio.NewReader(bytes.NewReader([]byte{WireBatch, 0xFF, 0xFF, 0xFF, 0xFF}))
+	if _, _, err := ReadWireFrame(br, nil); err == nil {
+		t.Fatal("accepted oversize batch header")
 	}
 }

@@ -1,0 +1,115 @@
+package simmem
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Reference implementations of Add/Remove (the original sort-and-rebuild
+// algorithms), used to cross-check the in-place versions over random op
+// streams.
+
+type refSet struct{ regions []Region }
+
+func (rs *refSet) add(r Region) {
+	if r.Size == 0 {
+		return
+	}
+	rs.regions = append(rs.regions, r)
+	sort.Slice(rs.regions, func(i, j int) bool {
+		return rs.regions[i].Base < rs.regions[j].Base
+	})
+	merged := rs.regions[:1]
+	for _, next := range rs.regions[1:] {
+		last := &merged[len(merged)-1]
+		if next.Base <= last.End() {
+			if next.End() > last.End() {
+				last.Size = uint64(next.End() - last.Base)
+			}
+		} else {
+			merged = append(merged, next)
+		}
+	}
+	rs.regions = merged
+}
+
+func (rs *refSet) remove(r Region) {
+	if r.Size == 0 {
+		return
+	}
+	var out []Region
+	for _, cur := range rs.regions {
+		if !cur.Overlaps(r) {
+			out = append(out, cur)
+			continue
+		}
+		if cur.Base < r.Base {
+			out = append(out, Region{Base: cur.Base, Size: uint64(r.Base - cur.Base)})
+		}
+		if cur.End() > r.End() {
+			out = append(out, Region{Base: r.End(), Size: uint64(cur.End() - r.End())})
+		}
+	}
+	rs.regions = out
+}
+
+func regionsEqual(a, b []Region) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRegionSetMatchesReference drives random add/remove streams through
+// the in-place RegionSet and the reference rebuild algorithm and demands
+// identical region lists after every operation.
+func TestRegionSetMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var got RegionSet
+		var want refSet
+		for op := 0; op < 4000; op++ {
+			r := Region{
+				Base: Addr(rng.Intn(512) * 16),
+				Size: uint64(rng.Intn(5) * 16), // size 0 included
+			}
+			if rng.Intn(3) == 0 {
+				got.Remove(r)
+				want.remove(r)
+			} else {
+				got.Add(r)
+				want.add(r)
+			}
+			if !regionsEqual(got.Regions(), want.regions) {
+				t.Fatalf("seed %d op %d %v: got %v want %v",
+					seed, op, r, got.Regions(), want.regions)
+			}
+		}
+	}
+}
+
+// TestRegionSetSteadyStateZeroAlloc: once capacity has warmed up, a
+// balanced add/remove churn must not allocate — this is what keeps the
+// pooled match structures' region bookkeeping off the Go heap.
+func TestRegionSetSteadyStateZeroAlloc(t *testing.T) {
+	var rs RegionSet
+	for i := 0; i < 64; i++ {
+		rs.Add(Region{Base: Addr(i * 128), Size: 64})
+	}
+	churn := func() {
+		rs.Remove(Region{Base: 17 * 128, Size: 64})
+		rs.Add(Region{Base: 17 * 128, Size: 64})
+		rs.Remove(Region{Base: 0, Size: 64})
+		rs.Add(Region{Base: 0, Size: 64})
+	}
+	churn() // warm capacity
+	if n := testing.AllocsPerRun(100, churn); n != 0 {
+		t.Fatalf("steady-state RegionSet churn allocates %.1f times per run", n)
+	}
+}

@@ -181,7 +181,10 @@ func (a *Arena) Region() Region { return a.region }
 
 // RegionSet tracks a mutable set of regions, merging and iterating in
 // address order. The hot-caching heater uses one to know which lines to
-// touch on each sweep.
+// touch on each sweep. Both mutators work in place over the sorted
+// slice, so a set whose population has stabilised (the steady state of
+// a pooled match structure) adds and removes regions without heap
+// allocation.
 type RegionSet struct {
 	regions []Region
 }
@@ -191,44 +194,85 @@ func (rs *RegionSet) Add(r Region) {
 	if r.Size == 0 {
 		return
 	}
-	rs.regions = append(rs.regions, r)
-	sort.Slice(rs.regions, func(i, j int) bool {
-		return rs.regions[i].Base < rs.regions[j].Base
+	// lo..hi-1 are the existing regions that overlap or touch r.
+	lo := sort.Search(len(rs.regions), func(i int) bool {
+		return rs.regions[i].End() >= r.Base
 	})
-	merged := rs.regions[:1]
-	for _, next := range rs.regions[1:] {
-		last := &merged[len(merged)-1]
-		if next.Base <= last.End() {
-			if next.End() > last.End() {
-				last.Size = uint64(next.End() - last.Base)
-			}
-		} else {
-			merged = append(merged, next)
-		}
+	hi := lo
+	for hi < len(rs.regions) && rs.regions[hi].Base <= r.End() {
+		hi++
 	}
-	rs.regions = merged
+	if lo == hi {
+		// Disjoint: open a slot at lo and insert.
+		rs.regions = append(rs.regions, Region{})
+		copy(rs.regions[lo+1:], rs.regions[lo:])
+		rs.regions[lo] = r
+		return
+	}
+	base := r.Base
+	if b := rs.regions[lo].Base; b < base {
+		base = b
+	}
+	end := r.End()
+	if e := rs.regions[hi-1].End(); e > end {
+		end = e
+	}
+	rs.regions[lo] = Region{Base: base, Size: uint64(end - base)}
+	n := copy(rs.regions[lo+1:], rs.regions[hi:])
+	rs.regions = rs.regions[:lo+1+n]
 }
 
 // Remove deletes the given range from the set, splitting regions that
 // straddle it.
 func (rs *RegionSet) Remove(r Region) {
-	if r.Size == 0 {
+	if r.Size == 0 || len(rs.regions) == 0 {
 		return
 	}
-	var out []Region
-	for _, cur := range rs.regions {
-		if !cur.Overlaps(r) {
-			out = append(out, cur)
-			continue
-		}
-		if cur.Base < r.Base {
-			out = append(out, Region{Base: cur.Base, Size: uint64(r.Base - cur.Base)})
-		}
-		if cur.End() > r.End() {
-			out = append(out, Region{Base: r.End(), Size: uint64(cur.End() - r.End())})
-		}
+	// lo..hi-1 are the regions overlapping r (strictly: touching-only
+	// neighbours are untouched).
+	lo := sort.Search(len(rs.regions), func(i int) bool {
+		return rs.regions[i].End() > r.Base
+	})
+	hi := lo
+	for hi < len(rs.regions) && rs.regions[hi].Base < r.End() {
+		hi++
 	}
-	rs.regions = out
+	if lo == hi {
+		return
+	}
+	var left, right Region
+	hasLeft := rs.regions[lo].Base < r.Base
+	if hasLeft {
+		left = Region{Base: rs.regions[lo].Base, Size: uint64(r.Base - rs.regions[lo].Base)}
+	}
+	hasRight := rs.regions[hi-1].End() > r.End()
+	if hasRight {
+		right = Region{Base: r.End(), Size: uint64(rs.regions[hi-1].End() - r.End())}
+	}
+	keep := 0
+	if hasLeft {
+		keep++
+	}
+	if hasRight {
+		keep++
+	}
+	if keep > hi-lo {
+		// A single region split in two: open one extra slot.
+		rs.regions = append(rs.regions, Region{})
+		copy(rs.regions[hi+1:], rs.regions[hi:])
+		hi++
+	}
+	w := lo
+	if hasLeft {
+		rs.regions[w] = left
+		w++
+	}
+	if hasRight {
+		rs.regions[w] = right
+		w++
+	}
+	n := copy(rs.regions[w:], rs.regions[hi:])
+	rs.regions = rs.regions[:w+n]
 }
 
 // Regions returns the current regions in address order. The returned slice
