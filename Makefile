@@ -29,12 +29,14 @@ bench-smoke:
 
 # bench-json runs the core match benchmarks (one match per iteration)
 # and converts the output to BENCH_daemon.json: name, iterations,
-# ns/op, allocs/op, and the domain throughput matches_per_sec. It also
-# regenerates BENCH_hotpath.json via bench-json-hotpath.
+# ns/op, allocs/op, and the domain throughput matches_per_sec. The
+# DaemonShards rows carry the sharding acceptance (shards-4 at >= 2x
+# the shards-1 pairs/sec). It also regenerates BENCH_hotpath.json via
+# bench-json-hotpath.
 BENCHJSON ?= BENCH_daemon.json
 .PHONY: bench-json
 bench-json: bench-json-hotpath
-	go test -run='^$$' -bench='BenchmarkNativeSearch|BenchmarkStructures' \
+	go test -run='^$$' -bench='BenchmarkNativeSearch|BenchmarkStructures|BenchmarkDaemonShards' \
 		-benchmem . | tee bench.out
 	go run ./cmd/spco-benchjson -in bench.out -out $(BENCHJSON)
 	rm -f bench.out
@@ -93,7 +95,7 @@ trace-smoke:
 BENCH_THRESHOLD ?= 25
 .PHONY: bench-diff
 bench-diff:
-	go test -run='^$$' -bench='BenchmarkNativeSearch|BenchmarkStructures' \
+	go test -run='^$$' -bench='BenchmarkNativeSearch|BenchmarkStructures|BenchmarkDaemonShards' \
 		-benchmem . | go run ./cmd/spco-benchjson -out bench_new.json
 	go run ./cmd/spco-benchjson -threshold $(BENCH_THRESHOLD) \
 		-diff BENCH_daemon.json bench_new.json; status=$$?; rm -f bench_new.json; exit $$status
@@ -109,6 +111,17 @@ hotpath-gate:
 	go test ./internal/daemon/ -run 'Batch'
 	go test ./internal/mpi/ -run 'Wire'
 	go test -run='^$$' -bench='BenchmarkHotPath' -benchtime=1x -benchmem .
+
+# shard-gate is the sharded daemon's CI gate: the sharded-vs-dedicated
+# per-context differential across all seven matchlist kinds, the credit
+# window and decode-error tests, the serving-path race regressions, and
+# the entire daemon suite rerun at Shards=4 under the race detector
+# (SPCO_TEST_SHARDS reroutes every test's server through four lanes).
+.PHONY: shard-gate
+shard-gate:
+	go test ./internal/daemon/ -run 'Shard|CreditWindow|Windowed|LateRegister|ActiveGauge|TraceClock|Truncated|BadKind|CleanClose'
+	go test ./internal/mpi/ -run 'Wire'
+	SPCO_TEST_SHARDS=4 go test -race ./internal/daemon/
 
 .PHONY: fmt
 fmt:

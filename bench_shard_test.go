@@ -1,0 +1,150 @@
+// BenchmarkDaemonShards measures what context sharding buys the serving
+// path: the same batched four-connection workload against a one-shard
+// (single shared engine) and a four-shard (engine per context) daemon.
+//
+// The workload is built so the win is data locality, not parallelism —
+// it holds on a single CPU. Each connection owns one communicator
+// context and first installs a standing backlog of 256 posted receives
+// that nothing ever matches (long-lived outstanding receives, the
+// steady state of a real MPI rank). On the shared engine those four
+// backlogs interleave into one 1024-entry match queue every arrive must
+// scan past; with a shard per context, each arrive scans only its own
+// context's 256. The benchmark then drives matched pairs in batch-64
+// frames; one iteration is one matched pair, so ns/op is comparable
+// with the other daemon rows and matches_per_sec falls out of the
+// benchjson conversion.
+//
+// Committed as rows in BENCH_daemon.json via `make bench-json`; the
+// acceptance floor is shards-4 sustaining at least 2x the shards-1
+// pairs/sec.
+package spco_test
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"spco/internal/cache"
+	"spco/internal/daemon"
+	"spco/internal/engine"
+	"spco/internal/matchlist"
+	"spco/internal/mpi"
+	"spco/internal/telemetry"
+)
+
+const (
+	shardBenchConns   = 4
+	shardBenchBacklog = 256
+)
+
+// shardBenchDaemon starts a daemon with nShards lanes and one client
+// per context, each with its standing backlog installed.
+func shardBenchDaemon(b *testing.B, nShards int) ([]*daemon.Client, func()) {
+	b.Helper()
+	srv, err := daemon.New(daemon.Config{
+		Engine: engine.Config{
+			Profile:        cache.SandyBridge,
+			Kind:           matchlist.KindLLA,
+			EntriesPerNode: 8,
+			Pool:           true,
+		},
+		Shards:    nShards,
+		Collector: telemetry.NewCollector(telemetry.Labels{"exp": "shard-bench"}),
+		PerfOut:   io.Discard,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Run(nil) }()
+
+	clients := make([]*daemon.Client, shardBenchConns)
+	stop := func() {
+		for _, cl := range clients {
+			if cl != nil {
+				cl.Close()
+			}
+		}
+		srv.Stop()
+		if err := <-errc; err != nil {
+			b.Fatal(err)
+		}
+	}
+	for c := range clients {
+		cl, err := daemon.Dial(srv.Addr())
+		if err != nil {
+			stop()
+			b.Fatal(err)
+		}
+		clients[c] = cl
+		ctx := uint16(c + 1)
+		// The standing backlog: receives with tags the paired traffic
+		// never uses, so they stay posted for the whole run.
+		backlog := make([]mpi.WireOp, shardBenchBacklog)
+		for i := range backlog {
+			backlog[i] = mpi.WireOp{Kind: mpi.WirePost, Rank: int32(i % 8),
+				Tag: int32(1_000_000 + i), Ctx: ctx, Handle: uint64(i) + 1}
+		}
+		if _, err := cl.DoBatch(backlog, nil); err != nil {
+			stop()
+			b.Fatal(err)
+		}
+	}
+	return clients, stop
+}
+
+func benchDaemonShards(b *testing.B, nShards, k int) {
+	clients, stop := shardBenchDaemon(b, nShards)
+	defer stop()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c, cl := range clients {
+		pairs := b.N / shardBenchConns
+		if c < b.N%shardBenchConns {
+			pairs++
+		}
+		wg.Add(1)
+		go func(cl *daemon.Client, ctx uint16, pairs int) {
+			defer wg.Done()
+			posts := make([]mpi.WireOp, k)
+			arrives := make([]mpi.WireOp, k)
+			for i := 0; i < k; i++ {
+				posts[i] = mpi.WireOp{Kind: mpi.WirePost, Rank: int32(i % 8),
+					Tag: int32(i % 4), Ctx: ctx, Handle: uint64(i) + 1}
+				arrives[i] = mpi.WireOp{Kind: mpi.WireArrive, Rank: int32(i % 8),
+					Tag: int32(i % 4), Ctx: ctx, Handle: uint64(i) + 100}
+			}
+			var reps []mpi.WireReply
+			for done := 0; done < pairs; done += k {
+				n := min(k, pairs-done)
+				var err error
+				if reps, err = cl.DoBatch(posts[:n], reps); err != nil {
+					b.Error(err)
+					return
+				}
+				if reps, err = cl.DoBatch(arrives[:n], reps); err != nil {
+					b.Error(err)
+					return
+				}
+				for j := range reps {
+					if reps[j].Outcome != mpi.WireOutMatched {
+						b.Error("batch pair did not match")
+						return
+					}
+				}
+			}
+		}(cl, uint16(c+1), pairs)
+	}
+	wg.Wait()
+}
+
+func BenchmarkDaemonShards(b *testing.B) {
+	for _, nShards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards-%d/batch-64", nShards), func(b *testing.B) {
+			benchDaemonShards(b, nShards, 64)
+		})
+	}
+}

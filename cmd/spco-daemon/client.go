@@ -23,6 +23,8 @@ func runClient(args []string) error {
 		phaseNS  = fs.Float64("phase-ns", 1e5, "compute-phase duration in ns")
 		retries  = fs.Int("retries", 64, "max retransmissions per refused arrive")
 		batch    = fs.Int("batch", 0, "pairs per batched wire frame (0/1: scalar request-response)")
+		ctxs     = fs.Int("ctxs", 1, "contexts the connections spread across (>= daemon shards hits every lane)")
+		window   = fs.Int("window", 0, "client-side cap on ops per batch frame (0: server's advertised window only)")
 	)
 	fs.Parse(args)
 
@@ -37,6 +39,8 @@ func runClient(args []string) error {
 		PhaseNS:     *phaseNS,
 		MaxRetries:  *retries,
 		Batch:       *batch,
+		Ctxs:        *ctxs,
+		Window:      *window,
 	})
 	printLoadResult(res)
 	if err != nil {

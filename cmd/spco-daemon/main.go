@@ -86,6 +86,8 @@ func runServe(args []string) error {
 	var (
 		listen = fs.String("listen", "127.0.0.1:7777", "match-traffic listen address")
 		admin  = fs.String("admin", "127.0.0.1:7778", "admin-plane (HTTP) listen address")
+		shards = fs.Int("shards", 1, "per-context engine lanes (ctx -> shard affinity)")
+		window = fs.Int("window", 0, "per-connection credit window in ops (0: unlimited)")
 
 		arch    = fs.String("arch", "sandybridge", "architecture profile (sandybridge, broadwell, nehalem, knl)")
 		list    = fs.String("list", "lla", "match structure (baseline, lla, hashbins, rankarray, fourd, hwoffload, percomm)")
@@ -115,7 +117,7 @@ func runServe(args []string) error {
 	}
 	cfg.ResidencyInterval = *resNS
 
-	srv, err := newServer(cfg, *listen, *admin, fcli, tcli, *drain, *mOut, *sOut, *perfOut, *quiet)
+	srv, err := newServer(cfg, *listen, *admin, *shards, *window, fcli, tcli, *drain, *mOut, *sOut, *perfOut, *quiet)
 	if err != nil {
 		return err
 	}
@@ -157,7 +159,7 @@ func engineConfig(arch, list string, k, comm, bins int, pool, hot bool,
 // together. The PMU and collector are attached for the life of the
 // process: /metrics scrapes the collector live, /debug/profile bundles
 // the PMU's artifacts, /debug/trace dumps the flight recorder.
-func newServer(ecfg engine.Config, listen, admin string, fcli fault.CLI, tcli ctrace.CLI,
+func newServer(ecfg engine.Config, listen, admin string, shards, window int, fcli fault.CLI, tcli ctrace.CLI,
 	drain time.Duration, mOut, sOut, perfOut string, quiet bool) (*daemon.Server, error) {
 	coll := telemetry.NewCollector(telemetry.Labels{"cmd": "daemon"})
 	pmu := perf.New(perf.Options{
@@ -169,6 +171,8 @@ func newServer(ecfg engine.Config, listen, admin string, fcli fault.CLI, tcli ct
 		Engine:       ecfg,
 		ListenAddr:   listen,
 		AdminAddr:    admin,
+		Shards:       shards,
+		Window:       window,
 		Collector:    coll,
 		PMU:          pmu,
 		Wire:         fcli.Wire(),

@@ -31,6 +31,8 @@ func runSmoke(args []string) error {
 		messages = fs.Int("messages", 5000, "arrive/post pairs to drive")
 		seconds  = fs.Float64("seconds", 0.2, "CPU window for the profile bundle")
 		keep     = fs.String("keep", "", "also write the profile bundle here")
+		shards   = fs.Int("shards", 2, "daemon shard count the smoke runs against")
+		window   = fs.Int("window", 256, "daemon credit window the smoke runs with")
 	)
 	fs.Parse(args)
 
@@ -47,7 +49,7 @@ func runSmoke(args []string) error {
 	}
 	ecfg.UMQCapacity = 4096
 	ecfg.Overflow = engine.OverflowDrop
-	srv, err := newServer(ecfg, "127.0.0.1:0", "127.0.0.1:0",
+	srv, err := newServer(ecfg, "127.0.0.1:0", "127.0.0.1:0", *shards, *window,
 		fault.CLI{Drop: 0.01, Dup: 0.005, Corrupt: 0.005, Seed: 1},
 		ctrace.CLI{KeepAll: true},
 		daemon.DefaultDrainTimeout, metricsOut, "", "", true)
@@ -56,8 +58,8 @@ func runSmoke(args []string) error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Run(nil) }()
-	fmt.Printf("smoke: daemon on %s (admin %s), %d conns x %d pairs\n",
-		srv.Addr(), srv.AdminAddr(), *conns, *messages)
+	fmt.Printf("smoke: daemon on %s (admin %s), %d shards, window %d, %d conns x %d pairs\n",
+		srv.Addr(), srv.AdminAddr(), *shards, *window, *conns, *messages)
 
 	fail := func(format string, a ...any) error {
 		srv.Stop()
@@ -69,7 +71,7 @@ func runSmoke(args []string) error {
 	res, err := workload.RunDaemonChaos(workload.DaemonChaosConfig{
 		Addr:      srv.Addr(),
 		AdminAddr: srv.AdminAddr(),
-		Load:      workload.DaemonLoadConfig{Conns: *conns, Messages: *messages},
+		Load:      workload.DaemonLoadConfig{Conns: *conns, Messages: *messages, Ctxs: *conns},
 	})
 	if err != nil {
 		return fail("chaos: %v", err)

@@ -60,37 +60,57 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
-// handleMetrics is the live Prometheus scrape: publish the engine's
-// running totals into the registry (idempotent deltas under the engine
-// mutex), then export. The registry and sampler are safe to export
-// while concurrent connections keep mutating counters.
+// handleMetrics is the live Prometheus scrape: publish every shard's
+// running engine totals into the registry (idempotent deltas under
+// each shard mutex), then export. The registry and sampler are safe to
+// export while concurrent connections keep mutating counters.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	s.en.PublishTelemetry()
-	s.publishResidency()
-	s.mu.Unlock()
+	s.publishAll()
 	s.gUptime.Set(time.Since(s.start).Seconds())
+	// Authoritative refresh: the per-event gauge updates in acceptLoop/
+	// serveConn publish their own Add results, and this pins the scrape
+	// to the live count regardless of update interleaving.
+	s.gActive.Set(float64(s.active.Load()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := telemetry.WritePrometheus(w, s.cfg.Collector.Registry); err != nil {
 		s.cfg.Logf("daemon: /metrics: %v", err)
 	}
 }
 
-// publishResidency mirrors the current per-owner cache-residency
+// publishAll refreshes the registry from every shard: engine telemetry
+// deltas, per-shard queue/pool gauges, and cache-residency fractions —
+// one shard lock at a time.
+func (s *Server) publishAll() {
+	for _, sh := range s.shards {
+		sh.lock()
+		sh.en.PublishTelemetry()
+		sh.refreshGaugesLocked()
+		s.publishResidencyLocked(sh)
+		sh.unlock()
+	}
+}
+
+// publishResidencyLocked mirrors one shard's per-owner cache-residency
 // fractions into registry gauges, so a live /metrics scrape carries
 // the occupancy story (spco_region_residency{owner,level}) without
 // waiting for a series flush. The engine records the same name as a
 // sampler time series; the registry gauge is its point-in-time view.
-// Callers hold s.mu.
-func (s *Server) publishResidency() {
+// With one shard the owner names are the engine's own; with more, each
+// shard's owners are prefixed "shardN/" so the lanes stay separable.
+// Callers hold sh.mu.
+func (s *Server) publishResidencyLocked(sh *shard) {
 	reg := s.cfg.Collector.Registry
-	for _, r := range s.en.Hierarchy().ScanResidency() {
+	for _, r := range sh.en.Hierarchy().ScanResidency() {
+		owner := r.Owner
+		if len(s.shards) > 1 {
+			owner = fmt.Sprintf("shard%d/%s", sh.idx, r.Owner)
+		}
 		for _, lv := range [...]struct {
 			name string
 			frac float64
 		}{{"l1", r.L1Frac()}, {"l2", r.L2Frac()}, {"l3", r.L3Frac()}, {"nc", r.NCFrac()}} {
 			reg.Gauge("spco_region_residency",
-				telemetry.Labels{"owner": r.Owner, "level": lv.name}).Set(lv.frac)
+				telemetry.Labels{"owner": owner, "level": lv.name}).Set(lv.frac)
 		}
 	}
 }
@@ -122,6 +142,27 @@ type StatusEngine struct {
 	Overflow   string `json:"overflow_policy"`
 }
 
+// StatusShard is one serving lane's /status entry: its share of the
+// engine counters plus the lane-local serving tallies.
+type StatusShard struct {
+	Shard           int     `json:"shard"`
+	Frames          uint64  `json:"frames"`
+	LockWaitSeconds float64 `json:"lock_wait_seconds"`
+	Arrivals        uint64  `json:"arrivals"`
+	Posts           uint64  `json:"posts"`
+	PRQMatches      uint64  `json:"prq_matches"`
+	UMQMatches      uint64  `json:"umq_matches"`
+	Refused         uint64  `json:"refused"`
+	Rendezvous      uint64  `json:"rendezvous"`
+	Cycles          uint64  `json:"cycles"`
+	PRQLen          int     `json:"prq_len"`
+	UMQLen          int     `json:"umq_len"`
+	PoolGets        uint64  `json:"pool_gets"`
+	PoolMisses      uint64  `json:"pool_misses"`
+	PoolPuts        uint64  `json:"pool_puts"`
+	PoolSize        int     `json:"pool_size"`
+}
+
 // StatusTrace is the flight-recorder half of /status.
 type StatusTrace struct {
 	Open     int    `json:"open"`
@@ -143,15 +184,23 @@ type StatusReport struct {
 	ConnectionsTotal  uint64            `json:"connections_total"`
 	Nacks             uint64            `json:"nacks"`
 	DupSuppressed     uint64            `json:"dups_suppressed"`
+	ShardCount        int               `json:"shard_count"`
+	Window            int               `json:"window"`
+	CreditStalls      uint64            `json:"credit_stalls"`
 	Engine            StatusEngine      `json:"engine"`
+	Shards            []StatusShard     `json:"shards"`
 	Residency         []StatusResidency `json:"residency"`
 	Trace             StatusTrace       `json:"trace"`
 }
 
 // Status assembles the live status document (also used by /status).
+// The Engine section aggregates every shard — counter deltas against
+// it audit the same way regardless of shard count — while the Shards
+// section breaks the same counters out per lane.
 func (s *Server) Status() StatusReport {
 	st := s.Stats()
 	ts := s.tr.Stats()
+	s.gActive.Set(float64(st.ConnectionsActive))
 	rep := StatusReport{
 		Version:   Version,
 		GoVersion: runtime.Version(),
@@ -167,37 +216,68 @@ func (s *Server) Status() StatusReport {
 		ConnectionsTotal:  st.ConnectionsTotal,
 		Nacks:             st.Nacks,
 		DupSuppressed:     st.DupSuppressed,
+		ShardCount:        len(s.shards),
+		Window:            s.cfg.Window,
+		CreditStalls:      st.CreditStalls,
 	}
-	s.mu.Lock()
-	es := s.en.Stats()
-	cfg := s.en.Config()
+	ecfg := s.shards[0].en.Config()
 	rep.Engine = StatusEngine{
-		Arch:       cfg.Profile.Name,
-		List:       cfg.Kind.String(),
-		HotCache:   cfg.HotCache,
-		Arrivals:   es.Arrivals,
-		Posts:      es.Posts,
-		PRQMatches: es.PRQMatches,
-		UMQMatches: es.UMQMatches,
-		UMQAppends: es.UMQAppends,
-		Refused:    es.Refused,
-		Rendezvous: es.Rendezvous,
-		Cycles:     es.Cycles,
-		SyncCycles: es.SyncCycles,
-		PRQLen:     s.en.PRQLen(),
-		UMQLen:     s.en.UMQLen(),
-		UMQCap:     cfg.UMQCapacity,
-		Overflow:   cfg.Overflow.String(),
+		Arch:     ecfg.Profile.Name,
+		List:     ecfg.Kind.String(),
+		HotCache: ecfg.HotCache,
+		UMQCap:   ecfg.UMQCapacity,
+		Overflow: ecfg.Overflow.String(),
 	}
-	for _, r := range s.en.Hierarchy().ScanResidency() {
-		for _, lv := range [...]struct {
-			name string
-			frac float64
-		}{{"l1", r.L1Frac()}, {"l2", r.L2Frac()}, {"l3", r.L3Frac()}, {"nc", r.NCFrac()}} {
-			rep.Residency = append(rep.Residency, StatusResidency{Owner: r.Owner, Level: lv.name, Frac: lv.frac})
+	for _, sh := range s.shards {
+		sh.lock()
+		es := sh.en.Stats()
+		prq, umq := sh.en.PRQLen(), sh.en.UMQLen()
+		ps := sh.en.PoolStats()
+		for _, r := range sh.en.Hierarchy().ScanResidency() {
+			owner := r.Owner
+			if len(s.shards) > 1 {
+				owner = fmt.Sprintf("shard%d/%s", sh.idx, r.Owner)
+			}
+			for _, lv := range [...]struct {
+				name string
+				frac float64
+			}{{"l1", r.L1Frac()}, {"l2", r.L2Frac()}, {"l3", r.L3Frac()}, {"nc", r.NCFrac()}} {
+				rep.Residency = append(rep.Residency, StatusResidency{Owner: owner, Level: lv.name, Frac: lv.frac})
+			}
 		}
+		sh.unlock()
+
+		rep.Engine.Arrivals += es.Arrivals
+		rep.Engine.Posts += es.Posts
+		rep.Engine.PRQMatches += es.PRQMatches
+		rep.Engine.UMQMatches += es.UMQMatches
+		rep.Engine.UMQAppends += es.UMQAppends
+		rep.Engine.Refused += es.Refused
+		rep.Engine.Rendezvous += es.Rendezvous
+		rep.Engine.Cycles += es.Cycles
+		rep.Engine.SyncCycles += es.SyncCycles
+		rep.Engine.PRQLen += prq
+		rep.Engine.UMQLen += umq
+
+		rep.Shards = append(rep.Shards, StatusShard{
+			Shard:           sh.idx,
+			Frames:          sh.nFrames.Load(),
+			LockWaitSeconds: float64(sh.lockWaitNS.Load()) / 1e9,
+			Arrivals:        es.Arrivals,
+			Posts:           es.Posts,
+			PRQMatches:      es.PRQMatches,
+			UMQMatches:      es.UMQMatches,
+			Refused:         es.Refused,
+			Rendezvous:      es.Rendezvous,
+			Cycles:          es.Cycles,
+			PRQLen:          prq,
+			UMQLen:          umq,
+			PoolGets:        ps.Gets,
+			PoolMisses:      ps.Misses,
+			PoolPuts:        ps.Puts,
+			PoolSize:        ps.Size,
+		})
 	}
-	s.mu.Unlock()
 	return rep
 }
 

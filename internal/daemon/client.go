@@ -20,6 +20,13 @@ type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+
+	// credits is the server's advertised per-connection window, updated
+	// from every reply (0 until a windowed server says otherwise);
+	// window is a client-imposed cap on top. DoBatch splits frames to
+	// the tighter of the two so a well-behaved client never stalls.
+	credits uint16
+	window  uint16
 }
 
 // Dial connects and completes the protocol handshake.
@@ -47,6 +54,41 @@ func Dial(addr string) (*Client, error) {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// Credits returns the server's last advertised per-connection window
+// (0: the server enforces none, or no reply has arrived yet).
+func (c *Client) Credits() int { return int(c.credits) }
+
+// SetWindow imposes a client-side cap on ops per batch frame, layered
+// under whatever the server advertises (0 removes it). Values beyond
+// the wire credit range clamp to 65535.
+func (c *Client) SetWindow(w int) {
+	switch {
+	case w < 0:
+		w = 0
+	case w > 65535:
+		w = 65535
+	}
+	c.window = uint16(w)
+}
+
+// frameCap returns the tightest in-force window (0 = unbounded).
+func (c *Client) frameCap() int {
+	w := int(c.credits)
+	if c.window > 0 && (w == 0 || int(c.window) < w) {
+		w = int(c.window)
+	}
+	return w
+}
+
+// readReply reads one reply frame, adopting its advertised window.
+func (c *Client) readReply() (mpi.WireReply, error) {
+	rep, err := mpi.ReadWireReply(c.br)
+	if err == nil {
+		c.credits = rep.Credits
+	}
+	return rep, err
+}
+
 // do performs one request-response round trip.
 func (c *Client) do(op mpi.WireOp) (mpi.WireReply, error) {
 	if err := mpi.WriteWireOp(c.bw, op); err != nil {
@@ -55,7 +97,7 @@ func (c *Client) do(op mpi.WireOp) (mpi.WireReply, error) {
 	if err := c.bw.Flush(); err != nil {
 		return mpi.WireReply{}, err
 	}
-	rep, err := mpi.ReadWireReply(c.br)
+	rep, err := c.readReply()
 	if err != nil {
 		return mpi.WireReply{}, err
 	}
@@ -65,28 +107,42 @@ func (c *Client) do(op mpi.WireOp) (mpi.WireReply, error) {
 	return rep, nil
 }
 
-// DoBatch performs one batched round trip: ops go out as a single v3
-// batch frame with one flush, and len(ops) replies come back in op
-// order, appended to reps[:0]. Reusing the reps slice across calls
-// keeps the steady state allocation-free. A WireErr reply aborts (the
-// server closes the connection on malformed frames).
+// DoBatch performs one batched round trip: ops go out as v3 batch
+// frames with one flush each, and len(ops) replies come back in op
+// order, appended to reps[:0]. When a window is in force — advertised
+// by the server in its replies' Credits field, or imposed locally via
+// SetWindow — the ops are split across as many frames as the window
+// requires, so the server never refuses an op for exceeding its
+// credit count. Reusing the reps slice across calls keeps the steady
+// state allocation-free. A WireErr reply aborts (the server closes the
+// connection on malformed frames).
 func (c *Client) DoBatch(ops []mpi.WireOp, reps []mpi.WireReply) ([]mpi.WireReply, error) {
 	reps = reps[:0]
-	if err := mpi.WriteWireBatch(c.bw, ops); err != nil {
-		return reps, err
+	if len(ops) == 0 {
+		return reps, fmt.Errorf("daemon: empty batch")
 	}
-	if err := c.bw.Flush(); err != nil {
-		return reps, err
-	}
-	for range ops {
-		rep, err := mpi.ReadWireReply(c.br)
-		if err != nil {
+	for len(ops) > 0 {
+		n := len(ops)
+		if w := c.frameCap(); w > 0 && n > w {
+			n = w
+		}
+		if err := mpi.WriteWireBatch(c.bw, ops[:n]); err != nil {
 			return reps, err
 		}
-		if rep.Status == mpi.WireErr {
-			return reps, fmt.Errorf("daemon: server rejected batched op")
+		if err := c.bw.Flush(); err != nil {
+			return reps, err
 		}
-		reps = append(reps, rep)
+		for i := 0; i < n; i++ {
+			rep, err := c.readReply()
+			if err != nil {
+				return reps, err
+			}
+			if rep.Status == mpi.WireErr {
+				return reps, fmt.Errorf("daemon: server rejected batched op")
+			}
+			reps = append(reps, rep)
+		}
+		ops = ops[n:]
 	}
 	return reps, nil
 }
@@ -176,6 +232,20 @@ type LoadConfig struct {
 	// Ctx is the communicator context (default 1).
 	Ctx uint16
 
+	// Ctxs spreads connections across that many consecutive contexts
+	// starting at Ctx: connection c uses Ctx + c mod Ctxs (default 1 —
+	// every connection on Ctx). Against a sharded daemon, Ctxs equal to
+	// or above the shard count exercises every lane; a pair's arrive
+	// and post always share the connection's context, so the pairing
+	// audit is untouched.
+	Ctxs int
+
+	// Window caps ops per batched wire frame client-side, on top of
+	// whatever window the daemon advertises in its replies (0: only the
+	// server's word). Batched connections learn the server's window
+	// with an opening ping, so they never stall on exhausted credits.
+	Window int
+
 	// Batch > 1 switches a connection to v3 batch frames: pairs are
 	// processed in windows of Batch, each window driven with two batched
 	// round trips (every pair's first op, then every pair's second op)
@@ -210,6 +280,9 @@ func (c *LoadConfig) defaults() {
 	}
 	if c.Ctx == 0 {
 		c.Ctx = 1
+	}
+	if c.Ctxs <= 0 {
+		c.Ctxs = 1
 	}
 	if c.Batch > mpi.MaxWireBatch {
 		c.Batch = mpi.MaxWireBatch
@@ -276,6 +349,8 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 			}
 			defer cl.Close()
 
+			cl.SetWindow(cfg.Window)
+
 			var local LoadResult
 			if cfg.Batch > 1 {
 				runConnBatched(cl, cfg, conn, &local, addErr)
@@ -310,6 +385,7 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 // runConnScalar drives one connection in request-response mode, two
 // round trips per pair.
 func runConnScalar(cl *Client, cfg LoadConfig, conn int, local *LoadResult, addErr func(error)) {
+	cfg.Ctx += uint16(conn % cfg.Ctxs) // this connection's context (cfg is a copy)
 	rng := fault.NewRNG(cfg.Seed).Fork(uint64(conn) + 11)
 	pairs := 0
 	for i := conn; i < cfg.Messages; i += cfg.Conns {
@@ -408,6 +484,15 @@ type loadPair struct {
 // scalar mode's; arrives the server refused (NACK/Busy) fall back to
 // scalar retransmission inside the window.
 func runConnBatched(cl *Client, cfg LoadConfig, conn int, local *LoadResult, addErr func(error)) {
+	cfg.Ctx += uint16(conn % cfg.Ctxs) // this connection's context (cfg is a copy)
+	// Learn the server's credit window before the first batch, so every
+	// frame is clamped from the start and no op ever stalls on credits
+	// (a credit stall would skew the counter-conservation audit: the
+	// refused op never reaches an engine).
+	if err := cl.Ping(); err != nil {
+		addErr(fmt.Errorf("conn %d ping: %w", conn, err))
+		return
+	}
 	rng := fault.NewRNG(cfg.Seed).Fork(uint64(conn) + 11)
 	var (
 		window []loadPair

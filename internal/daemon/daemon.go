@@ -1,8 +1,8 @@
 // Package daemon turns the matching engine into a long-running serving
-// system: one engine instance (with its heater, telemetry collector,
-// and simulated PMU attached for the life of the process) served to
-// many concurrent client connections over the internal/mpi socket wire
-// protocol, with a live HTTP admin plane.
+// system: engine instances (with their heaters, telemetry collector,
+// and simulated PMU lanes attached for the life of the process) served
+// to many concurrent client connections over the internal/mpi socket
+// wire protocol, with a live HTTP admin plane.
 //
 // The paper's claim — semi-permanent cache occupancy pays off — is a
 // statement about persistent network services, not run-to-completion
@@ -13,11 +13,16 @@
 // simulated PMU's perf-stat report, so cache-residency behaviour under
 // sustained load is observable without stopping the process.
 //
-// Concurrency model: the engine, heater, PMU, and ingress fault wire
-// are single-threaded by design; the server serializes all matching
-// operations behind one mutex. Connection handling, the admin plane,
+// Concurrency model: each engine, with its heater, PMU lane, and
+// ingress fault wire, is single-threaded by design; the server hosts
+// Config.Shards such lanes (default 1) and serializes each behind its
+// own mutex, routing every operation by communicator context
+// (ctx → shard, see shard.go). Connection handling, the admin plane,
 // and the telemetry registry are fully concurrent — the registry and
-// sampler are safe to scrape while operations mutate them.
+// sampler are safe to scrape while operations mutate them. A
+// connection-level credit window (Config.Window) bounds how many
+// operations one client frame may carry; the window rides back to the
+// client in every reply's Credits field.
 //
 // Lifecycle: Run serves until the first signal (SIGTERM/SIGINT), then
 // drains gracefully — the listener closes, /readyz flips to 503,
@@ -35,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,10 +69,25 @@ const DefaultDrainTimeout = 5 * time.Second
 
 // Config describes a daemon.
 type Config struct {
-	// Engine is the hosted engine's configuration. Telemetry must carry
+	// Engine is the hosted engines' configuration. Telemetry must carry
 	// the collector the admin plane scrapes (New fills it from Collector
 	// when unset).
 	Engine engine.Config
+
+	// Shards is the number of per-context engine lanes match traffic is
+	// partitioned across (ctx → shard, see shard.go). Default 1: a
+	// single lane, bit-identical to the pre-sharding daemon. Each MPI
+	// context lives wholly on one shard, so sharding never changes match
+	// results — only which engine's queues and cache state a context's
+	// traffic touches.
+	Shards int
+
+	// Window is the per-connection credit window: the most operations
+	// one wire frame may carry into the engines. Ops beyond the window
+	// earn WireBusy without being applied, and every reply advertises
+	// the window in its Credits field so clients clamp their batch size.
+	// 0 (the default) disables windowing.
+	Window int
 
 	// ListenAddr accepts match traffic ("127.0.0.1:0" picks a port);
 	// AdminAddr serves the HTTP admin plane.
@@ -122,12 +143,10 @@ type Config struct {
 type Server struct {
 	cfg Config
 
-	// mu serializes the single-threaded simulation stack: engine, heater,
-	// PMU, and the ingress fault wire.
-	mu   sync.Mutex
-	en   *engine.Engine
-	wire *fault.Wire
-	tr   *ctrace.Recorder
+	// shards are the per-context serving lanes; each owns its own
+	// single-threaded simulation stack behind its own mutex (shard.go).
+	shards []*shard
+	tr     *ctrace.Recorder
 
 	ln      net.Listener
 	adminLn net.Listener
@@ -141,7 +160,11 @@ type Server struct {
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
-	connWG sync.WaitGroup
+	// drainDeadline is the read deadline beginDrain hands every
+	// connection; guarded by connMu so a connection registering while
+	// the drain begins still picks it up (see register).
+	drainDeadline time.Time
+	connWG        sync.WaitGroup
 
 	// Serving tallies, mirrored into registry counters so a live scrape
 	// sees them without a publish step.
@@ -149,19 +172,15 @@ type Server struct {
 	total         atomic.Uint64
 	nacks         atomic.Uint64
 	dupSuppressed atomic.Uint64
+	creditStalls  atomic.Uint64
 
 	cFrames map[byte]*telemetry.Counter
 	cNacks  *telemetry.Counter
 	cDups   *telemetry.Counter
 	cConns  *telemetry.Counter
+	cStalls *telemetry.Counter
 	gActive *telemetry.Gauge
 	gUptime *telemetry.Gauge
-
-	// Batch scratch, reused across applyBatch calls; guarded by mu, so
-	// steady-state batch serving allocates nothing.
-	batchEnvs []match.Envelope
-	batchMsgs []uint64
-	batchRes  []engine.ArriveResult
 
 	profileBusy atomic.Bool
 }
@@ -175,6 +194,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	if err := cfg.Wire.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards < 0 || cfg.Shards > 256 {
+		return nil, fmt.Errorf("daemon: Config.Shards = %d (want 0..256)", cfg.Shards)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Window < 0 || cfg.Window > 65535 {
+		return nil, fmt.Errorf("daemon: Config.Window = %d (want 0..65535, the credit field's range)", cfg.Window)
 	}
 	if cfg.Engine.Telemetry == nil {
 		cfg.Engine.Telemetry = cfg.Collector
@@ -206,21 +234,21 @@ func New(cfg Config) (*Server, error) {
 		cfg.AdminAddr = "127.0.0.1:0"
 	}
 
-	en, err := engine.New(cfg.Engine)
-	if err != nil {
-		return nil, err
-	}
 	s := &Server{
-		cfg:   cfg,
-		en:    en,
-		tr:    cfg.Trace,
-		start: time.Now(), // reset by Run; set here so pre-Run traffic has a clock
+		cfg: cfg,
+		tr:  cfg.Trace,
+		// The trace clock starts here, once: flight-recorder events from
+		// traffic arriving between New and Run (tests drive this) must
+		// share the timeline of everything after, not jump backwards.
+		start: time.Now(),
 		quit:  make(chan struct{}),
 		conns: make(map[net.Conn]struct{}),
 	}
-	if cfg.Wire.Enabled() {
-		s.wire = fault.NewWire(cfg.Wire, fault.NewRNG(cfg.FaultSeed).Fork(99))
+	shards, err := newShards(s, cfg)
+	if err != nil {
+		return nil, err
 	}
+	s.shards = shards
 
 	reg := cfg.Collector.Registry
 	reg.Help("spco_daemon_frames_total", "Wire frames served by operation.")
@@ -237,9 +265,11 @@ func New(cfg Config) (*Server, error) {
 		mpi.WireStat:   reg.Counter("spco_daemon_frames_total", telemetry.Labels{"op": "stat"}),
 		mpi.WirePing:   reg.Counter("spco_daemon_frames_total", telemetry.Labels{"op": "ping"}),
 	}
+	reg.Help("spco_daemon_credit_stalls_total", "Operations refused for exceeding the per-connection credit window.")
 	s.cNacks = reg.Counter("spco_daemon_nacks_total", nil)
 	s.cDups = reg.Counter("spco_daemon_dups_suppressed_total", nil)
 	s.cConns = reg.Counter("spco_daemon_connections_total", nil)
+	s.cStalls = reg.Counter("spco_daemon_credit_stalls_total", nil)
 	s.gActive = reg.Gauge("spco_daemon_connections_active", nil)
 	s.gUptime = reg.Gauge("spco_daemon_uptime_seconds", nil)
 	reg.Help("spco_build_info", "Build identity (constant 1; the labels carry the information).")
@@ -269,9 +299,17 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // AdminAddr returns the bound admin-plane address.
 func (s *Server) AdminAddr() string { return s.adminLn.Addr().String() }
 
-// Engine exposes the hosted engine; callers must not drive it while the
-// server is running (the server owns the serialization).
-func (s *Server) Engine() *engine.Engine { return s.en }
+// Engine exposes shard 0's engine (the only one when Shards is 1);
+// callers must not drive it while the server is running (the server
+// owns the serialization).
+func (s *Server) Engine() *engine.Engine { return s.shards[0].en }
+
+// ShardCount reports the number of serving lanes.
+func (s *Server) ShardCount() int { return len(s.shards) }
+
+// ShardEngine exposes shard i's engine, under the same no-driving
+// contract as Engine.
+func (s *Server) ShardEngine(i int) *engine.Engine { return s.shards[i].en }
 
 // Stop begins the graceful drain, as the first SIGTERM would.
 func (s *Server) Stop() { s.quitOnce.Do(func() { close(s.quit) }) }
@@ -282,7 +320,6 @@ func (s *Server) Stop() { s.quitOnce.Do(func() { close(s.quit) }) }
 // emitted. A second signal during the drain forces shutdown and returns
 // ErrForced. A nil signal channel serves until Stop.
 func (s *Server) Run(signals <-chan os.Signal) error {
-	s.start = time.Now()
 	go s.admin.Serve(s.adminLn)
 	go s.acceptLoop()
 	s.ready.Store(true)
@@ -313,17 +350,26 @@ func (s *Server) Run(signals <-chan os.Signal) error {
 	}
 }
 
-// beginDrain stops accepting and bounds the remaining connections.
+// beginDrain stops accepting and bounds the remaining connections. The
+// drain deadline is published and the draining flag flipped inside the
+// same connMu critical section that sweeps the conn table, so register
+// and this sweep fully serialize: every connection either is in the
+// table here (and gets its deadline from the sweep) or registers after
+// and sees draining already true (and applies the deadline itself).
+// Before this interlock, a connection accepted after the draining check
+// but registered after the sweep never got a deadline and could hang
+// the graceful drain until forced shutdown.
 func (s *Server) beginDrain() {
-	s.draining.Store(true)
 	s.ready.Store(false)
-	s.ln.Close()
 	deadline := time.Now().Add(s.cfg.DrainTimeout)
 	s.connMu.Lock()
+	s.drainDeadline = deadline
+	s.draining.Store(true)
 	for c := range s.conns {
 		c.SetReadDeadline(deadline)
 	}
 	s.connMu.Unlock()
+	s.ln.Close()
 }
 
 // forceClose tears down every connection immediately.
@@ -337,15 +383,19 @@ func (s *Server) forceClose() {
 	s.admin.Close()
 }
 
-// finish flushes exporters and emits the final perf-stat report.
+// finish flushes exporters and emits the final perf-stat reports.
 func (s *Server) finish() {
-	s.mu.Lock()
-	s.en.PublishTelemetry()
-	if s.cfg.PMU != nil {
-		s.cfg.PMU.Publish(s.cfg.Collector.Registry, s.cfg.Collector.Base)
+	for _, sh := range s.shards {
+		sh.lock()
+		sh.en.PublishTelemetry()
+		sh.refreshGaugesLocked()
+		if sh.pmu != nil {
+			sh.pmu.Publish(s.cfg.Collector.Registry, s.pmuBase(sh.idx))
+		}
+		sh.unlock()
 	}
-	s.mu.Unlock()
 	s.gUptime.Set(time.Since(s.start).Seconds())
+	s.gActive.Set(float64(s.active.Load()))
 
 	if s.cfg.MetricsOut != "" {
 		if err := telemetry.WriteMetricsFile(s.cfg.MetricsOut, s.cfg.Collector); err != nil {
@@ -357,10 +407,13 @@ func (s *Server) finish() {
 			s.cfg.Logf("daemon: series flush: %v", err)
 		}
 	}
-	if s.cfg.PMU != nil {
-		s.mu.Lock()
-		s.cfg.PMU.WriteReport(s.cfg.PerfOut)
-		s.mu.Unlock()
+	for _, sh := range s.shards {
+		if sh.pmu == nil {
+			continue
+		}
+		sh.lock()
+		sh.pmu.WriteReport(s.cfg.PerfOut)
+		sh.unlock()
 	}
 	if s.cfg.TraceOut != "" {
 		if err := s.writeTraceFile(s.cfg.TraceOut); err != nil {
@@ -398,15 +451,29 @@ func (s *Server) acceptLoop() {
 			continue
 		}
 		s.connWG.Add(1)
-		s.connMu.Lock()
-		s.conns[c] = struct{}{}
-		s.connMu.Unlock()
+		s.register(c)
 		s.total.Add(1)
 		s.cConns.Inc()
-		s.active.Add(1)
-		s.gActive.Set(float64(s.active.Load()))
+		// Publish the Add result, not a separate Load: with a second
+		// racing Load the two gauge writes could land out of order and
+		// leave the gauge stale.
+		s.gActive.Set(float64(s.active.Add(1)))
 		go s.serveConn(c)
 	}
+}
+
+// register adds a connection to the conn table. If a drain began
+// between acceptLoop's draining check and this registration, the sweep
+// in beginDrain has already run — so the drain deadline is applied
+// here, under the same lock, closing the window where a late-registered
+// connection could outlive the drain unbounded.
+func (s *Server) register(c net.Conn) {
+	s.connMu.Lock()
+	s.conns[c] = struct{}{}
+	if s.draining.Load() {
+		c.SetReadDeadline(s.drainDeadline)
+	}
+	s.connMu.Unlock()
 }
 
 // serveConn runs one connection's request-response loop.
@@ -416,8 +483,7 @@ func (s *Server) serveConn(c net.Conn) {
 		s.connMu.Lock()
 		delete(s.conns, c)
 		s.connMu.Unlock()
-		s.active.Add(-1)
-		s.gActive.Set(float64(s.active.Load()))
+		s.gActive.Set(float64(s.active.Add(-1)))
 		s.connWG.Done()
 	}()
 
@@ -433,6 +499,13 @@ func (s *Server) serveConn(c net.Conn) {
 		return
 	}
 
+	// The credit window: at most window ops per frame reach the engines;
+	// the rest earn WireBusy unapplied, and every reply advertises the
+	// window so a well-behaved client clamps its batches before ever
+	// stalling (0 = windowing off).
+	window := s.cfg.Window
+	credits := uint16(window)
+
 	var (
 		ops  []mpi.WireOp
 		reps []mpi.WireReply
@@ -443,19 +516,32 @@ func (s *Server) serveConn(c net.Conn) {
 		ops, batch, err = mpi.ReadWireFrame(br, ops)
 		if err != nil {
 			if isWireDecodeError(err) {
-				mpi.WriteWireReply(bw, mpi.WireReply{Status: mpi.WireErr})
+				mpi.WriteWireReply(bw, mpi.WireReply{Status: mpi.WireErr, Credits: credits})
 				bw.Flush()
 			}
 			return
 		}
 		if !batch {
 			rep := s.apply(ops[0])
+			rep.Credits = credits
 			if err := mpi.WriteWireReply(bw, rep); err != nil {
 				return
 			}
 		} else {
-			reps = s.applyBatch(ops, reps)
+			admitted := ops
+			if window > 0 && len(ops) > window {
+				admitted = ops[:window]
+			}
+			reps = s.applyBatch(admitted, reps)
+			if stalled := len(ops) - len(admitted); stalled > 0 {
+				s.creditStalls.Add(uint64(stalled))
+				s.cStalls.Add(float64(stalled))
+				for _, op := range ops[len(admitted):] {
+					reps = append(reps, mpi.WireReply{Kind: op.Kind, Status: mpi.WireBusy})
+				}
+			}
 			for i := range reps {
+				reps[i].Credits = credits
 				if err := mpi.WriteWireReply(bw, reps[i]); err != nil {
 					return
 				}
@@ -472,8 +558,14 @@ func (s *Server) serveConn(c net.Conn) {
 }
 
 // isWireDecodeError distinguishes a malformed frame (worth an error
-// reply) from a closed or timed-out connection.
+// reply) from a closed or timed-out connection. A batch frame that
+// promised N ops and truncated mid-payload is malformed — the client
+// gets exactly one WireErr for the whole frame — even though the
+// underlying read error is an EOF.
 func isWireDecodeError(err error) bool {
+	if errors.Is(err, mpi.ErrBatchTruncated) {
+		return true
+	}
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
 		return false
 	}
@@ -500,88 +592,114 @@ func (s *Server) adoptTrace(op mpi.WireOp, name string) ctrace.Context {
 	return s.tr.Adopt(ctrace.Context{Trace: op.Trace, Parent: op.Span}, pid, name, s.hostNS())
 }
 
-// apply executes one wire operation against the engine.
+// apply executes one wire operation.
 func (s *Server) apply(op mpi.WireOp) mpi.WireReply {
 	if ctr := s.cFrames[op.Kind]; ctr != nil {
 		ctr.Inc()
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.applyLocked(op)
+	switch op.Kind {
+	case mpi.WireArrive, mpi.WirePost:
+		sh := s.shardFor(op.Ctx)
+		sh.lock()
+		defer sh.unlock()
+		sh.frames(1)
+		return sh.applyLocked(op)
+	case mpi.WirePhase:
+		return s.applyPhase(op)
+	case mpi.WireStat:
+		return s.applyStat()
+	case mpi.WirePing:
+		return mpi.WireReply{Kind: op.Kind, Status: mpi.WireOK}
+	default:
+		return mpi.WireReply{Kind: op.Kind, Status: mpi.WireErr}
+	}
 }
 
-// applyBatch executes a batch frame's ops under one lock acquisition,
-// appending one reply per op to reps[:0] and returning the result.
-// Maximal runs of untraced arrives with fault injection off — the
-// serving hot path — bypass the per-op trace/fault plumbing entirely
-// and go through the engine's ArriveBatch.
+// applyBatch executes a batch frame's ops, appending one reply per op
+// to reps[:0] and returning the result. Consecutive arrives and posts
+// landing on the same shard are applied as one run under a single lock
+// acquisition (taking the ArriveBatch fast path where eligible, see
+// shard.applyRun); phases, stats, and pings fall back to their
+// cross-shard scalar handling. Replies stay in op order throughout.
 func (s *Server) applyBatch(ops []mpi.WireOp, reps []mpi.WireReply) []mpi.WireReply {
 	reps = reps[:0]
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for i := 0; i < len(ops); {
-		if s.wire == nil && plainArrive(ops[i]) {
+		switch ops[i].Kind {
+		case mpi.WireArrive, mpi.WirePost:
+			sh := s.shardFor(ops[i].Ctx)
 			j := i + 1
-			for j < len(ops) && plainArrive(ops[j]) {
+			for j < len(ops) && routedTo(ops[j], sh, s) {
 				j++
 			}
-			reps = s.applyArriveRun(ops[i:j], reps)
+			reps = sh.applyRun(ops[i:j], reps)
 			i = j
-			continue
+		default:
+			if ctr := s.cFrames[ops[i].Kind]; ctr != nil {
+				ctr.Inc()
+			}
+			switch ops[i].Kind {
+			case mpi.WirePhase:
+				reps = append(reps, s.applyPhase(ops[i]))
+			case mpi.WireStat:
+				reps = append(reps, s.applyStat())
+			case mpi.WirePing:
+				reps = append(reps, mpi.WireReply{Kind: mpi.WirePing, Status: mpi.WireOK})
+			default:
+				reps = append(reps, mpi.WireReply{Kind: ops[i].Kind, Status: mpi.WireErr})
+			}
+			i++
 		}
-		if ctr := s.cFrames[ops[i].Kind]; ctr != nil {
-			ctr.Inc()
-		}
-		reps = append(reps, s.applyLocked(ops[i]))
-		i++
 	}
 	return reps
 }
 
-// plainArrive reports whether the op takes the batched arrive fast
-// path: an untraced arrival needs no flight-recorder spans (every
-// ctrace call is a no-op on a zero context).
-func plainArrive(op mpi.WireOp) bool {
-	return op.Kind == mpi.WireArrive && op.Trace == 0
+// routedTo reports whether the op is ctx-routable and lands on sh.
+func routedTo(op mpi.WireOp, sh *shard, s *Server) bool {
+	return (op.Kind == mpi.WireArrive || op.Kind == mpi.WirePost) && s.shardFor(op.Ctx) == sh
 }
 
-// applyArriveRun feeds a run of untraced arrivals through ArriveBatch.
-// Caller holds mu and has checked s.wire == nil. Equivalent to
-// applyLocked per op: with a zero trace context the recorder calls
-// no-op, and SetTraceContext is hoisted to one zero-zero call for the
-// run instead of one per op.
-func (s *Server) applyArriveRun(ops []mpi.WireOp, reps []mpi.WireReply) []mpi.WireReply {
-	s.batchEnvs = s.batchEnvs[:0]
-	s.batchMsgs = s.batchMsgs[:0]
-	for i := range ops {
-		s.batchEnvs = append(s.batchEnvs, match.Envelope{Rank: ops[i].Rank, Tag: ops[i].Tag, Ctx: ops[i].Ctx})
-		s.batchMsgs = append(s.batchMsgs, ops[i].Handle)
-	}
-	s.cfg.PMU.SetTraceContext(0, 0)
-	s.batchRes = s.en.ArriveBatch(s.batchEnvs, s.batchMsgs, s.batchRes)
-	if ctr := s.cFrames[mpi.WireArrive]; ctr != nil {
-		ctr.Add(float64(len(ops)))
-	}
-	for i := range s.batchRes {
-		r := &s.batchRes[i]
-		rep := mpi.WireReply{
-			Kind:    mpi.WireArrive,
-			Status:  mpi.WireOK,
-			Outcome: byte(r.Outcome),
-			Handle:  r.Req,
-			Cycles:  r.Cycles,
+// applyPhase runs one compute phase on every shard, in index order,
+// one lock at a time: a phase models the application going compute-
+// bound, which perturbs every lane's cache state, not one context's.
+// With Shards=1 this is exactly the pre-sharding phase handling.
+func (s *Server) applyPhase(op mpi.WireOp) mpi.WireReply {
+	for _, sh := range s.shards {
+		sh.lock()
+		sh.frames(1)
+		sh.en.BeginComputePhase(op.DurationNS)
+		if s.tr != nil {
+			if ht := sh.en.Heater(); ht != nil {
+				s.tr.Counter(sh.heaterTrack, s.hostNS(),
+					ctrace.CV{K: "sweeps", V: float64(ht.Sweeps())},
+					ctrace.CV{K: "coverage", V: ht.LastSweepCoverage()})
+			}
 		}
-		if r.Outcome == engine.ArriveRefused {
-			rep.Status = mpi.WireBusy
-		}
-		reps = append(reps, rep)
+		sh.unlock()
 	}
-	return reps
+	return mpi.WireReply{Kind: mpi.WirePhase, Status: mpi.WireOK}
 }
 
-// applyLocked executes one wire operation; the caller holds mu and has
-// counted the frame.
-func (s *Server) applyLocked(op mpi.WireOp) mpi.WireReply {
+// applyStat sums queue depths across the shards, one lock at a time:
+// the wire-visible depth is the daemon total, so clients (and the
+// chaos queue-drain audit) see one figure regardless of shard count.
+func (s *Server) applyStat() mpi.WireReply {
+	rep := mpi.WireReply{Kind: mpi.WireStat, Status: mpi.WireOK}
+	var prq, umq int
+	for _, sh := range s.shards {
+		sh.lock()
+		prq += sh.en.PRQLen()
+		umq += sh.en.UMQLen()
+		sh.unlock()
+	}
+	rep.PRQLen = uint32(prq)
+	rep.UMQLen = uint32(umq)
+	return rep
+}
+
+// applyLocked executes one ctx-routed wire operation (arrive or post)
+// on this shard; the caller holds sh.mu and has counted the frame.
+func (sh *shard) applyLocked(op mpi.WireOp) mpi.WireReply {
+	s := sh.srv
 	rep := mpi.WireReply{Kind: op.Kind, Status: mpi.WireOK}
 	switch op.Kind {
 	case mpi.WireArrive:
@@ -590,8 +708,8 @@ func (s *Server) applyLocked(op mpi.WireOp) mpi.WireReply {
 		if pid < 0 {
 			pid = 0
 		}
-		if s.wire != nil {
-			fate := s.wire.Judge()
+		if sh.wire != nil {
+			fate := sh.wire.Judge()
 			if fate.Dropped || fate.Corrupted {
 				s.nacks.Add(1)
 				s.cNacks.Inc()
@@ -611,13 +729,13 @@ func (s *Server) applyLocked(op mpi.WireOp) mpi.WireReply {
 		}
 		env := match.Envelope{Rank: op.Rank, Tag: op.Tag, Ctx: op.Ctx}
 		at := s.hostNS()
-		s.cfg.PMU.SetTraceContext(op.Trace, op.Span)
-		req, outcome, cy := s.en.ArriveFull(env, op.Handle)
+		sh.pmu.SetTraceContext(op.Trace, op.Span)
+		req, outcome, cy := sh.en.ArriveFull(env, op.Handle)
 		rep.Outcome = byte(outcome)
 		rep.Handle = req
 		rep.Cycles = cy
 		s.tr.Complete(tctx, ctrace.LaneEngine, pid, "arrive",
-			at, s.en.CyclesToNanos(cy),
+			at, sh.en.CyclesToNanos(cy),
 			ctrace.KV{K: "outcome", V: outcome.String()})
 		switch outcome {
 		case engine.ArriveRefused:
@@ -634,35 +752,37 @@ func (s *Server) applyLocked(op mpi.WireOp) mpi.WireReply {
 			pid = 0
 		}
 		at := s.hostNS()
-		msg, matched, cy := s.en.PostRecv(int(op.Rank), int(op.Tag), op.Ctx, op.Handle)
+		msg, matched, cy := sh.en.PostRecv(int(op.Rank), int(op.Tag), op.Ctx, op.Handle)
 		if matched {
 			rep.Outcome = 1
 			rep.Handle = msg
 		}
 		rep.Cycles = cy
 		s.tr.Complete(tctx, ctrace.LaneEngine, pid, "post",
-			at, s.en.CyclesToNanos(cy),
+			at, sh.en.CyclesToNanos(cy),
 			ctrace.KV{K: "matched", V: fmt.Sprintf("%v", matched)})
 		if matched {
 			s.tr.Finish(tctx.Trace, s.hostNS(), "matched")
 		}
-	case mpi.WirePhase:
-		s.en.BeginComputePhase(op.DurationNS)
-		if s.tr != nil {
-			if ht := s.en.Heater(); ht != nil {
-				s.tr.Counter("heater", s.hostNS(),
-					ctrace.CV{K: "sweeps", V: float64(ht.Sweeps())},
-					ctrace.CV{K: "coverage", V: ht.LastSweepCoverage()})
-			}
-		}
-	case mpi.WireStat:
-		rep.PRQLen = uint32(s.en.PRQLen())
-		rep.UMQLen = uint32(s.en.UMQLen())
-	case mpi.WirePing:
 	default:
 		rep.Status = mpi.WireErr
 	}
 	return rep
+}
+
+// pmuBase labels a shard's PMU publication: the collector's base
+// labels, plus the shard index when more than one lane publishes (a
+// one-shard daemon publishes exactly what the pre-sharding one did).
+func (s *Server) pmuBase(idx int) telemetry.Labels {
+	if len(s.shards) == 1 {
+		return s.cfg.Collector.Base
+	}
+	base := make(telemetry.Labels, len(s.cfg.Collector.Base)+1)
+	for k, v := range s.cfg.Collector.Base {
+		base[k] = v
+	}
+	base["shard"] = strconv.Itoa(idx)
+	return base
 }
 
 // Stats is a point-in-time snapshot of serving activity.
@@ -671,6 +791,7 @@ type Stats struct {
 	ConnectionsTotal  uint64
 	Nacks             uint64
 	DupSuppressed     uint64
+	CreditStalls      uint64
 }
 
 // Stats returns current serving tallies.
@@ -680,11 +801,12 @@ func (s *Server) Stats() Stats {
 		ConnectionsTotal:  s.total.Load(),
 		Nacks:             s.nacks.Load(),
 		DupSuppressed:     s.dupSuppressed.Load(),
+		CreditStalls:      s.creditStalls.Load(),
 	}
 }
 
 // String renders a one-line summary for logs.
 func (s Stats) String() string {
-	return fmt.Sprintf("conns=%d/%d nacks=%d dups=%d",
-		s.ConnectionsActive, s.ConnectionsTotal, s.Nacks, s.DupSuppressed)
+	return fmt.Sprintf("conns=%d/%d nacks=%d dups=%d stalls=%d",
+		s.ConnectionsActive, s.ConnectionsTotal, s.Nacks, s.DupSuppressed, s.CreditStalls)
 }

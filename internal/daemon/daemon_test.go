@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
@@ -23,7 +24,10 @@ import (
 
 // testServer starts a daemon on loopback ports and returns it with its
 // Run error channel. Callers stop it with srv.Stop() (or by sending on
-// sig) and then wait on errc.
+// sig) and then wait on errc. SPCO_TEST_SHARDS (an integer) reruns the
+// whole suite against a sharded daemon — `make shard-gate` sets it to 4
+// under -race so every serving-path test doubles as a shard-safety
+// check. A mut that sets Shards itself wins over the env knob.
 func testServer(t *testing.T, mut func(*Config)) (*Server, chan os.Signal, <-chan error) {
 	t.Helper()
 	cfg := Config{
@@ -36,6 +40,13 @@ func testServer(t *testing.T, mut func(*Config)) (*Server, chan os.Signal, <-cha
 		PMU:          perf.New(perf.Options{Label: "daemon-test", SampleInterval: perf.DefaultSampleInterval}),
 		DrainTimeout: 2 * time.Second,
 		PerfOut:      io.Discard,
+	}
+	if v := os.Getenv("SPCO_TEST_SHARDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("SPCO_TEST_SHARDS=%q is not a positive integer", v)
+		}
+		cfg.Shards = n
 	}
 	if mut != nil {
 		mut(&cfg)
@@ -371,7 +382,9 @@ func TestFaultIngress(t *testing.T) {
 func TestProfileBundle(t *testing.T) {
 	srv, _, errc := testServer(t, nil)
 
-	if _, err := RunLoad(LoadConfig{Addr: srv.Addr(), Conns: 2, Messages: 300}); err != nil {
+	// Ctxs 4 spreads the contexts so shard 0 sees traffic at any
+	// SPCO_TEST_SHARDS value — its PMU lane feeds folded.txt/sim.pprof.
+	if _, err := RunLoad(LoadConfig{Addr: srv.Addr(), Conns: 4, Messages: 300, Ctxs: 4}); err != nil {
 		t.Fatal(err)
 	}
 

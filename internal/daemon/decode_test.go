@@ -1,0 +1,208 @@
+package daemon
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+
+	"spco/internal/mpi"
+)
+
+// Decode-error handling at the serving loop: a malformed frame — a
+// batch that truncates mid-payload, an unknown op kind scalar or
+// buried mid-batch — must earn exactly one WireErr reply followed by a
+// clean close, and none of the frame's ops may reach an engine. (A
+// connection that closes *between* frames earns no reply at all: that
+// is a departure, not an error.)
+
+// rawDial opens a handshaken wire connection below the Client layer, so
+// tests can write malformed bytes.
+func rawDial(t *testing.T, addr string) (*net.TCPConn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := conn.(*net.TCPConn)
+	bw := bufio.NewWriter(tc)
+	if err := mpi.WriteWireHello(bw); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(tc)
+	if err := mpi.ReadWireHello(br); err != nil {
+		t.Fatal(err)
+	}
+	return tc, br
+}
+
+// expectOneWireErrThenClose drains the connection: exactly one reply,
+// with status WireErr, then EOF.
+func expectOneWireErrThenClose(t *testing.T, br *bufio.Reader) {
+	t.Helper()
+	rep, err := mpi.ReadWireReply(br)
+	if err != nil {
+		t.Fatalf("expected a WireErr reply, got read error %v", err)
+	}
+	if rep.Status != mpi.WireErr {
+		t.Fatalf("reply status %d, want WireErr", rep.Status)
+	}
+	if _, err := mpi.ReadWireReply(br); !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("connection not closed after the WireErr: got %v", err)
+	}
+}
+
+// expectQueuesEmpty verifies via a fresh connection that nothing from
+// the malformed frame reached an engine.
+func expectQueuesEmpty(t *testing.T, srv *Server) {
+	t.Helper()
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	prq, umq, err := cl.QueueLens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prq != 0 || umq != 0 {
+		t.Fatalf("malformed frame leaked ops into the engines: prq=%d umq=%d", prq, umq)
+	}
+}
+
+// TestBatchTruncatedMidFrame: a batch header promising 3 ops followed
+// by only 2 and a half-close is a protocol error, not a departure —
+// one WireErr, close, and the 2 decoded ops are never applied.
+func TestBatchTruncatedMidFrame(t *testing.T) {
+	srv, _, errc := testServer(t, nil)
+	defer stopAndWait(t, srv, errc)
+
+	tc, br := rawDial(t, srv.Addr())
+	defer tc.Close()
+
+	var hdr [5]byte
+	hdr[0] = mpi.WireBatch
+	binary.BigEndian.PutUint32(hdr[1:5], 3)
+	if _, err := tc.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := mpi.WriteWireOp(tc, mpi.WireOp{
+			Kind: mpi.WireArrive, Rank: 1, Tag: int32(i), Ctx: 1, Handle: uint64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Half-close: the promised third op never comes, but the read side
+	// stays open for the server's verdict.
+	if err := tc.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	expectOneWireErrThenClose(t, br)
+	expectQueuesEmpty(t, srv)
+}
+
+// TestBatchTruncatedMidOp: the cut lands inside an op frame's bytes,
+// not on a frame boundary. Same verdict.
+func TestBatchTruncatedMidOp(t *testing.T) {
+	srv, _, errc := testServer(t, nil)
+	defer stopAndWait(t, srv, errc)
+
+	tc, br := rawDial(t, srv.Addr())
+	defer tc.Close()
+
+	var hdr [5]byte
+	hdr[0] = mpi.WireBatch
+	binary.BigEndian.PutUint32(hdr[1:5], 2)
+	if _, err := tc.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := mpi.WriteWireOp(tc, mpi.WireOp{Kind: mpi.WirePost, Rank: 1, Tag: 1, Ctx: 1, Handle: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.Write([]byte{byte(mpi.WireArrive), 0, 0, 0}); err != nil { // 4 of 43 bytes
+		t.Fatal(err)
+	}
+	if err := tc.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	expectOneWireErrThenClose(t, br)
+	expectQueuesEmpty(t, srv)
+}
+
+// TestBatchBadKindMidFrame: a complete batch frame whose second op
+// wears an unknown kind fails the whole frame — one WireErr, close,
+// and the well-formed first op is not applied either (the frame is the
+// unit of decode).
+func TestBatchBadKindMidFrame(t *testing.T) {
+	srv, _, errc := testServer(t, nil)
+	defer stopAndWait(t, srv, errc)
+
+	tc, br := rawDial(t, srv.Addr())
+	defer tc.Close()
+
+	var hdr [5]byte
+	hdr[0] = mpi.WireBatch
+	binary.BigEndian.PutUint32(hdr[1:5], 3)
+	if _, err := tc.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	for i, kind := range []byte{mpi.WireArrive, 99, mpi.WirePing} {
+		if err := mpi.WriteWireOp(tc, mpi.WireOp{
+			Kind: kind, Rank: 1, Tag: int32(i), Ctx: 1, Handle: uint64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expectOneWireErrThenClose(t, br)
+	expectQueuesEmpty(t, srv)
+}
+
+// TestScalarBadKind: an unknown kind on the scalar path gets the same
+// one-WireErr-then-close treatment.
+func TestScalarBadKind(t *testing.T) {
+	srv, _, errc := testServer(t, nil)
+	defer stopAndWait(t, srv, errc)
+
+	tc, br := rawDial(t, srv.Addr())
+	defer tc.Close()
+
+	if err := mpi.WriteWireOp(tc, mpi.WireOp{Kind: 42, Rank: 1, Tag: 1, Ctx: 1, Handle: 1}); err != nil {
+		t.Fatal(err)
+	}
+	expectOneWireErrThenClose(t, br)
+	expectQueuesEmpty(t, srv)
+}
+
+// TestCleanCloseBetweenFrames: a connection that completes its frames
+// and closes earns no WireErr — the serving loop must tell departures
+// from protocol errors.
+func TestCleanCloseBetweenFrames(t *testing.T) {
+	srv, _, errc := testServer(t, nil)
+	defer stopAndWait(t, srv, errc)
+
+	tc, br := rawDial(t, srv.Addr())
+	defer tc.Close()
+
+	if err := mpi.WriteWireOp(tc, mpi.WireOp{Kind: mpi.WirePing}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mpi.ReadWireReply(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != mpi.WireOK {
+		t.Fatalf("ping reply status %d, want OK", rep.Status)
+	}
+	if _, err := mpi.ReadWireReply(br); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected clean EOF after departure, got %v", err)
+	}
+}

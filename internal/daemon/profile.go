@@ -102,12 +102,15 @@ func (s *Server) WriteProfileBundle(w io.Writer, cpuSeconds float64) error {
 		return err
 	}
 
-	// Simulated-PMU artifacts, under the engine mutex (the PMU is part
-	// of the single-threaded simulation stack).
-	if p := s.cfg.PMU; p != nil {
+	// Simulated-PMU artifacts, under each shard's mutex (a PMU lane is
+	// part of its shard's single-threaded simulation stack). Shard 0
+	// keeps the historical entry names; further lanes get perf-stat
+	// files suffixed with their index.
+	sh0 := s.shards[0]
+	if p := sh0.pmu; p != nil {
 		if err := entry("perf-stat.txt", func(f io.Writer) error {
-			s.mu.Lock()
-			defer s.mu.Unlock()
+			sh0.lock()
+			defer sh0.unlock()
 			p.WriteReport(f)
 			return nil
 		}); err != nil {
@@ -115,28 +118,39 @@ func (s *Server) WriteProfileBundle(w io.Writer, cpuSeconds float64) error {
 		}
 		if prof := p.Profiler(); prof != nil {
 			if err := entry("folded.txt", func(f io.Writer) error {
-				s.mu.Lock()
-				defer s.mu.Unlock()
+				sh0.lock()
+				defer sh0.unlock()
 				return prof.WriteFolded(f)
 			}); err != nil {
 				return err
 			}
 			if err := entry("sim.pprof", func(f io.Writer) error {
-				s.mu.Lock()
-				defer s.mu.Unlock()
+				sh0.lock()
+				defer sh0.unlock()
 				return prof.WritePprof(f)
 			}); err != nil {
 				return err
 			}
 		}
 	}
+	for _, sh := range s.shards[1:] {
+		if sh.pmu == nil {
+			continue
+		}
+		sh := sh
+		if err := entry(fmt.Sprintf("perf-stat-shard%d.txt", sh.idx), func(f io.Writer) error {
+			sh.lock()
+			defer sh.unlock()
+			sh.pmu.WriteReport(f)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
 
 	// Current metrics and status.
 	if err := entry("metrics.prom", func(f io.Writer) error {
-		s.mu.Lock()
-		s.en.PublishTelemetry()
-		s.publishResidency()
-		s.mu.Unlock()
+		s.publishAll()
 		return telemetry.WritePrometheus(f, s.cfg.Collector.Registry)
 	}); err != nil {
 		return err

@@ -1,0 +1,244 @@
+package daemon
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spco/internal/engine"
+	"spco/internal/fault"
+	"spco/internal/match"
+	"spco/internal/mpi"
+	"spco/internal/perf"
+	"spco/internal/telemetry"
+)
+
+// Sharding: the daemon hosts Config.Shards independent engine lanes and
+// routes every matching operation by its communicator context,
+// ctx mod N. An MPI context is a closed matching domain — an arrive on
+// ctx c can only ever match a receive posted on ctx c — so pinning each
+// context wholly to one shard changes nothing about match results:
+// shard i behaves bit-identically to a dedicated single-engine daemon
+// serving just its contexts. What sharding buys is the paper's locality
+// argument applied to the serving layer: each lane's queues, heater,
+// and simulated cache state stay resident for *its* contexts only,
+// instead of every connection's traffic sweeping one shared engine.
+//
+// Each shard owns the full single-threaded simulation stack — engine,
+// heater, PMU lane, ingress fault wire — behind its own mutex, plus its
+// own batch scratch so per-shard batch serving stays allocation-free.
+// Operations that span shards take the locks one at a time, never
+// nested: a compute phase visits every shard in index order, a stat
+// query sums queue depths the same way. With Shards=1 (the default)
+// the daemon is exactly the pre-sharding single-mutex server.
+
+// shard is one serving lane: a context-partitioned engine and
+// everything serialized with it.
+type shard struct {
+	idx int
+	srv *Server
+
+	// mu serializes this lane's single-threaded simulation stack:
+	// engine, heater, PMU, and ingress fault wire.
+	mu   sync.Mutex
+	en   *engine.Engine
+	wire *fault.Wire
+	pmu  *perf.PMU
+
+	// heaterTrack names this shard's heater counter track in the flight
+	// recorder ("heater" on shard 0, so Shards=1 traces are unchanged).
+	heaterTrack string
+
+	// Batch scratch, reused across runs; guarded by mu.
+	batchEnvs []match.Envelope
+	batchMsgs []uint64
+	batchRes  []engine.ArriveResult
+
+	// Serving tallies: ops applied on this lane and host time spent
+	// waiting for its mutex.
+	nFrames    atomic.Uint64
+	lockWaitNS atomic.Int64
+
+	cFrames   *telemetry.Counter // spco_shard_frames_total{shard}
+	cLockWait *telemetry.Counter // spco_shard_lock_wait_seconds_total{shard}
+	gPRQ      *telemetry.Gauge   // spco_shard_queue_depth{shard,queue="prq"}
+	gUMQ      *telemetry.Gauge   // spco_shard_queue_depth{shard,queue="umq"}
+	gPoolGets *telemetry.Gauge   // spco_shard_pool_gets{shard}
+	gPoolMiss *telemetry.Gauge   // spco_shard_pool_misses{shard}
+	gPoolPuts *telemetry.Gauge   // spco_shard_pool_puts{shard}
+	gPoolSize *telemetry.Gauge   // spco_shard_pool_size{shard}
+}
+
+// newShards builds the serving lanes. Shard 0 inherits the configured
+// PMU and the fault wire's historical RNG stream (Fork 99), so a
+// one-shard daemon is bit-identical to the pre-sharding server; further
+// shards get their own PMU lane (label suffixed "-shardN") and their
+// own forked wire stream.
+func newShards(s *Server, cfg Config) ([]*shard, error) {
+	reg := cfg.Collector.Registry
+	reg.Help("spco_shard_frames_total", "Operations applied per serving shard.")
+	reg.Help("spco_shard_lock_wait_seconds_total", "Host seconds spent waiting for each shard's engine mutex.")
+	reg.Help("spco_shard_queue_depth", "Current match-queue depth per shard, refreshed per scrape.")
+	reg.Help("spco_shard_pool_gets", "Node-pool gets per shard, refreshed per scrape.")
+	reg.Help("spco_shard_pool_misses", "Node-pool misses (fresh allocations) per shard, refreshed per scrape.")
+	reg.Help("spco_shard_pool_puts", "Node-pool returns per shard, refreshed per scrape.")
+	reg.Help("spco_shard_pool_size", "Node-pool resident size per shard, refreshed per scrape.")
+
+	shards := make([]*shard, cfg.Shards)
+	for i := range shards {
+		ecfg := cfg.Engine
+		ecfg.Perf = shardPMU(cfg.Engine.Perf, i)
+		en, err := engine.New(ecfg)
+		if err != nil {
+			return nil, err
+		}
+		lab := telemetry.Labels{"shard": strconv.Itoa(i)}
+		sh := &shard{
+			idx:         i,
+			srv:         s,
+			en:          en,
+			pmu:         ecfg.Perf,
+			heaterTrack: "heater",
+			cFrames:     reg.Counter("spco_shard_frames_total", lab),
+			cLockWait:   reg.Counter("spco_shard_lock_wait_seconds_total", lab),
+			gPRQ:        reg.Gauge("spco_shard_queue_depth", telemetry.Labels{"shard": strconv.Itoa(i), "queue": "prq"}),
+			gUMQ:        reg.Gauge("spco_shard_queue_depth", telemetry.Labels{"shard": strconv.Itoa(i), "queue": "umq"}),
+			gPoolGets:   reg.Gauge("spco_shard_pool_gets", lab),
+			gPoolMiss:   reg.Gauge("spco_shard_pool_misses", lab),
+			gPoolPuts:   reg.Gauge("spco_shard_pool_puts", lab),
+			gPoolSize:   reg.Gauge("spco_shard_pool_size", lab),
+		}
+		if i > 0 {
+			sh.heaterTrack = fmt.Sprintf("heater-shard%d", i)
+		}
+		if cfg.Wire.Enabled() {
+			sh.wire = fault.NewWire(cfg.Wire, fault.NewRNG(cfg.FaultSeed).Fork(99+uint64(i)))
+		}
+		shards[i] = sh
+	}
+	return shards, nil
+}
+
+// shardPMU derives shard i's PMU lane from the configured one: shard 0
+// keeps it, later shards clone its options with a distinguishing label.
+func shardPMU(base *perf.PMU, i int) *perf.PMU {
+	if base == nil || i == 0 {
+		return base
+	}
+	opts := base.Options()
+	opts.Label = fmt.Sprintf("%s-shard%d", opts.Label, i)
+	return perf.New(opts)
+}
+
+// shardFor routes a communicator context to its serving lane. The map
+// is static (ctx mod N) so a context's queues, heater state, and cache
+// footprint live on one shard for the daemon's whole life — the
+// semi-permanent residency the paper argues for, applied per lane.
+func (s *Server) shardFor(ctx uint16) *shard {
+	return s.shards[int(ctx)%len(s.shards)]
+}
+
+// lock acquires the shard mutex, charging any wait to the lane's
+// lock-wait telemetry. The uncontended path takes no clock readings.
+func (sh *shard) lock() {
+	if sh.mu.TryLock() {
+		return
+	}
+	t0 := time.Now()
+	sh.mu.Lock()
+	wait := time.Since(t0)
+	sh.lockWaitNS.Add(wait.Nanoseconds())
+	sh.cLockWait.Add(wait.Seconds())
+}
+
+func (sh *shard) unlock() { sh.mu.Unlock() }
+
+// refreshGaugesLocked mirrors the lane's queue depths and pool counters
+// into the per-shard gauges; the caller holds sh.mu.
+func (sh *shard) refreshGaugesLocked() {
+	sh.gPRQ.Set(float64(sh.en.PRQLen()))
+	sh.gUMQ.Set(float64(sh.en.UMQLen()))
+	ps := sh.en.PoolStats()
+	sh.gPoolGets.Set(float64(ps.Gets))
+	sh.gPoolMiss.Set(float64(ps.Misses))
+	sh.gPoolPuts.Set(float64(ps.Puts))
+	sh.gPoolSize.Set(float64(ps.Size))
+}
+
+// frames counts n ops applied on this lane.
+func (sh *shard) frames(n int) {
+	sh.nFrames.Add(uint64(n))
+	sh.cFrames.Add(float64(n))
+}
+
+// applyRun executes a run of ctx-routable ops (arrives and posts that
+// all map to this shard) under one lock acquisition, appending one
+// reply per op. Maximal sub-runs of untraced arrives with fault
+// injection off — the serving hot path — go through the engine's
+// ArriveBatch; everything else takes the per-op path.
+func (sh *shard) applyRun(ops []mpi.WireOp, reps []mpi.WireReply) []mpi.WireReply {
+	s := sh.srv
+	sh.lock()
+	defer sh.unlock()
+	sh.frames(len(ops))
+	for i := 0; i < len(ops); {
+		if sh.wire == nil && plainArrive(ops[i]) {
+			j := i + 1
+			for j < len(ops) && plainArrive(ops[j]) {
+				j++
+			}
+			reps = sh.applyArriveRun(ops[i:j], reps)
+			i = j
+			continue
+		}
+		if ctr := s.cFrames[ops[i].Kind]; ctr != nil {
+			ctr.Inc()
+		}
+		reps = append(reps, sh.applyLocked(ops[i]))
+		i++
+	}
+	return reps
+}
+
+// plainArrive reports whether the op takes the batched arrive fast
+// path: an untraced arrival needs no flight-recorder spans (every
+// ctrace call is a no-op on a zero context).
+func plainArrive(op mpi.WireOp) bool {
+	return op.Kind == mpi.WireArrive && op.Trace == 0
+}
+
+// applyArriveRun feeds a run of untraced arrivals through ArriveBatch.
+// Caller holds sh.mu and has checked sh.wire == nil. Equivalent to
+// applyLocked per op: with a zero trace context the recorder calls
+// no-op, and SetTraceContext is hoisted to one zero-zero call for the
+// run instead of one per op.
+func (sh *shard) applyArriveRun(ops []mpi.WireOp, reps []mpi.WireReply) []mpi.WireReply {
+	sh.batchEnvs = sh.batchEnvs[:0]
+	sh.batchMsgs = sh.batchMsgs[:0]
+	for i := range ops {
+		sh.batchEnvs = append(sh.batchEnvs, match.Envelope{Rank: ops[i].Rank, Tag: ops[i].Tag, Ctx: ops[i].Ctx})
+		sh.batchMsgs = append(sh.batchMsgs, ops[i].Handle)
+	}
+	sh.pmu.SetTraceContext(0, 0)
+	sh.batchRes = sh.en.ArriveBatch(sh.batchEnvs, sh.batchMsgs, sh.batchRes)
+	if ctr := sh.srv.cFrames[mpi.WireArrive]; ctr != nil {
+		ctr.Add(float64(len(ops)))
+	}
+	for i := range sh.batchRes {
+		r := &sh.batchRes[i]
+		rep := mpi.WireReply{
+			Kind:    mpi.WireArrive,
+			Status:  mpi.WireOK,
+			Outcome: byte(r.Outcome),
+			Handle:  r.Req,
+			Cycles:  r.Cycles,
+		}
+		if r.Outcome == engine.ArriveRefused {
+			rep.Status = mpi.WireBusy
+		}
+		reps = append(reps, rep)
+	}
+	return reps
+}

@@ -1,0 +1,516 @@
+package daemon
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spco/internal/cache"
+	"spco/internal/ctrace"
+	"spco/internal/engine"
+	"spco/internal/matchlist"
+	"spco/internal/mpi"
+	"spco/internal/telemetry"
+)
+
+// shardOpStream builds a deterministic arrive/post/phase interleaving
+// spread across nCtx communicator contexts (1..nCtx). Tags repeat
+// across ranks and contexts, so matching exercises real queue scans;
+// phases land periodically to perturb cache state on every lane.
+func shardOpStream(n, nCtx int) []mpi.WireOp {
+	ops := make([]mpi.WireOp, 0, n)
+	req := uint64(1)
+	for i := 0; len(ops) < n; i++ {
+		ctx := uint16(1 + i%nCtx)
+		switch i % 13 {
+		case 4, 9:
+			ops = append(ops, mpi.WireOp{
+				Kind: mpi.WirePost, Rank: int32(i % 8), Tag: int32(i % 5),
+				Ctx: ctx, Handle: req,
+			})
+			req++
+		case 11:
+			ops = append(ops, mpi.WireOp{Kind: mpi.WirePhase, DurationNS: 2e4})
+		default:
+			ops = append(ops, mpi.WireOp{
+				Kind: mpi.WireArrive, Rank: int32(i % 8), Tag: int32(i % 5),
+				Ctx: ctx, Handle: uint64(i) + 1000,
+			})
+		}
+	}
+	return ops
+}
+
+// TestShardDifferential is the sharding correctness gate: for every
+// match-structure kind, a 4-shard daemon serving an op stream spread
+// over 4 contexts must reply bit-identically to 4 dedicated one-shard
+// daemons each serving one context's substream. An MPI context is a
+// closed matching domain, so partitioning by context may not change a
+// single outcome, handle, or modeled cycle count. The sharded side runs
+// batched (exercising the per-shard run splitting and the ArriveBatch
+// fast path); the dedicated side runs scalar — so the test is also a
+// batch-vs-scalar differential.
+func TestShardDifferential(t *testing.T) {
+	const nCtx = 4
+	kinds := []matchlist.Kind{
+		matchlist.KindBaseline, matchlist.KindLLA, matchlist.KindHashBins,
+		matchlist.KindRankArray, matchlist.KindFourD, matchlist.KindHWOffload,
+		matchlist.KindPerComm,
+	}
+	ops := shardOpStream(520, nCtx)
+
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			ecfg := engine.Config{
+				Profile:        cache.SandyBridge,
+				Kind:           kind,
+				EntriesPerNode: 2,
+				CommSize:       16,
+				Bins:           64,
+			}
+
+			// Sharded run: everything through one batched connection.
+			sharded := make([]mpi.WireReply, 0, len(ops))
+			{
+				srv, _, errc := testServer(t, func(c *Config) {
+					c.Engine = ecfg
+					c.Shards = nCtx
+				})
+				if got := srv.ShardCount(); got != nCtx {
+					t.Fatalf("ShardCount = %d, want %d", got, nCtx)
+				}
+				cl, err := Dial(srv.Addr())
+				if err != nil {
+					t.Fatal(err)
+				}
+				const chunk = 47 // not a divisor: trailing partial batch
+				var reps []mpi.WireReply
+				for i := 0; i < len(ops); i += chunk {
+					j := min(i+chunk, len(ops))
+					reps, err = cl.DoBatch(ops[i:j], reps)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sharded = append(sharded, reps...)
+				}
+				cl.Close()
+				stopAndWait(t, srv, errc)
+			}
+
+			// Dedicated runs: context c's ops — plus every phase, which
+			// perturbs all lanes on the sharded side — scalar, against a
+			// fresh one-shard daemon.
+			streams := make([][]mpi.WireOp, nCtx+1)
+			for _, op := range ops {
+				if op.Kind == mpi.WirePhase {
+					for c := 1; c <= nCtx; c++ {
+						streams[c] = append(streams[c], op)
+					}
+					continue
+				}
+				streams[op.Ctx] = append(streams[op.Ctx], op)
+			}
+			dedicated := make([][]mpi.WireReply, nCtx+1)
+			for c := 1; c <= nCtx; c++ {
+				srv, _, errc := testServer(t, func(cfg *Config) {
+					cfg.Engine = ecfg
+					cfg.Shards = 1
+				})
+				cl, err := Dial(srv.Addr())
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, op := range streams[c] {
+					rep, err := cl.do(op)
+					if err != nil {
+						t.Fatal(err)
+					}
+					dedicated[c] = append(dedicated[c], rep)
+				}
+				cl.Close()
+				stopAndWait(t, srv, errc)
+			}
+
+			// Walk the global stream with one cursor per context.
+			cursor := make([]int, nCtx+1)
+			for i, op := range ops {
+				if op.Kind == mpi.WirePhase {
+					for c := 1; c <= nCtx; c++ {
+						cursor[c]++ // the phase reply is constant; skip it
+					}
+					continue
+				}
+				c := int(op.Ctx)
+				want := dedicated[c][cursor[c]]
+				cursor[c]++
+				if sharded[i] != want {
+					t.Fatalf("op %d (ctx %d, %+v): sharded reply %+v, dedicated %+v",
+						i, c, op, sharded[i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardStatusAndMetrics drives a 4-shard daemon with load spread
+// across 4 contexts and checks the per-lane observability: /status
+// carries one entry per shard with frames on every lane, the Engine
+// aggregate equals the per-shard sums, and /metrics serves the
+// spco_shard_* family.
+func TestShardStatusAndMetrics(t *testing.T) {
+	srv, _, errc := testServer(t, func(c *Config) {
+		c.Shards = 4
+		c.Window = 128
+	})
+
+	res, err := RunLoad(LoadConfig{
+		Addr: srv.Addr(), Conns: 4, Messages: 1200, Ctxs: 4, Batch: 32,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if res.Unmatched != 0 || res.Mismatches != 0 {
+		t.Fatalf("pairing audit failed: %d unmatched, %d mismatched", res.Unmatched, res.Mismatches)
+	}
+
+	resp, err := http.Get("http://" + srv.AdminAddr() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatusReport
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShardCount != 4 || len(st.Shards) != 4 {
+		t.Fatalf("shard_count=%d, %d shard entries, want 4/4", st.ShardCount, len(st.Shards))
+	}
+	if st.Window != 128 {
+		t.Fatalf("window = %d, want 128", st.Window)
+	}
+	var frames, arrivals, posts, cycles uint64
+	for _, sh := range st.Shards {
+		if sh.Frames == 0 {
+			t.Errorf("shard %d served no frames — context spreading missed a lane", sh.Shard)
+		}
+		frames += sh.Frames
+		arrivals += sh.Arrivals
+		posts += sh.Posts
+		cycles += sh.Cycles
+	}
+	if arrivals != st.Engine.Arrivals {
+		t.Errorf("shard arrivals sum %d != aggregate %d", arrivals, st.Engine.Arrivals)
+	}
+	if posts != st.Engine.Posts {
+		t.Errorf("shard posts sum %d != aggregate %d", posts, st.Engine.Posts)
+	}
+	if cycles != st.Engine.Cycles {
+		t.Errorf("shard cycles sum %d != aggregate %d", cycles, st.Engine.Cycles)
+	}
+	if frames == 0 {
+		t.Fatal("no frames recorded on any shard")
+	}
+
+	resp, err = http.Get("http://" + srv.AdminAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`spco_shard_frames_total{shard="0"}`,
+		`spco_shard_frames_total{shard="3"}`,
+		"spco_shard_lock_wait_seconds_total",
+		`spco_shard_queue_depth{queue="prq",shard="2"}`,
+		"spco_daemon_credit_stalls_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics lacks %s", want)
+		}
+	}
+	stopAndWait(t, srv, errc)
+}
+
+// TestCreditWindow checks the backpressure window end to end: a frame
+// exceeding the window earns WireBusy for the overflow without those
+// ops reaching any engine, every reply advertises the window, and a
+// client that has learned the window chunks its batches and never
+// stalls again.
+func TestCreditWindow(t *testing.T) {
+	srv, _, errc := testServer(t, func(c *Config) { c.Window = 8 })
+
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// A fresh client knows no window yet: its first 20-op frame goes out
+	// whole. The server applies 8 and refuses 12 unapplied.
+	ops := make([]mpi.WireOp, 20)
+	for i := range ops {
+		ops[i] = mpi.WireOp{Kind: mpi.WirePing}
+	}
+	reps, err := cl.DoBatch(ops, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 20 {
+		t.Fatalf("got %d replies, want 20", len(reps))
+	}
+	for i, rep := range reps {
+		want := mpi.WireOK
+		if i >= 8 {
+			want = mpi.WireBusy
+		}
+		if rep.Status != want {
+			t.Fatalf("reply %d status %d, want %d", i, rep.Status, want)
+		}
+		if rep.Credits != 8 {
+			t.Fatalf("reply %d advertises %d credits, want 8", i, rep.Credits)
+		}
+	}
+	if got := cl.Credits(); got != 8 {
+		t.Fatalf("client learned %d credits, want 8", got)
+	}
+	if st := srv.Stats(); st.CreditStalls != 12 {
+		t.Fatalf("CreditStalls = %d, want 12", st.CreditStalls)
+	}
+
+	// Knowing the window, the same 20 ops chunk into 8+8+4: no stalls.
+	reps, err = cl.DoBatch(ops, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reps {
+		if rep.Status != mpi.WireOK {
+			t.Fatalf("post-learning reply %d status %d, want OK", i, rep.Status)
+		}
+	}
+	if st := srv.Stats(); st.CreditStalls != 12 {
+		t.Fatalf("CreditStalls grew to %d after the client learned the window", st.CreditStalls)
+	}
+
+	// Scalar replies advertise too.
+	rep, err := cl.Arrive(1, 2, 1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Credits != 8 {
+		t.Fatalf("scalar reply advertises %d credits, want 8", rep.Credits)
+	}
+	stopAndWait(t, srv, errc)
+}
+
+// TestServeLoadBatchedWindowed runs the audited batched load generator
+// against a sharded, windowed daemon: the opening ping means every
+// frame is clamped from the start, so the pairing audit holds with zero
+// credit stalls.
+func TestServeLoadBatchedWindowed(t *testing.T) {
+	srv, _, errc := testServer(t, func(c *Config) {
+		c.Shards = 3
+		c.Window = 16
+	})
+
+	res, err := RunLoad(LoadConfig{
+		Addr: srv.Addr(), Conns: 3, Messages: 900, Ctxs: 3, Batch: 64,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if res.Unmatched != 0 || res.Mismatches != 0 {
+		t.Fatalf("pairing audit failed: %d unmatched, %d mismatched", res.Unmatched, res.Mismatches)
+	}
+	if got := res.Matched(); got != 900 {
+		t.Fatalf("matched %d pairs, want 900", got)
+	}
+	if st := srv.Stats(); st.CreditStalls != 0 {
+		t.Fatalf("well-behaved load stalled %d times on credits", st.CreditStalls)
+	}
+	stopAndWait(t, srv, errc)
+}
+
+// TestConfigValidation: shard counts and windows outside their ranges
+// fail fast in New.
+func TestConfigValidation(t *testing.T) {
+	base := func() Config {
+		return Config{
+			Engine: engine.Config{
+				Profile:        cache.SandyBridge,
+				Kind:           matchlist.KindLLA,
+				EntriesPerNode: 2,
+			},
+			Collector: telemetry.NewCollector(nil),
+			PerfOut:   io.Discard,
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"negative shards", func(c *Config) { c.Shards = -1 }},
+		{"shards over cap", func(c *Config) { c.Shards = 257 }},
+		{"negative window", func(c *Config) { c.Window = -1 }},
+		{"window over credit range", func(c *Config) { c.Window = 65536 }},
+	} {
+		cfg := base()
+		tc.mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: New accepted %+v", tc.name, cfg)
+		}
+	}
+}
+
+// recordConn wraps a net.Conn and records the last read deadline set.
+type recordConn struct {
+	net.Conn
+	mu       sync.Mutex
+	deadline time.Time
+}
+
+func (c *recordConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadline = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *recordConn) readDeadline() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deadline
+}
+
+// TestLateRegisterGetsDrainDeadline is the regression test for the
+// drain-deadline race: a connection accepted before the drain began but
+// registered after beginDrain's sweep must still pick up the drain
+// deadline (before the fix it never got one and could hold the drain
+// open until forced shutdown).
+func TestLateRegisterGetsDrainDeadline(t *testing.T) {
+	cfg := Config{
+		Engine: engine.Config{
+			Profile:        cache.SandyBridge,
+			Kind:           matchlist.KindLLA,
+			EntriesPerNode: 2,
+		},
+		Collector:    telemetry.NewCollector(nil),
+		DrainTimeout: time.Minute,
+		PerfOut:      io.Discard,
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.adminLn.Close()
+
+	// The drain begins with an empty conn table: the sweep sees nobody.
+	srv.beginDrain()
+
+	// A connection that cleared acceptLoop's draining check just before
+	// the flag flipped now registers. It must come out bounded.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := &recordConn{Conn: a}
+	srv.register(c)
+
+	got := c.readDeadline()
+	if got.IsZero() {
+		t.Fatal("late-registered connection got no drain deadline")
+	}
+	if !got.Equal(srv.drainDeadline) {
+		t.Fatalf("deadline %v != drain deadline %v", got, srv.drainDeadline)
+	}
+}
+
+// TestActiveGaugeSettles is the regression test for the
+// connections-active gauge race: after every client disconnects, the
+// scraped spco_daemon_connections_active must settle to exactly 0
+// (before the fix, interleaved Set(Load()) pairs could publish stale
+// counts that never corrected).
+func TestActiveGaugeSettles(t *testing.T) {
+	srv, _, errc := testServer(t, nil)
+
+	if _, err := RunLoad(LoadConfig{Addr: srv.Addr(), Conns: 6, Messages: 600}); err != nil {
+		t.Fatal(err)
+	}
+
+	scrape := func() string {
+		resp, err := http.Get("http://" + srv.AdminAddr() + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		for _, line := range strings.Split(string(body), "\n") {
+			if strings.HasPrefix(line, "spco_daemon_connections_active ") {
+				return strings.TrimPrefix(line, "spco_daemon_connections_active ")
+			}
+		}
+		return ""
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v := scrape(); v == "0" {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("connections_active stuck at %q after all clients closed", v)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.active.Load(); got != 0 {
+		t.Fatalf("active count = %d, want 0", got)
+	}
+	stopAndWait(t, srv, errc)
+}
+
+// TestTraceClockSetOnce is the regression test for the trace-clock
+// reset: Run must not restart the timeline New established, or flight-
+// recorder events from traffic served between New and Run (exactly what
+// tests and embedders do) would jump backwards.
+func TestTraceClockSetOnce(t *testing.T) {
+	cfg := Config{
+		Engine: engine.Config{
+			Profile:        cache.SandyBridge,
+			Kind:           matchlist.KindLLA,
+			EntriesPerNode: 2,
+		},
+		Collector: telemetry.NewCollector(nil),
+		PerfOut:   io.Discard,
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := srv.start
+	if started.IsZero() {
+		t.Fatal("New left the trace clock unset")
+	}
+
+	// Mint trace events on the New-established clock, then let real time
+	// pass before Run: a Run that reset the clock would rewind hostNS
+	// below everything already recorded.
+	srv.tr.Adopt(ctrace.Context{Trace: 77}, 0, "pre-run", srv.hostNS())
+	preRunNS := srv.hostNS()
+	time.Sleep(20 * time.Millisecond)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Run(nil) }()
+	waitReady(t, srv)
+
+	if !srv.start.Equal(started) {
+		t.Fatalf("Run reset the trace clock: %v -> %v", started, srv.start)
+	}
+	if now := srv.hostNS(); now <= preRunNS {
+		t.Fatalf("trace clock went backwards across Run: %v -> %v", preRunNS, now)
+	}
+	srv.tr.Finish(77, srv.hostNS(), "done")
+	stopAndWait(t, srv, errc)
+}

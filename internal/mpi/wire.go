@@ -3,6 +3,7 @@ package mpi
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -120,13 +121,24 @@ type WireReply struct {
 	Cycles  uint64 // modeled engine cycles charged to the operation
 	PRQLen  uint32 // WireStat only
 	UMQLen  uint32 // WireStat only
+
+	// Credits advertises the server's per-connection backpressure
+	// window: the number of operations the client may have in flight
+	// (sent but unreplied) on this connection. Zero means no window is
+	// enforced — the value servers without windowing have always written
+	// into these (previously reserved) bytes, so the field needs no
+	// version bump. An op the server refuses for exceeding the window
+	// earns a WireBusy reply; the client retransmits after draining its
+	// pipeline, as it does for a bounded-UMQ refusal.
+	Credits uint16
 }
 
 // Frame sizes (fixed): ops are 43 bytes (v2: +16 for trace context),
-// replies 29.
+// replies 29 (the trailing 2 bytes, reserved until the backpressure
+// window, carry Credits).
 const (
 	wireOpSize    = 1 + 4 + 4 + 2 + 8 + 8 + 8 + 8
-	wireReplySize = 1 + 1 + 1 + 8 + 8 + 4 + 4 + 2 // +2 reserved
+	wireReplySize = 1 + 1 + 1 + 8 + 8 + 4 + 4 + 2
 )
 
 // WriteWireOp writes one request frame.
@@ -176,6 +188,7 @@ func WriteWireReply(w io.Writer, rep WireReply) error {
 	binary.BigEndian.PutUint64(b[11:19], rep.Cycles)
 	binary.BigEndian.PutUint32(b[19:23], rep.PRQLen)
 	binary.BigEndian.PutUint32(b[23:27], rep.UMQLen)
+	binary.BigEndian.PutUint16(b[27:29], rep.Credits)
 	_, err := w.Write(b[:])
 	return err
 }
@@ -194,12 +207,22 @@ func ReadWireReply(r io.Reader) (WireReply, error) {
 		Cycles:  binary.BigEndian.Uint64(b[11:19]),
 		PRQLen:  binary.BigEndian.Uint32(b[19:23]),
 		UMQLen:  binary.BigEndian.Uint32(b[23:27]),
+		Credits: binary.BigEndian.Uint16(b[27:29]),
 	}, nil
 }
 
 // wireBatchHeaderSize is the batch frame header: the WireBatch marker
 // plus a big-endian uint32 op count.
 const wireBatchHeaderSize = 1 + 4
+
+// ErrBatchTruncated marks a batch frame that announced N ops but whose
+// payload (or header) ended early. Distinguishing it from a plain EOF
+// matters to the server: a connection that closes *between* frames is a
+// clean departure, but one that dies *inside* a frame it promised is a
+// protocol error the server answers with a single WireErr reply before
+// closing. errors.Is(err, io.ErrUnexpectedEOF) still holds on the
+// wrapped error.
+var ErrBatchTruncated = errors.New("mpi: batch frame truncated")
 
 // WriteWireBatch writes one batch frame: header, then len(ops) op
 // frames back to back. The caller still owns flushing.
@@ -240,7 +263,7 @@ func ReadWireFrame(br *bufio.Reader, buf []WireOp) ([]WireOp, bool, error) {
 	}
 	var h [wireBatchHeaderSize]byte
 	if _, err := io.ReadFull(br, h[:]); err != nil {
-		return buf, true, err
+		return buf, true, wrapBatchEOF(err)
 	}
 	n := binary.BigEndian.Uint32(h[1:5])
 	if n == 0 || n > MaxWireBatch {
@@ -249,11 +272,21 @@ func ReadWireFrame(br *bufio.Reader, buf []WireOp) ([]WireOp, bool, error) {
 	for i := uint32(0); i < n; i++ {
 		op, err := ReadWireOp(br)
 		if err != nil {
-			return buf, true, err
+			return buf, true, wrapBatchEOF(err)
 		}
 		buf = append(buf, op)
 	}
 	return buf, true, nil
+}
+
+// wrapBatchEOF tags an EOF seen mid-batch as ErrBatchTruncated: the
+// frame header promised more bytes than the stream delivered. Other
+// errors (bad op kind, I/O faults) pass through unchanged.
+func wrapBatchEOF(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %w", ErrBatchTruncated, io.ErrUnexpectedEOF)
+	}
+	return err
 }
 
 // WriteWireHello sends the handshake (client side, and the server's

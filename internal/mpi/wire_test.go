@@ -3,6 +3,8 @@ package mpi
 import (
 	"bufio"
 	"bytes"
+	"errors"
+	"io"
 	"math"
 	"testing"
 )
@@ -40,6 +42,8 @@ func TestWireReplyRoundTrip(t *testing.T) {
 		{Kind: WireArrive, Status: WireNack},
 		{Kind: WirePost, Status: WireOK, Outcome: 1, Handle: 3, Cycles: 999},
 		{Kind: WireStat, Status: WireOK, PRQLen: 17, UMQLen: 4},
+		{Kind: WireArrive, Status: WireOK, Credits: 1},
+		{Kind: WireArrive, Status: WireBusy, Credits: 65535},
 	}
 	var buf bytes.Buffer
 	for _, rep := range reps {
@@ -153,5 +157,91 @@ func TestWireBatchRejectsBadCounts(t *testing.T) {
 	br = bufio.NewReader(bytes.NewReader([]byte{WireBatch, 0xFF, 0xFF, 0xFF, 0xFF}))
 	if _, _, err := ReadWireFrame(br, nil); err == nil {
 		t.Fatal("accepted oversize batch header")
+	}
+}
+
+// TestWireReplyCreditsBackCompat: a pre-window reply (the trailing two
+// bytes zeroed, as old servers always wrote) decodes with Credits 0 —
+// the field rode in reserved bytes, so no version bump was needed.
+func TestWireReplyCreditsBackCompat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWireReply(&buf, WireReply{Kind: WirePing, Status: WireOK}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if len(b) != wireReplySize {
+		t.Fatalf("reply frame is %d bytes, want %d", len(b), wireReplySize)
+	}
+	if b[27] != 0 || b[28] != 0 {
+		t.Fatalf("windowless reply wrote nonzero credit bytes: % x", b[27:29])
+	}
+	rep, err := ReadWireReply(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Credits != 0 {
+		t.Fatalf("Credits = %d, want 0", rep.Credits)
+	}
+}
+
+// TestWireBatchTruncation: a batch frame that promises more ops than
+// the stream delivers must surface ErrBatchTruncated (and still satisfy
+// errors.Is(err, io.ErrUnexpectedEOF)), whether the cut lands in the
+// header or mid-payload. A truncation is how the server tells a
+// malformed frame (one WireErr reply, then close) from a connection
+// that departed cleanly between frames.
+func TestWireBatchTruncation(t *testing.T) {
+	full := func(ops []WireOp) []byte {
+		var buf bytes.Buffer
+		if err := WriteWireBatch(&buf, ops); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ops := []WireOp{
+		{Kind: WireArrive, Rank: 1, Tag: 2, Ctx: 1, Handle: 3},
+		{Kind: WirePost, Rank: 1, Tag: 2, Ctx: 1, Handle: 3},
+		{Kind: WirePing},
+	}
+	frame := full(ops)
+	cuts := []struct {
+		name string
+		n    int
+	}{
+		{"mid-header", 3},
+		{"payload boundary", wireBatchHeaderSize + wireOpSize},
+		{"mid-op", wireBatchHeaderSize + wireOpSize + 7},
+		{"last byte short", len(frame) - 1},
+	}
+	for _, cut := range cuts {
+		br := bufio.NewReader(bytes.NewReader(frame[:cut.n]))
+		_, batch, err := ReadWireFrame(br, nil)
+		if !batch {
+			t.Errorf("%s: frame not flagged as batch", cut.name)
+		}
+		if !errors.Is(err, ErrBatchTruncated) {
+			t.Errorf("%s: err = %v, want ErrBatchTruncated", cut.name, err)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("%s: err = %v does not unwrap to io.ErrUnexpectedEOF", cut.name, err)
+		}
+	}
+
+	// A bad op kind mid-batch is a decode error but NOT a truncation:
+	// the bytes were all there, they were just wrong.
+	bad := full(ops)
+	bad[wireBatchHeaderSize+wireOpSize] = 99 // second op's kind byte
+	_, _, err := ReadWireFrame(bufio.NewReader(bytes.NewReader(bad)), nil)
+	if err == nil {
+		t.Fatal("accepted bad op kind mid-batch")
+	}
+	if errors.Is(err, ErrBatchTruncated) {
+		t.Fatalf("bad-kind error misclassified as truncation: %v", err)
+	}
+
+	// A clean EOF before any frame byte is not a truncation either.
+	_, _, err = ReadWireFrame(bufio.NewReader(bytes.NewReader(nil)), nil)
+	if !errors.Is(err, io.EOF) || errors.Is(err, ErrBatchTruncated) {
+		t.Fatalf("empty stream: err = %v, want plain io.EOF", err)
 	}
 }

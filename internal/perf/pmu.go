@@ -96,6 +96,11 @@ func New(opts Options) *PMU {
 // Label returns the run label.
 func (p *PMU) Label() string { return p.opts.Label }
 
+// Options returns the options the PMU was built with, so a caller that
+// fans one configured PMU out into several lanes (the sharded daemon)
+// can clone the configuration with only the label changed.
+func (p *PMU) Options() Options { return p.opts }
+
 // SetSegFunc installs the segment reader the profiler samples for its
 // leaf frame (the engine wires the accessor's node index here).
 func (p *PMU) SetSegFunc(f func() int) { p.seg = f }
