@@ -123,6 +123,30 @@ shard-gate:
 	go test ./internal/mpi/ -run 'Wire'
 	SPCO_TEST_SHARDS=4 go test -race ./internal/daemon/
 
+# recovery-gate is the crash-safety CI gate: the snapshot/journal codec
+# and backoff tests, the daemon recovery suite (journal-replay
+# differential across all matchlist kinds, snapshot+tail recovery,
+# session resume across a restart, resilient-client reconnect,
+# snapshot-vs-load race, watchdog, slow-loris), short fuzz passes over
+# the wire-frame and snapshot/journal decoders, and a real
+# kill-and-restart storm: spco-chaos -crash SIGKILLs a live spco-daemon
+# subprocess 3 times mid-load, restarts it with -recover each time, and
+# audits exactly-once delivery and counter conservation, with the
+# daemon sharded 4 ways.
+RECOVERY_KILLS ?= 3
+.PHONY: recovery-gate
+recovery-gate:
+	go test ./internal/recov/ ./internal/fault/
+	go test ./internal/daemon/ -run 'TestRecovery|TestSessionResume|TestResilient|TestSnapshotConcurrent|TestWatchdog|TestAdminSlowLoris|TestCountersRoundTrip'
+	go test ./internal/mpi/ -run '^$$' -fuzz FuzzReadWireFrame -fuzztime 10s
+	go test ./internal/mpi/ -run '^$$' -fuzz FuzzReadWireBatch -fuzztime 10s
+	go test ./internal/recov/ -run '^$$' -fuzz FuzzDecodeSnapshot -fuzztime 10s
+	go test ./internal/recov/ -run '^$$' -fuzz FuzzJournalScan -fuzztime 10s
+	mkdir -p $(PROFDIR)
+	go build -o $(PROFDIR)/spco-daemon ./cmd/spco-daemon
+	go run ./cmd/spco-chaos -crash -daemon-bin $(PROFDIR)/spco-daemon \
+		-kills $(RECOVERY_KILLS) -shards 4 -fault-seed 1
+
 .PHONY: fmt
 fmt:
 	gofmt -l -w .

@@ -34,6 +34,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 
 	"spco"
 	"spco/internal/ctrace"
@@ -65,6 +67,13 @@ func main() {
 		daemonAdmin = flag.String("daemon-admin", "", "the daemon's admin address (enables the counter-conservation audit)")
 		conns       = flag.Int("conns", 4, "concurrent connections in -daemon mode")
 
+		crash      = flag.Bool("crash", false, "kill-and-restart storm: run a real spco-daemon subprocess with -journal, SIGKILL it mid-load, restart with -recover, audit exactly-once")
+		daemonBin  = flag.String("daemon-bin", "", "spco-daemon binary for -crash (default: next to this binary, then $PATH)")
+		kills      = flag.Int("kills", 3, "SIGKILL/restart cycles in -crash mode")
+		crashDir   = flag.String("crash-dir", "", "scratch directory for -crash journals (default: a temp dir)")
+		crashPairs = flag.Int("crash-pairs", 400, "arrive/post pairs per kill cycle in -crash mode")
+		shards     = flag.Int("shards", 2, "daemon shard count in -crash mode")
+
 		metricsOut = flag.String("metrics-out", "", "write the metrics registry here (.prom/.txt, .jsonl, .csv)")
 	)
 	var fcli fault.CLI
@@ -82,6 +91,13 @@ func main() {
 		if fcli.Drop == 0 && fcli.Dup == 0 && fcli.Reorder == 0 && fcli.Corrupt == 0 && fcli.BurstProb == 0 {
 			fcli.Drop, fcli.Dup, fcli.Reorder = 0.01, 0.005, 0.02
 		}
+	}
+
+	if *crash {
+		if err := runCrashMode(*daemonBin, *crashDir, *kills, *crashPairs, *shards, fcli.Seed); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *daemonAddr != "" {
@@ -191,6 +207,57 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runCrashMode runs the kill-and-restart storm against a real
+// spco-daemon subprocess and prints the recovery audit verdict.
+func runCrashMode(bin, dir string, kills, pairs, shards int, seed uint64) error {
+	if bin == "" {
+		self, err := os.Executable()
+		if err == nil {
+			sibling := filepath.Join(filepath.Dir(self), "spco-daemon")
+			if _, serr := os.Stat(sibling); serr == nil {
+				bin = sibling
+			}
+		}
+		if bin == "" {
+			found, err := exec.LookPath("spco-daemon")
+			if err != nil {
+				return fmt.Errorf("-crash needs a daemon binary: none next to spco-chaos and none on $PATH (build one or pass -daemon-bin)")
+			}
+			bin = found
+		}
+	}
+	fmt.Printf("# crash daemon-bin=%s kills=%d pairs=%d shards=%d seed=%d\n", bin, kills, pairs, shards, seed)
+	res, err := workload.RunCrashChaos(workload.CrashChaosConfig{
+		DaemonBin: bin,
+		Dir:       dir,
+		Kills:     kills,
+		Pairs:     pairs,
+		Shards:    shards,
+		Seed:      seed,
+		Logf: func(format string, a ...any) {
+			fmt.Printf(format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	led := res.Ledger
+	verdict := "PASS"
+	if !res.Passed() {
+		verdict = fmt.Sprintf("FAIL (%d violations)", len(res.Violations))
+	}
+	fmt.Printf("%-10s %9d pairs %7d kills %7d resumes %7d resent %9d replayed %12.3f  %s\n",
+		"crash", led.Pairs, led.Kills, led.Reconnects, led.Resent,
+		res.Status.Recovery.ReplayedOps, res.Elapsed.Seconds()*1e3, verdict)
+	for _, v := range res.Violations {
+		fmt.Printf("  !! %s\n", v)
+	}
+	if !res.Passed() {
+		os.Exit(1)
+	}
+	return nil
 }
 
 // runDaemonMode drives a live daemon and prints the audit verdict.

@@ -89,21 +89,27 @@ func runServe(args []string) error {
 		shards = fs.Int("shards", 1, "per-context engine lanes (ctx -> shard affinity)")
 		window = fs.Int("window", 0, "per-connection credit window in ops (0: unlimited)")
 
-		arch    = fs.String("arch", "sandybridge", "architecture profile (sandybridge, broadwell, nehalem, knl)")
-		list    = fs.String("list", "lla", "match structure (baseline, lla, hashbins, rankarray, fourd, hwoffload, percomm)")
-		k       = fs.Int("k", 2, "LLA entries per node")
-		comm    = fs.Int("comm", 64, "communicator size for bucketed comparators")
-		bins    = fs.Int("bins", 256, "bins for the hash-bin comparator")
-		pool    = fs.Bool("pool", false, "recycle match-list nodes (modified-LLA allocator)")
-		hot     = fs.Bool("hot", false, "attach the cache heater (semi-permanent occupancy)")
-		hotNS   = fs.Float64("hot-period", 0, "heater sweep period in ns (0: profile default)")
-		netc    = fs.Bool("netcache", false, "attach the dedicated network-data cache")
-		resNS   = fs.Uint64("residency-interval", 200_000, "residency sampling cadence in simulated cycles")
-		drain   = fs.Duration("drain-timeout", daemon.DefaultDrainTimeout, "graceful-drain bound after the first signal")
-		mOut    = fs.String("metrics-out", "", "flush the registry here on shutdown (.prom/.txt, .jsonl, .csv)")
-		sOut    = fs.String("series-out", "", "flush the sampler time series here on shutdown (.csv, .jsonl)")
-		quiet   = fs.Bool("q", false, "suppress serving logs")
-		perfOut = fs.String("perf-out", "-", "final perf-stat destination (-: stdout, empty: discard)")
+		arch  = fs.String("arch", "sandybridge", "architecture profile (sandybridge, broadwell, nehalem, knl)")
+		list  = fs.String("list", "lla", "match structure (baseline, lla, hashbins, rankarray, fourd, hwoffload, percomm)")
+		k     = fs.Int("k", 2, "LLA entries per node")
+		comm  = fs.Int("comm", 64, "communicator size for bucketed comparators")
+		bins  = fs.Int("bins", 256, "bins for the hash-bin comparator")
+		pool  = fs.Bool("pool", false, "recycle match-list nodes (modified-LLA allocator)")
+		hot   = fs.Bool("hot", false, "attach the cache heater (semi-permanent occupancy)")
+		hotNS = fs.Float64("hot-period", 0, "heater sweep period in ns (0: profile default)")
+		netc  = fs.Bool("netcache", false, "attach the dedicated network-data cache")
+		resNS = fs.Uint64("residency-interval", 200_000, "residency sampling cadence in simulated cycles")
+		drain = fs.Duration("drain-timeout", daemon.DefaultDrainTimeout, "graceful-drain bound after the first signal")
+
+		journal   = fs.String("journal", "", "crash-recovery directory (per-shard op journals + snapshot); empty: journaling off")
+		recover   = fs.Bool("recover", false, "rebuild engine state from -journal before serving (snapshot restore + journal replay)")
+		snapEvery = fs.Duration("snapshot-every", 0, "periodic snapshot cadence (0: none; requires -journal)")
+		jsync     = fs.Int("journal-sync", 0, "fsync journals every N records (0: default 64)")
+		addrFile  = fs.String("addr-file", "", "write the bound listen and admin addresses here once ready (one per line)")
+		mOut      = fs.String("metrics-out", "", "flush the registry here on shutdown (.prom/.txt, .jsonl, .csv)")
+		sOut      = fs.String("series-out", "", "flush the sampler time series here on shutdown (.csv, .jsonl)")
+		quiet     = fs.Bool("q", false, "suppress serving logs")
+		perfOut   = fs.String("perf-out", "-", "final perf-stat destination (-: stdout, empty: discard)")
 	)
 	var fcli fault.CLI
 	fcli.Register(fs)
@@ -117,9 +123,18 @@ func runServe(args []string) error {
 	}
 	cfg.ResidencyInterval = *resNS
 
-	srv, err := newServer(cfg, *listen, *admin, *shards, *window, fcli, tcli, *drain, *mOut, *sOut, *perfOut, *quiet)
+	rec := recoveryOpts{dir: *journal, recover: *recover, snapEvery: *snapEvery, syncEvery: *jsync}
+	srv, err := newServer(cfg, *listen, *admin, *shards, *window, fcli, tcli, *drain, *mOut, *sOut, *perfOut, *quiet, rec)
 	if err != nil {
 		return err
+	}
+	if *addrFile != "" {
+		// The chaos harness binds with :0 and learns the real ports from
+		// this file; restarts then pin the same addresses.
+		addrs := srv.Addr() + "\n" + srv.AdminAddr() + "\n"
+		if err := os.WriteFile(*addrFile, []byte(addrs), 0o644); err != nil {
+			return err
+		}
 	}
 
 	sig := make(chan os.Signal, 2)
@@ -155,12 +170,20 @@ func engineConfig(arch, list string, k, comm, bins int, pool, hot bool,
 	return cfg, nil
 }
 
+// recoveryOpts carries the serve-mode crash-recovery flags.
+type recoveryOpts struct {
+	dir       string
+	recover   bool
+	snapEvery time.Duration
+	syncEvery int
+}
+
 // newServer wires the collector, PMU, flight recorder, and daemon
 // together. The PMU and collector are attached for the life of the
 // process: /metrics scrapes the collector live, /debug/profile bundles
 // the PMU's artifacts, /debug/trace dumps the flight recorder.
 func newServer(ecfg engine.Config, listen, admin string, shards, window int, fcli fault.CLI, tcli ctrace.CLI,
-	drain time.Duration, mOut, sOut, perfOut string, quiet bool) (*daemon.Server, error) {
+	drain time.Duration, mOut, sOut, perfOut string, quiet bool, rec recoveryOpts) (*daemon.Server, error) {
 	coll := telemetry.NewCollector(telemetry.Labels{"cmd": "daemon"})
 	pmu := perf.New(perf.Options{
 		Label:          "spco-daemon",
@@ -189,6 +212,11 @@ func newServer(ecfg engine.Config, listen, admin string, shards, window int, fcl
 			TriggerLatencyNS: tcli.TriggerNS,
 		}),
 		TraceOut: tcli.Out,
+
+		JournalDir:    rec.dir,
+		Recover:       rec.recover,
+		SnapshotEvery: rec.snapEvery,
+		JournalSync:   rec.syncEvery,
 	}
 	switch perfOut {
 	case "-":

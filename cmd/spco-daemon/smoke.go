@@ -52,7 +52,7 @@ func runSmoke(args []string) error {
 	srv, err := newServer(ecfg, "127.0.0.1:0", "127.0.0.1:0", *shards, *window,
 		fault.CLI{Drop: 0.01, Dup: 0.005, Corrupt: 0.005, Seed: 1},
 		ctrace.CLI{KeepAll: true},
-		daemon.DefaultDrainTimeout, metricsOut, "", "", true)
+		daemon.DefaultDrainTimeout, metricsOut, "", "", true, recoveryOpts{})
 	if err != nil {
 		return err
 	}

@@ -57,6 +57,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "draining")
 		return
 	}
+	if n := s.wedgedShards(); n > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "%d shard(s) wedged\n", n)
+		return
+	}
 	fmt.Fprintln(w, "ready")
 }
 
@@ -82,13 +87,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // one shard lock at a time.
 func (s *Server) publishAll() {
 	for _, sh := range s.shards {
-		sh.lock()
+		// A wedged lane's lock may never come back; scrape around it
+		// rather than hanging the admin plane behind it.
+		if !sh.tryLockFor(adminLockPatience) {
+			continue
+		}
 		sh.en.PublishTelemetry()
 		sh.refreshGaugesLocked()
 		s.publishResidencyLocked(sh)
 		sh.unlock()
 	}
 }
+
+// adminLockPatience bounds how long an admin-plane request waits for
+// any one shard lock before reporting around it.
+const adminLockPatience = 250 * time.Millisecond
 
 // publishResidencyLocked mirrors one shard's per-owner cache-residency
 // fractions into registry gauges, so a live /metrics scrape carries
@@ -147,6 +160,7 @@ type StatusEngine struct {
 type StatusShard struct {
 	Shard           int     `json:"shard"`
 	Frames          uint64  `json:"frames"`
+	Wedged          bool    `json:"wedged"`
 	LockWaitSeconds float64 `json:"lock_wait_seconds"`
 	Arrivals        uint64  `json:"arrivals"`
 	Posts           uint64  `json:"posts"`
@@ -161,6 +175,30 @@ type StatusShard struct {
 	PoolMisses      uint64  `json:"pool_misses"`
 	PoolPuts        uint64  `json:"pool_puts"`
 	PoolSize        int     `json:"pool_size"`
+}
+
+// StatusRecovery is the crash-recovery half of /status.
+type StatusRecovery struct {
+	// Journaling reports whether the recovery spine is active this boot.
+	Journaling bool `json:"journaling"`
+	// Recovered reports whether this boot restored state (snapshot
+	// and/or journal replay ran).
+	Recovered bool `json:"recovered"`
+	// ReplayedOps counts journal records replayed into the engines at
+	// boot.
+	ReplayedOps uint64 `json:"replayed_ops"`
+	// Snapshots counts snapshots written this boot; LastSnapshotUnix is
+	// the latest one's wall time (0: none yet).
+	Snapshots        uint64 `json:"snapshots"`
+	LastSnapshotUnix int64  `json:"last_snapshot_unix"`
+	// SessionsActive is the live session count; SessionsResumed counts
+	// resume handshakes served; DupReplays counts duplicate sequenced
+	// ops answered from session rings instead of the engines.
+	SessionsActive  int    `json:"sessions_active"`
+	SessionsResumed uint64 `json:"sessions_resumed"`
+	DupReplays      uint64 `json:"dup_replays"`
+	// WedgedShards counts lanes currently flagged by the watchdog.
+	WedgedShards int `json:"wedged_shards"`
 }
 
 // StatusTrace is the flight-recorder half of /status.
@@ -190,6 +228,7 @@ type StatusReport struct {
 	Engine            StatusEngine      `json:"engine"`
 	Shards            []StatusShard     `json:"shards"`
 	Residency         []StatusResidency `json:"residency"`
+	Recovery          StatusRecovery    `json:"recovery"`
 	Trace             StatusTrace       `json:"trace"`
 }
 
@@ -219,6 +258,17 @@ func (s *Server) Status() StatusReport {
 		ShardCount:        len(s.shards),
 		Window:            s.cfg.Window,
 		CreditStalls:      st.CreditStalls,
+		Recovery: StatusRecovery{
+			Journaling:       s.journaling(),
+			Recovered:        s.recRecovered.Load(),
+			ReplayedOps:      s.recReplayed.Load(),
+			Snapshots:        s.recSnapshots.Load(),
+			LastSnapshotUnix: s.recLastSnap.Load() / 1e9,
+			SessionsActive:   s.sessions.count(),
+			SessionsResumed:  s.recResumed.Load(),
+			DupReplays:       s.recReplays.Load(),
+			WedgedShards:     s.wedgedShards(),
+		},
 	}
 	ecfg := s.shards[0].en.Config()
 	rep.Engine = StatusEngine{
@@ -229,7 +279,17 @@ func (s *Server) Status() StatusReport {
 		Overflow: ecfg.Overflow.String(),
 	}
 	for _, sh := range s.shards {
-		sh.lock()
+		if !sh.tryLockFor(adminLockPatience) {
+			// The lane is stuck (likely wedged): report its identity and
+			// flag without the engine counters the lock protects.
+			rep.Shards = append(rep.Shards, StatusShard{
+				Shard:           sh.idx,
+				Frames:          sh.nFrames.Load(),
+				Wedged:          sh.wedged.Load(),
+				LockWaitSeconds: float64(sh.lockWaitNS.Load()) / 1e9,
+			})
+			continue
+		}
 		es := sh.en.Stats()
 		prq, umq := sh.en.PRQLen(), sh.en.UMQLen()
 		ps := sh.en.PoolStats()
@@ -262,6 +322,7 @@ func (s *Server) Status() StatusReport {
 		rep.Shards = append(rep.Shards, StatusShard{
 			Shard:           sh.idx,
 			Frames:          sh.nFrames.Load(),
+			Wedged:          sh.wedged.Load(),
 			LockWaitSeconds: float64(sh.lockWaitNS.Load()) / 1e9,
 			Arrivals:        es.Arrivals,
 			Posts:           es.Posts,

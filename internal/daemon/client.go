@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -27,29 +28,92 @@ type Client struct {
 	// the tighter of the two so a well-behaved client never stalls.
 	credits uint16
 	window  uint16
+
+	// session and highWater come from the welcome frame: the server-
+	// minted session id (0: ephemeral) and, on resume, the highest
+	// sequenced op the server has applied.
+	session   uint64
+	highWater uint64
 }
 
-// Dial connects and completes the protocol handshake.
+// Dial connects and completes the protocol handshake as an ephemeral
+// connection (no session, no dedup state — the pre-v4 behaviour).
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	c, _, err := dial(addr, mpi.WireHello{Mode: mpi.WireSessEphemeral})
+	return c, err
+}
+
+// DialSession connects and mints a new resumable session; the
+// server's id is available via Session. Sequenced ops (nonzero Seq)
+// get their replies retained server-side for resume-time dedup.
+func DialSession(addr string) (*Client, error) {
+	c, w, err := dial(addr, mpi.WireHello{Mode: mpi.WireSessNew})
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
-	if err := mpi.WriteWireHello(c.bw); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	if err := c.bw.Flush(); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	if err := mpi.ReadWireHello(c.br); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("daemon: handshake: %w", err)
+	if w.Status != mpi.WireWelcomeNew {
+		c.Close()
+		return nil, fmt.Errorf("daemon: handshake: server answered status %d to a new-session hello", w.Status)
 	}
 	return c, nil
 }
+
+// DialResume reattaches to an existing session after a disconnect or
+// a daemon restart. lastAcked is the highest seq whose reply this
+// client has seen; the server's HighWater then tells the caller which
+// ops to re-send (those above the high-water mark were never applied;
+// those at or below it re-send safely — the server's ring answers
+// duplicates without re-applying). ErrSessionLost reports a server
+// that no longer knows the session.
+func DialResume(addr string, session, lastAcked uint64) (*Client, error) {
+	c, w, err := dial(addr, mpi.WireHello{Mode: mpi.WireSessResume, Session: session, LastAcked: lastAcked})
+	if err != nil {
+		return nil, err
+	}
+	if w.Status != mpi.WireWelcomeResumed {
+		c.Close()
+		if w.Status == mpi.WireWelcomeLost {
+			return nil, fmt.Errorf("daemon: session %d: %w", session, ErrSessionLost)
+		}
+		return nil, fmt.Errorf("daemon: handshake: server answered status %d to a resume hello", w.Status)
+	}
+	return c, nil
+}
+
+// ErrSessionLost reports a resume refused because the server no longer
+// holds the session's state (e.g. it restarted without a journal).
+var ErrSessionLost = errors.New("daemon: session lost")
+
+func dial(addr string, hello mpi.WireHello) (*Client, mpi.WireWelcome, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, mpi.WireWelcome{}, err
+	}
+	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	if err := mpi.WriteWireHello(c.bw, hello); err != nil {
+		conn.Close()
+		return nil, mpi.WireWelcome{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, mpi.WireWelcome{}, err
+	}
+	w, err := mpi.ReadWireWelcome(c.br)
+	if err != nil {
+		conn.Close()
+		return nil, mpi.WireWelcome{}, fmt.Errorf("daemon: handshake: %w", err)
+	}
+	c.session = w.Session
+	c.highWater = w.HighWater
+	return c, w, nil
+}
+
+// Session returns the server-minted session id (0: ephemeral).
+func (c *Client) Session() uint64 { return c.session }
+
+// HighWater returns the server's resume-time high-water mark: the
+// highest sequenced op it had applied when this connection opened.
+func (c *Client) HighWater() uint64 { return c.highWater }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }

@@ -51,6 +51,7 @@ import (
 	"spco/internal/match"
 	"spco/internal/mpi"
 	"spco/internal/perf"
+	"spco/internal/recov"
 	"spco/internal/telemetry"
 )
 
@@ -126,6 +127,40 @@ type Config struct {
 	// os.Stdout; io.Discard silences it).
 	PerfOut io.Writer
 
+	// JournalDir, when set, turns on the crash-recovery spine
+	// (recovery.go): per-shard append-only op journals and the snapshot
+	// file live there. Empty (the default) disables journaling entirely —
+	// the serving path pays only nil checks.
+	JournalDir string
+
+	// Recover makes New rebuild engine state from JournalDir before
+	// serving: snapshot restore, then journal-tail replay. A missing
+	// snapshot and empty journals are a clean first boot, so -recover is
+	// safe to pass always.
+	Recover bool
+
+	// SnapshotEvery is the periodic snapshot cadence (0: only explicit
+	// WriteSnapshot calls). Requires JournalDir.
+	SnapshotEvery time.Duration
+
+	// JournalSync fsyncs each shard journal every that many records
+	// (default 64). Process crashes lose nothing regardless — every
+	// record is a single write(2) — the cadence only bounds loss on
+	// power failure.
+	JournalSync int
+
+	// WatchdogDeadline flags a shard lane wedged when its lock has been
+	// held this long (default DefaultWatchdogDeadline); WatchdogInterval
+	// is the sweep cadence (default deadline/4, at most 1s). A wedged
+	// lane flips /readyz to 503 and raises spco_shard_wedged.
+	WatchdogDeadline time.Duration
+	WatchdogInterval time.Duration
+
+	// AdminReadHeaderTimeout bounds how long the admin HTTP server waits
+	// for a request's headers (default 5s); it is the slow-loris guard
+	// on the admin plane.
+	AdminReadHeaderTimeout time.Duration
+
 	// Trace is the causal-trace flight recorder. Nil gets a default
 	// always-on recorder (bounded, tail-retained) so /debug/trace works
 	// on every daemon; supply one to tune capacity/retention.
@@ -182,6 +217,21 @@ type Server struct {
 	gActive *telemetry.Gauge
 	gUptime *telemetry.Gauge
 
+	// Crash-recovery spine (recovery.go; sessions is always built so
+	// session handshakes work with or without journaling).
+	sessions     *sessionTable
+	recRecovered atomic.Bool   // this boot replayed recovered state
+	recReplayed  atomic.Uint64 // journal records replayed at boot
+	recSnapshots atomic.Uint64 // snapshots written this boot
+	recLastSnap  atomic.Int64  // unix nanos of the last snapshot
+	recResumed   atomic.Uint64 // sessions resumed over the wire
+	recReplays   atomic.Uint64 // duplicate ops answered from session rings
+	cReplayed    *telemetry.Counter
+	cSnapshots   *telemetry.Counter
+	cResumed     *telemetry.Counter
+	cReplays     *telemetry.Counter
+	gWedged      *telemetry.Gauge
+
 	profileBusy atomic.Bool
 }
 
@@ -233,6 +283,24 @@ func New(cfg Config) (*Server, error) {
 	if cfg.AdminAddr == "" {
 		cfg.AdminAddr = "127.0.0.1:0"
 	}
+	if cfg.Recover && cfg.JournalDir == "" {
+		return nil, errors.New("daemon: Config.Recover requires Config.JournalDir")
+	}
+	if cfg.SnapshotEvery > 0 && cfg.JournalDir == "" {
+		return nil, errors.New("daemon: Config.SnapshotEvery requires Config.JournalDir")
+	}
+	if cfg.WatchdogDeadline <= 0 {
+		cfg.WatchdogDeadline = DefaultWatchdogDeadline
+	}
+	if cfg.WatchdogInterval <= 0 {
+		cfg.WatchdogInterval = cfg.WatchdogDeadline / 4
+		if cfg.WatchdogInterval > time.Second {
+			cfg.WatchdogInterval = time.Second
+		}
+	}
+	if cfg.AdminReadHeaderTimeout <= 0 {
+		cfg.AdminReadHeaderTimeout = 5 * time.Second
+	}
 
 	s := &Server{
 		cfg: cfg,
@@ -251,6 +319,24 @@ func New(cfg Config) (*Server, error) {
 	s.shards = shards
 
 	reg := cfg.Collector.Registry
+	reg.Help("spco_recovery_replayed_ops_total", "Journal records replayed into the engines at boot.")
+	reg.Help("spco_recovery_snapshots_total", "State snapshots written.")
+	reg.Help("spco_recovery_sessions_resumed_total", "Client sessions resumed over the wire.")
+	reg.Help("spco_recovery_dup_replays_total", "Duplicate sequenced ops answered from session reply rings.")
+	reg.Help("spco_shard_wedged", "Serving lanes currently flagged wedged by the watchdog.")
+	s.cReplayed = reg.Counter("spco_recovery_replayed_ops_total", nil)
+	s.cSnapshots = reg.Counter("spco_recovery_snapshots_total", nil)
+	s.cResumed = reg.Counter("spco_recovery_sessions_resumed_total", nil)
+	s.cReplays = reg.Counter("spco_recovery_dup_replays_total", nil)
+	s.gWedged = reg.Gauge("spco_shard_wedged", nil)
+
+	if s.journaling() {
+		if err := s.setupRecovery(); err != nil {
+			return nil, err
+		}
+	} else {
+		s.sessions = newSessionTable()
+	}
 	reg.Help("spco_daemon_frames_total", "Wire frames served by operation.")
 	reg.Help("spco_daemon_nacks_total", "Arrive frames refused at ingress by fault injection.")
 	reg.Help("spco_daemon_dups_suppressed_total", "Duplicated arrive frames delivered once.")
@@ -283,7 +369,19 @@ func New(cfg Config) (*Server, error) {
 		s.ln.Close()
 		return nil, err
 	}
-	s.admin = &http.Server{Handler: s.adminMux()}
+	// The admin plane faces operators and scrapers, not the wire
+	// protocol's framing discipline — bound every phase of an HTTP
+	// exchange so a stalled or malicious peer cannot pin a connection.
+	// WriteTimeout must clear the longest legitimate response:
+	// /debug/profile's CPU capture is clamped to 30s (profile.go).
+	s.admin = &http.Server{
+		Handler:           s.adminMux(),
+		ReadHeaderTimeout: cfg.AdminReadHeaderTimeout,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      90 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 16,
+	}
 
 	// Host lock contention and blocking are part of the diagnostic story
 	// for a serving system; sample them so mutex.pprof and block.pprof in
@@ -322,6 +420,10 @@ func (s *Server) Stop() { s.quitOnce.Do(func() { close(s.quit) }) }
 func (s *Server) Run(signals <-chan os.Signal) error {
 	go s.admin.Serve(s.adminLn)
 	go s.acceptLoop()
+	go s.watchdogLoop()
+	if s.journaling() && s.cfg.SnapshotEvery > 0 {
+		go s.snapshotLoop()
+	}
 	s.ready.Store(true)
 	s.cfg.Logf("daemon: serving match traffic on %s, admin on %s", s.Addr(), s.AdminAddr())
 
@@ -383,8 +485,15 @@ func (s *Server) forceClose() {
 	s.admin.Close()
 }
 
-// finish flushes exporters and emits the final perf-stat reports.
+// finish flushes exporters and emits the final perf-stat reports. The
+// journals are synced and closed but no final snapshot is taken — the
+// journal alone fully reconstructs the state, and skipping the
+// snapshot keeps the graceful-stop path exercising the same replay
+// machinery a crash does.
 func (s *Server) finish() {
+	if s.journaling() {
+		s.closeJournals()
+	}
 	for _, sh := range s.shards {
 		sh.lock()
 		sh.en.PublishTelemetry()
@@ -489,14 +598,47 @@ func (s *Server) serveConn(c net.Conn) {
 
 	br := bufio.NewReader(c)
 	bw := bufio.NewWriter(c)
-	if err := mpi.ReadWireHello(br); err != nil {
+	hello, err := mpi.ReadWireHello(br)
+	if err != nil {
 		return
 	}
-	if err := mpi.WriteWireHello(bw); err != nil {
+	// Resolve the connection's session. Ephemeral connections (the
+	// default, and the whole pre-v4 world) get no dedup state and pay
+	// nothing for the machinery; WireSessNew mints an identity;
+	// WireSessResume reattaches to one, telling the client the highest
+	// sequenced op the server has applied so the client re-sends only
+	// the gap. An unknown session id (state lost, e.g. recovery without
+	// a journal) is answered WireWelcomeLost and the connection closed —
+	// resuming blind would silently break exactly-once.
+	var sess *session
+	welcome := mpi.WireWelcome{Status: mpi.WireWelcomeEphemeral}
+	switch hello.Mode {
+	case mpi.WireSessNew:
+		sess = s.sessions.create()
+		welcome = mpi.WireWelcome{Status: mpi.WireWelcomeNew, Session: sess.id}
+	case mpi.WireSessResume:
+		if got, ok := s.sessions.resume(hello.Session); ok {
+			sess = got
+			welcome = mpi.WireWelcome{Status: mpi.WireWelcomeResumed,
+				Session: sess.id, HighWater: sess.highWater()}
+			s.recResumed.Add(1)
+			s.cResumed.Inc()
+		} else {
+			welcome = mpi.WireWelcome{Status: mpi.WireWelcomeLost, Session: hello.Session}
+		}
+	}
+	if err := mpi.WriteWireWelcome(bw, welcome); err != nil {
 		return
 	}
 	if err := bw.Flush(); err != nil {
 		return
+	}
+	if welcome.Status == mpi.WireWelcomeLost {
+		return
+	}
+	var sid uint64
+	if sess != nil {
+		sid = sess.id
 	}
 
 	// The credit window: at most window ops per frame reach the engines;
@@ -522,7 +664,14 @@ func (s *Server) serveConn(c net.Conn) {
 			return
 		}
 		if !batch {
-			rep := s.apply(ops[0])
+			op := ops[0]
+			rep, replayed := s.dedup(sess, op)
+			if !replayed {
+				rep = s.apply(op, sid)
+				if sess != nil && op.Seq != 0 {
+					sess.record(op.Seq, rep)
+				}
+			}
 			rep.Credits = credits
 			if err := mpi.WriteWireReply(bw, rep); err != nil {
 				return
@@ -532,7 +681,11 @@ func (s *Server) serveConn(c net.Conn) {
 			if window > 0 && len(ops) > window {
 				admitted = ops[:window]
 			}
-			reps = s.applyBatch(admitted, reps)
+			if sess == nil {
+				reps = s.applyBatch(admitted, reps)
+			} else {
+				reps = s.applyBatchSession(admitted, reps, sess)
+			}
 			if stalled := len(ops) - len(admitted); stalled > 0 {
 				s.creditStalls.Add(uint64(stalled))
 				s.cStalls.Add(float64(stalled))
@@ -592,8 +745,26 @@ func (s *Server) adoptTrace(op mpi.WireOp, name string) ctrace.Context {
 	return s.tr.Adopt(ctrace.Context{Trace: op.Trace, Parent: op.Span}, pid, name, s.hostNS())
 }
 
-// apply executes one wire operation.
-func (s *Server) apply(op mpi.WireOp) mpi.WireReply {
+// dedup answers a sequenced op from the session's reply ring when the
+// server has already applied it — the exactly-once half of session
+// resume. A ring miss (including a seq at or below the high-water mark
+// whose reply was evicted or never recorded, e.g. an ingress NACK that
+// was never journaled) applies fresh, which is correct in every
+// re-send case: the client only re-sends ops it never saw answered.
+func (s *Server) dedup(sess *session, op mpi.WireOp) (mpi.WireReply, bool) {
+	if sess == nil || op.Seq == 0 {
+		return mpi.WireReply{}, false
+	}
+	rep, ok := sess.lookup(op.Seq)
+	if ok {
+		s.recReplays.Add(1)
+		s.cReplays.Inc()
+	}
+	return rep, ok
+}
+
+// apply executes one wire operation for session sid (0: ephemeral).
+func (s *Server) apply(op mpi.WireOp, sid uint64) mpi.WireReply {
 	if ctr := s.cFrames[op.Kind]; ctr != nil {
 		ctr.Inc()
 	}
@@ -602,10 +773,11 @@ func (s *Server) apply(op mpi.WireOp) mpi.WireReply {
 		sh := s.shardFor(op.Ctx)
 		sh.lock()
 		defer sh.unlock()
+		sh.sid = sid
 		sh.frames(1)
 		return sh.applyLocked(op)
 	case mpi.WirePhase:
-		return s.applyPhase(op)
+		return s.applyPhase(op, sid)
 	case mpi.WireStat:
 		return s.applyStat()
 	case mpi.WirePing:
@@ -615,14 +787,52 @@ func (s *Server) apply(op mpi.WireOp) mpi.WireReply {
 	}
 }
 
-// applyBatch executes a batch frame's ops, appending one reply per op
-// to reps[:0] and returning the result. Consecutive arrives and posts
-// landing on the same shard are applied as one run under a single lock
-// acquisition (taking the ArriveBatch fast path where eligible, see
-// shard.applyRun); phases, stats, and pings fall back to their
-// cross-shard scalar handling. Replies stay in op order throughout.
+// applyBatch executes an ephemeral connection's batch frame, appending
+// one reply per op to reps[:0] and returning the result.
 func (s *Server) applyBatch(ops []mpi.WireOp, reps []mpi.WireReply) []mpi.WireReply {
+	return s.appendBatch(ops, reps[:0], 0)
+}
+
+// applyBatchSession executes a session connection's batch frame:
+// sequenced ops the ring already answered are replayed from it without
+// touching an engine, and the fresh runs in between go through the
+// normal batch path with their replies recorded as they are produced.
+func (s *Server) applyBatchSession(ops []mpi.WireOp, reps []mpi.WireReply, sess *session) []mpi.WireReply {
 	reps = reps[:0]
+	for i := 0; i < len(ops); {
+		if rep, ok := s.dedup(sess, ops[i]); ok {
+			reps = append(reps, rep)
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(ops) {
+			if ops[j].Seq != 0 {
+				if _, ok := sess.lookup(ops[j].Seq); ok {
+					break
+				}
+			}
+			j++
+		}
+		base := len(reps)
+		reps = s.appendBatch(ops[i:j], reps, sess.id)
+		for k := i; k < j; k++ {
+			if ops[k].Seq != 0 {
+				sess.record(ops[k].Seq, reps[base+k-i])
+			}
+		}
+		i = j
+	}
+	return reps
+}
+
+// appendBatch executes a batch frame's ops, appending one reply per
+// op. Consecutive arrives and posts landing on the same shard are
+// applied as one run under a single lock acquisition (taking the
+// ArriveBatch fast path where eligible, see shard.applyRun); phases,
+// stats, and pings fall back to their cross-shard scalar handling.
+// Replies stay in op order throughout.
+func (s *Server) appendBatch(ops []mpi.WireOp, reps []mpi.WireReply, sid uint64) []mpi.WireReply {
 	for i := 0; i < len(ops); {
 		switch ops[i].Kind {
 		case mpi.WireArrive, mpi.WirePost:
@@ -631,7 +841,7 @@ func (s *Server) applyBatch(ops []mpi.WireOp, reps []mpi.WireReply) []mpi.WireRe
 			for j < len(ops) && routedTo(ops[j], sh, s) {
 				j++
 			}
-			reps = sh.applyRun(ops[i:j], reps)
+			reps = sh.applyRun(ops[i:j], reps, sid)
 			i = j
 		default:
 			if ctr := s.cFrames[ops[i].Kind]; ctr != nil {
@@ -639,7 +849,7 @@ func (s *Server) applyBatch(ops []mpi.WireOp, reps []mpi.WireReply) []mpi.WireRe
 			}
 			switch ops[i].Kind {
 			case mpi.WirePhase:
-				reps = append(reps, s.applyPhase(ops[i]))
+				reps = append(reps, s.applyPhase(ops[i], sid))
 			case mpi.WireStat:
 				reps = append(reps, s.applyStat())
 			case mpi.WirePing:
@@ -662,11 +872,19 @@ func routedTo(op mpi.WireOp, sh *shard, s *Server) bool {
 // one lock at a time: a phase models the application going compute-
 // bound, which perturbs every lane's cache state, not one context's.
 // With Shards=1 this is exactly the pre-sharding phase handling.
-func (s *Server) applyPhase(op mpi.WireOp) mpi.WireReply {
+// Because a phase touches every lane, it is journaled into every
+// shard's journal — each journal independently replays to its lane's
+// full history.
+func (s *Server) applyPhase(op mpi.WireOp, sid uint64) mpi.WireReply {
 	for _, sh := range s.shards {
 		sh.lock()
 		sh.frames(1)
 		sh.en.BeginComputePhase(op.DurationNS)
+		if sh.jw != nil {
+			if err := sh.jw.Append(recov.JournalRecord{Session: sid, Op: op}); err != nil {
+				s.cfg.Logf("daemon: shard %d journal append: %v", sh.idx, err)
+			}
+		}
 		if s.tr != nil {
 			if ht := sh.en.Heater(); ht != nil {
 				s.tr.Counter(sh.heaterTrack, s.hostNS(),
@@ -745,6 +963,10 @@ func (sh *shard) applyLocked(op mpi.WireOp) mpi.WireReply {
 		case engine.ArriveMatched:
 			s.tr.Finish(tctx.Trace, s.hostNS(), "matched")
 		}
+		// The arrive reached the engine (refusals included — they tick
+		// engine counters); ingress NACKs returned above and stay out of
+		// the journal.
+		sh.noteApplied(op, rep)
 	case mpi.WirePost:
 		tctx := s.adoptTrace(op, fmt.Sprintf("msg tag=%d", op.Tag))
 		pid := int(op.Rank)
@@ -764,6 +986,7 @@ func (sh *shard) applyLocked(op mpi.WireOp) mpi.WireReply {
 		if matched {
 			s.tr.Finish(tctx.Trace, s.hostNS(), "matched")
 		}
+		sh.noteApplied(op, rep)
 	default:
 		rep.Status = mpi.WireErr
 	}

@@ -28,14 +28,14 @@ func rawDial(t *testing.T, addr string) (*net.TCPConn, *bufio.Reader) {
 	}
 	tc := conn.(*net.TCPConn)
 	bw := bufio.NewWriter(tc)
-	if err := mpi.WriteWireHello(bw); err != nil {
+	if err := mpi.WriteWireHello(bw, mpi.WireHello{Mode: mpi.WireSessEphemeral}); err != nil {
 		t.Fatal(err)
 	}
 	if err := bw.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	br := bufio.NewReader(tc)
-	if err := mpi.ReadWireHello(br); err != nil {
+	if _, err := mpi.ReadWireWelcome(br); err != nil {
 		t.Fatal(err)
 	}
 	return tc, br
@@ -125,7 +125,7 @@ func TestBatchTruncatedMidOp(t *testing.T) {
 	if err := mpi.WriteWireOp(tc, mpi.WireOp{Kind: mpi.WirePost, Rank: 1, Tag: 1, Ctx: 1, Handle: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tc.Write([]byte{byte(mpi.WireArrive), 0, 0, 0}); err != nil { // 4 of 43 bytes
+	if _, err := tc.Write([]byte{byte(mpi.WireArrive), 0, 0, 0}); err != nil { // 4 of 51 bytes
 		t.Fatal(err)
 	}
 	if err := tc.CloseWrite(); err != nil {

@@ -1,0 +1,356 @@
+package daemon
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"spco/internal/engine"
+	"spco/internal/match"
+	"spco/internal/mpi"
+	"spco/internal/recov"
+)
+
+// Crash recovery: with Config.JournalDir set, every engine-reaching
+// operation is journaled (per shard, under that shard's lock, before
+// its reply leaves the process) and the daemon's logical queue state
+// is periodically snapshotted. `-recover` then rebuilds the engines:
+// snapshot restore re-posts each shard's live PRQ entries and
+// re-arrives its live UMQ entries through the real engine API, the
+// engine counters are reinstated, and the journal tail past the
+// snapshot's offset replays mechanically (no ingress fault wire — the
+// journal holds only ops that reached an engine, each exactly once).
+//
+// The crash-consistency argument, in journal order:
+//   - An op is journaled after the engine applied it but before its
+//     reply is sent. A crash between apply and journal loses an
+//     unacked op — the client re-sends it, recovery applies it fresh.
+//     A crash between journal and reply replays the op and retains its
+//     regenerated reply in the session ring — the client's re-send is
+//     answered from the ring. Either way: applied exactly once.
+//   - Journal records are single-write, CRC-framed, fixed-size; a torn
+//     tail is detected and truncated (recov package).
+//   - Snapshots are atomic (tmp+rename) and each shard's journals are
+//     fsynced before the snapshot that references their offsets is
+//     finalized, so a snapshot never claims journal bytes that could
+//     vanish.
+//   - The snapshot captures each shard under that shard's lock only —
+//     one lane at a time, never stalling the daemon — which is sound
+//     because each (shard state, journal offset) pair is atomic per
+//     shard and shards share no matching state.
+//
+// Queue contents come from a per-shard logical mirror (qmirror), not
+// the engine: the engine's matchlists are a simulation of cache-
+// resident structures and expose no iteration. The mirror applies the
+// same matching semantics (oldest matching entry wins) to the op
+// stream the shard serves, so it tracks the engine's logical queues
+// exactly; the recovery differential test is the proof.
+
+const snapshotFileName = "snapshot.spco"
+
+func (s *Server) snapshotPath() string {
+	return filepath.Join(s.cfg.JournalDir, snapshotFileName)
+}
+
+func shardJournalPath(dir string, idx int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.journal", idx))
+}
+
+// qmirror is one shard's logical queue mirror: the PRQ and UMQ
+// contents as wire-level entries, in queue order, with per-handle
+// indices for O(1) removal on match. Maintained only when journaling
+// is on; guarded by the shard mutex.
+type qmirror struct {
+	prq, umq   *list.List // of recov.QueueEntry
+	prqH, umqH map[uint64][]*list.Element
+}
+
+func newQMirror() *qmirror {
+	return &qmirror{
+		prq: list.New(), umq: list.New(),
+		prqH: make(map[uint64][]*list.Element),
+		umqH: make(map[uint64][]*list.Element),
+	}
+}
+
+func entryFor(op mpi.WireOp) recov.QueueEntry {
+	return recov.QueueEntry{Rank: op.Rank, Tag: op.Tag, Ctx: op.Ctx, Handle: op.Handle}
+}
+
+func push(l *list.List, idx map[uint64][]*list.Element, e recov.QueueEntry) {
+	idx[e.Handle] = append(idx[e.Handle], l.PushBack(e))
+}
+
+// pop removes the earliest entry filed under handle. The engine always
+// matches the oldest eligible entry, and entries sharing a handle are
+// indistinguishable at the wire level, so earliest-under-handle keeps
+// the mirror aligned with the engine's removal order.
+func pop(l *list.List, idx map[uint64][]*list.Element, handle uint64) {
+	els := idx[handle]
+	if len(els) == 0 {
+		return // a foreign handle (pre-journal state); nothing to mirror
+	}
+	l.Remove(els[0])
+	if len(els) == 1 {
+		delete(idx, handle)
+	} else {
+		idx[handle] = els[1:]
+	}
+}
+
+// note applies one served op's effect on the logical queues, using the
+// engine's reply to learn the outcome.
+func (m *qmirror) note(op mpi.WireOp, rep mpi.WireReply) {
+	switch op.Kind {
+	case mpi.WireArrive:
+		switch {
+		case rep.Status != mpi.WireOK: // refused (bounded UMQ): no state change
+		case rep.Outcome == byte(engine.ArriveMatched):
+			pop(m.prq, m.prqH, rep.Handle) // consumed the posted receive it matched
+		default: // queued, plain or rendezvous-demoted
+			push(m.umq, m.umqH, entryFor(op))
+		}
+	case mpi.WirePost:
+		if rep.Status != mpi.WireOK {
+			return
+		}
+		if rep.Outcome == 1 {
+			pop(m.umq, m.umqH, rep.Handle) // consumed the unexpected message
+		} else {
+			push(m.prq, m.prqH, entryFor(op))
+		}
+	}
+}
+
+// export captures one queue in order.
+func export(l *list.List) []recov.QueueEntry {
+	out := make([]recov.QueueEntry, 0, l.Len())
+	for el := l.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(recov.QueueEntry))
+	}
+	return out
+}
+
+func (m *qmirror) exportPRQ() []recov.QueueEntry { return export(m.prq) }
+func (m *qmirror) exportUMQ() []recov.QueueEntry { return export(m.umq) }
+
+// seed loads a snapshot's queue contents.
+func (m *qmirror) seed(prq, umq []recov.QueueEntry) {
+	for _, e := range prq {
+		push(m.prq, m.prqH, e)
+	}
+	for _, e := range umq {
+		push(m.umq, m.umqH, e)
+	}
+}
+
+// statsToCounters packs engine.Stats into the snapshot's opaque
+// counter array; countersToStats is its inverse. The recovery
+// round-trip test asserts the mapping both ways.
+func statsToCounters(st engine.Stats) [recov.SnapshotCounters]uint64 {
+	return [recov.SnapshotCounters]uint64{
+		st.Arrivals, st.Posts, st.Recvs,
+		st.PRQMatches, st.UMQMatches, st.UMQAppends,
+		st.PRQDepthTotal, st.UMQDepthTotal,
+		st.UMQOverflows, st.Refused, st.Rendezvous,
+		st.Cycles, st.SyncCycles,
+		uint64(st.MaxPRQLen), uint64(st.MaxUMQLen),
+	}
+}
+
+func countersToStats(c [recov.SnapshotCounters]uint64) engine.Stats {
+	return engine.Stats{
+		Arrivals: c[0], Posts: c[1], Recvs: c[2],
+		PRQMatches: c[3], UMQMatches: c[4], UMQAppends: c[5],
+		PRQDepthTotal: c[6], UMQDepthTotal: c[7],
+		UMQOverflows: c[8], Refused: c[9], Rendezvous: c[10],
+		Cycles: c[11], SyncCycles: c[12],
+		MaxPRQLen: int(c[13]), MaxUMQLen: int(c[14]),
+	}
+}
+
+// setupRecovery wires the journaling spine: restores a snapshot when
+// recovering, replays each shard's journal tail through the real
+// engines, then opens the journals for appending. Runs single-threaded
+// during New, before any listener exists.
+func (s *Server) setupRecovery() error {
+	dir := s.cfg.JournalDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	s.sessions = newSessionTable()
+	for _, sh := range s.shards {
+		sh.mirror = newQMirror()
+	}
+
+	startOff := make([]uint64, len(s.shards))
+	if s.cfg.Recover {
+		snap, err := recov.ReadSnapshotFile(s.snapshotPath())
+		if err != nil {
+			return fmt.Errorf("daemon: recover: %w", err)
+		}
+		if snap != nil {
+			if len(snap.Shards) != len(s.shards) {
+				return fmt.Errorf("daemon: recover: snapshot has %d shards, daemon has %d (restart with the same -shards)",
+					len(snap.Shards), len(s.shards))
+			}
+			for i, sh := range s.shards {
+				if err := sh.restoreShard(&snap.Shards[i]); err != nil {
+					return err
+				}
+				startOff[i] = snap.Shards[i].JournalOff
+			}
+			s.sessions.restore(snap.Sessions)
+		}
+		for i, sh := range s.shards {
+			n, err := s.replayJournal(sh, shardJournalPath(dir, i), startOff[i])
+			if err != nil {
+				return err
+			}
+			s.recReplayed.Add(n)
+			s.cReplayed.Add(float64(n))
+		}
+		s.recRecovered.Store(true)
+	}
+
+	for i, sh := range s.shards {
+		jw, err := recov.OpenJournal(shardJournalPath(dir, i), s.cfg.JournalSync)
+		if err != nil {
+			return err
+		}
+		sh.jw = jw
+	}
+	return nil
+}
+
+// restoreShard rebuilds one lane's engine from its snapshot state:
+// re-post every live PRQ entry (in posting order), re-arrive every
+// live UMQ entry (in arrival order), then reinstate the counters. The
+// two phases cannot interact — a live PRQ entry matching a live UMQ
+// entry is impossible (whichever arrived second would have matched the
+// first and neither would be live) — so the rebuilt queues hold
+// exactly the snapshot's entries in the snapshot's order.
+func (sh *shard) restoreShard(st *recov.ShardState) error {
+	for _, e := range st.PRQ {
+		if _, matched, _ := sh.en.PostRecv(int(e.Rank), int(e.Tag), e.Ctx, e.Handle); matched {
+			return fmt.Errorf("daemon: recover: shard %d snapshot PRQ entry %+v matched during restore", sh.idx, e)
+		}
+	}
+	for _, e := range st.UMQ {
+		env := match.Envelope{Rank: e.Rank, Tag: e.Tag, Ctx: e.Ctx}
+		if _, outcome, _ := sh.en.ArriveFull(env, e.Handle); outcome == engine.ArriveMatched || outcome == engine.ArriveRefused {
+			return fmt.Errorf("daemon: recover: shard %d snapshot UMQ entry %+v %v during restore", sh.idx, e, outcome)
+		}
+	}
+	sh.en.RestoreStats(countersToStats(st.Counters))
+	sh.mirror.seed(st.PRQ, st.UMQ)
+	return nil
+}
+
+// replayJournal re-applies one shard's journal tail through its
+// engine. Replay is purely mechanical: the ingress fault wire is
+// bypassed (the journal holds only ops that already passed it, each
+// exactly once), regenerated replies land back in their sessions'
+// rings, and phase records replay on this shard alone — each shard's
+// journal carries its own copy of every phase.
+func (s *Server) replayJournal(sh *shard, path string, from uint64) (uint64, error) {
+	recs, _, err := recov.ReadJournal(path, from)
+	if err != nil {
+		return 0, err
+	}
+	wire := sh.wire
+	sh.wire = nil
+	defer func() { sh.wire = wire }()
+	for _, rec := range recs {
+		var rep mpi.WireReply
+		switch rec.Op.Kind {
+		case mpi.WireArrive, mpi.WirePost:
+			rep = sh.applyLocked(rec.Op) // mirror notes inside; jw is nil, so nothing re-journals
+		case mpi.WirePhase:
+			sh.en.BeginComputePhase(rec.Op.DurationNS)
+			rep = mpi.WireReply{Kind: mpi.WirePhase, Status: mpi.WireOK}
+		default:
+			continue
+		}
+		if rec.Session != 0 && rec.Op.Seq != 0 {
+			s.sessions.get(rec.Session).record(rec.Op.Seq, rep)
+		}
+	}
+	return uint64(len(recs)), nil
+}
+
+// WriteSnapshot captures the daemon's logical state and atomically
+// replaces the snapshot file. Each shard is captured under its own
+// lock only — the daemon keeps serving on every other lane — and each
+// shard's journal is fsynced before its offset is recorded, so the
+// snapshot never references journal bytes that a power cut could
+// remove. Sessions are captured last; a session whose ops land after
+// its capture merely leaves those ops in the journal tail, whose
+// replay re-records them (record is seq-idempotent).
+func (s *Server) WriteSnapshot() error {
+	if !s.journaling() {
+		return fmt.Errorf("daemon: WriteSnapshot without Config.JournalDir")
+	}
+	snap := &recov.Snapshot{Shards: make([]recov.ShardState, len(s.shards))}
+	for i, sh := range s.shards {
+		sh.lock()
+		err := sh.jw.Sync()
+		if err == nil {
+			snap.Shards[i] = recov.ShardState{
+				JournalOff: sh.jw.Offset(),
+				Counters:   statsToCounters(sh.en.Stats()),
+				PRQ:        sh.mirror.exportPRQ(),
+				UMQ:        sh.mirror.exportUMQ(),
+			}
+		}
+		sh.unlock()
+		if err != nil {
+			return err
+		}
+	}
+	snap.Sessions = s.sessions.export()
+	if err := recov.WriteSnapshotFile(s.snapshotPath(), snap); err != nil {
+		return err
+	}
+	s.recSnapshots.Add(1)
+	s.cSnapshots.Inc()
+	s.recLastSnap.Store(time.Now().UnixNano())
+	return nil
+}
+
+// snapshotLoop writes snapshots on the configured cadence until the
+// drain begins.
+func (s *Server) snapshotLoop() {
+	t := time.NewTicker(s.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			if err := s.WriteSnapshot(); err != nil {
+				s.cfg.Logf("daemon: snapshot: %v", err)
+			}
+		}
+	}
+}
+
+// journaling reports whether the crash-recovery spine is active.
+func (s *Server) journaling() bool { return s.cfg.JournalDir != "" }
+
+// closeJournals syncs and closes every shard journal (the drain path;
+// a crash needs no cooperation).
+func (s *Server) closeJournals() {
+	for _, sh := range s.shards {
+		sh.lock()
+		if sh.jw != nil {
+			if err := sh.jw.Close(); err != nil {
+				s.cfg.Logf("daemon: journal close: %v", err)
+			}
+			sh.jw = nil
+		}
+		sh.unlock()
+	}
+}

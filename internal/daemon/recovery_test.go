@@ -1,0 +1,568 @@
+package daemon
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spco/internal/engine"
+	"spco/internal/fault"
+	"spco/internal/matchlist"
+	"spco/internal/mpi"
+	"spco/internal/recov"
+)
+
+// allKinds is every matchlist structure the daemon can host; the
+// recovery differential must hold for each, since restore re-drives
+// queue entries through the structure's own insert paths.
+var allKinds = []matchlist.Kind{
+	matchlist.KindBaseline, matchlist.KindLLA, matchlist.KindHashBins,
+	matchlist.KindRankArray, matchlist.KindFourD, matchlist.KindHWOffload,
+	matchlist.KindPerComm,
+}
+
+// genOps builds a deterministic op stream: arrives and posts over a
+// small rank/tag space (so some match and plenty stay queued), spread
+// across contexts 1..8 (so a sharded daemon exercises every lane),
+// with compute phases sprinkled in. Handles are globally unique.
+func genOps(n int, seed uint64) []mpi.WireOp {
+	rng := fault.NewRNG(seed)
+	ops := make([]mpi.WireOp, 0, n)
+	for i := 0; i < n; i++ {
+		if i > 0 && i%64 == 0 {
+			ops = append(ops, mpi.WireOp{Kind: mpi.WirePhase, DurationNS: 2e4})
+			continue
+		}
+		kind := byte(mpi.WireArrive)
+		if rng.Float64() < 0.45 {
+			kind = mpi.WirePost
+		}
+		ops = append(ops, mpi.WireOp{
+			Kind:   kind,
+			Rank:   int32(rng.Intn(4)),
+			Tag:    int32(rng.Intn(8)),
+			Ctx:    uint16(1 + rng.Intn(8)),
+			Handle: uint64(i) + 1,
+		})
+	}
+	return ops
+}
+
+// driveOps serves the stream over one connection in batched frames,
+// returning every reply in op order. The ops are copied per frame so
+// callers can reuse the stream across daemons.
+func driveOps(t *testing.T, addr string, ops []mpi.WireOp) []mpi.WireReply {
+	t.Helper()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	out := make([]mpi.WireReply, 0, len(ops))
+	var reps []mpi.WireReply
+	frame := make([]mpi.WireOp, 0, 32)
+	for i := 0; i < len(ops); i += 32 {
+		j := i + 32
+		if j > len(ops) {
+			j = len(ops)
+		}
+		frame = append(frame[:0], ops[i:j]...)
+		reps, err = cl.DoBatch(frame, reps)
+		if err != nil {
+			t.Fatalf("ops[%d:%d]: %v", i, j, err)
+		}
+		out = append(out, reps...)
+	}
+	return out
+}
+
+// shardStats collects per-shard engine stats after the daemon stopped.
+func shardStats(srv *Server) []engine.Stats {
+	out := make([]engine.Stats, srv.ShardCount())
+	for i := range out {
+		out[i] = srv.ShardEngine(i).Stats()
+	}
+	return out
+}
+
+func repsEqual(a, b []mpi.WireReply, exact bool) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("reply counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if !exact {
+			x.Cycles, y.Cycles = 0, 0
+		}
+		if x != y {
+			return fmt.Sprintf("reply %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	return ""
+}
+
+func statsEqual(a, b []engine.Stats, exact bool) string {
+	for i := range a {
+		x, y := a[i], b[i]
+		if !exact {
+			// Snapshot restore rebuilds the queues by reinsertion, which
+			// compacts the physical structure the original built up over
+			// its whole history — so modeled cycles and traversal-work
+			// totals diverge; everything logical must still agree.
+			x.Cycles, y.Cycles = 0, 0
+			x.SyncCycles, y.SyncCycles = 0, 0
+			x.PRQDepthTotal, y.PRQDepthTotal = 0, 0
+			x.UMQDepthTotal, y.UMQDepthTotal = 0, 0
+		}
+		if x != y {
+			return fmt.Sprintf("shard %d stats differ:\n  recovered %+v\n  control   %+v", i, a[i], b[i])
+		}
+	}
+	return ""
+}
+
+// TestCountersRoundTrip pins the Stats<->snapshot-counters mapping.
+func TestCountersRoundTrip(t *testing.T) {
+	var c [recov.SnapshotCounters]uint64
+	for i := range c {
+		c[i] = uint64(i+1) * 1000003
+	}
+	if got := statsToCounters(countersToStats(c)); got != c {
+		t.Fatalf("round trip: %v != %v", got, c)
+	}
+	st := engine.Stats{Arrivals: 1, Posts: 2, Recvs: 3, PRQMatches: 4,
+		UMQMatches: 5, UMQAppends: 6, PRQDepthTotal: 7, UMQDepthTotal: 8,
+		UMQOverflows: 9, Refused: 10, Rendezvous: 11, Cycles: 12,
+		SyncCycles: 13, MaxPRQLen: 14, MaxUMQLen: 15}
+	if got := countersToStats(statsToCounters(st)); got != st {
+		t.Fatalf("round trip: %+v != %+v", got, st)
+	}
+}
+
+// TestRecoveryDifferential is the crash-recovery acceptance test: for
+// every matchlist kind, a daemon that serves half a stream, stops, and
+// recovers from its journal must answer the second half bit-identically
+// (modeled cycles included — journal replay re-executes the full
+// history through the real engine) to a control daemon that never
+// stopped, and finish with bit-identical per-shard engine stats.
+func TestRecoveryDifferential(t *testing.T) {
+	for _, kind := range allKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			ops := genOps(500, 42)
+			half := len(ops) / 2
+
+			// Control: one daemon, the whole stream.
+			kindCfg := func(c *Config) {
+				c.Engine.Kind = kind
+				if kind == matchlist.KindRankArray || kind == matchlist.KindFourD {
+					c.Engine.CommSize = 16
+				}
+			}
+			ctl, _, ctlErrc := testServer(t, kindCfg)
+			ctlReps := driveOps(t, ctl.Addr(), ops)
+			stopAndWait(t, ctl, ctlErrc)
+			ctlStats := shardStats(ctl)
+
+			// Crashed-and-recovered: first half, stop, recover, second half.
+			dir := t.TempDir()
+			srv1, _, errc1 := testServer(t, func(c *Config) {
+				kindCfg(c)
+				c.JournalDir = dir
+			})
+			reps1 := driveOps(t, srv1.Addr(), ops[:half])
+			stopAndWait(t, srv1, errc1)
+
+			srv2, _, errc2 := testServer(t, func(c *Config) {
+				kindCfg(c)
+				c.JournalDir = dir
+				c.Recover = true
+			})
+			if !srv2.recRecovered.Load() {
+				t.Fatal("recovered daemon did not mark recovery")
+			}
+			if srv2.recReplayed.Load() == 0 {
+				t.Fatal("recovery replayed no journal records")
+			}
+			reps2 := driveOps(t, srv2.Addr(), ops[half:])
+			stopAndWait(t, srv2, errc2)
+
+			got := append(append([]mpi.WireReply{}, reps1...), reps2...)
+			if d := repsEqual(got, ctlReps, true); d != "" {
+				t.Fatal(d)
+			}
+			if d := statsEqual(shardStats(srv2), ctlStats, true); d != "" {
+				t.Fatal(d)
+			}
+		})
+	}
+}
+
+// TestRecoverySnapshotTail covers the snapshot-plus-journal-tail path:
+// a snapshot mid-stream, more traffic, a stop, and a recovery that
+// restores the snapshot and replays only the tail. Logical state —
+// every reply's outcome and handle, queue contents, every counter but
+// the modeled cycles — must match the uninterrupted control.
+func TestRecoverySnapshotTail(t *testing.T) {
+	ops := genOps(600, 7)
+	a, b := len(ops)/3, 2*len(ops)/3
+
+	ctl, _, ctlErrc := testServer(t, nil)
+	ctlReps := driveOps(t, ctl.Addr(), ops)
+	stopAndWait(t, ctl, ctlErrc)
+	ctlStats := shardStats(ctl)
+
+	dir := t.TempDir()
+	srv1, _, errc1 := testServer(t, func(c *Config) { c.JournalDir = dir })
+	reps1 := driveOps(t, srv1.Addr(), ops[:a])
+	if err := srv1.WriteSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	reps2 := driveOps(t, srv1.Addr(), ops[a:b]) // the journal tail
+	stopAndWait(t, srv1, errc1)
+
+	srv2, _, errc2 := testServer(t, func(c *Config) {
+		c.JournalDir = dir
+		c.Recover = true
+	})
+	reps3 := driveOps(t, srv2.Addr(), ops[b:])
+	stopAndWait(t, srv2, errc2)
+
+	got := append(append(append([]mpi.WireReply{}, reps1...), reps2...), reps3...)
+	if d := repsEqual(got, ctlReps, false); d != "" {
+		t.Fatal(d)
+	}
+	if d := statsEqual(shardStats(srv2), ctlStats, false); d != "" {
+		t.Fatal(d)
+	}
+}
+
+// TestSessionResumeAcrossRestart exercises the exactly-once contract
+// at the wire level: a session's sequenced ops survive a daemon
+// restart, a re-sent duplicate is answered from the recovered reply
+// ring without touching an engine, and queue state carries over.
+func TestSessionResumeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv1, _, errc1 := testServer(t, func(c *Config) { c.JournalDir = dir })
+	addr := srv1.Addr()
+
+	cl1, err := DialSession(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid := cl1.Session()
+	if sid == 0 {
+		t.Fatal("new session got id 0")
+	}
+	rep1, err := cl1.do(mpi.WireOp{Kind: mpi.WireArrive, Rank: 1, Tag: 100, Ctx: 1, Handle: 100, Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := cl1.do(mpi.WireOp{Kind: mpi.WireArrive, Rank: 1, Tag: 101, Ctx: 1, Handle: 101, Seq: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Outcome == byte(engine.ArriveMatched) || rep2.Outcome == byte(engine.ArriveMatched) {
+		t.Fatal("unexpected match on an empty daemon")
+	}
+	cl1.Close()
+	stopAndWait(t, srv1, errc1)
+
+	srv2, _, errc2 := testServer(t, func(c *Config) {
+		c.JournalDir = dir
+		c.Recover = true
+		c.ListenAddr = addr
+	})
+	defer stopAndWait(t, srv2, errc2)
+
+	cl2, err := DialResume(addr, sid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if hw := cl2.HighWater(); hw != 2 {
+		t.Fatalf("resume high-water = %d, want 2", hw)
+	}
+
+	// Re-send seq 2 verbatim: the recovered ring must answer it without
+	// re-applying (the UMQ would grow to 3 otherwise).
+	dup, err := cl2.do(mpi.WireOp{Kind: mpi.WireArrive, Rank: 1, Tag: 101, Ctx: 1, Handle: 101, Seq: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2.Credits = dup.Credits
+	if dup != rep2 {
+		t.Fatalf("replayed reply %+v differs from original %+v", dup, rep2)
+	}
+	if _, umq, err := cl2.QueueLens(); err != nil || umq != 2 {
+		t.Fatalf("umq = %d after duplicate re-send (err %v), want 2", umq, err)
+	}
+	if got := srv2.recReplays.Load(); got != 1 {
+		t.Fatalf("dup replays = %d, want 1", got)
+	}
+
+	// Fresh traffic matches the recovered queue entries in order.
+	post, err := cl2.do(mpi.WireOp{Kind: mpi.WirePost, Rank: 1, Tag: 100, Ctx: 1, Handle: 200, Seq: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Outcome != 1 || post.Handle != 100 {
+		t.Fatalf("post against recovered UMQ: %+v, want match of handle 100", post)
+	}
+
+	// The admin plane reports the recovery.
+	resp, err := http.Get("http://" + srv2.AdminAddr() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{`"recovered": true`, `"sessions_resumed": 1`, `"dup_replays": 1`} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/status missing %s in %s", want, body)
+		}
+	}
+
+	// A session the server never heard of is refused cleanly.
+	if _, err := DialResume(addr, sid+999, 0); err == nil || !strings.Contains(err.Error(), "session lost") {
+		t.Fatalf("resume of unknown session: %v, want ErrSessionLost", err)
+	}
+}
+
+// TestResilientClientReconnect drives a ResilientClient through a
+// daemon restart mid-stream: the client must reconnect with backoff,
+// resume, re-send the unanswered gap, and the full stream's pairing
+// must come out exact.
+func TestResilientClientReconnect(t *testing.T) {
+	dir := t.TempDir()
+	srv1, _, errc1 := testServer(t, func(c *Config) { c.JournalDir = dir })
+	addr := srv1.Addr()
+
+	rc, err := DialResilient(ResilientConfig{Addr: addr, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	pairs := 40
+	arrives := make([]mpi.WireOp, pairs)
+	for i := range arrives {
+		arrives[i] = mpi.WireOp{Kind: mpi.WireArrive, Rank: int32(i % 4), Tag: int32(1000 + i), Ctx: uint16(1 + i%4), Handle: uint64(i) + 1}
+	}
+	reps, err := rc.Exchange(arrives, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reps {
+		if rep.Status != mpi.WireOK || rep.Outcome == byte(engine.ArriveMatched) {
+			t.Fatalf("arrive %d: %+v", i, rep)
+		}
+	}
+
+	// Restart the daemon out from under the client.
+	stopAndWait(t, srv1, errc1)
+	srv2, _, errc2 := testServer(t, func(c *Config) {
+		c.JournalDir = dir
+		c.Recover = true
+		c.ListenAddr = addr
+	})
+	defer stopAndWait(t, srv2, errc2)
+
+	posts := make([]mpi.WireOp, pairs)
+	for i := range posts {
+		posts[i] = mpi.WireOp{Kind: mpi.WirePost, Rank: int32(i % 4), Tag: int32(1000 + i), Ctx: uint16(1 + i%4), Handle: uint64(i) + 1}
+	}
+	reps, err = rc.Exchange(posts, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reps {
+		if rep.Status != mpi.WireOK || rep.Outcome != 1 || rep.Handle != uint64(i)+1 {
+			t.Fatalf("post %d did not match its arrive across the restart: %+v", i, rep)
+		}
+	}
+	if rc.Reconnects == 0 {
+		t.Error("client never reconnected")
+	}
+}
+
+// TestRecoveryOffIsFree: with no JournalDir the serving path must be
+// bit-identical to the journaling daemon in modeled work — the spine
+// costs nil checks, not cycles.
+func TestRecoveryOffIsFree(t *testing.T) {
+	run := func(mut func(*Config)) LoadResult {
+		srv, _, errc := testServer(t, mut)
+		res, err := RunLoad(LoadConfig{Addr: srv.Addr(), Conns: 1, Messages: 600, Seed: 5, Ctxs: 4, Batch: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stopAndWait(t, srv, errc)
+		return res
+	}
+	off := run(nil)
+	on := run(func(c *Config) { c.JournalDir = t.TempDir() })
+	if off.EngineCycles != on.EngineCycles {
+		t.Fatalf("journaling changed modeled cycles: off=%d on=%d", off.EngineCycles, on.EngineCycles)
+	}
+	if off.Matched() != on.Matched() || off.Matched() != 600 {
+		t.Fatalf("matched: off=%d on=%d, want 600", off.Matched(), on.Matched())
+	}
+}
+
+// TestSnapshotConcurrentWithLoad runs periodic snapshots against live
+// batched traffic on a 4-shard daemon; under -race this is the proof
+// that WriteSnapshot's one-lane-at-a-time capture coexists with
+// applyBatch on the other lanes. Every snapshot written must decode,
+// and the final state must recover.
+func TestSnapshotConcurrentWithLoad(t *testing.T) {
+	dir := t.TempDir()
+	srv, _, errc := testServer(t, func(c *Config) {
+		c.Shards = 4
+		c.JournalDir = dir
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	loadErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		_, err := RunLoad(LoadConfig{Addr: srv.Addr(), Conns: 4, Messages: 4000, Ctxs: 4, Batch: 32, Seed: 9})
+		loadErr <- err
+	}()
+	for i := 0; i < 20; i++ {
+		if err := srv.WriteSnapshot(); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		if _, err := recov.ReadSnapshotFile(srv.snapshotPath()); err != nil {
+			t.Fatalf("snapshot %d unreadable: %v", i, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+	if err := <-loadErr; err != nil {
+		t.Fatal(err)
+	}
+	stopAndWait(t, srv, errc)
+
+	srv2, _, errc2 := testServer(t, func(c *Config) {
+		c.Shards = 4
+		c.JournalDir = dir
+		c.Recover = true
+	})
+	cl, err := Dial(srv2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prq, umq, err := cl.QueueLens()
+	cl.Close()
+	if err != nil || prq != 0 || umq != 0 {
+		t.Fatalf("recovered drained daemon has prq=%d umq=%d (err %v)", prq, umq, err)
+	}
+	stopAndWait(t, srv2, errc2)
+}
+
+// TestWatchdogWedged holds one shard's lock past the deadline and
+// expects the watchdog to flag it — /readyz 503, /status wedged — then
+// clear it on release. The admin plane must keep answering while the
+// lane is stuck.
+func TestWatchdogWedged(t *testing.T) {
+	srv, _, errc := testServer(t, func(c *Config) {
+		c.WatchdogDeadline = 50 * time.Millisecond
+		c.WatchdogInterval = 10 * time.Millisecond
+	})
+	defer stopAndWait(t, srv, errc)
+
+	sh := srv.shards[0]
+	release := make(chan struct{})
+	held := make(chan struct{})
+	go func() {
+		sh.lock()
+		close(held)
+		<-release
+		sh.unlock()
+	}()
+	<-held
+	released := false
+	defer func() {
+		// An early t.Fatal must still free the lane, or the deferred
+		// stopAndWait hangs behind it.
+		if !released {
+			close(release)
+		}
+	}()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.AdminAddr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code, body := get("/readyz"); code == http.StatusServiceUnavailable && strings.Contains(body, "wedged") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never flagged the held lane")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code, body := get("/status"); code != 200 || !strings.Contains(body, `"wedged": true`) {
+		t.Fatalf("/status while wedged: %d %s", code, body)
+	}
+	if srv.wedgedShards() != 1 {
+		t.Fatalf("wedgedShards = %d, want 1", srv.wedgedShards())
+	}
+
+	close(release)
+	released = true
+	for {
+		if code, _ := get("/readyz"); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never cleared the released lane")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAdminSlowLoris: a client that dials the admin port and never
+// finishes its headers must be cut off by ReadHeaderTimeout, not hold
+// the connection open indefinitely.
+func TestAdminSlowLoris(t *testing.T) {
+	srv, _, errc := testServer(t, func(c *Config) {
+		c.AdminReadHeaderTimeout = 200 * time.Millisecond
+	})
+	defer stopAndWait(t, srv, errc)
+
+	conn, err := net.Dial("tcp", srv.AdminAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /status HTTP/1.1\r\nHost: x\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	_, err = io.ReadAll(conn)
+	elapsed := time.Since(start)
+	if os.IsTimeout(err) {
+		t.Fatalf("server never closed the stalled connection (waited %s)", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("stalled connection held %s, want well under 2s", elapsed)
+	}
+}

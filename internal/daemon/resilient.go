@@ -1,0 +1,198 @@
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"spco/internal/fault"
+	"spco/internal/mpi"
+)
+
+// ResilientClient drives a session connection that survives daemon
+// crashes: every engine-reaching op is stamped with a session sequence
+// number, and on any transport failure the client reconnects with a
+// resume handshake (capped exponential backoff with seeded jitter,
+// fault.Backoff) and re-sends the not-yet-answered ops with their
+// ORIGINAL sequence numbers. The server's session ring answers the
+// ones it already applied; the rest apply fresh — so each op takes
+// effect exactly once no matter where the crash landed. Retries of
+// NACK/Busy replies are the caller's business and must use fresh ops
+// (a refused op was answered, not lost).
+//
+// Like Client, a ResilientClient is not safe for concurrent use, and
+// the exactly-once contract additionally requires one live connection
+// per session (which a single owning goroutine gives for free).
+type ResilientClient struct {
+	cfg ResilientConfig
+
+	cl        *Client
+	session   uint64
+	nextSeq   uint64
+	lastAcked uint64
+
+	// Reconnects counts successful resume handshakes; Resent counts ops
+	// re-sent with their original seqs after a failure.
+	Reconnects uint64
+	Resent     uint64
+}
+
+// ResilientConfig parameterises a ResilientClient.
+type ResilientConfig struct {
+	Addr string
+
+	// MaxReconnects bounds consecutive failed reconnect attempts before
+	// an Exchange gives up (default 64; a successful resume resets it).
+	MaxReconnects int
+
+	// Backoff spaces reconnect attempts (zero value: 5ms base, 1s cap,
+	// 25% jitter). Seed makes the jitter reproducible (default 1).
+	Backoff fault.Backoff
+	Seed    uint64
+
+	// Window is a client-side cap on ops per wire frame (0: server's
+	// advertised credit window only).
+	Window int
+}
+
+// DialResilient opens the session.
+func DialResilient(cfg ResilientConfig) (*ResilientClient, error) {
+	if cfg.MaxReconnects <= 0 {
+		cfg.MaxReconnects = 64
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Backoff.RNG == nil {
+		cfg.Backoff.RNG = fault.NewRNG(cfg.Seed).Fork(17)
+	}
+	rc := &ResilientClient{cfg: cfg}
+	cl, err := DialSession(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	rc.adopt(cl)
+	return rc, nil
+}
+
+// adopt installs a fresh connection and learns the server's credit
+// window before any batch rides it.
+func (rc *ResilientClient) adopt(cl *Client) {
+	cl.SetWindow(rc.cfg.Window)
+	cl.Ping() // learn credits; a failure here surfaces on the next frame
+	rc.cl = cl
+	rc.session = cl.Session()
+}
+
+// Session returns the server-minted session id.
+func (rc *ResilientClient) Session() uint64 { return rc.session }
+
+// Close closes the connection (the session stays resumable server-side).
+func (rc *ResilientClient) Close() error {
+	if rc.cl == nil {
+		return nil
+	}
+	return rc.cl.Close()
+}
+
+// sequenced reports whether the op kind rides the exactly-once path.
+// Stat and Ping are read-only and re-execute freely.
+func sequenced(kind byte) bool {
+	return kind == mpi.WireArrive || kind == mpi.WirePost || kind == mpi.WirePhase
+}
+
+// Exchange sends ops and returns their replies in order, transparently
+// reconnecting and re-sending across any number of transport failures
+// (each bounded by MaxReconnects consecutive failed dials). The ops
+// slice is modified in place (sequence stamping).
+func (rc *ResilientClient) Exchange(ops []mpi.WireOp, reps []mpi.WireReply) ([]mpi.WireReply, error) {
+	if len(ops) == 0 {
+		return reps[:0], fmt.Errorf("daemon: empty exchange")
+	}
+	for i := range ops {
+		if sequenced(ops[i].Kind) {
+			rc.nextSeq++
+			ops[i].Seq = rc.nextSeq
+		}
+	}
+	reps = reps[:0]
+	rest := ops
+	resend := false
+	for len(rest) > 0 {
+		if rc.cl == nil {
+			if err := rc.reconnect(); err != nil {
+				return reps, err
+			}
+		}
+		n := len(rest)
+		if w := rc.cl.frameCap(); w > 0 && n > w {
+			n = w
+		}
+		if resend {
+			rc.Resent += uint64(n)
+		}
+		k, err := rc.frame(rest[:n], &reps)
+		if err != nil {
+			// k replies arrived before the failure; everything after them
+			// is unacked and re-sends with original seqs after resume.
+			rest = rest[k:]
+			rc.cl.Close()
+			rc.cl = nil
+			resend = true
+			continue
+		}
+		rest = rest[n:]
+		resend = false
+	}
+	return reps, nil
+}
+
+// frame sends one wire frame and reads its replies, returning how many
+// replies landed before any failure.
+func (rc *ResilientClient) frame(ops []mpi.WireOp, reps *[]mpi.WireReply) (int, error) {
+	var err error
+	if len(ops) == 1 {
+		err = mpi.WriteWireOp(rc.cl.bw, ops[0])
+	} else {
+		err = mpi.WriteWireBatch(rc.cl.bw, ops)
+	}
+	if err == nil {
+		err = rc.cl.bw.Flush()
+	}
+	if err != nil {
+		return 0, err
+	}
+	for i := range ops {
+		rep, err := rc.cl.readReply()
+		if err != nil {
+			return i, err
+		}
+		*reps = append(*reps, rep)
+		if ops[i].Seq > rc.lastAcked {
+			rc.lastAcked = ops[i].Seq
+		}
+	}
+	return len(ops), nil
+}
+
+// reconnect resumes the session, backing off between attempts. A
+// server that answers WireWelcomeLost ends the session for good; a
+// refused TCP connect (the daemon is mid-restart) retries.
+func (rc *ResilientClient) reconnect() error {
+	for attempt := 0; attempt < rc.cfg.MaxReconnects; attempt++ {
+		time.Sleep(rc.cfg.Backoff.Next())
+		cl, err := DialResume(rc.cfg.Addr, rc.session, rc.lastAcked)
+		if errors.Is(err, ErrSessionLost) {
+			return err
+		}
+		if err != nil {
+			continue
+		}
+		rc.adopt(cl)
+		rc.Reconnects++
+		rc.cfg.Backoff.Reset()
+		return nil
+	}
+	return fmt.Errorf("daemon: session %d: gave up after %d reconnect attempts",
+		rc.session, rc.cfg.MaxReconnects)
+}

@@ -12,6 +12,7 @@ import (
 	"spco/internal/match"
 	"spco/internal/mpi"
 	"spco/internal/perf"
+	"spco/internal/recov"
 	"spco/internal/telemetry"
 )
 
@@ -55,6 +56,22 @@ type shard struct {
 	batchEnvs []match.Envelope
 	batchMsgs []uint64
 	batchRes  []engine.ArriveResult
+
+	// Crash-recovery spine (recovery.go); both nil unless journaling is
+	// configured, so the hot path pays one nil check when off. Guarded
+	// by mu.
+	jw     *recov.JournalWriter
+	mirror *qmirror
+	// sid is the session id of the op currently applying (0 ephemeral),
+	// set under mu by the apply entry points for noteApplied to stamp
+	// journal records with.
+	sid uint64
+
+	// heldSince is the wall time (unix nanos) mu was last acquired at,
+	// 0 while free; the watchdog flags the lane wedged when a stamp
+	// stands past the deadline.
+	heldSince atomic.Int64
+	wedged    atomic.Bool
 
 	// Serving tallies: ops applied on this lane and host time spent
 	// waiting for its mutex.
@@ -144,6 +161,7 @@ func (s *Server) shardFor(ctx uint16) *shard {
 // lock-wait telemetry. The uncontended path takes no clock readings.
 func (sh *shard) lock() {
 	if sh.mu.TryLock() {
+		sh.heldSince.Store(time.Now().UnixNano())
 		return
 	}
 	t0 := time.Now()
@@ -151,9 +169,30 @@ func (sh *shard) lock() {
 	wait := time.Since(t0)
 	sh.lockWaitNS.Add(wait.Nanoseconds())
 	sh.cLockWait.Add(wait.Seconds())
+	sh.heldSince.Store(time.Now().UnixNano())
 }
 
-func (sh *shard) unlock() { sh.mu.Unlock() }
+func (sh *shard) unlock() {
+	sh.heldSince.Store(0)
+	sh.mu.Unlock()
+}
+
+// tryLockFor attempts the lock for up to d, so the admin plane can
+// report on (rather than hang behind) a wedged lane. On success the
+// caller holds the lock and must unlock().
+func (sh *shard) tryLockFor(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	for {
+		if sh.mu.TryLock() {
+			sh.heldSince.Store(time.Now().UnixNano())
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
 
 // refreshGaugesLocked mirrors the lane's queue depths and pool counters
 // into the per-shard gauges; the caller holds sh.mu.
@@ -177,11 +216,13 @@ func (sh *shard) frames(n int) {
 // all map to this shard) under one lock acquisition, appending one
 // reply per op. Maximal sub-runs of untraced arrives with fault
 // injection off — the serving hot path — go through the engine's
-// ArriveBatch; everything else takes the per-op path.
-func (sh *shard) applyRun(ops []mpi.WireOp, reps []mpi.WireReply) []mpi.WireReply {
+// ArriveBatch; everything else takes the per-op path. sid is the
+// serving session id (0: ephemeral) stamped on journal records.
+func (sh *shard) applyRun(ops []mpi.WireOp, reps []mpi.WireReply, sid uint64) []mpi.WireReply {
 	s := sh.srv
 	sh.lock()
 	defer sh.unlock()
+	sh.sid = sid
 	sh.frames(len(ops))
 	for i := 0; i < len(ops); {
 		if sh.wire == nil && plainArrive(ops[i]) {
@@ -200,6 +241,27 @@ func (sh *shard) applyRun(ops []mpi.WireOp, reps []mpi.WireReply) []mpi.WireRepl
 		i++
 	}
 	return reps
+}
+
+// noteApplied records one engine-reaching op in the recovery spine:
+// one journal record (before the reply can leave the process) and one
+// logical-mirror update. Caller holds sh.mu. Ops that never reached
+// the engine — ingress NACKs, credit-window refusals — must not come
+// here: the journal's contract is "applied exactly once per record".
+// During journal replay jw is nil and only the mirror updates.
+func (sh *shard) noteApplied(op mpi.WireOp, rep mpi.WireReply) {
+	if sh.mirror == nil {
+		return
+	}
+	if sh.jw != nil {
+		if err := sh.jw.Append(recov.JournalRecord{Session: sh.sid, Op: op}); err != nil {
+			// A journal that cannot append can no longer back recovery;
+			// surface loudly and keep serving (availability over the
+			// recovery guarantee, like a WAL on a full disk).
+			sh.srv.cfg.Logf("daemon: shard %d journal append: %v", sh.idx, err)
+		}
+	}
+	sh.mirror.note(op, rep)
 }
 
 // plainArrive reports whether the op takes the batched arrive fast
@@ -238,6 +300,7 @@ func (sh *shard) applyArriveRun(ops []mpi.WireOp, reps []mpi.WireReply) []mpi.Wi
 		if r.Outcome == engine.ArriveRefused {
 			rep.Status = mpi.WireBusy
 		}
+		sh.noteApplied(ops[i], rep)
 		reps = append(reps, rep)
 	}
 	return reps

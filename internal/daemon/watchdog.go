@@ -1,0 +1,66 @@
+package daemon
+
+import "time"
+
+// The watchdog detects wedged serving lanes. Each shard's lock()
+// stamps heldSince when the mutex is acquired and unlock() clears it;
+// the watchdog goroutine ticks on WatchdogInterval and flags any lane
+// whose stamp has been standing longer than WatchdogDeadline — an
+// operation (or a bug) holding the lane's single-threaded stack far
+// past any legitimate op's cost. A wedged lane flips /readyz to 503
+// (load balancers stop routing new connections), marks the shard in
+// /status, and raises spco_shard_wedged; it clears itself if the lane
+// recovers. Detection only — the daemon never kills a wedged lane,
+// because the lane owns engine state a forced unlock would corrupt;
+// the operator (or the chaos harness's supervisor) restarts with
+// -recover instead.
+
+// DefaultWatchdogDeadline flags a shard lock held this long.
+const DefaultWatchdogDeadline = 5 * time.Second
+
+// watchdogLoop runs until the daemon quits.
+func (s *Server) watchdogLoop() {
+	t := time.NewTicker(s.cfg.WatchdogInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			s.sweepWedged()
+		}
+	}
+}
+
+// sweepWedged refreshes every lane's wedged flag and the gauge.
+func (s *Server) sweepWedged() {
+	wedged := 0
+	now := time.Now().UnixNano()
+	for _, sh := range s.shards {
+		h := sh.heldSince.Load()
+		w := h != 0 && time.Duration(now-h) > s.cfg.WatchdogDeadline
+		if w != sh.wedged.Load() {
+			sh.wedged.Store(w)
+			if w {
+				s.cfg.Logf("daemon: watchdog: shard %d wedged (lock held > %s)", sh.idx, s.cfg.WatchdogDeadline)
+			} else {
+				s.cfg.Logf("daemon: watchdog: shard %d recovered", sh.idx)
+			}
+		}
+		if w {
+			wedged++
+		}
+	}
+	s.gWedged.Set(float64(wedged))
+}
+
+// wedgedShards counts currently flagged lanes.
+func (s *Server) wedgedShards() int {
+	n := 0
+	for _, sh := range s.shards {
+		if sh.wedged.Load() {
+			n++
+		}
+	}
+	return n
+}

@@ -449,6 +449,13 @@ func (en *Engine) ResetStats() {
 	en.acc.Reset()
 }
 
+// RestoreStats overwrites the accumulated counters, without touching
+// queue or cache state. Crash recovery uses it after re-posting a
+// snapshot's queue entries: the re-posting itself ticks counters, so
+// the snapshot's totals are reinstated afterwards to make the restored
+// engine report the history of the crashed one, not of the replay.
+func (en *Engine) RestoreStats(s Stats) { en.stats = s }
+
 // MemoryBytes returns the combined queue metadata footprint.
 func (en *Engine) MemoryBytes() uint64 {
 	return en.prq.MemoryBytes() + en.umq.MemoryBytes()

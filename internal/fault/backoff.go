@@ -1,0 +1,63 @@
+package fault
+
+import "time"
+
+// Backoff schedules capped exponential retry delays with seeded
+// jitter: the k-th delay is Base·2^k clamped to Max, then scaled by a
+// uniform factor in [1-Jitter, 1]. The daemon's resilient client uses
+// it between reconnect attempts after a crash — the jitter keeps a
+// fleet of clients from stampeding a freshly restarted server, and
+// drawing it from a forked RNG keeps the whole reconnect schedule
+// reproducible under a fixed seed, like every other delay in this
+// package.
+type Backoff struct {
+	// Base is the first delay (default 5ms).
+	Base time.Duration
+	// Max caps the exponential growth (default 1s).
+	Max time.Duration
+	// Jitter is the fraction of each delay randomized away, in [0, 1)
+	// (default 0.25: delays land in [0.75·d, d]).
+	Jitter float64
+	// RNG supplies the jitter draws; nil disables jitter (fully
+	// deterministic delays).
+	RNG *RNG
+
+	attempt int
+}
+
+// Next returns the delay before the next attempt and advances the
+// schedule.
+func (b *Backoff) Next() time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = time.Second
+	}
+	d := base
+	for i := 0; i < b.attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	b.attempt++
+	jitter := b.Jitter
+	if jitter == 0 {
+		jitter = 0.25
+	}
+	if b.RNG != nil && jitter > 0 && jitter < 1 {
+		d = time.Duration(float64(d) * (1 - jitter*b.RNG.Float64()))
+	}
+	return d
+}
+
+// Attempts reports how many delays have been handed out since the last
+// Reset.
+func (b *Backoff) Attempts() int { return b.attempt }
+
+// Reset restarts the schedule from Base, as after a successful
+// connection.
+func (b *Backoff) Reset() { b.attempt = 0 }

@@ -1,0 +1,44 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: -1}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := b.Next(); got != w*time.Millisecond {
+			t.Errorf("delay %d: got %v want %v", i, got, w*time.Millisecond)
+		}
+	}
+	if b.Attempts() != len(want) {
+		t.Errorf("Attempts = %d, want %d", b.Attempts(), len(want))
+	}
+	b.Reset()
+	if got := b.Next(); got != 10*time.Millisecond {
+		t.Errorf("after Reset: got %v want 10ms", got)
+	}
+}
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	mk := func() *Backoff {
+		return &Backoff{Base: 10 * time.Millisecond, Max: time.Second,
+			Jitter: 0.25, RNG: NewRNG(7)}
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 10; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("draw %d: same seed diverged (%v vs %v)", i, da, db)
+		}
+		full := 10 * time.Millisecond << uint(min(i, 10))
+		if full > time.Second {
+			full = time.Second
+		}
+		if da > full || da < time.Duration(float64(full)*0.75) {
+			t.Errorf("draw %d: %v outside [0.75·%v, %v]", i, da, full, full)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package mpi
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// encodeFrame renders ops back into the wire encoding ReadWireFrame
+// consumed: a bare op frame, or a batch header plus op frames.
+func encodeFrame(t *testing.T, ops []WireOp, batch bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	var err error
+	if batch {
+		err = WriteWireBatch(&buf, ops)
+	} else {
+		err = WriteWireOp(&buf, ops[0])
+	}
+	if err != nil {
+		t.Fatalf("re-encode of accepted frame failed: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadWireFrame throws arbitrary bytes at the server's frame
+// reader — the first untrusted parser on every daemon connection. It
+// must never panic, and any frame it accepts must re-encode to exactly
+// the bytes it consumed (the codec is canonical: no two byte strings
+// decode to the same frame).
+func FuzzReadWireFrame(f *testing.F) {
+	var seed bytes.Buffer
+	WriteWireOp(&seed, WireOp{Kind: WireArrive, Rank: 3, Tag: 17, Ctx: 2, Handle: 99, Trace: 5, Span: 6, Seq: 7})
+	f.Add(seed.Bytes())
+	seed.Reset()
+	WriteWireBatch(&seed, []WireOp{
+		{Kind: WirePost, Rank: 1, Tag: 2, Ctx: 3, Handle: 4, Seq: 1},
+		{Kind: WirePhase, DurationNS: 5e4, Seq: 2},
+		{Kind: WireStat},
+	})
+	f.Add(seed.Bytes())
+	f.Add([]byte{WireBatch, 0xff, 0xff, 0xff, 0xff}) // hostile count
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		ops, batch, err := ReadWireFrame(br, nil)
+		if err != nil {
+			return
+		}
+		if len(ops) == 0 || len(ops) > MaxWireBatch {
+			t.Fatalf("accepted frame with %d ops", len(ops))
+		}
+		if !batch && len(ops) != 1 {
+			t.Fatalf("scalar frame decoded to %d ops", len(ops))
+		}
+		enc := encodeFrame(t, ops, batch)
+		if !bytes.Equal(enc, data[:len(enc)]) {
+			t.Fatalf("accepted frame is not canonical:\n consumed %x\n re-encoded %x", data[:len(enc)], enc)
+		}
+	})
+}
+
+// FuzzReadWireBatch drives the batch path from the other direction:
+// fuzz-chosen ops encode, decode back identically, and every strict
+// prefix of the encoding is rejected as truncated rather than
+// silently yielding a short batch — the framing property serveConn's
+// one-WireErr-per-malformed-frame contract rests on.
+func FuzzReadWireBatch(f *testing.F) {
+	f.Add(uint16(3), uint64(12345), true)
+	f.Add(uint16(1), uint64(0), false)
+	f.Add(uint16(64), uint64(1<<40), true)
+
+	f.Fuzz(func(t *testing.T, n uint16, mix uint64, traced bool) {
+		count := int(n)%128 + 1
+		ops := make([]WireOp, count)
+		for i := range ops {
+			ops[i] = WireOp{
+				Kind:   byte((mix>>uint(i%32))%uint64(WirePing)) + 1,
+				Rank:   int32(mix>>7) - int32(i),
+				Tag:    int32(i) * 3,
+				Ctx:    uint16(mix>>3) + uint16(i),
+				Handle: mix ^ uint64(i),
+				Seq:    uint64(i) + 1,
+			}
+			if traced {
+				ops[i].Trace = mix + 1
+				ops[i].Span = uint64(i)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteWireBatch(&buf, ops); err != nil {
+			t.Fatal(err)
+		}
+		enc := buf.Bytes()
+
+		got, batch, err := ReadWireFrame(bufio.NewReader(bytes.NewReader(enc)), nil)
+		if err != nil || !batch {
+			t.Fatalf("round trip: batch=%v err=%v", batch, err)
+		}
+		if len(got) != count {
+			t.Fatalf("round trip: %d ops, want %d", len(got), count)
+		}
+		for i := range got {
+			if got[i] != ops[i] {
+				t.Fatalf("op %d: %+v != %+v", i, got[i], ops[i])
+			}
+		}
+
+		// A strict prefix cut inside the payload must surface as a
+		// truncated batch, and cuts inside the header as clean EOFs.
+		cut := int(mix % uint64(len(enc)))
+		_, _, err = ReadWireFrame(bufio.NewReader(bytes.NewReader(enc[:cut])), nil)
+		if err == nil {
+			t.Fatalf("truncated batch (cut at %d of %d) decoded cleanly", cut, len(enc))
+		}
+		if cut > wireBatchHeaderSize && !errors.Is(err, ErrBatchTruncated) {
+			t.Fatalf("payload cut at %d: err %v, want ErrBatchTruncated", cut, err)
+		}
+		if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: err %v carries no EOF", cut, err)
+		}
+	})
+}

@@ -30,9 +30,15 @@ import (
 // into the daemon's flight recorder. Version 3 added the batch frame:
 // a WireBatch marker followed by a count and that many op frames, so a
 // client amortizes one flush and one server wakeup over N operations.
+// Version 4 added crash-safe sessions: the handshake carries a session
+// mode + id + last-acked sequence number (WireHello/WireWelcome), and
+// every op frame carries a per-session sequence number (WireOp.Seq) the
+// server journals and dedups, so a client that reconnects — to the
+// same process or to a restarted one recovering from its journal —
+// re-sends only the unacknowledged gap and still gets exactly-once.
 const (
 	WireMagic   uint32 = 0x53_50_43_4F // "SPCO"
-	WireVersion uint16 = 3
+	WireVersion uint16 = 4
 )
 
 // Wire op kinds (client → server).
@@ -110,6 +116,15 @@ type WireOp struct {
 	// trace into its flight recorder and parents its spans under Span.
 	Trace uint64
 	Span  uint64
+
+	// Seq is the op's per-session sequence number (v4): zero for
+	// unsequenced ops (ephemeral connections, and read-only Stat/Ping
+	// even on a session). A sequenced op is journaled under its seq
+	// before the reply goes out, and a re-sent seq whose reply the
+	// server still holds is answered from that reply ring instead of
+	// being applied again — the dedup that keeps exactly-once across
+	// reconnects and daemon restarts.
+	Seq uint64
 }
 
 // WireReply is one server response frame.
@@ -133,13 +148,17 @@ type WireReply struct {
 	Credits uint16
 }
 
-// Frame sizes (fixed): ops are 43 bytes (v2: +16 for trace context),
-// replies 29 (the trailing 2 bytes, reserved until the backpressure
-// window, carry Credits).
+// Frame sizes (fixed): ops are 51 bytes (v2: +16 for trace context,
+// v4: +8 for the session sequence number), replies 29 (the trailing 2
+// bytes, reserved until the backpressure window, carry Credits).
 const (
-	wireOpSize    = 1 + 4 + 4 + 2 + 8 + 8 + 8 + 8
+	wireOpSize    = 1 + 4 + 4 + 2 + 8 + 8 + 8 + 8 + 8
 	wireReplySize = 1 + 1 + 1 + 8 + 8 + 4 + 4 + 2
 )
+
+// WireOpSize is the fixed op frame length, exported for codecs that
+// embed op frames in their own records (the daemon's op journal).
+const WireOpSize = wireOpSize
 
 // WriteWireOp writes one request frame.
 func WriteWireOp(w io.Writer, op WireOp) error {
@@ -152,6 +171,7 @@ func WriteWireOp(w io.Writer, op WireOp) error {
 	binary.BigEndian.PutUint64(b[19:27], math.Float64bits(op.DurationNS))
 	binary.BigEndian.PutUint64(b[27:35], op.Trace)
 	binary.BigEndian.PutUint64(b[35:43], op.Span)
+	binary.BigEndian.PutUint64(b[43:51], op.Seq)
 	_, err := w.Write(b[:])
 	return err
 }
@@ -171,6 +191,7 @@ func ReadWireOp(r io.Reader) (WireOp, error) {
 		DurationNS: math.Float64frombits(binary.BigEndian.Uint64(b[19:27])),
 		Trace:      binary.BigEndian.Uint64(b[27:35]),
 		Span:       binary.BigEndian.Uint64(b[35:43]),
+		Seq:        binary.BigEndian.Uint64(b[43:51]),
 	}
 	if op.Kind < WireArrive || op.Kind > WirePing {
 		return op, fmt.Errorf("mpi: unknown wire op kind %d", op.Kind)
@@ -289,22 +310,126 @@ func wrapBatchEOF(err error) error {
 	return err
 }
 
-// WriteWireHello sends the handshake (client side, and the server's
-// echo).
-func WriteWireHello(w io.Writer) error {
-	var b [6]byte
+// Session handshake modes (client hello, v4).
+const (
+	// WireSessEphemeral opens a plain connection: no session, no
+	// sequence numbers, exactly the pre-v4 behaviour.
+	WireSessEphemeral byte = iota
+
+	// WireSessNew asks the server to mint a session: the welcome carries
+	// the assigned id, and the client stamps Seq on every mutating op.
+	WireSessNew
+
+	// WireSessResume presents an existing session id plus the highest
+	// sequence number the client holds a reply for; the server answers
+	// with its own high-water mark and the client re-sends only the gap.
+	WireSessResume
+)
+
+// Session handshake statuses (server welcome, v4).
+const (
+	// WireWelcomeEphemeral confirms a plain connection.
+	WireWelcomeEphemeral byte = iota
+
+	// WireWelcomeNew confirms a freshly minted session (Welcome.Session
+	// carries the id).
+	WireWelcomeNew
+
+	// WireWelcomeResumed confirms a resumed session; Welcome.HighWater is
+	// the server's highest journaled/applied sequence number.
+	WireWelcomeResumed
+
+	// WireWelcomeLost rejects a resume: the server has no record of the
+	// session (restarted without a journal, or the state is gone). A
+	// client with unacknowledged ops cannot guarantee exactly-once and
+	// must fail; one with none may start a new session.
+	WireWelcomeLost
+)
+
+// WireHello is the client half of the v4 handshake.
+type WireHello struct {
+	Mode      byte   // WireSessEphemeral, WireSessNew, WireSessResume
+	Session   uint64 // session id (WireSessResume only)
+	LastAcked uint64 // highest seq the client holds a reply for
+}
+
+// WireWelcome is the server half of the v4 handshake.
+type WireWelcome struct {
+	Status    byte   // WireWelcome* above
+	Session   uint64 // the session id in force (0 when ephemeral)
+	HighWater uint64 // server's highest applied seq (resume only)
+}
+
+// wireHelloSize covers both handshake directions: magic + version +
+// mode/status byte + two u64s.
+const wireHelloSize = 4 + 2 + 1 + 8 + 8
+
+// WriteWireHello sends the client handshake.
+func WriteWireHello(w io.Writer, h WireHello) error {
+	var b [wireHelloSize]byte
 	binary.BigEndian.PutUint32(b[0:4], WireMagic)
 	binary.BigEndian.PutUint16(b[4:6], WireVersion)
+	b[6] = h.Mode
+	binary.BigEndian.PutUint64(b[7:15], h.Session)
+	binary.BigEndian.PutUint64(b[15:23], h.LastAcked)
 	_, err := w.Write(b[:])
 	return err
 }
 
-// ReadWireHello validates the handshake from the peer.
-func ReadWireHello(r io.Reader) error {
-	var b [6]byte
+// ReadWireHello validates and decodes the client handshake.
+func ReadWireHello(r io.Reader) (WireHello, error) {
+	var b [wireHelloSize]byte
 	if _, err := io.ReadFull(r, b[:]); err != nil {
-		return err
+		return WireHello{}, err
 	}
+	if err := checkMagic(b[:]); err != nil {
+		return WireHello{}, err
+	}
+	h := WireHello{
+		Mode:      b[6],
+		Session:   binary.BigEndian.Uint64(b[7:15]),
+		LastAcked: binary.BigEndian.Uint64(b[15:23]),
+	}
+	if h.Mode > WireSessResume {
+		return h, fmt.Errorf("mpi: unknown session mode %d", h.Mode)
+	}
+	return h, nil
+}
+
+// WriteWireWelcome sends the server handshake.
+func WriteWireWelcome(w io.Writer, wl WireWelcome) error {
+	var b [wireHelloSize]byte
+	binary.BigEndian.PutUint32(b[0:4], WireMagic)
+	binary.BigEndian.PutUint16(b[4:6], WireVersion)
+	b[6] = wl.Status
+	binary.BigEndian.PutUint64(b[7:15], wl.Session)
+	binary.BigEndian.PutUint64(b[15:23], wl.HighWater)
+	_, err := w.Write(b[:])
+	return err
+}
+
+// ReadWireWelcome validates and decodes the server handshake.
+func ReadWireWelcome(r io.Reader) (WireWelcome, error) {
+	var b [wireHelloSize]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return WireWelcome{}, err
+	}
+	if err := checkMagic(b[:]); err != nil {
+		return WireWelcome{}, err
+	}
+	wl := WireWelcome{
+		Status:    b[6],
+		Session:   binary.BigEndian.Uint64(b[7:15]),
+		HighWater: binary.BigEndian.Uint64(b[15:23]),
+	}
+	if wl.Status > WireWelcomeLost {
+		return wl, fmt.Errorf("mpi: unknown welcome status %d", wl.Status)
+	}
+	return wl, nil
+}
+
+// checkMagic validates the shared magic+version prefix of a handshake.
+func checkMagic(b []byte) error {
 	if m := binary.BigEndian.Uint32(b[0:4]); m != WireMagic {
 		return fmt.Errorf("mpi: bad wire magic %#x", m)
 	}

@@ -12,7 +12,7 @@ import (
 func TestWireOpRoundTrip(t *testing.T) {
 	ops := []WireOp{
 		{Kind: WireArrive, Rank: 3, Tag: 42, Ctx: 1, Handle: 7},
-		{Kind: WireArrive, Rank: 3, Tag: 42, Ctx: 1, Handle: 7, Trace: 99, Span: 12},
+		{Kind: WireArrive, Rank: 3, Tag: 42, Ctx: 1, Handle: 7, Trace: 99, Span: 12, Seq: 321},
 		{Kind: WirePost, Rank: -1, Tag: -1, Ctx: 65535, Handle: math.MaxUint64,
 			Trace: math.MaxUint64, Span: math.MaxUint64},
 		{Kind: WirePhase, DurationNS: 1e5},
@@ -64,15 +64,55 @@ func TestWireReplyRoundTrip(t *testing.T) {
 
 func TestWireHello(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteWireHello(&buf); err != nil {
+	want := WireHello{Mode: WireSessResume, Session: 42, LastAcked: 1 << 40}
+	if err := WriteWireHello(&buf, want); err != nil {
 		t.Fatal(err)
 	}
-	if err := ReadWireHello(&buf); err != nil {
+	got, err := ReadWireHello(&buf)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("hello round trip: got %+v want %+v", got, want)
 	}
 	// A wrong magic must be refused.
-	if err := ReadWireHello(bytes.NewReader([]byte{0, 0, 0, 0, 0, 1})); err == nil {
+	bad := make([]byte, 23)
+	bad[5] = 1
+	if _, err := ReadWireHello(bytes.NewReader(bad)); err == nil {
 		t.Fatal("accepted bad magic")
+	}
+
+	buf.Reset()
+	wantW := WireWelcome{Status: WireWelcomeResumed, Session: 42, HighWater: 977}
+	if err := WriteWireWelcome(&buf, wantW); err != nil {
+		t.Fatal(err)
+	}
+	gotW, err := ReadWireWelcome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotW != wantW {
+		t.Fatalf("welcome round trip: got %+v want %+v", gotW, wantW)
+	}
+	if _, err := ReadWireWelcome(bytes.NewReader(bad)); err == nil {
+		t.Fatal("welcome accepted bad magic")
+	}
+}
+
+func TestWireHelloRejectsUnknownMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWireHello(&buf, WireHello{Mode: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadWireHello(&buf); err == nil {
+		t.Fatal("accepted unknown session mode")
+	}
+	buf.Reset()
+	if err := WriteWireWelcome(&buf, WireWelcome{Status: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadWireWelcome(&buf); err == nil {
+		t.Fatal("accepted unknown welcome status")
 	}
 }
 

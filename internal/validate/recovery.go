@@ -1,0 +1,119 @@
+package validate
+
+import "fmt"
+
+// Crash-recovery invariant checking: the kill-and-restart harness
+// (workload.RunCrashChaos) drives a resilient session across repeated
+// SIGKILLs of a live daemon and audits the run against the guarantees
+// the recovery spine claims. The checks are deliberately phrased over
+// plain tallies — what the client sent and observed, what the server's
+// final counters say — so the audit stays independent of both the
+// harness and the daemon package.
+//
+//   - exactly-once: every pair matched its own counterpart exactly
+//     once, no matter how many times its ops were re-sent across
+//     crashes (session rings answer applied duplicates; journal replay
+//     restores what fsync'd; the client re-sends what didn't);
+//   - counter-conservation: the recovered engine's counters equal the
+//     client-side tallies — a lost-then-resent op counts once, a
+//     replayed-then-deduped op counts once;
+//   - queue-drain: both match queues are empty once the pairs drain;
+//   - recovery-liveness: a run that killed the daemon actually took
+//     the recovery path (restored state, resumed the session) and left
+//     no lane wedged.
+
+// CrashLedger tallies what the resilient client sent and observed
+// across a kill-and-restart run. Pairs counts unique arrive/post pairs
+// driven (unique tags make the expected pairing exact); the match
+// tallies split by which side completed the pair.
+type CrashLedger struct {
+	Pairs         uint64 // unique arrive/post pairs driven
+	ArriveMatched uint64 // pairs completed by the arrive (preposted receive)
+	PostMatched   uint64 // pairs completed by the post (queued message)
+	Unmatched     uint64 // pairs whose second op found nothing (audit failure)
+	Mismatches    uint64 // pairs matched to the wrong counterpart
+	Refused       uint64 // non-OK replies (no fault injection: must be zero)
+
+	Kills      uint64 // SIGKILLs delivered to the daemon
+	Reconnects uint64 // successful session resumes by the client
+	Resent     uint64 // ops re-sent with their original sequence numbers
+}
+
+// CrashServer carries the server-side view after the final recovery
+// and drain — engine counters aggregated across shards, queue depths,
+// and the last boot's recovery telemetry.
+type CrashServer struct {
+	Arrivals   uint64
+	Posts      uint64
+	PRQMatches uint64
+	UMQMatches uint64
+	Refused    uint64
+	PRQLen     int
+	UMQLen     int
+
+	Recovered       bool   // this boot restored state
+	ReplayedOps     uint64 // journal records replayed at the last boot
+	SessionsResumed uint64 // resume handshakes served by the last boot
+	WedgedShards    int
+}
+
+// CheckCrashRecovery audits one kill-and-restart run. All counter
+// comparisons are exact: across every crash, re-send, and replay, each
+// unique op must have reached an engine exactly once.
+func CheckCrashRecovery(led CrashLedger, srv CrashServer) []Violation {
+	var out []Violation
+	fail := func(inv, format string, a ...any) {
+		out = append(out, Violation{inv, fmt.Sprintf(format, a...)})
+	}
+
+	if led.Unmatched != 0 {
+		fail("exactly-once", "%d pairs never matched", led.Unmatched)
+	}
+	if led.Mismatches != 0 {
+		fail("pairing", "%d pairs matched the wrong counterpart", led.Mismatches)
+	}
+	if got := led.ArriveMatched + led.PostMatched; got != led.Pairs {
+		fail("exactly-once", "matched %d pairs, drove %d", got, led.Pairs)
+	}
+	if led.Refused != 0 {
+		fail("refusal-free", "%d replies refused with no fault injection configured", led.Refused)
+	}
+
+	check := func(name string, got, want uint64) {
+		if got != want {
+			fail("counter-conservation", "%s is %d after recovery, clients account for %d", name, got, want)
+		}
+	}
+	check("engine.arrivals", srv.Arrivals, led.Pairs)
+	// The engine's Posts counter ticks only for receives appended to the
+	// PRQ — a post that matches from the UMQ ticks UMQMatches instead —
+	// so its exact counterpart is the preposted pairs, whose receives
+	// all queued before their arrives matched them.
+	check("engine.posts", srv.Posts, led.ArriveMatched)
+	check("engine.prq_matches", srv.PRQMatches, led.ArriveMatched)
+	check("engine.umq_matches", srv.UMQMatches, led.PostMatched)
+	check("engine.refused", srv.Refused, 0)
+
+	if srv.PRQLen != 0 {
+		fail("queue-drain", "%d receives left in the PRQ", srv.PRQLen)
+	}
+	if srv.UMQLen != 0 {
+		fail("queue-drain", "%d messages left in the UMQ", srv.UMQLen)
+	}
+
+	if led.Kills > 0 {
+		if !srv.Recovered {
+			fail("recovery-liveness", "%d kills but the final boot reports no recovery", led.Kills)
+		}
+		if srv.SessionsResumed == 0 {
+			fail("recovery-liveness", "%d kills but the final boot resumed no session", led.Kills)
+		}
+		if led.Reconnects < led.Kills {
+			fail("recovery-liveness", "%d kills but only %d session resumes succeeded", led.Kills, led.Reconnects)
+		}
+	}
+	if srv.WedgedShards != 0 {
+		fail("recovery-liveness", "%d shard lanes wedged after the storm", srv.WedgedShards)
+	}
+	return out
+}

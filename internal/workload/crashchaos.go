@@ -1,0 +1,493 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"spco/internal/daemon"
+	"spco/internal/engine"
+	"spco/internal/fault"
+	"spco/internal/mpi"
+	"spco/internal/validate"
+)
+
+// RunCrashChaos is the kill-and-restart storm: it runs a REAL
+// spco-daemon binary as a subprocess with the recovery spine enabled,
+// drives a resilient session of audited arrive/post pairs into it, and
+// SIGKILLs the process at seeded random points mid-load — restarting
+// it each time with -recover on the same addresses. The client rides
+// the crashes with resume handshakes and original-sequence re-sends;
+// the final audit (validate.CheckCrashRecovery) then holds the
+// recovered daemon to the same exactly-once ledger a never-crashed one
+// would produce. Where RunDaemonChaos soaks the serving path against
+// wire faults, RunCrashChaos soaks the recovery path against process
+// death — the end-to-end gate for snapshots, journals, and sessions.
+
+// CrashChaosConfig parameterises a kill-and-restart run.
+type CrashChaosConfig struct {
+	// DaemonBin is the spco-daemon binary to run (required).
+	DaemonBin string
+
+	// Dir is the scratch directory for the journal and address file
+	// (empty: a temp dir, removed afterwards).
+	Dir string
+
+	// Kills is the number of SIGKILL/restart cycles (default 3).
+	Kills int
+
+	// Seed drives the kill timing, pair ordering, and reconnect jitter
+	// (default 1).
+	Seed uint64
+
+	// Shards is the daemon's lane count (default 2); Ctxs spreads pairs
+	// across that many contexts (default 2*Shards, so every lane serves
+	// and every journal fills).
+	Shards int
+	Ctxs   int
+
+	// Pairs is the arrive/post pairs driven per kill cycle (default
+	// 400, floor 2*Batch); Senders the source ranks they round-robin
+	// (default 8); Batch the pairs per wire exchange (default 16).
+	Pairs   int
+	Senders int
+	Batch   int
+
+	// SnapshotEvery is the daemon's periodic snapshot cadence, so kills
+	// land around snapshot writes too (default 50ms).
+	SnapshotEvery time.Duration
+
+	// KillAfterMin/Max bound the seeded delay between arming a cycle's
+	// killer and the SIGKILL (defaults 2ms and 40ms).
+	KillAfterMin time.Duration
+	KillAfterMax time.Duration
+
+	// StartTimeout bounds each daemon boot reaching readiness
+	// (default 10s).
+	StartTimeout time.Duration
+
+	// Logf, when set, narrates the storm (kills, restarts, cycles).
+	Logf func(format string, a ...any)
+}
+
+func (c *CrashChaosConfig) defaults() error {
+	if c.DaemonBin == "" {
+		return fmt.Errorf("crash chaos: DaemonBin is required")
+	}
+	if c.Kills <= 0 {
+		c.Kills = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.Ctxs <= 0 {
+		c.Ctxs = 2 * c.Shards
+	}
+	if c.Senders <= 0 {
+		c.Senders = 8
+	}
+	if c.Batch <= 0 {
+		c.Batch = 16
+	}
+	if c.Pairs < 2*c.Batch {
+		c.Pairs = 400
+		if c.Pairs < 2*c.Batch {
+			c.Pairs = 2 * c.Batch
+		}
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 50 * time.Millisecond
+	}
+	if c.KillAfterMin <= 0 {
+		c.KillAfterMin = 2 * time.Millisecond
+	}
+	if c.KillAfterMax <= c.KillAfterMin {
+		c.KillAfterMax = c.KillAfterMin + 38*time.Millisecond
+	}
+	if c.StartTimeout <= 0 {
+		c.StartTimeout = 10 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// CrashChaosResult is one audited kill-and-restart run.
+type CrashChaosResult struct {
+	// Ledger is the client-side tally the audit ran against.
+	Ledger validate.CrashLedger
+
+	// Status is the final /status document, fetched from the last
+	// recovered boot after the load drained.
+	Status daemon.StatusReport
+
+	// Violations lists every invariant breach (empty on a passing run).
+	Violations []validate.Violation
+
+	Elapsed time.Duration
+}
+
+// Passed reports whether every invariant held.
+func (r CrashChaosResult) Passed() bool { return len(r.Violations) == 0 }
+
+// RunCrashChaos executes one seeded kill-and-restart storm.
+func RunCrashChaos(cfg CrashChaosConfig) (CrashChaosResult, error) {
+	var res CrashChaosResult
+	if err := cfg.defaults(); err != nil {
+		return res, err
+	}
+	start := time.Now()
+
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "spco-crash-*")
+		if err != nil {
+			return res, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	h := &crashHarness{cfg: cfg, journal: filepath.Join(dir, "journal"),
+		addrFile: filepath.Join(dir, "addrs")}
+	if err := os.MkdirAll(h.journal, 0o755); err != nil {
+		return res, err
+	}
+	defer h.reap()
+
+	if err := h.start(false); err != nil {
+		return res, fmt.Errorf("crash chaos: first boot: %w", err)
+	}
+	cfg.Logf("crash: daemon up on %s (admin %s), journal %s", h.addr, h.adminAddr, h.journal)
+
+	rc, err := daemon.DialResilient(daemon.ResilientConfig{
+		Addr: h.addr, Seed: cfg.Seed, MaxReconnects: 240,
+	})
+	if err != nil {
+		return res, fmt.Errorf("crash chaos: dial: %w", err)
+	}
+	defer rc.Close()
+
+	killRNG := fault.NewRNG(cfg.Seed).Fork(5)
+	loadRNG := fault.NewRNG(cfg.Seed).Fork(7)
+	led := &res.Ledger
+	g := 0
+
+	span := int(cfg.KillAfterMax - cfg.KillAfterMin)
+	for cycle := 0; cycle < cfg.Kills; cycle++ {
+		// One audited chunk lands before the killer arms, so the session
+		// has journaled ops and the post-kill resume handshake can find it.
+		if err := h.driveChunk(rc, &g, cfg.Batch, loadRNG, led); err != nil {
+			return res, fmt.Errorf("crash chaos: cycle %d warmup: %w", cycle, err)
+		}
+		delay := cfg.KillAfterMin + time.Duration(killRNG.Intn(span))
+		restarted := make(chan error, 1)
+		go func() {
+			time.Sleep(delay)
+			h.reap()
+			led.Kills++
+			cfg.Logf("crash: cycle %d: SIGKILL after %v, restarting with -recover", cycle, delay)
+			restarted <- h.start(true)
+		}()
+		for remaining := cfg.Pairs - cfg.Batch; remaining > 0; {
+			n := cfg.Batch
+			if n > remaining {
+				n = remaining
+			}
+			if err := h.driveChunk(rc, &g, n, loadRNG, led); err != nil {
+				<-restarted
+				return res, fmt.Errorf("crash chaos: cycle %d load: %w", cycle, err)
+			}
+			remaining -= n
+		}
+		if err := <-restarted; err != nil {
+			return res, fmt.Errorf("crash chaos: restart after kill %d: %w", cycle+1, err)
+		}
+	}
+
+	// A final chunk on the last recovered boot: the session must resume
+	// onto it before the audit reads that boot's telemetry, and serving
+	// after recovery is itself part of the contract.
+	if err := h.driveChunk(rc, &g, cfg.Batch, loadRNG, led); err != nil {
+		return res, fmt.Errorf("crash chaos: post-storm load: %w", err)
+	}
+	led.Reconnects, led.Resent = rc.Reconnects, rc.Resent
+	cfg.Logf("crash: storm done — %d pairs over %d kills, %d resumes, %d ops re-sent",
+		led.Pairs, led.Kills, led.Reconnects, led.Resent)
+
+	st, err := fetchStatus(h.adminAddr)
+	if err != nil {
+		return res, fmt.Errorf("crash chaos: final status: %w", err)
+	}
+	res.Status = st
+	res.Violations = append(res.Violations, validate.CheckCrashRecovery(*led, validate.CrashServer{
+		Arrivals:        st.Engine.Arrivals,
+		Posts:           st.Engine.Posts,
+		PRQMatches:      st.Engine.PRQMatches,
+		UMQMatches:      st.Engine.UMQMatches,
+		Refused:         st.Engine.Refused,
+		PRQLen:          st.Engine.PRQLen,
+		UMQLen:          st.Engine.UMQLen,
+		Recovered:       st.Recovery.Recovered,
+		ReplayedOps:     st.Recovery.ReplayedOps,
+		SessionsResumed: st.Recovery.SessionsResumed,
+		WedgedShards:    st.Recovery.WedgedShards,
+	})...)
+
+	if err := h.stop(); err != nil {
+		res.Violations = append(res.Violations, validate.Violation{
+			Invariant: "clean-shutdown", Detail: err.Error()})
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// crashHarness owns the daemon subprocess across its boots. The killer
+// goroutine is the only concurrent toucher, and the cycle loop joins
+// it before the main goroutine looks at the process again; the
+// addresses are written once by the first boot and read-only after.
+type crashHarness struct {
+	cfg      CrashChaosConfig
+	journal  string
+	addrFile string
+
+	addr      string
+	adminAddr string
+
+	cmd    *exec.Cmd
+	waitCh chan error
+	stderr bytes.Buffer
+}
+
+// start boots the daemon and waits for readiness. The first boot binds
+// ephemeral ports and publishes them through the address file; every
+// later boot pins the same addresses and recovers from the journal. A
+// boot that dies or stalls before readiness is retried (a just-killed
+// listener can transiently refuse the re-bind).
+func (h *crashHarness) start(recover bool) error {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if err := h.boot(recover); err != nil {
+			return err
+		}
+		if h.addr == "" {
+			if err := h.readAddrs(); err != nil {
+				lastErr = err
+				h.reap()
+				continue
+			}
+		}
+		if err := h.waitReady(); err != nil {
+			lastErr = err
+			h.reap()
+			continue
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// boot spawns one daemon process.
+func (h *crashHarness) boot(recover bool) error {
+	listen, admin := h.addr, h.adminAddr
+	if listen == "" {
+		listen, admin = "127.0.0.1:0", "127.0.0.1:0"
+		os.Remove(h.addrFile)
+	}
+	args := []string{"serve",
+		"-listen", listen, "-admin", admin,
+		"-shards", fmt.Sprint(h.cfg.Shards),
+		"-journal", h.journal,
+		"-snapshot-every", h.cfg.SnapshotEvery.String(),
+		"-addr-file", h.addrFile,
+		"-perf-out", "", "-q",
+	}
+	if recover {
+		args = append(args, "-recover")
+	}
+	cmd := exec.Command(h.cfg.DaemonBin, args...)
+	cmd.Stderr = &h.stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	h.cmd = cmd
+	h.waitCh = make(chan error, 1)
+	go func() { h.waitCh <- cmd.Wait() }()
+	return nil
+}
+
+// readAddrs learns the first boot's bound addresses from the address
+// file.
+func (h *crashHarness) readAddrs() error {
+	deadline := time.Now().Add(h.cfg.StartTimeout)
+	for {
+		b, err := os.ReadFile(h.addrFile)
+		if err == nil {
+			if lines := strings.Split(strings.TrimSpace(string(b)), "\n"); len(lines) >= 2 {
+				h.addr, h.adminAddr = strings.TrimSpace(lines[0]), strings.TrimSpace(lines[1])
+				return nil
+			}
+		}
+		select {
+		case err := <-h.waitCh:
+			h.waitCh <- err
+			return fmt.Errorf("daemon exited before publishing addresses: %v\n%s", err, h.tail())
+		default:
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no address file after %v", h.cfg.StartTimeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitReady polls /readyz until the boot serves.
+func (h *crashHarness) waitReady() error {
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(h.cfg.StartTimeout)
+	for {
+		resp, err := client.Get("http://" + h.adminAddr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case err := <-h.waitCh:
+			h.waitCh <- err
+			return fmt.Errorf("daemon exited before readiness: %v\n%s", err, h.tail())
+		default:
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("not ready after %v\n%s", h.cfg.StartTimeout, h.tail())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// reap SIGKILLs the current boot (if any) and collects it.
+func (h *crashHarness) reap() {
+	if h.cmd == nil {
+		return
+	}
+	h.cmd.Process.Kill()
+	<-h.waitCh
+	h.cmd = nil
+}
+
+// stop drains the final boot gracefully and reports a dirty exit.
+func (h *crashHarness) stop() error {
+	if h.cmd == nil {
+		return nil
+	}
+	h.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case err := <-h.waitCh:
+		h.cmd = nil
+		if err != nil {
+			return fmt.Errorf("daemon exited dirty: %v\n%s", err, h.tail())
+		}
+		return nil
+	case <-time.After(h.cfg.StartTimeout):
+		h.reap()
+		return fmt.Errorf("daemon ignored SIGTERM for %v", h.cfg.StartTimeout)
+	}
+}
+
+// tail returns the subprocess's recent stderr for error context.
+func (h *crashHarness) tail() string {
+	s := h.stderr.String()
+	if len(s) > 2048 {
+		s = "…" + s[len(s)-2048:]
+	}
+	return s
+}
+
+// driveChunk exchanges one audited chunk: every pair's first op, then
+// every pair's second, then one compute phase (phases broadcast to
+// every shard's journal, so replay covers them too). The exchange
+// rides the resilient client — a kill mid-chunk surfaces here only as
+// latency while the session resumes and re-sends.
+func (h *crashHarness) driveChunk(rc *daemon.ResilientClient, g *int, pairs int,
+	rng *fault.RNG, led *validate.CrashLedger) error {
+	type plan struct {
+		handle  uint64
+		prepost bool
+	}
+	plans := make([]plan, pairs)
+	ops := make([]mpi.WireOp, 2*pairs+1)
+	for i := range plans {
+		id := *g
+		*g++
+		op := mpi.WireOp{
+			Rank:   int32(id % h.cfg.Senders),
+			Tag:    int32(id),
+			Ctx:    uint16(1 + id%h.cfg.Ctxs),
+			Handle: uint64(id) + 1,
+		}
+		plans[i] = plan{handle: op.Handle, prepost: rng.Float64() < 0.5}
+		arrive, post := op, op
+		arrive.Kind, post.Kind = mpi.WireArrive, mpi.WirePost
+		if plans[i].prepost {
+			ops[i], ops[pairs+i] = post, arrive
+		} else {
+			ops[i], ops[pairs+i] = arrive, post
+		}
+	}
+	ops[2*pairs] = mpi.WireOp{Kind: mpi.WirePhase, DurationNS: 5e3}
+
+	reps, err := rc.Exchange(ops, make([]mpi.WireReply, 0, len(ops)))
+	if err != nil {
+		return err
+	}
+	for i, p := range plans {
+		first, second := reps[i], reps[pairs+i]
+		led.Pairs++
+		if first.Status != mpi.WireOK || second.Status != mpi.WireOK {
+			led.Refused++
+			led.Unmatched++
+			continue
+		}
+		if p.prepost {
+			// The receive posted first must queue; its arrive must match it.
+			switch {
+			case first.Outcome == 1:
+				led.Mismatches++
+			case second.Outcome != byte(engine.ArriveMatched):
+				led.Unmatched++
+			default:
+				led.ArriveMatched++
+				if second.Handle != p.handle {
+					led.Mismatches++
+				}
+			}
+		} else {
+			// The arrive first must queue unexpected; its post must find it.
+			switch {
+			case first.Outcome == byte(engine.ArriveMatched):
+				led.Mismatches++
+			case second.Outcome != 1:
+				led.Unmatched++
+			default:
+				led.PostMatched++
+				if second.Handle != p.handle {
+					led.Mismatches++
+				}
+			}
+		}
+	}
+	if reps[2*pairs].Status != mpi.WireOK {
+		led.Refused++
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// buildDaemon compiles the real spco-daemon binary the storm runs.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "spco-daemon")
+	cmd := exec.Command("go", "build", "-o", bin, "spco/cmd/spco-daemon")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building spco-daemon: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestCrashChaos is the end-to-end recovery gate: SIGKILL a live
+// daemon three times mid-load and hold the recovered process to the
+// exactly-once ledger. SPCO_TEST_SHARDS widens the lane count.
+func TestCrashChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill-and-restart storm is not a -short test")
+	}
+	shards := 2
+	if v := os.Getenv("SPCO_TEST_SHARDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("SPCO_TEST_SHARDS=%q is not a positive integer", v)
+		}
+		shards = n
+	}
+	res, err := RunCrashChaos(CrashChaosConfig{
+		DaemonBin: buildDaemon(t),
+		Kills:     3,
+		Seed:      7,
+		Shards:    shards,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("RunCrashChaos: %v", err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	led := res.Ledger
+	if led.Kills != 3 {
+		t.Fatalf("delivered %d kills, want 3", led.Kills)
+	}
+	if led.Reconnects < led.Kills {
+		t.Fatalf("only %d session resumes across %d kills", led.Reconnects, led.Kills)
+	}
+	if !res.Status.Recovery.Recovered {
+		t.Fatalf("final boot reports no recovery: %+v", res.Status.Recovery)
+	}
+	t.Logf("storm: %d pairs, %d resumes, %d re-sent ops, final boot replayed %d journal records (%d dup replays)",
+		led.Pairs, led.Reconnects, led.Resent,
+		res.Status.Recovery.ReplayedOps, res.Status.Recovery.DupReplays)
+}
